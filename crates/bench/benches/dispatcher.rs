@@ -1,0 +1,72 @@
+//! Scheduling-decision throughput of the placement-independent
+//! dispatcher, per queue policy — the operation a line-rate NIC scheduler
+//! must retire at millions per second (§5.1(1)).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use nicsched::{ClassPriority, Dispatcher, Fcfs, LeastOutstanding, SchedPolicy, ShortestRemaining, Task};
+use sim_core::{SimDuration, SimTime};
+
+fn task(id: u64) -> Task {
+    Task::new(
+        id,
+        0,
+        SimDuration::from_micros(1 + id % 50),
+        SimTime::ZERO,
+        SimTime::ZERO,
+        64,
+    )
+}
+
+fn request_done_cycle<P: SchedPolicy>(policy: P, iters: u64) -> u64 {
+    let mut d = Dispatcher::new(16, 5, policy, LeastOutstanding);
+    let now = SimTime::ZERO;
+    let mut completions = 0u64;
+    for id in 0..iters {
+        for a in d.on_request(now, task(id)) {
+            // Immediately complete to keep the system in steady state.
+            completions += d.on_done(now, a.worker, a.task.req_id).len() as u64;
+        }
+    }
+    completions
+}
+
+fn dispatcher_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dispatcher");
+    let iters = 10_000u64;
+    group.throughput(Throughput::Elements(iters));
+    group.bench_function("fcfs_request_done_cycle", |b| {
+        b.iter(|| request_done_cycle(Fcfs::new(), iters))
+    });
+    group.bench_function("srf_request_done_cycle", |b| {
+        b.iter(|| request_done_cycle(ShortestRemaining::new(), iters))
+    });
+    group.bench_function("class_priority_request_done_cycle", |b| {
+        b.iter(|| request_done_cycle(ClassPriority::new(SimDuration::from_micros(10)), iters))
+    });
+    group.finish();
+}
+
+fn queue_depth_scaling(c: &mut Criterion) {
+    // Enqueue/dequeue cost when the central queue is deep (overload).
+    let mut group = c.benchmark_group("queue_depth");
+    for &depth in &[100usize, 10_000] {
+        group.throughput(Throughput::Elements(1));
+        group.bench_function(format!("fcfs_cycle_at_depth_{depth}"), |b| {
+            let mut q = Fcfs::new();
+            let now = SimTime::ZERO;
+            for id in 0..depth as u64 {
+                q.enqueue(now, task(id));
+            }
+            let mut id = depth as u64;
+            b.iter(|| {
+                id += 1;
+                q.enqueue(now, task(id));
+                q.dequeue(now)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, dispatcher_throughput, queue_depth_scaling);
+criterion_main!(benches);

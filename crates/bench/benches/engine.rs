@@ -1,0 +1,76 @@
+//! Discrete-event engine throughput: how many events per second the
+//! simulation core sustains. Everything else in the repository is built
+//! on this hot loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sim_core::{Ctx, Engine, Model, SimDuration, SimTime};
+
+/// A model that keeps `fanout` self-rescheduling chains alive.
+struct Chains;
+
+struct ChainEv {
+    gap: SimDuration,
+    remaining: u32,
+}
+
+impl Model for Chains {
+    type Event = ChainEv;
+    fn handle(&mut self, ev: ChainEv, ctx: &mut Ctx<ChainEv>) {
+        if ev.remaining > 0 {
+            ctx.schedule_in(ev.gap, ChainEv { gap: ev.gap, remaining: ev.remaining - 1 });
+        }
+    }
+}
+
+fn engine_events(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    for &fanout in &[1u64, 16, 256] {
+        let events_per_iter = 100_000;
+        group.throughput(Throughput::Elements(events_per_iter));
+        group.bench_with_input(BenchmarkId::new("chained_events", fanout), &fanout, |b, &fanout| {
+            b.iter(|| {
+                let mut engine = Engine::new(Chains);
+                let per_chain = (events_per_iter / fanout) as u32;
+                for i in 0..fanout {
+                    engine.schedule_at(
+                        SimTime::from_nanos(i),
+                        ChainEv { gap: SimDuration::from_nanos(100 + i), remaining: per_chain },
+                    );
+                }
+                engine.run();
+                assert!(engine.events_processed() >= events_per_iter);
+                engine.events_processed()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn histogram_record(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stats");
+    group.throughput(Throughput::Elements(100_000));
+    group.bench_function("histogram_record_100k", |b| {
+        b.iter(|| {
+            let mut h = sim_core::stats::Histogram::latency();
+            let mut x = 0x12345u64;
+            for _ in 0..100_000 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                h.record(x % 10_000_000);
+            }
+            h.p99()
+        })
+    });
+    group.bench_function("histogram_p99_query", |b| {
+        let mut h = sim_core::stats::Histogram::latency();
+        let mut x = 0x12345u64;
+        for _ in 0..1_000_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            h.record(x % 10_000_000);
+        }
+        b.iter(|| h.p99())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, engine_events, histogram_record);
+criterion_main!(benches);

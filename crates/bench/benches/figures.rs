@@ -1,0 +1,137 @@
+//! One benchmark per paper figure: each times a representative
+//! simulation point of the figure's system/workload pairs, so `cargo
+//! bench -p bench --bench figures` exercises the exact code paths that
+//! regenerate the evaluation (the full sweeps live in the `experiments`
+//! binaries).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sim_core::SimDuration;
+use systems::baseline::{self, BaselineConfig, BaselineKind};
+use systems::multi_shinjuku::{self, MultiShinjukuConfig};
+use systems::offload::{self, OffloadConfig};
+use systems::rpcvalet::{self, RpcValetConfig};
+use systems::shinjuku::{self, ShinjukuConfig};
+use workload::ServiceDist;
+
+use bench::bench_spec;
+
+fn configured(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group
+}
+
+/// Figure 2: bimodal, slice 10us — Shinjuku 3w vs Offload 4w at 300 kRPS.
+fn fig2(c: &mut Criterion) {
+    let mut group = configured(c);
+    let spec = bench_spec(300_000.0, ServiceDist::paper_bimodal());
+    group.bench_function("fig2_shinjuku_3w", |b| {
+        b.iter(|| shinjuku::run(spec, ShinjukuConfig::paper(3)))
+    });
+    group.bench_function("fig2_offload_4w_cap4", |b| {
+        b.iter(|| offload::run(spec, OffloadConfig::paper(4, 4)))
+    });
+    group.finish();
+}
+
+/// Figure 3: fixed 1us, offload saturated — cap 1 vs cap 5 (4 workers).
+fn fig3(c: &mut Criterion) {
+    let mut group = configured(c);
+    let spec = bench_spec(1_800_000.0, ServiceDist::Fixed(SimDuration::from_micros(1)));
+    for cap in [1u32, 5] {
+        group.bench_function(format!("fig3_offload_4w_cap{cap}"), |b| {
+            b.iter(|| {
+                offload::run(spec, OffloadConfig { time_slice: None, ..OffloadConfig::paper(4, cap) })
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Figure 4: fixed 5us, no preemption — Shinjuku 3w vs Offload 4w.
+fn fig4(c: &mut Criterion) {
+    let mut group = configured(c);
+    let spec = bench_spec(450_000.0, ServiceDist::Fixed(SimDuration::from_micros(5)));
+    group.bench_function("fig4_shinjuku_3w", |b| {
+        b.iter(|| shinjuku::run(spec, ShinjukuConfig { workers: 3, time_slice: None, ..ShinjukuConfig::paper(3) }))
+    });
+    group.bench_function("fig4_offload_4w_cap4", |b| {
+        b.iter(|| {
+            offload::run(spec, OffloadConfig { time_slice: None, ..OffloadConfig::paper(4, 4) })
+        })
+    });
+    group.finish();
+}
+
+/// Figure 5: fixed 100us — Shinjuku 15w vs Offload 16w (cap 2).
+fn fig5(c: &mut Criterion) {
+    let mut group = configured(c);
+    let spec = bench_spec(120_000.0, ServiceDist::Fixed(SimDuration::from_micros(100)));
+    group.bench_function("fig5_shinjuku_15w", |b| {
+        b.iter(|| shinjuku::run(spec, ShinjukuConfig { workers: 15, time_slice: None, ..ShinjukuConfig::paper(15) }))
+    });
+    group.bench_function("fig5_offload_16w_cap2", |b| {
+        b.iter(|| {
+            offload::run(spec, OffloadConfig { time_slice: None, ..OffloadConfig::paper(16, 2) })
+        })
+    });
+    group.finish();
+}
+
+/// Figure 6: fixed 1us — Shinjuku 15w vs Offload 16w (cap 5) at 2 MRPS.
+fn fig6(c: &mut Criterion) {
+    let mut group = configured(c);
+    let spec = bench_spec(2_000_000.0, ServiceDist::Fixed(SimDuration::from_micros(1)));
+    group.bench_function("fig6_shinjuku_15w", |b| {
+        b.iter(|| shinjuku::run(spec, ShinjukuConfig { workers: 15, time_slice: None, ..ShinjukuConfig::paper(15) }))
+    });
+    group.bench_function("fig6_offload_16w_cap5", |b| {
+        b.iter(|| {
+            offload::run(spec, OffloadConfig { time_slice: None, ..OffloadConfig::paper(16, 5) })
+        })
+    });
+    group.finish();
+}
+
+/// The §2 baselines on the dispersion workload (one point each).
+fn baselines(c: &mut Criterion) {
+    let mut group = configured(c);
+    let spec = bench_spec(300_000.0, ServiceDist::paper_bimodal());
+    for (name, kind) in [
+        ("rss", BaselineKind::Rss),
+        ("stealing", BaselineKind::RssStealing),
+        ("flowdir", BaselineKind::FlowDirector),
+    ] {
+        group.bench_function(format!("baseline_{name}_4w"), |b| {
+            b.iter(|| baseline::run(spec, BaselineConfig { workers: 4, kind }))
+        });
+    }
+    group.finish();
+}
+
+/// The extension systems at one representative point each.
+fn extensions(c: &mut Criterion) {
+    let mut group = configured(c);
+    let bimodal = bench_spec(300_000.0, ServiceDist::paper_bimodal());
+    group.bench_function("rpcvalet_4w", |b| {
+        b.iter(|| rpcvalet::run(bimodal, RpcValetConfig { workers: 4 }))
+    });
+    group.bench_function("elastic_rss_8w", |b| {
+        b.iter(|| {
+            baseline::run(bimodal, BaselineConfig { workers: 8, kind: BaselineKind::ElasticRss })
+        })
+    });
+    let heavy = bench_spec(5_000_000.0, ServiceDist::Fixed(SimDuration::from_micros(1)));
+    group.bench_function("multi_shinjuku_4x7", |b| {
+        b.iter(|| {
+            multi_shinjuku::run(
+                heavy,
+                MultiShinjukuConfig { time_slice: None, ..MultiShinjukuConfig::split(32, 4) },
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig2, fig3, fig4, fig5, fig6, baselines, extensions);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Wire-format hot paths: full-frame build and parse (the per-hop cost in
+//! every simulation) and the Toeplitz RSS hash.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use net_wire::{Endpoint, EthernetAddress, FrameSpec, Ipv4Address, MsgRepr, ParsedFrame};
+use nic_model::{four_tuple_input, toeplitz_hash, Rss, DEFAULT_KEY};
+
+fn spec(body: u16) -> FrameSpec {
+    FrameSpec {
+        src_mac: EthernetAddress::new(2, 0, 0, 0, 0, 1),
+        dst_mac: EthernetAddress::new(2, 0, 0, 0, 1, 0),
+        src: Endpoint::new(Ipv4Address::new(10, 0, 0, 1), 7123),
+        dst: Endpoint::new(Ipv4Address::new(10, 0, 1, 0), 6000),
+        msg: MsgRepr::request(42, 1, 5_000, 123_456, body),
+    }
+}
+
+fn frame_build_parse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire");
+    for &body in &[64u16, 1024] {
+        group.throughput(Throughput::Elements(1));
+        group.bench_function(format!("frame_build_{body}B"), |b| {
+            let s = spec(body);
+            b.iter(|| s.build())
+        });
+        group.bench_function(format!("frame_parse_{body}B"), |b| {
+            let bytes = spec(body).build();
+            b.iter(|| ParsedFrame::parse(&bytes).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn rss_hash(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rss");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("toeplitz_4tuple", |b| {
+        let input = four_tuple_input([66, 9, 149, 187], [161, 142, 100, 80], 2794, 1766);
+        b.iter(|| toeplitz_hash(&DEFAULT_KEY, &input))
+    });
+    group.bench_function("steer_through_indirection", |b| {
+        let rss = Rss::new(16);
+        let mut port = 0u16;
+        b.iter(|| {
+            port = port.wrapping_add(1);
+            rss.steer([10, 0, 0, 1], [10, 0, 1, 0], port, 6000)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, frame_build_parse, rss_hash);
+criterion_main!(benches);

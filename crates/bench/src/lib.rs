@@ -1,0 +1,26 @@
+//! # bench — Criterion benchmark harness
+//!
+//! Shared helpers for the benchmark targets:
+//!
+//! * `figures` — one benchmark per paper figure, timing a representative
+//!   simulation point of each system/workload pair.
+//! * `engine` — discrete-event engine throughput.
+//! * `wire` — frame build/parse and Toeplitz hashing hot paths.
+//! * `dispatcher` — scheduling-decision throughput per policy.
+
+#![forbid(unsafe_code)]
+
+use sim_core::SimDuration;
+use workload::{ServiceDist, WorkloadSpec};
+
+/// A short, deterministic workload point for benchmarking one simulation.
+pub fn bench_spec(offered_rps: f64, dist: ServiceDist) -> WorkloadSpec {
+    WorkloadSpec {
+        offered_rps,
+        dist,
+        body_len: 64,
+        warmup: SimDuration::from_millis(1),
+        measure: SimDuration::from_millis(8),
+        seed: 77,
+    }
+}

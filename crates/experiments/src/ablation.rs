@@ -1,0 +1,223 @@
+//! Extension experiments: the §5.1 hardware-fix ablations and the §2.2
+//! baseline-failure comparison.
+//!
+//! These go beyond the paper's measured figures and quantify its
+//! *proposals*: what happens to the Figure 6 bottleneck when the packet
+//! path becomes CXL, when the ARM pipeline becomes an ASIC, and what the
+//! dispersion workload does to every §2.1 baseline at one fixed load.
+
+use nicsched::NicProfile;
+use sim_core::SimDuration;
+use systems::baseline::{self, BaselineConfig, BaselineKind};
+use systems::offload::{self, OffloadConfig};
+use systems::rpcvalet::{self, RpcValetConfig};
+use systems::shinjuku::{self, ShinjukuConfig};
+use workload::{RunMetrics, ServiceDist, WorkloadSpec};
+
+use crate::figures::Scale;
+use crate::report::{Curve, Figure};
+use crate::sweep::{linspace, sweep};
+
+fn spec(scale: Scale, offered: f64, dist: ServiceDist) -> WorkloadSpec {
+    let (warmup, measure) = match scale {
+        Scale::Quick => (SimDuration::from_millis(2), SimDuration::from_millis(15)),
+        Scale::Full => (SimDuration::from_millis(10), SimDuration::from_millis(80)),
+    };
+    WorkloadSpec { offered_rps: offered, dist, body_len: 64, warmup, measure, seed: 11 }
+}
+
+/// **Ablation A (comm-path)** — the Figure 6 workload (fixed 1 µs, 16
+/// workers, cap 5) on three §5.1 design points: the measured Stingray,
+/// Stingray-with-CXL, and the ideal line-rate NIC. Quantifies how much of
+/// the offload bottleneck is transport vs ARM compute.
+pub fn comm_path(scale: Scale) -> Figure {
+    let dist = ServiceDist::Fixed(SimDuration::from_micros(1));
+    let loads = linspace(250_000.0, 4_000_000.0, match scale {
+        Scale::Quick => 6,
+        Scale::Full => 16,
+    });
+    let run_profile = |profile: NicProfile| -> Vec<RunMetrics> {
+        sweep(&loads, |rps| {
+            offload::run(
+                spec(scale, rps, dist),
+                OffloadConfig { time_slice: None, profile, ..OffloadConfig::paper(16, 5) },
+            )
+        })
+    };
+    Figure {
+        id: "ablation_comm".into(),
+        title: "fixed 1us, Offload 16w (cap 5): Stingray vs Stingray+CXL vs ideal NIC".into(),
+        curves: vec![
+            Curve { label: "Stingray".into(), points: run_profile(NicProfile::stingray()) },
+            Curve { label: "Stingray-CXL".into(), points: run_profile(NicProfile::stingray_cxl()) },
+            Curve { label: "Ideal-NIC".into(), points: run_profile(NicProfile::ideal()) },
+        ],
+    }
+}
+
+/// **Ablation B (preemption path)** — bimodal workload with preemption via
+/// worker-local Dune timers (the prototype) vs NIC-sent interrupt packets
+/// (the design §3.4.4 rejects because of the 2.56 µs path).
+pub fn preempt_path(scale: Scale) -> Figure {
+    let dist = ServiceDist::paper_bimodal();
+    let loads = linspace(50_000.0, 550_000.0, match scale {
+        Scale::Quick => 5,
+        Scale::Full => 11,
+    });
+    let run_profile = |label: &str, profile: NicProfile| Curve {
+        label: label.into(),
+        points: sweep(&loads, |rps| {
+            offload::run(
+                spec(scale, rps, dist),
+                OffloadConfig { profile, ..OffloadConfig::paper(4, 4) },
+            )
+        }),
+    };
+    Figure {
+        id: "ablation_preempt".into(),
+        title: "bimodal, Offload 4w (cap 4): local APIC timer vs packet-based preemption".into(),
+        curves: vec![
+            run_profile("Local-timer", NicProfile::stingray()),
+            run_profile("Packet-interrupt", NicProfile::stingray_packet_preemption()),
+        ],
+    }
+}
+
+/// **Baselines (§2.1/§2.2)** — the dispersion story at a sweep of loads:
+/// RSS, RSS+stealing, Flow Director, Shinjuku, Shinjuku-Offload on the
+/// bimodal workload, all with 4 worker cores (Shinjuku gets 3 + the
+/// dispatcher core, matching the paper's accounting).
+pub fn baselines(scale: Scale) -> Figure {
+    let dist = ServiceDist::paper_bimodal();
+    let loads = linspace(50_000.0, 450_000.0, match scale {
+        Scale::Quick => 5,
+        Scale::Full => 9,
+    });
+    let base = |label: &str, kind: BaselineKind| Curve {
+        label: label.into(),
+        points: sweep(&loads, |rps| {
+            baseline::run(spec(scale, rps, dist), BaselineConfig { workers: 4, kind })
+        }),
+    };
+    Figure {
+        id: "baselines".into(),
+        title: "bimodal dispersion across scheduling designs (4 host cores)".into(),
+        curves: vec![
+            base("RSS", BaselineKind::Rss),
+            base("WorkStealing", BaselineKind::RssStealing),
+            base("FlowDirector", BaselineKind::FlowDirector),
+            Curve {
+                label: "RPCValet".into(),
+                points: sweep(&loads, |rps| {
+                    rpcvalet::run(spec(scale, rps, dist), RpcValetConfig { workers: 4 })
+                }),
+            },
+            Curve {
+                label: "Shinjuku".into(),
+                points: sweep(&loads, |rps| {
+                    shinjuku::run(spec(scale, rps, dist), ShinjukuConfig::paper(3))
+                }),
+            },
+            Curve {
+                label: "Shinjuku-Offload".into(),
+                points: sweep(&loads, |rps| {
+                    offload::run(spec(scale, rps, dist), OffloadConfig::paper(4, 4))
+                }),
+            },
+        ],
+    }
+}
+
+/// **Ablation C (DDIO, §5.2)** — unloaded latency with classic LLC DDIO vs
+/// the informed-scheduler L1 placement the paper proposes.
+pub fn ddio(scale: Scale) -> Figure {
+    let dist = ServiceDist::Fixed(SimDuration::from_micros(1));
+    let loads = linspace(50_000.0, 800_000.0, match scale {
+        Scale::Quick => 4,
+        Scale::Full => 8,
+    });
+    let with = |label: &str, ddio_l1: bool| Curve {
+        label: label.into(),
+        points: sweep(&loads, |rps| {
+            offload::run(
+                spec(scale, rps, dist),
+                OffloadConfig { time_slice: None, ddio_l1, ..OffloadConfig::paper(4, 2) },
+            )
+        }),
+    };
+    Figure {
+        id: "ablation_ddio".into(),
+        title: "fixed 1us, Offload 4w (cap 2): LLC DDIO vs informed L1 placement (§5.2)".into(),
+        curves: vec![with("DDIO-LLC", false), with("DDIO-L1", true)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::peak_throughput;
+
+    #[test]
+    fn comm_path_ordering() {
+        let f = comm_path(Scale::Quick);
+        let stingray = peak_throughput(&f.curves[0].points);
+        let cxl = peak_throughput(&f.curves[1].points);
+        let ideal = peak_throughput(&f.curves[2].points);
+        // CXL shortens the RTT but the ARM TX stage still binds; the ideal
+        // NIC removes both.
+        assert!(cxl >= stingray * 0.95, "cxl {cxl:.0} vs stingray {stingray:.0}");
+        assert!(
+            ideal > stingray * 1.5,
+            "ideal {ideal:.0} should crush stingray {stingray:.0}"
+        );
+    }
+
+    #[test]
+    fn packet_preemption_hurts_tail() {
+        let f = preempt_path(Scale::Quick);
+        let local = &f.curves[0].points;
+        let packet = &f.curves[1].points;
+        // Compare p99 at the highest common unsaturated load.
+        let pair = local
+            .iter()
+            .zip(packet).rfind(|(a, b)| !a.saturated(0.05) && !b.saturated(0.05));
+        let (a, b) = pair.expect("at least one unsaturated point");
+        assert!(
+            b.p99 >= a.p99,
+            "packet-based preemption should not beat local timers: {} vs {}",
+            b.p99,
+            a.p99
+        );
+    }
+
+    #[test]
+    fn baselines_show_the_dispersion_story() {
+        let f = baselines(Scale::Quick);
+        let find = |label: &str| {
+            &f.curves.iter().find(|c| c.label == label).unwrap().points
+        };
+        // At the mid load, run-to-completion RSS should have a far worse
+        // tail than the centralized preemptive systems.
+        let mid = f.curves[0].points.len() / 2;
+        let rss = find("RSS")[mid].p99;
+        let shin = find("Shinjuku")[mid].p99;
+        let off = find("Shinjuku-Offload")[mid].p99;
+        assert!(rss > shin, "rss {rss} vs shinjuku {shin}");
+        assert!(rss > off, "rss {rss} vs offload {off}");
+    }
+
+    #[test]
+    fn ddio_l1_is_never_slower() {
+        let f = ddio(Scale::Quick);
+        for (llc, l1) in f.curves[0].points.iter().zip(&f.curves[1].points) {
+            if !llc.saturated(0.05) && !l1.saturated(0.05) {
+                assert!(
+                    l1.p50 <= llc.p50,
+                    "L1 placement should not hurt median: {} vs {}",
+                    l1.p50,
+                    llc.p50
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,10 @@
+//! The §5.1/§5.2 ablations: comm path, preemption path, DDIO placement.
+fn main() {
+    for figure in [
+        experiments::ablation::comm_path(experiments::Scale::Full),
+        experiments::ablation::preempt_path(experiments::Scale::Full),
+        experiments::ablation::ddio(experiments::Scale::Full),
+    ] {
+        experiments::emit(&figure);
+    }
+}

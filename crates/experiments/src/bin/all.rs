@@ -1,0 +1,39 @@
+//! Regenerate every experiment in the repository: Figures 2-6, the
+//! microbenchmark table, the ablations and the baseline comparison.
+fn main() {
+    println!("=== microbenchmarks ===");
+    println!("{}", experiments::microbench::table(&experiments::microbench::run()));
+    for figure in [
+        experiments::figures::fig2(experiments::Scale::Full),
+        experiments::figures::fig3(experiments::Scale::Full),
+        experiments::figures::fig4(experiments::Scale::Full),
+        experiments::figures::fig5(experiments::Scale::Full),
+        experiments::figures::fig6(experiments::Scale::Full),
+        experiments::ablation::comm_path(experiments::Scale::Full),
+        experiments::ablation::preempt_path(experiments::Scale::Full),
+        experiments::ablation::ddio(experiments::Scale::Full),
+        experiments::ablation::baselines(experiments::Scale::Full),
+    ] {
+        experiments::emit(&figure);
+    }
+
+    println!("=== extensions ===");
+    let gap_rows = experiments::feedback_gap::run(experiments::Scale::Full);
+    println!("{}", experiments::feedback_gap::table(&gap_rows));
+
+    let rows = experiments::extensions::multi_dispatcher(experiments::Scale::Full);
+    println!("{}", experiments::extensions::multi_dispatcher_table(&rows));
+    let (fig, active) = experiments::extensions::elastic_rss(experiments::Scale::Full);
+    experiments::emit(&fig);
+    println!("mean provisioned cores per load point: {active:?}\n");
+    for fig in [
+        experiments::extensions::slice_sweep(experiments::Scale::Full),
+        experiments::extensions::policies(experiments::Scale::Full),
+        experiments::extensions::heavy_tail(experiments::Scale::Full),
+        experiments::extensions::dual_socket(experiments::Scale::Full),
+        experiments::extensions::jit_pacing(experiments::Scale::Full),
+        experiments::extensions::worker_scaling(experiments::Scale::Full),
+    ] {
+        experiments::emit(&fig);
+    }
+}

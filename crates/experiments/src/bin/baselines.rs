@@ -1,0 +1,5 @@
+//! The §2.1/§2.2 baseline comparison on the dispersion workload.
+fn main() {
+    let figure = experiments::ablation::baselines(experiments::Scale::Full);
+    experiments::emit(&figure);
+}

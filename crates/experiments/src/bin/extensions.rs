@@ -1,0 +1,25 @@
+//! Extension experiments: multi-dispatcher scaling, Elastic RSS, slice
+//! sweep, policy comparison, heavy tails.
+fn main() {
+    let scale = experiments::Scale::Full;
+    let gap_rows = experiments::feedback_gap::run(scale);
+    println!("{}", experiments::feedback_gap::table(&gap_rows));
+
+    let rows = experiments::extensions::multi_dispatcher(scale);
+    println!("{}", experiments::extensions::multi_dispatcher_table(&rows));
+
+    let (fig, active) = experiments::extensions::elastic_rss(scale);
+    experiments::emit(&fig);
+    println!("mean provisioned cores per load point: {active:?}\n");
+
+    for fig in [
+        experiments::extensions::slice_sweep(scale),
+        experiments::extensions::policies(scale),
+        experiments::extensions::heavy_tail(scale),
+        experiments::extensions::dual_socket(scale),
+        experiments::extensions::jit_pacing(scale),
+        experiments::extensions::worker_scaling(scale),
+    ] {
+        experiments::emit(&fig);
+    }
+}

@@ -1,0 +1,5 @@
+//! Regenerate the paper's Fig2 (see experiments::figures).
+fn main() {
+    let figure = experiments::figures::fig2(experiments::Scale::Full);
+    experiments::emit(&figure);
+}

@@ -1,0 +1,5 @@
+//! Regenerate the paper's Fig3 (see experiments::figures).
+fn main() {
+    let figure = experiments::figures::fig3(experiments::Scale::Full);
+    experiments::emit(&figure);
+}

@@ -1,0 +1,5 @@
+//! Regenerate the paper's Fig4 (see experiments::figures).
+fn main() {
+    let figure = experiments::figures::fig4(experiments::Scale::Full);
+    experiments::emit(&figure);
+}

@@ -1,0 +1,5 @@
+//! Regenerate the paper's Fig5 (see experiments::figures).
+fn main() {
+    let figure = experiments::figures::fig5(experiments::Scale::Full);
+    experiments::emit(&figure);
+}

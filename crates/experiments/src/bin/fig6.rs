@@ -1,0 +1,5 @@
+//! Regenerate the paper's Fig6 (see experiments::figures).
+fn main() {
+    let figure = experiments::figures::fig6(experiments::Scale::Full);
+    experiments::emit(&figure);
+}

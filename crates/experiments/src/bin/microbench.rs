@@ -1,0 +1,5 @@
+//! Reproduce the paper's inline microbenchmark numbers.
+fn main() {
+    let rows = experiments::microbench::run();
+    println!("{}", experiments::microbench::table(&rows));
+}

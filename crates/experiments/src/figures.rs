@@ -1,0 +1,262 @@
+//! The paper's evaluation, experiment by experiment (§4, Figures 2–6).
+//!
+//! Every function regenerates one figure as labelled latency-throughput
+//! curves (or throughput-vs-outstanding for Figure 3) using the same
+//! workloads, worker counts and outstanding caps as the paper's captions.
+//! `Scale` trades measurement length for runtime so the test suite can
+//! exercise every experiment quickly while binaries run the full version.
+
+use sim_core::SimDuration;
+use systems::offload::{self, OffloadConfig};
+use systems::shinjuku::{self, ShinjukuConfig};
+use workload::{RunMetrics, ServiceDist, WorkloadSpec};
+
+use crate::report::{Curve, Figure};
+use crate::sweep::{linspace, sweep};
+
+/// Measurement scale.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Short windows, coarse sweeps — seconds per figure, used in tests.
+    Quick,
+    /// Paper-resolution sweeps — the binaries' default.
+    Full,
+}
+
+impl Scale {
+    fn spec(self, offered: f64, dist: ServiceDist) -> WorkloadSpec {
+        let (warmup, measure) = match self {
+            Scale::Quick => (SimDuration::from_millis(2), SimDuration::from_millis(15)),
+            Scale::Full => (SimDuration::from_millis(10), SimDuration::from_millis(80)),
+        };
+        WorkloadSpec { offered_rps: offered, dist, body_len: 64, warmup, measure, seed: 7 }
+    }
+
+    fn points(self, full: usize) -> usize {
+        match self {
+            Scale::Quick => (full / 3).max(4),
+            Scale::Full => full,
+        }
+    }
+}
+
+/// **Figure 2** — bimodal 99.5% @ 5 µs / 0.5% @ 100 µs, 10 µs slice;
+/// Shinjuku 3 workers vs Shinjuku-Offload 4 workers (≤ 4 outstanding);
+/// p99 vs throughput up to 600 kRPS.
+pub fn fig2(scale: Scale) -> Figure {
+    let dist = ServiceDist::paper_bimodal();
+    let loads = linspace(50_000.0, 600_000.0, scale.points(12));
+    let shin = sweep(&loads, |rps| shinjuku::run(scale.spec(rps, dist), ShinjukuConfig::paper(3)));
+    let off = sweep(&loads, |rps| {
+        offload::run(scale.spec(rps, dist), OffloadConfig::paper(4, 4))
+    });
+    Figure {
+        id: "fig2".into(),
+        title: "bimodal 99.5%@5us / 0.5%@100us, slice 10us; Shinjuku 3w vs Offload 4w (cap 4)"
+            .into(),
+        curves: vec![
+            Curve { label: "Shinjuku".into(), points: shin },
+            Curve { label: "Shinjuku-Offload".into(), points: off },
+        ],
+    }
+}
+
+/// **Figure 3** — fixed 1 µs; Shinjuku-Offload only; throughput as the
+/// outstanding-requests cap sweeps 1..=7, for 4 and 16 workers. The curve
+/// reports the *achieved* throughput under heavy offered load (the
+/// saturation plateau the paper plots).
+pub fn fig3(scale: Scale) -> Figure {
+    let dist = ServiceDist::Fixed(SimDuration::from_micros(1));
+    let caps: Vec<u32> = (1..=7).collect();
+    let run_for = |workers: usize| -> Vec<RunMetrics> {
+        let results: Vec<RunMetrics> = sweep(
+            &caps.iter().map(|&c| c as f64).collect::<Vec<_>>(),
+            |cap| {
+                let cfg = OffloadConfig {
+                    time_slice: None,
+                    ..OffloadConfig::paper(workers, cap as u32)
+                };
+                // Offer well beyond any plateau so achieved == capacity.
+                let mut m = offload::run(scale.spec(2_500_000.0, dist), cfg);
+                // Re-purpose offered_rps to carry the x-axis value
+                // (outstanding requests) for reporting.
+                m.offered_rps = cap;
+                m
+            },
+        );
+        results
+    };
+    Figure {
+        id: "fig3".into(),
+        title: "fixed 1us; Offload saturated throughput vs outstanding cap (x = cap)".into(),
+        curves: vec![
+            Curve { label: "16 workers".into(), points: run_for(16) },
+            Curve { label: "4 workers".into(), points: run_for(4) },
+        ],
+    }
+}
+
+/// **Figure 4** — fixed 5 µs, preemption off; Shinjuku 3 workers vs
+/// Offload 4 workers (≤ 4 outstanding); p99 vs throughput to 700 kRPS.
+pub fn fig4(scale: Scale) -> Figure {
+    let dist = ServiceDist::Fixed(SimDuration::from_micros(5));
+    let loads = linspace(50_000.0, 700_000.0, scale.points(14));
+    let shin = sweep(&loads, |rps| {
+        shinjuku::run(scale.spec(rps, dist), ShinjukuConfig { workers: 3, time_slice: None, ..ShinjukuConfig::paper(3) })
+    });
+    let off = sweep(&loads, |rps| {
+        offload::run(
+            scale.spec(rps, dist),
+            OffloadConfig { time_slice: None, ..OffloadConfig::paper(4, 4) },
+        )
+    });
+    Figure {
+        id: "fig4".into(),
+        title: "fixed 5us, no preemption; Shinjuku 3w vs Offload 4w (cap 4)".into(),
+        curves: vec![
+            Curve { label: "Shinjuku".into(), points: shin },
+            Curve { label: "Shinjuku-Offload".into(), points: off },
+        ],
+    }
+}
+
+/// **Figure 5** — fixed 100 µs; Shinjuku 15 workers vs Offload 16 workers
+/// (≤ 2 outstanding); p99 vs throughput to 150 kRPS.
+pub fn fig5(scale: Scale) -> Figure {
+    let dist = ServiceDist::Fixed(SimDuration::from_micros(100));
+    let loads = linspace(20_000.0, 160_000.0, scale.points(15));
+    let shin = sweep(&loads, |rps| {
+        shinjuku::run(scale.spec(rps, dist), ShinjukuConfig { workers: 15, time_slice: None, ..ShinjukuConfig::paper(15) })
+    });
+    let off = sweep(&loads, |rps| {
+        offload::run(
+            scale.spec(rps, dist),
+            OffloadConfig { time_slice: None, ..OffloadConfig::paper(16, 2) },
+        )
+    });
+    Figure {
+        id: "fig5".into(),
+        title: "fixed 100us, no preemption; Shinjuku 15w vs Offload 16w (cap 2)".into(),
+        curves: vec![
+            Curve { label: "Shinjuku".into(), points: shin },
+            Curve { label: "Shinjuku-Offload".into(), points: off },
+        ],
+    }
+}
+
+/// **Figure 6** — fixed 1 µs; Shinjuku 15 workers vs Offload 16 workers
+/// (≤ 5 outstanding); p99 vs throughput to 4 MRPS. The offload's ARM
+/// dispatcher is the bottleneck; Shinjuku "greatly outperforms".
+pub fn fig6(scale: Scale) -> Figure {
+    let dist = ServiceDist::Fixed(SimDuration::from_micros(1));
+    let loads = linspace(250_000.0, 4_000_000.0, scale.points(16));
+    let shin = sweep(&loads, |rps| {
+        shinjuku::run(scale.spec(rps, dist), ShinjukuConfig { workers: 15, time_slice: None, ..ShinjukuConfig::paper(15) })
+    });
+    let off = sweep(&loads, |rps| {
+        offload::run(
+            scale.spec(rps, dist),
+            OffloadConfig { time_slice: None, ..OffloadConfig::paper(16, 5) },
+        )
+    });
+    Figure {
+        id: "fig6".into(),
+        title: "fixed 1us, no preemption; Shinjuku 15w vs Offload 16w (cap 5)".into(),
+        curves: vec![
+            Curve { label: "Shinjuku".into(), points: shin },
+            Curve { label: "Shinjuku-Offload".into(), points: off },
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::{knee_throughput, peak_throughput};
+
+    #[test]
+    fn fig2_shape_offload_extends_further() {
+        let f = fig2(Scale::Quick);
+        let slo = SimDuration::from_micros(500);
+        let shin = knee_throughput(&f.curves[0].points, slo);
+        let off = knee_throughput(&f.curves[1].points, slo);
+        assert!(
+            off > shin,
+            "offload (4w) should sustain more bimodal load than shinjuku (3w): {off:.0} vs {shin:.0}"
+        );
+    }
+
+    #[test]
+    fn fig3_shape_throughput_rises_then_plateaus() {
+        let f = fig3(Scale::Quick);
+        let w16 = &f.curves[0].points;
+        let w4 = &f.curves[1].points;
+
+        // 4 workers: the queuing optimization must raise throughput by a
+        // large factor before leveling out (the paper reports +250%; our
+        // calibrated round trip gives roughly +150–200%).
+        let first4 = w4.first().unwrap().achieved_rps;
+        let peak4 = peak_throughput(w4);
+        assert!(
+            peak4 > first4 * 1.5,
+            "4 workers: cap must raise throughput a lot ({first4:.0} -> {peak4:.0})"
+        );
+        let last4 = w4.last().unwrap().achieved_rps;
+        let second_last4 = w4[w4.len() - 2].achieved_rps;
+        assert!(
+            (last4 - second_last4).abs() / last4 < 0.10,
+            "4 workers: should level out ({second_last4:.0} vs {last4:.0})"
+        );
+
+        // 16 workers: monotone non-decreasing (within noise) and reaching
+        // the plateau at a *lower* cap than 4 workers — with 16 concurrent
+        // requests the 5.1us round trip is already hidden, so the curve
+        // starts near the ARM TX plateau. (The paper's +88% implies a much
+        // larger effective round trip in the prototype; see EXPERIMENTS.md.)
+        let plateau16 = peak_throughput(w16);
+        let plateau4 = peak_throughput(w4);
+        for pair in w16.windows(2) {
+            assert!(
+                pair[1].achieved_rps > pair[0].achieved_rps * 0.93,
+                "16 workers: throughput must not collapse as cap grows"
+            );
+        }
+        assert!(
+            (plateau16 - plateau4).abs() / plateau4 < 0.15,
+            "both worker counts hit the same ARM dispatcher plateau: {plateau16:.0} vs {plateau4:.0}"
+        );
+        let reach = |pts: &[RunMetrics], plateau: f64| {
+            pts.iter()
+                .position(|m| m.achieved_rps >= 0.95 * plateau)
+                .unwrap()
+                + 1
+        };
+        assert!(
+            reach(w16, plateau16) <= reach(w4, plateau4),
+            "16 workers should plateau at a lower cap"
+        );
+    }
+
+    #[test]
+    fn fig4_shape_offload_wins_with_extra_worker() {
+        let f = fig4(Scale::Quick);
+        let slo = SimDuration::from_micros(400);
+        let shin = knee_throughput(&f.curves[0].points, slo);
+        let off = knee_throughput(&f.curves[1].points, slo);
+        assert!(
+            off > shin * 1.1,
+            "4 workers should beat 3 on 5us requests: {off:.0} vs {shin:.0}"
+        );
+    }
+
+    #[test]
+    fn fig6_shape_shinjuku_greatly_outperforms() {
+        let f = fig6(Scale::Quick);
+        let shin_peak = peak_throughput(&f.curves[0].points);
+        let off_peak = peak_throughput(&f.curves[1].points);
+        assert!(
+            shin_peak > off_peak * 1.8,
+            "host dispatcher should dwarf the ARM dispatcher on 1us requests: {shin_peak:.0} vs {off_peak:.0}"
+        );
+    }
+}

@@ -1,0 +1,55 @@
+//! # experiments — the paper's evaluation, regenerable
+//!
+//! One module per experiment class:
+//!
+//! * [`figures`] — Figures 2–6 exactly as captioned in §4.
+//! * [`microbench`] — the paper's inline numbers (§1, §2.2, §3.3, §3.4.4).
+//! * [`ablation`] — the §5.1/§5.2 proposals quantified (comm path,
+//!   preemption path, DDIO placement) plus the §2.1 baseline comparison.
+//! * [`extensions`] — further claims made measurable: multi-dispatcher
+//!   scaling (§2.2(3)), Elastic RSS (§5.1(1)), the slice-length trade,
+//!   programmable policies (§5.1(4)), heavier-tailed dispersion,
+//!   dual-socket DDIO, JIT pacing, worker scaling.
+//! * [`feedback_gap`] — the titular isolation experiment: scheduling
+//!   quality as a pure function of feedback-path latency.
+//! * [`sweep`] / [`report`] — the load-sweep driver and table/CSV output.
+//!
+//! Each figure has a binary (`cargo run --release -p experiments --bin
+//! fig2` …) that prints the table and writes `results/<id>.csv`; `--bin
+//! all` regenerates everything.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod extensions;
+pub mod feedback_gap;
+pub mod figures;
+pub mod microbench;
+pub mod plot;
+pub mod report;
+pub mod sweep;
+
+pub use figures::Scale;
+pub use report::{Curve, Figure};
+
+/// Default output directory for CSV results, relative to the workspace.
+pub fn results_dir() -> std::path::PathBuf {
+    std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("results")
+}
+
+/// Print a figure's table and persist its CSV, returning the CSV path.
+/// With `--plot` in the process arguments, also renders an ASCII chart.
+pub fn emit(figure: &Figure) -> std::path::PathBuf {
+    println!("{}", figure.table());
+    if std::env::args().any(|a| a == "--plot") {
+        println!("{}", plot::ascii(figure, 64, 16));
+    }
+    let path = figure
+        .write_csv(&results_dir())
+        .expect("writing results CSV");
+    println!("wrote {}\n", path.display());
+    path
+}

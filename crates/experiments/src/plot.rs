@@ -1,0 +1,164 @@
+//! Terminal plots: render a [`Figure`]'s latency-throughput curves as an
+//! ASCII chart, so `cargo run --bin fig6 -- --plot` shows the paper's
+//! figure shape without leaving the terminal.
+//!
+//! The y-axis is log-scaled p99 latency (tails span orders of magnitude),
+//! the x-axis is offered load; one glyph per curve.
+
+use crate::report::Figure;
+
+/// Glyphs assigned to curves, in order.
+const GLYPHS: [char; 6] = ['o', 'x', '+', '*', '#', '@'];
+
+/// Render the figure as an ASCII chart of p99 (log y) vs offered load.
+/// `width`/`height` are the plot-area dimensions in characters.
+pub fn ascii(figure: &Figure, width: usize, height: usize) -> String {
+    assert!(width >= 16 && height >= 4, "plot area too small");
+    let mut xs: Vec<f64> = Vec::new();
+    let mut ys: Vec<f64> = Vec::new();
+    for c in &figure.curves {
+        for m in &c.points {
+            if m.p99.as_nanos() > 0 {
+                xs.push(m.offered_rps);
+                ys.push(m.p99.as_micros_f64());
+            }
+        }
+    }
+    if xs.is_empty() {
+        return format!("{} — no data\n", figure.id);
+    }
+    let (x_lo, x_hi) = bounds(&xs);
+    let (y_lo, y_hi) = bounds(&ys);
+    let (ly_lo, ly_hi) = (y_lo.max(1e-3).log10(), y_hi.max(1e-3).log10());
+    let ly_span = (ly_hi - ly_lo).max(1e-9);
+    let x_span = (x_hi - x_lo).max(1e-9);
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (ci, curve) in figure.curves.iter().enumerate() {
+        let glyph = GLYPHS[ci % GLYPHS.len()];
+        for m in &curve.points {
+            if m.p99.as_nanos() == 0 {
+                continue;
+            }
+            let x = ((m.offered_rps - x_lo) / x_span * (width - 1) as f64).round() as usize;
+            let ly = m.p99.as_micros_f64().max(1e-3).log10();
+            let y = ((ly - ly_lo) / ly_span * (height - 1) as f64).round() as usize;
+            let row = height - 1 - y.min(height - 1);
+            grid[row][x.min(width - 1)] = glyph;
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!("{} — {}\n", figure.id, figure.title));
+    out.push_str(&format!("p99 (us, log scale) {:>width$.1}\n", y_hi, width = 10));
+    for (i, row) in grid.iter().enumerate() {
+        // Left gutter: y tick at top, middle, bottom.
+        let tick = if i == 0 {
+            format!("{:>9.1} |", y_hi)
+        } else if i == height - 1 {
+            format!("{:>9.1} |", y_lo)
+        } else if i == height / 2 {
+            let mid = 10f64.powf(ly_lo + ly_span / 2.0);
+            format!("{:>9.1} |", mid)
+        } else {
+            format!("{:>9} |", "")
+        };
+        out.push_str(&tick);
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>10} +{}\n", "", "-".repeat(width)));
+    out.push_str(&format!(
+        "{:>10}  {:<w2$}{:>w2$}\n",
+        "",
+        format!("{:.0}", x_lo),
+        format!("{:.0} offered rps", x_hi),
+        w2 = width / 2
+    ));
+    for (ci, c) in figure.curves.iter().enumerate() {
+        out.push_str(&format!("  {} = {}\n", GLYPHS[ci % GLYPHS.len()], c.label));
+    }
+    out
+}
+
+fn bounds(v: &[f64]) -> (f64, f64) {
+    let lo = v.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Curve;
+    use sim_core::SimDuration;
+    use workload::RunMetrics;
+
+    fn metrics(offered: f64, p99_us: u64) -> RunMetrics {
+        RunMetrics {
+            offered_rps: offered,
+            achieved_rps: offered,
+            p50: SimDuration::from_micros(5),
+            p99: SimDuration::from_micros(p99_us),
+            p999: SimDuration::from_micros(p99_us * 2),
+            p99_short: SimDuration::from_micros(p99_us),
+            p99_long: SimDuration::from_micros(p99_us * 2),
+            mean: SimDuration::from_micros(6),
+            completed: 1000,
+            dropped: 0,
+            preemptions: 0,
+            worker_utilization: 0.5,
+        }
+    }
+
+    fn figure() -> Figure {
+        Figure {
+            id: "figX".into(),
+            title: "test".into(),
+            curves: vec![
+                Curve {
+                    label: "A".into(),
+                    points: vec![metrics(1e5, 10), metrics(2e5, 15), metrics(3e5, 500)],
+                },
+                Curve {
+                    label: "B".into(),
+                    points: vec![metrics(1e5, 12), metrics(2e5, 13), metrics(3e5, 20)],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn chart_contains_glyphs_and_legend() {
+        let s = ascii(&figure(), 40, 12);
+        assert!(s.contains('o'), "{s}");
+        assert!(s.contains('x'), "{s}");
+        assert!(s.contains("o = A"));
+        assert!(s.contains("x = B"));
+        assert!(s.contains("offered rps"));
+    }
+
+    #[test]
+    fn exploding_tail_lands_on_the_top_row() {
+        let s = ascii(&figure(), 40, 12);
+        let rows: Vec<&str> = s.lines().collect();
+        // Row index 2 is the top of the plot area (after two header lines).
+        let top_plot_row = rows[2];
+        assert!(
+            top_plot_row.contains('o'),
+            "the 500us point should be at the top: {s}"
+        );
+    }
+
+    #[test]
+    fn empty_figure_degrades_gracefully() {
+        let f = Figure { id: "e".into(), title: "t".into(), curves: vec![] };
+        assert!(ascii(&f, 40, 10).contains("no data"));
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_plot_area_rejected() {
+        let _ = ascii(&figure(), 4, 2);
+    }
+}

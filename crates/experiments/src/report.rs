@@ -1,0 +1,183 @@
+//! Experiment output: aligned tables on stdout and CSV files on disk.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use workload::RunMetrics;
+
+/// One labelled latency-throughput curve (one line in a paper figure).
+#[derive(Debug, Clone)]
+pub struct Curve {
+    /// Legend label, e.g. "Shinjuku-Offload".
+    pub label: String,
+    /// Sweep results in offered-load order.
+    pub points: Vec<RunMetrics>,
+}
+
+/// A complete figure: several curves over the same offered loads.
+#[derive(Debug, Clone)]
+pub struct Figure {
+    /// Figure identifier, e.g. "fig2".
+    pub id: String,
+    /// Human title echoing the paper's caption.
+    pub title: String,
+    /// The curves.
+    pub curves: Vec<Curve>,
+}
+
+impl Figure {
+    /// Render an aligned text table: one row per offered load, achieved
+    /// throughput and p99 per curve.
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "## {} — {}", self.id, self.title);
+        let _ = write!(out, "{:>14}", "offered_rps");
+        for c in &self.curves {
+            let _ = write!(out, " | {:>14} {:>12}", format!("{}_rps", short(&c.label)), format!("{}_p99us", short(&c.label)));
+        }
+        let _ = writeln!(out);
+        let rows = self.curves.iter().map(|c| c.points.len()).max().unwrap_or(0);
+        for i in 0..rows {
+            let offered = self
+                .curves
+                .iter()
+                .find_map(|c| c.points.get(i).map(|m| m.offered_rps))
+                .unwrap_or(0.0);
+            let _ = write!(out, "{offered:>14.0}");
+            for c in &self.curves {
+                match c.points.get(i) {
+                    Some(m) => {
+                        let _ = write!(
+                            out,
+                            " | {:>14.0} {:>12.1}",
+                            m.achieved_rps,
+                            m.p99.as_micros_f64()
+                        );
+                    }
+                    None => {
+                        let _ = write!(out, " | {:>14} {:>12}", "-", "-");
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Render the figure as CSV.
+    pub fn csv(&self) -> String {
+        let mut out = String::from("curve,offered_rps,achieved_rps,p50_us,p99_us,p999_us,p99_short_us,p99_long_us,mean_us,completed,dropped,preemptions,worker_utilization\n");
+        for c in &self.curves {
+            for m in &c.points {
+                let _ = writeln!(
+                    out,
+                    "{},{:.0},{:.0},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{},{},{},{:.4}",
+                    c.label,
+                    m.offered_rps,
+                    m.achieved_rps,
+                    m.p50.as_micros_f64(),
+                    m.p99.as_micros_f64(),
+                    m.p999.as_micros_f64(),
+                    m.p99_short.as_micros_f64(),
+                    m.p99_long.as_micros_f64(),
+                    m.mean.as_micros_f64(),
+                    m.completed,
+                    m.dropped,
+                    m.preemptions,
+                    m.worker_utilization,
+                );
+            }
+        }
+        out
+    }
+
+    /// Write the CSV under `dir/<id>.csv`, creating the directory.
+    pub fn write_csv(&self, dir: &Path) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.csv", self.id));
+        std::fs::write(&path, self.csv())?;
+        Ok(path)
+    }
+}
+
+/// Reduce a label to a column-friendly slug (alphanumerics only, but
+/// never truncated into ambiguity: "Shinjuku" and "Shinjuku-Offload"
+/// must stay distinct).
+fn short(label: &str) -> String {
+    label
+        .chars()
+        .filter(|c| c.is_ascii_alphanumeric())
+        .collect::<String>()
+        .to_lowercase()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::SimDuration;
+
+    fn metrics(offered: f64) -> RunMetrics {
+        RunMetrics {
+            offered_rps: offered,
+            achieved_rps: offered,
+            p50: SimDuration::from_micros(5),
+            p99: SimDuration::from_micros(20),
+            p999: SimDuration::from_micros(40),
+            p99_short: SimDuration::from_micros(18),
+            p99_long: SimDuration::from_micros(40),
+            mean: SimDuration::from_micros(7),
+            completed: 100,
+            dropped: 0,
+            preemptions: 3,
+            worker_utilization: 0.42,
+        }
+    }
+
+    fn figure() -> Figure {
+        Figure {
+            id: "figX".into(),
+            title: "test figure".into(),
+            curves: vec![
+                Curve { label: "Shinjuku".into(), points: vec![metrics(1e5), metrics(2e5)] },
+                Curve { label: "Shinjuku-Offload".into(), points: vec![metrics(1e5), metrics(2e5)] },
+            ],
+        }
+    }
+
+    #[test]
+    fn table_contains_all_points() {
+        let t = figure().table();
+        assert!(t.contains("figX"));
+        assert!(t.contains("100000"));
+        assert!(t.contains("200000"));
+        assert!(t.contains("20.0"), "p99 in us: {t}");
+    }
+
+    #[test]
+    fn csv_round_trips_fields() {
+        let c = figure().csv();
+        let lines: Vec<&str> = c.lines().collect();
+        assert_eq!(lines.len(), 1 + 4, "header + 4 rows");
+        assert!(lines[0].starts_with("curve,offered_rps"));
+        assert!(lines[1].starts_with("Shinjuku,100000"));
+        assert!(lines[1].contains(",0.4200"));
+    }
+
+    #[test]
+    fn write_csv_creates_file() {
+        let dir = std::env::temp_dir().join("mindgap-report-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = figure().write_csv(&dir).unwrap();
+        let content = std::fs::read_to_string(path).unwrap();
+        assert!(content.contains("Shinjuku-Offload"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn uneven_curves_render_dashes() {
+        let mut f = figure();
+        f.curves[1].points.pop();
+        let t = f.table();
+        assert!(t.contains('-'));
+    }
+}

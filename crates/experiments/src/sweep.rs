@@ -1,0 +1,195 @@
+//! Load-sweep driver: run one system over a range of offered loads, in
+//! parallel across load points, preserving per-point determinism.
+
+use sim_core::stats::Summary;
+use workload::{RunMetrics, WorkloadSpec};
+
+/// Run `f` for every load in `loads_rps`, in parallel, returning results
+/// in input order. Each point is an independent, seeded simulation, so
+/// parallelism does not perturb results.
+pub fn sweep<F>(loads_rps: &[f64], f: F) -> Vec<RunMetrics>
+where
+    F: Fn(f64) -> RunMetrics + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let mut results: Vec<Option<RunMetrics>> = (0..loads_rps.len()).map(|_| None).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results_mx = std::sync::Mutex::new(&mut results);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(loads_rps.len()) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= loads_rps.len() {
+                    break;
+                }
+                let m = f(loads_rps[i]);
+                results_mx.lock().unwrap()[i] = Some(m);
+            });
+        }
+    });
+
+    results.into_iter().map(|r| r.expect("all points computed")).collect()
+}
+
+/// Replication across seeds: run `f` on `spec` under `n_seeds` distinct
+/// seeds (derived from `spec.seed`), returning the seed-averaged metrics
+/// plus the coefficient of variation of the p99 — the error bar a careful
+/// reproduction reports. Percentile averaging across replicas is the
+/// standard display convention; the CV tells you when it is hiding
+/// variance.
+pub fn replicate<F>(spec: WorkloadSpec, n_seeds: u64, f: F) -> (RunMetrics, f64)
+where
+    F: Fn(WorkloadSpec) -> RunMetrics + Sync,
+{
+    assert!(n_seeds >= 1, "need at least one replica");
+    let seeds: Vec<f64> = (0..n_seeds).map(|i| i as f64).collect();
+    let runs = sweep(&seeds, |i| {
+        let mut s = spec;
+        s.seed = spec.seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9).max(1);
+        f(s)
+    });
+    let mut achieved = Summary::new();
+    let mut p50 = Summary::new();
+    let mut p99 = Summary::new();
+    let mut p999 = Summary::new();
+    let mut mean_l = Summary::new();
+    let mut util = Summary::new();
+    let mut completed = 0u64;
+    let mut dropped = 0u64;
+    let mut preemptions = 0u64;
+    for m in &runs {
+        achieved.record(m.achieved_rps);
+        p50.record(m.p50.as_nanos() as f64);
+        p99.record(m.p99.as_nanos() as f64);
+        p999.record(m.p999.as_nanos() as f64);
+        mean_l.record(m.mean.as_nanos() as f64);
+        util.record(m.worker_utilization);
+        completed += m.completed;
+        dropped += m.dropped;
+        preemptions += m.preemptions;
+    }
+    let d = |s: &Summary| sim_core::SimDuration::from_nanos(s.mean() as u64);
+    let cv = if p99.mean() > 0.0 { p99.std_dev() / p99.mean() } else { 0.0 };
+    (
+        RunMetrics {
+            offered_rps: spec.offered_rps,
+            achieved_rps: achieved.mean(),
+            p50: d(&p50),
+            p99: d(&p99),
+            p999: d(&p999),
+            p99_short: runs[0].p99_short,
+            p99_long: runs[0].p99_long,
+            mean: d(&mean_l),
+            completed,
+            dropped,
+            preemptions,
+            worker_utilization: util.mean(),
+        },
+        cv,
+    )
+}
+
+/// Evenly spaced loads from `lo` to `hi` inclusive, `n >= 2` points.
+pub fn linspace(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    assert!(n >= 2, "need at least two points");
+    (0..n).map(|i| lo + (hi - lo) * i as f64 / (n - 1) as f64).collect()
+}
+
+/// The highest achieved throughput across a sweep (the "plateau" value
+/// plotted by Figure 3 style experiments).
+pub fn peak_throughput(results: &[RunMetrics]) -> f64 {
+    results.iter().map(|m| m.achieved_rps).fold(0.0, f64::max)
+}
+
+/// The knee of a latency-throughput curve: the highest offered load whose
+/// p99 stays at or below `slo` and which is not saturated. Returns the
+/// achieved throughput at that point, or 0 if every point violates.
+pub fn knee_throughput(results: &[RunMetrics], slo: sim_core::SimDuration) -> f64 {
+    results
+        .iter()
+        .filter(|m| m.p99 <= slo && !m.saturated(0.03))
+        .map(|m| m.achieved_rps)
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::SimDuration;
+
+    fn fake(offered: f64) -> RunMetrics {
+        RunMetrics {
+            offered_rps: offered,
+            achieved_rps: offered.min(1000.0),
+            p50: SimDuration::from_micros(5),
+            p99: SimDuration::from_micros(if offered > 800.0 { 500 } else { 20 }),
+            p999: SimDuration::from_micros(40),
+            p99_short: SimDuration::from_micros(15),
+            p99_long: SimDuration::from_micros(40),
+            mean: SimDuration::from_micros(8),
+            completed: offered as u64,
+            dropped: 0,
+            preemptions: 0,
+            worker_utilization: 0.5,
+        }
+    }
+
+    #[test]
+    fn sweep_preserves_order() {
+        let loads = linspace(100.0, 1000.0, 10);
+        let results = sweep(&loads, fake);
+        assert_eq!(results.len(), 10);
+        for (l, m) in loads.iter().zip(&results) {
+            assert_eq!(m.offered_rps, *l);
+        }
+    }
+
+    #[test]
+    fn linspace_endpoints() {
+        let xs = linspace(0.0, 100.0, 5);
+        assert_eq!(xs, vec![0.0, 25.0, 50.0, 75.0, 100.0]);
+    }
+
+    #[test]
+    fn peak_and_knee() {
+        let results = sweep(&linspace(100.0, 2000.0, 20), fake);
+        assert_eq!(peak_throughput(&results), 1000.0);
+        let knee = knee_throughput(&results, SimDuration::from_micros(100));
+        assert!(knee <= 800.0 && knee > 0.0, "knee {knee}");
+    }
+
+    #[test]
+    #[should_panic(expected = "two points")]
+    fn linspace_rejects_degenerate() {
+        let _ = linspace(0.0, 1.0, 1);
+    }
+
+    #[test]
+    fn replication_averages_and_reports_cv() {
+        use sim_core::SimDuration;
+        use workload::ServiceDist;
+        let spec = WorkloadSpec {
+            offered_rps: 150_000.0,
+            dist: ServiceDist::paper_bimodal(),
+            body_len: 64,
+            warmup: SimDuration::from_millis(1),
+            measure: SimDuration::from_millis(8),
+            seed: 5,
+        };
+        let (m, cv) = replicate(spec, 4, |s| {
+            systems::offload::run(s, systems::offload::OffloadConfig::paper(4, 4))
+        });
+        assert!(m.completed > 3000, "all replicas contribute completions");
+        assert!(!m.saturated(0.05), "{}", m.row());
+        assert!((0.0..0.5).contains(&cv), "p99 CV {cv} should be modest at light load");
+        // Replication is itself deterministic.
+        let (m2, cv2) = replicate(spec, 4, |s| {
+            systems::offload::run(s, systems::offload::OffloadConfig::paper(4, 4))
+        });
+        assert_eq!(m.p99, m2.p99);
+        assert_eq!(cv, cv2);
+    }
+}

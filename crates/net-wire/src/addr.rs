@@ -1,0 +1,269 @@
+//! Link-layer and network-layer addresses.
+
+use core::fmt;
+use core::str::FromStr;
+
+use crate::WireError;
+
+/// A 48-bit Ethernet MAC address.
+///
+/// In this system MAC addresses are load-bearing: the Stingray steers each
+/// packet to the host-CPU or ARM-CPU interface — and, with SR-IOV, to a
+/// specific worker's virtual function — purely on the destination MAC
+/// (paper §3.3–§3.4.2).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct EthernetAddress(pub [u8; 6]);
+
+impl EthernetAddress {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: EthernetAddress = EthernetAddress([0xff; 6]);
+
+    /// Construct from raw octets.
+    pub const fn new(a: u8, b: u8, c: u8, d: u8, e: u8, f: u8) -> Self {
+        EthernetAddress([a, b, c, d, e, f])
+    }
+
+    /// Parse from a big-endian byte slice.
+    pub fn from_bytes(data: &[u8]) -> Self {
+        let mut bytes = [0u8; 6];
+        bytes.copy_from_slice(data);
+        EthernetAddress(bytes)
+    }
+
+    /// The octets of the address.
+    pub const fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// True for the broadcast address.
+    pub fn is_broadcast(&self) -> bool {
+        *self == Self::BROADCAST
+    }
+
+    /// True for group (multicast) addresses, broadcast included.
+    pub fn is_multicast(&self) -> bool {
+        self.0[0] & 0x01 != 0
+    }
+
+    /// True for a unicast, non-zero address.
+    pub fn is_unicast(&self) -> bool {
+        !self.is_multicast() && self.0 != [0; 6]
+    }
+
+    /// True if the locally-administered bit is set.
+    pub fn is_local(&self) -> bool {
+        self.0[0] & 0x02 != 0
+    }
+}
+
+impl fmt::Display for EthernetAddress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            b[0], b[1], b[2], b[3], b[4], b[5]
+        )
+    }
+}
+
+impl fmt::Debug for EthernetAddress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl FromStr for EthernetAddress {
+    type Err = WireError;
+
+    fn from_str(s: &str) -> Result<Self, WireError> {
+        let mut bytes = [0u8; 6];
+        let mut parts = s.split(':');
+        for byte in &mut bytes {
+            let p = parts.next().ok_or(WireError::Malformed)?;
+            *byte = u8::from_str_radix(p, 16).map_err(|_| WireError::Malformed)?;
+        }
+        if parts.next().is_some() {
+            return Err(WireError::Malformed);
+        }
+        Ok(EthernetAddress(bytes))
+    }
+}
+
+/// A 32-bit IPv4 address.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Ipv4Address(pub [u8; 4]);
+
+impl Ipv4Address {
+    /// The unspecified address `0.0.0.0`.
+    pub const UNSPECIFIED: Ipv4Address = Ipv4Address([0; 4]);
+    /// The limited-broadcast address `255.255.255.255`.
+    pub const BROADCAST: Ipv4Address = Ipv4Address([0xff; 4]);
+
+    /// Construct from dotted-quad octets.
+    pub const fn new(a: u8, b: u8, c: u8, d: u8) -> Self {
+        Ipv4Address([a, b, c, d])
+    }
+
+    /// Parse from a big-endian byte slice.
+    pub fn from_bytes(data: &[u8]) -> Self {
+        let mut bytes = [0u8; 4];
+        bytes.copy_from_slice(data);
+        Ipv4Address(bytes)
+    }
+
+    /// The octets of the address.
+    pub const fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Big-endian numeric value — handy as RSS hash input.
+    pub fn to_u32(&self) -> u32 {
+        u32::from_be_bytes(self.0)
+    }
+
+    /// True for the limited-broadcast address.
+    pub fn is_broadcast(&self) -> bool {
+        *self == Self::BROADCAST
+    }
+
+    /// True for class-D multicast addresses.
+    pub fn is_multicast(&self) -> bool {
+        self.0[0] & 0xf0 == 0xe0
+    }
+
+    /// True for `0.0.0.0`.
+    pub fn is_unspecified(&self) -> bool {
+        *self == Self::UNSPECIFIED
+    }
+
+    /// True for addresses usable as a unicast source/destination.
+    pub fn is_unicast(&self) -> bool {
+        !self.is_broadcast() && !self.is_multicast() && !self.is_unspecified()
+    }
+}
+
+impl fmt::Display for Ipv4Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0;
+        write!(f, "{}.{}.{}.{}", b[0], b[1], b[2], b[3])
+    }
+}
+
+impl fmt::Debug for Ipv4Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl FromStr for Ipv4Address {
+    type Err = WireError;
+
+    fn from_str(s: &str) -> Result<Self, WireError> {
+        let mut bytes = [0u8; 4];
+        let mut parts = s.split('.');
+        for byte in &mut bytes {
+            let p = parts.next().ok_or(WireError::Malformed)?;
+            *byte = p.parse().map_err(|_| WireError::Malformed)?;
+        }
+        if parts.next().is_some() {
+            return Err(WireError::Malformed);
+        }
+        Ok(Ipv4Address(bytes))
+    }
+}
+
+/// A UDP/IPv4 endpoint (address, port) — the 2-tuple half of the RSS 4-tuple.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Endpoint {
+    /// IPv4 address.
+    pub addr: Ipv4Address,
+    /// UDP port.
+    pub port: u16,
+}
+
+impl Endpoint {
+    /// Construct an endpoint.
+    pub const fn new(addr: Ipv4Address, port: u16) -> Self {
+        Endpoint { addr, port }
+    }
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.addr, self.port)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mac_display_and_parse_round_trip() {
+        let mac = EthernetAddress::new(0x02, 0x00, 0x5e, 0x10, 0x00, 0x01);
+        let s = mac.to_string();
+        assert_eq!(s, "02:00:5e:10:00:01");
+        assert_eq!(s.parse::<EthernetAddress>().unwrap(), mac);
+    }
+
+    #[test]
+    fn mac_classification() {
+        assert!(EthernetAddress::BROADCAST.is_broadcast());
+        assert!(EthernetAddress::BROADCAST.is_multicast());
+        let uni = EthernetAddress::new(0x02, 0, 0, 0, 0, 1);
+        assert!(uni.is_unicast());
+        assert!(uni.is_local());
+        assert!(!uni.is_multicast());
+        let multi = EthernetAddress::new(0x01, 0, 0x5e, 0, 0, 1);
+        assert!(multi.is_multicast());
+        assert!(!multi.is_unicast());
+        assert!(!EthernetAddress::default().is_unicast());
+    }
+
+    #[test]
+    fn mac_parse_rejects_garbage() {
+        assert!("".parse::<EthernetAddress>().is_err());
+        assert!("1:2:3".parse::<EthernetAddress>().is_err());
+        assert!("zz:00:00:00:00:00".parse::<EthernetAddress>().is_err());
+        assert!("00:00:00:00:00:00:00".parse::<EthernetAddress>().is_err());
+    }
+
+    #[test]
+    fn ipv4_display_and_parse_round_trip() {
+        let ip = Ipv4Address::new(10, 1, 2, 3);
+        assert_eq!(ip.to_string(), "10.1.2.3");
+        assert_eq!("10.1.2.3".parse::<Ipv4Address>().unwrap(), ip);
+        assert_eq!(ip.to_u32(), 0x0a010203);
+    }
+
+    #[test]
+    fn ipv4_classification() {
+        assert!(Ipv4Address::BROADCAST.is_broadcast());
+        assert!(Ipv4Address::new(224, 0, 0, 1).is_multicast());
+        assert!(Ipv4Address::UNSPECIFIED.is_unspecified());
+        assert!(Ipv4Address::new(192, 168, 0, 1).is_unicast());
+        assert!(!Ipv4Address::new(239, 255, 255, 255).is_unicast());
+    }
+
+    #[test]
+    fn ipv4_parse_rejects_garbage() {
+        assert!("10.1.2".parse::<Ipv4Address>().is_err());
+        assert!("10.1.2.3.4".parse::<Ipv4Address>().is_err());
+        assert!("10.1.2.256".parse::<Ipv4Address>().is_err());
+    }
+
+    #[test]
+    fn endpoint_display() {
+        let e = Endpoint::new(Ipv4Address::new(10, 0, 0, 1), 8080);
+        assert_eq!(e.to_string(), "10.0.0.1:8080");
+    }
+
+    #[test]
+    fn byte_round_trips() {
+        let mac = EthernetAddress::new(1, 2, 3, 4, 5, 6);
+        assert_eq!(EthernetAddress::from_bytes(mac.as_bytes()), mac);
+        let ip = Ipv4Address::new(9, 8, 7, 6);
+        assert_eq!(Ipv4Address::from_bytes(ip.as_bytes()), ip);
+    }
+}

@@ -1,0 +1,67 @@
+//! The Internet checksum (RFC 1071), shared by the IPv4 and UDP layers.
+
+/// Accumulate 16-bit one's-complement sums over `data` into `acc`.
+pub(crate) fn sum(mut acc: u32, data: &[u8]) -> u32 {
+    let mut chunks = data.chunks_exact(2);
+    for chunk in &mut chunks {
+        acc += u32::from(u16::from_be_bytes([chunk[0], chunk[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        acc += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    acc
+}
+
+/// Fold a 32-bit accumulator into the final 16-bit checksum field value.
+pub(crate) fn finish(mut acc: u32) -> u16 {
+    while acc >> 16 != 0 {
+        acc = (acc & 0xffff) + (acc >> 16);
+    }
+    !(acc as u16)
+}
+
+/// Compute the Internet checksum of a byte slice.
+pub fn checksum(data: &[u8]) -> u16 {
+    finish(sum(0, data))
+}
+
+/// Verify a buffer whose checksum field is in place: the total must fold
+/// to zero.
+pub fn verify(data: &[u8]) -> bool {
+    finish(sum(0, data)) == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc1071_worked_example() {
+        // Example from RFC 1071 §3: 00 01 f2 03 f4 f5 f6 f7
+        let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        // Sum = 0x2ddf0 -> folded 0xddf2 -> complement 0x220d
+        assert_eq!(checksum(&data), 0x220d);
+    }
+
+    #[test]
+    fn odd_length_padding() {
+        // An odd trailing byte is padded with zero on the right.
+        assert_eq!(checksum(&[0xab]), !0xab00);
+    }
+
+    #[test]
+    fn verify_detects_corruption() {
+        let mut data = vec![0x45, 0x00, 0x00, 0x1c, 0x00, 0x00, 0x00, 0x00, 0x40, 0x11];
+        // Append the checksum of the data itself to make it self-verifying.
+        let c = checksum(&data);
+        data.extend_from_slice(&c.to_be_bytes());
+        assert!(verify(&data));
+        data[0] ^= 0x01;
+        assert!(!verify(&data));
+    }
+
+    #[test]
+    fn empty_checksum() {
+        assert_eq!(checksum(&[]), 0xffff);
+    }
+}

@@ -1,0 +1,228 @@
+//! Direct Data I/O cache-placement model.
+//!
+//! DDIO lets the NIC DMA packets straight into the LLC instead of DRAM
+//! (§5.2), but is restricted to a couple of LLC ways to avoid cache
+//! pollution. The paper's observation: because the informed scheduler
+//! guarantees at most one (or a small bounded number of) in-flight requests
+//! per core, packets could safely be placed even in the *L1* without
+//! filling it — a use case unlocked by NIC-side scheduling.
+//!
+//! The model answers one question with honest accounting: when the worker
+//! first touches a freshly DMA'd packet, how long does that access take?
+
+use sim_core::SimDuration;
+
+/// Where the NIC placed a packet's cache lines.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Placement {
+    /// Main memory: DDIO off or the DDIO way quota was exhausted.
+    Dram,
+    /// Last-level cache (classic DDIO).
+    Llc,
+    /// A core-private high-level cache (the §5.2 proposal).
+    L1,
+}
+
+/// Per-line first-access latencies (Xeon E5-class, §4 platform).
+#[derive(Clone, Copy, Debug)]
+pub struct AccessLatencies {
+    /// DRAM access.
+    pub dram: SimDuration,
+    /// LLC hit.
+    pub llc: SimDuration,
+    /// L1 hit.
+    pub l1: SimDuration,
+}
+
+impl Default for AccessLatencies {
+    fn default() -> Self {
+        AccessLatencies {
+            dram: SimDuration::from_nanos(90),
+            llc: SimDuration::from_nanos(20),
+            l1: SimDuration::from_nanos(2),
+        }
+    }
+}
+
+/// DDIO configuration and occupancy tracking.
+#[derive(Debug, Clone)]
+pub struct Ddio {
+    /// Whether DDIO is enabled at all.
+    pub enabled: bool,
+    /// Whether high-level-cache placement (the §5.2 extension) is allowed.
+    /// Safe only when the scheduler bounds in-flight requests per core.
+    pub allow_l1: bool,
+    /// Cache lines the DDIO way quota can hold concurrently.
+    pub llc_line_quota: usize,
+    /// Lines a single core's L1 can safely absorb per in-flight request
+    /// budget; beyond this, placement falls back to LLC.
+    pub l1_line_quota: usize,
+    latencies: AccessLatencies,
+    llc_resident: usize,
+    /// Per-core L1-resident line counts are tracked by the caller handing
+    /// us the current count; the model stays stateless across cores.
+    pub placements_dram: u64,
+    /// Packets placed in LLC.
+    pub placements_llc: u64,
+    /// Packets placed in L1.
+    pub placements_l1: u64,
+}
+
+impl Ddio {
+    /// Classic DDIO: enabled, LLC only, 2 ways of a 2.5 MiB/way LLC slice
+    /// (≈ 80k lines across the socket; we default to a deliberately small
+    /// quota so overload spills visibly).
+    pub fn classic(llc_line_quota: usize) -> Ddio {
+        Ddio {
+            enabled: true,
+            allow_l1: false,
+            llc_line_quota,
+            l1_line_quota: 512, // 32 KiB L1d
+            latencies: AccessLatencies::default(),
+            llc_resident: 0,
+            placements_dram: 0,
+            placements_llc: 0,
+            placements_l1: 0,
+        }
+    }
+
+    /// DDIO disabled: every packet lands in DRAM.
+    pub fn disabled() -> Ddio {
+        Ddio { enabled: false, ..Ddio::classic(0) }
+    }
+
+    /// The §5.2 design: L1 placement allowed because the NIC scheduler
+    /// bounds per-core in-flight requests.
+    pub fn informed_l1(llc_line_quota: usize) -> Ddio {
+        Ddio { allow_l1: true, ..Ddio::classic(llc_line_quota) }
+    }
+
+    /// Decide placement for a packet of `lines` cache lines destined to a
+    /// core that currently has `core_l1_lines` packet lines in its L1.
+    pub fn place(&mut self, lines: usize, core_l1_lines: usize) -> Placement {
+        if !self.enabled {
+            self.placements_dram += 1;
+            return Placement::Dram;
+        }
+        if self.allow_l1 && core_l1_lines + lines <= self.l1_line_quota {
+            self.placements_l1 += 1;
+            return Placement::L1;
+        }
+        if self.llc_resident + lines <= self.llc_line_quota {
+            self.llc_resident += lines;
+            self.placements_llc += 1;
+            Placement::Llc
+        } else {
+            self.placements_dram += 1;
+            Placement::Dram
+        }
+    }
+
+    /// Release a packet's LLC residency once the worker has consumed it.
+    pub fn release(&mut self, placement: Placement, lines: usize) {
+        if placement == Placement::Llc {
+            self.llc_resident = self.llc_resident.saturating_sub(lines);
+        }
+    }
+
+    /// First-touch cost for the worker to read a packet of `lines` lines
+    /// from `placement`. Only the latency-bound first line pays the full
+    /// trip; subsequent lines stream (we charge 1/4 of the lead latency).
+    pub fn first_touch(&self, placement: Placement, lines: usize) -> SimDuration {
+        self.first_touch_from(placement, lines, SimDuration::ZERO)
+    }
+
+    /// [`Ddio::first_touch`] with a per-line interconnect penalty added —
+    /// the cross-socket case §1 warns about: DDIO preloaded the packet
+    /// into the NIC socket's LLC, but the dispatcher picked a worker on
+    /// the other socket, so every line crosses QPI/UPI.
+    pub fn first_touch_from(
+        &self,
+        placement: Placement,
+        lines: usize,
+        interconnect: SimDuration,
+    ) -> SimDuration {
+        let per_line = match placement {
+            Placement::Dram => self.latencies.dram,
+            Placement::Llc => self.latencies.llc,
+            Placement::L1 => self.latencies.l1,
+        } + interconnect;
+        if lines == 0 {
+            return SimDuration::ZERO;
+        }
+        per_line + per_line.mul_f64(0.25) * (lines as u64 - 1)
+    }
+
+    /// Lines currently resident under the LLC quota.
+    pub fn llc_resident(&self) -> usize {
+        self.llc_resident
+    }
+}
+
+/// Cache lines a packet of `bytes` occupies (64-byte lines).
+pub fn packet_lines(bytes: usize) -> usize {
+    bytes.div_ceil(64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_means_dram() {
+        let mut d = Ddio::disabled();
+        assert_eq!(d.place(3, 0), Placement::Dram);
+        assert_eq!(d.placements_dram, 1);
+    }
+
+    #[test]
+    fn classic_places_in_llc_until_quota() {
+        let mut d = Ddio::classic(10);
+        assert_eq!(d.place(4, 0), Placement::Llc);
+        assert_eq!(d.place(4, 0), Placement::Llc);
+        assert_eq!(d.llc_resident(), 8);
+        // Next 4-line packet exceeds the quota -> DRAM spill.
+        assert_eq!(d.place(4, 0), Placement::Dram);
+        d.release(Placement::Llc, 4);
+        assert_eq!(d.place(4, 0), Placement::Llc);
+    }
+
+    #[test]
+    fn informed_scheduler_unlocks_l1() {
+        let mut d = Ddio::informed_l1(10);
+        // One bounded in-flight packet fits the L1 quota.
+        assert_eq!(d.place(3, 0), Placement::L1);
+        // A core already flooded with packet lines falls back to LLC.
+        assert_eq!(d.place(3, 511), Placement::Llc);
+    }
+
+    #[test]
+    fn first_touch_orders_correctly() {
+        let d = Ddio::classic(100);
+        let lines = packet_lines(148);
+        let dram = d.first_touch(Placement::Dram, lines);
+        let llc = d.first_touch(Placement::Llc, lines);
+        let l1 = d.first_touch(Placement::L1, lines);
+        assert!(l1 < llc && llc < dram, "{l1} < {llc} < {dram}");
+        assert_eq!(d.first_touch(Placement::Dram, 0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn release_never_underflows() {
+        let mut d = Ddio::classic(10);
+        d.release(Placement::Llc, 99);
+        assert_eq!(d.llc_resident(), 0);
+        d.release(Placement::Dram, 5); // no-op
+        assert_eq!(d.llc_resident(), 0);
+    }
+
+    #[test]
+    fn packet_line_math() {
+        assert_eq!(packet_lines(0), 0);
+        assert_eq!(packet_lines(1), 1);
+        assert_eq!(packet_lines(64), 1);
+        assert_eq!(packet_lines(65), 2);
+        assert_eq!(packet_lines(148), 3);
+        assert_eq!(packet_lines(1024), 16);
+    }
+}

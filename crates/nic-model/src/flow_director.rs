@@ -1,0 +1,147 @@
+//! Intel Flow Director-style exact-match steering.
+//!
+//! MICA (§2.1) steers requests to cores with Flow Director: an exact-match
+//! table from flow identity (here, the UDP 4-tuple — MICA encodes the key
+//! partition in the destination port) to a specific RX queue. Unlike RSS
+//! there is no hashing ambiguity: a rule pins a flow to a core, which gives
+//! MICA its EREW partitioning but inherits RSS's blindness to load.
+
+use std::collections::HashMap;
+
+use net_wire::Endpoint;
+
+/// A flow signature: the UDP/IPv4 4-tuple.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct FlowKey {
+    /// Source endpoint.
+    pub src: Endpoint,
+    /// Destination endpoint.
+    pub dst: Endpoint,
+}
+
+/// An exact-match flow steering table with bounded capacity, like the
+/// 8K-entry perfect-match Flow Director tables in the 82599.
+#[derive(Debug)]
+pub struct FlowDirector {
+    rules: HashMap<FlowKey, u32>,
+    capacity: usize,
+    /// Packets matched by a rule.
+    pub hits: u64,
+    /// Packets that fell through to the default path.
+    pub misses: u64,
+}
+
+/// Outcome of attempting to install a rule.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum InstallResult {
+    /// New rule installed.
+    Installed,
+    /// An existing rule for the same flow was overwritten.
+    Replaced,
+    /// The table is full; rule rejected.
+    TableFull,
+}
+
+impl FlowDirector {
+    /// A table holding up to `capacity` rules.
+    pub fn new(capacity: usize) -> FlowDirector {
+        assert!(capacity > 0, "flow table capacity must be positive");
+        FlowDirector { rules: HashMap::new(), capacity, hits: 0, misses: 0 }
+    }
+
+    /// Install (or replace) a rule steering `key` to `queue`.
+    pub fn install(&mut self, key: FlowKey, queue: u32) -> InstallResult {
+        if let Some(q) = self.rules.get_mut(&key) {
+            *q = queue;
+            return InstallResult::Replaced;
+        }
+        if self.rules.len() >= self.capacity {
+            return InstallResult::TableFull;
+        }
+        self.rules.insert(key, queue);
+        InstallResult::Installed
+    }
+
+    /// Remove the rule for `key`, returning its queue if present.
+    pub fn remove(&mut self, key: &FlowKey) -> Option<u32> {
+        self.rules.remove(key)
+    }
+
+    /// Steer a packet: `Some(queue)` on a rule hit, `None` to fall through
+    /// to the default path (typically RSS).
+    pub fn steer(&mut self, key: &FlowKey) -> Option<u32> {
+        match self.rules.get(key) {
+            Some(&q) => {
+                self.hits += 1;
+                Some(q)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Number of installed rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True when no rules are installed.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use net_wire::Ipv4Address;
+
+    fn key(port: u16) -> FlowKey {
+        FlowKey {
+            src: Endpoint::new(Ipv4Address::new(10, 0, 0, 1), port),
+            dst: Endpoint::new(Ipv4Address::new(10, 0, 0, 2), 6000),
+        }
+    }
+
+    #[test]
+    fn install_and_steer() {
+        let mut fd = FlowDirector::new(16);
+        assert_eq!(fd.install(key(1), 3), InstallResult::Installed);
+        assert_eq!(fd.steer(&key(1)), Some(3));
+        assert_eq!(fd.steer(&key(2)), None);
+        assert_eq!(fd.hits, 1);
+        assert_eq!(fd.misses, 1);
+    }
+
+    #[test]
+    fn replace_updates_queue() {
+        let mut fd = FlowDirector::new(16);
+        fd.install(key(1), 3);
+        assert_eq!(fd.install(key(1), 5), InstallResult::Replaced);
+        assert_eq!(fd.steer(&key(1)), Some(5));
+        assert_eq!(fd.len(), 1);
+    }
+
+    #[test]
+    fn capacity_enforced_but_replacement_allowed_when_full() {
+        let mut fd = FlowDirector::new(2);
+        fd.install(key(1), 0);
+        fd.install(key(2), 1);
+        assert_eq!(fd.install(key(3), 2), InstallResult::TableFull);
+        // Replacing an existing rule still works at capacity.
+        assert_eq!(fd.install(key(2), 7), InstallResult::Replaced);
+        assert_eq!(fd.steer(&key(2)), Some(7));
+    }
+
+    #[test]
+    fn remove_frees_space() {
+        let mut fd = FlowDirector::new(1);
+        fd.install(key(1), 0);
+        assert_eq!(fd.remove(&key(1)), Some(0));
+        assert!(fd.is_empty());
+        assert_eq!(fd.install(key(2), 1), InstallResult::Installed);
+        assert_eq!(fd.remove(&key(9)), None);
+    }
+}

@@ -1,0 +1,161 @@
+//! RX/TX descriptor ring model.
+//!
+//! Every interface in the system — each worker's SR-IOV virtual function,
+//! the dispatcher's ARM-side interface, the external port — owns descriptor
+//! rings. A ring has a fixed descriptor count; when it is full the hardware
+//! drops the frame (tail drop), which is exactly the overload behaviour the
+//! queuing optimization (§3.4.5) must not trip over: the dispatcher stashes
+//! only a bounded number of outstanding requests in each worker's RX ring.
+//!
+//! The ring records an enqueue timestamp per frame so consumers can account
+//! HW-queueing delay separately from software processing.
+
+use std::collections::VecDeque;
+
+use bytes::Bytes;
+use sim_core::{SimDuration, SimTime};
+
+/// One queued frame with its hardware arrival timestamp.
+#[derive(Debug, Clone)]
+pub struct RxFrame {
+    /// The frame bytes (refcounted; cloning is cheap).
+    pub data: Bytes,
+    /// When the NIC placed the frame in the ring.
+    pub enqueued_at: SimTime,
+}
+
+/// A fixed-capacity descriptor ring with tail-drop semantics.
+#[derive(Debug)]
+pub struct Ring {
+    frames: VecDeque<RxFrame>,
+    capacity: usize,
+    /// Frames accepted.
+    pub enqueued: u64,
+    /// Frames dropped because the ring was full.
+    pub dropped: u64,
+    /// Occupancy high-water mark.
+    pub peak: usize,
+}
+
+impl Ring {
+    /// A ring with `capacity` descriptors (hardware commonly uses 512–4096).
+    pub fn new(capacity: usize) -> Ring {
+        assert!(capacity > 0, "ring capacity must be positive");
+        Ring { frames: VecDeque::with_capacity(capacity), capacity, enqueued: 0, dropped: 0, peak: 0 }
+    }
+
+    /// Hardware-side enqueue. Returns `false` (and counts a drop) when full.
+    pub fn push(&mut self, now: SimTime, data: Bytes) -> bool {
+        if self.frames.len() >= self.capacity {
+            self.dropped += 1;
+            return false;
+        }
+        self.frames.push_back(RxFrame { data, enqueued_at: now });
+        self.enqueued += 1;
+        self.peak = self.peak.max(self.frames.len());
+        true
+    }
+
+    /// Software-side dequeue of the oldest frame.
+    pub fn pop(&mut self) -> Option<RxFrame> {
+        self.frames.pop_front()
+    }
+
+    /// Burst dequeue of up to `max` frames (DPDK `rx_burst`).
+    pub fn pop_burst(&mut self, max: usize) -> Vec<RxFrame> {
+        let n = max.min(self.frames.len());
+        self.frames.drain(..n).collect()
+    }
+
+    /// Frames currently queued.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// True when no frames are queued.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Free descriptors.
+    pub fn free(&self) -> usize {
+        self.capacity - self.frames.len()
+    }
+
+    /// Queueing delay the head frame has experienced by `now`.
+    pub fn head_wait(&self, now: SimTime) -> Option<SimDuration> {
+        self.frames.front().map(|f| now.saturating_duration_since(f.enqueued_at))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(n: u8) -> Bytes {
+        Bytes::from(vec![n; 4])
+    }
+
+    fn us(n: u64) -> SimTime {
+        SimTime::from_micros(n)
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut r = Ring::new(4);
+        for i in 0..3 {
+            assert!(r.push(us(i as u64), frame(i)));
+        }
+        assert_eq!(r.pop().unwrap().data[0], 0);
+        assert_eq!(r.pop().unwrap().data[0], 1);
+        assert_eq!(r.pop().unwrap().data[0], 2);
+        assert!(r.pop().is_none());
+    }
+
+    #[test]
+    fn tail_drop_when_full() {
+        let mut r = Ring::new(2);
+        assert!(r.push(us(0), frame(0)));
+        assert!(r.push(us(0), frame(1)));
+        assert!(!r.push(us(0), frame(2)), "third frame dropped");
+        assert_eq!(r.dropped, 1);
+        assert_eq!(r.enqueued, 2);
+        assert_eq!(r.len(), 2);
+        // The queued frames are the first two, not the dropped one.
+        assert_eq!(r.pop().unwrap().data[0], 0);
+    }
+
+    #[test]
+    fn burst_dequeue() {
+        let mut r = Ring::new(8);
+        for i in 0..5 {
+            r.push(us(0), frame(i));
+        }
+        let burst = r.pop_burst(3);
+        assert_eq!(burst.len(), 3);
+        assert_eq!(burst[0].data[0], 0);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.pop_burst(10).len(), 2);
+        assert!(r.pop_burst(10).is_empty());
+    }
+
+    #[test]
+    fn head_wait_measures_hw_queueing() {
+        let mut r = Ring::new(4);
+        r.push(us(10), frame(0));
+        assert_eq!(r.head_wait(us(25)), Some(SimDuration::from_micros(15)));
+        r.pop();
+        assert_eq!(r.head_wait(us(25)), None);
+    }
+
+    #[test]
+    fn occupancy_accounting() {
+        let mut r = Ring::new(4);
+        r.push(us(0), frame(0));
+        r.push(us(0), frame(1));
+        r.pop();
+        r.push(us(0), frame(2));
+        assert_eq!(r.peak, 2);
+        assert_eq!(r.free(), 2);
+    }
+}

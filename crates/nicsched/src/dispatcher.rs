@@ -1,0 +1,454 @@
+//! The centralized, preemptive dispatcher — placement-independent.
+//!
+//! This is the logic the paper moves between silicon: request queuing,
+//! request selection, core selection, and the outstanding-requests cap of
+//! the queuing optimization (§3.4.5). `systems::shinjuku` runs it on a
+//! host core behind shared-memory queues; `systems::offload` runs it on
+//! the SmartNIC ARM cores behind packet I/O; `systems::ideal_nic` runs it
+//! in a line-rate ASIC model. The scheduling *semantics* are identical —
+//! which is precisely the paper's claim that only the placement and the
+//! feedback path change.
+//!
+//! The dispatcher is a pure decision structure: embeddings feed it
+//! arrivals and worker feedback, it returns [`Assignment`]s; the embedding
+//! charges compute time and transport latency for each decision.
+
+use sim_core::SimTime;
+
+use crate::policy::SchedPolicy;
+use crate::select::{CoreSelector, WorkerView};
+use crate::task::Task;
+
+/// A dispatch decision: send `task` to `worker`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Assignment {
+    /// Target worker index.
+    pub worker: usize,
+    /// The request to run.
+    pub task: Task,
+}
+
+/// Counters the embeddings export into run metrics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DispatchStats {
+    /// New requests admitted to the queue.
+    pub admitted: u64,
+    /// Assignments issued.
+    pub assigned: u64,
+    /// Completions processed.
+    pub completions: u64,
+    /// Preemption notifications processed (tasks re-queued).
+    pub requeued: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct WorkerState {
+    outstanding: u32,
+    last_req: Option<u64>,
+    idle_since: Option<SimTime>,
+}
+
+/// The centralized dispatcher state machine.
+///
+/// # Example
+///
+/// ```
+/// use nicsched::{Dispatcher, Fcfs, LeastOutstanding, Task};
+/// use sim_core::{SimDuration, SimTime};
+///
+/// // Two workers, up to two outstanding requests each (§3.4.5).
+/// let mut d = Dispatcher::new(2, 2, Fcfs::new(), LeastOutstanding);
+/// let t0 = SimTime::ZERO;
+/// let task = Task::new(1, 0, SimDuration::from_micros(5), t0, t0, 64);
+///
+/// let assignments = d.on_request(t0, task);
+/// assert_eq!(assignments.len(), 1);
+/// let a = assignments[0];
+///
+/// // The worker finishes; the dispatcher is ready for more.
+/// let next = d.on_done(SimTime::from_micros(10), a.worker, a.task.req_id);
+/// assert!(next.is_empty());
+/// assert_eq!(d.total_outstanding(), 0);
+/// ```
+#[derive(Debug)]
+pub struct Dispatcher<P, S> {
+    policy: P,
+    selector: S,
+    workers: Vec<WorkerState>,
+    outstanding_cap: u32,
+    /// Exported counters.
+    pub stats: DispatchStats,
+}
+
+impl<P: SchedPolicy, S: CoreSelector> Dispatcher<P, S> {
+    /// A dispatcher over `n_workers` workers, keeping at most
+    /// `outstanding_cap` requests outstanding per worker (1 = no stashing;
+    /// the paper finds 5 best for its 1 µs workload, §4.1).
+    pub fn new(n_workers: usize, outstanding_cap: u32, policy: P, selector: S) -> Self {
+        assert!(n_workers > 0, "dispatcher needs at least one worker");
+        assert!(outstanding_cap >= 1, "outstanding cap must be at least 1");
+        Dispatcher {
+            policy,
+            selector,
+            workers: vec![
+                WorkerState { outstanding: 0, last_req: None, idle_since: Some(SimTime::ZERO) };
+                n_workers
+            ],
+            outstanding_cap,
+            stats: DispatchStats::default(),
+        }
+    }
+
+    /// A new request arrived from the networking subsystem.
+    pub fn on_request(&mut self, now: SimTime, task: Task) -> Vec<Assignment> {
+        self.policy.enqueue(now, task);
+        self.stats.admitted += 1;
+        self.drain(now)
+    }
+
+    /// A worker reported finishing `req_id`.
+    pub fn on_done(&mut self, now: SimTime, worker: usize, req_id: u64) -> Vec<Assignment> {
+        self.stats.completions += 1;
+        let w = &mut self.workers[worker];
+        debug_assert!(w.outstanding > 0, "completion from a worker with nothing outstanding");
+        w.outstanding = w.outstanding.saturating_sub(1);
+        w.last_req = Some(req_id);
+        if w.outstanding == 0 {
+            w.idle_since = Some(now);
+        }
+        self.drain(now)
+    }
+
+    /// A worker reported preempting `task` (with `remaining` updated); the
+    /// task returns to the queue tail and may later run on *any* worker.
+    pub fn on_preempted(&mut self, now: SimTime, worker: usize, task: Task) -> Vec<Assignment> {
+        self.stats.requeued += 1;
+        let w = &mut self.workers[worker];
+        debug_assert!(w.outstanding > 0, "preemption from a worker with nothing outstanding");
+        w.outstanding = w.outstanding.saturating_sub(1);
+        w.last_req = Some(task.req_id);
+        if w.outstanding == 0 {
+            w.idle_since = Some(now);
+        }
+        self.policy.requeue(now, task);
+        self.drain(now)
+    }
+
+    /// Issue assignments while the queue is non-empty and a worker is
+    /// below the outstanding cap.
+    fn drain(&mut self, now: SimTime) -> Vec<Assignment> {
+        let mut out = Vec::new();
+        loop {
+            if self.policy.is_empty() {
+                break;
+            }
+            // Gather candidates below the cap.
+            let candidates: Vec<WorkerView> = self
+                .workers
+                .iter()
+                .enumerate()
+                .filter(|(_, w)| w.outstanding < self.outstanding_cap)
+                .map(|(i, w)| WorkerView {
+                    worker: i,
+                    outstanding: w.outstanding,
+                    last_req: w.last_req,
+                    idle_since: w.idle_since,
+                })
+                .collect();
+            if candidates.is_empty() {
+                break;
+            }
+            let task = self.policy.dequeue(now).expect("non-empty queue");
+            let chosen = self.selector.select(&candidates, task.req_id);
+            let worker = candidates[chosen].worker;
+            let w = &mut self.workers[worker];
+            w.outstanding += 1;
+            w.idle_since = None;
+            self.stats.assigned += 1;
+            out.push(Assignment { worker, task });
+        }
+        out
+    }
+
+    /// Requests waiting in the centralized queue.
+    pub fn queue_len(&self) -> usize {
+        self.policy.len()
+    }
+
+    /// Outstanding count the dispatcher believes `worker` has.
+    pub fn outstanding(&self, worker: usize) -> u32 {
+        self.workers[worker].outstanding
+    }
+
+    /// Total outstanding across all workers.
+    pub fn total_outstanding(&self) -> u32 {
+        self.workers.iter().map(|w| w.outstanding).sum()
+    }
+
+    /// Number of workers.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The configured outstanding cap.
+    pub fn outstanding_cap(&self) -> u32 {
+        self.outstanding_cap
+    }
+
+    /// Access the queue policy (e.g. for depth statistics).
+    pub fn policy(&self) -> &P {
+        &self.policy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::Fcfs;
+    use crate::select::LeastOutstanding;
+    use sim_core::{SimDuration, SimTime};
+
+    fn disp(workers: usize, cap: u32) -> Dispatcher<Fcfs, LeastOutstanding> {
+        Dispatcher::new(workers, cap, Fcfs::new(), LeastOutstanding)
+    }
+
+    fn task(id: u64) -> Task {
+        Task::new(id, 0, SimDuration::from_micros(5), SimTime::ZERO, SimTime::ZERO, 0)
+    }
+
+    fn us(n: u64) -> SimTime {
+        SimTime::from_micros(n)
+    }
+
+    #[test]
+    fn request_to_idle_worker_assigns_immediately() {
+        let mut d = disp(2, 1);
+        let a = d.on_request(us(0), task(1));
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0].task.req_id, 1);
+        assert_eq!(d.total_outstanding(), 1);
+        assert_eq!(d.queue_len(), 0);
+    }
+
+    #[test]
+    fn cap_one_queues_when_all_busy() {
+        let mut d = disp(2, 1);
+        assert_eq!(d.on_request(us(0), task(1)).len(), 1);
+        assert_eq!(d.on_request(us(0), task(2)).len(), 1);
+        // Both workers at cap: third request waits.
+        assert_eq!(d.on_request(us(0), task(3)).len(), 0);
+        assert_eq!(d.queue_len(), 1);
+        // A completion frees a slot and drains the queue.
+        let a = d.on_done(us(1), 0, 1);
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0].worker, 0);
+        assert_eq!(a[0].task.req_id, 3);
+    }
+
+    #[test]
+    fn queuing_optimization_stashes_up_to_cap() {
+        // §3.4.5: the dispatcher keeps multiple requests outstanding per
+        // worker so the worker never waits for the NIC round trip.
+        let mut d = disp(1, 5);
+        for id in 1..=7 {
+            d.on_request(us(0), task(id));
+        }
+        assert_eq!(d.outstanding(0), 5, "exactly cap outstanding");
+        assert_eq!(d.queue_len(), 2, "the rest wait centrally");
+    }
+
+    #[test]
+    fn preemption_requeues_at_tail_and_any_worker_may_resume() {
+        let mut d = disp(2, 1);
+        d.on_request(us(0), task(1));
+        d.on_request(us(0), task(2));
+        d.on_request(us(0), task(3)); // queued
+        // Worker 0 preempts task 1; task 3 takes its slot (FIFO head),
+        // task 1 goes to the tail.
+        let t1 = task(1).after_preemption(SimDuration::from_micros(3));
+        let a = d.on_preempted(us(10), 0, t1);
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0].task.req_id, 3);
+        assert_eq!(a[0].worker, 0);
+        // Worker 1 finishes task 2; preempted task 1 resumes there.
+        let a = d.on_done(us(11), 1, 2);
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0].task.req_id, 1);
+        assert_eq!(a[0].worker, 1, "resumed on a different worker");
+        assert_eq!(a[0].task.remaining, SimDuration::from_micros(2));
+    }
+
+    #[test]
+    fn least_outstanding_balances() {
+        let mut d = disp(3, 2);
+        let mut assigned = vec![0usize; 3];
+        for id in 0..6 {
+            for a in d.on_request(us(0), task(id)) {
+                assigned[a.worker] += 1;
+            }
+        }
+        assert_eq!(assigned, vec![2, 2, 2], "even spread under the cap");
+    }
+
+    #[test]
+    fn stats_account_for_everything() {
+        let mut d = disp(1, 1);
+        d.on_request(us(0), task(1));
+        d.on_request(us(0), task(2));
+        let t1 = task(1).after_preemption(SimDuration::from_micros(1));
+        d.on_preempted(us(1), 0, t1);
+        d.on_done(us(2), 0, 2);
+        d.on_done(us(3), 0, 1);
+        assert_eq!(d.stats.admitted, 2);
+        assert_eq!(d.stats.requeued, 1);
+        assert_eq!(d.stats.completions, 2);
+        // assignments: t1, then t2 (after preempt), then t1 again = 3
+        assert_eq!(d.stats.assigned, 3);
+        assert_eq!(d.total_outstanding(), 0);
+        assert_eq!(d.queue_len(), 0);
+    }
+
+    #[test]
+    fn work_conservation_no_idle_worker_with_queued_work() {
+        let mut d = disp(4, 2);
+        // Fill unevenly, then verify the invariant after every event.
+        for id in 0..20 {
+            d.on_request(us(0), task(id));
+            let any_below_cap = (0..4).any(|w| d.outstanding(w) < 2);
+            assert!(
+                !(any_below_cap && d.queue_len() > 0),
+                "queued work while a worker has slack"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let _ = disp(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outstanding cap")]
+    fn zero_cap_rejected() {
+        let _ = disp(1, 0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::policy::{Fcfs, ShortestRemaining};
+    use crate::select::{LeastOutstanding, RoundRobin};
+    use proptest::prelude::*;
+    use sim_core::{SimDuration, SimTime};
+
+    /// Drive a dispatcher with a random interleaving of arrivals and
+    /// worker completions, checking the conservation and cap invariants
+    /// after every step.
+    fn drive(ops: Vec<u8>, workers: usize, cap: u32, srf: bool) -> Result<(), TestCaseError> {
+        fn check<P: SchedPolicy, S: CoreSelector>(
+            ops: &[u8],
+            d: &mut Dispatcher<P, S>,
+            workers: usize,
+            cap: u32,
+        ) -> Result<(), TestCaseError> {
+            let mut in_flight: Vec<Vec<Task>> = vec![Vec::new(); workers];
+            let mut next_id = 1u64;
+            let mut t = 0u64;
+            let absorb = |assignments: Vec<Assignment>,
+                              in_flight: &mut Vec<Vec<Task>>|
+             -> Result<(), TestCaseError> {
+                for a in assignments {
+                    in_flight[a.worker].push(a.task);
+                    prop_assert!(
+                        in_flight[a.worker].len() <= cap as usize,
+                        "cap violated at worker {}",
+                        a.worker
+                    );
+                }
+                Ok(())
+            };
+            for &op in ops {
+                t += 1;
+                let now = SimTime::from_micros(t);
+                match op % 3 {
+                    // Arrival.
+                    0 | 1 => {
+                        let service = SimDuration::from_micros(1 + u64::from(op) % 50);
+                        let task = Task::new(next_id, 0, service, now, now, 0);
+                        next_id += 1;
+                        let a = d.on_request(now, task);
+                        absorb(a, &mut in_flight)?;
+                    }
+                    // Completion or preemption at a pseudo-random worker.
+                    _ => {
+                        let w = (op as usize / 3) % workers;
+                        if let Some(task) = in_flight[w].pop() {
+                            let a = if op % 2 == 0 {
+                                d.on_done(now, w, task.req_id)
+                            } else {
+                                d.on_preempted(
+                                    now,
+                                    w,
+                                    task.after_preemption(SimDuration::from_nanos(500)),
+                                )
+                            };
+                            absorb(a, &mut in_flight)?;
+                        }
+                    }
+                }
+                // Invariants after every step:
+                let total_in_flight: usize = in_flight.iter().map(|v| v.len()).sum();
+                prop_assert_eq!(
+                    d.total_outstanding() as usize,
+                    total_in_flight,
+                    "dispatcher bookkeeping out of sync"
+                );
+                // Conservation: admitted = queued + in flight + retired.
+                let retired = d.stats.completions;
+                prop_assert_eq!(
+                    d.stats.admitted + d.stats.requeued,
+                    d.queue_len() as u64 + d.stats.assigned,
+                    "admission/assignment ledger must balance with the queue"
+                );
+                let _ = retired;
+                // Work conservation: never queued work alongside capacity.
+                let slack = (0..workers).any(|w| d.outstanding(w) < cap);
+                prop_assert!(
+                    !(slack && d.queue_len() > 0),
+                    "queued work while a worker has slack"
+                );
+            }
+            Ok(())
+        }
+
+        if srf {
+            let mut d = Dispatcher::new(workers, cap, ShortestRemaining::new(), RoundRobin::default());
+            check(&ops, &mut d, workers, cap)
+        } else {
+            let mut d = Dispatcher::new(workers, cap, Fcfs::new(), LeastOutstanding);
+            check(&ops, &mut d, workers, cap)
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn fcfs_invariants_hold_under_random_interleavings(
+            ops in proptest::collection::vec(any::<u8>(), 1..300),
+            workers in 1usize..6,
+            cap in 1u32..5,
+        ) {
+            drive(ops, workers, cap, false)?;
+        }
+
+        #[test]
+        fn srf_invariants_hold_under_random_interleavings(
+            ops in proptest::collection::vec(any::<u8>(), 1..300),
+            workers in 1usize..6,
+            cap in 1u32..5,
+        ) {
+            drive(ops, workers, cap, true)?;
+        }
+    }
+}

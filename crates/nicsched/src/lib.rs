@@ -1,0 +1,44 @@
+//! # nicsched — informed request scheduling (the paper's contribution)
+//!
+//! The placement-independent core of *"Mind the Gap: A Case for Informed
+//! Request Scheduling at the NIC"* (HotNets '19):
+//!
+//! * [`Task`] — the scheduler's view of a request (identity + remaining
+//!   work across preemptions).
+//! * [`SchedPolicy`] — programmable request selection over the centralized
+//!   queue ([`Fcfs`] is the paper's policy; [`ShortestRemaining`] and
+//!   [`ClassPriority`] are framework extensions).
+//! * [`CoreSelector`] — programmable worker selection
+//!   ([`LeastOutstanding`], [`RoundRobin`], [`Affinity`],
+//!   [`MostRecentlyIdle`]).
+//! * [`Dispatcher`] — the centralized, preemptive dispatcher: queuing,
+//!   selection, and the §3.4.5 outstanding-requests cap ("queuing
+//!   optimization"). The same state machine runs on a host core
+//!   (`systems::shinjuku`), on SmartNIC ARM cores (`systems::offload`),
+//!   or in a line-rate ASIC model (`systems::ideal_nic`).
+//! * [`FeedbackChannel`] — the fine-grained core-status feedback path
+//!   whose latency is the "gap" of the title.
+//! * [`NicProfile`] — one point in the §5.1 hardware design space
+//!   (compute × transport × interrupt path).
+//! * [`params`] — every calibration constant, paper-sourced or fitted,
+//!   in one place.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dispatcher;
+mod feedback;
+pub mod params;
+mod policy;
+mod policy_kind;
+mod profile;
+mod select;
+mod task;
+
+pub use dispatcher::{Assignment, DispatchStats, Dispatcher};
+pub use feedback::{CoreFeedback, FeedbackChannel};
+pub use policy::{ClassPriority, Fcfs, SchedPolicy, ShortestRemaining};
+pub use policy_kind::PolicyKind;
+pub use profile::{NicProfile, SchedCompute};
+pub use select::{Affinity, CoreSelector, LeastOutstanding, MostRecentlyIdle, RoundRobin, SocketAffinity, WorkerView};
+pub use task::Task;

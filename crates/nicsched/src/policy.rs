@@ -1,0 +1,378 @@
+//! Request-selection policies for the centralized queue.
+//!
+//! The prototype uses a single FIFO with tail re-enqueue on preemption
+//! (§3.4.1). The informed-scheduling *framework* argument (§2.3, §5.1(4))
+//! is that the NIC should make the policy programmable, so the queue is a
+//! trait with several implementations; the systems default to [`Fcfs`] to
+//! match the paper.
+
+use std::collections::VecDeque;
+
+use sim_core::{SimTime, SimDuration};
+use sim_core::stats::TimeWeighted;
+
+use crate::task::Task;
+
+/// A request-selection policy over the centralized task queue.
+pub trait SchedPolicy {
+    /// Admit a new request.
+    fn enqueue(&mut self, now: SimTime, task: Task);
+    /// Re-admit a preempted request ("the dispatcher adds the request to
+    /// the end of the task queue", §3.4.1 — but a policy may choose
+    /// differently).
+    fn requeue(&mut self, now: SimTime, task: Task);
+    /// Select the next request to dispatch.
+    fn dequeue(&mut self, now: SimTime) -> Option<Task>;
+    /// Requests currently queued.
+    fn len(&self) -> usize;
+    /// True when no requests are queued.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Policy name for reports.
+    fn name(&self) -> &'static str;
+    /// Time-weighted mean queue depth since creation.
+    fn mean_depth(&self, now: SimTime) -> f64;
+    /// Peak queue depth.
+    fn peak_depth(&self) -> usize;
+}
+
+/// Depth-tracking shared by the policy implementations.
+#[derive(Debug)]
+struct DepthStats {
+    tw: TimeWeighted,
+    peak: usize,
+}
+
+impl DepthStats {
+    fn new() -> DepthStats {
+        DepthStats { tw: TimeWeighted::new(SimTime::ZERO, 0.0), peak: 0 }
+    }
+
+    fn set(&mut self, now: SimTime, depth: usize) {
+        self.tw.set(now, depth as f64);
+        self.peak = self.peak.max(depth);
+    }
+}
+
+/// First-come-first-served with tail re-enqueue — the paper's policy.
+#[derive(Debug)]
+pub struct Fcfs {
+    queue: VecDeque<Task>,
+    depth: DepthStats,
+}
+
+impl Fcfs {
+    /// An empty FCFS queue.
+    pub fn new() -> Fcfs {
+        Fcfs { queue: VecDeque::new(), depth: DepthStats::new() }
+    }
+}
+
+impl Default for Fcfs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SchedPolicy for Fcfs {
+    fn enqueue(&mut self, now: SimTime, task: Task) {
+        self.queue.push_back(task);
+        self.depth.set(now, self.queue.len());
+    }
+
+    fn requeue(&mut self, now: SimTime, task: Task) {
+        // Preempted requests go to the tail, exactly as §3.4.1 describes.
+        self.queue.push_back(task);
+        self.depth.set(now, self.queue.len());
+    }
+
+    fn dequeue(&mut self, now: SimTime) -> Option<Task> {
+        let t = self.queue.pop_front();
+        if t.is_some() {
+            self.depth.set(now, self.queue.len());
+        }
+        t
+    }
+
+    fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "fcfs"
+    }
+
+    fn mean_depth(&self, now: SimTime) -> f64 {
+        self.depth.tw.mean_until(now)
+    }
+
+    fn peak_depth(&self) -> usize {
+        self.depth.peak
+    }
+}
+
+/// Shortest-remaining-work-first: dispatches the queued task with the
+/// least remaining service. An idealized dispersion-killer the NIC could
+/// implement given the service hints requests carry.
+#[derive(Debug)]
+pub struct ShortestRemaining {
+    // Tie-break on (remaining, seq) for deterministic FIFO-within-equal.
+    heap: std::collections::BinaryHeap<SrfEntry>,
+    seq: u64,
+    depth: DepthStats,
+}
+
+#[derive(Debug)]
+struct SrfEntry {
+    task: Task,
+    seq: u64,
+}
+
+impl PartialEq for SrfEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.task.remaining == other.task.remaining && self.seq == other.seq
+    }
+}
+impl Eq for SrfEntry {}
+impl PartialOrd for SrfEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for SrfEntry {
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        // Reversed: smallest remaining (then earliest seq) pops first.
+        (other.task.remaining, other.seq).cmp(&(self.task.remaining, self.seq))
+    }
+}
+
+impl ShortestRemaining {
+    /// An empty SRF queue.
+    pub fn new() -> ShortestRemaining {
+        ShortestRemaining {
+            heap: std::collections::BinaryHeap::new(),
+            seq: 0,
+            depth: DepthStats::new(),
+        }
+    }
+
+    fn push(&mut self, now: SimTime, task: Task) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(SrfEntry { task, seq });
+        self.depth.set(now, self.heap.len());
+    }
+}
+
+impl Default for ShortestRemaining {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SchedPolicy for ShortestRemaining {
+    fn enqueue(&mut self, now: SimTime, task: Task) {
+        self.push(now, task);
+    }
+
+    fn requeue(&mut self, now: SimTime, task: Task) {
+        self.push(now, task);
+    }
+
+    fn dequeue(&mut self, now: SimTime) -> Option<Task> {
+        let t = self.heap.pop().map(|e| e.task);
+        if t.is_some() {
+            self.depth.set(now, self.heap.len());
+        }
+        t
+    }
+
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "srf"
+    }
+
+    fn mean_depth(&self, now: SimTime) -> f64 {
+        self.depth.tw.mean_until(now)
+    }
+
+    fn peak_depth(&self) -> usize {
+        self.depth.peak
+    }
+}
+
+/// Two-class priority: requests at or below the cutoff form the high
+///-priority lane (FIFO each). Models latency-class co-location (§2.2:
+/// "multiple co-located applications from different latency classes").
+#[derive(Debug)]
+pub struct ClassPriority {
+    cutoff: SimDuration,
+    short: VecDeque<Task>,
+    long: VecDeque<Task>,
+    depth: DepthStats,
+}
+
+impl ClassPriority {
+    /// Requests with `service <= cutoff` take priority.
+    pub fn new(cutoff: SimDuration) -> ClassPriority {
+        ClassPriority {
+            cutoff,
+            short: VecDeque::new(),
+            long: VecDeque::new(),
+            depth: DepthStats::new(),
+        }
+    }
+
+    fn push(&mut self, now: SimTime, task: Task) {
+        if task.service <= self.cutoff {
+            self.short.push_back(task);
+        } else {
+            self.long.push_back(task);
+        }
+        self.depth.set(now, self.len());
+    }
+}
+
+impl SchedPolicy for ClassPriority {
+    fn enqueue(&mut self, now: SimTime, task: Task) {
+        self.push(now, task);
+    }
+
+    fn requeue(&mut self, now: SimTime, task: Task) {
+        self.push(now, task);
+    }
+
+    fn dequeue(&mut self, now: SimTime) -> Option<Task> {
+        let t = self.short.pop_front().or_else(|| self.long.pop_front());
+        if t.is_some() {
+            self.depth.set(now, self.len());
+        }
+        t
+    }
+
+    fn len(&self) -> usize {
+        self.short.len() + self.long.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "class-priority"
+    }
+
+    fn mean_depth(&self, now: SimTime) -> f64 {
+        self.depth.tw.mean_until(now)
+    }
+
+    fn peak_depth(&self) -> usize {
+        self.depth.peak
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task(id: u64, service_us: u64) -> Task {
+        Task::new(
+            id,
+            0,
+            SimDuration::from_micros(service_us),
+            SimTime::ZERO,
+            SimTime::ZERO,
+            0,
+        )
+    }
+
+    fn us(n: u64) -> SimTime {
+        SimTime::from_micros(n)
+    }
+
+    #[test]
+    fn fcfs_is_fifo() {
+        let mut q = Fcfs::new();
+        q.enqueue(us(0), task(1, 5));
+        q.enqueue(us(1), task(2, 1));
+        q.enqueue(us(2), task(3, 100));
+        assert_eq!(q.dequeue(us(3)).unwrap().req_id, 1);
+        assert_eq!(q.dequeue(us(3)).unwrap().req_id, 2);
+        assert_eq!(q.dequeue(us(3)).unwrap().req_id, 3);
+        assert!(q.dequeue(us(3)).is_none());
+    }
+
+    #[test]
+    fn fcfs_requeue_goes_to_tail() {
+        let mut q = Fcfs::new();
+        q.enqueue(us(0), task(1, 5));
+        q.enqueue(us(0), task(2, 5));
+        let preempted = task(3, 100).after_preemption(SimDuration::from_micros(10));
+        q.requeue(us(1), preempted);
+        assert_eq!(q.dequeue(us(2)).unwrap().req_id, 1);
+        assert_eq!(q.dequeue(us(2)).unwrap().req_id, 2);
+        assert_eq!(q.dequeue(us(2)).unwrap().req_id, 3, "preempted task at the tail");
+    }
+
+    #[test]
+    fn srf_prefers_least_remaining() {
+        let mut q = ShortestRemaining::new();
+        q.enqueue(us(0), task(1, 100));
+        q.enqueue(us(0), task(2, 1));
+        q.enqueue(us(0), task(3, 50));
+        assert_eq!(q.dequeue(us(1)).unwrap().req_id, 2);
+        assert_eq!(q.dequeue(us(1)).unwrap().req_id, 3);
+        assert_eq!(q.dequeue(us(1)).unwrap().req_id, 1);
+    }
+
+    #[test]
+    fn srf_ties_break_fifo() {
+        let mut q = ShortestRemaining::new();
+        for id in 1..=5 {
+            q.enqueue(us(0), task(id, 7));
+        }
+        for id in 1..=5 {
+            assert_eq!(q.dequeue(us(1)).unwrap().req_id, id);
+        }
+    }
+
+    #[test]
+    fn srf_considers_remaining_not_total() {
+        let mut q = ShortestRemaining::new();
+        // 100us task that has already run 95us beats a fresh 10us task.
+        let mostly_done = task(1, 100).after_preemption(SimDuration::from_micros(95));
+        q.requeue(us(0), mostly_done);
+        q.enqueue(us(0), task(2, 10));
+        assert_eq!(q.dequeue(us(1)).unwrap().req_id, 1);
+    }
+
+    #[test]
+    fn class_priority_lets_shorts_jump() {
+        let mut q = ClassPriority::new(SimDuration::from_micros(10));
+        q.enqueue(us(0), task(1, 100)); // long
+        q.enqueue(us(0), task(2, 5)); // short
+        q.enqueue(us(0), task(3, 200)); // long
+        q.enqueue(us(0), task(4, 5)); // short
+        let order: Vec<u64> = std::iter::from_fn(|| q.dequeue(us(1)).map(|t| t.req_id)).collect();
+        assert_eq!(order, vec![2, 4, 1, 3]);
+    }
+
+    #[test]
+    fn depth_statistics_track() {
+        let mut q = Fcfs::new();
+        q.enqueue(us(0), task(1, 5));
+        q.enqueue(us(10), task(2, 5));
+        q.dequeue(us(20));
+        q.dequeue(us(30));
+        assert_eq!(q.peak_depth(), 2);
+        // Depth: 1 on [0,10), 2 on [10,20), 1 on [20,30) -> mean 4/3 over 30us.
+        let mean = q.mean_depth(us(30));
+        assert!((mean - 4.0 / 3.0).abs() < 1e-9, "mean depth {mean}");
+    }
+
+    #[test]
+    fn names_distinct() {
+        assert_ne!(Fcfs::new().name(), ShortestRemaining::new().name());
+        assert_eq!(ClassPriority::new(SimDuration::ZERO).name(), "class-priority");
+    }
+}

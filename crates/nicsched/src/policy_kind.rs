@@ -1,0 +1,100 @@
+//! Runtime-selectable queue policies.
+//!
+//! §5.1(4) calls for "libraries and tools that make it easy to specify
+//! scheduling functions for the SmartNIC". [`PolicyKind`] is the
+//! configuration-level handle: systems store it in their configs and
+//! instantiate the matching [`SchedPolicy`] at build time, so experiments
+//! can sweep policies without monomorphizing every assembly.
+
+use sim_core::{SimDuration, SimTime};
+
+use crate::policy::{ClassPriority, Fcfs, SchedPolicy, ShortestRemaining};
+use crate::task::Task;
+
+/// A selectable queue policy.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum PolicyKind {
+    /// FIFO with tail re-enqueue — the paper's policy (§3.4.1).
+    Fcfs,
+    /// Shortest-remaining-work-first.
+    ShortestRemaining,
+    /// Two-class priority with the given service-time cutoff.
+    ClassPriority(SimDuration),
+}
+
+impl PolicyKind {
+    /// Instantiate the policy.
+    pub fn build(self) -> Box<dyn SchedPolicy> {
+        match self {
+            PolicyKind::Fcfs => Box::new(Fcfs::new()),
+            PolicyKind::ShortestRemaining => Box::new(ShortestRemaining::new()),
+            PolicyKind::ClassPriority(cutoff) => Box::new(ClassPriority::new(cutoff)),
+        }
+    }
+}
+
+// Boxed policies are policies, so `Dispatcher<Box<dyn SchedPolicy>, S>`
+// works without per-policy monomorphization.
+impl SchedPolicy for Box<dyn SchedPolicy> {
+    fn enqueue(&mut self, now: SimTime, task: Task) {
+        (**self).enqueue(now, task)
+    }
+    fn requeue(&mut self, now: SimTime, task: Task) {
+        (**self).requeue(now, task)
+    }
+    fn dequeue(&mut self, now: SimTime) -> Option<Task> {
+        (**self).dequeue(now)
+    }
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn mean_depth(&self, now: SimTime) -> f64 {
+        (**self).mean_depth(now)
+    }
+    fn peak_depth(&self) -> usize {
+        (**self).peak_depth()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task(id: u64, service_us: u64) -> Task {
+        Task::new(id, 0, SimDuration::from_micros(service_us), SimTime::ZERO, SimTime::ZERO, 0)
+    }
+
+    #[test]
+    fn kinds_build_the_right_policy() {
+        assert_eq!(PolicyKind::Fcfs.build().name(), "fcfs");
+        assert_eq!(PolicyKind::ShortestRemaining.build().name(), "srf");
+        assert_eq!(
+            PolicyKind::ClassPriority(SimDuration::from_micros(10)).build().name(),
+            "class-priority"
+        );
+    }
+
+    #[test]
+    fn boxed_policy_behaves_like_inner() {
+        let mut q: Box<dyn SchedPolicy> = PolicyKind::ShortestRemaining.build();
+        q.enqueue(SimTime::ZERO, task(1, 100));
+        q.enqueue(SimTime::ZERO, task(2, 1));
+        assert_eq!(q.len(), 2);
+        assert!(!q.is_empty());
+        assert_eq!(q.dequeue(SimTime::ZERO).unwrap().req_id, 2);
+        assert_eq!(q.peak_depth(), 2);
+    }
+
+    #[test]
+    fn boxed_policy_works_inside_dispatcher() {
+        use crate::dispatcher::Dispatcher;
+        use crate::select::LeastOutstanding;
+        let mut d = Dispatcher::new(1, 1, PolicyKind::Fcfs.build(), LeastOutstanding);
+        let a = d.on_request(SimTime::ZERO, task(1, 5));
+        assert_eq!(a.len(), 1);
+        assert_eq!(d.policy().name(), "fcfs");
+    }
+}

@@ -1,0 +1,481 @@
+//! The discrete-event engine.
+//!
+//! Following the event-driven style of poll-based network stacks, the engine
+//! owns a single *model* (the whole simulated system as one state machine)
+//! and a time-ordered event heap. There are no threads, no async runtime and
+//! no shared-state cells: a handler receives `&mut self` on the model plus a
+//! [`Ctx`] through which it posts future events. Two events at the same
+//! instant fire in insertion order, so runs are totally ordered and
+//! bit-for-bit reproducible.
+//!
+//! # Cancellation pattern
+//!
+//! The heap does not support removal. Components that need cancellable
+//! timers (e.g. a preemption timer that becomes moot when the request
+//! finishes early) should carry a *generation counter* in the event payload
+//! and ignore stale firings. This is cheaper and simpler than a handle-based
+//! cancel API and keeps the hot path allocation-free.
+
+use core::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::{SimDuration, SimTime};
+
+/// A simulated system: one state machine handling its own event alphabet.
+pub trait Model {
+    /// The event alphabet of this model.
+    type Event;
+
+    /// Handle one event at the current simulated instant. Post follow-up
+    /// events through `ctx`.
+    fn handle(&mut self, event: Self::Event, ctx: &mut Ctx<Self::Event>);
+}
+
+/// Handler-side view of the engine: the clock plus an outbox for new events.
+pub struct Ctx<E> {
+    now: SimTime,
+    outbox: Vec<(SimTime, E)>,
+    stop: bool,
+}
+
+impl<E> Ctx<E> {
+    /// The current simulated instant.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `event` to fire `delay` after now.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
+        self.outbox.push((self.now + delay, event));
+    }
+
+    /// Schedule `event` at an absolute instant.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past — causality violations are always
+    /// simulation bugs.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        assert!(at >= self.now, "schedule_at({at}) is before now ({})", self.now);
+        self.outbox.push((at, event));
+    }
+
+    /// Schedule `event` to fire at the current instant, after all events
+    /// already queued for this instant.
+    pub fn schedule_now(&mut self, event: E) {
+        self.outbox.push((self.now, event));
+    }
+
+    /// Request that the engine stop after the current handler returns.
+    /// Events already scheduled remain in the heap (inspectable, not run).
+    pub fn stop(&mut self) {
+        self.stop = true;
+    }
+}
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+// Order entries so the *smallest* (time, seq) is popped first from the
+// max-heap by reversing the comparison.
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Why [`Engine::run_until`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The event heap drained completely.
+    Drained,
+    /// A handler called [`Ctx::stop`].
+    Stopped,
+    /// The time horizon was reached with events still pending.
+    Horizon,
+}
+
+/// The discrete-event simulation engine.
+pub struct Engine<M: Model> {
+    heap: BinaryHeap<Entry<M::Event>>,
+    model: M,
+    now: SimTime,
+    seq: u64,
+    processed: u64,
+    stopped: bool,
+}
+
+impl<M: Model> Engine<M> {
+    /// Create an engine at `t = 0` around `model` with an empty heap.
+    pub fn new(model: M) -> Self {
+        Engine {
+            heap: BinaryHeap::new(),
+            model,
+            now: SimTime::ZERO,
+            seq: 0,
+            processed: 0,
+            stopped: false,
+        }
+    }
+
+    /// Current simulated instant (the time of the last event processed).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of events currently pending.
+    pub fn events_pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Shared access to the model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Exclusive access to the model (e.g. to harvest statistics).
+    pub fn model_mut(&mut self) -> &mut M {
+        &mut self.model
+    }
+
+    /// Consume the engine, returning the model.
+    pub fn into_model(self) -> M {
+        self.model
+    }
+
+    /// Seed an event at an absolute instant before (or during) the run.
+    pub fn schedule_at(&mut self, at: SimTime, event: M::Event) {
+        assert!(at >= self.now, "schedule_at({at}) is before now ({})", self.now);
+        self.push(at, event);
+    }
+
+    /// Seed an event `delay` after the current instant.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: M::Event) {
+        self.push(self.now + delay, event);
+    }
+
+    fn push(&mut self, at: SimTime, event: M::Event) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { at, seq, event });
+    }
+
+    /// Process a single event. Returns `false` if the heap was empty or the
+    /// engine had been stopped.
+    pub fn step(&mut self) -> bool {
+        if self.stopped {
+            return false;
+        }
+        let Some(entry) = self.heap.pop() else {
+            return false;
+        };
+        debug_assert!(entry.at >= self.now, "event heap yielded a past event");
+        self.now = entry.at;
+        self.processed += 1;
+        let mut ctx = Ctx {
+            now: self.now,
+            outbox: Vec::new(),
+            stop: false,
+        };
+        self.model.handle(entry.event, &mut ctx);
+        for (at, ev) in ctx.outbox {
+            self.push(at, ev);
+        }
+        if ctx.stop {
+            self.stopped = true;
+        }
+        true
+    }
+
+    /// Run until the heap drains or a handler stops the engine.
+    pub fn run(&mut self) -> RunOutcome {
+        while self.step() {}
+        if self.stopped {
+            RunOutcome::Stopped
+        } else {
+            RunOutcome::Drained
+        }
+    }
+
+    /// Run until `horizon` (inclusive): every event with `time <= horizon`
+    /// is processed. On [`RunOutcome::Horizon`] the clock is advanced to the
+    /// horizon itself.
+    pub fn run_until(&mut self, horizon: SimTime) -> RunOutcome {
+        loop {
+            if self.stopped {
+                return RunOutcome::Stopped;
+            }
+            match self.heap.peek() {
+                None => return RunOutcome::Drained,
+                Some(e) if e.at > horizon => {
+                    self.now = horizon.max(self.now);
+                    return RunOutcome::Horizon;
+                }
+                Some(_) => {
+                    self.step();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::{SimDuration, SimTime};
+
+    /// A model that records the order and times at which its events fire.
+    struct Recorder {
+        seen: Vec<(u64, u32)>,
+    }
+
+    enum Ev {
+        Mark(u32),
+        Chain { label: u32, remaining: u32, gap: SimDuration },
+        StopNow,
+    }
+
+    impl Model for Recorder {
+        type Event = Ev;
+        fn handle(&mut self, ev: Ev, ctx: &mut Ctx<Ev>) {
+            match ev {
+                Ev::Mark(label) => self.seen.push((ctx.now().as_nanos(), label)),
+                Ev::Chain { label, remaining, gap } => {
+                    self.seen.push((ctx.now().as_nanos(), label));
+                    if remaining > 0 {
+                        ctx.schedule_in(gap, Ev::Chain { label, remaining: remaining - 1, gap });
+                    }
+                }
+                Ev::StopNow => ctx.stop(),
+            }
+        }
+    }
+
+    fn engine() -> Engine<Recorder> {
+        Engine::new(Recorder { seen: Vec::new() })
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut e = engine();
+        e.schedule_at(SimTime::from_nanos(30), Ev::Mark(3));
+        e.schedule_at(SimTime::from_nanos(10), Ev::Mark(1));
+        e.schedule_at(SimTime::from_nanos(20), Ev::Mark(2));
+        assert_eq!(e.run(), RunOutcome::Drained);
+        assert_eq!(e.model().seen, vec![(10, 1), (20, 2), (30, 3)]);
+        assert_eq!(e.events_processed(), 3);
+    }
+
+    #[test]
+    fn ties_fire_in_insertion_order() {
+        let mut e = engine();
+        for label in 0..50 {
+            e.schedule_at(SimTime::from_nanos(5), Ev::Mark(label));
+        }
+        e.run();
+        let labels: Vec<u32> = e.model().seen.iter().map(|&(_, l)| l).collect();
+        assert_eq!(labels, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn schedule_now_runs_after_existing_same_instant_events() {
+        struct M {
+            order: Vec<u32>,
+        }
+        enum E2 {
+            First,
+            Second,
+            Injected,
+        }
+        impl Model for M {
+            type Event = E2;
+            fn handle(&mut self, ev: E2, ctx: &mut Ctx<E2>) {
+                match ev {
+                    E2::First => {
+                        self.order.push(1);
+                        ctx.schedule_now(E2::Injected);
+                    }
+                    E2::Second => self.order.push(2),
+                    E2::Injected => self.order.push(3),
+                }
+            }
+        }
+        let mut e = Engine::new(M { order: vec![] });
+        e.schedule_at(SimTime::from_nanos(1), E2::First);
+        e.schedule_at(SimTime::from_nanos(1), E2::Second);
+        e.run();
+        assert_eq!(e.model().order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn chained_events_advance_clock() {
+        let mut e = engine();
+        e.schedule_at(
+            SimTime::ZERO,
+            Ev::Chain { label: 9, remaining: 4, gap: SimDuration::from_micros(1) },
+        );
+        e.run();
+        let times: Vec<u64> = e.model().seen.iter().map(|&(t, _)| t).collect();
+        assert_eq!(times, vec![0, 1_000, 2_000, 3_000, 4_000]);
+        assert_eq!(e.now(), SimTime::from_micros(4));
+    }
+
+    #[test]
+    fn run_until_respects_horizon() {
+        let mut e = engine();
+        for i in 1..=10 {
+            e.schedule_at(SimTime::from_micros(i), Ev::Mark(i as u32));
+        }
+        assert_eq!(e.run_until(SimTime::from_micros(4)), RunOutcome::Horizon);
+        assert_eq!(e.model().seen.len(), 4);
+        assert_eq!(e.now(), SimTime::from_micros(4));
+        assert_eq!(e.events_pending(), 6);
+        // Continue to the end.
+        assert_eq!(e.run_until(SimTime::from_secs(1)), RunOutcome::Drained);
+        assert_eq!(e.model().seen.len(), 10);
+    }
+
+    #[test]
+    fn stop_halts_immediately() {
+        let mut e = engine();
+        e.schedule_at(SimTime::from_nanos(1), Ev::Mark(1));
+        e.schedule_at(SimTime::from_nanos(2), Ev::StopNow);
+        e.schedule_at(SimTime::from_nanos(3), Ev::Mark(3));
+        assert_eq!(e.run(), RunOutcome::Stopped);
+        assert_eq!(e.model().seen, vec![(1, 1)]);
+        assert_eq!(e.events_pending(), 1, "post-stop events remain pending");
+        assert!(!e.step(), "a stopped engine does not step");
+    }
+
+    #[test]
+    #[should_panic(expected = "schedule_at")]
+    fn scheduling_in_the_past_panics() {
+        let mut e = engine();
+        e.schedule_at(SimTime::from_micros(5), Ev::Mark(0));
+        e.run();
+        e.schedule_at(SimTime::from_micros(1), Ev::Mark(1));
+    }
+
+    #[test]
+    fn identical_runs_are_identical() {
+        let run = || {
+            let mut e = engine();
+            e.schedule_at(SimTime::ZERO, Ev::Chain {
+                label: 1,
+                remaining: 100,
+                gap: SimDuration::from_nanos(7),
+            });
+            e.schedule_at(SimTime::ZERO, Ev::Chain {
+                label: 2,
+                remaining: 100,
+                gap: SimDuration::from_nanos(11),
+            });
+            e.run();
+            e.into_model().seen
+        };
+        assert_eq!(run(), run());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::time::{SimDuration, SimTime};
+    use proptest::prelude::*;
+
+    /// Model that records firing times and spawns children per event.
+    struct Recorder {
+        fired: Vec<(u64, u32)>,
+    }
+
+    struct REv {
+        label: u32,
+        children: Vec<u64>, // delays in ns
+    }
+
+    impl Model for Recorder {
+        type Event = REv;
+        fn handle(&mut self, ev: REv, ctx: &mut Ctx<REv>) {
+            self.fired.push((ctx.now().as_nanos(), ev.label));
+            for (i, d) in ev.children.iter().enumerate() {
+                ctx.schedule_in(
+                    SimDuration::from_nanos(*d),
+                    REv { label: ev.label * 31 + i as u32 + 1, children: vec![] },
+                );
+            }
+        }
+    }
+
+    proptest! {
+        /// The clock never goes backwards, every seeded event fires, and
+        /// two identical runs are identical.
+        #[test]
+        fn firing_order_is_monotone_and_deterministic(
+            seeds in proptest::collection::vec((0u64..1_000_000, proptest::collection::vec(0u64..10_000, 0..4)), 1..50)
+        ) {
+            let run = || {
+                let mut e = Engine::new(Recorder { fired: Vec::new() });
+                for (i, (at, children)) in seeds.iter().enumerate() {
+                    e.schedule_at(
+                        SimTime::from_nanos(*at),
+                        REv { label: i as u32, children: children.clone() },
+                    );
+                }
+                prop_assert_eq!(e.run(), RunOutcome::Drained);
+                Ok(e.into_model().fired)
+            };
+            let a = run()?;
+            let b = run()?;
+            prop_assert_eq!(&a, &b, "identical runs must be identical");
+            let spawned: usize = seeds.iter().map(|(_, c)| c.len()).sum();
+            prop_assert_eq!(a.len(), seeds.len() + spawned, "every event fires exactly once");
+            for pair in a.windows(2) {
+                prop_assert!(pair[0].0 <= pair[1].0, "clock went backwards");
+            }
+        }
+
+        /// run_until splits a run without changing what fires by the end.
+        #[test]
+        fn run_until_is_equivalent_to_run(
+            seeds in proptest::collection::vec(0u64..1_000_000, 1..60),
+            cut in 0u64..1_000_000,
+        ) {
+            let whole = {
+                let mut e = Engine::new(Recorder { fired: Vec::new() });
+                for (i, at) in seeds.iter().enumerate() {
+                    e.schedule_at(SimTime::from_nanos(*at), REv { label: i as u32, children: vec![] });
+                }
+                e.run();
+                e.into_model().fired
+            };
+            let split = {
+                let mut e = Engine::new(Recorder { fired: Vec::new() });
+                for (i, at) in seeds.iter().enumerate() {
+                    e.schedule_at(SimTime::from_nanos(*at), REv { label: i as u32, children: vec![] });
+                }
+                e.run_until(SimTime::from_nanos(cut));
+                e.run();
+                e.into_model().fired
+            };
+            prop_assert_eq!(whole, split);
+        }
+    }
+}

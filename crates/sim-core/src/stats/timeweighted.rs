@@ -1,0 +1,213 @@
+//! Time-weighted averages over the simulation clock.
+//!
+//! Utilization and queue-depth metrics are *state* observed over time, not
+//! point samples: a core that is busy for 9 µs out of 10 µs is 90% utilized
+//! no matter how many events fired. [`TimeWeighted`] integrates a piecewise-
+//! constant signal against simulated time.
+
+use crate::time::{SimDuration, SimTime};
+
+/// Integrates a piecewise-constant `f64` signal over simulated time.
+#[derive(Debug, Clone)]
+pub struct TimeWeighted {
+    value: f64,
+    since: SimTime,
+    start: SimTime,
+    integral: f64, // value * seconds
+    peak: f64,
+}
+
+impl TimeWeighted {
+    /// Start tracking with `initial` at instant `at`.
+    pub fn new(at: SimTime, initial: f64) -> Self {
+        TimeWeighted {
+            value: initial,
+            since: at,
+            start: at,
+            integral: 0.0,
+            peak: initial,
+        }
+    }
+
+    /// Change the signal to `value` at instant `at`.
+    ///
+    /// # Panics
+    /// Panics (debug) if `at` precedes the previous update.
+    pub fn set(&mut self, at: SimTime, value: f64) {
+        debug_assert!(at >= self.since, "TimeWeighted::set going backwards");
+        self.integral += self.value * at.saturating_duration_since(self.since).as_secs_f64();
+        self.since = at;
+        self.value = value;
+        self.peak = self.peak.max(value);
+    }
+
+    /// Add `delta` to the signal at instant `at`.
+    pub fn add(&mut self, at: SimTime, delta: f64) {
+        let v = self.value + delta;
+        self.set(at, v);
+    }
+
+    /// Current value of the signal.
+    pub fn current(&self) -> f64 {
+        self.value
+    }
+
+    /// Largest value the signal has taken.
+    pub fn peak(&self) -> f64 {
+        self.peak
+    }
+
+    /// Time-weighted mean of the signal from start until `now`.
+    /// Returns 0 for a zero-length window.
+    pub fn mean_until(&self, now: SimTime) -> f64 {
+        let window = now.saturating_duration_since(self.start).as_secs_f64();
+        if window <= 0.0 {
+            return 0.0;
+        }
+        let tail = self.value * now.saturating_duration_since(self.since).as_secs_f64();
+        (self.integral + tail) / window
+    }
+}
+
+/// Busy/idle tracker for a simulated execution resource.
+///
+/// A thin wrapper over [`TimeWeighted`] with a boolean signal plus a busy
+/// time integral, used for core utilization accounting.
+#[derive(Debug, Clone)]
+pub struct BusyTracker {
+    busy: bool,
+    since: SimTime,
+    start: SimTime,
+    busy_time: SimDuration,
+    transitions: u64,
+}
+
+impl BusyTracker {
+    /// Start idle at instant `at`.
+    pub fn new(at: SimTime) -> Self {
+        BusyTracker {
+            busy: false,
+            since: at,
+            start: at,
+            busy_time: SimDuration::ZERO,
+            transitions: 0,
+        }
+    }
+
+    /// Whether the resource is currently busy.
+    pub fn is_busy(&self) -> bool {
+        self.busy
+    }
+
+    /// Mark busy at `at`. Idempotent.
+    pub fn set_busy(&mut self, at: SimTime) {
+        if !self.busy {
+            self.busy = true;
+            self.since = at;
+            self.transitions += 1;
+        }
+    }
+
+    /// Mark idle at `at`. Idempotent.
+    pub fn set_idle(&mut self, at: SimTime) {
+        if self.busy {
+            self.busy_time += at.saturating_duration_since(self.since);
+            self.busy = false;
+            self.since = at;
+            self.transitions += 1;
+        }
+    }
+
+    /// Total busy time up to `now`.
+    pub fn busy_until(&self, now: SimTime) -> SimDuration {
+        if self.busy {
+            self.busy_time + now.saturating_duration_since(self.since)
+        } else {
+            self.busy_time
+        }
+    }
+
+    /// Utilization in `[0, 1]` over the window from start to `now`.
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        let window = now.saturating_duration_since(self.start).as_secs_f64();
+        if window <= 0.0 {
+            return 0.0;
+        }
+        self.busy_until(now).as_secs_f64() / window
+    }
+
+    /// Number of busy/idle transitions.
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(n: u64) -> SimTime {
+        SimTime::from_micros(n)
+    }
+
+    #[test]
+    fn constant_signal_mean() {
+        let tw = TimeWeighted::new(us(0), 4.0);
+        assert_eq!(tw.mean_until(us(10)), 4.0);
+        assert_eq!(tw.current(), 4.0);
+        assert_eq!(tw.peak(), 4.0);
+    }
+
+    #[test]
+    fn step_signal_mean() {
+        let mut tw = TimeWeighted::new(us(0), 0.0);
+        tw.set(us(5), 10.0); // 0 for 5us, then 10 for 5us
+        let mean = tw.mean_until(us(10));
+        assert!((mean - 5.0).abs() < 1e-9, "mean {mean}");
+        assert_eq!(tw.peak(), 10.0);
+    }
+
+    #[test]
+    fn add_tracks_queue_depth() {
+        let mut tw = TimeWeighted::new(us(0), 0.0);
+        tw.add(us(1), 1.0);
+        tw.add(us(2), 1.0);
+        tw.add(us(3), -1.0);
+        tw.add(us(4), -1.0);
+        // depth: 0 on [0,1), 1 on [1,2), 2 on [2,3), 1 on [3,4), 0 after
+        let mean = tw.mean_until(us(4));
+        assert!((mean - 1.0).abs() < 1e-9, "mean {mean}");
+        assert_eq!(tw.peak(), 2.0);
+        assert_eq!(tw.current(), 0.0);
+    }
+
+    #[test]
+    fn zero_window_mean_is_zero() {
+        let tw = TimeWeighted::new(us(3), 7.0);
+        assert_eq!(tw.mean_until(us(3)), 0.0);
+    }
+
+    #[test]
+    fn busy_tracker_utilization() {
+        let mut b = BusyTracker::new(us(0));
+        assert!(!b.is_busy());
+        b.set_busy(us(2));
+        b.set_idle(us(7));
+        b.set_busy(us(9));
+        // busy [2,7) and [9,10) = 6us of 10us
+        assert!((b.utilization(us(10)) - 0.6).abs() < 1e-9);
+        assert_eq!(b.busy_until(us(10)), SimDuration::from_micros(6));
+        assert_eq!(b.transitions(), 3);
+    }
+
+    #[test]
+    fn busy_tracker_idempotent() {
+        let mut b = BusyTracker::new(us(0));
+        b.set_busy(us(1));
+        b.set_busy(us(2)); // no-op
+        b.set_idle(us(3));
+        b.set_idle(us(4)); // no-op
+        assert_eq!(b.busy_until(us(5)), SimDuration::from_micros(2));
+        assert_eq!(b.transitions(), 2);
+    }
+}

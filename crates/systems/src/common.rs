@@ -1,0 +1,287 @@
+//! Plumbing shared by every system assembly: addressing conventions, the
+//! open-loop client, and metric assembly.
+
+use net_wire::{Endpoint, EthernetAddress, FrameSpec, Ipv4Address, MsgRepr, ParsedFrame};
+use sim_core::{Rng, SimDuration, SimTime};
+use workload::{ArrivalGen, ArrivalProcess, LatencyRecorder, ReqClass, RunMetrics, WorkloadSpec};
+
+/// Deterministic MAC/IP addressing plan for a simulated testbed.
+///
+/// * client: `02:00:00:00:00:01` / 10.0.0.1
+/// * dispatcher (NIC ARM or host networker): `02:00:00:00:01:00` / 10.0.1.0
+/// * worker `i`'s SR-IOV VF: `02:00:00:00:02:<i>` / 10.0.2.`i`
+#[derive(Debug, Clone, Copy)]
+pub struct AddressPlan;
+
+impl AddressPlan {
+    /// Client NIC MAC.
+    pub fn client_mac() -> EthernetAddress {
+        EthernetAddress::new(0x02, 0, 0, 0, 0, 1)
+    }
+
+    /// Client UDP endpoint.
+    pub fn client_ep() -> Endpoint {
+        Endpoint::new(Ipv4Address::new(10, 0, 0, 1), 7000)
+    }
+
+    /// Dispatcher-side interface MAC (the server's externally visible MAC).
+    pub fn dispatcher_mac() -> EthernetAddress {
+        EthernetAddress::new(0x02, 0, 0, 0, 1, 0)
+    }
+
+    /// Dispatcher UDP endpoint (the service address clients target).
+    pub fn dispatcher_ep() -> Endpoint {
+        Endpoint::new(Ipv4Address::new(10, 0, 1, 0), 6000)
+    }
+
+    /// Worker `i`'s virtual-function MAC (§3.4.2: one VF per worker).
+    pub fn worker_mac(i: usize) -> EthernetAddress {
+        assert!(i < 256, "worker index out of addressing range");
+        EthernetAddress::new(0x02, 0, 0, 0, 2, i as u8)
+    }
+
+    /// Worker `i`'s UDP endpoint.
+    pub fn worker_ep(i: usize) -> Endpoint {
+        assert!(i < 256, "worker index out of addressing range");
+        Endpoint::new(Ipv4Address::new(10, 0, 2, i as u8), 6000)
+    }
+}
+
+/// Just-in-time pacing state (§5.2's congestion-control co-design): the
+/// NIC stamps its instantaneous scheduler load into departing responses;
+/// the client throttles multiplicatively above `target_depth` and
+/// recovers additively below it, so requests arrive "just in time for
+/// processing" instead of piling into the centralized queue.
+#[derive(Debug, Clone, Copy)]
+pub struct JitPacing {
+    /// Queue-depth setpoint the client aims to keep the server at.
+    pub target_depth: u64,
+    /// Current rate multiplier in `(0, 1]`.
+    pub scale: f64,
+}
+
+impl JitPacing {
+    /// Start at full rate with the given setpoint.
+    pub fn new(target_depth: u64) -> JitPacing {
+        JitPacing { target_depth, scale: 1.0 }
+    }
+
+    /// Absorb one load report.
+    pub fn observe(&mut self, depth: u64) {
+        if depth > self.target_depth {
+            self.scale = (self.scale * 0.99).max(0.05);
+        } else {
+            self.scale = (self.scale + 0.002).min(1.0);
+        }
+    }
+}
+
+/// The mutilate-style open-loop client (§4): Poisson arrivals, synthetic
+/// service times stamped into request frames, latency recording from
+/// responses.
+#[derive(Debug)]
+pub struct Client {
+    arrivals: ArrivalGen,
+    service_rng: Rng,
+    spec: WorkloadSpec,
+    next_id: u64,
+    /// Requests sent.
+    pub sent: u64,
+    /// Response latency recorder.
+    pub recorder: LatencyRecorder,
+    /// Client id stamped into requests.
+    pub client_id: u32,
+    /// Source ports rotate so RSS-based systems see many flows (the
+    /// paper's baselines need flow diversity to spread load at all).
+    port_cursor: u16,
+    /// When set, responses carry server-load feedback and the client
+    /// paces itself (§5.2 co-design). `None` = pure open loop (§4).
+    pub pacing: Option<JitPacing>,
+}
+
+impl Client {
+    /// Build a client for `spec`, forking its streams from `master`.
+    pub fn new(spec: WorkloadSpec, master: &mut Rng) -> Client {
+        Client {
+            arrivals: ArrivalGen::new(
+                ArrivalProcess::Poisson { rate_rps: spec.offered_rps },
+                master.fork(),
+            ),
+            service_rng: master.fork(),
+            spec,
+            next_id: 1,
+            sent: 0,
+            recorder: LatencyRecorder::new(spec.warmup_until()),
+            client_id: 1,
+            port_cursor: 0,
+            pacing: None,
+        }
+    }
+
+    /// The workload being generated.
+    pub fn spec(&self) -> &WorkloadSpec {
+        &self.spec
+    }
+
+    /// Replace the arrival process (e.g. a bursty MMPP instead of the
+    /// default Poisson at `spec.offered_rps`), keeping determinism by
+    /// forking the stream from `master`.
+    pub fn override_arrivals(&mut self, process: ArrivalProcess, master: &mut Rng) {
+        self.arrivals = ArrivalGen::new(process, master.fork());
+    }
+
+    /// Gap until the first/next request (stretched by JIT pacing when
+    /// enabled).
+    pub fn next_gap(&mut self) -> SimDuration {
+        let gap = self.arrivals.next_gap();
+        match self.pacing {
+            Some(p) => gap.mul_f64(1.0 / p.scale),
+            None => gap,
+        }
+    }
+
+    /// Emit the next request frame at `now`, addressed to the service.
+    pub fn make_request(&mut self, now: SimTime) -> FrameSpec {
+        let service = self.spec.dist.sample(&mut self.service_rng);
+        let id = self.next_id;
+        self.next_id += 1;
+        self.sent += 1;
+        self.port_cursor = self.port_cursor.wrapping_add(1);
+        let mut src = AddressPlan::client_ep();
+        // 1024 distinct source ports → plenty of flows for RSS.
+        src.port = 7000 + (self.port_cursor % 1024);
+        FrameSpec {
+            src_mac: AddressPlan::client_mac(),
+            dst_mac: AddressPlan::dispatcher_mac(),
+            src,
+            dst: AddressPlan::dispatcher_ep(),
+            msg: MsgRepr::request(
+                id,
+                self.client_id,
+                service.as_nanos(),
+                now.as_nanos(),
+                self.spec.body_len,
+            ),
+        }
+    }
+
+    /// Absorb a response frame at `now`. In Response messages the
+    /// `remaining_ns` field is repurposed as the NIC's load stamp (§5.2);
+    /// when pacing is on, the client reacts to it.
+    pub fn on_response(&mut self, now: SimTime, frame: &ParsedFrame) {
+        let msg = frame.msg;
+        let service = SimDuration::from_nanos(msg.service_ns);
+        let sent_at = SimTime::from_nanos(msg.sent_at_ns);
+        let class = self.spec.class_of(service);
+        self.recorder.record(now, sent_at, service, class);
+        if let Some(p) = &mut self.pacing {
+            p.observe(msg.remaining_ns);
+        }
+    }
+}
+
+/// Assemble [`RunMetrics`] from a client and system counters at `now`.
+pub fn assemble_metrics(
+    client: &Client,
+    dropped: u64,
+    preemptions: u64,
+    worker_utilization: f64,
+) -> RunMetrics {
+    let rec = &client.recorder;
+    RunMetrics {
+        offered_rps: client.spec().offered_rps,
+        achieved_rps: rec.achieved_rps(),
+        p50: rec.p50().unwrap_or(SimDuration::ZERO),
+        p99: rec.p99().unwrap_or(SimDuration::ZERO),
+        p999: rec.p999().unwrap_or(SimDuration::ZERO),
+        p99_short: rec
+            .class_histogram(ReqClass::Short)
+            .p99()
+            .map(SimDuration::from_nanos)
+            .unwrap_or(SimDuration::ZERO),
+        p99_long: rec
+            .class_histogram(ReqClass::Long)
+            .p99()
+            .map(SimDuration::from_nanos)
+            .unwrap_or(SimDuration::ZERO),
+        mean: rec.mean().unwrap_or(SimDuration::ZERO),
+        completed: rec.completed,
+        dropped,
+        preemptions,
+        worker_utilization,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workload::ServiceDist;
+
+    fn spec() -> WorkloadSpec {
+        WorkloadSpec::new(100_000.0, ServiceDist::Fixed(SimDuration::from_micros(5)))
+    }
+
+    #[test]
+    fn addressing_is_unique() {
+        let mut macs = std::collections::HashSet::new();
+        macs.insert(AddressPlan::client_mac());
+        macs.insert(AddressPlan::dispatcher_mac());
+        for i in 0..16 {
+            macs.insert(AddressPlan::worker_mac(i));
+        }
+        assert_eq!(macs.len(), 18, "all MACs distinct");
+    }
+
+    #[test]
+    fn client_request_frames_parse_back() {
+        let mut master = Rng::new(7);
+        let mut client = Client::new(spec(), &mut master);
+        let f = client.make_request(SimTime::from_micros(3));
+        let parsed = ParsedFrame::parse(&f.build()).unwrap();
+        assert_eq!(parsed.msg.req_id, 1);
+        assert_eq!(parsed.msg.service_ns, 5_000);
+        assert_eq!(parsed.msg.sent_at_ns, 3_000);
+        assert_eq!(parsed.eth.dst_addr, AddressPlan::dispatcher_mac());
+        assert_eq!(client.sent, 1);
+    }
+
+    #[test]
+    fn request_ids_are_sequential_and_ports_rotate() {
+        let mut master = Rng::new(7);
+        let mut client = Client::new(spec(), &mut master);
+        let a = client.make_request(SimTime::ZERO);
+        let b = client.make_request(SimTime::ZERO);
+        assert_eq!(a.msg.req_id + 1, b.msg.req_id);
+        assert_ne!(a.src.port, b.src.port, "flows should differ for RSS");
+    }
+
+    #[test]
+    fn response_round_trip_records_latency() {
+        let mut master = Rng::new(9);
+        let mut s = spec();
+        s.warmup = SimDuration::ZERO;
+        let mut client = Client::new(s, &mut master);
+        let req = client.make_request(SimTime::from_micros(10));
+        let resp_spec = FrameSpec { msg: req.msg.response(), ..req };
+        let parsed = ParsedFrame::parse(&resp_spec.build()).unwrap();
+        client.on_response(SimTime::from_micros(30), &parsed);
+        assert_eq!(client.recorder.completed, 1);
+        assert_eq!(client.recorder.p99(), Some(SimDuration::from_micros(20)));
+    }
+
+    #[test]
+    fn metrics_assembly() {
+        let mut master = Rng::new(9);
+        let mut s = spec();
+        s.warmup = SimDuration::ZERO;
+        let mut client = Client::new(s, &mut master);
+        let req = client.make_request(SimTime::ZERO);
+        let resp = ParsedFrame::parse(&FrameSpec { msg: req.msg.response(), ..req }.build()).unwrap();
+        client.on_response(SimTime::from_micros(15), &resp);
+        let m = assemble_metrics(&client, 2, 3, 0.5);
+        assert_eq!(m.completed, 1);
+        assert_eq!(m.dropped, 2);
+        assert_eq!(m.preemptions, 3);
+        assert_eq!(m.p99, SimDuration::from_micros(15));
+    }
+}

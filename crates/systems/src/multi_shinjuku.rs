@@ -1,0 +1,514 @@
+//! Multi-dispatcher Shinjuku: the §2.2(3) scaling escape hatch, built so
+//! its costs are measurable.
+//!
+//! "The dispatcher can only scale to 5M requests … so multiple dispatchers
+//! need to be instantiated. RSS can be used to route packets from the NIC
+//! to different dispatchers, but this can again result in load imbalance.
+//! Moreover, one physical core is dedicated to each dispatcher … 1/12 =
+//! 8.33% of execution resources is wasted" (§2.2).
+//!
+//! This assembly partitions the server into `groups` independent Shinjuku
+//! instances: the NIC RSS-hashes flows across the groups' networker
+//! queues, each group has its own networker+dispatcher core pair and a
+//! private slice of the workers. Requests cannot cross groups — exactly
+//! the imbalance-vs-scalability trade the paper describes. With
+//! `groups = 1` this degenerates to vanilla Shinjuku.
+
+use std::collections::VecDeque;
+
+use bytes::Bytes;
+use cpu_model::{ContextCosts, ContextPool, Core, CoreId, CoreSpec, OneShotTimer, TimerMode};
+use net_wire::{FrameSpec, MsgKind, MsgRepr, ParsedFrame};
+use nic_model::{IfaceId, Link, NicDevice, QueueSteering, Rss};
+use nicsched::{params, Assignment, Dispatcher, LeastOutstanding, PolicyKind, SchedPolicy, Task};
+use sim_core::{Ctx, Engine, Model, Rng, SimDuration, SimTime};
+use workload::{RunMetrics, WorkloadSpec};
+
+use crate::common::{assemble_metrics, AddressPlan, Client};
+
+/// Configuration of a multi-dispatcher Shinjuku.
+#[derive(Debug, Clone, Copy)]
+pub struct MultiShinjukuConfig {
+    /// Independent dispatcher groups (RSS spreads flows across them).
+    pub groups: usize,
+    /// Worker cores per group.
+    pub workers_per_group: usize,
+    /// Preemption time slice; `None` disables preemption.
+    pub time_slice: Option<SimDuration>,
+    /// Queue policy within each group.
+    pub policy: PolicyKind,
+}
+
+impl MultiShinjukuConfig {
+    /// Split `total_cores` into `groups` dispatchers plus equal worker
+    /// slices (mirrors the paper's accounting: one physical core per
+    /// dispatcher pair).
+    pub fn split(total_cores: usize, groups: usize) -> MultiShinjukuConfig {
+        assert!(groups >= 1 && total_cores > groups, "need cores left for workers");
+        MultiShinjukuConfig {
+            groups,
+            workers_per_group: (total_cores - groups) / groups,
+            time_slice: Some(params::TIME_SLICE),
+            policy: PolicyKind::Fcfs,
+        }
+    }
+
+    /// Fraction of the machine spent on dispatching rather than work —
+    /// the §2.2 "8.33% wasted" figure for 1 dispatcher per 11 workers.
+    pub fn dispatch_overhead_fraction(&self) -> f64 {
+        self.groups as f64 / (self.groups * (1 + self.workers_per_group)) as f64
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum DispItem {
+    NewTask(Task),
+    Done { local_worker: usize, req_id: u64 },
+    Preempted { local_worker: usize, task: Task },
+    Emit(Assignment),
+}
+
+enum Ev {
+    ClientSend,
+    WireToNic(Bytes),
+    NetworkerDone(usize),
+    DispPush(usize, DispItem),
+    DispDone(usize),
+    /// (group, local worker index, task)
+    WorkerTask(usize, usize, Task),
+    WorkerPoll(usize, usize),
+    WorkerRunEnd { group: usize, local: usize, gen: u64 },
+    ClientResp(Bytes),
+}
+
+struct Worker {
+    core: Core,
+    timer: OneShotTimer,
+    inbox: VecDeque<Task>,
+    running: Option<(Task, SimDuration)>,
+}
+
+struct Group {
+    networker_busy: bool,
+    disp_queue: VecDeque<DispItem>,
+    disp_busy: bool,
+    dispatcher: Dispatcher<Box<dyn SchedPolicy>, LeastOutstanding>,
+    workers: Vec<Worker>,
+    /// Requests admitted by this group (imbalance statistics).
+    admitted: u64,
+}
+
+struct MultiShinjuku {
+    cfg: MultiShinjukuConfig,
+    client: Client,
+    horizon: SimTime,
+    client_link: Link,
+    server_link: Link,
+    nic: NicDevice,
+    net_iface: IfaceId,
+    groups: Vec<Group>,
+    ctx_pool: ContextPool,
+    ctx_costs: ContextCosts,
+    host: CoreSpec,
+    preemptions: u64,
+}
+
+impl MultiShinjuku {
+    fn new(spec: WorkloadSpec, cfg: MultiShinjukuConfig) -> MultiShinjuku {
+        let mut master = Rng::new(spec.seed);
+        let client = Client::new(spec, &mut master);
+
+        let mut nic = NicDevice::new(params::PCIE_DMA);
+        // One RX queue per dispatcher group, fed by RSS (§2.2).
+        let net_iface = nic.add_iface(
+            AddressPlan::dispatcher_mac(),
+            cfg.groups,
+            1024,
+            QueueSteering::Rss(Rss::new(cfg.groups as u32)),
+        );
+
+        let t0 = SimTime::ZERO;
+        let groups = (0..cfg.groups)
+            .map(|g| Group {
+                networker_busy: false,
+                disp_queue: VecDeque::new(),
+                disp_busy: false,
+                dispatcher: Dispatcher::new(
+                    cfg.workers_per_group,
+                    1,
+                    cfg.policy.build(),
+                    LeastOutstanding,
+                ),
+                workers: (0..cfg.workers_per_group)
+                    .map(|w| Worker {
+                        core: Core::new(
+                            CoreId((g * cfg.workers_per_group + w) as u32),
+                            CoreSpec::host_x86(),
+                            t0,
+                        ),
+                        timer: OneShotTimer::new(),
+                        inbox: VecDeque::new(),
+                        running: None,
+                    })
+                    .collect(),
+                admitted: 0,
+            })
+            .collect();
+
+        MultiShinjuku {
+            cfg,
+            horizon: spec.horizon(),
+            client,
+            client_link: Link::ten_gbe(),
+            server_link: Link::ten_gbe(),
+            nic,
+            net_iface,
+            groups,
+            ctx_pool: ContextPool::new(),
+            ctx_costs: ContextCosts::default(),
+            host: CoreSpec::host_x86(),
+            preemptions: 0,
+        }
+    }
+
+    fn start_networker(&mut self, g: usize, ctx: &mut Ctx<Ev>) {
+        if !self.groups[g].networker_busy && !self.nic.iface(self.net_iface).rx[g].is_empty() {
+            self.groups[g].networker_busy = true;
+            ctx.schedule_in(params::HOST_NET_PER_PACKET, Ev::NetworkerDone(g));
+        }
+    }
+
+    fn disp_item_cost(item: &DispItem) -> SimDuration {
+        match item {
+            DispItem::NewTask(_) => params::HOST_DISPATCH_ENQUEUE,
+            DispItem::Done { .. } | DispItem::Preempted { .. } => params::HOST_DISPATCH_COMPLETE,
+            DispItem::Emit(_) => params::HOST_DISPATCH_ASSIGN,
+        }
+    }
+
+    fn start_dispatcher(&mut self, g: usize, ctx: &mut Ctx<Ev>) {
+        let group = &mut self.groups[g];
+        if !group.disp_busy {
+            if let Some(item) = group.disp_queue.front() {
+                group.disp_busy = true;
+                ctx.schedule_in(Self::disp_item_cost(item), Ev::DispDone(g));
+            }
+        }
+    }
+
+    fn worker_poll(&mut self, g: usize, local: usize, ctx: &mut Ctx<Ev>) {
+        if self.groups[g].workers[local].running.is_some() {
+            return;
+        }
+        let Some(task) = self.groups[g].workers[local].inbox.pop_front() else {
+            self.groups[g].workers[local].core.set_idle(ctx.now());
+            return;
+        };
+        let ctx_op = self.ctx_pool.begin(task.req_id);
+        let mut overhead = ContextPool::op_cost(ctx_op, &self.ctx_costs, &self.host);
+        let run = match self.cfg.time_slice {
+            Some(slice) => {
+                overhead += TimerMode::DuneMapped.set_cost(&self.host);
+                task.remaining.min(slice)
+            }
+            None => task.remaining,
+        };
+        let worker = &mut self.groups[g].workers[local];
+        worker.core.set_busy(ctx.now());
+        let end = ctx.now() + overhead + run;
+        let gen = worker.timer.arm(end);
+        worker.running = Some((task, run));
+        ctx.schedule_at(end, Ev::WorkerRunEnd { group: g, local, gen });
+    }
+
+    fn worker_run_end(&mut self, g: usize, local: usize, gen: u64, ctx: &mut Ctx<Ev>) {
+        if !self.groups[g].workers[local].timer.accept(gen) {
+            return;
+        }
+        let (task, run) = self.groups[g].workers[local].running.take().expect("running");
+        let now = ctx.now();
+        if task.remaining <= run {
+            let resp_built = now + params::WORKER_TX_COST;
+            let resp = FrameSpec {
+                src_mac: AddressPlan::dispatcher_mac(),
+                dst_mac: AddressPlan::client_mac(),
+                src: AddressPlan::worker_ep(g * self.cfg.workers_per_group + local),
+                dst: AddressPlan::client_ep(),
+                msg: MsgRepr {
+                    kind: MsgKind::Response,
+                    req_id: task.req_id,
+                    client_id: task.client_id,
+                    service_ns: task.service.as_nanos(),
+                    remaining_ns: 0,
+                    sent_at_ns: task.sent_at.as_nanos(),
+                    body_len: task.body_len,
+                },
+            };
+            let payload_len = resp.frame_len() - net_wire::ethernet::HEADER_LEN;
+            let arrive = self
+                .server_link
+                .transmit(resp_built + self.nic.dma_latency, payload_len);
+            ctx.schedule_at(arrive, Ev::ClientResp(resp.build()));
+            self.ctx_pool.discard(task.req_id);
+            self.groups[g].workers[local].core.requests_run += 1;
+            ctx.schedule_in(
+                params::HOST_QUEUE_HOP,
+                Ev::DispPush(g, DispItem::Done { local_worker: local, req_id: task.req_id }),
+            );
+            ctx.schedule_at(resp_built, Ev::WorkerPoll(g, local));
+        } else {
+            self.preemptions += 1;
+            let after = task.after_preemption(run);
+            self.ctx_pool.save(after.req_id);
+            let free_at = now
+                + TimerMode::DuneMapped.deliver_cost(&self.host)
+                + self.ctx_costs.save(&self.host);
+            ctx.schedule_at(
+                free_at + params::HOST_QUEUE_HOP,
+                Ev::DispPush(g, DispItem::Preempted { local_worker: local, task: after }),
+            );
+            ctx.schedule_at(free_at, Ev::WorkerPoll(g, local));
+        }
+    }
+
+    /// Imbalance across groups: max/mean admitted requests.
+    fn imbalance(&self) -> f64 {
+        let max = self.groups.iter().map(|g| g.admitted).max().unwrap_or(0) as f64;
+        let mean = self.groups.iter().map(|g| g.admitted).sum::<u64>() as f64
+            / self.groups.len() as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+}
+
+impl Model for MultiShinjuku {
+    type Event = Ev;
+
+    fn handle(&mut self, event: Ev, ctx: &mut Ctx<Ev>) {
+        match event {
+            Ev::ClientSend => {
+                if ctx.now() >= self.horizon {
+                    return;
+                }
+                let spec = self.client.make_request(ctx.now());
+                let payload_len = spec.frame_len() - net_wire::ethernet::HEADER_LEN;
+                let bytes = spec.build();
+                let arrive = self.client_link.transmit(ctx.now(), payload_len);
+                ctx.schedule_at(arrive, Ev::WireToNic(bytes));
+                let gap = self.client.next_gap();
+                ctx.schedule_in(gap, Ev::ClientSend);
+            }
+            Ev::WireToNic(bytes) => {
+                let Ok(parsed) = ParsedFrame::parse(&bytes) else {
+                    return;
+                };
+                if let Some(d) = self.nic.steer(&parsed) {
+                    self.nic.iface_mut(d.iface).rx[d.queue].push(ctx.now(), bytes);
+                    self.start_networker(d.queue, ctx);
+                }
+            }
+            Ev::NetworkerDone(g) => {
+                self.groups[g].networker_busy = false;
+                if let Some(frame) = self.nic.iface_mut(self.net_iface).rx[g].pop() {
+                    if let Ok(parsed) = ParsedFrame::parse(&frame.data) {
+                        if parsed.msg.kind == MsgKind::Request {
+                            let m = parsed.msg;
+                            let task = Task::new(
+                                m.req_id,
+                                m.client_id,
+                                SimDuration::from_nanos(m.service_ns),
+                                SimTime::from_nanos(m.sent_at_ns),
+                                ctx.now(),
+                                m.body_len,
+                            );
+                            ctx.schedule_in(
+                                params::HOST_QUEUE_HOP,
+                                Ev::DispPush(g, DispItem::NewTask(task)),
+                            );
+                        }
+                    }
+                }
+                self.start_networker(g, ctx);
+            }
+            Ev::DispPush(g, item) => {
+                self.groups[g].disp_queue.push_back(item);
+                self.start_dispatcher(g, ctx);
+            }
+            Ev::DispDone(g) => {
+                self.groups[g].disp_busy = false;
+                if let Some(item) = self.groups[g].disp_queue.pop_front() {
+                    let now = ctx.now();
+                    let assignments = match item {
+                        DispItem::NewTask(task) => {
+                            self.groups[g].admitted += 1;
+                            self.groups[g].dispatcher.on_request(now, task)
+                        }
+                        DispItem::Done { local_worker, req_id } => {
+                            self.groups[g].dispatcher.on_done(now, local_worker, req_id)
+                        }
+                        DispItem::Preempted { local_worker, task } => {
+                            self.groups[g].dispatcher.on_preempted(now, local_worker, task)
+                        }
+                        DispItem::Emit(a) => {
+                            ctx.schedule_in(
+                                params::HOST_QUEUE_HOP,
+                                Ev::WorkerTask(g, a.worker, a.task),
+                            );
+                            Vec::new()
+                        }
+                    };
+                    for a in assignments.into_iter().rev() {
+                        self.groups[g].disp_queue.push_front(DispItem::Emit(a));
+                    }
+                }
+                self.start_dispatcher(g, ctx);
+            }
+            Ev::WorkerTask(g, local, task) => {
+                self.groups[g].workers[local].inbox.push_back(task);
+                if self.groups[g].workers[local].running.is_none() {
+                    ctx.schedule_now(Ev::WorkerPoll(g, local));
+                }
+            }
+            Ev::WorkerPoll(g, local) => self.worker_poll(g, local, ctx),
+            Ev::WorkerRunEnd { group, local, gen } => self.worker_run_end(group, local, gen, ctx),
+            Ev::ClientResp(bytes) => {
+                if let Ok(parsed) = ParsedFrame::parse(&bytes) {
+                    self.client.on_response(ctx.now(), &parsed);
+                }
+            }
+        }
+    }
+}
+
+/// Outcome of a multi-dispatcher run: standard metrics plus the group
+/// imbalance ratio (max/mean requests per group; 1.0 = perfectly even).
+#[derive(Debug, Clone, Copy)]
+pub struct MultiRunMetrics {
+    /// Standard run metrics.
+    pub metrics: RunMetrics,
+    /// Max/mean admitted requests across groups.
+    pub imbalance: f64,
+}
+
+/// Run a multi-dispatcher Shinjuku simulation.
+pub fn run(spec: WorkloadSpec, cfg: MultiShinjukuConfig) -> MultiRunMetrics {
+    let mut engine = Engine::new(MultiShinjuku::new(spec, cfg));
+    engine.schedule_at(SimTime::ZERO, Ev::ClientSend);
+    engine.run_until(spec.horizon());
+    let horizon = spec.horizon();
+    let model = engine.model();
+    let all_workers: Vec<&Worker> = model.groups.iter().flat_map(|g| g.workers.iter()).collect();
+    let util = all_workers
+        .iter()
+        .map(|w| w.core.utilization(horizon))
+        .sum::<f64>()
+        / all_workers.len() as f64;
+    MultiRunMetrics {
+        metrics: assemble_metrics(&model.client, model.nic.total_drops(), model.preemptions, util),
+        imbalance: model.imbalance(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workload::ServiceDist;
+
+    fn quick_spec(rps: f64, dist: ServiceDist) -> WorkloadSpec {
+        WorkloadSpec {
+            offered_rps: rps,
+            dist,
+            body_len: 64,
+            warmup: SimDuration::from_millis(2),
+            measure: SimDuration::from_millis(15),
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn single_group_acts_like_vanilla_shinjuku() {
+        let spec = quick_spec(300_000.0, ServiceDist::Fixed(SimDuration::from_micros(5)));
+        let multi = run(
+            spec,
+            MultiShinjukuConfig {
+                groups: 1,
+                workers_per_group: 3,
+                time_slice: None,
+                policy: PolicyKind::Fcfs,
+            },
+        );
+        let vanilla = crate::shinjuku::run(
+            spec,
+            crate::shinjuku::ShinjukuConfig {
+                workers: 3,
+                time_slice: None,
+                policy: PolicyKind::Fcfs,
+            },
+        );
+        assert_eq!(multi.metrics.completed, vanilla.completed);
+        assert_eq!(multi.metrics.p99, vanilla.p99);
+        assert!((multi.imbalance - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_dispatchers_break_the_single_dispatcher_cap() {
+        // 1us requests, far beyond one dispatcher's ~4-5M/s: with four
+        // dispatcher groups the aggregate scales well past it.
+        let spec = quick_spec(9_000_000.0, ServiceDist::Fixed(SimDuration::from_micros(1)));
+        let one = run(spec, MultiShinjukuConfig::split(32, 1));
+        let four = run(spec, MultiShinjukuConfig::split(32, 4));
+        assert!(
+            four.metrics.achieved_rps > one.metrics.achieved_rps * 1.3,
+            "4 dispatchers ({:.1}M) should outscale 1 ({:.1}M)",
+            four.metrics.achieved_rps / 1e6,
+            one.metrics.achieved_rps / 1e6
+        );
+    }
+
+    #[test]
+    fn rss_across_groups_creates_imbalance() {
+        let spec = quick_spec(500_000.0, ServiceDist::Fixed(SimDuration::from_micros(5)));
+        let m = run(spec, MultiShinjukuConfig::split(16, 4));
+        assert!(m.imbalance > 1.0, "RSS group shares are never perfectly even");
+        assert!(m.imbalance < 2.0, "but not catastrophic at uniform flows: {}", m.imbalance);
+    }
+
+    #[test]
+    fn dispatch_overhead_fraction_matches_paper_accounting() {
+        // §2.2: 1 dispatcher + 11 workers -> 1/12 = 8.33% wasted.
+        let cfg = MultiShinjukuConfig {
+            groups: 1,
+            workers_per_group: 11,
+            time_slice: None,
+            policy: PolicyKind::Fcfs,
+        };
+        assert!((cfg.dispatch_overhead_fraction() - 1.0 / 12.0).abs() < 1e-9);
+        // 4 groups of 11: still 8.33% of the machine.
+        let cfg4 = MultiShinjukuConfig {
+            groups: 4,
+            workers_per_group: 11,
+            time_slice: None,
+            policy: PolicyKind::Fcfs,
+        };
+        assert!((cfg4.dispatch_overhead_fraction() - 1.0 / 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "cores left for workers")]
+    fn split_needs_worker_cores() {
+        let _ = MultiShinjukuConfig::split(4, 4);
+    }
+
+    #[test]
+    fn deterministic() {
+        let spec = quick_spec(400_000.0, ServiceDist::paper_bimodal());
+        let a = run(spec, MultiShinjukuConfig::split(16, 2));
+        let b = run(spec, MultiShinjukuConfig::split(16, 2));
+        assert_eq!(a.metrics.completed, b.metrics.completed);
+        assert_eq!(a.metrics.p99, b.metrics.p99);
+        assert_eq!(a.imbalance, b.imbalance);
+    }
+}

@@ -1,0 +1,1029 @@
+//! Shinjuku-Offload: the networking subsystem and dispatcher on the
+//! SmartNIC, workers on host cores (§3.4).
+//!
+//! The packet path follows Figure 1 of the paper:
+//!
+//! 1. A request frame arrives at the SmartNIC and is steered by MAC to the
+//!    ARM-side interface, where the **networker** stage parses it.
+//! 2. The networker hands the request to the dispatcher's **queue-manager**
+//!    core over ARM shared memory (§3.4.1 splits the dispatcher across
+//!    three ARM cores).
+//! 3. The queue manager runs the centralized FIFO + queuing-optimization
+//!    logic ([`nicsched::Dispatcher`]) and passes assignments to the **TX**
+//!    core, which constructs a UDP frame to the worker's SR-IOV VF
+//!    (§3.4.2) — the expensive step that makes TX the bottleneck stage.
+//! 4. The worker polls its VF ring, spawns/restores a context, runs the
+//!    request, and preempts itself with a Dune-mapped APIC timer when the
+//!    slice expires (§3.4.4).
+//! 5. Finished → response to the client + `Done` to the NIC; preempted →
+//!    `Preempted` with remaining work. Either way the **RX** core parses
+//!    the notification and feeds it back to the queue manager.
+//!
+//! Every hop exchanges real Ethernet/IPv4/UDP frames built and parsed by
+//! `net-wire`. The system is generic over [`NicProfile`], which is how the
+//! CXL / ideal-NIC ablations reuse this assembly unchanged.
+
+use std::collections::{HashMap, VecDeque};
+
+use bytes::Bytes;
+use cpu_model::{ContextCosts, ContextPool, Core, CoreId, CoreSpec, InterruptPath, OneShotTimer, Topology, CROSS_SOCKET_PENALTY};
+use net_wire::{FrameSpec, MsgKind, MsgRepr, ParsedFrame};
+use nic_model::{packet_lines, Ddio, IfaceId, Link, NicDevice, Placement, QueueSteering};
+use nicsched::{params, Assignment, CoreSelector, Dispatcher, LeastOutstanding, NicProfile, PolicyKind, SchedPolicy, SocketAffinity, Task};
+use sim_core::{Ctx, Engine, Model, Rng, SimDuration, SimTime};
+use workload::{RunMetrics, WorkloadSpec};
+
+use crate::common::{assemble_metrics, AddressPlan, Client};
+
+/// Configuration of a Shinjuku-Offload instance.
+#[derive(Debug, Clone, Copy)]
+pub struct OffloadConfig {
+    /// Host worker cores (the offload frees one extra vs vanilla Shinjuku).
+    pub workers: usize,
+    /// Outstanding-requests cap per worker (§3.4.5; the paper settles on 5).
+    pub outstanding_cap: u32,
+    /// Preemption time slice; `None` disables preemption (the paper turns
+    /// it off for the fixed-service-time figures).
+    pub time_slice: Option<SimDuration>,
+    /// The NIC hardware design point.
+    pub profile: NicProfile,
+    /// DDIO cache-placement configuration.
+    pub ddio_l1: bool,
+    /// Centralized queue policy (the paper's prototype uses FCFS, §3.4.1;
+    /// the framework makes it programmable, §5.1(4)).
+    pub policy: PolicyKind,
+    /// Model the dual-socket host (§1/§4): workers split across two
+    /// sockets; DDIO pre-loads into socket 0's LLC (where the NIC hangs),
+    /// so socket-1 workers pay a QPI/UPI hop per packet line.
+    pub dual_socket: bool,
+    /// Use the socket-aware core selector (prefer NIC-socket workers)
+    /// instead of plain least-outstanding. Only meaningful with
+    /// `dual_socket`.
+    pub socket_aware: bool,
+    /// §5.2 congestion-control co-design: the NIC stamps its scheduler
+    /// load into responses and the client paces itself toward this queue
+    /// depth. `None` = the paper's pure open loop.
+    pub jit_target_depth: Option<u64>,
+    /// Per-frame corruption probability on the client↔server wire
+    /// (request and response frames only — the in-machine dispatcher paths
+    /// are PCIe, not a lossy cable). 0.0 = pristine.
+    pub wire_loss: f64,
+    /// Override the client's arrival process (default: Poisson at
+    /// `spec.offered_rps`). Lets experiments drive bursty MMPP arrivals.
+    pub arrivals: Option<workload::ArrivalProcess>,
+}
+
+impl OffloadConfig {
+    /// The paper's §4 configuration: Stingray profile, 10 µs slice.
+    pub fn paper(workers: usize, outstanding_cap: u32) -> OffloadConfig {
+        OffloadConfig {
+            workers,
+            outstanding_cap,
+            time_slice: Some(params::TIME_SLICE),
+            profile: NicProfile::stingray(),
+            ddio_l1: false,
+            policy: PolicyKind::Fcfs,
+            dual_socket: false,
+            socket_aware: false,
+            jit_target_depth: None,
+            wire_loss: 0.0,
+            arrivals: None,
+        }
+    }
+}
+
+/// Events of the offload model.
+enum Ev {
+    /// Client emits its next request.
+    ClientSend,
+    /// A frame from the client link reaches the NIC.
+    WireToNic(Bytes),
+    /// The networker stage finished parsing one frame.
+    NetworkerDone,
+    /// An item crosses ARM shared memory into the queue manager.
+    QmPush(QmItem),
+    /// The queue-manager stage finished one item.
+    QmDone,
+    /// An assignment crosses ARM shared memory into the TX core.
+    TxPush(Assignment),
+    /// The TX stage finished building one worker frame.
+    TxDone,
+    /// An assignment frame lands in a worker's VF RX ring.
+    WorkerFrame(usize, Bytes),
+    /// A worker polls its ring for work.
+    WorkerPoll(usize),
+    /// A worker's current execution ends (finish or slice expiry).
+    WorkerRunEnd {
+        /// Worker index.
+        worker: usize,
+        /// Timer generation guarding against stale firings.
+        gen: u64,
+    },
+    /// A worker notification frame reaches the ARM RX core.
+    RxNotif(Bytes),
+    /// The RX stage finished parsing one notification.
+    RxDone,
+    /// A response frame reaches the client.
+    ClientResp(Bytes),
+}
+
+/// Items crossing into the queue-manager core.
+#[derive(Debug, Clone, Copy)]
+enum QmItem {
+    NewTask(Task),
+    Done { worker: usize, req_id: u64 },
+    Preempted { worker: usize, task: Task },
+}
+
+/// A serially-processed pipeline stage on an ARM core.
+struct Stage<T> {
+    queue: VecDeque<T>,
+    busy: bool,
+    /// Items processed (for stage-throughput assertions).
+    processed: u64,
+}
+
+impl<T> Stage<T> {
+    fn new() -> Stage<T> {
+        Stage { queue: VecDeque::new(), busy: false, processed: 0 }
+    }
+}
+
+/// Per-worker state.
+struct Worker {
+    core: Core,
+    timer: OneShotTimer,
+    running: Option<Running>,
+    /// DDIO placements for frames queued in this worker's ring, FIFO.
+    pending_placement: VecDeque<Placement>,
+}
+
+struct Running {
+    task: Task,
+    /// Time this dispatch will execute before finish/preemption.
+    run: SimDuration,
+}
+
+struct Offload {
+    cfg: OffloadConfig,
+    client: Client,
+    horizon: SimTime,
+    client_link: Link,
+    server_link: Link,
+    nic: NicDevice,
+    disp_iface: IfaceId,
+    worker_iface: Vec<IfaceId>,
+    worker_by_mac: HashMap<net_wire::EthernetAddress, usize>,
+
+    networker: Stage<()>,
+    qm: Stage<QmItem>,
+    tx: Stage<Assignment>,
+    rx: Stage<Bytes>,
+
+    dispatcher: Dispatcher<Box<dyn SchedPolicy>, Box<dyn CoreSelector>>,
+    topology: Topology,
+    /// First-arrival instants, so re-queued tasks keep their admission time.
+    task_meta: HashMap<u64, SimTime>,
+
+    workers: Vec<Worker>,
+    ctx_pool: ContextPool,
+    ctx_costs: ContextCosts,
+    ddio: Ddio,
+    host: CoreSpec,
+
+    preemptions: u64,
+}
+
+impl Offload {
+    fn new(spec: WorkloadSpec, cfg: OffloadConfig) -> Offload {
+        let mut master = Rng::new(spec.seed);
+        let mut client = Client::new(spec, &mut master);
+        if let Some(target) = cfg.jit_target_depth {
+            client.pacing = Some(crate::common::JitPacing::new(target));
+        }
+        if let Some(process) = cfg.arrivals {
+            client.override_arrivals(process, &mut master);
+        }
+        let (client_link, server_link) = if cfg.wire_loss > 0.0 {
+            (
+                Link::ten_gbe().with_loss(cfg.wire_loss, master.fork()),
+                Link::ten_gbe().with_loss(cfg.wire_loss, master.fork()),
+            )
+        } else {
+            (Link::ten_gbe(), Link::ten_gbe())
+        };
+
+        let mut nic = NicDevice::new(params::PCIE_DMA);
+        let disp_iface = nic.add_iface(AddressPlan::dispatcher_mac(), 1, 1024, QueueSteering::Single);
+        let mut worker_iface = Vec::new();
+        let mut worker_by_mac = HashMap::new();
+        for w in 0..cfg.workers {
+            let mac = AddressPlan::worker_mac(w);
+            worker_iface.push(nic.add_iface(mac, 1, 128, QueueSteering::Single));
+            worker_by_mac.insert(mac, w);
+        }
+
+        let t0 = SimTime::ZERO;
+        let workers = (0..cfg.workers)
+            .map(|w| Worker {
+                core: Core::new(CoreId(w as u32), CoreSpec::host_x86(), t0),
+                timer: OneShotTimer::new(),
+                running: None,
+                pending_placement: VecDeque::new(),
+            })
+            .collect();
+
+        let topology = if cfg.dual_socket {
+            Topology::dual(cfg.workers as u8)
+        } else {
+            Topology::single(cfg.workers as u8)
+        };
+        let selector: Box<dyn CoreSelector> = if cfg.dual_socket && cfg.socket_aware {
+            let sockets = (0..cfg.workers).map(|w| topology.socket_of(w)).collect();
+            Box::new(SocketAffinity::new(sockets, 0))
+        } else {
+            Box::new(LeastOutstanding)
+        };
+
+        Offload {
+            dispatcher: Dispatcher::new(cfg.workers, cfg.outstanding_cap, cfg.policy.build(), selector),
+            topology,
+            cfg,
+            horizon: spec.horizon(),
+            client,
+            client_link,
+            server_link,
+            nic,
+            disp_iface,
+            worker_iface,
+            worker_by_mac,
+            networker: Stage::new(),
+            qm: Stage::new(),
+            tx: Stage::new(),
+            rx: Stage::new(),
+            task_meta: HashMap::new(),
+            workers,
+            ctx_pool: ContextPool::new(),
+            ctx_costs: ContextCosts::default(),
+            ddio: if cfg.ddio_l1 { Ddio::informed_l1(4096) } else { Ddio::classic(4096) },
+            host: CoreSpec::host_x86(),
+            preemptions: 0,
+        }
+    }
+
+    /// Per-stage compute cost under the configured profile.
+    fn stage_cost(&self, host_cycles: u64) -> SimDuration {
+        self.cfg.profile.compute.stage_cost(host_cycles)
+    }
+
+    // ---- stage starters -------------------------------------------------
+
+    fn start_networker(&mut self, ctx: &mut Ctx<Ev>) {
+        let ring = &self.nic.iface(self.disp_iface).rx[0];
+        if !self.networker.busy && !ring.is_empty() {
+            self.networker.busy = true;
+            ctx.schedule_in(self.stage_cost(params::ARM_NET_PARSE_CYCLES), Ev::NetworkerDone);
+        }
+    }
+
+    fn start_qm(&mut self, ctx: &mut Ctx<Ev>) {
+        if !self.qm.busy && !self.qm.queue.is_empty() {
+            self.qm.busy = true;
+            ctx.schedule_in(self.stage_cost(params::ARM_QUEUE_OP_CYCLES), Ev::QmDone);
+        }
+    }
+
+    fn start_tx(&mut self, ctx: &mut Ctx<Ev>) {
+        if !self.tx.busy && !self.tx.queue.is_empty() {
+            self.tx.busy = true;
+            ctx.schedule_in(self.stage_cost(params::ARM_TX_BUILD_CYCLES), Ev::TxDone);
+        }
+    }
+
+    fn start_rx(&mut self, ctx: &mut Ctx<Ev>) {
+        if !self.rx.busy && !self.rx.queue.is_empty() {
+            self.rx.busy = true;
+            ctx.schedule_in(self.stage_cost(params::ARM_RX_PARSE_CYCLES), Ev::RxDone);
+        }
+    }
+
+    /// Route a batch of dispatcher assignments toward the TX core.
+    fn emit_assignments(&mut self, assignments: Vec<Assignment>, ctx: &mut Ctx<Ev>) {
+        for a in assignments {
+            ctx.schedule_in(self.cfg.profile.stage_hop, Ev::TxPush(a));
+        }
+    }
+
+    // ---- worker helpers -------------------------------------------------
+
+    /// Start the next stashed request on an idle worker, if any.
+    fn worker_poll(&mut self, w: usize, ctx: &mut Ctx<Ev>) {
+        if self.workers[w].running.is_some() {
+            return;
+        }
+        let iface = self.worker_iface[w];
+        let Some(frame) = self.nic.iface_mut(iface).rx[0].pop() else {
+            self.workers[w].core.set_idle(ctx.now());
+            return;
+        };
+        let parsed = match ParsedFrame::parse(&frame.data) {
+            Ok(p) if p.msg.kind == MsgKind::Assign => p,
+            _ => {
+                // Malformed or unexpected frame: drop and keep polling.
+                self.workers[w].pending_placement.pop_front();
+                ctx.schedule_now(Ev::WorkerPoll(w));
+                return;
+            }
+        };
+        let placement = self.workers[w]
+            .pending_placement
+            .pop_front()
+            .unwrap_or(Placement::Dram);
+
+        let msg = parsed.msg;
+        let task = Task {
+            req_id: msg.req_id,
+            client_id: msg.client_id,
+            service: SimDuration::from_nanos(msg.service_ns),
+            remaining: SimDuration::from_nanos(msg.remaining_ns),
+            sent_at: SimTime::from_nanos(msg.sent_at_ns),
+            arrived_at: ctx.now(),
+            body_len: msg.body_len,
+            preemptions: 0,
+        };
+
+        // Overheads before useful work: parse, context spawn/restore,
+        // first touch of the DMA'd payload, timer arming.
+        let ctx_op = self.ctx_pool.begin(task.req_id);
+        // Cross-socket first touch: DDIO homed the packet on socket 0's
+        // LLC; a socket-1 worker pays the interconnect per line (§1).
+        let interconnect = if self.cfg.dual_socket && self.topology.is_remote(w, 0) {
+            CROSS_SOCKET_PENALTY
+        } else {
+            SimDuration::ZERO
+        };
+        let mut overhead = params::WORKER_RX_COST
+            + ContextPool::op_cost(ctx_op, &self.ctx_costs, &self.host)
+            + self.ddio.first_touch_from(
+                placement,
+                packet_lines(net_wire::message::HEADER_LEN + task.body_len as usize),
+                interconnect,
+            );
+        self.ddio.release(placement, packet_lines(net_wire::message::HEADER_LEN + task.body_len as usize));
+
+        let run = match self.cfg.time_slice {
+            Some(slice) => {
+                overhead += self.timer_set_cost();
+                // A NIC-initiated interrupt lands one transport latency
+                // after the slice expires, so the request overruns by that
+                // much — §3.4.4's argument against packet-based preemption.
+                let effective = slice + self.cfg.profile.interrupt.transport_latency();
+                task.remaining.min(effective)
+            }
+            None => task.remaining,
+        };
+
+        let worker = &mut self.workers[w];
+        worker.core.set_busy(ctx.now());
+        let end = ctx.now() + overhead + run;
+        let gen = worker.timer.arm(end);
+        worker.running = Some(Running { task, run });
+        ctx.schedule_at(end, Ev::WorkerRunEnd { worker: w, gen });
+    }
+
+    fn timer_set_cost(&self) -> SimDuration {
+        match self.cfg.profile.interrupt {
+            InterruptPath::LocalTimer(mode) => mode.set_cost(&self.host),
+            // NIC-initiated interrupts need no worker-side arming.
+            _ => SimDuration::ZERO,
+        }
+    }
+
+    fn preempt_receive_cost(&self) -> SimDuration {
+        self.cfg.profile.interrupt.receive_cost(&self.host)
+    }
+
+    /// Build the notification frame a worker sends to the dispatcher.
+    fn notif_spec(&self, w: usize, msg: MsgRepr) -> FrameSpec {
+        FrameSpec {
+            src_mac: AddressPlan::worker_mac(w),
+            dst_mac: AddressPlan::dispatcher_mac(),
+            src: AddressPlan::worker_ep(w),
+            dst: AddressPlan::dispatcher_ep(),
+            msg,
+        }
+    }
+
+    fn worker_run_end(&mut self, w: usize, gen: u64, ctx: &mut Ctx<Ev>) {
+        if !self.workers[w].timer.accept(gen) {
+            return; // stale firing
+        }
+        let Running { task, run } = self.workers[w].running.take().expect("running");
+        let now = ctx.now();
+        let finished = task.remaining <= run;
+
+        if finished {
+            // Response to the client and Done to the dispatcher: two
+            // packets, built back to back (§3.4.3).
+            let resp_built = now + params::WORKER_TX_COST;
+            let resp = FrameSpec {
+                src_mac: AddressPlan::worker_mac(w),
+                dst_mac: AddressPlan::client_mac(),
+                src: AddressPlan::worker_ep(w),
+                dst: AddressPlan::client_ep(),
+                msg: MsgRepr {
+                    kind: MsgKind::Response,
+                    req_id: task.req_id,
+                    client_id: task.client_id,
+                    service_ns: task.service.as_nanos(),
+                    // The NIC sees every departing response; in the §5.2
+                    // co-design it stamps its instantaneous scheduler load
+                    // (queued + in flight) for the client's pacer.
+                    remaining_ns: self.dispatcher.queue_len() as u64
+                        + self.dispatcher.total_outstanding() as u64,
+                    sent_at_ns: task.sent_at.as_nanos(),
+                    body_len: task.body_len,
+                },
+            };
+            let payload_len = resp.frame_len() - net_wire::ethernet::HEADER_LEN;
+            let depart = resp_built + self.nic.dma_latency;
+            if let Some(arrive) = self.server_link.transmit_lossy(depart, payload_len) {
+                ctx.schedule_at(arrive, Ev::ClientResp(resp.build()));
+            }
+
+            let notif_built = resp_built + params::WORKER_TX_COST;
+            let done = self.notif_spec(
+                w,
+                MsgRepr {
+                    kind: MsgKind::Done,
+                    req_id: task.req_id,
+                    client_id: task.client_id,
+                    service_ns: task.service.as_nanos(),
+                    remaining_ns: 0,
+                    sent_at_ns: task.sent_at.as_nanos(),
+                    body_len: 0,
+                },
+            );
+            ctx.schedule_at(notif_built + self.cfg.profile.from_worker, Ev::RxNotif(done.build()));
+
+            self.ctx_pool.discard(task.req_id);
+            self.workers[w].core.requests_run += 1;
+            // The worker is free once both packets are built; it
+            // immediately pulls the next stashed request (§3.4.5).
+            ctx.schedule_at(notif_built, Ev::WorkerPoll(w));
+        } else {
+            // Slice expiry: take the interrupt, save the context, notify.
+            self.preemptions += 1;
+            self.workers[w].core.preemptions += 1;
+            let after = task.after_preemption(run);
+            self.ctx_pool.save(after.req_id);
+            let free_at = now
+                + self.preempt_receive_cost()
+                + self.ctx_costs.save(&self.host)
+                + params::WORKER_TX_COST;
+            let notif = self.notif_spec(
+                w,
+                MsgRepr {
+                    kind: MsgKind::Preempted,
+                    req_id: after.req_id,
+                    client_id: after.client_id,
+                    service_ns: after.service.as_nanos(),
+                    remaining_ns: after.remaining.as_nanos(),
+                    sent_at_ns: after.sent_at.as_nanos(),
+                    body_len: after.body_len,
+                },
+            );
+            ctx.schedule_at(free_at + self.cfg.profile.from_worker, Ev::RxNotif(notif.build()));
+            ctx.schedule_at(free_at, Ev::WorkerPoll(w));
+        }
+    }
+}
+
+impl Model for Offload {
+    type Event = Ev;
+
+    fn handle(&mut self, event: Ev, ctx: &mut Ctx<Ev>) {
+        match event {
+            Ev::ClientSend => {
+                if ctx.now() >= self.horizon {
+                    return;
+                }
+                let spec = self.client.make_request(ctx.now());
+                let payload_len = spec.frame_len() - net_wire::ethernet::HEADER_LEN;
+                let bytes = spec.build();
+                if let Some(arrive) = self.client_link.transmit_lossy(ctx.now(), payload_len) {
+                    ctx.schedule_at(arrive, Ev::WireToNic(bytes));
+                }
+                let gap = self.client.next_gap();
+                ctx.schedule_in(gap, Ev::ClientSend);
+            }
+            Ev::WireToNic(bytes) => {
+                let Ok(parsed) = ParsedFrame::parse(&bytes) else {
+                    return;
+                };
+                if let Some(d) = self.nic.steer(&parsed) {
+                    self.nic.iface_mut(d.iface).rx[d.queue].push(ctx.now(), bytes);
+                    if d.iface == self.disp_iface {
+                        self.start_networker(ctx);
+                    }
+                }
+            }
+            Ev::NetworkerDone => {
+                self.networker.busy = false;
+                self.networker.processed += 1;
+                if let Some(frame) = self.nic.iface_mut(self.disp_iface).rx[0].pop() {
+                    if let Ok(parsed) = ParsedFrame::parse(&frame.data) {
+                        if parsed.msg.kind == MsgKind::Request {
+                            let msg = parsed.msg;
+                            let task = Task::new(
+                                msg.req_id,
+                                msg.client_id,
+                                SimDuration::from_nanos(msg.service_ns),
+                                SimTime::from_nanos(msg.sent_at_ns),
+                                ctx.now(),
+                                msg.body_len,
+                            );
+                            ctx.schedule_in(self.cfg.profile.stage_hop, Ev::QmPush(QmItem::NewTask(task)));
+                        }
+                    }
+                }
+                self.start_networker(ctx);
+            }
+            Ev::QmPush(item) => {
+                self.qm.queue.push_back(item);
+                self.start_qm(ctx);
+            }
+            Ev::QmDone => {
+                self.qm.busy = false;
+                self.qm.processed += 1;
+                if let Some(item) = self.qm.queue.pop_front() {
+                    let now = ctx.now();
+                    let assignments = match item {
+                        QmItem::NewTask(task) => {
+                            self.task_meta.insert(task.req_id, task.arrived_at);
+                            self.dispatcher.on_request(now, task)
+                        }
+                        QmItem::Done { worker, req_id } => {
+                            self.task_meta.remove(&req_id);
+                            self.dispatcher.on_done(now, worker, req_id)
+                        }
+                        QmItem::Preempted { worker, task } => {
+                            self.dispatcher.on_preempted(now, worker, task)
+                        }
+                    };
+                    self.emit_assignments(assignments, ctx);
+                }
+                self.start_qm(ctx);
+            }
+            Ev::TxPush(a) => {
+                self.tx.queue.push_back(a);
+                self.start_tx(ctx);
+            }
+            Ev::TxDone => {
+                self.tx.busy = false;
+                self.tx.processed += 1;
+                if let Some(a) = self.tx.queue.pop_front() {
+                    let t = a.task;
+                    let spec = FrameSpec {
+                        src_mac: AddressPlan::dispatcher_mac(),
+                        dst_mac: AddressPlan::worker_mac(a.worker),
+                        src: AddressPlan::dispatcher_ep(),
+                        dst: AddressPlan::worker_ep(a.worker),
+                        msg: MsgRepr {
+                            kind: MsgKind::Assign,
+                            req_id: t.req_id,
+                            client_id: t.client_id,
+                            service_ns: t.service.as_nanos(),
+                            remaining_ns: t.remaining.as_nanos(),
+                            sent_at_ns: t.sent_at.as_nanos(),
+                            body_len: t.body_len,
+                        },
+                    };
+                    ctx.schedule_in(
+                        self.cfg.profile.to_worker,
+                        Ev::WorkerFrame(a.worker, spec.build()),
+                    );
+                }
+                self.start_tx(ctx);
+            }
+            Ev::WorkerFrame(w, bytes) => {
+                // DDIO placement happens at DMA time.
+                let lines = packet_lines(bytes.len());
+                let resident: usize = self.workers[w]
+                    .pending_placement
+                    .iter()
+                    .filter(|p| **p == Placement::L1)
+                    .count()
+                    * lines;
+                let placement = self.ddio.place(lines, resident);
+                let iface = self.worker_iface[w];
+                if self.nic.iface_mut(iface).rx[0].push(ctx.now(), bytes) {
+                    self.workers[w].pending_placement.push_back(placement);
+                    if self.workers[w].running.is_none() {
+                        ctx.schedule_now(Ev::WorkerPoll(w));
+                    }
+                } else {
+                    self.ddio.release(placement, lines);
+                }
+            }
+            Ev::WorkerPoll(w) => self.worker_poll(w, ctx),
+            Ev::WorkerRunEnd { worker, gen } => self.worker_run_end(worker, gen, ctx),
+            Ev::RxNotif(bytes) => {
+                self.rx.queue.push_back(bytes);
+                self.start_rx(ctx);
+            }
+            Ev::RxDone => {
+                self.rx.busy = false;
+                self.rx.processed += 1;
+                if let Some(bytes) = self.rx.queue.pop_front() {
+                    if let Ok(parsed) = ParsedFrame::parse(&bytes) {
+                        if let Some(&w) = self.worker_by_mac.get(&parsed.eth.src_addr) {
+                            let msg = parsed.msg;
+                            let item = match msg.kind {
+                                MsgKind::Done => Some(QmItem::Done { worker: w, req_id: msg.req_id }),
+                                MsgKind::Preempted => {
+                                    let arrived = self
+                                        .task_meta
+                                        .get(&msg.req_id)
+                                        .copied()
+                                        .unwrap_or(ctx.now());
+                                    Some(QmItem::Preempted {
+                                        worker: w,
+                                        task: Task {
+                                            req_id: msg.req_id,
+                                            client_id: msg.client_id,
+                                            service: SimDuration::from_nanos(msg.service_ns),
+                                            remaining: SimDuration::from_nanos(msg.remaining_ns),
+                                            sent_at: SimTime::from_nanos(msg.sent_at_ns),
+                                            arrived_at: arrived,
+                                            body_len: msg.body_len,
+                                            preemptions: 0,
+                                        },
+                                    })
+                                }
+                                _ => None,
+                            };
+                            if let Some(item) = item {
+                                ctx.schedule_in(self.cfg.profile.stage_hop, Ev::QmPush(item));
+                            }
+                        }
+                    }
+                }
+                self.start_rx(ctx);
+            }
+            Ev::ClientResp(bytes) => {
+                if let Ok(parsed) = ParsedFrame::parse(&bytes) {
+                    self.client.on_response(ctx.now(), &parsed);
+                }
+            }
+        }
+    }
+}
+
+/// Run a Shinjuku-Offload simulation of `spec` under `cfg`.
+pub fn run(spec: WorkloadSpec, cfg: OffloadConfig) -> RunMetrics {
+    let mut engine = Engine::new(Offload::new(spec, cfg));
+    engine.schedule_at(SimTime::ZERO, Ev::ClientSend);
+    engine.run_until(spec.horizon());
+    let horizon = spec.horizon();
+    let model = engine.model();
+    let util = model
+        .workers
+        .iter()
+        .map(|w| w.core.utilization(horizon))
+        .sum::<f64>()
+        / model.workers.len() as f64;
+    assemble_metrics(&model.client, model.nic.total_drops(), model.preemptions, util)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workload::ServiceDist;
+
+    fn quick_spec(rps: f64, dist: ServiceDist) -> WorkloadSpec {
+        WorkloadSpec {
+            offered_rps: rps,
+            dist,
+            body_len: 64,
+            warmup: SimDuration::from_millis(2),
+            measure: SimDuration::from_millis(20),
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn light_load_completes_everything() {
+        let spec = quick_spec(50_000.0, ServiceDist::Fixed(SimDuration::from_micros(5)));
+        let m = run(spec, OffloadConfig::paper(4, 4));
+        assert!(m.completed > 500, "completed {}", m.completed);
+        assert!(!m.saturated(0.05), "should not saturate at 50k rps: {}", m.row());
+        assert_eq!(m.dropped, 0);
+    }
+
+    #[test]
+    fn latency_includes_the_nic_round_trip() {
+        // At near-zero load a 1us request still pays: wire, networker, QM,
+        // TX build + 1.88us, worker overheads, 1us work, response path.
+        let spec = quick_spec(5_000.0, ServiceDist::Fixed(SimDuration::from_micros(1)));
+        let m = run(spec, OffloadConfig::paper(2, 2));
+        assert!(
+            m.p50 > SimDuration::from_micros(5),
+            "p50 {} should include the NIC path",
+            m.p50
+        );
+        assert!(m.p50 < SimDuration::from_micros(20), "p50 {} suspiciously high", m.p50);
+    }
+
+    #[test]
+    fn saturation_at_overload() {
+        // 4 workers at 5us = 800k rps ideal capacity; offer way beyond it.
+        let spec = quick_spec(1_500_000.0, ServiceDist::Fixed(SimDuration::from_micros(5)));
+        let m = run(spec, OffloadConfig::paper(4, 4));
+        assert!(m.saturated(0.05), "must saturate: {}", m.row());
+        assert!(m.achieved_rps < 900_000.0, "achieved {}", m.achieved_rps);
+        assert!(m.worker_utilization > 0.9, "workers should be pegged");
+    }
+
+    #[test]
+    fn preemption_bounds_short_request_tail_under_dispersion() {
+        let spec = quick_spec(300_000.0, ServiceDist::paper_bimodal());
+        let with = run(spec, OffloadConfig::paper(4, 4));
+        let without = run(
+            spec,
+            OffloadConfig { time_slice: None, ..OffloadConfig::paper(4, 4) },
+        );
+        assert!(with.preemptions > 0, "bimodal load must trigger preemptions");
+        assert_eq!(without.preemptions, 0);
+        assert!(
+            with.p99 < without.p99,
+            "preemption should cut the tail: with={} without={}",
+            with.p99,
+            without.p99
+        );
+    }
+
+    #[test]
+    fn queuing_optimization_raises_throughput() {
+        // The Figure 3 effect: more outstanding requests hide the NIC
+        // round trip on short requests.
+        let spec = quick_spec(1_200_000.0, ServiceDist::Fixed(SimDuration::from_micros(1)));
+        let k1 = run(spec, OffloadConfig { time_slice: None, ..OffloadConfig::paper(4, 1) });
+        let k5 = run(spec, OffloadConfig { time_slice: None, ..OffloadConfig::paper(4, 5) });
+        assert!(
+            k5.achieved_rps > k1.achieved_rps * 1.5,
+            "outstanding=5 ({:.0}) should beat outstanding=1 ({:.0}) by a lot",
+            k5.achieved_rps,
+            k1.achieved_rps
+        );
+    }
+
+    #[test]
+    fn ideal_profile_beats_stingray_on_short_requests() {
+        let spec = quick_spec(1_000_000.0, ServiceDist::Fixed(SimDuration::from_micros(1)));
+        let stingray = run(spec, OffloadConfig::paper(4, 5));
+        let ideal = run(
+            spec,
+            OffloadConfig { profile: NicProfile::ideal(), ..OffloadConfig::paper(4, 5) },
+        );
+        assert!(
+            ideal.achieved_rps >= stingray.achieved_rps,
+            "ideal {:.0} vs stingray {:.0}",
+            ideal.achieved_rps,
+            stingray.achieved_rps
+        );
+        assert!(ideal.p99 < stingray.p99, "ideal {} vs stingray {}", ideal.p99, stingray.p99);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let spec = quick_spec(200_000.0, ServiceDist::paper_bimodal());
+        let a = run(spec, OffloadConfig::paper(3, 4));
+        let b = run(spec, OffloadConfig::paper(3, 4));
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.p99, b.p99);
+        assert_eq!(a.preemptions, b.preemptions);
+    }
+}
+
+#[cfg(test)]
+mod socket_tests {
+    use super::*;
+    use workload::ServiceDist;
+
+    fn quick_spec(rps: f64) -> WorkloadSpec {
+        WorkloadSpec {
+            offered_rps: rps,
+            // Short requests with big bodies: the packet-touch cost is a
+            // visible fraction of the work.
+            dist: ServiceDist::Fixed(SimDuration::from_micros(2)),
+            body_len: 1024,
+            warmup: SimDuration::from_millis(2),
+            measure: SimDuration::from_millis(20),
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn dual_socket_costs_latency_vs_single() {
+        let single = run(quick_spec(400_000.0), OffloadConfig::paper(8, 2));
+        let dual = run(
+            quick_spec(400_000.0),
+            OffloadConfig { dual_socket: true, ..OffloadConfig::paper(8, 2) },
+        );
+        assert!(
+            dual.p50 >= single.p50,
+            "remote first touches must not make things faster: {} vs {}",
+            dual.p50,
+            single.p50
+        );
+    }
+
+    #[test]
+    fn socket_aware_selection_recovers_some_of_the_cost() {
+        // At moderate load the socket-aware selector can keep most work on
+        // socket 0 and avoid the QPI hop.
+        let blind = run(
+            quick_spec(300_000.0),
+            OffloadConfig { dual_socket: true, ..OffloadConfig::paper(8, 2) },
+        );
+        let aware = run(
+            quick_spec(300_000.0),
+            OffloadConfig { dual_socket: true, socket_aware: true, ..OffloadConfig::paper(8, 2) },
+        );
+        assert!(
+            aware.p50 <= blind.p50,
+            "socket-aware selection should not be slower: {} vs {}",
+            aware.p50,
+            blind.p50
+        );
+        assert!(!aware.saturated(0.05) && !blind.saturated(0.05));
+    }
+
+    #[test]
+    fn socket_aware_still_uses_remote_workers_at_high_load() {
+        // Work conservation: at load beyond socket 0's capacity the
+        // selector must spill to socket 1 rather than queue forever.
+        // 4us requests with 64B bodies, so neither the 10GbE wire nor the
+        // ARM TX stage binds before the local socket does: 4 local workers
+        // cap at 1M; anything beyond proves remote workers are used.
+        let spec = WorkloadSpec {
+            offered_rps: 1_800_000.0,
+            dist: ServiceDist::Fixed(SimDuration::from_micros(4)),
+            body_len: 64,
+            warmup: SimDuration::from_millis(2),
+            measure: SimDuration::from_millis(20),
+            seed: 42,
+        };
+        let m = run(
+            spec,
+            OffloadConfig {
+                dual_socket: true,
+                socket_aware: true,
+                time_slice: None,
+                ..OffloadConfig::paper(8, 2)
+            },
+        );
+        assert!(
+            m.achieved_rps > 1_050_000.0,
+            "must spill to the remote socket: {:.0}",
+            m.achieved_rps
+        );
+    }
+}
+
+#[cfg(test)]
+mod jit_tests {
+    use super::*;
+    use workload::ServiceDist;
+
+    fn over_capacity_spec() -> WorkloadSpec {
+        // 4 workers x 5.475us mean = ~730k capacity; offer 850k.
+        WorkloadSpec {
+            offered_rps: 850_000.0,
+            dist: ServiceDist::paper_bimodal(),
+            body_len: 64,
+            warmup: SimDuration::from_millis(5),
+            measure: SimDuration::from_millis(30),
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn jit_pacing_bounds_the_tail_under_overload() {
+        let open = run(over_capacity_spec(), OffloadConfig::paper(4, 4));
+        let jit = run(
+            over_capacity_spec(),
+            OffloadConfig { jit_target_depth: Some(16), ..OffloadConfig::paper(4, 4) },
+        );
+        // Open loop over capacity: the centralized queue grows without
+        // bound and the tail explodes. JIT throttles to ~capacity and
+        // keeps the queue at the setpoint (§5.2: "just in time for
+        // processing").
+        assert!(open.saturated(0.05), "open loop must saturate: {}", open.row());
+        assert!(
+            jit.p99 < open.p99 / 4,
+            "JIT should collapse the overload tail: {} vs {}",
+            jit.p99,
+            open.p99
+        );
+        // The price: JIT gives up some throughput to hold the setpoint.
+        assert!(
+            jit.achieved_rps > open.achieved_rps * 0.75,
+            "JIT throughput {:.0} should stay near capacity {:.0}",
+            jit.achieved_rps,
+            open.achieved_rps
+        );
+    }
+
+    #[test]
+    fn jit_is_inert_below_capacity() {
+        let spec = WorkloadSpec { offered_rps: 300_000.0, ..over_capacity_spec() };
+        let open = run(spec, OffloadConfig::paper(4, 4));
+        let jit = run(spec, OffloadConfig { jit_target_depth: Some(16), ..OffloadConfig::paper(4, 4) });
+        // Below the setpoint the pacer stays at full rate.
+        assert!(!jit.saturated(0.05), "{}", jit.row());
+        let ratio = jit.achieved_rps / open.achieved_rps;
+        assert!((0.97..1.03).contains(&ratio), "throughput ratio {ratio}");
+    }
+}
+
+#[cfg(test)]
+mod robustness_tests {
+    use super::*;
+    use workload::{ArrivalProcess, ServiceDist};
+
+    fn quick_spec(rps: f64) -> WorkloadSpec {
+        WorkloadSpec {
+            offered_rps: rps,
+            dist: ServiceDist::Fixed(SimDuration::from_micros(5)),
+            body_len: 64,
+            warmup: SimDuration::from_millis(2),
+            measure: SimDuration::from_millis(25),
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn one_percent_wire_loss_costs_about_two_percent_goodput() {
+        // Requests and responses each cross a 1%-lossy wire: expect ~2%
+        // of round trips to fail — and nothing to wedge.
+        let clean = run(quick_spec(300_000.0), OffloadConfig::paper(4, 4));
+        let lossy = run(
+            quick_spec(300_000.0),
+            OffloadConfig { wire_loss: 0.01, ..OffloadConfig::paper(4, 4) },
+        );
+        let ratio = lossy.achieved_rps / clean.achieved_rps;
+        assert!(
+            (0.955..0.995).contains(&ratio),
+            "goodput ratio {ratio} should reflect ~2% round-trip loss"
+        );
+        // The tail of *delivered* responses is unaffected — loss is not
+        // congestion.
+        assert!(lossy.p99 < clean.p99 * 2, "{} vs {}", lossy.p99, clean.p99);
+    }
+
+    #[test]
+    fn lossy_run_is_deterministic() {
+        let cfg = OffloadConfig { wire_loss: 0.02, ..OffloadConfig::paper(4, 4) };
+        let a = run(quick_spec(200_000.0), cfg);
+        let b = run(quick_spec(200_000.0), cfg);
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.p99, b.p99);
+    }
+
+    #[test]
+    fn bursty_arrivals_inflate_the_tail_at_equal_mean_load() {
+        let mean_rate = 400_000.0;
+        let poisson = run(quick_spec(mean_rate), OffloadConfig::paper(4, 4));
+        let bursty = run(
+            quick_spec(mean_rate),
+            OffloadConfig {
+                // Short dwells so the 25ms window averages many
+                // calm/burst cycles; bursts run near the 4-worker
+                // capacity (800k) while the long-run mean stays 400k.
+                arrivals: Some(ArrivalProcess::Bursty {
+                    calm_rps: 100_000.0,
+                    burst_rps: 700_000.0,
+                    calm_dwell: SimDuration::from_micros(200),
+                    burst_dwell: SimDuration::from_micros(200),
+                }),
+                ..OffloadConfig::paper(4, 4)
+            },
+        );
+        // Same long-run rate...
+        assert!(
+            (bursty.achieved_rps / poisson.achieved_rps - 1.0).abs() < 0.1,
+            "{:.0} vs {:.0}",
+            bursty.achieved_rps,
+            poisson.achieved_rps
+        );
+        // ...but bursts above capacity back the queue up.
+        assert!(
+            bursty.p99 > poisson.p99,
+            "bursts must inflate the tail: {} vs {}",
+            bursty.p99,
+            poisson.p99
+        );
+    }
+}

@@ -1,0 +1,452 @@
+//! Vanilla Shinjuku: centralized preemptive scheduling on the host
+//! (Kaffes et al., NSDI '19 — the baseline the paper compares against).
+//!
+//! The networking subsystem and the dispatcher run as two hyperthreads on
+//! one physical host core (§4.1), so a server with `n` cores gets `n - 1`
+//! workers. Requests flow NIC → networker → dispatcher → worker over
+//! shared-memory queues whose hop latency is the §2.2 "2 µs of additional
+//! tail latency" cost; the dispatcher's 200 ns/request budget is the §1
+//! "5M requests per second" scaling limit.
+//!
+//! The scheduling semantics — centralized FIFO, preemption at the slice,
+//! re-enqueue at the tail — are byte-identical to the offloaded system:
+//! both embed [`nicsched::Dispatcher`]. Only placement and transport
+//! differ, which is the paper's point.
+
+use std::collections::VecDeque;
+
+use bytes::Bytes;
+use cpu_model::{ContextCosts, ContextPool, Core, CoreId, CoreSpec, OneShotTimer, TimerMode};
+use net_wire::{FrameSpec, MsgKind, MsgRepr, ParsedFrame};
+use nic_model::{IfaceId, Link, NicDevice, QueueSteering};
+use nicsched::{params, Assignment, Dispatcher, LeastOutstanding, PolicyKind, SchedPolicy, Task};
+use sim_core::{Ctx, Engine, Model, Rng, SimDuration, SimTime};
+use workload::{RunMetrics, WorkloadSpec};
+
+use crate::common::{assemble_metrics, AddressPlan, Client};
+
+/// Configuration of a vanilla Shinjuku instance.
+#[derive(Debug, Clone, Copy)]
+pub struct ShinjukuConfig {
+    /// Worker cores (the networker+dispatcher pair occupies one more
+    /// physical core, which is why the paper's figures give Shinjuku one
+    /// fewer worker than Shinjuku-Offload).
+    pub workers: usize,
+    /// Preemption time slice; `None` disables preemption.
+    pub time_slice: Option<SimDuration>,
+    /// Centralized queue policy (FCFS in the original system).
+    pub policy: PolicyKind,
+}
+
+impl ShinjukuConfig {
+    /// The paper's §4 configuration with the 10 µs slice.
+    pub fn paper(workers: usize) -> ShinjukuConfig {
+        ShinjukuConfig { workers, time_slice: Some(params::TIME_SLICE), policy: PolicyKind::Fcfs }
+    }
+}
+
+/// Items crossing into the dispatcher thread.
+#[derive(Debug, Clone, Copy)]
+enum DispItem {
+    NewTask(Task),
+    Done { worker: usize, req_id: u64 },
+    Preempted { worker: usize, task: Task },
+    /// A decided assignment being written to a worker queue (charged
+    /// separately so dispatcher busy-time scales with fan-out).
+    Emit(Assignment),
+}
+
+enum Ev {
+    ClientSend,
+    WireToNic(Bytes),
+    NetworkerDone,
+    DispPush(DispItem),
+    DispDone,
+    /// A task becomes visible in a worker's shared-memory inbox.
+    WorkerTask(usize, Task),
+    WorkerPoll(usize),
+    WorkerRunEnd { worker: usize, gen: u64 },
+    ClientResp(Bytes),
+}
+
+struct Worker {
+    core: Core,
+    timer: OneShotTimer,
+    inbox: VecDeque<Task>,
+    running: Option<(Task, SimDuration)>,
+}
+
+struct Shinjuku {
+    cfg: ShinjukuConfig,
+    client: Client,
+    horizon: SimTime,
+    client_link: Link,
+    server_link: Link,
+    nic: NicDevice,
+    net_iface: IfaceId,
+
+    networker_busy: bool,
+    disp_queue: VecDeque<DispItem>,
+    disp_busy: bool,
+
+    dispatcher: Dispatcher<Box<dyn SchedPolicy>, LeastOutstanding>,
+    workers: Vec<Worker>,
+    ctx_pool: ContextPool,
+    ctx_costs: ContextCosts,
+    host: CoreSpec,
+    preemptions: u64,
+}
+
+impl Shinjuku {
+    fn new(spec: WorkloadSpec, cfg: ShinjukuConfig) -> Shinjuku {
+        let mut master = Rng::new(spec.seed);
+        let client = Client::new(spec, &mut master);
+
+        let mut nic = NicDevice::new(params::PCIE_DMA);
+        let net_iface = nic.add_iface(AddressPlan::dispatcher_mac(), 1, 1024, QueueSteering::Single);
+
+        let t0 = SimTime::ZERO;
+        let workers = (0..cfg.workers)
+            .map(|w| Worker {
+                core: Core::new(CoreId(w as u32), CoreSpec::host_x86(), t0),
+                timer: OneShotTimer::new(),
+                inbox: VecDeque::new(),
+                running: None,
+            })
+            .collect();
+
+        Shinjuku {
+            // Shinjuku keeps exactly one request in flight per worker: the
+            // dispatcher assigns to *idle* workers only (§2.1).
+            dispatcher: Dispatcher::new(cfg.workers, 1, cfg.policy.build(), LeastOutstanding),
+            cfg,
+            horizon: spec.horizon(),
+            client,
+            client_link: Link::ten_gbe(),
+            server_link: Link::ten_gbe(),
+            nic,
+            net_iface,
+            networker_busy: false,
+            disp_queue: VecDeque::new(),
+            disp_busy: false,
+            workers,
+            ctx_pool: ContextPool::new(),
+            ctx_costs: ContextCosts::default(),
+            host: CoreSpec::host_x86(),
+            preemptions: 0,
+        }
+    }
+
+    fn start_networker(&mut self, ctx: &mut Ctx<Ev>) {
+        if !self.networker_busy && !self.nic.iface(self.net_iface).rx[0].is_empty() {
+            self.networker_busy = true;
+            ctx.schedule_in(params::HOST_NET_PER_PACKET, Ev::NetworkerDone);
+        }
+    }
+
+    fn disp_item_cost(item: &DispItem) -> SimDuration {
+        match item {
+            DispItem::NewTask(_) => params::HOST_DISPATCH_ENQUEUE,
+            DispItem::Done { .. } | DispItem::Preempted { .. } => params::HOST_DISPATCH_COMPLETE,
+            DispItem::Emit(_) => params::HOST_DISPATCH_ASSIGN,
+        }
+    }
+
+    fn start_dispatcher(&mut self, ctx: &mut Ctx<Ev>) {
+        if !self.disp_busy {
+            if let Some(item) = self.disp_queue.front() {
+                self.disp_busy = true;
+                ctx.schedule_in(Self::disp_item_cost(item), Ev::DispDone);
+            }
+        }
+    }
+
+    fn worker_poll(&mut self, w: usize, ctx: &mut Ctx<Ev>) {
+        if self.workers[w].running.is_some() {
+            return;
+        }
+        let Some(task) = self.workers[w].inbox.pop_front() else {
+            self.workers[w].core.set_idle(ctx.now());
+            return;
+        };
+        let ctx_op = self.ctx_pool.begin(task.req_id);
+        let mut overhead = ContextPool::op_cost(ctx_op, &self.ctx_costs, &self.host);
+        let run = match self.cfg.time_slice {
+            Some(slice) => {
+                // Dune-mapped APIC timers — the mechanism Shinjuku itself
+                // introduced (§3.4.4 cites its cost numbers).
+                overhead += TimerMode::DuneMapped.set_cost(&self.host);
+                task.remaining.min(slice)
+            }
+            None => task.remaining,
+        };
+        let worker = &mut self.workers[w];
+        worker.core.set_busy(ctx.now());
+        let end = ctx.now() + overhead + run;
+        let gen = worker.timer.arm(end);
+        worker.running = Some((task, run));
+        ctx.schedule_at(end, Ev::WorkerRunEnd { worker: w, gen });
+    }
+
+    fn worker_run_end(&mut self, w: usize, gen: u64, ctx: &mut Ctx<Ev>) {
+        if !self.workers[w].timer.accept(gen) {
+            return;
+        }
+        let (task, run) = self.workers[w].running.take().expect("running task");
+        let now = ctx.now();
+        if task.remaining <= run {
+            // Finished: response straight out the NIC; Done notification is
+            // a shared-memory write visible one queue hop later.
+            let resp_built = now + params::WORKER_TX_COST;
+            let resp = FrameSpec {
+                src_mac: AddressPlan::dispatcher_mac(),
+                dst_mac: AddressPlan::client_mac(),
+                src: AddressPlan::worker_ep(w),
+                dst: AddressPlan::client_ep(),
+                msg: MsgRepr {
+                    kind: MsgKind::Response,
+                    req_id: task.req_id,
+                    client_id: task.client_id,
+                    service_ns: task.service.as_nanos(),
+                    remaining_ns: 0,
+                    sent_at_ns: task.sent_at.as_nanos(),
+                    body_len: task.body_len,
+                },
+            };
+            let payload_len = resp.frame_len() - net_wire::ethernet::HEADER_LEN;
+            let depart = resp_built + self.nic.dma_latency;
+            let arrive = self.server_link.transmit(depart, payload_len);
+            ctx.schedule_at(arrive, Ev::ClientResp(resp.build()));
+
+            self.ctx_pool.discard(task.req_id);
+            self.workers[w].core.requests_run += 1;
+            ctx.schedule_in(
+                params::HOST_QUEUE_HOP,
+                Ev::DispPush(DispItem::Done { worker: w, req_id: task.req_id }),
+            );
+            ctx.schedule_at(resp_built, Ev::WorkerPoll(w));
+        } else {
+            // Slice expiry: posted interrupt, save, hand back via memory.
+            self.preemptions += 1;
+            self.workers[w].core.preemptions += 1;
+            let after = task.after_preemption(run);
+            self.ctx_pool.save(after.req_id);
+            let free_at = now
+                + TimerMode::DuneMapped.deliver_cost(&self.host)
+                + self.ctx_costs.save(&self.host);
+            ctx.schedule_at(
+                free_at + params::HOST_QUEUE_HOP,
+                Ev::DispPush(DispItem::Preempted { worker: w, task: after }),
+            );
+            ctx.schedule_at(free_at, Ev::WorkerPoll(w));
+        }
+    }
+}
+
+impl Model for Shinjuku {
+    type Event = Ev;
+
+    fn handle(&mut self, event: Ev, ctx: &mut Ctx<Ev>) {
+        match event {
+            Ev::ClientSend => {
+                if ctx.now() >= self.horizon {
+                    return;
+                }
+                let spec = self.client.make_request(ctx.now());
+                let payload_len = spec.frame_len() - net_wire::ethernet::HEADER_LEN;
+                let bytes = spec.build();
+                let arrive = self.client_link.transmit(ctx.now(), payload_len);
+                ctx.schedule_at(arrive, Ev::WireToNic(bytes));
+                let gap = self.client.next_gap();
+                ctx.schedule_in(gap, Ev::ClientSend);
+            }
+            Ev::WireToNic(bytes) => {
+                let Ok(parsed) = ParsedFrame::parse(&bytes) else {
+                    return;
+                };
+                if let Some(d) = self.nic.steer(&parsed) {
+                    // DMA into host memory, then the networker can see it.
+                    self.nic.iface_mut(d.iface).rx[d.queue].push(ctx.now(), bytes);
+                    self.start_networker(ctx);
+                }
+            }
+            Ev::NetworkerDone => {
+                self.networker_busy = false;
+                if let Some(frame) = self.nic.iface_mut(self.net_iface).rx[0].pop() {
+                    if let Ok(parsed) = ParsedFrame::parse(&frame.data) {
+                        if parsed.msg.kind == MsgKind::Request {
+                            let m = parsed.msg;
+                            let task = Task::new(
+                                m.req_id,
+                                m.client_id,
+                                SimDuration::from_nanos(m.service_ns),
+                                SimTime::from_nanos(m.sent_at_ns),
+                                ctx.now(),
+                                m.body_len,
+                            );
+                            ctx.schedule_in(
+                                params::HOST_QUEUE_HOP,
+                                Ev::DispPush(DispItem::NewTask(task)),
+                            );
+                        }
+                    }
+                }
+                self.start_networker(ctx);
+            }
+            Ev::DispPush(item) => {
+                self.disp_queue.push_back(item);
+                self.start_dispatcher(ctx);
+            }
+            Ev::DispDone => {
+                self.disp_busy = false;
+                if let Some(item) = self.disp_queue.pop_front() {
+                    let now = ctx.now();
+                    match item {
+                        DispItem::NewTask(task) => {
+                            let assignments = self.dispatcher.on_request(now, task);
+                            for a in assignments.into_iter().rev() {
+                                self.disp_queue.push_front(DispItem::Emit(a));
+                            }
+                        }
+                        DispItem::Done { worker, req_id } => {
+                            let assignments = self.dispatcher.on_done(now, worker, req_id);
+                            for a in assignments.into_iter().rev() {
+                                self.disp_queue.push_front(DispItem::Emit(a));
+                            }
+                        }
+                        DispItem::Preempted { worker, task } => {
+                            let assignments = self.dispatcher.on_preempted(now, worker, task);
+                            for a in assignments.into_iter().rev() {
+                                self.disp_queue.push_front(DispItem::Emit(a));
+                            }
+                        }
+                        DispItem::Emit(a) => {
+                            ctx.schedule_in(params::HOST_QUEUE_HOP, Ev::WorkerTask(a.worker, a.task));
+                        }
+                    }
+                }
+                self.start_dispatcher(ctx);
+            }
+            Ev::WorkerTask(w, task) => {
+                self.workers[w].inbox.push_back(task);
+                if self.workers[w].running.is_none() {
+                    ctx.schedule_now(Ev::WorkerPoll(w));
+                }
+            }
+            Ev::WorkerPoll(w) => self.worker_poll(w, ctx),
+            Ev::WorkerRunEnd { worker, gen } => self.worker_run_end(worker, gen, ctx),
+            Ev::ClientResp(bytes) => {
+                if let Ok(parsed) = ParsedFrame::parse(&bytes) {
+                    self.client.on_response(ctx.now(), &parsed);
+                }
+            }
+        }
+    }
+}
+
+/// Run a vanilla Shinjuku simulation of `spec` under `cfg`.
+pub fn run(spec: WorkloadSpec, cfg: ShinjukuConfig) -> RunMetrics {
+    let mut engine = Engine::new(Shinjuku::new(spec, cfg));
+    engine.schedule_at(SimTime::ZERO, Ev::ClientSend);
+    engine.run_until(spec.horizon());
+    let horizon = spec.horizon();
+    let model = engine.model();
+    let util = model
+        .workers
+        .iter()
+        .map(|w| w.core.utilization(horizon))
+        .sum::<f64>()
+        / model.workers.len() as f64;
+    assemble_metrics(&model.client, model.nic.total_drops(), model.preemptions, util)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workload::ServiceDist;
+
+    fn quick_spec(rps: f64, dist: ServiceDist) -> WorkloadSpec {
+        WorkloadSpec {
+            offered_rps: rps,
+            dist,
+            body_len: 64,
+            warmup: SimDuration::from_millis(2),
+            measure: SimDuration::from_millis(20),
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn light_load_completes_everything() {
+        let spec = quick_spec(50_000.0, ServiceDist::Fixed(SimDuration::from_micros(5)));
+        let m = run(spec, ShinjukuConfig::paper(3));
+        assert!(m.completed > 500);
+        assert!(!m.saturated(0.05), "{}", m.row());
+        assert_eq!(m.dropped, 0);
+    }
+
+    #[test]
+    fn host_path_is_faster_than_nic_path_at_low_load() {
+        // Without the 2.56us NIC round trips, host Shinjuku's unloaded
+        // latency beats Shinjuku-Offload's.
+        let spec = quick_spec(5_000.0, ServiceDist::Fixed(SimDuration::from_micros(1)));
+        let host = run(spec, ShinjukuConfig::paper(2));
+        let offload = crate::offload::run(spec, crate::offload::OffloadConfig::paper(2, 2));
+        assert!(
+            host.p50 < offload.p50,
+            "host {} should undercut offload {} at low load",
+            host.p50,
+            offload.p50
+        );
+    }
+
+    #[test]
+    fn saturates_at_worker_capacity() {
+        // 3 workers at 5us => 600k rps ceiling.
+        let spec = quick_spec(900_000.0, ServiceDist::Fixed(SimDuration::from_micros(5)));
+        let m = run(spec, ShinjukuConfig { workers: 3, time_slice: None, ..ShinjukuConfig::paper(3) });
+        assert!(m.saturated(0.05), "{}", m.row());
+        assert!(m.achieved_rps < 650_000.0, "achieved {:.0}", m.achieved_rps);
+        // With one request in flight per worker, each completion costs a
+        // dispatcher round trip of idle time — utilization saturates below
+        // 100% (the §2.2 inter-thread communication overhead at work).
+        assert!(
+            m.worker_utilization > 0.75,
+            "utilization {:.2}",
+            m.worker_utilization
+        );
+    }
+
+    #[test]
+    fn dispatcher_caps_throughput_on_tiny_requests() {
+        // 15 workers of 1us work could do 15M, but the dispatcher's 200ns
+        // per request caps the system near 5M (§1) — the Figure 6 story.
+        let spec = quick_spec(8_000_000.0, ServiceDist::Fixed(SimDuration::from_micros(1)));
+        let m = run(spec, ShinjukuConfig { workers: 15, time_slice: None, ..ShinjukuConfig::paper(15) });
+        assert!(m.achieved_rps < 5_500_000.0, "achieved {:.0}", m.achieved_rps);
+        assert!(m.achieved_rps > 3_000_000.0, "achieved {:.0}", m.achieved_rps);
+    }
+
+    #[test]
+    fn preemption_bounds_bimodal_tail() {
+        let spec = quick_spec(400_000.0, ServiceDist::paper_bimodal());
+        let with = run(spec, ShinjukuConfig::paper(4));
+        let without = run(spec, ShinjukuConfig { workers: 4, time_slice: None, ..ShinjukuConfig::paper(4) });
+        assert!(with.preemptions > 0);
+        assert!(
+            with.p99 < without.p99,
+            "preemption should cut the tail: with={} without={}",
+            with.p99,
+            without.p99
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let spec = quick_spec(200_000.0, ServiceDist::paper_bimodal());
+        let a = run(spec, ShinjukuConfig::paper(3));
+        let b = run(spec, ShinjukuConfig::paper(3));
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.p99, b.p99);
+    }
+}

@@ -1,0 +1,153 @@
+//! Arrival processes for open-loop load generation.
+//!
+//! The paper drives both systems with "an open loop load generator similar
+//! to mutilate that transmits requests over UDP" (§4). Open-loop means
+//! arrivals do not wait for responses — exactly what makes overload visible
+//! as unbounded queueing. Poisson arrivals are the standard model; we also
+//! provide deterministic (uniform) spacing and a two-state bursty (MMPP-
+//! style) process for the extension experiments.
+
+use sim_core::{Rng, SimDuration};
+
+/// An arrival process generating inter-arrival gaps.
+#[derive(Clone, Copy, Debug)]
+pub enum ArrivalProcess {
+    /// Poisson arrivals at `rate_rps` requests/second (exponential gaps).
+    Poisson {
+        /// Mean arrival rate, requests per second.
+        rate_rps: f64,
+    },
+    /// Deterministic arrivals every `1/rate_rps` seconds.
+    Uniform {
+        /// Arrival rate, requests per second.
+        rate_rps: f64,
+    },
+    /// Two-state Markov-modulated Poisson process: alternates between a
+    /// calm state and a burst state with different rates; state holding
+    /// times are exponential.
+    Bursty {
+        /// Rate in the calm state.
+        calm_rps: f64,
+        /// Rate in the burst state.
+        burst_rps: f64,
+        /// Mean dwell time in the calm state.
+        calm_dwell: SimDuration,
+        /// Mean dwell time in the burst state.
+        burst_dwell: SimDuration,
+    },
+}
+
+impl ArrivalProcess {
+    /// Long-run average rate in requests/second.
+    pub fn mean_rate(&self) -> f64 {
+        match *self {
+            ArrivalProcess::Poisson { rate_rps } | ArrivalProcess::Uniform { rate_rps } => rate_rps,
+            ArrivalProcess::Bursty { calm_rps, burst_rps, calm_dwell, burst_dwell } => {
+                let tc = calm_dwell.as_secs_f64();
+                let tb = burst_dwell.as_secs_f64();
+                (calm_rps * tc + burst_rps * tb) / (tc + tb)
+            }
+        }
+    }
+}
+
+/// Stateful gap generator for one client.
+#[derive(Debug, Clone)]
+pub struct ArrivalGen {
+    process: ArrivalProcess,
+    rng: Rng,
+    /// For `Bursty`: are we currently in the burst state, and when does the
+    /// current state end (in seconds of accumulated arrival time)?
+    bursting: bool,
+    state_left: f64,
+}
+
+impl ArrivalGen {
+    /// Create a generator over `process` drawing from `rng`.
+    pub fn new(process: ArrivalProcess, rng: Rng) -> ArrivalGen {
+        let mut gen = ArrivalGen { process, rng, bursting: false, state_left: 0.0 };
+        if let ArrivalProcess::Bursty { calm_dwell, .. } = process {
+            gen.state_left = gen.rng.exponential(calm_dwell.as_secs_f64());
+        }
+        gen
+    }
+
+    /// The gap until the next arrival.
+    pub fn next_gap(&mut self) -> SimDuration {
+        match self.process {
+            ArrivalProcess::Poisson { rate_rps } => {
+                SimDuration::from_secs_f64(self.rng.exponential(1.0 / rate_rps))
+            }
+            ArrivalProcess::Uniform { rate_rps } => SimDuration::from_secs_f64(1.0 / rate_rps),
+            ArrivalProcess::Bursty { calm_rps, burst_rps, calm_dwell, burst_dwell } => {
+                let rate = if self.bursting { burst_rps } else { calm_rps };
+                let gap = self.rng.exponential(1.0 / rate);
+                self.state_left -= gap;
+                if self.state_left <= 0.0 {
+                    self.bursting = !self.bursting;
+                    let dwell = if self.bursting { burst_dwell } else { calm_dwell };
+                    self.state_left = self.rng.exponential(dwell.as_secs_f64());
+                }
+                SimDuration::from_secs_f64(gap)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empirical_rate(process: ArrivalProcess, n: usize, seed: u64) -> f64 {
+        let mut gen = ArrivalGen::new(process, Rng::new(seed));
+        let total: f64 = (0..n).map(|_| gen.next_gap().as_secs_f64()).sum();
+        n as f64 / total
+    }
+
+    #[test]
+    fn poisson_rate_converges() {
+        let r = empirical_rate(ArrivalProcess::Poisson { rate_rps: 500_000.0 }, 200_000, 1);
+        assert!((r - 500_000.0).abs() < 10_000.0, "rate {r}");
+    }
+
+    #[test]
+    fn uniform_gaps_are_exact() {
+        let mut gen = ArrivalGen::new(ArrivalProcess::Uniform { rate_rps: 1_000_000.0 }, Rng::new(2));
+        for _ in 0..100 {
+            assert_eq!(gen.next_gap(), SimDuration::from_micros(1));
+        }
+    }
+
+    #[test]
+    fn bursty_long_run_rate_matches_mean() {
+        let p = ArrivalProcess::Bursty {
+            calm_rps: 100_000.0,
+            burst_rps: 900_000.0,
+            calm_dwell: SimDuration::from_millis(1),
+            burst_dwell: SimDuration::from_millis(1),
+        };
+        assert!((p.mean_rate() - 500_000.0).abs() < 1.0);
+        let r = empirical_rate(p, 400_000, 3);
+        assert!((r - 500_000.0).abs() < 50_000.0, "rate {r}");
+    }
+
+    #[test]
+    fn poisson_gaps_have_cv_one() {
+        let mut gen = ArrivalGen::new(ArrivalProcess::Poisson { rate_rps: 1e6 }, Rng::new(4));
+        let gaps: Vec<f64> = (0..100_000).map(|_| gen.next_gap().as_secs_f64()).collect();
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let var = gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / gaps.len() as f64;
+        let cv = var.sqrt() / mean;
+        assert!((cv - 1.0).abs() < 0.02, "coefficient of variation {cv}");
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let p = ArrivalProcess::Poisson { rate_rps: 1e6 };
+        let mut a = ArrivalGen::new(p, Rng::new(9));
+        let mut b = ArrivalGen::new(p, Rng::new(9));
+        for _ in 0..1000 {
+            assert_eq!(a.next_gap(), b.next_gap());
+        }
+    }
+}

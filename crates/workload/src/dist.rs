@@ -1,0 +1,349 @@
+//! Service-time distributions.
+//!
+//! The evaluation's synthetic requests "contain fake work that keeps the
+//! server busy for a specific amount of time … allow[ing] us to emulate
+//! different workload distributions" (§4.1). The paper uses fixed
+//! distributions (1 µs, 5 µs, 100 µs) and the bimodal 99.5%@5 µs /
+//! 0.5%@100 µs mix; we also provide the exponential, lognormal and Pareto
+//! shapes common in the dispersion literature the paper cites (e.g.
+//! RocksDB-like and GC-heavy tails) for the extension experiments.
+
+use sim_core::{Rng, SimDuration};
+
+/// A service-time distribution.
+// The Empirical variant's 16-level table dominates the enum size; the
+// enum stays `Copy` by design (WorkloadSpec is passed by value through
+// every experiment), so the size trade is deliberate.
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ServiceDist {
+    /// Every request takes exactly this long.
+    Fixed(SimDuration),
+    /// Two request classes: with probability `p_long` a request takes
+    /// `long`, otherwise `short`. The paper's headline workload is
+    /// `bimodal(0.005, 5 µs, 100 µs)` (Figure 2).
+    Bimodal {
+        /// Probability of the long class.
+        p_long: f64,
+        /// Short-class service time.
+        short: SimDuration,
+        /// Long-class service time.
+        long: SimDuration,
+    },
+    /// Exponential with the given mean (memoryless, moderate dispersion).
+    Exponential {
+        /// Mean service time.
+        mean: SimDuration,
+    },
+    /// Lognormal parameterized by its actual mean and the shape `sigma`
+    /// (σ of the underlying normal). Larger σ → heavier tail.
+    Lognormal {
+        /// Mean service time of the (lognormal) samples.
+        mean: SimDuration,
+        /// Shape parameter of the underlying normal.
+        sigma: f64,
+    },
+    /// An empirical distribution quantized to 16 weighted quantile levels
+    /// — the stand-in for production service-time traces this environment
+    /// cannot ship. The level grid is tail-biased so rare slow requests
+    /// (the whole point of dispersion studies) survive quantization.
+    /// Build one from recorded samples with [`ServiceDist::from_trace`].
+    Empirical {
+        /// The 16 quantile levels (sorted ascending).
+        levels: [SimDuration; 16],
+        /// Cumulative probability at the upper edge of each level's bin;
+        /// `cum[15] == 1.0`.
+        cum: [f64; 16],
+    },
+    /// Bounded Pareto-like heavy tail: `scale / U^(1/alpha)` capped at
+    /// `cap`, the classic high-dispersion stressor.
+    Pareto {
+        /// Minimum service time (the scale).
+        scale: SimDuration,
+        /// Tail index; smaller → heavier tail. Must be > 1 for finite mean.
+        alpha: f64,
+        /// Upper bound on samples.
+        cap: SimDuration,
+    },
+}
+
+impl ServiceDist {
+    /// Quantize a recorded trace of service times into an
+    /// [`ServiceDist::Empirical`]. The 16 bins follow a tail-biased grid —
+    /// dense in the body, logarithmically denser past p90 — so a 1%
+    /// slow-request mode survives quantization (uniform octiles would
+    /// erase exactly the dispersion the paper studies).
+    ///
+    /// # Panics
+    /// Panics on an empty trace.
+    pub fn from_trace(samples: &[SimDuration]) -> ServiceDist {
+        assert!(!samples.is_empty(), "empty service-time trace");
+        let mut sorted: Vec<SimDuration> = samples.to_vec();
+        sorted.sort_unstable();
+        // Bin edges: body bins then tail bins up to 1.0.
+        const EDGES: [f64; 17] = [
+            0.0, 0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.85, 0.90, 0.94, 0.97, 0.985, 0.993,
+            0.997, 0.999, 0.9997, 1.0,
+        ];
+        let mut levels = [SimDuration::ZERO; 16];
+        let mut cum = [0.0f64; 16];
+        for i in 0..16 {
+            let q = (EDGES[i] + EDGES[i + 1]) / 2.0; // bin midpoint quantile
+            let rank = ((q * sorted.len() as f64) as usize).min(sorted.len() - 1);
+            levels[i] = sorted[rank];
+            cum[i] = EDGES[i + 1];
+        }
+        ServiceDist::Empirical { levels, cum }
+    }
+
+    /// The paper's Figure 2 workload: 99.5% at 5 µs, 0.5% at 100 µs.
+    pub fn paper_bimodal() -> ServiceDist {
+        ServiceDist::Bimodal {
+            p_long: 0.005,
+            short: SimDuration::from_micros(5),
+            long: SimDuration::from_micros(100),
+        }
+    }
+
+    /// Draw one service time.
+    pub fn sample(&self, rng: &mut Rng) -> SimDuration {
+        match *self {
+            ServiceDist::Fixed(d) => d,
+            ServiceDist::Bimodal { p_long, short, long } => {
+                if rng.chance(p_long) {
+                    long
+                } else {
+                    short
+                }
+            }
+            ServiceDist::Exponential { mean } => {
+                SimDuration::from_secs_f64(rng.exponential(mean.as_secs_f64()))
+            }
+            ServiceDist::Lognormal { mean, sigma } => {
+                // If X = exp(mu + sigma Z), E[X] = exp(mu + sigma^2/2).
+                let mu = mean.as_secs_f64().ln() - sigma * sigma / 2.0;
+                let x = (mu + sigma * rng.standard_normal()).exp();
+                SimDuration::from_secs_f64(x)
+            }
+            ServiceDist::Empirical { levels, cum } => {
+                let u = rng.next_f64();
+                let idx = cum.iter().position(|&c| u < c).unwrap_or(15);
+                levels[idx]
+            }
+            ServiceDist::Pareto { scale, alpha, cap } => {
+                let u = rng.next_f64_open();
+                let x = scale.as_secs_f64() / u.powf(1.0 / alpha);
+                SimDuration::from_secs_f64(x.min(cap.as_secs_f64()))
+            }
+        }
+    }
+
+    /// Analytic mean of the distribution (the Pareto mean ignores the cap,
+    /// as an upper bound).
+    pub fn mean(&self) -> SimDuration {
+        match *self {
+            ServiceDist::Fixed(d) => d,
+            ServiceDist::Bimodal { p_long, short, long } => {
+                let m = short.as_secs_f64() * (1.0 - p_long) + long.as_secs_f64() * p_long;
+                SimDuration::from_secs_f64(m)
+            }
+            ServiceDist::Exponential { mean } => mean,
+            ServiceDist::Lognormal { mean, .. } => mean,
+            ServiceDist::Empirical { levels, cum } => {
+                let mut acc = 0.0;
+                let mut lo = 0.0;
+                for (level, &hi) in levels.iter().zip(cum.iter()) {
+                    acc += level.as_secs_f64() * (hi - lo);
+                    lo = hi;
+                }
+                SimDuration::from_secs_f64(acc)
+            }
+            ServiceDist::Pareto { scale, alpha, .. } => {
+                assert!(alpha > 1.0, "Pareto mean requires alpha > 1");
+                SimDuration::from_secs_f64(scale.as_secs_f64() * alpha / (alpha - 1.0))
+            }
+        }
+    }
+
+    /// A short human-readable name for reports.
+    pub fn label(&self) -> String {
+        match *self {
+            ServiceDist::Fixed(d) => format!("fixed({d})"),
+            ServiceDist::Bimodal { p_long, short, long } => {
+                format!(
+                    "bimodal({:.1}%@{short}, {:.1}%@{long})",
+                    (1.0 - p_long) * 100.0,
+                    p_long * 100.0
+                )
+            }
+            ServiceDist::Exponential { mean } => format!("exp(mean={mean})"),
+            ServiceDist::Lognormal { mean, sigma } => format!("lognormal(mean={mean}, s={sigma})"),
+            ServiceDist::Empirical { levels, .. } => {
+                format!("empirical(p50~{}, max-level {})", levels[4], levels[15])
+            }
+            ServiceDist::Pareto { scale, alpha, cap } => {
+                format!("pareto(scale={scale}, a={alpha}, cap={cap})")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_mean(dist: ServiceDist, n: usize, seed: u64) -> f64 {
+        let mut rng = Rng::new(seed);
+        (0..n).map(|_| dist.sample(&mut rng).as_secs_f64()).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn fixed_is_constant() {
+        let d = ServiceDist::Fixed(SimDuration::from_micros(5));
+        let mut rng = Rng::new(1);
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut rng), SimDuration::from_micros(5));
+        }
+        assert_eq!(d.mean(), SimDuration::from_micros(5));
+    }
+
+    #[test]
+    fn paper_bimodal_mean_and_mix() {
+        let d = ServiceDist::paper_bimodal();
+        // mean = 0.995*5 + 0.005*100 = 5.475 us
+        assert_eq!(d.mean().as_nanos(), 5_475);
+        let mut rng = Rng::new(2);
+        let n = 200_000;
+        let longs = (0..n)
+            .filter(|_| d.sample(&mut rng) == SimDuration::from_micros(100))
+            .count();
+        let frac = longs as f64 / n as f64;
+        assert!((frac - 0.005).abs() < 0.001, "long fraction {frac}");
+    }
+
+    #[test]
+    fn exponential_empirical_mean() {
+        let d = ServiceDist::Exponential { mean: SimDuration::from_micros(10) };
+        let m = sample_mean(d, 200_000, 3);
+        assert!((m - 10e-6).abs() < 0.3e-6, "mean {m}");
+    }
+
+    #[test]
+    fn lognormal_empirical_mean_matches_parameterization() {
+        let d = ServiceDist::Lognormal { mean: SimDuration::from_micros(20), sigma: 1.0 };
+        let m = sample_mean(d, 400_000, 4);
+        assert!((m - 20e-6).abs() < 1e-6, "mean {m}");
+    }
+
+    #[test]
+    fn lognormal_dispersion_grows_with_sigma() {
+        let mut rng = Rng::new(5);
+        let narrow = ServiceDist::Lognormal { mean: SimDuration::from_micros(10), sigma: 0.25 };
+        let wide = ServiceDist::Lognormal { mean: SimDuration::from_micros(10), sigma: 2.0 };
+        let max_narrow = (0..50_000).map(|_| narrow.sample(&mut rng)).max().unwrap();
+        let max_wide = (0..50_000).map(|_| wide.sample(&mut rng)).max().unwrap();
+        assert!(max_wide > max_narrow * 5, "{max_wide} vs {max_narrow}");
+    }
+
+    #[test]
+    fn pareto_respects_scale_and_cap() {
+        let d = ServiceDist::Pareto {
+            scale: SimDuration::from_micros(1),
+            alpha: 1.5,
+            cap: SimDuration::from_millis(1),
+        };
+        let mut rng = Rng::new(6);
+        for _ in 0..100_000 {
+            let s = d.sample(&mut rng);
+            assert!(s >= SimDuration::from_micros(1));
+            assert!(s <= SimDuration::from_millis(1));
+        }
+        // Uncapped analytic mean: 1us * 1.5/0.5 = 3us.
+        assert_eq!(d.mean().as_nanos(), 3_000);
+    }
+
+    #[test]
+    fn empirical_from_trace_preserves_shape() {
+        // Synthesize a "trace": 90% fast (2us), 10% slow (40us).
+        let mut trace = Vec::new();
+        for i in 0..1000 {
+            trace.push(if i % 10 == 0 {
+                SimDuration::from_micros(40)
+            } else {
+                SimDuration::from_micros(2)
+            });
+        }
+        let d = ServiceDist::from_trace(&trace);
+        // Mean of the trace: 0.9*2 + 0.1*40 = 5.8us; the weighted
+        // quantization should land close.
+        let mean = d.mean().as_micros_f64();
+        assert!((4.5..7.0).contains(&mean), "quantized mean {mean}");
+        let mut rng = Rng::new(5);
+        let samples: Vec<SimDuration> = (0..10_000).map(|_| d.sample(&mut rng)).collect();
+        assert!(samples.iter().any(|&s| s == SimDuration::from_micros(40)));
+        assert!(samples.iter().any(|&s| s == SimDuration::from_micros(2)));
+        let slow = samples.iter().filter(|&&s| s == SimDuration::from_micros(40)).count();
+        let frac = slow as f64 / samples.len() as f64;
+        assert!((0.03..0.20).contains(&frac), "slow fraction {frac}");
+    }
+
+    #[test]
+    fn empirical_levels_are_sorted_quantiles() {
+        let trace: Vec<SimDuration> = (1..=1000).map(SimDuration::from_micros).collect();
+        let d = ServiceDist::from_trace(&trace);
+        if let ServiceDist::Empirical { levels, cum } = d {
+            for pair in levels.windows(2) {
+                assert!(pair[0] <= pair[1], "levels must ascend");
+            }
+            assert!(levels[0] <= SimDuration::from_micros(80));
+            assert!(levels[15] >= SimDuration::from_micros(995), "tail level {}", levels[15]);
+            assert!((cum[15] - 1.0).abs() < 1e-12);
+            for pair in cum.windows(2) {
+                assert!(pair[0] < pair[1], "cumulative probs must ascend");
+            }
+        } else {
+            panic!("expected empirical");
+        }
+    }
+
+    #[test]
+    fn empirical_preserves_rare_tail_mass() {
+        // 1% of the trace at 250us: the tail must survive quantization
+        // with roughly the right probability mass.
+        let mut trace = vec![SimDuration::from_micros(2); 9900];
+        trace.extend(vec![SimDuration::from_micros(250); 100]);
+        let d = ServiceDist::from_trace(&trace);
+        let mut rng = Rng::new(9);
+        let n = 200_000;
+        let slow = (0..n)
+            .filter(|_| d.sample(&mut rng) >= SimDuration::from_micros(250))
+            .count();
+        let frac = slow as f64 / n as f64;
+        assert!(
+            (0.004..0.02).contains(&frac),
+            "tail mass {frac} should be near 1%"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty service-time trace")]
+    fn empirical_rejects_empty_trace() {
+        let _ = ServiceDist::from_trace(&[]);
+    }
+
+    #[test]
+    fn labels_are_informative() {
+        assert!(ServiceDist::paper_bimodal().label().contains("bimodal"));
+        assert!(ServiceDist::Fixed(SimDuration::from_micros(1)).label().contains("fixed"));
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let d = ServiceDist::paper_bimodal();
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..1000 {
+            assert_eq!(d.sample(&mut a), d.sample(&mut b));
+        }
+    }
+}

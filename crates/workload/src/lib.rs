@@ -1,0 +1,34 @@
+//! # workload — load generation and measurement
+//!
+//! The mutilate-style open-loop methodology of the paper's evaluation (§4):
+//! Poisson [`ArrivalGen`]s, synthetic [`ServiceDist`]s (fixed, the paper's
+//! bimodal mix, and heavier-tailed shapes for extensions), warmup-aware
+//! [`LatencyRecorder`]s reporting the p99 the figures plot, and the
+//! [`WorkloadSpec`] / [`RunMetrics`] row format shared by every system and
+//! experiment in the workspace.
+
+//! # Example
+//!
+//! ```
+//! use sim_core::Rng;
+//! use workload::ServiceDist;
+//!
+//! let dist = ServiceDist::paper_bimodal(); // 99.5% @ 5us, 0.5% @ 100us
+//! assert_eq!(dist.mean().as_nanos(), 5_475);
+//! let mut rng = Rng::new(1);
+//! let s = dist.sample(&mut rng);
+//! assert!(s.as_micros_f64() == 5.0 || s.as_micros_f64() == 100.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod arrivals;
+mod dist;
+mod latency;
+mod spec;
+
+pub use arrivals::{ArrivalGen, ArrivalProcess};
+pub use dist::ServiceDist;
+pub use latency::{LatencyRecorder, ReqClass};
+pub use spec::{RunMetrics, WorkloadSpec};

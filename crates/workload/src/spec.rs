@@ -1,0 +1,201 @@
+//! Workload specification and run metrics.
+//!
+//! A [`WorkloadSpec`] is the complete, seedable description of one
+//! experiment point: the arrival process, the service-time distribution,
+//! the request body size, and the measurement window. A system runs it and
+//! fills a [`RunMetrics`] — the row format every figure in the paper is
+//! plotted from (achieved throughput vs p99 latency).
+
+use sim_core::{SimDuration, SimTime};
+
+use crate::dist::ServiceDist;
+use crate::latency::ReqClass;
+
+/// Complete description of one load point.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkloadSpec {
+    /// Offered load, requests per second (Poisson open-loop).
+    pub offered_rps: f64,
+    /// Service-time distribution.
+    pub dist: ServiceDist,
+    /// Request body bytes beyond the message header (the paper considers
+    /// 64 B and 1 KiB requests).
+    pub body_len: u16,
+    /// Simulated time before which completions are discarded.
+    pub warmup: SimDuration,
+    /// Simulated measurement window after warmup.
+    pub measure: SimDuration,
+    /// Master seed; every stochastic stream forks from it.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// A workload with sane defaults: 64 B bodies, 10 ms warmup, 100 ms
+    /// measurement, seed 1.
+    pub fn new(offered_rps: f64, dist: ServiceDist) -> WorkloadSpec {
+        WorkloadSpec {
+            offered_rps,
+            dist,
+            body_len: 64,
+            warmup: SimDuration::from_millis(10),
+            measure: SimDuration::from_millis(100),
+            seed: 1,
+        }
+    }
+
+    /// Total simulated horizon (warmup + measurement).
+    pub fn horizon(&self) -> SimTime {
+        SimTime::ZERO + self.warmup + self.measure
+    }
+
+    /// End of warmup as an absolute instant.
+    pub fn warmup_until(&self) -> SimTime {
+        SimTime::ZERO + self.warmup
+    }
+
+    /// Expected number of requests over the horizon.
+    pub fn expected_requests(&self) -> u64 {
+        (self.offered_rps * (self.warmup + self.measure).as_secs_f64()) as u64
+    }
+
+    /// Classify a sampled service time against this distribution: for
+    /// bimodal workloads a request of the long mode is [`ReqClass::Long`];
+    /// for other shapes, anything above 4× the mean counts as long.
+    pub fn class_of(&self, service: SimDuration) -> ReqClass {
+        match self.dist {
+            ServiceDist::Bimodal { long, .. } => {
+                if service == long {
+                    ReqClass::Long
+                } else {
+                    ReqClass::Short
+                }
+            }
+            other => {
+                if service > other.mean() * 4 {
+                    ReqClass::Long
+                } else {
+                    ReqClass::Short
+                }
+            }
+        }
+    }
+}
+
+/// The measured outcome of running one [`WorkloadSpec`] on one system —
+/// one point on one curve of one figure.
+#[derive(Clone, Copy, Debug)]
+pub struct RunMetrics {
+    /// Offered load (requests/second).
+    pub offered_rps: f64,
+    /// Achieved goodput (requests/second over the measurement window).
+    pub achieved_rps: f64,
+    /// Median sojourn.
+    pub p50: SimDuration,
+    /// 99th-percentile sojourn — the paper's tail latency.
+    pub p99: SimDuration,
+    /// 99.9th-percentile sojourn.
+    pub p999: SimDuration,
+    /// p99 of the short request class (e.g. the 5 us bimodal mode);
+    /// zero when the class is empty.
+    pub p99_short: SimDuration,
+    /// p99 of the long request class; zero when the class is empty.
+    pub p99_long: SimDuration,
+    /// Mean sojourn.
+    pub mean: SimDuration,
+    /// Completions measured.
+    pub completed: u64,
+    /// Requests dropped anywhere in the system (rings, queues).
+    pub dropped: u64,
+    /// Preemptions observed.
+    pub preemptions: u64,
+    /// Mean worker utilization in `[0,1]`.
+    pub worker_utilization: f64,
+}
+
+impl RunMetrics {
+    /// Whether this point is saturated: goodput fell more than `tolerance`
+    /// below offered load (e.g. 0.03 → 3%).
+    pub fn saturated(&self, tolerance: f64) -> bool {
+        self.achieved_rps < self.offered_rps * (1.0 - tolerance)
+    }
+
+    /// A compact single-line rendering for experiment logs.
+    pub fn row(&self) -> String {
+        format!(
+            "offered={:>10.0} achieved={:>10.0} p50={} p99={} p999={} drops={} preempt={} util={:.2}",
+            self.offered_rps,
+            self.achieved_rps,
+            self.p50,
+            self.p99,
+            self.p999,
+            self.dropped,
+            self.preemptions,
+            self.worker_utilization,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::Rng;
+
+    #[test]
+    fn horizon_and_warmup() {
+        let w = WorkloadSpec::new(100_000.0, ServiceDist::Fixed(SimDuration::from_micros(1)));
+        assert_eq!(w.warmup_until(), SimTime::from_millis(10));
+        assert_eq!(w.horizon(), SimTime::from_millis(110));
+        assert_eq!(w.expected_requests(), 11_000);
+    }
+
+    #[test]
+    fn bimodal_classification_is_exact() {
+        let w = WorkloadSpec::new(1.0, ServiceDist::paper_bimodal());
+        assert_eq!(w.class_of(SimDuration::from_micros(5)), ReqClass::Short);
+        assert_eq!(w.class_of(SimDuration::from_micros(100)), ReqClass::Long);
+    }
+
+    #[test]
+    fn generic_classification_uses_mean_multiple() {
+        let w = WorkloadSpec::new(1.0, ServiceDist::Exponential { mean: SimDuration::from_micros(10) });
+        assert_eq!(w.class_of(SimDuration::from_micros(10)), ReqClass::Short);
+        assert_eq!(w.class_of(SimDuration::from_micros(50)), ReqClass::Long);
+    }
+
+    #[test]
+    fn saturation_detection() {
+        let mut m = RunMetrics {
+            offered_rps: 1_000_000.0,
+            achieved_rps: 995_000.0,
+            p50: SimDuration::from_micros(6),
+            p99: SimDuration::from_micros(20),
+            p999: SimDuration::from_micros(40),
+            p99_short: SimDuration::from_micros(18),
+            p99_long: SimDuration::from_micros(40),
+            mean: SimDuration::from_micros(8),
+            completed: 100_000,
+            dropped: 0,
+            preemptions: 0,
+            worker_utilization: 0.9,
+        };
+        assert!(!m.saturated(0.03));
+        m.achieved_rps = 900_000.0;
+        assert!(m.saturated(0.03));
+        assert!(m.row().contains("offered"));
+    }
+
+    #[test]
+    fn class_of_consistent_with_sampling() {
+        // Every sampled bimodal value classifies into one of the two modes.
+        let w = WorkloadSpec::new(1.0, ServiceDist::paper_bimodal());
+        let mut rng = Rng::new(3);
+        for _ in 0..10_000 {
+            let s = w.dist.sample(&mut rng);
+            let _ = w.class_of(s); // must not panic, always classifiable
+            assert!(
+                s == SimDuration::from_micros(5) || s == SimDuration::from_micros(100),
+                "unexpected bimodal sample {s}"
+            );
+        }
+    }
+}

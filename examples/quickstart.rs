@@ -1,0 +1,45 @@
+//! Quickstart: simulate Shinjuku-Offload on the paper's bimodal workload
+//! and print the latency profile.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use mindgap::sim::SimDuration;
+use mindgap::systems::offload::{run, OffloadConfig};
+use mindgap::workload::{ServiceDist, WorkloadSpec};
+
+fn main() {
+    // The headline workload of the paper (§4.1 / Figure 2): 99.5% of
+    // requests take 5us, 0.5% take 100us — the dispersion that breaks
+    // run-to-completion systems.
+    let workload = WorkloadSpec {
+        offered_rps: 300_000.0,
+        dist: ServiceDist::paper_bimodal(),
+        body_len: 64,
+        warmup: SimDuration::from_millis(5),
+        measure: SimDuration::from_millis(50),
+        seed: 1,
+    };
+
+    // Shinjuku-Offload as prototyped on the Broadcom Stingray: 4 host
+    // workers, up to 4 outstanding requests per worker, 10us slice.
+    let config = OffloadConfig::paper(4, 4);
+
+    println!("workload: {} at {:.0} req/s", workload.dist.label(), workload.offered_rps);
+    println!("system:   Shinjuku-Offload ({} workers, cap {})", config.workers, config.outstanding_cap);
+    println!();
+
+    let m = run(workload, config);
+
+    println!("completed            {:>12}", m.completed);
+    println!("achieved throughput  {:>12.0} req/s", m.achieved_rps);
+    println!("median latency       {:>12}", m.p50);
+    println!("p99 latency          {:>12}", m.p99);
+    println!("p99.9 latency        {:>12}", m.p999);
+    println!("preemptions          {:>12}", m.preemptions);
+    println!("worker utilization   {:>11.1}%", m.worker_utilization * 100.0);
+
+    assert!(!m.saturated(0.05), "300k req/s is well inside capacity");
+}

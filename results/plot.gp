@@ -1,0 +1,23 @@
+# Render the experiment CSVs with gnuplot:
+#
+#   gnuplot -e "csv='fig6.csv'" plot.gp
+#
+# produces <csv>.png with one p99-vs-throughput line per curve. The CSVs
+# are written by `cargo run --release -p experiments --bin all`.
+
+if (!exists("csv")) csv = "fig2.csv"
+
+set datafile separator ","
+set terminal pngcairo size 900,600 font ",11"
+set output csv.".png"
+set key top left
+set xlabel "achieved throughput (requests/second)"
+set ylabel "p99 latency (us)"
+set logscale y
+set grid
+
+curves = system("awk -F, 'NR>1 {print $1}' ".csv." | sort -u | tr '\n' ' '")
+
+plot for [curve in curves] csv \
+    using (strcol(1) eq curve ? column(3) : NaN):5 \
+    with linespoints lw 2 title curve

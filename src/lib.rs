@@ -1,0 +1,33 @@
+//! # mindgap — informed request scheduling at the NIC
+//!
+//! Facade crate for the reproduction of *"Mind the Gap: A Case for Informed
+//! Request Scheduling at the NIC"* (Humphries, Kaffes, Mazières, Kozyrakis —
+//! HotNets '19). Re-exports the workspace crates under one roof:
+//!
+//! * [`sim`] — deterministic discrete-event engine, clocks, RNG, statistics.
+//! * [`wire`] — byte-accurate Ethernet/IPv4/UDP wire formats and the
+//!   request/response application header.
+//! * [`nic`] — NIC device model: RSS (Toeplitz), Flow Director, SR-IOV,
+//!   descriptor rings, DMA/DDIO, link model, ARM-core compute model.
+//! * [`cpu`] — host CPU substrate: cores, execution contexts, APIC timers
+//!   (Linux vs Dune cost modes), posted interrupts, shared-memory queues.
+//! * [`workload`] — service-time distributions, open-loop load generation,
+//!   latency recording, load sweeps.
+//! * [`nicsched`] — the paper's contribution: the informed-scheduling
+//!   framework (core feedback, centralized queue, policies, preemption,
+//!   the queuing optimization, the ideal-NIC model).
+//! * [`systems`] — full-system assemblies: Shinjuku, Shinjuku-Offload, and
+//!   the RSS / work-stealing / Flow-Director baselines.
+//! * [`experiments`] — the harness that regenerates every figure in the
+//!   paper's evaluation.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the full inventory.
+
+pub use cpu_model as cpu;
+pub use experiments;
+pub use net_wire as wire;
+pub use nic_model as nic;
+pub use nicsched;
+pub use sim_core as sim;
+pub use systems;
+pub use workload;

@@ -1,0 +1,154 @@
+//! Cross-crate integration: every system assembly driven end-to-end
+//! through real wire frames, checked for conservation, ordering and
+//! determinism invariants.
+
+use mindgap::sim::SimDuration;
+use mindgap::systems::baseline::{self, BaselineConfig, BaselineKind};
+use mindgap::systems::offload::{self, OffloadConfig};
+use mindgap::systems::rpcvalet::{self, RpcValetConfig};
+use mindgap::systems::shinjuku::{self, ShinjukuConfig};
+use mindgap::workload::{RunMetrics, ServiceDist, WorkloadSpec};
+
+fn spec(rps: f64, dist: ServiceDist, seed: u64) -> WorkloadSpec {
+    WorkloadSpec {
+        offered_rps: rps,
+        dist,
+        body_len: 64,
+        warmup: SimDuration::from_millis(2),
+        measure: SimDuration::from_millis(15),
+        seed,
+    }
+}
+
+fn all_systems(s: WorkloadSpec) -> Vec<(&'static str, RunMetrics)> {
+    vec![
+        ("shinjuku", shinjuku::run(s, ShinjukuConfig::paper(3))),
+        ("offload", offload::run(s, OffloadConfig::paper(4, 4))),
+        ("rss", baseline::run(s, BaselineConfig { workers: 4, kind: BaselineKind::Rss })),
+        (
+            "stealing",
+            baseline::run(s, BaselineConfig { workers: 4, kind: BaselineKind::RssStealing }),
+        ),
+        (
+            "flowdir",
+            baseline::run(s, BaselineConfig { workers: 4, kind: BaselineKind::FlowDirector }),
+        ),
+        (
+            "erss",
+            baseline::run(s, BaselineConfig { workers: 4, kind: BaselineKind::ElasticRss }),
+        ),
+        ("rpcvalet", rpcvalet::run(s, RpcValetConfig { workers: 4 })),
+    ]
+}
+
+#[test]
+fn every_system_completes_work_at_light_load() {
+    for (name, m) in all_systems(spec(100_000.0, ServiceDist::Fixed(SimDuration::from_micros(5)), 1)) {
+        assert!(m.completed > 800, "{name}: completed {}", m.completed);
+        assert!(!m.saturated(0.05), "{name}: {}", m.row());
+        assert_eq!(m.dropped, 0, "{name}: no drops at light load");
+        assert!(m.p99 > SimDuration::ZERO, "{name}: p99 recorded");
+    }
+}
+
+#[test]
+fn percentiles_are_ordered_everywhere() {
+    for (name, m) in all_systems(spec(250_000.0, ServiceDist::paper_bimodal(), 2)) {
+        assert!(m.p50 <= m.p99, "{name}: p50 {} <= p99 {}", m.p50, m.p99);
+        assert!(m.p99 <= m.p999, "{name}: p99 {} <= p999 {}", m.p99, m.p999);
+        assert!(m.mean >= m.p50 / 10, "{name}: mean sane");
+    }
+}
+
+#[test]
+fn latency_grows_with_load_for_every_system() {
+    let dist = ServiceDist::Fixed(SimDuration::from_micros(5));
+    for (light, heavy) in all_systems(spec(50_000.0, dist, 3))
+        .into_iter()
+        .zip(all_systems(spec(600_000.0, dist, 3)))
+    {
+        let (name, l) = light;
+        let (_, h) = heavy;
+        assert!(
+            h.p99 >= l.p99,
+            "{name}: p99 must not shrink with load ({} -> {})",
+            l.p99,
+            h.p99
+        );
+    }
+}
+
+#[test]
+fn all_systems_are_deterministic() {
+    let s = spec(200_000.0, ServiceDist::paper_bimodal(), 7);
+    let a = all_systems(s);
+    let b = all_systems(s);
+    for ((name, ma), (_, mb)) in a.iter().zip(&b) {
+        assert_eq!(ma.completed, mb.completed, "{name}");
+        assert_eq!(ma.p99, mb.p99, "{name}");
+        assert_eq!(ma.preemptions, mb.preemptions, "{name}");
+    }
+}
+
+#[test]
+fn seeds_change_the_sample_path_but_not_the_regime() {
+    let a = offload::run(spec(300_000.0, ServiceDist::paper_bimodal(), 1), OffloadConfig::paper(4, 4));
+    let b = offload::run(spec(300_000.0, ServiceDist::paper_bimodal(), 99), OffloadConfig::paper(4, 4));
+    assert_ne!(a.completed, b.completed, "different seeds, different paths");
+    // Same regime: achieved within 5%, neither saturated.
+    assert!((a.achieved_rps - b.achieved_rps).abs() / a.achieved_rps < 0.05);
+    assert!(!a.saturated(0.05) && !b.saturated(0.05));
+}
+
+#[test]
+fn conservation_no_phantom_completions() {
+    // Completions measured can never exceed requests offered during the
+    // horizon; utilization is a fraction.
+    for (name, m) in all_systems(spec(400_000.0, ServiceDist::paper_bimodal(), 5)) {
+        let horizon_secs = (SimDuration::from_millis(2) + SimDuration::from_millis(15)).as_secs_f64();
+        let max_possible = (m.offered_rps * horizon_secs * 1.3) as u64;
+        assert!(
+            m.completed < max_possible,
+            "{name}: {} completions vs {} possible",
+            m.completed,
+            max_possible
+        );
+        assert!((0.0..=1.0).contains(&m.worker_utilization), "{name}");
+    }
+}
+
+#[test]
+fn preemptions_happen_only_where_enabled() {
+    let s = spec(300_000.0, ServiceDist::paper_bimodal(), 6);
+    let shin = shinjuku::run(s, ShinjukuConfig::paper(3));
+    let off = offload::run(s, OffloadConfig::paper(4, 4));
+    let rss = baseline::run(s, BaselineConfig { workers: 4, kind: BaselineKind::Rss });
+    assert!(shin.preemptions > 0, "shinjuku preempts 100us requests");
+    assert!(off.preemptions > 0, "offload preempts 100us requests");
+    assert_eq!(rss.preemptions, 0, "run-to-completion never preempts");
+}
+
+#[test]
+fn offload_with_one_extra_worker_beats_shinjuku_on_moderate_work() {
+    // The Figure 4 claim at a single point: 4 offloaded workers sustain a
+    // load that saturates 3 host workers.
+    let s = spec(620_000.0, ServiceDist::Fixed(SimDuration::from_micros(5)), 8);
+    let shin = shinjuku::run(s, ShinjukuConfig { workers: 3, time_slice: None, ..ShinjukuConfig::paper(3) });
+    let off = offload::run(s, OffloadConfig { time_slice: None, ..OffloadConfig::paper(4, 4) });
+    assert!(shin.saturated(0.05), "3 workers cannot do 620k x 5us: {}", shin.row());
+    assert!(!off.saturated(0.05), "4 workers can: {}", off.row());
+}
+
+#[test]
+fn shinjuku_dispatcher_outscales_arm_dispatcher_on_tiny_work() {
+    // The Figure 6 claim at a single point.
+    let s = spec(2_500_000.0, ServiceDist::Fixed(SimDuration::from_micros(1)), 9);
+    let shin = shinjuku::run(s, ShinjukuConfig { workers: 15, time_slice: None, ..ShinjukuConfig::paper(15) });
+    let off = offload::run(s, OffloadConfig { time_slice: None, ..OffloadConfig::paper(16, 5) });
+    assert!(
+        shin.achieved_rps > off.achieved_rps * 1.5,
+        "host dispatcher {} vs ARM dispatcher {}",
+        shin.achieved_rps,
+        off.achieved_rps
+    );
+}

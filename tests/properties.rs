@@ -1,0 +1,116 @@
+//! Property-based integration tests: random workload points must uphold
+//! system invariants — no panics, ordered percentiles, conservation,
+//! determinism — across every assembly.
+
+use mindgap::sim::SimDuration;
+use mindgap::systems::baseline::{self, BaselineConfig, BaselineKind};
+use mindgap::systems::offload::{self, OffloadConfig};
+use mindgap::systems::shinjuku::{self, ShinjukuConfig};
+use mindgap::workload::{RunMetrics, ServiceDist, WorkloadSpec};
+use proptest::prelude::*;
+
+fn arb_dist() -> impl Strategy<Value = ServiceDist> {
+    prop_oneof![
+        (1u64..50).prop_map(|us| ServiceDist::Fixed(SimDuration::from_micros(us))),
+        ((0.001f64..0.05), (1u64..10), (20u64..200)).prop_map(|(p, s, l)| {
+            ServiceDist::Bimodal {
+                p_long: p,
+                short: SimDuration::from_micros(s),
+                long: SimDuration::from_micros(l),
+            }
+        }),
+        (2u64..40).prop_map(|us| ServiceDist::Exponential { mean: SimDuration::from_micros(us) }),
+    ]
+}
+
+fn tiny_spec(rps: f64, dist: ServiceDist, seed: u64) -> WorkloadSpec {
+    WorkloadSpec {
+        offered_rps: rps,
+        dist,
+        body_len: 64,
+        warmup: SimDuration::from_millis(1),
+        measure: SimDuration::from_millis(6),
+        seed,
+    }
+}
+
+fn check_invariants(name: &str, m: &RunMetrics, spec: &WorkloadSpec) {
+    assert!(m.p50 <= m.p99, "{name}: p50 {} > p99 {}", m.p50, m.p99);
+    assert!(m.p99 <= m.p999, "{name}: p99 {} > p999 {}", m.p99, m.p999);
+    assert!(
+        (0.0..=1.0).contains(&m.worker_utilization),
+        "{name}: utilization {}",
+        m.worker_utilization
+    );
+    // Sojourn can never be below the minimum service time possible.
+    if m.completed > 0 {
+        let floor = match spec.dist {
+            ServiceDist::Fixed(d) => d,
+            ServiceDist::Bimodal { short, .. } => short,
+            _ => SimDuration::ZERO,
+        };
+        assert!(m.p50 >= floor, "{name}: p50 {} below service floor {floor}", m.p50);
+    }
+    let horizon = (spec.warmup + spec.measure).as_secs_f64();
+    assert!(
+        m.completed <= (spec.offered_rps * horizon * 1.5) as u64 + 10,
+        "{name}: phantom completions"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn offload_invariants_hold(rps in 20_000f64..900_000.0, dist in arb_dist(),
+                               seed in 0u64..1000,
+                               workers in 2usize..8, cap in 1u32..6) {
+        let spec = tiny_spec(rps, dist, seed);
+        let m = offload::run(spec, OffloadConfig::paper(workers, cap));
+        check_invariants("offload", &m, &spec);
+    }
+
+    #[test]
+    fn shinjuku_invariants_hold(rps in 20_000f64..900_000.0, dist in arb_dist(),
+                                seed in 0u64..1000, workers in 2usize..8) {
+        let spec = tiny_spec(rps, dist, seed);
+        let m = shinjuku::run(spec, ShinjukuConfig::paper(workers));
+        check_invariants("shinjuku", &m, &spec);
+    }
+
+    #[test]
+    fn baseline_invariants_hold(rps in 20_000f64..900_000.0, dist in arb_dist(),
+                                seed in 0u64..1000, workers in 2usize..8,
+                                kind_sel in 0usize..3) {
+        let kind = [BaselineKind::Rss, BaselineKind::RssStealing, BaselineKind::FlowDirector][kind_sel];
+        let spec = tiny_spec(rps, dist, seed);
+        let m = baseline::run(spec, BaselineConfig { workers, kind });
+        check_invariants("baseline", &m, &spec);
+    }
+
+    #[test]
+    fn offload_determinism_under_random_configs(rps in 50_000f64..500_000.0,
+                                                dist in arb_dist(), seed in 0u64..1000) {
+        let spec = tiny_spec(rps, dist, seed);
+        let a = offload::run(spec, OffloadConfig::paper(4, 3));
+        let b = offload::run(spec, OffloadConfig::paper(4, 3));
+        prop_assert_eq!(a.completed, b.completed);
+        prop_assert_eq!(a.p99, b.p99);
+        prop_assert_eq!(a.preemptions, b.preemptions);
+    }
+
+    #[test]
+    fn more_workers_never_reduce_offload_capacity(dist in arb_dist(), seed in 0u64..1000) {
+        // Offered load far above the small config's capacity.
+        let mean_us = dist.mean().as_micros_f64().max(1.0);
+        let rps = (2.5e6 / mean_us).min(1_200_000.0);
+        let spec = tiny_spec(rps, dist, seed);
+        let small = offload::run(spec, OffloadConfig { time_slice: None, ..OffloadConfig::paper(2, 4) });
+        let large = offload::run(spec, OffloadConfig { time_slice: None, ..OffloadConfig::paper(6, 4) });
+        prop_assert!(
+            large.achieved_rps >= small.achieved_rps * 0.98,
+            "6 workers ({:.0}) should not lose to 2 workers ({:.0})",
+            large.achieved_rps, small.achieved_rps
+        );
+    }
+}
