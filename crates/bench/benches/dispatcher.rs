@@ -3,7 +3,9 @@
 //! must retire at millions per second (§5.1(1)).
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use nicsched::{ClassPriority, Dispatcher, Fcfs, LeastOutstanding, SchedPolicy, ShortestRemaining, Task};
+use nicsched::{
+    ClassPriority, Dispatcher, Fcfs, LeastOutstanding, SchedPolicy, ShortestRemaining, Task,
+};
 use sim_core::{SimDuration, SimTime};
 
 fn task(id: u64) -> Task {

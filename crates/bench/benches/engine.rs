@@ -17,7 +17,13 @@ impl Model for Chains {
     type Event = ChainEv;
     fn handle(&mut self, ev: ChainEv, ctx: &mut Ctx<ChainEv>) {
         if ev.remaining > 0 {
-            ctx.schedule_in(ev.gap, ChainEv { gap: ev.gap, remaining: ev.remaining - 1 });
+            ctx.schedule_in(
+                ev.gap,
+                ChainEv {
+                    gap: ev.gap,
+                    remaining: ev.remaining - 1,
+                },
+            );
         }
     }
 }
@@ -27,21 +33,28 @@ fn engine_events(c: &mut Criterion) {
     for &fanout in &[1u64, 16, 256] {
         let events_per_iter = 100_000;
         group.throughput(Throughput::Elements(events_per_iter));
-        group.bench_with_input(BenchmarkId::new("chained_events", fanout), &fanout, |b, &fanout| {
-            b.iter(|| {
-                let mut engine = Engine::new(Chains);
-                let per_chain = (events_per_iter / fanout) as u32;
-                for i in 0..fanout {
-                    engine.schedule_at(
-                        SimTime::from_nanos(i),
-                        ChainEv { gap: SimDuration::from_nanos(100 + i), remaining: per_chain },
-                    );
-                }
-                engine.run();
-                assert!(engine.events_processed() >= events_per_iter);
-                engine.events_processed()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("chained_events", fanout),
+            &fanout,
+            |b, &fanout| {
+                b.iter(|| {
+                    let mut engine = Engine::new(Chains);
+                    let per_chain = (events_per_iter / fanout) as u32;
+                    for i in 0..fanout {
+                        engine.schedule_at(
+                            SimTime::from_nanos(i),
+                            ChainEv {
+                                gap: SimDuration::from_nanos(100 + i),
+                                remaining: per_chain,
+                            },
+                        );
+                    }
+                    engine.run();
+                    assert!(engine.events_processed() >= events_per_iter);
+                    engine.events_processed()
+                })
+            },
+        );
     }
     group.finish();
 }

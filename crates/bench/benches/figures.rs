@@ -6,16 +6,19 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use sim_core::SimDuration;
-use systems::baseline::{self, BaselineConfig, BaselineKind};
+use systems::baseline::{BaselineConfig, BaselineKind};
 use systems::multi_shinjuku::{self, MultiShinjukuConfig};
-use systems::offload::{self, OffloadConfig};
-use systems::rpcvalet::{self, RpcValetConfig};
-use systems::shinjuku::{self, ShinjukuConfig};
+use systems::offload::OffloadConfig;
+use systems::rpcvalet::RpcValetConfig;
+use systems::shinjuku::ShinjukuConfig;
+use systems::{ProbeConfig, ServerSystem};
 use workload::ServiceDist;
 
 use bench::bench_spec;
 
-fn configured(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+fn configured(
+    c: &mut Criterion,
+) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
     let mut group = c.benchmark_group("figures");
     group.sample_size(10);
     group
@@ -26,10 +29,10 @@ fn fig2(c: &mut Criterion) {
     let mut group = configured(c);
     let spec = bench_spec(300_000.0, ServiceDist::paper_bimodal());
     group.bench_function("fig2_shinjuku_3w", |b| {
-        b.iter(|| shinjuku::run(spec, ShinjukuConfig::paper(3)))
+        b.iter(|| ShinjukuConfig::paper(3).run(spec, ProbeConfig::disabled()))
     });
     group.bench_function("fig2_offload_4w_cap4", |b| {
-        b.iter(|| offload::run(spec, OffloadConfig::paper(4, 4)))
+        b.iter(|| OffloadConfig::paper(4, 4).run(spec, ProbeConfig::disabled()))
     });
     group.finish();
 }
@@ -41,7 +44,11 @@ fn fig3(c: &mut Criterion) {
     for cap in [1u32, 5] {
         group.bench_function(format!("fig3_offload_4w_cap{cap}"), |b| {
             b.iter(|| {
-                offload::run(spec, OffloadConfig { time_slice: None, ..OffloadConfig::paper(4, cap) })
+                OffloadConfig {
+                    time_slice: None,
+                    ..OffloadConfig::paper(4, cap)
+                }
+                .run(spec, ProbeConfig::disabled())
             })
         });
     }
@@ -53,11 +60,22 @@ fn fig4(c: &mut Criterion) {
     let mut group = configured(c);
     let spec = bench_spec(450_000.0, ServiceDist::Fixed(SimDuration::from_micros(5)));
     group.bench_function("fig4_shinjuku_3w", |b| {
-        b.iter(|| shinjuku::run(spec, ShinjukuConfig { workers: 3, time_slice: None, ..ShinjukuConfig::paper(3) }))
+        b.iter(|| {
+            ShinjukuConfig {
+                workers: 3,
+                time_slice: None,
+                ..ShinjukuConfig::paper(3)
+            }
+            .run(spec, ProbeConfig::disabled())
+        })
     });
     group.bench_function("fig4_offload_4w_cap4", |b| {
         b.iter(|| {
-            offload::run(spec, OffloadConfig { time_slice: None, ..OffloadConfig::paper(4, 4) })
+            OffloadConfig {
+                time_slice: None,
+                ..OffloadConfig::paper(4, 4)
+            }
+            .run(spec, ProbeConfig::disabled())
         })
     });
     group.finish();
@@ -68,11 +86,22 @@ fn fig5(c: &mut Criterion) {
     let mut group = configured(c);
     let spec = bench_spec(120_000.0, ServiceDist::Fixed(SimDuration::from_micros(100)));
     group.bench_function("fig5_shinjuku_15w", |b| {
-        b.iter(|| shinjuku::run(spec, ShinjukuConfig { workers: 15, time_slice: None, ..ShinjukuConfig::paper(15) }))
+        b.iter(|| {
+            ShinjukuConfig {
+                workers: 15,
+                time_slice: None,
+                ..ShinjukuConfig::paper(15)
+            }
+            .run(spec, ProbeConfig::disabled())
+        })
     });
     group.bench_function("fig5_offload_16w_cap2", |b| {
         b.iter(|| {
-            offload::run(spec, OffloadConfig { time_slice: None, ..OffloadConfig::paper(16, 2) })
+            OffloadConfig {
+                time_slice: None,
+                ..OffloadConfig::paper(16, 2)
+            }
+            .run(spec, ProbeConfig::disabled())
         })
     });
     group.finish();
@@ -83,11 +112,22 @@ fn fig6(c: &mut Criterion) {
     let mut group = configured(c);
     let spec = bench_spec(2_000_000.0, ServiceDist::Fixed(SimDuration::from_micros(1)));
     group.bench_function("fig6_shinjuku_15w", |b| {
-        b.iter(|| shinjuku::run(spec, ShinjukuConfig { workers: 15, time_slice: None, ..ShinjukuConfig::paper(15) }))
+        b.iter(|| {
+            ShinjukuConfig {
+                workers: 15,
+                time_slice: None,
+                ..ShinjukuConfig::paper(15)
+            }
+            .run(spec, ProbeConfig::disabled())
+        })
     });
     group.bench_function("fig6_offload_16w_cap5", |b| {
         b.iter(|| {
-            offload::run(spec, OffloadConfig { time_slice: None, ..OffloadConfig::paper(16, 5) })
+            OffloadConfig {
+                time_slice: None,
+                ..OffloadConfig::paper(16, 5)
+            }
+            .run(spec, ProbeConfig::disabled())
         })
     });
     group.finish();
@@ -103,7 +143,7 @@ fn baselines(c: &mut Criterion) {
         ("flowdir", BaselineKind::FlowDirector),
     ] {
         group.bench_function(format!("baseline_{name}_4w"), |b| {
-            b.iter(|| baseline::run(spec, BaselineConfig { workers: 4, kind }))
+            b.iter(|| BaselineConfig { workers: 4, kind }.run(spec, ProbeConfig::disabled()))
         });
     }
     group.finish();
@@ -114,19 +154,27 @@ fn extensions(c: &mut Criterion) {
     let mut group = configured(c);
     let bimodal = bench_spec(300_000.0, ServiceDist::paper_bimodal());
     group.bench_function("rpcvalet_4w", |b| {
-        b.iter(|| rpcvalet::run(bimodal, RpcValetConfig { workers: 4 }))
+        b.iter(|| RpcValetConfig { workers: 4 }.run(bimodal, ProbeConfig::disabled()))
     });
     group.bench_function("elastic_rss_8w", |b| {
         b.iter(|| {
-            baseline::run(bimodal, BaselineConfig { workers: 8, kind: BaselineKind::ElasticRss })
+            BaselineConfig {
+                workers: 8,
+                kind: BaselineKind::ElasticRss,
+            }
+            .run(bimodal, ProbeConfig::disabled())
         })
     });
     let heavy = bench_spec(5_000_000.0, ServiceDist::Fixed(SimDuration::from_micros(1)));
     group.bench_function("multi_shinjuku_4x7", |b| {
         b.iter(|| {
-            multi_shinjuku::run(
+            multi_shinjuku::run_probed(
                 heavy,
-                MultiShinjukuConfig { time_slice: None, ..MultiShinjukuConfig::split(32, 4) },
+                MultiShinjukuConfig {
+                    time_slice: None,
+                    ..MultiShinjukuConfig::split(32, 4)
+                },
+                ProbeConfig::disabled(),
             )
         })
     });

@@ -32,7 +32,11 @@ impl Default for ContextCosts {
     fn default() -> Self {
         // Shinjuku-class user-level context switching: ~100 cycles to enter
         // a pooled context, a few hundred to save/restore across DRAM.
-        ContextCosts { spawn_cycles: 110, save_cycles: 320, restore_cycles: 280 }
+        ContextCosts {
+            spawn_cycles: 110,
+            save_cycles: 320,
+            restore_cycles: 280,
+        }
     }
 }
 

@@ -9,8 +9,8 @@
 
 use core::fmt;
 
-use sim_core::{SimDuration, SimTime};
 use sim_core::stats::BusyTracker;
+use sim_core::{SimDuration, SimTime};
 
 /// Identifies one core within the simulated machine.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
@@ -48,14 +48,22 @@ pub struct CoreSpec {
 impl CoreSpec {
     /// The evaluation host: 2.3 GHz Xeon (§4).
     pub fn host_x86() -> CoreSpec {
-        CoreSpec { kind: CoreKind::HostX86, freq_hz: 2_300_000_000, work_factor: 1.0 }
+        CoreSpec {
+            kind: CoreKind::HostX86,
+            freq_hz: 2_300_000_000,
+            work_factor: 1.0,
+        }
     }
 
     /// A Stingray ARM A72 core at 3.0 GHz with a 3× work factor — chosen so
     /// the offloaded dispatcher pipeline saturates around 1.4–1.5 M req/s on
     /// 1 µs requests, matching Figures 3 and 6 (see DESIGN.md §4).
     pub fn nic_arm() -> CoreSpec {
-        CoreSpec { kind: CoreKind::NicArm, freq_hz: 3_000_000_000, work_factor: 3.0 }
+        CoreSpec {
+            kind: CoreKind::NicArm,
+            freq_hz: 3_000_000_000,
+            work_factor: 3.0,
+        }
     }
 
     /// Convert a host-baseline cycle count into time on this core,
@@ -93,7 +101,13 @@ pub struct Core {
 impl Core {
     /// Create an idle core at `at`.
     pub fn new(id: CoreId, spec: CoreSpec, at: SimTime) -> Core {
-        Core { id, spec, busy: BusyTracker::new(at), requests_run: 0, preemptions: 0 }
+        Core {
+            id,
+            spec,
+            busy: BusyTracker::new(at),
+            requests_run: 0,
+            preemptions: 0,
+        }
     }
 
     /// Whether the core is currently executing something.
@@ -167,7 +181,10 @@ mod tests {
         assert!(!c.is_busy());
         c.set_busy(SimTime::from_micros(1));
         c.set_idle(SimTime::from_micros(4));
-        assert_eq!(c.busy_time(SimTime::from_micros(10)), SimDuration::from_micros(3));
+        assert_eq!(
+            c.busy_time(SimTime::from_micros(10)),
+            SimDuration::from_micros(3)
+        );
         assert!((c.utilization(SimTime::from_micros(10)) - 0.3).abs() < 1e-9);
     }
 

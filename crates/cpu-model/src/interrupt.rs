@@ -79,17 +79,26 @@ mod tests {
 
     #[test]
     fn packet_interrupt_pays_the_nic_path() {
-        let p = InterruptPath::PacketFromNic { one_way: SimDuration::from_micros_f64(2.56) };
+        let p = InterruptPath::PacketFromNic {
+            one_way: SimDuration::from_micros_f64(2.56),
+        };
         assert_eq!(p.transport_latency().as_nanos(), 2_560);
         let host = CoreSpec::host_x86();
-        assert!(p.total_latency(&host) > SimDuration::from_micros(3), "2.56us + receive");
+        assert!(
+            p.total_latency(&host) > SimDuration::from_micros(3),
+            "2.56us + receive"
+        );
     }
 
     #[test]
     fn direct_interrupt_is_much_cheaper_than_packet() {
         let host = CoreSpec::host_x86();
-        let packet = InterruptPath::PacketFromNic { one_way: SimDuration::from_micros_f64(2.56) };
-        let direct = InterruptPath::DirectFromNic { latency: SimDuration::from_nanos(300) };
+        let packet = InterruptPath::PacketFromNic {
+            one_way: SimDuration::from_micros_f64(2.56),
+        };
+        let direct = InterruptPath::DirectFromNic {
+            latency: SimDuration::from_nanos(300),
+        };
         assert!(direct.total_latency(&host) * 3 < packet.total_latency(&host));
     }
 

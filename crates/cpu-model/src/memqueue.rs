@@ -59,9 +59,7 @@ impl<T> MemQueue<T> {
     /// Dequeue the oldest entry that has become visible by `now`.
     pub fn pop(&mut self, now: SimTime) -> Option<T> {
         match self.entries.front() {
-            Some(&(visible_at, _)) if visible_at <= now => {
-                self.entries.pop_front().map(|(_, v)| v)
-            }
+            Some(&(visible_at, _)) if visible_at <= now => self.entries.pop_front().map(|(_, v)| v),
             _ => None,
         }
     }

@@ -80,7 +80,10 @@ impl Default for OneShotTimer {
 impl OneShotTimer {
     /// A disarmed timer.
     pub fn new() -> OneShotTimer {
-        OneShotTimer { generation: 0, armed: None }
+        OneShotTimer {
+            generation: 0,
+            armed: None,
+        }
     }
 
     /// Arm (or re-arm) for `deadline`, returning the generation token that
@@ -135,12 +138,17 @@ mod tests {
     #[test]
     fn paper_reduction_percentages() {
         // §3.4.4: set cost reduced 93%, deliver cost reduced 70%.
-        let set_red = 1.0 - TimerMode::DuneMapped.set_cycles() as f64
-            / TimerMode::LinuxSignal.set_cycles() as f64;
-        let del_red = 1.0 - TimerMode::DuneMapped.deliver_cycles() as f64
-            / TimerMode::LinuxSignal.deliver_cycles() as f64;
+        let set_red = 1.0
+            - TimerMode::DuneMapped.set_cycles() as f64
+                / TimerMode::LinuxSignal.set_cycles() as f64;
+        let del_red = 1.0
+            - TimerMode::DuneMapped.deliver_cycles() as f64
+                / TimerMode::LinuxSignal.deliver_cycles() as f64;
         assert!((set_red - 0.93).abs() < 0.005, "set reduction {set_red}");
-        assert!((del_red - 0.70).abs() < 0.005, "deliver reduction {del_red}");
+        assert!(
+            (del_red - 0.70).abs() < 0.005,
+            "deliver reduction {del_red}"
+        );
     }
 
     #[test]

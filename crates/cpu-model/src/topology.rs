@@ -22,13 +22,19 @@ pub struct Topology {
 impl Topology {
     /// Single-socket layout for `cores` workers.
     pub fn single(cores: u8) -> Topology {
-        Topology { sockets: 1, cores_per_socket: cores }
+        Topology {
+            sockets: 1,
+            cores_per_socket: cores,
+        }
     }
 
     /// Dual-socket layout splitting `total` workers evenly (rounding the
     /// extra core onto socket 0, where the NIC lives).
     pub fn dual(total: u8) -> Topology {
-        Topology { sockets: 2, cores_per_socket: total.div_ceil(2) }
+        Topology {
+            sockets: 2,
+            cores_per_socket: total.div_ceil(2),
+        }
     }
 
     /// Socket housing worker `core` (dense numbering: socket 0 first).

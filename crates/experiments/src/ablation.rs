@@ -8,10 +8,11 @@
 
 use nicsched::NicProfile;
 use sim_core::SimDuration;
-use systems::baseline::{self, BaselineConfig, BaselineKind};
-use systems::offload::{self, OffloadConfig};
-use systems::rpcvalet::{self, RpcValetConfig};
-use systems::shinjuku::{self, ShinjukuConfig};
+use systems::baseline::{BaselineConfig, BaselineKind};
+use systems::offload::OffloadConfig;
+use systems::rpcvalet::RpcValetConfig;
+use systems::shinjuku::ShinjukuConfig;
+use systems::{ProbeConfig, ServerSystem};
 use workload::{RunMetrics, ServiceDist, WorkloadSpec};
 
 use crate::figures::Scale;
@@ -23,7 +24,14 @@ fn spec(scale: Scale, offered: f64, dist: ServiceDist) -> WorkloadSpec {
         Scale::Quick => (SimDuration::from_millis(2), SimDuration::from_millis(15)),
         Scale::Full => (SimDuration::from_millis(10), SimDuration::from_millis(80)),
     };
-    WorkloadSpec { offered_rps: offered, dist, body_len: 64, warmup, measure, seed: 11 }
+    WorkloadSpec {
+        offered_rps: offered,
+        dist,
+        body_len: 64,
+        warmup,
+        measure,
+        seed: 11,
+    }
 }
 
 /// **Ablation A (comm-path)** — the Figure 6 workload (fixed 1 µs, 16
@@ -32,25 +40,40 @@ fn spec(scale: Scale, offered: f64, dist: ServiceDist) -> WorkloadSpec {
 /// the offload bottleneck is transport vs ARM compute.
 pub fn comm_path(scale: Scale) -> Figure {
     let dist = ServiceDist::Fixed(SimDuration::from_micros(1));
-    let loads = linspace(250_000.0, 4_000_000.0, match scale {
-        Scale::Quick => 6,
-        Scale::Full => 16,
-    });
+    let loads = linspace(
+        250_000.0,
+        4_000_000.0,
+        match scale {
+            Scale::Quick => 6,
+            Scale::Full => 16,
+        },
+    );
     let run_profile = |profile: NicProfile| -> Vec<RunMetrics> {
         sweep(&loads, |rps| {
-            offload::run(
-                spec(scale, rps, dist),
-                OffloadConfig { time_slice: None, profile, ..OffloadConfig::paper(16, 5) },
-            )
+            OffloadConfig {
+                time_slice: None,
+                profile,
+                ..OffloadConfig::paper(16, 5)
+            }
+            .run(spec(scale, rps, dist), ProbeConfig::disabled())
         })
     };
     Figure {
         id: "ablation_comm".into(),
         title: "fixed 1us, Offload 16w (cap 5): Stingray vs Stingray+CXL vs ideal NIC".into(),
         curves: vec![
-            Curve { label: "Stingray".into(), points: run_profile(NicProfile::stingray()) },
-            Curve { label: "Stingray-CXL".into(), points: run_profile(NicProfile::stingray_cxl()) },
-            Curve { label: "Ideal-NIC".into(), points: run_profile(NicProfile::ideal()) },
+            Curve {
+                label: "Stingray".into(),
+                points: run_profile(NicProfile::stingray()),
+            },
+            Curve {
+                label: "Stingray-CXL".into(),
+                points: run_profile(NicProfile::stingray_cxl()),
+            },
+            Curve {
+                label: "Ideal-NIC".into(),
+                points: run_profile(NicProfile::ideal()),
+            },
         ],
     }
 }
@@ -60,17 +83,22 @@ pub fn comm_path(scale: Scale) -> Figure {
 /// (the design §3.4.4 rejects because of the 2.56 µs path).
 pub fn preempt_path(scale: Scale) -> Figure {
     let dist = ServiceDist::paper_bimodal();
-    let loads = linspace(50_000.0, 550_000.0, match scale {
-        Scale::Quick => 5,
-        Scale::Full => 11,
-    });
+    let loads = linspace(
+        50_000.0,
+        550_000.0,
+        match scale {
+            Scale::Quick => 5,
+            Scale::Full => 11,
+        },
+    );
     let run_profile = |label: &str, profile: NicProfile| Curve {
         label: label.into(),
         points: sweep(&loads, |rps| {
-            offload::run(
-                spec(scale, rps, dist),
-                OffloadConfig { profile, ..OffloadConfig::paper(4, 4) },
-            )
+            OffloadConfig {
+                profile,
+                ..OffloadConfig::paper(4, 4)
+            }
+            .run(spec(scale, rps, dist), ProbeConfig::disabled())
         }),
     };
     Figure {
@@ -89,14 +117,18 @@ pub fn preempt_path(scale: Scale) -> Figure {
 /// dispatcher core, matching the paper's accounting).
 pub fn baselines(scale: Scale) -> Figure {
     let dist = ServiceDist::paper_bimodal();
-    let loads = linspace(50_000.0, 450_000.0, match scale {
-        Scale::Quick => 5,
-        Scale::Full => 9,
-    });
+    let loads = linspace(
+        50_000.0,
+        450_000.0,
+        match scale {
+            Scale::Quick => 5,
+            Scale::Full => 9,
+        },
+    );
     let base = |label: &str, kind: BaselineKind| Curve {
         label: label.into(),
         points: sweep(&loads, |rps| {
-            baseline::run(spec(scale, rps, dist), BaselineConfig { workers: 4, kind })
+            BaselineConfig { workers: 4, kind }.run(spec(scale, rps, dist), ProbeConfig::disabled())
         }),
     };
     Figure {
@@ -109,19 +141,20 @@ pub fn baselines(scale: Scale) -> Figure {
             Curve {
                 label: "RPCValet".into(),
                 points: sweep(&loads, |rps| {
-                    rpcvalet::run(spec(scale, rps, dist), RpcValetConfig { workers: 4 })
+                    RpcValetConfig { workers: 4 }
+                        .run(spec(scale, rps, dist), ProbeConfig::disabled())
                 }),
             },
             Curve {
                 label: "Shinjuku".into(),
                 points: sweep(&loads, |rps| {
-                    shinjuku::run(spec(scale, rps, dist), ShinjukuConfig::paper(3))
+                    ShinjukuConfig::paper(3).run(spec(scale, rps, dist), ProbeConfig::disabled())
                 }),
             },
             Curve {
                 label: "Shinjuku-Offload".into(),
                 points: sweep(&loads, |rps| {
-                    offload::run(spec(scale, rps, dist), OffloadConfig::paper(4, 4))
+                    OffloadConfig::paper(4, 4).run(spec(scale, rps, dist), ProbeConfig::disabled())
                 }),
             },
         ],
@@ -132,17 +165,23 @@ pub fn baselines(scale: Scale) -> Figure {
 /// the informed-scheduler L1 placement the paper proposes.
 pub fn ddio(scale: Scale) -> Figure {
     let dist = ServiceDist::Fixed(SimDuration::from_micros(1));
-    let loads = linspace(50_000.0, 800_000.0, match scale {
-        Scale::Quick => 4,
-        Scale::Full => 8,
-    });
+    let loads = linspace(
+        50_000.0,
+        800_000.0,
+        match scale {
+            Scale::Quick => 4,
+            Scale::Full => 8,
+        },
+    );
     let with = |label: &str, ddio_l1: bool| Curve {
         label: label.into(),
         points: sweep(&loads, |rps| {
-            offload::run(
-                spec(scale, rps, dist),
-                OffloadConfig { time_slice: None, ddio_l1, ..OffloadConfig::paper(4, 2) },
-            )
+            OffloadConfig {
+                time_slice: None,
+                ddio_l1,
+                ..OffloadConfig::paper(4, 2)
+            }
+            .run(spec(scale, rps, dist), ProbeConfig::disabled())
         }),
     };
     Figure {
@@ -165,7 +204,10 @@ mod tests {
         let ideal = peak_throughput(&f.curves[2].points);
         // CXL shortens the RTT but the ARM TX stage still binds; the ideal
         // NIC removes both.
-        assert!(cxl >= stingray * 0.95, "cxl {cxl:.0} vs stingray {stingray:.0}");
+        assert!(
+            cxl >= stingray * 0.95,
+            "cxl {cxl:.0} vs stingray {stingray:.0}"
+        );
         assert!(
             ideal > stingray * 1.5,
             "ideal {ideal:.0} should crush stingray {stingray:.0}"
@@ -180,7 +222,8 @@ mod tests {
         // Compare p99 at the highest common unsaturated load.
         let pair = local
             .iter()
-            .zip(packet).rfind(|(a, b)| !a.saturated(0.05) && !b.saturated(0.05));
+            .zip(packet)
+            .rfind(|(a, b)| !a.saturated(0.05) && !b.saturated(0.05));
         let (a, b) = pair.expect("at least one unsaturated point");
         assert!(
             b.p99 >= a.p99,
@@ -193,9 +236,7 @@ mod tests {
     #[test]
     fn baselines_show_the_dispersion_story() {
         let f = baselines(Scale::Quick);
-        let find = |label: &str| {
-            &f.curves.iter().find(|c| c.label == label).unwrap().points
-        };
+        let find = |label: &str| &f.curves.iter().find(|c| c.label == label).unwrap().points;
         // At the mid load, run-to-completion RSS should have a far worse
         // tail than the centralized preemptive systems.
         let mid = f.curves[0].points.len() / 2;

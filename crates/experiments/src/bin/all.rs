@@ -2,7 +2,10 @@
 //! microbenchmark table, the ablations and the baseline comparison.
 fn main() {
     println!("=== microbenchmarks ===");
-    println!("{}", experiments::microbench::table(&experiments::microbench::run()));
+    println!(
+        "{}",
+        experiments::microbench::table(&experiments::microbench::run())
+    );
     for figure in [
         experiments::figures::fig2(experiments::Scale::Full),
         experiments::figures::fig3(experiments::Scale::Full),

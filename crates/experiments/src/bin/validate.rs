@@ -38,7 +38,10 @@ fn main() {
         checks.push(Check {
             name: "fig3: outstanding cap lifts 4-worker throughput >150%",
             pass: peak > first * 2.5,
-            detail: format!("cap1 {first:.0} -> plateau {peak:.0} (+{:.0}%)", (peak / first - 1.0) * 100.0),
+            detail: format!(
+                "cap1 {first:.0} -> plateau {peak:.0} (+{:.0}%)",
+                (peak / first - 1.0) * 100.0
+            ),
         });
     }
 
@@ -70,7 +73,10 @@ fn main() {
     // Microbench: the encoded paper numbers.
     {
         let rows = experiments::microbench::run();
-        let arm = rows.iter().find(|r| r.name.contains("ARM CPU -> host")).unwrap();
+        let arm = rows
+            .iter()
+            .find(|r| r.name.contains("ARM CPU -> host"))
+            .unwrap();
         checks.push(Check {
             name: "microbench: ARM->host construct+traverse = 2.56us",
             pass: arm.measured.contains("2.560us"),
@@ -93,7 +99,10 @@ fn main() {
     }
 
     let mut failed = 0;
-    println!("mindgap reproduction self-check ({} claims)\n", checks.len());
+    println!(
+        "mindgap reproduction self-check ({} claims)\n",
+        checks.len()
+    );
     for c in &checks {
         let status = if c.pass { "PASS" } else { "FAIL" };
         if !c.pass {

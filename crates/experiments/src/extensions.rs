@@ -15,11 +15,12 @@
 
 use nicsched::PolicyKind;
 use sim_core::SimDuration;
-use systems::baseline::{self, BaselineConfig, BaselineKind};
+use systems::baseline::{BaselineConfig, BaselineKind};
 use systems::multi_shinjuku::{self, MultiShinjukuConfig};
-use systems::rpcvalet::{self, RpcValetConfig};
-use systems::offload::{self, OffloadConfig};
-use systems::shinjuku::{self, ShinjukuConfig};
+use systems::offload::OffloadConfig;
+use systems::rpcvalet::RpcValetConfig;
+use systems::shinjuku::ShinjukuConfig;
+use systems::{ProbeConfig, ServerSystem};
 use workload::{ServiceDist, WorkloadSpec};
 
 use crate::figures::Scale;
@@ -31,7 +32,14 @@ fn spec(scale: Scale, offered: f64, dist: ServiceDist) -> WorkloadSpec {
         Scale::Quick => (SimDuration::from_millis(2), SimDuration::from_millis(15)),
         Scale::Full => (SimDuration::from_millis(10), SimDuration::from_millis(60)),
     };
-    WorkloadSpec { offered_rps: offered, dist, body_len: 64, warmup, measure, seed: 17 }
+    WorkloadSpec {
+        offered_rps: offered,
+        dist,
+        body_len: 64,
+        warmup,
+        measure,
+        seed: 17,
+    }
 }
 
 /// One row of the multi-dispatcher scaling table.
@@ -63,7 +71,11 @@ pub fn multi_dispatcher(scale: Scale) -> Vec<MultiDispatchRow> {
                 time_slice: None,
                 ..MultiShinjukuConfig::split(32, groups)
             };
-            let out = multi_shinjuku::run(spec(scale, offered, dist), cfg);
+            let out = multi_shinjuku::run_probed(
+                spec(scale, offered, dist),
+                cfg,
+                ProbeConfig::disabled(),
+            );
             MultiDispatchRow {
                 groups,
                 workers_per_group: cfg.workers_per_group,
@@ -78,9 +90,8 @@ pub fn multi_dispatcher(scale: Scale) -> Vec<MultiDispatchRow> {
 /// Render the multi-dispatcher rows as an aligned table.
 pub fn multi_dispatcher_table(rows: &[MultiDispatchRow]) -> String {
     use std::fmt::Write;
-    let mut out = String::from(
-        "## multi_dispatcher — fixed 1us on 32 cores, offered 6.5M RPS (§2.2(3))\n",
-    );
+    let mut out =
+        String::from("## multi_dispatcher — fixed 1us on 32 cores, offered 6.5M RPS (§2.2(3))\n");
     let _ = writeln!(
         out,
         "{:>7} {:>9} {:>14} {:>10} {:>10}",
@@ -104,20 +115,31 @@ pub fn multi_dispatcher_table(rows: &[MultiDispatchRow]) -> String {
 /// provisioned cores per point.
 pub fn elastic_rss(scale: Scale) -> (Figure, Vec<f64>) {
     let dist = ServiceDist::Fixed(SimDuration::from_micros(5));
-    let loads = linspace(100_000.0, 1_300_000.0, match scale {
-        Scale::Quick => 4,
-        Scale::Full => 7,
-    });
+    let loads = linspace(
+        100_000.0,
+        1_300_000.0,
+        match scale {
+            Scale::Quick => 4,
+            Scale::Full => 7,
+        },
+    );
     let static_rss = sweep(&loads, |rps| {
-        baseline::run(spec(scale, rps, dist), BaselineConfig { workers: 8, kind: BaselineKind::Rss })
+        BaselineConfig {
+            workers: 8,
+            kind: BaselineKind::Rss,
+        }
+        .run(spec(scale, rps, dist), ProbeConfig::disabled())
     });
     let mut mean_active = Vec::new();
     let elastic: Vec<_> = loads
         .iter()
         .map(|&rps| {
-            let (m, active) = baseline::run_with_elastic(
+            let (m, active) = systems::baseline::run_with_elastic(
                 spec(scale, rps, dist),
-                BaselineConfig { workers: 8, kind: BaselineKind::ElasticRss },
+                BaselineConfig {
+                    workers: 8,
+                    kind: BaselineKind::ElasticRss,
+                },
             );
             mean_active.push(active);
             m
@@ -128,8 +150,14 @@ pub fn elastic_rss(scale: Scale) -> (Figure, Vec<f64>) {
             id: "ext_elastic_rss".into(),
             title: "fixed 5us, 8 cores: static RSS vs Elastic RSS (us-scale provisioning)".into(),
             curves: vec![
-                Curve { label: "RSS-static".into(), points: static_rss },
-                Curve { label: "Elastic-RSS".into(), points: elastic },
+                Curve {
+                    label: "RSS-static".into(),
+                    points: static_rss,
+                },
+                Curve {
+                    label: "Elastic-RSS".into(),
+                    points: elastic,
+                },
             ],
         },
         mean_active,
@@ -153,10 +181,11 @@ pub fn slice_sweep(scale: Scale) -> Figure {
         .iter()
         .enumerate()
         .map(|(i, (_, slice))| {
-            let mut m = offload::run(
-                spec(scale, offered, dist),
-                OffloadConfig { time_slice: *slice, ..OffloadConfig::paper(4, 4) },
-            );
+            let mut m = OffloadConfig {
+                time_slice: *slice,
+                ..OffloadConfig::paper(4, 4)
+            }
+            .run(spec(scale, offered, dist), ProbeConfig::disabled());
             // x-axis: slice index (labels in the CSV carry the value).
             m.offered_rps = i as f64;
             m
@@ -173,14 +202,22 @@ pub fn slice_sweep(scale: Scale) -> Figure {
 /// §5.1(4): the same offloaded hardware under three queue policies.
 pub fn policies(scale: Scale) -> Figure {
     let dist = ServiceDist::paper_bimodal();
-    let loads = linspace(100_000.0, 550_000.0, match scale {
-        Scale::Quick => 4,
-        Scale::Full => 10,
-    });
+    let loads = linspace(
+        100_000.0,
+        550_000.0,
+        match scale {
+            Scale::Quick => 4,
+            Scale::Full => 10,
+        },
+    );
     let with = |label: &str, policy: PolicyKind| Curve {
         label: label.into(),
         points: sweep(&loads, |rps| {
-            offload::run(spec(scale, rps, dist), OffloadConfig { policy, ..OffloadConfig::paper(4, 4) })
+            OffloadConfig {
+                policy,
+                ..OffloadConfig::paper(4, 4)
+            }
+            .run(spec(scale, rps, dist), ProbeConfig::disabled())
         }),
     };
     Figure {
@@ -189,18 +226,28 @@ pub fn policies(scale: Scale) -> Figure {
         curves: vec![
             with("FCFS", PolicyKind::Fcfs),
             with("SRF", PolicyKind::ShortestRemaining),
-            with("ClassPrio", PolicyKind::ClassPriority(SimDuration::from_micros(10))),
+            with(
+                "ClassPrio",
+                PolicyKind::ClassPriority(SimDuration::from_micros(10)),
+            ),
         ],
     }
 }
 
 /// §2.2(2): a lognormal (sigma = 2) heavy-tail workload across designs.
 pub fn heavy_tail(scale: Scale) -> Figure {
-    let dist = ServiceDist::Lognormal { mean: SimDuration::from_micros(10), sigma: 2.0 };
-    let loads = linspace(50_000.0, 300_000.0, match scale {
-        Scale::Quick => 4,
-        Scale::Full => 6,
-    });
+    let dist = ServiceDist::Lognormal {
+        mean: SimDuration::from_micros(10),
+        sigma: 2.0,
+    };
+    let loads = linspace(
+        50_000.0,
+        300_000.0,
+        match scale {
+            Scale::Quick => 4,
+            Scale::Full => 6,
+        },
+    );
     Figure {
         id: "ext_heavy_tail".into(),
         title: "lognormal(mean 10us, sigma 2) across designs, 4 host cores".into(),
@@ -208,19 +255,23 @@ pub fn heavy_tail(scale: Scale) -> Figure {
             Curve {
                 label: "RSS".into(),
                 points: sweep(&loads, |rps| {
-                    baseline::run(spec(scale, rps, dist), BaselineConfig { workers: 4, kind: BaselineKind::Rss })
+                    BaselineConfig {
+                        workers: 4,
+                        kind: BaselineKind::Rss,
+                    }
+                    .run(spec(scale, rps, dist), ProbeConfig::disabled())
                 }),
             },
             Curve {
                 label: "Shinjuku".into(),
                 points: sweep(&loads, |rps| {
-                    shinjuku::run(spec(scale, rps, dist), ShinjukuConfig::paper(3))
+                    ShinjukuConfig::paper(3).run(spec(scale, rps, dist), ProbeConfig::disabled())
                 }),
             },
             Curve {
                 label: "Shinjuku-Offload".into(),
                 points: sweep(&loads, |rps| {
-                    offload::run(spec(scale, rps, dist), OffloadConfig::paper(4, 4))
+                    OffloadConfig::paper(4, 4).run(spec(scale, rps, dist), ProbeConfig::disabled())
                 }),
             },
         ],
@@ -232,24 +283,26 @@ pub fn heavy_tail(scale: Scale) -> Figure {
 /// selection, and dual socket with the socket-aware selector.
 pub fn dual_socket(scale: Scale) -> Figure {
     let dist = ServiceDist::Fixed(SimDuration::from_micros(2));
-    let loads = linspace(100_000.0, 1_200_000.0, match scale {
-        Scale::Quick => 4,
-        Scale::Full => 8,
-    });
+    let loads = linspace(
+        100_000.0,
+        1_200_000.0,
+        match scale {
+            Scale::Quick => 4,
+            Scale::Full => 8,
+        },
+    );
     let with = |label: &str, dual: bool, aware: bool| Curve {
         label: label.into(),
         points: sweep(&loads, |rps| {
             let mut s = spec(scale, rps, dist);
             s.body_len = 1024; // big packets make the cache path visible
-            offload::run(
-                s,
-                OffloadConfig {
-                    dual_socket: dual,
-                    socket_aware: aware,
-                    time_slice: None,
-                    ..OffloadConfig::paper(8, 2)
-                },
-            )
+            OffloadConfig {
+                dual_socket: dual,
+                socket_aware: aware,
+                time_slice: None,
+                ..OffloadConfig::paper(8, 2)
+            }
+            .run(s, ProbeConfig::disabled())
         }),
     };
     Figure {
@@ -280,10 +333,12 @@ pub fn worker_scaling(scale: Scale) -> Figure {
     let shin: Vec<_> = workers
         .iter()
         .map(|&w| {
-            let mut m = shinjuku::run(
-                spec(scale, offered, dist),
-                ShinjukuConfig { workers: w, time_slice: None, ..ShinjukuConfig::paper(w) },
-            );
+            let mut m = ShinjukuConfig {
+                workers: w,
+                time_slice: None,
+                ..ShinjukuConfig::paper(w)
+            }
+            .run(spec(scale, offered, dist), ProbeConfig::disabled());
             m.offered_rps = w as f64; // x-axis: worker count
             m
         })
@@ -291,10 +346,11 @@ pub fn worker_scaling(scale: Scale) -> Figure {
     let off: Vec<_> = workers
         .iter()
         .map(|&w| {
-            let mut m = offload::run(
-                spec(scale, offered, dist),
-                OffloadConfig { time_slice: None, ..OffloadConfig::paper(w, 5) },
-            );
+            let mut m = OffloadConfig {
+                time_slice: None,
+                ..OffloadConfig::paper(w, 5)
+            }
+            .run(spec(scale, offered, dist), ProbeConfig::disabled());
             m.offered_rps = w as f64;
             m
         })
@@ -302,7 +358,8 @@ pub fn worker_scaling(scale: Scale) -> Figure {
     let valet: Vec<_> = workers
         .iter()
         .map(|&w| {
-            let mut m = rpcvalet::run(spec(scale, offered, dist), RpcValetConfig { workers: w });
+            let mut m = RpcValetConfig { workers: w }
+                .run(spec(scale, offered, dist), ProbeConfig::disabled());
             m.offered_rps = w as f64;
             m
         })
@@ -323,17 +380,22 @@ pub fn worker_scaling(scale: Scale) -> Figure {
 /// the bimodal workload, swept across (and past) capacity.
 pub fn jit_pacing(scale: Scale) -> Figure {
     let dist = ServiceDist::paper_bimodal();
-    let loads = linspace(200_000.0, 900_000.0, match scale {
-        Scale::Quick => 4,
-        Scale::Full => 8,
-    });
+    let loads = linspace(
+        200_000.0,
+        900_000.0,
+        match scale {
+            Scale::Quick => 4,
+            Scale::Full => 8,
+        },
+    );
     let with = |label: &str, jit: Option<u64>| Curve {
         label: label.into(),
         points: sweep(&loads, |rps| {
-            offload::run(
-                spec(scale, rps, dist),
-                OffloadConfig { jit_target_depth: jit, ..OffloadConfig::paper(4, 4) },
-            )
+            OffloadConfig {
+                jit_target_depth: jit,
+                ..OffloadConfig::paper(4, 4)
+            }
+            .run(spec(scale, rps, dist), ProbeConfig::disabled())
         }),
     };
     Figure {
@@ -353,7 +415,11 @@ mod tests {
         let rows = multi_dispatcher(Scale::Quick);
         assert_eq!(rows.len(), 4);
         // One dispatcher is capped near 5M; more groups push beyond.
-        assert!(rows[0].achieved_rps < 5_500_000.0, "1 group: {:.0}", rows[0].achieved_rps);
+        assert!(
+            rows[0].achieved_rps < 5_500_000.0,
+            "1 group: {:.0}",
+            rows[0].achieved_rps
+        );
         // 4 groups serve the full 6.5M offered; one group is pinned at
         // its dispatcher's ~4.3M.
         assert!(

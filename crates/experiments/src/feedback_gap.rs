@@ -19,7 +19,7 @@
 
 use nicsched::{CoreFeedback, FeedbackChannel};
 use sim_core::stats::Histogram;
-use sim_core::{Ctx, Engine, Model, Rng, SimDuration, SimTime};
+use sim_core::{Ctx, Engine, Model, Probe, ProbeConfig, Rng, SimDuration, SimTime};
 use workload::{ArrivalGen, ArrivalProcess};
 
 use crate::figures::Scale;
@@ -37,6 +37,9 @@ pub struct GapRow {
     pub mean: SimDuration,
     /// Peak depth of any single worker queue (imbalance witness).
     pub peak_worker_queue: usize,
+    /// Mean worst-case staleness of the dispatcher's view at decision
+    /// time, measured by the probe layer (≥ the one-way latency).
+    pub mean_staleness: SimDuration,
 }
 
 enum Ev {
@@ -62,7 +65,12 @@ impl GapModel {
         let occupancy = self.depth[w];
         self.channel.send(
             now,
-            CoreFeedback { worker: w, occupancy, busy: occupancy > 0, reported_at: now },
+            CoreFeedback {
+                worker: w,
+                occupancy,
+                busy: occupancy > 0,
+                reported_at: now,
+            },
         );
     }
 
@@ -92,8 +100,18 @@ impl Model for GapModel {
                     ctx.schedule_in(gap, Ev::Arrive);
                 }
                 let w = self.choose(ctx.now());
+                // The dispatcher just acted on its stale view: surface how
+                // out-of-date that view was, and how much of the picture
+                // is still in transit.
+                let staleness = self.channel.worst_staleness(ctx.now());
+                let undelivered = self.channel.in_flight();
+                if let Some(s) = staleness {
+                    ctx.probe().hop("feedback.staleness", s);
+                }
+                ctx.probe().depth("feedback.in_flight", undelivered);
                 self.depth[w] += 1;
                 self.peak = self.peak.max(self.depth[w] as usize);
+                ctx.probe().depth_i("gap.worker", w, self.depth[w] as usize);
                 self.queued_at[w].push_back(ctx.now());
                 self.report(ctx.now(), w);
                 if self.depth[w] == 1 {
@@ -102,7 +120,8 @@ impl Model for GapModel {
             }
             Ev::WorkerDone(w) => {
                 let started = self.queued_at[w].pop_front().expect("queued task");
-                self.sojourn.record(ctx.now().duration_since(started).as_nanos());
+                self.sojourn
+                    .record(ctx.now().duration_since(started).as_nanos());
                 self.depth[w] -= 1;
                 self.report(ctx.now(), w);
                 if self.depth[w] > 0 {
@@ -116,9 +135,15 @@ impl Model for GapModel {
 /// Run the isolation experiment across the §3/§5 feedback paths.
 pub fn run(scale: Scale) -> Vec<GapRow> {
     let paths: Vec<(&'static str, SimDuration)> = vec![
-        ("coherent memory (ideal, ~120ns)", SimDuration::from_nanos(120)),
+        (
+            "coherent memory (ideal, ~120ns)",
+            SimDuration::from_nanos(120),
+        ),
         ("CXL-class link (~400ns)", SimDuration::from_nanos(400)),
-        ("Stingray packet path (2.56us)", SimDuration::from_nanos(2_560)),
+        (
+            "Stingray packet path (2.56us)",
+            SimDuration::from_nanos(2_560),
+        ),
         ("coarse feedback (10us)", SimDuration::from_micros(10)),
         ("very coarse feedback (50us)", SimDuration::from_micros(50)),
     ];
@@ -149,8 +174,14 @@ pub fn run(scale: Scale) -> Vec<GapRow> {
                 model.report(SimTime::ZERO, w);
             }
             let mut engine = Engine::new(model);
+            engine.set_probe(Probe::new(ProbeConfig::enabled()));
             engine.schedule_at(SimTime::ZERO, Ev::Arrive);
             engine.run();
+            let report = engine.probe_mut().report(horizon);
+            let mean_staleness = report
+                .hop("feedback.staleness")
+                .map(|h| h.mean)
+                .unwrap_or(SimDuration::ZERO);
             let m = engine.model();
             GapRow {
                 path,
@@ -158,6 +189,7 @@ pub fn run(scale: Scale) -> Vec<GapRow> {
                 p99: SimDuration::from_nanos(m.sojourn.p99().unwrap_or(0)),
                 mean: SimDuration::from_nanos(m.sojourn.mean() as u64),
                 peak_worker_queue: m.peak,
+                mean_staleness,
             }
         })
         .collect()
@@ -169,16 +201,21 @@ pub fn table(rows: &[GapRow]) -> String {
     let mut out = String::from(
         "## feedback_gap — 8 workers, fixed 2us, rho 0.8: scheduling quality vs feedback latency\n",
     );
-    let _ = writeln!(out, "{:<36} {:>10} {:>10} {:>10} {:>10}", "feedback path", "one-way", "mean", "p99", "peak q");
+    let _ = writeln!(
+        out,
+        "{:<36} {:>10} {:>10} {:>10} {:>10} {:>12}",
+        "feedback path", "one-way", "mean", "p99", "peak q", "staleness"
+    );
     for r in rows {
         let _ = writeln!(
             out,
-            "{:<36} {:>10} {:>10} {:>10} {:>10}",
+            "{:<36} {:>10} {:>10} {:>10} {:>10} {:>12}",
             r.path,
             r.latency.to_string(),
             r.mean.to_string(),
             r.p99.to_string(),
-            r.peak_worker_queue
+            r.peak_worker_queue,
+            r.mean_staleness.to_string()
         );
     }
     out
@@ -210,6 +247,19 @@ mod tests {
         );
         // And it manufactures imbalance (herding).
         assert!(coarse.peak_worker_queue > coherent.peak_worker_queue);
+    }
+
+    #[test]
+    fn measured_staleness_is_bounded_below_by_the_path_latency() {
+        for r in run(Scale::Quick) {
+            assert!(
+                r.mean_staleness >= r.latency,
+                "{}: staleness {} below one-way latency {}",
+                r.path,
+                r.mean_staleness,
+                r.latency
+            );
+        }
     }
 
     #[test]

@@ -7,8 +7,9 @@
 //! exercise every experiment quickly while binaries run the full version.
 
 use sim_core::SimDuration;
-use systems::offload::{self, OffloadConfig};
-use systems::shinjuku::{self, ShinjukuConfig};
+use systems::offload::OffloadConfig;
+use systems::shinjuku::ShinjukuConfig;
+use systems::{ProbeConfig, ServerSystem};
 use workload::{RunMetrics, ServiceDist, WorkloadSpec};
 
 use crate::report::{Curve, Figure};
@@ -29,7 +30,14 @@ impl Scale {
             Scale::Quick => (SimDuration::from_millis(2), SimDuration::from_millis(15)),
             Scale::Full => (SimDuration::from_millis(10), SimDuration::from_millis(80)),
         };
-        WorkloadSpec { offered_rps: offered, dist, body_len: 64, warmup, measure, seed: 7 }
+        WorkloadSpec {
+            offered_rps: offered,
+            dist,
+            body_len: 64,
+            warmup,
+            measure,
+            seed: 7,
+        }
     }
 
     fn points(self, full: usize) -> usize {
@@ -46,17 +54,25 @@ impl Scale {
 pub fn fig2(scale: Scale) -> Figure {
     let dist = ServiceDist::paper_bimodal();
     let loads = linspace(50_000.0, 600_000.0, scale.points(12));
-    let shin = sweep(&loads, |rps| shinjuku::run(scale.spec(rps, dist), ShinjukuConfig::paper(3)));
+    let shin = sweep(&loads, |rps| {
+        ShinjukuConfig::paper(3).run(scale.spec(rps, dist), ProbeConfig::disabled())
+    });
     let off = sweep(&loads, |rps| {
-        offload::run(scale.spec(rps, dist), OffloadConfig::paper(4, 4))
+        OffloadConfig::paper(4, 4).run(scale.spec(rps, dist), ProbeConfig::disabled())
     });
     Figure {
         id: "fig2".into(),
         title: "bimodal 99.5%@5us / 0.5%@100us, slice 10us; Shinjuku 3w vs Offload 4w (cap 4)"
             .into(),
         curves: vec![
-            Curve { label: "Shinjuku".into(), points: shin },
-            Curve { label: "Shinjuku-Offload".into(), points: off },
+            Curve {
+                label: "Shinjuku".into(),
+                points: shin,
+            },
+            Curve {
+                label: "Shinjuku-Offload".into(),
+                points: off,
+            },
         ],
     }
 }
@@ -69,29 +85,33 @@ pub fn fig3(scale: Scale) -> Figure {
     let dist = ServiceDist::Fixed(SimDuration::from_micros(1));
     let caps: Vec<u32> = (1..=7).collect();
     let run_for = |workers: usize| -> Vec<RunMetrics> {
-        let results: Vec<RunMetrics> = sweep(
-            &caps.iter().map(|&c| c as f64).collect::<Vec<_>>(),
-            |cap| {
+        let results: Vec<RunMetrics> =
+            sweep(&caps.iter().map(|&c| c as f64).collect::<Vec<_>>(), |cap| {
                 let cfg = OffloadConfig {
                     time_slice: None,
                     ..OffloadConfig::paper(workers, cap as u32)
                 };
                 // Offer well beyond any plateau so achieved == capacity.
-                let mut m = offload::run(scale.spec(2_500_000.0, dist), cfg);
+                let mut m = cfg.run(scale.spec(2_500_000.0, dist), ProbeConfig::disabled());
                 // Re-purpose offered_rps to carry the x-axis value
                 // (outstanding requests) for reporting.
                 m.offered_rps = cap;
                 m
-            },
-        );
+            });
         results
     };
     Figure {
         id: "fig3".into(),
         title: "fixed 1us; Offload saturated throughput vs outstanding cap (x = cap)".into(),
         curves: vec![
-            Curve { label: "16 workers".into(), points: run_for(16) },
-            Curve { label: "4 workers".into(), points: run_for(4) },
+            Curve {
+                label: "16 workers".into(),
+                points: run_for(16),
+            },
+            Curve {
+                label: "4 workers".into(),
+                points: run_for(4),
+            },
         ],
     }
 }
@@ -102,20 +122,32 @@ pub fn fig4(scale: Scale) -> Figure {
     let dist = ServiceDist::Fixed(SimDuration::from_micros(5));
     let loads = linspace(50_000.0, 700_000.0, scale.points(14));
     let shin = sweep(&loads, |rps| {
-        shinjuku::run(scale.spec(rps, dist), ShinjukuConfig { workers: 3, time_slice: None, ..ShinjukuConfig::paper(3) })
+        ShinjukuConfig {
+            workers: 3,
+            time_slice: None,
+            ..ShinjukuConfig::paper(3)
+        }
+        .run(scale.spec(rps, dist), ProbeConfig::disabled())
     });
     let off = sweep(&loads, |rps| {
-        offload::run(
-            scale.spec(rps, dist),
-            OffloadConfig { time_slice: None, ..OffloadConfig::paper(4, 4) },
-        )
+        OffloadConfig {
+            time_slice: None,
+            ..OffloadConfig::paper(4, 4)
+        }
+        .run(scale.spec(rps, dist), ProbeConfig::disabled())
     });
     Figure {
         id: "fig4".into(),
         title: "fixed 5us, no preemption; Shinjuku 3w vs Offload 4w (cap 4)".into(),
         curves: vec![
-            Curve { label: "Shinjuku".into(), points: shin },
-            Curve { label: "Shinjuku-Offload".into(), points: off },
+            Curve {
+                label: "Shinjuku".into(),
+                points: shin,
+            },
+            Curve {
+                label: "Shinjuku-Offload".into(),
+                points: off,
+            },
         ],
     }
 }
@@ -126,20 +158,32 @@ pub fn fig5(scale: Scale) -> Figure {
     let dist = ServiceDist::Fixed(SimDuration::from_micros(100));
     let loads = linspace(20_000.0, 160_000.0, scale.points(15));
     let shin = sweep(&loads, |rps| {
-        shinjuku::run(scale.spec(rps, dist), ShinjukuConfig { workers: 15, time_slice: None, ..ShinjukuConfig::paper(15) })
+        ShinjukuConfig {
+            workers: 15,
+            time_slice: None,
+            ..ShinjukuConfig::paper(15)
+        }
+        .run(scale.spec(rps, dist), ProbeConfig::disabled())
     });
     let off = sweep(&loads, |rps| {
-        offload::run(
-            scale.spec(rps, dist),
-            OffloadConfig { time_slice: None, ..OffloadConfig::paper(16, 2) },
-        )
+        OffloadConfig {
+            time_slice: None,
+            ..OffloadConfig::paper(16, 2)
+        }
+        .run(scale.spec(rps, dist), ProbeConfig::disabled())
     });
     Figure {
         id: "fig5".into(),
         title: "fixed 100us, no preemption; Shinjuku 15w vs Offload 16w (cap 2)".into(),
         curves: vec![
-            Curve { label: "Shinjuku".into(), points: shin },
-            Curve { label: "Shinjuku-Offload".into(), points: off },
+            Curve {
+                label: "Shinjuku".into(),
+                points: shin,
+            },
+            Curve {
+                label: "Shinjuku-Offload".into(),
+                points: off,
+            },
         ],
     }
 }
@@ -151,20 +195,32 @@ pub fn fig6(scale: Scale) -> Figure {
     let dist = ServiceDist::Fixed(SimDuration::from_micros(1));
     let loads = linspace(250_000.0, 4_000_000.0, scale.points(16));
     let shin = sweep(&loads, |rps| {
-        shinjuku::run(scale.spec(rps, dist), ShinjukuConfig { workers: 15, time_slice: None, ..ShinjukuConfig::paper(15) })
+        ShinjukuConfig {
+            workers: 15,
+            time_slice: None,
+            ..ShinjukuConfig::paper(15)
+        }
+        .run(scale.spec(rps, dist), ProbeConfig::disabled())
     });
     let off = sweep(&loads, |rps| {
-        offload::run(
-            scale.spec(rps, dist),
-            OffloadConfig { time_slice: None, ..OffloadConfig::paper(16, 5) },
-        )
+        OffloadConfig {
+            time_slice: None,
+            ..OffloadConfig::paper(16, 5)
+        }
+        .run(scale.spec(rps, dist), ProbeConfig::disabled())
     });
     Figure {
         id: "fig6".into(),
         title: "fixed 1us, no preemption; Shinjuku 15w vs Offload 16w (cap 5)".into(),
         curves: vec![
-            Curve { label: "Shinjuku".into(), points: shin },
-            Curve { label: "Shinjuku-Offload".into(), points: off },
+            Curve {
+                label: "Shinjuku".into(),
+                points: shin,
+            },
+            Curve {
+                label: "Shinjuku-Offload".into(),
+                points: off,
+            },
         ],
     }
 }

@@ -11,8 +11,9 @@ use cpu_model::{ContextCosts, CoreSpec, TimerMode, CROSS_SOCKET_PENALTY};
 use nic_model::{packet_lines, Ddio, Placement};
 use nicsched::{params, NicProfile, SchedCompute};
 use sim_core::SimDuration;
-use systems::baseline::{self, BaselineConfig, BaselineKind};
-use systems::shinjuku::{self, ShinjukuConfig};
+use systems::baseline::{BaselineConfig, BaselineKind};
+use systems::shinjuku::ShinjukuConfig;
+use systems::{ProbeConfig, ServerSystem};
 use workload::{ServiceDist, WorkloadSpec};
 
 /// One row of the microbenchmark table.
@@ -49,7 +50,10 @@ pub fn run() -> Vec<MicrobenchRow> {
             "{} cycles = {} ({:.0}% reduction)",
             TimerMode::DuneMapped.set_cycles(),
             TimerMode::DuneMapped.set_cost(&host),
-            100.0 * (1.0 - TimerMode::DuneMapped.set_cycles() as f64 / TimerMode::LinuxSignal.set_cycles() as f64)
+            100.0
+                * (1.0
+                    - TimerMode::DuneMapped.set_cycles() as f64
+                        / TimerMode::LinuxSignal.set_cycles() as f64)
         ),
     });
     rows.push(MicrobenchRow {
@@ -68,7 +72,10 @@ pub fn run() -> Vec<MicrobenchRow> {
             "{} cycles = {} ({:.0}% reduction)",
             TimerMode::DuneMapped.deliver_cycles(),
             TimerMode::DuneMapped.deliver_cost(&host),
-            100.0 * (1.0 - TimerMode::DuneMapped.deliver_cycles() as f64 / TimerMode::LinuxSignal.deliver_cycles() as f64)
+            100.0
+                * (1.0
+                    - TimerMode::DuneMapped.deliver_cycles() as f64
+                        / TimerMode::LinuxSignal.deliver_cycles() as f64)
         ),
     });
 
@@ -126,7 +133,10 @@ pub fn run() -> Vec<MicrobenchRow> {
     rows.push(MicrobenchRow {
         name: "cross-socket line penalty / work-steal cost".into(),
         paper: "(§1 multi-socket warning; §2.2(4) stealing overhead)".into(),
-        measured: format!("{CROSS_SOCKET_PENALTY} per line / {} per steal", params::WORK_STEAL_COST),
+        measured: format!(
+            "{CROSS_SOCKET_PENALTY} per line / {} per steal",
+            params::WORK_STEAL_COST
+        ),
     });
 
     // Inter-thread communication overhead: p99 of a near-zero-work request
@@ -140,13 +150,25 @@ pub fn run() -> Vec<MicrobenchRow> {
         measure: SimDuration::from_millis(30),
         seed,
     };
-    let shin = shinjuku::run(tiny(3), ShinjukuConfig { workers: 2, time_slice: None, ..ShinjukuConfig::paper(2) });
-    let rtc = baseline::run(tiny(3), BaselineConfig { workers: 2, kind: BaselineKind::Rss });
+    let shin = ShinjukuConfig {
+        workers: 2,
+        time_slice: None,
+        ..ShinjukuConfig::paper(2)
+    }
+    .run(tiny(3), ProbeConfig::disabled());
+    let rtc = BaselineConfig {
+        workers: 2,
+        kind: BaselineKind::Rss,
+    }
+    .run(tiny(3), ProbeConfig::disabled());
     let delta = shin.p99.saturating_sub(rtc.p99);
     rows.push(MicrobenchRow {
         name: "inter-thread communication added tail (min-work requests)".into(),
         paper: "~2 us (§2.2)".into(),
-        measured: format!("shinjuku p99 {} - run-to-completion p99 {} = {delta}", shin.p99, rtc.p99),
+        measured: format!(
+            "shinjuku p99 {} - run-to-completion p99 {} = {delta}",
+            shin.p99, rtc.p99
+        ),
     });
 
     // Host dispatcher capacity: overload 15 workers with 1us requests and
@@ -159,7 +181,12 @@ pub fn run() -> Vec<MicrobenchRow> {
         measure: SimDuration::from_millis(25),
         seed: 5,
     };
-    let m = shinjuku::run(heavy, ShinjukuConfig { workers: 15, time_slice: None, ..ShinjukuConfig::paper(15) });
+    let m = ShinjukuConfig {
+        workers: 15,
+        time_slice: None,
+        ..ShinjukuConfig::paper(15)
+    }
+    .run(heavy, ProbeConfig::disabled());
     rows.push(MicrobenchRow {
         name: "host dispatcher capacity (15 workers, 1us requests)".into(),
         paper: "~5M requests/second (§1)".into(),
@@ -189,10 +216,18 @@ pub fn table(rows: &[MicrobenchRow]) -> String {
     let name_w = rows.iter().map(|r| r.name.len()).max().unwrap_or(10);
     let paper_w = rows.iter().map(|r| r.paper.len()).max().unwrap_or(10);
     let mut out = String::new();
-    let _ = writeln!(out, "{:name_w$} | {:paper_w$} | measured", "microbenchmark", "paper");
+    let _ = writeln!(
+        out,
+        "{:name_w$} | {:paper_w$} | measured",
+        "microbenchmark", "paper"
+    );
     let _ = writeln!(out, "{:-<name_w$}-+-{:-<paper_w$}-+---------", "", "");
     for r in rows {
-        let _ = writeln!(out, "{:name_w$} | {:paper_w$} | {}", r.name, r.paper, r.measured);
+        let _ = writeln!(
+            out,
+            "{:name_w$} | {:paper_w$} | {}",
+            r.name, r.paper, r.measured
+        );
     }
     out
 }
@@ -227,8 +262,17 @@ mod tests {
             measure: SimDuration::from_millis(30),
             seed,
         };
-        let shin = shinjuku::run(tiny(3), ShinjukuConfig { workers: 2, time_slice: None, ..ShinjukuConfig::paper(2) });
-        let rtc = baseline::run(tiny(3), BaselineConfig { workers: 2, kind: BaselineKind::Rss });
+        let shin = ShinjukuConfig {
+            workers: 2,
+            time_slice: None,
+            ..ShinjukuConfig::paper(2)
+        }
+        .run(tiny(3), ProbeConfig::disabled());
+        let rtc = BaselineConfig {
+            workers: 2,
+            kind: BaselineKind::Rss,
+        }
+        .run(tiny(3), ProbeConfig::disabled());
         let delta = shin.p99.saturating_sub(rtc.p99);
         assert!(
             delta >= SimDuration::from_nanos(800) && delta <= SimDuration::from_micros(4),
@@ -240,7 +284,10 @@ mod tests {
     #[test]
     fn dispatcher_capacity_near_5m() {
         let rows = run();
-        let row = rows.iter().find(|r| r.name.contains("dispatcher capacity")).unwrap();
+        let row = rows
+            .iter()
+            .find(|r| r.name.contains("dispatcher capacity"))
+            .unwrap();
         assert!(row.measured.contains("M req/s"));
     }
 

@@ -50,7 +50,11 @@ pub fn ascii(figure: &Figure, width: usize, height: usize) -> String {
 
     let mut out = String::new();
     out.push_str(&format!("{} — {}\n", figure.id, figure.title));
-    out.push_str(&format!("p99 (us, log scale) {:>width$.1}\n", y_hi, width = 10));
+    out.push_str(&format!(
+        "p99 (us, log scale) {:>width$.1}\n",
+        y_hi,
+        width = 10
+    ));
     for (i, row) in grid.iter().enumerate() {
         // Left gutter: y tick at top, middle, bottom.
         let tick = if i == 0 {
@@ -108,6 +112,7 @@ mod tests {
             dropped: 0,
             preemptions: 0,
             worker_utilization: 0.5,
+            stages: None,
         }
     }
 
@@ -152,7 +157,11 @@ mod tests {
 
     #[test]
     fn empty_figure_degrades_gracefully() {
-        let f = Figure { id: "e".into(), title: "t".into(), curves: vec![] };
+        let f = Figure {
+            id: "e".into(),
+            title: "t".into(),
+            curves: vec![],
+        };
         assert!(ascii(&f, 40, 10).contains("no data"));
     }
 

@@ -33,10 +33,20 @@ impl Figure {
         let _ = writeln!(out, "## {} — {}", self.id, self.title);
         let _ = write!(out, "{:>14}", "offered_rps");
         for c in &self.curves {
-            let _ = write!(out, " | {:>14} {:>12}", format!("{}_rps", short(&c.label)), format!("{}_p99us", short(&c.label)));
+            let _ = write!(
+                out,
+                " | {:>14} {:>12}",
+                format!("{}_rps", short(&c.label)),
+                format!("{}_p99us", short(&c.label))
+            );
         }
         let _ = writeln!(out);
-        let rows = self.curves.iter().map(|c| c.points.len()).max().unwrap_or(0);
+        let rows = self
+            .curves
+            .iter()
+            .map(|c| c.points.len())
+            .max()
+            .unwrap_or(0);
         for i in 0..rows {
             let offered = self
                 .curves
@@ -130,6 +140,7 @@ mod tests {
             dropped: 0,
             preemptions: 3,
             worker_utilization: 0.42,
+            stages: None,
         }
     }
 
@@ -138,8 +149,14 @@ mod tests {
             id: "figX".into(),
             title: "test figure".into(),
             curves: vec![
-                Curve { label: "Shinjuku".into(), points: vec![metrics(1e5), metrics(2e5)] },
-                Curve { label: "Shinjuku-Offload".into(), points: vec![metrics(1e5), metrics(2e5)] },
+                Curve {
+                    label: "Shinjuku".into(),
+                    points: vec![metrics(1e5), metrics(2e5)],
+                },
+                Curve {
+                    label: "Shinjuku-Offload".into(),
+                    points: vec![metrics(1e5), metrics(2e5)],
+                },
             ],
         }
     }

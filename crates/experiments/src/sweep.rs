@@ -31,7 +31,10 @@ where
         }
     });
 
-    results.into_iter().map(|r| r.expect("all points computed")).collect()
+    results
+        .into_iter()
+        .map(|r| r.expect("all points computed"))
+        .collect()
 }
 
 /// Replication across seeds: run `f` on `spec` under `n_seeds` distinct
@@ -48,7 +51,11 @@ where
     let seeds: Vec<f64> = (0..n_seeds).map(|i| i as f64).collect();
     let runs = sweep(&seeds, |i| {
         let mut s = spec;
-        s.seed = spec.seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9).max(1);
+        s.seed = spec
+            .seed
+            .wrapping_add(i as u64)
+            .wrapping_mul(0x9E37_79B9)
+            .max(1);
         f(s)
     });
     let mut achieved = Summary::new();
@@ -72,7 +79,11 @@ where
         preemptions += m.preemptions;
     }
     let d = |s: &Summary| sim_core::SimDuration::from_nanos(s.mean() as u64);
-    let cv = if p99.mean() > 0.0 { p99.std_dev() / p99.mean() } else { 0.0 };
+    let cv = if p99.mean() > 0.0 {
+        p99.std_dev() / p99.mean()
+    } else {
+        0.0
+    };
     (
         RunMetrics {
             offered_rps: spec.offered_rps,
@@ -87,6 +98,7 @@ where
             dropped,
             preemptions,
             worker_utilization: util.mean(),
+            stages: None,
         },
         cv,
     )
@@ -95,7 +107,9 @@ where
 /// Evenly spaced loads from `lo` to `hi` inclusive, `n >= 2` points.
 pub fn linspace(lo: f64, hi: f64, n: usize) -> Vec<f64> {
     assert!(n >= 2, "need at least two points");
-    (0..n).map(|i| lo + (hi - lo) * i as f64 / (n - 1) as f64).collect()
+    (0..n)
+        .map(|i| lo + (hi - lo) * i as f64 / (n - 1) as f64)
+        .collect()
 }
 
 /// The highest achieved throughput across a sweep (the "plateau" value
@@ -134,6 +148,7 @@ mod tests {
             dropped: 0,
             preemptions: 0,
             worker_utilization: 0.5,
+            stages: None,
         }
     }
 
@@ -170,6 +185,7 @@ mod tests {
     #[test]
     fn replication_averages_and_reports_cv() {
         use sim_core::SimDuration;
+        use systems::{ProbeConfig, ServerSystem};
         use workload::ServiceDist;
         let spec = WorkloadSpec {
             offered_rps: 150_000.0,
@@ -180,14 +196,17 @@ mod tests {
             seed: 5,
         };
         let (m, cv) = replicate(spec, 4, |s| {
-            systems::offload::run(s, systems::offload::OffloadConfig::paper(4, 4))
+            systems::offload::OffloadConfig::paper(4, 4).run(s, ProbeConfig::disabled())
         });
         assert!(m.completed > 3000, "all replicas contribute completions");
         assert!(!m.saturated(0.05), "{}", m.row());
-        assert!((0.0..0.5).contains(&cv), "p99 CV {cv} should be modest at light load");
+        assert!(
+            (0.0..0.5).contains(&cv),
+            "p99 CV {cv} should be modest at light load"
+        );
         // Replication is itself deterministic.
         let (m2, cv2) = replicate(spec, 4, |s| {
-            systems::offload::run(s, systems::offload::OffloadConfig::paper(4, 4))
+            systems::offload::OffloadConfig::paper(4, 4).run(s, ProbeConfig::disabled())
         });
         assert_eq!(m.p99, m2.p99);
         assert_eq!(cv, cv2);

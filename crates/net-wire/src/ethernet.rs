@@ -178,7 +178,11 @@ mod tests {
 
     #[test]
     fn emit_parse_round_trip() {
-        let repr = Repr { src_addr: SRC, dst_addr: DST, ethertype: EtherType::Ipv4 };
+        let repr = Repr {
+            src_addr: SRC,
+            dst_addr: DST,
+            ethertype: EtherType::Ipv4,
+        };
         let mut buf = vec![0u8; repr.buffer_len() + 4];
         let mut frame = Frame::new_unchecked(&mut buf);
         repr.emit(&mut frame);
@@ -192,7 +196,10 @@ mod tests {
     #[test]
     fn truncated_buffer_rejected() {
         let buf = [0u8; HEADER_LEN - 1];
-        assert_eq!(Frame::new_checked(&buf[..]).unwrap_err(), WireError::Truncated);
+        assert_eq!(
+            Frame::new_checked(&buf[..]).unwrap_err(),
+            WireError::Truncated
+        );
     }
 
     #[test]

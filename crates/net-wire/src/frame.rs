@@ -117,7 +117,12 @@ impl ParsedFrame {
 
     /// The 4-tuple RSS hash input: (src ip, dst ip, src port, dst port).
     pub fn four_tuple(&self) -> ([u8; 4], [u8; 4], u16, u16) {
-        (self.ip.src_addr.0, self.ip.dst_addr.0, self.udp.src_port, self.udp.dst_port)
+        (
+            self.ip.src_addr.0,
+            self.ip.dst_addr.0,
+            self.udp.src_port,
+            self.udp.dst_port,
+        )
     }
 
     /// Build the spec that would regenerate this frame (e.g. to bounce a
@@ -183,8 +188,8 @@ mod tests {
         let bytes = spec().build();
         // Flip one byte in each layer and expect *some* validation failure.
         let layer_offsets = [
-            ethernet::HEADER_LEN + 2,                          // IPv4 length
-            ethernet::HEADER_LEN + ipv4::HEADER_LEN + 6,       // UDP checksum
+            ethernet::HEADER_LEN + 2,                                  // IPv4 length
+            ethernet::HEADER_LEN + ipv4::HEADER_LEN + 6,               // UDP checksum
             ethernet::HEADER_LEN + ipv4::HEADER_LEN + udp::HEADER_LEN, // msg magic
         ];
         for off in layer_offsets {

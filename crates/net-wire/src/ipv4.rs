@@ -300,7 +300,10 @@ mod tests {
             WireError::Truncated
         );
         // Shorter than a header:
-        assert_eq!(Packet::new_checked(&buf[..10]).unwrap_err(), WireError::Truncated);
+        assert_eq!(
+            Packet::new_checked(&buf[..10]).unwrap_err(),
+            WireError::Truncated
+        );
     }
 
     #[test]

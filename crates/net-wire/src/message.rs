@@ -100,7 +100,13 @@ mod field {
 
 impl MsgRepr {
     /// A fresh client request.
-    pub fn request(req_id: u64, client_id: u32, service_ns: u64, sent_at_ns: u64, body_len: u16) -> Self {
+    pub fn request(
+        req_id: u64,
+        client_id: u32,
+        service_ns: u64,
+        sent_at_ns: u64,
+        body_len: u16,
+    ) -> Self {
         MsgRepr {
             kind: MsgKind::Request,
             req_id,
@@ -114,7 +120,11 @@ impl MsgRepr {
 
     /// Derive the response for this request.
     pub fn response(&self) -> MsgRepr {
-        MsgRepr { kind: MsgKind::Response, remaining_ns: 0, ..*self }
+        MsgRepr {
+            kind: MsgKind::Response,
+            remaining_ns: 0,
+            ..*self
+        }
     }
 
     /// Derive a message of a different kind, preserving identity fields.
@@ -155,7 +165,8 @@ impl MsgRepr {
             return Err(WireError::BadMagic);
         }
         let kind = MsgKind::from_u8(buf[field::KIND])?;
-        let body_len = u16::from_be_bytes([buf[field::BODY_LEN.start], buf[field::BODY_LEN.start + 1]]);
+        let body_len =
+            u16::from_be_bytes([buf[field::BODY_LEN.start], buf[field::BODY_LEN.start + 1]]);
         if buf.len() < HEADER_LEN + body_len as usize {
             return Err(WireError::Truncated);
         }
@@ -245,9 +256,15 @@ mod tests {
         let m = sample();
         let mut buf = vec![0u8; m.buffer_len()];
         m.emit(&mut buf);
-        assert_eq!(MsgRepr::parse(&buf[..HEADER_LEN - 1]).unwrap_err(), WireError::Truncated);
+        assert_eq!(
+            MsgRepr::parse(&buf[..HEADER_LEN - 1]).unwrap_err(),
+            WireError::Truncated
+        );
         // Header claims a 22-byte body; give it less.
-        assert_eq!(MsgRepr::parse(&buf[..HEADER_LEN + 2]).unwrap_err(), WireError::Truncated);
+        assert_eq!(
+            MsgRepr::parse(&buf[..HEADER_LEN + 2]).unwrap_err(),
+            WireError::Truncated
+        );
     }
 
     #[test]

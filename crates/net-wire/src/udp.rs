@@ -197,7 +197,11 @@ mod tests {
 
     #[test]
     fn emit_parse_round_trip() {
-        let r = Repr { src_port: 5000, dst_port: 6000, payload_len: 5 };
+        let r = Repr {
+            src_port: 5000,
+            dst_port: 6000,
+            payload_len: 5,
+        };
         let mut buf = vec![0u8; r.buffer_len()];
         let mut d = Datagram::new_unchecked(&mut buf);
         r.emit(&mut d);
@@ -213,7 +217,11 @@ mod tests {
 
     #[test]
     fn checksum_covers_payload() {
-        let r = Repr { src_port: 1, dst_port: 2, payload_len: 4 };
+        let r = Repr {
+            src_port: 1,
+            dst_port: 2,
+            payload_len: 4,
+        };
         let mut buf = vec![0u8; r.buffer_len()];
         let mut d = Datagram::new_unchecked(&mut buf);
         r.emit(&mut d);
@@ -221,12 +229,19 @@ mod tests {
         d.fill_checksum(SRC, DST);
         buf[HEADER_LEN] ^= 0x55;
         let d = Datagram::new_checked(&buf).unwrap();
-        assert_eq!(Repr::parse(&d, SRC, DST).unwrap_err(), WireError::BadChecksum);
+        assert_eq!(
+            Repr::parse(&d, SRC, DST).unwrap_err(),
+            WireError::BadChecksum
+        );
     }
 
     #[test]
     fn checksum_covers_pseudo_header() {
-        let r = Repr { src_port: 1, dst_port: 2, payload_len: 0 };
+        let r = Repr {
+            src_port: 1,
+            dst_port: 2,
+            payload_len: 0,
+        };
         let mut buf = vec![0u8; r.buffer_len()];
         let mut d = Datagram::new_unchecked(&mut buf);
         r.emit(&mut d);
@@ -238,7 +253,11 @@ mod tests {
 
     #[test]
     fn zero_checksum_means_unchecked() {
-        let r = Repr { src_port: 1, dst_port: 2, payload_len: 0 };
+        let r = Repr {
+            src_port: 1,
+            dst_port: 2,
+            payload_len: 0,
+        };
         let mut buf = vec![0u8; r.buffer_len()];
         let mut d = Datagram::new_unchecked(&mut buf);
         r.emit(&mut d);
@@ -250,7 +269,11 @@ mod tests {
 
     #[test]
     fn truncation_detected() {
-        let r = Repr { src_port: 1, dst_port: 2, payload_len: 10 };
+        let r = Repr {
+            src_port: 1,
+            dst_port: 2,
+            payload_len: 10,
+        };
         let mut buf = vec![0u8; r.buffer_len()];
         let mut d = Datagram::new_unchecked(&mut buf);
         r.emit(&mut d);

@@ -88,13 +88,19 @@ impl Ddio {
 
     /// DDIO disabled: every packet lands in DRAM.
     pub fn disabled() -> Ddio {
-        Ddio { enabled: false, ..Ddio::classic(0) }
+        Ddio {
+            enabled: false,
+            ..Ddio::classic(0)
+        }
     }
 
     /// The §5.2 design: L1 placement allowed because the NIC scheduler
     /// bounds per-core in-flight requests.
     pub fn informed_l1(llc_line_quota: usize) -> Ddio {
-        Ddio { allow_l1: true, ..Ddio::classic(llc_line_quota) }
+        Ddio {
+            allow_l1: true,
+            ..Ddio::classic(llc_line_quota)
+        }
     }
 
     /// Decide placement for a packet of `lines` cache lines destined to a

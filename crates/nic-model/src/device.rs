@@ -60,7 +60,10 @@ impl Iface {
                 rss.steer(sip, dip, sp, dp) as usize % self.rx.len()
             }
             QueueSteering::FlowDirector { table, fallback } => {
-                let key = FlowKey { src: frame.src(), dst: frame.dst() };
+                let key = FlowKey {
+                    src: frame.src(),
+                    dst: frame.dst(),
+                };
                 match table.steer(&key) {
                     Some(q) => q as usize % self.rx.len(),
                     None => {
@@ -244,12 +247,21 @@ mod tests {
         let mut dev = NicDevice::new(SimDuration::ZERO);
         let mut table = FlowDirector::new(8);
         let probe = frame_to(mac(1), 77);
-        table.install(FlowKey { src: probe.src(), dst: probe.dst() }, 2);
+        table.install(
+            FlowKey {
+                src: probe.src(),
+                dst: probe.dst(),
+            },
+            2,
+        );
         dev.add_iface(
             mac(1),
             4,
             64,
-            QueueSteering::FlowDirector { table, fallback: Rss::new(4) },
+            QueueSteering::FlowDirector {
+                table,
+                fallback: Rss::new(4),
+            },
         );
         let d = dev.steer(&frame_to(mac(1), 77)).unwrap();
         assert_eq!(d.queue, 2, "rule hit steers to the pinned queue");

@@ -46,7 +46,12 @@ impl FlowDirector {
     /// A table holding up to `capacity` rules.
     pub fn new(capacity: usize) -> FlowDirector {
         assert!(capacity > 0, "flow table capacity must be positive");
-        FlowDirector { rules: HashMap::new(), capacity, hits: 0, misses: 0 }
+        FlowDirector {
+            rules: HashMap::new(),
+            capacity,
+            hits: 0,
+            misses: 0,
+        }
     }
 
     /// Install (or replace) a rule steering `key` to `queue`.

@@ -47,7 +47,10 @@ impl Link {
     /// from a deterministic stream. Lossy frames still occupy the wire —
     /// they are corrupted in flight, not suppressed at the sender.
     pub fn with_loss(mut self, probability: f64, rng: Rng) -> Link {
-        assert!((0.0..=1.0).contains(&probability), "loss probability out of range");
+        assert!(
+            (0.0..=1.0).contains(&probability),
+            "loss probability out of range"
+        );
         self.loss = Some((probability, rng));
         self
     }
@@ -70,7 +73,11 @@ impl Link {
     /// end. Transmissions serialize: a busy link delays the frame.
     /// (Loss-free variant; see [`Link::transmit_lossy`].)
     pub fn transmit(&mut self, now: SimTime, payload_len: usize) -> SimTime {
-        let start = if self.next_free > now { self.next_free } else { now };
+        let start = if self.next_free > now {
+            self.next_free
+        } else {
+            now
+        };
         let ser = self.serialization(payload_len);
         self.next_free = start + ser;
         self.frames += 1;

@@ -41,7 +41,13 @@ impl Ring {
     /// A ring with `capacity` descriptors (hardware commonly uses 512–4096).
     pub fn new(capacity: usize) -> Ring {
         assert!(capacity > 0, "ring capacity must be positive");
-        Ring { frames: VecDeque::with_capacity(capacity), capacity, enqueued: 0, dropped: 0, peak: 0 }
+        Ring {
+            frames: VecDeque::with_capacity(capacity),
+            capacity,
+            enqueued: 0,
+            dropped: 0,
+            peak: 0,
+        }
     }
 
     /// Hardware-side enqueue. Returns `false` (and counts a drop) when full.
@@ -50,7 +56,10 @@ impl Ring {
             self.dropped += 1;
             return false;
         }
-        self.frames.push_back(RxFrame { data, enqueued_at: now });
+        self.frames.push_back(RxFrame {
+            data,
+            enqueued_at: now,
+        });
         self.enqueued += 1;
         self.peak = self.peak.max(self.frames.len());
         true
@@ -84,7 +93,9 @@ impl Ring {
 
     /// Queueing delay the head frame has experienced by `now`.
     pub fn head_wait(&self, now: SimTime) -> Option<SimDuration> {
-        self.frames.front().map(|f| now.saturating_duration_since(f.enqueued_at))
+        self.frames
+            .front()
+            .map(|f| now.saturating_duration_since(f.enqueued_at))
     }
 }
 

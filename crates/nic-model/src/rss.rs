@@ -10,9 +10,9 @@
 /// The Microsoft-documented 40-byte default hash key, also the default in
 /// most NIC drivers.
 pub const DEFAULT_KEY: [u8; 40] = [
-    0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2, 0x41, 0x67, 0x25, 0x3d, 0x43, 0xa3, 0x8f,
-    0xb0, 0xd0, 0xca, 0x2b, 0xcb, 0xae, 0x7b, 0x30, 0xb4, 0x77, 0xcb, 0x2d, 0xa3, 0x80, 0x30,
-    0xf2, 0x0c, 0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa,
+    0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2, 0x41, 0x67, 0x25, 0x3d, 0x43, 0xa3, 0x8f, 0xb0,
+    0xd0, 0xca, 0x2b, 0xcb, 0xae, 0x7b, 0x30, 0xb4, 0x77, 0xcb, 0x2d, 0xa3, 0x80, 0x30, 0xf2, 0x0c,
+    0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa,
 ];
 
 /// Compute the Toeplitz hash of `input` under `key`.
@@ -114,11 +114,41 @@ mod tests {
     fn msdn_four_tuple_vectors() {
         type Case = ([u8; 4], u16, [u8; 4], u16, u32);
         let cases: &[Case] = &[
-            ([66, 9, 149, 187], 2794, [161, 142, 100, 80], 1766, 0x51cc_c178),
-            ([199, 92, 111, 2], 14230, [65, 69, 140, 83], 4739, 0xc626_b0ea),
-            ([24, 19, 198, 95], 12898, [12, 22, 207, 184], 38024, 0x5c2b_394a),
-            ([38, 27, 205, 30], 48228, [209, 142, 163, 6], 2217, 0xafc7_327f),
-            ([153, 39, 163, 191], 44251, [202, 188, 127, 2], 1303, 0x10e8_28a2),
+            (
+                [66, 9, 149, 187],
+                2794,
+                [161, 142, 100, 80],
+                1766,
+                0x51cc_c178,
+            ),
+            (
+                [199, 92, 111, 2],
+                14230,
+                [65, 69, 140, 83],
+                4739,
+                0xc626_b0ea,
+            ),
+            (
+                [24, 19, 198, 95],
+                12898,
+                [12, 22, 207, 184],
+                38024,
+                0x5c2b_394a,
+            ),
+            (
+                [38, 27, 205, 30],
+                48228,
+                [209, 142, 163, 6],
+                2217,
+                0xafc7_327f,
+            ),
+            (
+                [153, 39, 163, 191],
+                44251,
+                [202, 188, 127, 2],
+                1303,
+                0x10e8_28a2,
+            ),
         ];
         for &(src, sport, dst, dport, expect) in cases {
             let h = toeplitz_hash(&DEFAULT_KEY, &four_tuple_input(src, dst, sport, dport));

@@ -91,7 +91,11 @@ impl<P: SchedPolicy, S: CoreSelector> Dispatcher<P, S> {
             policy,
             selector,
             workers: vec![
-                WorkerState { outstanding: 0, last_req: None, idle_since: Some(SimTime::ZERO) };
+                WorkerState {
+                    outstanding: 0,
+                    last_req: None,
+                    idle_since: Some(SimTime::ZERO)
+                };
                 n_workers
             ],
             outstanding_cap,
@@ -110,7 +114,10 @@ impl<P: SchedPolicy, S: CoreSelector> Dispatcher<P, S> {
     pub fn on_done(&mut self, now: SimTime, worker: usize, req_id: u64) -> Vec<Assignment> {
         self.stats.completions += 1;
         let w = &mut self.workers[worker];
-        debug_assert!(w.outstanding > 0, "completion from a worker with nothing outstanding");
+        debug_assert!(
+            w.outstanding > 0,
+            "completion from a worker with nothing outstanding"
+        );
         w.outstanding = w.outstanding.saturating_sub(1);
         w.last_req = Some(req_id);
         if w.outstanding == 0 {
@@ -124,7 +131,10 @@ impl<P: SchedPolicy, S: CoreSelector> Dispatcher<P, S> {
     pub fn on_preempted(&mut self, now: SimTime, worker: usize, task: Task) -> Vec<Assignment> {
         self.stats.requeued += 1;
         let w = &mut self.workers[worker];
-        debug_assert!(w.outstanding > 0, "preemption from a worker with nothing outstanding");
+        debug_assert!(
+            w.outstanding > 0,
+            "preemption from a worker with nothing outstanding"
+        );
         w.outstanding = w.outstanding.saturating_sub(1);
         w.last_req = Some(task.req_id);
         if w.outstanding == 0 {
@@ -213,7 +223,14 @@ mod tests {
     }
 
     fn task(id: u64) -> Task {
-        Task::new(id, 0, SimDuration::from_micros(5), SimTime::ZERO, SimTime::ZERO, 0)
+        Task::new(
+            id,
+            0,
+            SimDuration::from_micros(5),
+            SimTime::ZERO,
+            SimTime::ZERO,
+            0,
+        )
     }
 
     fn us(n: u64) -> SimTime {
@@ -263,8 +280,8 @@ mod tests {
         d.on_request(us(0), task(1));
         d.on_request(us(0), task(2));
         d.on_request(us(0), task(3)); // queued
-        // Worker 0 preempts task 1; task 3 takes its slot (FIFO head),
-        // task 1 goes to the tail.
+                                      // Worker 0 preempts task 1; task 3 takes its slot (FIFO head),
+                                      // task 1 goes to the tail.
         let t1 = task(1).after_preemption(SimDuration::from_micros(3));
         let a = d.on_preempted(us(10), 0, t1);
         assert_eq!(a.len(), 1);
@@ -357,7 +374,7 @@ mod proptests {
             let mut next_id = 1u64;
             let mut t = 0u64;
             let absorb = |assignments: Vec<Assignment>,
-                              in_flight: &mut Vec<Vec<Task>>|
+                          in_flight: &mut Vec<Vec<Task>>|
              -> Result<(), TestCaseError> {
                 for a in assignments {
                     in_flight[a.worker].push(a.task);
@@ -424,7 +441,12 @@ mod proptests {
         }
 
         if srf {
-            let mut d = Dispatcher::new(workers, cap, ShortestRemaining::new(), RoundRobin::default());
+            let mut d = Dispatcher::new(
+                workers,
+                cap,
+                ShortestRemaining::new(),
+                RoundRobin::default(),
+            );
             check(&ops, &mut d, workers, cap)
         } else {
             let mut d = Dispatcher::new(workers, cap, Fcfs::new(), LeastOutstanding);

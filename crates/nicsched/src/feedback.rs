@@ -87,6 +87,23 @@ impl FeedbackChannel {
     pub fn latency(&self) -> SimDuration {
         self.latency
     }
+
+    /// Reports still in transit (a probe-friendly gauge of how much of
+    /// the scheduler's picture is currently stuck in the gap).
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// The worst staleness across all workers at `now`: the scheduler's
+    /// most out-of-date belief. `None` until every worker has reported.
+    pub fn worst_staleness(&mut self, now: SimTime) -> Option<SimDuration> {
+        self.absorb(now);
+        self.delivered
+            .iter()
+            .map(|slot| slot.map(|fb| now.saturating_duration_since(fb.reported_at)))
+            .collect::<Option<Vec<_>>>()
+            .and_then(|v| v.into_iter().max())
+    }
 }
 
 #[cfg(test)]
@@ -98,7 +115,12 @@ mod tests {
     }
 
     fn fb(worker: usize, occupancy: u32, at: SimTime) -> CoreFeedback {
-        CoreFeedback { worker, occupancy, busy: occupancy > 0, reported_at: at }
+        CoreFeedback {
+            worker,
+            occupancy,
+            busy: occupancy > 0,
+            reported_at: at,
+        }
     }
 
     #[test]
@@ -146,5 +168,29 @@ mod tests {
         let mut fast = FeedbackChannel::new(1, SimDuration::from_nanos(120));
         fast.send(us(0), fb(0, 2, us(0)));
         assert!(fast.view(SimTime::from_nanos(120), 0).is_some());
+    }
+
+    #[test]
+    fn in_flight_tracks_undelivered_reports() {
+        let mut ch = FeedbackChannel::new(2, SimDuration::from_micros(5));
+        ch.send(us(0), fb(0, 1, us(0)));
+        ch.send(us(1), fb(1, 2, us(1)));
+        assert_eq!(ch.in_flight(), 2);
+        ch.absorb(us(5));
+        assert_eq!(ch.in_flight(), 1, "first report delivered at t=5us");
+        ch.absorb(us(6));
+        assert_eq!(ch.in_flight(), 0);
+    }
+
+    #[test]
+    fn worst_staleness_needs_full_coverage_then_takes_the_max() {
+        let mut ch = FeedbackChannel::new(2, SimDuration::ZERO);
+        ch.send(us(0), fb(0, 1, us(0)));
+        assert_eq!(ch.worst_staleness(us(10)), None, "worker 1 never reported");
+        ch.send(us(8), fb(1, 0, us(8)));
+        assert_eq!(
+            ch.worst_staleness(us(10)),
+            Some(SimDuration::from_micros(10))
+        );
     }
 }

@@ -40,5 +40,8 @@ pub use feedback::{CoreFeedback, FeedbackChannel};
 pub use policy::{ClassPriority, Fcfs, SchedPolicy, ShortestRemaining};
 pub use policy_kind::PolicyKind;
 pub use profile::{NicProfile, SchedCompute};
-pub use select::{Affinity, CoreSelector, LeastOutstanding, MostRecentlyIdle, RoundRobin, SocketAffinity, WorkerView};
+pub use select::{
+    Affinity, CoreSelector, LeastOutstanding, MostRecentlyIdle, RoundRobin, SocketAffinity,
+    WorkerView,
+};
 pub use task::Task;

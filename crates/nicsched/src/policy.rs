@@ -8,8 +8,8 @@
 
 use std::collections::VecDeque;
 
-use sim_core::{SimTime, SimDuration};
 use sim_core::stats::TimeWeighted;
+use sim_core::{SimDuration, SimTime};
 
 use crate::task::Task;
 
@@ -46,7 +46,10 @@ struct DepthStats {
 
 impl DepthStats {
     fn new() -> DepthStats {
-        DepthStats { tw: TimeWeighted::new(SimTime::ZERO, 0.0), peak: 0 }
+        DepthStats {
+            tw: TimeWeighted::new(SimTime::ZERO, 0.0),
+            peak: 0,
+        }
     }
 
     fn set(&mut self, now: SimTime, depth: usize) {
@@ -65,7 +68,10 @@ pub struct Fcfs {
 impl Fcfs {
     /// An empty FCFS queue.
     pub fn new() -> Fcfs {
-        Fcfs { queue: VecDeque::new(), depth: DepthStats::new() }
+        Fcfs {
+            queue: VecDeque::new(),
+            depth: DepthStats::new(),
+        }
     }
 }
 
@@ -311,7 +317,11 @@ mod tests {
         q.requeue(us(1), preempted);
         assert_eq!(q.dequeue(us(2)).unwrap().req_id, 1);
         assert_eq!(q.dequeue(us(2)).unwrap().req_id, 2);
-        assert_eq!(q.dequeue(us(2)).unwrap().req_id, 3, "preempted task at the tail");
+        assert_eq!(
+            q.dequeue(us(2)).unwrap().req_id,
+            3,
+            "preempted task at the tail"
+        );
     }
 
     #[test]
@@ -373,6 +383,9 @@ mod tests {
     #[test]
     fn names_distinct() {
         assert_ne!(Fcfs::new().name(), ShortestRemaining::new().name());
-        assert_eq!(ClassPriority::new(SimDuration::ZERO).name(), "class-priority");
+        assert_eq!(
+            ClassPriority::new(SimDuration::ZERO).name(),
+            "class-priority"
+        );
     }
 }

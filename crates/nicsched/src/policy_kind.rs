@@ -64,7 +64,14 @@ mod tests {
     use super::*;
 
     fn task(id: u64, service_us: u64) -> Task {
-        Task::new(id, 0, SimDuration::from_micros(service_us), SimTime::ZERO, SimTime::ZERO, 0)
+        Task::new(
+            id,
+            0,
+            SimDuration::from_micros(service_us),
+            SimTime::ZERO,
+            SimTime::ZERO,
+            0,
+        )
     }
 
     #[test]
@@ -72,7 +79,9 @@ mod tests {
         assert_eq!(PolicyKind::Fcfs.build().name(), "fcfs");
         assert_eq!(PolicyKind::ShortestRemaining.build().name(), "srf");
         assert_eq!(
-            PolicyKind::ClassPriority(SimDuration::from_micros(10)).build().name(),
+            PolicyKind::ClassPriority(SimDuration::from_micros(10))
+                .build()
+                .name(),
             "class-priority"
         );
     }

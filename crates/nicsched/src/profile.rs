@@ -89,11 +89,15 @@ impl NicProfile {
     pub fn ideal() -> NicProfile {
         NicProfile {
             name: "ideal",
-            compute: SchedCompute::Asic { per_op: params::ASIC_SCHED_PER_REQ },
+            compute: SchedCompute::Asic {
+                per_op: params::ASIC_SCHED_PER_REQ,
+            },
             to_worker: params::COHERENT_ONE_WAY,
             from_worker: params::COHERENT_ONE_WAY,
             stage_hop: SimDuration::ZERO,
-            interrupt: InterruptPath::DirectFromNic { latency: params::COHERENT_ONE_WAY },
+            interrupt: InterruptPath::DirectFromNic {
+                latency: params::COHERENT_ONE_WAY,
+            },
         }
     }
 
@@ -104,7 +108,9 @@ impl NicProfile {
     pub fn stingray_packet_preemption() -> NicProfile {
         NicProfile {
             name: "stingray-pkt-preempt",
-            interrupt: InterruptPath::PacketFromNic { one_way: params::ARM_HOST_ONE_WAY },
+            interrupt: InterruptPath::PacketFromNic {
+                one_way: params::ARM_HOST_ONE_WAY,
+            },
             ..NicProfile::stingray()
         }
     }
@@ -135,7 +141,10 @@ mod tests {
             "host→ARM: construct + traverse = 2.56us"
         );
         assert!(matches!(p.compute, SchedCompute::ArmCores(_)));
-        assert!(matches!(p.interrupt, InterruptPath::LocalTimer(TimerMode::DuneMapped)));
+        assert!(matches!(
+            p.interrupt,
+            InterruptPath::LocalTimer(TimerMode::DuneMapped)
+        ));
     }
 
     #[test]
@@ -153,7 +162,9 @@ mod tests {
 
     #[test]
     fn asic_cost_is_flat() {
-        let asic = SchedCompute::Asic { per_op: SimDuration::from_nanos(10) };
+        let asic = SchedCompute::Asic {
+            per_op: SimDuration::from_nanos(10),
+        };
         assert_eq!(asic.stage_cost(100), asic.stage_cost(100_000));
     }
 

@@ -128,7 +128,11 @@ pub struct SocketAffinity {
 impl SocketAffinity {
     /// Build from a worker→socket map.
     pub fn new(sockets: Vec<u8>, nic_socket: u8) -> SocketAffinity {
-        SocketAffinity { sockets, nic_socket, fallback: LeastOutstanding }
+        SocketAffinity {
+            sockets,
+            nic_socket,
+            fallback: LeastOutstanding,
+        }
     }
 }
 
@@ -168,7 +172,12 @@ mod tests {
     use super::*;
 
     fn view(worker: usize, outstanding: u32) -> WorkerView {
-        WorkerView { worker, outstanding, last_req: None, idle_since: None }
+        WorkerView {
+            worker,
+            outstanding,
+            last_req: None,
+            idle_since: None,
+        }
     }
 
     #[test]

@@ -19,6 +19,7 @@
 use core::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use crate::probe::{Probe, ProbeHandle};
 use crate::time::{SimDuration, SimTime};
 
 /// A simulated system: one state machine handling its own event alphabet.
@@ -36,12 +37,25 @@ pub struct Ctx<E> {
     now: SimTime,
     outbox: Vec<(SimTime, E)>,
     stop: bool,
+    // The engine's probe, moved in for the duration of one event (an
+    // `Option<Box<_>>` so the move is one pointer, not the whole struct).
+    probe: Option<Box<Probe>>,
 }
 
 impl<E> Ctx<E> {
     /// The current simulated instant.
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// The observability surface at the current instant. Recording calls
+    /// are no-ops when the engine's probe is disabled, so models can
+    /// instrument unconditionally.
+    pub fn probe(&mut self) -> ProbeHandle<'_> {
+        ProbeHandle::new(
+            self.now,
+            self.probe.as_deref_mut().filter(|p| p.is_enabled()),
+        )
     }
 
     /// Schedule `event` to fire `delay` after now.
@@ -55,7 +69,11 @@ impl<E> Ctx<E> {
     /// Panics if `at` is in the past — causality violations are always
     /// simulation bugs.
     pub fn schedule_at(&mut self, at: SimTime, event: E) {
-        assert!(at >= self.now, "schedule_at({at}) is before now ({})", self.now);
+        assert!(
+            at >= self.now,
+            "schedule_at({at}) is before now ({})",
+            self.now
+        );
         self.outbox.push((at, event));
     }
 
@@ -116,10 +134,14 @@ pub struct Engine<M: Model> {
     seq: u64,
     processed: u64,
     stopped: bool,
+    // Always `Some` between steps; `None` only while an event handler
+    // borrows the probe through its `Ctx`.
+    probe: Option<Box<Probe>>,
 }
 
 impl<M: Model> Engine<M> {
-    /// Create an engine at `t = 0` around `model` with an empty heap.
+    /// Create an engine at `t = 0` around `model` with an empty heap and a
+    /// disabled probe.
     pub fn new(model: M) -> Self {
         Engine {
             heap: BinaryHeap::new(),
@@ -128,7 +150,33 @@ impl<M: Model> Engine<M> {
             seq: 0,
             processed: 0,
             stopped: false,
+            probe: Some(Box::default()),
         }
+    }
+
+    /// Install a probe (usually `Probe::new(ProbeConfig::enabled())`).
+    pub fn set_probe(&mut self, probe: Probe) {
+        self.probe = Some(Box::new(probe));
+    }
+
+    /// Shared access to the probe.
+    pub fn probe(&self) -> &Probe {
+        self.probe.as_deref().expect("probe present between steps")
+    }
+
+    /// Exclusive access to the probe (e.g. to build its final report).
+    pub fn probe_mut(&mut self) -> &mut Probe {
+        self.probe
+            .as_deref_mut()
+            .expect("probe present between steps")
+    }
+
+    /// Remove the probe, leaving a disabled one in its place.
+    pub fn take_probe(&mut self) -> Probe {
+        *self
+            .probe
+            .replace(Box::default())
+            .expect("probe present between steps")
     }
 
     /// Current simulated instant (the time of the last event processed).
@@ -163,7 +211,11 @@ impl<M: Model> Engine<M> {
 
     /// Seed an event at an absolute instant before (or during) the run.
     pub fn schedule_at(&mut self, at: SimTime, event: M::Event) {
-        assert!(at >= self.now, "schedule_at({at}) is before now ({})", self.now);
+        assert!(
+            at >= self.now,
+            "schedule_at({at}) is before now ({})",
+            self.now
+        );
         self.push(at, event);
     }
 
@@ -194,8 +246,10 @@ impl<M: Model> Engine<M> {
             now: self.now,
             outbox: Vec::new(),
             stop: false,
+            probe: self.probe.take(),
         };
         self.model.handle(entry.event, &mut ctx);
+        self.probe = ctx.probe.take();
         for (at, ev) in ctx.outbox {
             self.push(at, ev);
         }
@@ -249,7 +303,11 @@ mod tests {
 
     enum Ev {
         Mark(u32),
-        Chain { label: u32, remaining: u32, gap: SimDuration },
+        Chain {
+            label: u32,
+            remaining: u32,
+            gap: SimDuration,
+        },
         StopNow,
     }
 
@@ -258,10 +316,21 @@ mod tests {
         fn handle(&mut self, ev: Ev, ctx: &mut Ctx<Ev>) {
             match ev {
                 Ev::Mark(label) => self.seen.push((ctx.now().as_nanos(), label)),
-                Ev::Chain { label, remaining, gap } => {
+                Ev::Chain {
+                    label,
+                    remaining,
+                    gap,
+                } => {
                     self.seen.push((ctx.now().as_nanos(), label));
                     if remaining > 0 {
-                        ctx.schedule_in(gap, Ev::Chain { label, remaining: remaining - 1, gap });
+                        ctx.schedule_in(
+                            gap,
+                            Ev::Chain {
+                                label,
+                                remaining: remaining - 1,
+                                gap,
+                            },
+                        );
                     }
                 }
                 Ev::StopNow => ctx.stop(),
@@ -330,7 +399,11 @@ mod tests {
         let mut e = engine();
         e.schedule_at(
             SimTime::ZERO,
-            Ev::Chain { label: 9, remaining: 4, gap: SimDuration::from_micros(1) },
+            Ev::Chain {
+                label: 9,
+                remaining: 4,
+                gap: SimDuration::from_micros(1),
+            },
         );
         e.run();
         let times: Vec<u64> = e.model().seen.iter().map(|&(t, _)| t).collect();
@@ -378,16 +451,22 @@ mod tests {
     fn identical_runs_are_identical() {
         let run = || {
             let mut e = engine();
-            e.schedule_at(SimTime::ZERO, Ev::Chain {
-                label: 1,
-                remaining: 100,
-                gap: SimDuration::from_nanos(7),
-            });
-            e.schedule_at(SimTime::ZERO, Ev::Chain {
-                label: 2,
-                remaining: 100,
-                gap: SimDuration::from_nanos(11),
-            });
+            e.schedule_at(
+                SimTime::ZERO,
+                Ev::Chain {
+                    label: 1,
+                    remaining: 100,
+                    gap: SimDuration::from_nanos(7),
+                },
+            );
+            e.schedule_at(
+                SimTime::ZERO,
+                Ev::Chain {
+                    label: 2,
+                    remaining: 100,
+                    gap: SimDuration::from_nanos(11),
+                },
+            );
             e.run();
             e.into_model().seen
         };
@@ -418,7 +497,10 @@ mod proptests {
             for (i, d) in ev.children.iter().enumerate() {
                 ctx.schedule_in(
                     SimDuration::from_nanos(*d),
-                    REv { label: ev.label * 31 + i as u32 + 1, children: vec![] },
+                    REv {
+                        label: ev.label * 31 + i as u32 + 1,
+                        children: vec![],
+                    },
                 );
             }
         }

@@ -48,10 +48,12 @@
 #![warn(missing_docs)]
 
 mod engine;
+pub mod probe;
 mod rng;
 pub mod stats;
 mod time;
 
 pub use engine::{Ctx, Engine, Model, RunOutcome};
+pub use probe::{Probe, ProbeConfig, ProbeHandle, StageReport, TraceEvent};
 pub use rng::Rng;
 pub use time::{SimDuration, SimTime};

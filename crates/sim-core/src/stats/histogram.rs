@@ -172,7 +172,10 @@ impl Histogram {
     /// # Panics
     /// Panics if precisions differ.
     pub fn merge(&mut self, other: &Histogram) {
-        assert_eq!(self.precision, other.precision, "histogram precision mismatch");
+        assert_eq!(
+            self.precision, other.precision,
+            "histogram precision mismatch"
+        );
         if other.total == 0 {
             return;
         }
@@ -230,7 +233,9 @@ mod tests {
         let mut x: u64 = 3;
         let mut values = Vec::new();
         for _ in 0..10_000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let v = x % 10_000_000; // up to 10 ms in ns
             values.push(v);
             h.record(v);

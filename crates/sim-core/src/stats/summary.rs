@@ -151,7 +151,9 @@ mod tests {
 
     #[test]
     fn merge_equals_single_stream() {
-        let xs: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.37).sin() * 10.0 + 5.0).collect();
+        let xs: Vec<f64> = (0..1000)
+            .map(|i| (i as f64 * 0.37).sin() * 10.0 + 5.0)
+            .collect();
         let mut whole = Summary::new();
         for &x in &xs {
             whole.record(x);

@@ -299,7 +299,10 @@ mod tests {
         assert_eq!(d * 3, SimDuration::from_micros(30));
         assert_eq!(d / 4, SimDuration::from_nanos(2_500));
         assert_eq!(d.mul_f64(0.5), SimDuration::from_micros(5));
-        assert_eq!(d.saturating_sub(SimDuration::from_micros(20)), SimDuration::ZERO);
+        assert_eq!(
+            d.saturating_sub(SimDuration::from_micros(20)),
+            SimDuration::ZERO
+        );
     }
 
     #[test]

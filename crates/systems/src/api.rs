@@ -1,0 +1,240 @@
+//! The unified run API: one trait over every server assembly.
+//!
+//! Historically each assembly exposed its own free `run(spec, XConfig)`
+//! function, so sweep drivers and experiments had to be written per
+//! system. [`ServerSystem`] replaces that with a single entry point —
+//! any config type implements it, and [`SystemConfig`] names every
+//! assembly in one enum for table-driven experiment code:
+//!
+//! ```
+//! use sim_core::{ProbeConfig, SimDuration};
+//! use systems::{ServerSystem, SystemConfig};
+//! use systems::offload::OffloadConfig;
+//! use workload::{ServiceDist, WorkloadSpec};
+//!
+//! let mut spec = WorkloadSpec::new(50_000.0, ServiceDist::Fixed(SimDuration::from_micros(2)));
+//! spec.measure = SimDuration::from_millis(2);
+//! let cfg = SystemConfig::Offload(OffloadConfig::paper(4, 4));
+//! let m = cfg.run(spec, ProbeConfig::enabled());
+//! assert!(m.stages.is_some(), "probing attaches a stage report");
+//! ```
+
+use sim_core::ProbeConfig;
+use workload::{RunMetrics, WorkloadSpec};
+
+use crate::baseline::BaselineConfig;
+use crate::multi_shinjuku::MultiShinjukuConfig;
+use crate::offload::OffloadConfig;
+use crate::rpcvalet::RpcValetConfig;
+use crate::shinjuku::ShinjukuConfig;
+
+/// A complete simulated server that can execute a workload.
+///
+/// Implemented by every assembly's config type; `probe` selects how much
+/// observability to pay for ([`ProbeConfig::disabled()`] is bit-identical
+/// to the un-probed path).
+pub trait ServerSystem {
+    /// Short stable name for tables and CSV labels.
+    fn name(&self) -> &'static str;
+
+    /// Simulate `spec` on this system and report client-side metrics
+    /// (plus a [`sim_core::StageReport`] when `probe` is enabled).
+    fn run(&self, spec: WorkloadSpec, probe: ProbeConfig) -> RunMetrics;
+}
+
+impl ServerSystem for OffloadConfig {
+    fn name(&self) -> &'static str {
+        "shinjuku-offload"
+    }
+
+    fn run(&self, spec: WorkloadSpec, probe: ProbeConfig) -> RunMetrics {
+        crate::offload::run_probed(spec, *self, probe)
+    }
+}
+
+impl ServerSystem for ShinjukuConfig {
+    fn name(&self) -> &'static str {
+        "shinjuku"
+    }
+
+    fn run(&self, spec: WorkloadSpec, probe: ProbeConfig) -> RunMetrics {
+        crate::shinjuku::run_probed(spec, *self, probe)
+    }
+}
+
+impl ServerSystem for BaselineConfig {
+    fn name(&self) -> &'static str {
+        match self.kind {
+            crate::baseline::BaselineKind::Rss => "rss",
+            crate::baseline::BaselineKind::RssStealing => "rss-stealing",
+            crate::baseline::BaselineKind::FlowDirector => "flow-director",
+            crate::baseline::BaselineKind::ElasticRss => "elastic-rss",
+        }
+    }
+
+    fn run(&self, spec: WorkloadSpec, probe: ProbeConfig) -> RunMetrics {
+        crate::baseline::run_probed(spec, *self, probe)
+    }
+}
+
+impl ServerSystem for RpcValetConfig {
+    fn name(&self) -> &'static str {
+        "rpcvalet"
+    }
+
+    fn run(&self, spec: WorkloadSpec, probe: ProbeConfig) -> RunMetrics {
+        crate::rpcvalet::run_probed(spec, *self, probe)
+    }
+}
+
+impl ServerSystem for MultiShinjukuConfig {
+    fn name(&self) -> &'static str {
+        "multi-shinjuku"
+    }
+
+    fn run(&self, spec: WorkloadSpec, probe: ProbeConfig) -> RunMetrics {
+        crate::multi_shinjuku::run_probed(spec, *self, probe).metrics
+    }
+}
+
+/// Every assembly in the repository, behind one name.
+///
+/// Lets experiment drivers hold heterogeneous systems in a single
+/// `Vec<SystemConfig>` and sweep them uniformly.
+#[derive(Debug, Clone, Copy)]
+pub enum SystemConfig {
+    /// Shinjuku-Offload: the paper's NIC-resident scheduler.
+    Offload(OffloadConfig),
+    /// Vanilla host Shinjuku.
+    Shinjuku(ShinjukuConfig),
+    /// A run-to-completion baseline (RSS / stealing / Flow Director /
+    /// Elastic RSS).
+    Baseline(BaselineConfig),
+    /// RPCValet-style NI-integrated hardware queue.
+    RpcValet(RpcValetConfig),
+    /// Multi-dispatcher Shinjuku scale-out.
+    MultiShinjuku(MultiShinjukuConfig),
+}
+
+impl ServerSystem for SystemConfig {
+    fn name(&self) -> &'static str {
+        match self {
+            SystemConfig::Offload(c) => c.name(),
+            SystemConfig::Shinjuku(c) => c.name(),
+            SystemConfig::Baseline(c) => c.name(),
+            SystemConfig::RpcValet(c) => c.name(),
+            SystemConfig::MultiShinjuku(c) => c.name(),
+        }
+    }
+
+    fn run(&self, spec: WorkloadSpec, probe: ProbeConfig) -> RunMetrics {
+        match self {
+            SystemConfig::Offload(c) => c.run(spec, probe),
+            SystemConfig::Shinjuku(c) => c.run(spec, probe),
+            SystemConfig::Baseline(c) => c.run(spec, probe),
+            SystemConfig::RpcValet(c) => c.run(spec, probe),
+            SystemConfig::MultiShinjuku(c) => c.run(spec, probe),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::BaselineKind;
+    use nicsched::PolicyKind;
+    use sim_core::SimDuration;
+    use workload::ServiceDist;
+
+    fn quick_spec() -> WorkloadSpec {
+        WorkloadSpec {
+            offered_rps: 100_000.0,
+            dist: ServiceDist::Fixed(SimDuration::from_micros(5)),
+            body_len: 64,
+            warmup: SimDuration::from_millis(1),
+            measure: SimDuration::from_millis(5),
+            seed: 42,
+        }
+    }
+
+    fn all_systems() -> Vec<SystemConfig> {
+        vec![
+            SystemConfig::Offload(OffloadConfig::paper(4, 4)),
+            SystemConfig::Shinjuku(ShinjukuConfig::paper(4)),
+            SystemConfig::Baseline(BaselineConfig {
+                workers: 4,
+                kind: BaselineKind::Rss,
+            }),
+            SystemConfig::RpcValet(RpcValetConfig { workers: 4 }),
+            SystemConfig::MultiShinjuku(MultiShinjukuConfig {
+                groups: 2,
+                workers_per_group: 2,
+                time_slice: None,
+                policy: PolicyKind::Fcfs,
+            }),
+        ]
+    }
+
+    #[test]
+    fn every_assembly_runs_through_the_trait() {
+        for sys in all_systems() {
+            let m = sys.run(quick_spec(), ProbeConfig::disabled());
+            assert!(
+                m.completed > 100,
+                "{} completed {}",
+                sys.name(),
+                m.completed
+            );
+            assert!(
+                m.stages.is_none(),
+                "{}: disabled probe attaches nothing",
+                sys.name()
+            );
+        }
+    }
+
+    #[test]
+    fn every_assembly_reports_stages_when_probed() {
+        for sys in all_systems() {
+            let m = sys.run(quick_spec(), ProbeConfig::enabled());
+            let stages = m
+                .stages
+                .unwrap_or_else(|| panic!("{}: probed run must report stages", sys.name()));
+            assert!(!stages.hops.is_empty(), "{}: no hops recorded", sys.name());
+            assert!(
+                !stages.stages.is_empty(),
+                "{}: no stages recorded",
+                sys.name()
+            );
+            assert!(
+                stages.counter("client.sent") > 0 && stages.counter("client.responses") > 0,
+                "{}: client counters missing",
+                sys.name()
+            );
+            assert!(
+                stages.chain_hops().count() > 0,
+                "{}: request path hops missing",
+                sys.name()
+            );
+        }
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names: Vec<&str> = all_systems().iter().map(|s| s.name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "{names:?}");
+    }
+
+    #[test]
+    fn deprecated_shims_match_the_trait() {
+        let spec = quick_spec();
+        let cfg = OffloadConfig::paper(4, 4);
+        #[allow(deprecated)]
+        let old = crate::offload::run(spec, cfg);
+        let new = cfg.run(spec, ProbeConfig::disabled());
+        assert_eq!(old, new, "shim and trait must agree exactly");
+    }
+}

@@ -20,7 +20,7 @@ use cpu_model::{ContextCosts, ContextPool, Core, CoreId, CoreSpec};
 use net_wire::{FrameSpec, MsgKind, MsgRepr, ParsedFrame};
 use nic_model::{FlowDirector, FlowKey, IfaceId, Link, NicDevice, QueueSteering, Rss};
 use nicsched::params;
-use sim_core::{Ctx, Engine, Model, Rng, SimDuration, SimTime};
+use sim_core::{Ctx, Engine, Model, Probe, ProbeConfig, Rng, SimDuration, SimTime};
 use workload::{RunMetrics, WorkloadSpec};
 
 use crate::common::{assemble_metrics, AddressPlan, Client};
@@ -67,6 +67,8 @@ enum Ev {
 struct Worker {
     core: Core,
     busy: bool,
+    /// When the worker last went idle (for feedback-gap measurement).
+    idle_since: Option<SimTime>,
 }
 
 struct Baseline {
@@ -109,10 +111,16 @@ impl Baseline {
                 for p in 0..1024u16 {
                     let mut src = AddressPlan::client_ep();
                     src.port = 7000 + p;
-                    let key = FlowKey { src, dst: AddressPlan::dispatcher_ep() };
+                    let key = FlowKey {
+                        src,
+                        dst: AddressPlan::dispatcher_ep(),
+                    };
                     table.install(key, u32::from(p) % cfg.workers as u32);
                 }
-                QueueSteering::FlowDirector { table, fallback: Rss::new(cfg.workers as u32) }
+                QueueSteering::FlowDirector {
+                    table,
+                    fallback: Rss::new(cfg.workers as u32),
+                }
             }
         };
 
@@ -121,7 +129,11 @@ impl Baseline {
 
         let t0 = SimTime::ZERO;
         let workers = (0..cfg.workers)
-            .map(|w| Worker { core: Core::new(CoreId(w as u32), CoreSpec::host_x86(), t0), busy: false })
+            .map(|w| Worker {
+                core: Core::new(CoreId(w as u32), CoreSpec::host_x86(), t0),
+                busy: false,
+                idle_since: Some(t0),
+            })
             .collect();
 
         Baseline {
@@ -198,8 +210,15 @@ impl Baseline {
         }
         let Some((data, steal_cost)) = self.take_work(w) else {
             self.workers[w].core.set_idle(ctx.now());
+            ctx.probe().busy_i("worker", w, false);
+            if self.workers[w].idle_since.is_none() {
+                self.workers[w].idle_since = Some(ctx.now());
+            }
             return;
         };
+        if steal_cost > SimDuration::ZERO {
+            ctx.probe().count("worker.steals");
+        }
         let Ok(parsed) = ParsedFrame::parse(&data) else {
             ctx.schedule_now(Ev::WorkerPoll(w));
             return;
@@ -209,6 +228,12 @@ impl Baseline {
             return;
         }
         let msg = parsed.msg;
+        if let Some(idle_at) = self.workers[w].idle_since.take() {
+            let gap = ctx.now().saturating_duration_since(idle_at);
+            ctx.probe().hop("worker.idle_gap", gap);
+        }
+        ctx.probe().mark(msg.req_id, "path.1_worker_start");
+        ctx.probe().busy_i("worker", w, true);
         // Run-to-completion: the worker is its own networking subsystem.
         let overhead = steal_cost
             + params::HOST_NET_PER_PACKET
@@ -228,16 +253,24 @@ impl Baseline {
 impl Baseline {
     fn finish(&mut self, w: usize, ctx: &mut Ctx<Ev>) {
         let msg = self.pending[w].take().expect("worker had work");
+        ctx.probe().count("worker.completed");
+        ctx.probe().mark(msg.req_id, "path.2_worker_done");
         let resp = FrameSpec {
             src_mac: AddressPlan::dispatcher_mac(),
             dst_mac: AddressPlan::client_mac(),
             src: AddressPlan::worker_ep(w),
             dst: AddressPlan::client_ep(),
-            msg: MsgRepr { kind: MsgKind::Response, remaining_ns: 0, ..msg },
+            msg: MsgRepr {
+                kind: MsgKind::Response,
+                remaining_ns: 0,
+                ..msg
+            },
         };
         let built = ctx.now() + params::WORKER_TX_COST;
         let payload_len = resp.frame_len() - net_wire::ethernet::HEADER_LEN;
-        let arrive = self.server_link.transmit(built + self.nic.dma_latency, payload_len);
+        let arrive = self
+            .server_link
+            .transmit(built + self.nic.dma_latency, payload_len);
         ctx.schedule_at(arrive, Ev::ClientResp(resp.build()));
         self.ctx_pool.discard(msg.req_id);
         let worker = &mut self.workers[w];
@@ -257,6 +290,8 @@ impl Model for Baseline {
                     return;
                 }
                 let spec = self.client.make_request(ctx.now());
+                ctx.probe().count("client.sent");
+                ctx.probe().mark(spec.msg.req_id, "path.0_client_send");
                 let payload_len = spec.frame_len() - net_wire::ethernet::HEADER_LEN;
                 let bytes = spec.build();
                 let arrive = self.client_link.transmit(ctx.now(), payload_len);
@@ -269,7 +304,10 @@ impl Model for Baseline {
                     return;
                 };
                 if let Some(d) = self.nic.steer(&parsed) {
+                    ctx.probe().count("nic.rx_frames");
                     self.nic.iface_mut(d.iface).rx[d.queue].push(ctx.now(), bytes);
+                    let depth = self.nic.iface(d.iface).rx[d.queue].len();
+                    ctx.probe().depth_i("worker.ring", d.queue, depth);
                     if !self.workers[d.queue].busy {
                         ctx.schedule_now(Ev::WorkerPoll(d.queue));
                     } else if self.cfg.kind == BaselineKind::RssStealing {
@@ -286,6 +324,8 @@ impl Model for Baseline {
             Ev::ErssTick => self.erss_tick(ctx),
             Ev::ClientResp(bytes) => {
                 if let Ok(parsed) = ParsedFrame::parse(&bytes) {
+                    ctx.probe().count("client.responses");
+                    ctx.probe().finish(parsed.msg.req_id, "path.3_response");
                     self.client.on_response(ctx.now(), &parsed);
                 }
             }
@@ -294,14 +334,32 @@ impl Model for Baseline {
 }
 
 /// Run a run-to-completion baseline simulation of `spec` under `cfg`.
+#[deprecated(note = "use the `ServerSystem` trait: `cfg.run(spec, ProbeConfig::disabled())`")]
 pub fn run(spec: WorkloadSpec, cfg: BaselineConfig) -> RunMetrics {
-    run_with_elastic(spec, cfg).0
+    run_probed(spec, cfg, ProbeConfig::disabled())
 }
 
-/// Like [`run`], also returning the time-weighted mean number of
-/// provisioned cores (equal to `cfg.workers` for the static kinds).
+/// Run a run-to-completion baseline with stage-level observability.
+pub fn run_probed(spec: WorkloadSpec, cfg: BaselineConfig, probe: ProbeConfig) -> RunMetrics {
+    run_with_elastic_probed(spec, cfg, probe).0
+}
+
+/// Like [`run_probed`] (with probing disabled), also returning the
+/// time-weighted mean number of provisioned cores (equal to
+/// `cfg.workers` for the static kinds).
 pub fn run_with_elastic(spec: WorkloadSpec, cfg: BaselineConfig) -> (RunMetrics, f64) {
+    run_with_elastic_probed(spec, cfg, ProbeConfig::disabled())
+}
+
+/// Full-fat entry point: observability plus the elastic-provisioning
+/// side channel.
+pub fn run_with_elastic_probed(
+    spec: WorkloadSpec,
+    cfg: BaselineConfig,
+    probe: ProbeConfig,
+) -> (RunMetrics, f64) {
     let mut engine = Engine::new(Baseline::new(spec, cfg));
+    engine.set_probe(Probe::new(probe));
     engine.schedule_at(SimTime::ZERO, Ev::ClientSend);
     if cfg.kind == BaselineKind::ElasticRss {
         engine.schedule_at(SimTime::ZERO + ERSS_INTERVAL, Ev::ErssTick);
@@ -316,13 +374,22 @@ pub fn run_with_elastic(spec: WorkloadSpec, cfg: BaselineConfig) -> (RunMetrics,
         .sum::<f64>()
         / model.workers.len() as f64;
     let mean_active = model.active_tw.mean_until(horizon).max(1.0);
+    let mut metrics = assemble_metrics(&model.client, model.nic.total_drops(), 0, util);
+    if probe.enabled {
+        metrics.stages = Some(engine.probe_mut().report(horizon));
+    }
     (
-        assemble_metrics(&model.client, model.nic.total_drops(), 0, util),
-        if cfg.kind == BaselineKind::ElasticRss { mean_active } else { cfg.workers as f64 },
+        metrics,
+        if cfg.kind == BaselineKind::ElasticRss {
+            mean_active
+        } else {
+            cfg.workers as f64
+        },
     )
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the legacy free-function run API stays covered until removal
 mod tests {
     use super::*;
     use workload::ServiceDist;
@@ -341,7 +408,13 @@ mod tests {
     #[test]
     fn rss_light_load_is_fast_and_complete() {
         let spec = quick_spec(100_000.0, ServiceDist::Fixed(SimDuration::from_micros(5)));
-        let m = run(spec, BaselineConfig { workers: 4, kind: BaselineKind::Rss });
+        let m = run(
+            spec,
+            BaselineConfig {
+                workers: 4,
+                kind: BaselineKind::Rss,
+            },
+        );
         assert!(!m.saturated(0.05), "{}", m.row());
         // Run-to-completion has the fewest hops of any system: unloaded
         // latency should be small (single digit us + wire).
@@ -354,7 +427,13 @@ mod tests {
         // behind 100us requests; the p99 explodes relative to centralized
         // preemptive scheduling at the same load.
         let spec = quick_spec(300_000.0, ServiceDist::paper_bimodal());
-        let rss = run(spec, BaselineConfig { workers: 4, kind: BaselineKind::Rss });
+        let rss = run(
+            spec,
+            BaselineConfig {
+                workers: 4,
+                kind: BaselineKind::Rss,
+            },
+        );
         let shinjuku = crate::shinjuku::run(spec, crate::shinjuku::ShinjukuConfig::paper(4));
         assert!(
             rss.p99 > shinjuku.p99 * 2,
@@ -367,8 +446,20 @@ mod tests {
     #[test]
     fn stealing_helps_imbalance() {
         let spec = quick_spec(500_000.0, ServiceDist::Fixed(SimDuration::from_micros(5)));
-        let rss = run(spec, BaselineConfig { workers: 4, kind: BaselineKind::Rss });
-        let zygos = run(spec, BaselineConfig { workers: 4, kind: BaselineKind::RssStealing });
+        let rss = run(
+            spec,
+            BaselineConfig {
+                workers: 4,
+                kind: BaselineKind::Rss,
+            },
+        );
+        let zygos = run(
+            spec,
+            BaselineConfig {
+                workers: 4,
+                kind: BaselineKind::RssStealing,
+            },
+        );
         assert!(
             zygos.p99 <= rss.p99,
             "stealing should not hurt the tail: zygos {} vs rss {}",
@@ -380,7 +471,13 @@ mod tests {
     #[test]
     fn flow_director_pins_flows() {
         let spec = quick_spec(200_000.0, ServiceDist::Fixed(SimDuration::from_micros(5)));
-        let m = run(spec, BaselineConfig { workers: 4, kind: BaselineKind::FlowDirector });
+        let m = run(
+            spec,
+            BaselineConfig {
+                workers: 4,
+                kind: BaselineKind::FlowDirector,
+            },
+        );
         assert!(m.completed > 1000);
         assert!(!m.saturated(0.05), "{}", m.row());
     }
@@ -388,7 +485,13 @@ mod tests {
     #[test]
     fn overload_saturates_and_drops() {
         let spec = quick_spec(1_500_000.0, ServiceDist::Fixed(SimDuration::from_micros(5)));
-        let m = run(spec, BaselineConfig { workers: 4, kind: BaselineKind::Rss });
+        let m = run(
+            spec,
+            BaselineConfig {
+                workers: 4,
+                kind: BaselineKind::Rss,
+            },
+        );
         assert!(m.saturated(0.05), "{}", m.row());
         assert!(m.dropped > 0, "rings must overflow under overload");
     }
@@ -396,7 +499,11 @@ mod tests {
     #[test]
     fn deterministic_across_runs() {
         let spec = quick_spec(300_000.0, ServiceDist::paper_bimodal());
-        for kind in [BaselineKind::Rss, BaselineKind::RssStealing, BaselineKind::FlowDirector] {
+        for kind in [
+            BaselineKind::Rss,
+            BaselineKind::RssStealing,
+            BaselineKind::FlowDirector,
+        ] {
             let a = run(spec, BaselineConfig { workers: 3, kind });
             let b = run(spec, BaselineConfig { workers: 3, kind });
             assert_eq!(a.completed, b.completed, "{kind:?}");
@@ -406,6 +513,7 @@ mod tests {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the legacy free-function run API stays covered until removal
 mod erss_tests {
     use super::*;
     use workload::ServiceDist;
@@ -425,26 +533,41 @@ mod erss_tests {
     fn elastic_rss_provisions_fewer_cores_at_light_load() {
         let (light, active_light) = run_with_elastic(
             quick_spec(50_000.0),
-            BaselineConfig { workers: 8, kind: BaselineKind::ElasticRss },
+            BaselineConfig {
+                workers: 8,
+                kind: BaselineKind::ElasticRss,
+            },
         );
         let (_, active_heavy) = run_with_elastic(
             quick_spec(1_200_000.0),
-            BaselineConfig { workers: 8, kind: BaselineKind::ElasticRss },
+            BaselineConfig {
+                workers: 8,
+                kind: BaselineKind::ElasticRss,
+            },
         );
         assert!(!light.saturated(0.05), "{}", light.row());
         assert!(
             active_light < active_heavy,
             "provisioned cores must track load: {active_light:.1} vs {active_heavy:.1}"
         );
-        assert!(active_light < 5.0, "50k x 5us needs ~1 core, got {active_light:.1}");
-        assert!(active_heavy > 6.0, "1.2M x 5us needs ~6+ cores, got {active_heavy:.1}");
+        assert!(
+            active_light < 5.0,
+            "50k x 5us needs ~1 core, got {active_light:.1}"
+        );
+        assert!(
+            active_heavy > 6.0,
+            "1.2M x 5us needs ~6+ cores, got {active_heavy:.1}"
+        );
     }
 
     #[test]
     fn elastic_rss_still_serves_the_load() {
         let (m, _) = run_with_elastic(
             quick_spec(400_000.0),
-            BaselineConfig { workers: 8, kind: BaselineKind::ElasticRss },
+            BaselineConfig {
+                workers: 8,
+                kind: BaselineKind::ElasticRss,
+            },
         );
         assert!(!m.saturated(0.05), "{}", m.row());
         // Tail stays bounded: elasticity must not orphan queued work.
@@ -455,14 +578,20 @@ mod erss_tests {
     fn static_kinds_report_full_provisioning() {
         let (_, active) = run_with_elastic(
             quick_spec(100_000.0),
-            BaselineConfig { workers: 6, kind: BaselineKind::Rss },
+            BaselineConfig {
+                workers: 6,
+                kind: BaselineKind::Rss,
+            },
         );
         assert_eq!(active, 6.0);
     }
 
     #[test]
     fn elastic_rss_is_deterministic() {
-        let cfg = BaselineConfig { workers: 8, kind: BaselineKind::ElasticRss };
+        let cfg = BaselineConfig {
+            workers: 8,
+            kind: BaselineKind::ElasticRss,
+        };
         let (a, aa) = run_with_elastic(quick_spec(300_000.0), cfg);
         let (b, bb) = run_with_elastic(quick_spec(300_000.0), cfg);
         assert_eq!(a.completed, b.completed);

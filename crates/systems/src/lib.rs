@@ -23,13 +23,23 @@
 //!
 //! All systems exchange real Ethernet/IPv4/UDP frames on external hops
 //! and are deterministic per seed.
+//!
+//! The preferred entry point is the [`ServerSystem`] trait (see [`api`]):
+//! `cfg.run(spec, ProbeConfig::disabled())` works uniformly across every
+//! assembly, and `ProbeConfig::enabled()` attaches a per-stage
+//! [`sim_core::StageReport`] to the returned metrics. The per-module free
+//! `run` functions are deprecated shims over the same code.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod api;
 pub mod baseline;
 pub mod common;
 pub mod multi_shinjuku;
 pub mod offload;
 pub mod rpcvalet;
 pub mod shinjuku;
+
+pub use api::{ServerSystem, SystemConfig};
+pub use sim_core::ProbeConfig;

@@ -21,7 +21,7 @@ use cpu_model::{ContextCosts, ContextPool, Core, CoreId, CoreSpec, OneShotTimer,
 use net_wire::{FrameSpec, MsgKind, MsgRepr, ParsedFrame};
 use nic_model::{IfaceId, Link, NicDevice, QueueSteering, Rss};
 use nicsched::{params, Assignment, Dispatcher, LeastOutstanding, PolicyKind, SchedPolicy, Task};
-use sim_core::{Ctx, Engine, Model, Rng, SimDuration, SimTime};
+use sim_core::{Ctx, Engine, Model, Probe, ProbeConfig, Rng, SimDuration, SimTime};
 use workload::{RunMetrics, WorkloadSpec};
 
 use crate::common::{assemble_metrics, AddressPlan, Client};
@@ -44,7 +44,10 @@ impl MultiShinjukuConfig {
     /// slices (mirrors the paper's accounting: one physical core per
     /// dispatcher pair).
     pub fn split(total_cores: usize, groups: usize) -> MultiShinjukuConfig {
-        assert!(groups >= 1 && total_cores > groups, "need cores left for workers");
+        assert!(
+            groups >= 1 && total_cores > groups,
+            "need cores left for workers"
+        );
         MultiShinjukuConfig {
             groups,
             workers_per_group: (total_cores - groups) / groups,
@@ -77,7 +80,11 @@ enum Ev {
     /// (group, local worker index, task)
     WorkerTask(usize, usize, Task),
     WorkerPoll(usize, usize),
-    WorkerRunEnd { group: usize, local: usize, gen: u64 },
+    WorkerRunEnd {
+        group: usize,
+        local: usize,
+        gen: u64,
+    },
     ClientResp(Bytes),
 }
 
@@ -174,6 +181,7 @@ impl MultiShinjuku {
     fn start_networker(&mut self, g: usize, ctx: &mut Ctx<Ev>) {
         if !self.groups[g].networker_busy && !self.nic.iface(self.net_iface).rx[g].is_empty() {
             self.groups[g].networker_busy = true;
+            ctx.probe().busy_i("networker", g, true);
             ctx.schedule_in(params::HOST_NET_PER_PACKET, Ev::NetworkerDone(g));
         }
     }
@@ -191,7 +199,9 @@ impl MultiShinjuku {
         if !group.disp_busy {
             if let Some(item) = group.disp_queue.front() {
                 group.disp_busy = true;
-                ctx.schedule_in(Self::disp_item_cost(item), Ev::DispDone(g));
+                let cost = Self::disp_item_cost(item);
+                ctx.probe().busy_i("dispatcher", g, true);
+                ctx.schedule_in(cost, Ev::DispDone(g));
             }
         }
     }
@@ -202,8 +212,15 @@ impl MultiShinjuku {
         }
         let Some(task) = self.groups[g].workers[local].inbox.pop_front() else {
             self.groups[g].workers[local].core.set_idle(ctx.now());
+            let global = g * self.cfg.workers_per_group + local;
+            ctx.probe().busy_i("worker", global, false);
             return;
         };
+        let global = g * self.cfg.workers_per_group + local;
+        let depth = self.groups[g].workers[local].inbox.len();
+        ctx.probe().mark(task.req_id, "path.3_worker_start");
+        ctx.probe().busy_i("worker", global, true);
+        ctx.probe().depth_i("worker.inbox", global, depth);
         let ctx_op = self.ctx_pool.begin(task.req_id);
         let mut overhead = ContextPool::op_cost(ctx_op, &self.ctx_costs, &self.host);
         let run = match self.cfg.time_slice {
@@ -218,16 +235,28 @@ impl MultiShinjuku {
         let end = ctx.now() + overhead + run;
         let gen = worker.timer.arm(end);
         worker.running = Some((task, run));
-        ctx.schedule_at(end, Ev::WorkerRunEnd { group: g, local, gen });
+        ctx.schedule_at(
+            end,
+            Ev::WorkerRunEnd {
+                group: g,
+                local,
+                gen,
+            },
+        );
     }
 
     fn worker_run_end(&mut self, g: usize, local: usize, gen: u64, ctx: &mut Ctx<Ev>) {
         if !self.groups[g].workers[local].timer.accept(gen) {
             return;
         }
-        let (task, run) = self.groups[g].workers[local].running.take().expect("running");
+        let (task, run) = self.groups[g].workers[local]
+            .running
+            .take()
+            .expect("running");
         let now = ctx.now();
         if task.remaining <= run {
+            ctx.probe().count("worker.completed");
+            ctx.probe().mark(task.req_id, "path.4_worker_done");
             let resp_built = now + params::WORKER_TX_COST;
             let resp = FrameSpec {
                 src_mac: AddressPlan::dispatcher_mac(),
@@ -253,11 +282,18 @@ impl MultiShinjuku {
             self.groups[g].workers[local].core.requests_run += 1;
             ctx.schedule_in(
                 params::HOST_QUEUE_HOP,
-                Ev::DispPush(g, DispItem::Done { local_worker: local, req_id: task.req_id }),
+                Ev::DispPush(
+                    g,
+                    DispItem::Done {
+                        local_worker: local,
+                        req_id: task.req_id,
+                    },
+                ),
             );
             ctx.schedule_at(resp_built, Ev::WorkerPoll(g, local));
         } else {
             self.preemptions += 1;
+            ctx.probe().count("worker.preempted");
             let after = task.after_preemption(run);
             self.ctx_pool.save(after.req_id);
             let free_at = now
@@ -265,7 +301,13 @@ impl MultiShinjuku {
                 + self.ctx_costs.save(&self.host);
             ctx.schedule_at(
                 free_at + params::HOST_QUEUE_HOP,
-                Ev::DispPush(g, DispItem::Preempted { local_worker: local, task: after }),
+                Ev::DispPush(
+                    g,
+                    DispItem::Preempted {
+                        local_worker: local,
+                        task: after,
+                    },
+                ),
             );
             ctx.schedule_at(free_at, Ev::WorkerPoll(g, local));
         }
@@ -274,8 +316,8 @@ impl MultiShinjuku {
     /// Imbalance across groups: max/mean admitted requests.
     fn imbalance(&self) -> f64 {
         let max = self.groups.iter().map(|g| g.admitted).max().unwrap_or(0) as f64;
-        let mean = self.groups.iter().map(|g| g.admitted).sum::<u64>() as f64
-            / self.groups.len() as f64;
+        let mean =
+            self.groups.iter().map(|g| g.admitted).sum::<u64>() as f64 / self.groups.len() as f64;
         if mean == 0.0 {
             1.0
         } else {
@@ -294,6 +336,8 @@ impl Model for MultiShinjuku {
                     return;
                 }
                 let spec = self.client.make_request(ctx.now());
+                ctx.probe().count("client.sent");
+                ctx.probe().mark(spec.msg.req_id, "path.0_client_send");
                 let payload_len = spec.frame_len() - net_wire::ethernet::HEADER_LEN;
                 let bytes = spec.build();
                 let arrive = self.client_link.transmit(ctx.now(), payload_len);
@@ -306,16 +350,22 @@ impl Model for MultiShinjuku {
                     return;
                 };
                 if let Some(d) = self.nic.steer(&parsed) {
+                    ctx.probe().count("nic.rx_frames");
                     self.nic.iface_mut(d.iface).rx[d.queue].push(ctx.now(), bytes);
+                    let depth = self.nic.iface(d.iface).rx[d.queue].len();
+                    ctx.probe().depth_i("networker.ring", d.queue, depth);
                     self.start_networker(d.queue, ctx);
                 }
             }
             Ev::NetworkerDone(g) => {
                 self.groups[g].networker_busy = false;
+                ctx.probe().busy_i("networker", g, false);
+                ctx.probe().count("networker.parsed");
                 if let Some(frame) = self.nic.iface_mut(self.net_iface).rx[g].pop() {
                     if let Ok(parsed) = ParsedFrame::parse(&frame.data) {
                         if parsed.msg.kind == MsgKind::Request {
                             let m = parsed.msg;
+                            ctx.probe().mark(m.req_id, "path.1_host_net");
                             let task = Task::new(
                                 m.req_id,
                                 m.client_id,
@@ -335,24 +385,38 @@ impl Model for MultiShinjuku {
             }
             Ev::DispPush(g, item) => {
                 self.groups[g].disp_queue.push_back(item);
+                let depth = self.groups[g].disp_queue.len();
+                ctx.probe().depth_i("dispatcher.inbox", g, depth);
                 self.start_dispatcher(g, ctx);
             }
             Ev::DispDone(g) => {
                 self.groups[g].disp_busy = false;
+                ctx.probe().busy_i("dispatcher", g, false);
                 if let Some(item) = self.groups[g].disp_queue.pop_front() {
                     let now = ctx.now();
                     let assignments = match item {
                         DispItem::NewTask(task) => {
                             self.groups[g].admitted += 1;
+                            ctx.probe().count("disp.enqueue");
+                            ctx.probe().mark(task.req_id, "path.2_dispatch");
                             self.groups[g].dispatcher.on_request(now, task)
                         }
-                        DispItem::Done { local_worker, req_id } => {
+                        DispItem::Done {
+                            local_worker,
+                            req_id,
+                        } => {
+                            ctx.probe().count("disp.done");
                             self.groups[g].dispatcher.on_done(now, local_worker, req_id)
                         }
                         DispItem::Preempted { local_worker, task } => {
-                            self.groups[g].dispatcher.on_preempted(now, local_worker, task)
+                            ctx.probe().count("disp.preempt_requeue");
+                            ctx.probe().mark(task.req_id, "path.2_dispatch");
+                            self.groups[g]
+                                .dispatcher
+                                .on_preempted(now, local_worker, task)
                         }
                         DispItem::Emit(a) => {
+                            ctx.probe().count("disp.assign");
                             ctx.schedule_in(
                                 params::HOST_QUEUE_HOP,
                                 Ev::WorkerTask(g, a.worker, a.task),
@@ -363,6 +427,8 @@ impl Model for MultiShinjuku {
                     for a in assignments.into_iter().rev() {
                         self.groups[g].disp_queue.push_front(DispItem::Emit(a));
                     }
+                    let central = self.groups[g].dispatcher.queue_len();
+                    ctx.probe().depth_i("dispatcher.central", g, central);
                 }
                 self.start_dispatcher(g, ctx);
             }
@@ -376,6 +442,8 @@ impl Model for MultiShinjuku {
             Ev::WorkerRunEnd { group, local, gen } => self.worker_run_end(group, local, gen, ctx),
             Ev::ClientResp(bytes) => {
                 if let Ok(parsed) = ParsedFrame::parse(&bytes) {
+                    ctx.probe().count("client.responses");
+                    ctx.probe().finish(parsed.msg.req_id, "path.5_response");
                     self.client.on_response(ctx.now(), &parsed);
                 }
             }
@@ -385,7 +453,7 @@ impl Model for MultiShinjuku {
 
 /// Outcome of a multi-dispatcher run: standard metrics plus the group
 /// imbalance ratio (max/mean requests per group; 1.0 = perfectly even).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct MultiRunMetrics {
     /// Standard run metrics.
     pub metrics: RunMetrics,
@@ -394,8 +462,20 @@ pub struct MultiRunMetrics {
 }
 
 /// Run a multi-dispatcher Shinjuku simulation.
+#[deprecated(note = "use the `ServerSystem` trait: `cfg.run(spec, ProbeConfig::disabled())`")]
 pub fn run(spec: WorkloadSpec, cfg: MultiShinjukuConfig) -> MultiRunMetrics {
+    run_probed(spec, cfg, ProbeConfig::disabled())
+}
+
+/// Run a multi-dispatcher Shinjuku simulation with stage-level
+/// observability (per-group stages are indexed, e.g. `dispatcher[1]`).
+pub fn run_probed(
+    spec: WorkloadSpec,
+    cfg: MultiShinjukuConfig,
+    probe: ProbeConfig,
+) -> MultiRunMetrics {
     let mut engine = Engine::new(MultiShinjuku::new(spec, cfg));
+    engine.set_probe(Probe::new(probe));
     engine.schedule_at(SimTime::ZERO, Ev::ClientSend);
     engine.run_until(spec.horizon());
     let horizon = spec.horizon();
@@ -406,13 +486,21 @@ pub fn run(spec: WorkloadSpec, cfg: MultiShinjukuConfig) -> MultiRunMetrics {
         .map(|w| w.core.utilization(horizon))
         .sum::<f64>()
         / all_workers.len() as f64;
-    MultiRunMetrics {
-        metrics: assemble_metrics(&model.client, model.nic.total_drops(), model.preemptions, util),
-        imbalance: model.imbalance(),
+    let imbalance = model.imbalance();
+    let mut metrics = assemble_metrics(
+        &model.client,
+        model.nic.total_drops(),
+        model.preemptions,
+        util,
+    );
+    if probe.enabled {
+        metrics.stages = Some(engine.probe_mut().report(horizon));
     }
+    MultiRunMetrics { metrics, imbalance }
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the legacy free-function run API stays covered until removal
 mod tests {
     use super::*;
     use workload::ServiceDist;
@@ -472,8 +560,15 @@ mod tests {
     fn rss_across_groups_creates_imbalance() {
         let spec = quick_spec(500_000.0, ServiceDist::Fixed(SimDuration::from_micros(5)));
         let m = run(spec, MultiShinjukuConfig::split(16, 4));
-        assert!(m.imbalance > 1.0, "RSS group shares are never perfectly even");
-        assert!(m.imbalance < 2.0, "but not catastrophic at uniform flows: {}", m.imbalance);
+        assert!(
+            m.imbalance > 1.0,
+            "RSS group shares are never perfectly even"
+        );
+        assert!(
+            m.imbalance < 2.0,
+            "but not catastrophic at uniform flows: {}",
+            m.imbalance
+        );
     }
 
     #[test]

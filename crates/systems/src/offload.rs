@@ -26,11 +26,17 @@
 use std::collections::{HashMap, VecDeque};
 
 use bytes::Bytes;
-use cpu_model::{ContextCosts, ContextPool, Core, CoreId, CoreSpec, InterruptPath, OneShotTimer, Topology, CROSS_SOCKET_PENALTY};
+use cpu_model::{
+    ContextCosts, ContextPool, Core, CoreId, CoreSpec, InterruptPath, OneShotTimer, Topology,
+    CROSS_SOCKET_PENALTY,
+};
 use net_wire::{FrameSpec, MsgKind, MsgRepr, ParsedFrame};
 use nic_model::{packet_lines, Ddio, IfaceId, Link, NicDevice, Placement, QueueSteering};
-use nicsched::{params, Assignment, CoreSelector, Dispatcher, LeastOutstanding, NicProfile, PolicyKind, SchedPolicy, SocketAffinity, Task};
-use sim_core::{Ctx, Engine, Model, Rng, SimDuration, SimTime};
+use nicsched::{
+    params, Assignment, CoreSelector, Dispatcher, LeastOutstanding, NicProfile, PolicyKind,
+    SchedPolicy, SocketAffinity, Task,
+};
+use sim_core::{Ctx, Engine, Model, Probe, ProbeConfig, Rng, SimDuration, SimTime};
 use workload::{RunMetrics, WorkloadSpec};
 
 use crate::common::{assemble_metrics, AddressPlan, Client};
@@ -145,7 +151,11 @@ struct Stage<T> {
 
 impl<T> Stage<T> {
     fn new() -> Stage<T> {
-        Stage { queue: VecDeque::new(), busy: false, processed: 0 }
+        Stage {
+            queue: VecDeque::new(),
+            busy: false,
+            processed: 0,
+        }
     }
 }
 
@@ -156,6 +166,9 @@ struct Worker {
     running: Option<Running>,
     /// DDIO placements for frames queued in this worker's ring, FIFO.
     pending_placement: VecDeque<Placement>,
+    /// When this worker last went idle (probe-only: measures the feedback
+    /// gap as the idle interval before the next assignment arrives).
+    idle_since: Option<SimTime>,
 }
 
 struct Running {
@@ -214,7 +227,12 @@ impl Offload {
         };
 
         let mut nic = NicDevice::new(params::PCIE_DMA);
-        let disp_iface = nic.add_iface(AddressPlan::dispatcher_mac(), 1, 1024, QueueSteering::Single);
+        let disp_iface = nic.add_iface(
+            AddressPlan::dispatcher_mac(),
+            1,
+            1024,
+            QueueSteering::Single,
+        );
         let mut worker_iface = Vec::new();
         let mut worker_by_mac = HashMap::new();
         for w in 0..cfg.workers {
@@ -230,6 +248,7 @@ impl Offload {
                 timer: OneShotTimer::new(),
                 running: None,
                 pending_placement: VecDeque::new(),
+                idle_since: Some(t0),
             })
             .collect();
 
@@ -246,7 +265,12 @@ impl Offload {
         };
 
         Offload {
-            dispatcher: Dispatcher::new(cfg.workers, cfg.outstanding_cap, cfg.policy.build(), selector),
+            dispatcher: Dispatcher::new(
+                cfg.workers,
+                cfg.outstanding_cap,
+                cfg.policy.build(),
+                selector,
+            ),
             topology,
             cfg,
             horizon: spec.horizon(),
@@ -265,7 +289,11 @@ impl Offload {
             workers,
             ctx_pool: ContextPool::new(),
             ctx_costs: ContextCosts::default(),
-            ddio: if cfg.ddio_l1 { Ddio::informed_l1(4096) } else { Ddio::classic(4096) },
+            ddio: if cfg.ddio_l1 {
+                Ddio::informed_l1(4096)
+            } else {
+                Ddio::classic(4096)
+            },
             host: CoreSpec::host_x86(),
             preemptions: 0,
         }
@@ -282,13 +310,18 @@ impl Offload {
         let ring = &self.nic.iface(self.disp_iface).rx[0];
         if !self.networker.busy && !ring.is_empty() {
             self.networker.busy = true;
-            ctx.schedule_in(self.stage_cost(params::ARM_NET_PARSE_CYCLES), Ev::NetworkerDone);
+            ctx.probe().busy("networker", true);
+            ctx.schedule_in(
+                self.stage_cost(params::ARM_NET_PARSE_CYCLES),
+                Ev::NetworkerDone,
+            );
         }
     }
 
     fn start_qm(&mut self, ctx: &mut Ctx<Ev>) {
         if !self.qm.busy && !self.qm.queue.is_empty() {
             self.qm.busy = true;
+            ctx.probe().busy("qm", true);
             ctx.schedule_in(self.stage_cost(params::ARM_QUEUE_OP_CYCLES), Ev::QmDone);
         }
     }
@@ -296,6 +329,7 @@ impl Offload {
     fn start_tx(&mut self, ctx: &mut Ctx<Ev>) {
         if !self.tx.busy && !self.tx.queue.is_empty() {
             self.tx.busy = true;
+            ctx.probe().busy("tx", true);
             ctx.schedule_in(self.stage_cost(params::ARM_TX_BUILD_CYCLES), Ev::TxDone);
         }
     }
@@ -303,6 +337,7 @@ impl Offload {
     fn start_rx(&mut self, ctx: &mut Ctx<Ev>) {
         if !self.rx.busy && !self.rx.queue.is_empty() {
             self.rx.busy = true;
+            ctx.probe().busy("rx", true);
             ctx.schedule_in(self.stage_cost(params::ARM_RX_PARSE_CYCLES), Ev::RxDone);
         }
     }
@@ -324,8 +359,20 @@ impl Offload {
         let iface = self.worker_iface[w];
         let Some(frame) = self.nic.iface_mut(iface).rx[0].pop() else {
             self.workers[w].core.set_idle(ctx.now());
+            ctx.probe().busy_i("worker", w, false);
+            if self.workers[w].idle_since.is_none() {
+                self.workers[w].idle_since = Some(ctx.now());
+            }
             return;
         };
+        let ring_depth = self.nic.iface(iface).rx[0].len();
+        ctx.probe().depth_i("worker.ring", w, ring_depth);
+        // The measured feedback gap: how long this worker sat idle before
+        // the NIC's (stale) view caught up and delivered more work.
+        if let Some(idle_at) = self.workers[w].idle_since.take() {
+            let gap = ctx.now().saturating_duration_since(idle_at);
+            ctx.probe().hop("worker.idle_gap", gap);
+        }
         let parsed = match ParsedFrame::parse(&frame.data) {
             Ok(p) if p.msg.kind == MsgKind::Assign => p,
             _ => {
@@ -369,7 +416,10 @@ impl Offload {
                 packet_lines(net_wire::message::HEADER_LEN + task.body_len as usize),
                 interconnect,
             );
-        self.ddio.release(placement, packet_lines(net_wire::message::HEADER_LEN + task.body_len as usize));
+        self.ddio.release(
+            placement,
+            packet_lines(net_wire::message::HEADER_LEN + task.body_len as usize),
+        );
 
         let run = match self.cfg.time_slice {
             Some(slice) => {
@@ -383,6 +433,8 @@ impl Offload {
             None => task.remaining,
         };
 
+        ctx.probe().mark(task.req_id, "path.4_worker_start");
+        ctx.probe().busy_i("worker", w, true);
         let worker = &mut self.workers[w];
         worker.core.set_busy(ctx.now());
         let end = ctx.now() + overhead + run;
@@ -423,6 +475,8 @@ impl Offload {
         let finished = task.remaining <= run;
 
         if finished {
+            ctx.probe().count("worker.completed");
+            ctx.probe().mark(task.req_id, "path.5_worker_done");
             // Response to the client and Done to the dispatcher: two
             // packets, built back to back (§3.4.3).
             let resp_built = now + params::WORKER_TX_COST;
@@ -464,7 +518,10 @@ impl Offload {
                     body_len: 0,
                 },
             );
-            ctx.schedule_at(notif_built + self.cfg.profile.from_worker, Ev::RxNotif(done.build()));
+            ctx.schedule_at(
+                notif_built + self.cfg.profile.from_worker,
+                Ev::RxNotif(done.build()),
+            );
 
             self.ctx_pool.discard(task.req_id);
             self.workers[w].core.requests_run += 1;
@@ -473,6 +530,7 @@ impl Offload {
             ctx.schedule_at(notif_built, Ev::WorkerPoll(w));
         } else {
             // Slice expiry: take the interrupt, save the context, notify.
+            ctx.probe().count("worker.preempted");
             self.preemptions += 1;
             self.workers[w].core.preemptions += 1;
             let after = task.after_preemption(run);
@@ -493,7 +551,10 @@ impl Offload {
                     body_len: after.body_len,
                 },
             );
-            ctx.schedule_at(free_at + self.cfg.profile.from_worker, Ev::RxNotif(notif.build()));
+            ctx.schedule_at(
+                free_at + self.cfg.profile.from_worker,
+                Ev::RxNotif(notif.build()),
+            );
             ctx.schedule_at(free_at, Ev::WorkerPoll(w));
         }
     }
@@ -509,6 +570,8 @@ impl Model for Offload {
                     return;
                 }
                 let spec = self.client.make_request(ctx.now());
+                ctx.probe().count("client.sent");
+                ctx.probe().mark(spec.msg.req_id, "path.0_client_send");
                 let payload_len = spec.frame_len() - net_wire::ethernet::HEADER_LEN;
                 let bytes = spec.build();
                 if let Some(arrive) = self.client_link.transmit_lossy(ctx.now(), payload_len) {
@@ -524,6 +587,9 @@ impl Model for Offload {
                 if let Some(d) = self.nic.steer(&parsed) {
                     self.nic.iface_mut(d.iface).rx[d.queue].push(ctx.now(), bytes);
                     if d.iface == self.disp_iface {
+                        ctx.probe().count("nic.rx_frames");
+                        let depth = self.nic.iface(self.disp_iface).rx[0].len();
+                        ctx.probe().depth("networker.ring", depth);
                         self.start_networker(ctx);
                     }
                 }
@@ -531,10 +597,15 @@ impl Model for Offload {
             Ev::NetworkerDone => {
                 self.networker.busy = false;
                 self.networker.processed += 1;
+                ctx.probe().busy("networker", false);
+                ctx.probe().count("networker.parsed");
                 if let Some(frame) = self.nic.iface_mut(self.disp_iface).rx[0].pop() {
+                    let depth = self.nic.iface(self.disp_iface).rx[0].len();
+                    ctx.probe().depth("networker.ring", depth);
                     if let Ok(parsed) = ParsedFrame::parse(&frame.data) {
                         if parsed.msg.kind == MsgKind::Request {
                             let msg = parsed.msg;
+                            ctx.probe().mark(msg.req_id, "path.1_nic_parse");
                             let task = Task::new(
                                 msg.req_id,
                                 msg.client_id,
@@ -543,7 +614,10 @@ impl Model for Offload {
                                 ctx.now(),
                                 msg.body_len,
                             );
-                            ctx.schedule_in(self.cfg.profile.stage_hop, Ev::QmPush(QmItem::NewTask(task)));
+                            ctx.schedule_in(
+                                self.cfg.profile.stage_hop,
+                                Ev::QmPush(QmItem::NewTask(task)),
+                            );
                         }
                     }
                 }
@@ -551,38 +625,52 @@ impl Model for Offload {
             }
             Ev::QmPush(item) => {
                 self.qm.queue.push_back(item);
+                ctx.probe().depth("qm.inbox", self.qm.queue.len());
                 self.start_qm(ctx);
             }
             Ev::QmDone => {
                 self.qm.busy = false;
                 self.qm.processed += 1;
+                ctx.probe().busy("qm", false);
                 if let Some(item) = self.qm.queue.pop_front() {
+                    ctx.probe().depth("qm.inbox", self.qm.queue.len());
                     let now = ctx.now();
                     let assignments = match item {
                         QmItem::NewTask(task) => {
+                            ctx.probe().count("qm.enqueue");
+                            ctx.probe().mark(task.req_id, "path.2_qm_admit");
                             self.task_meta.insert(task.req_id, task.arrived_at);
                             self.dispatcher.on_request(now, task)
                         }
                         QmItem::Done { worker, req_id } => {
+                            ctx.probe().count("qm.done");
                             self.task_meta.remove(&req_id);
                             self.dispatcher.on_done(now, worker, req_id)
                         }
                         QmItem::Preempted { worker, task } => {
+                            ctx.probe().count("qm.preempt_requeue");
+                            ctx.probe().mark(task.req_id, "path.2_qm_admit");
                             self.dispatcher.on_preempted(now, worker, task)
                         }
                     };
+                    ctx.probe().depth("qm.central", self.dispatcher.queue_len());
                     self.emit_assignments(assignments, ctx);
                 }
                 self.start_qm(ctx);
             }
             Ev::TxPush(a) => {
                 self.tx.queue.push_back(a);
+                ctx.probe().depth("tx.queue", self.tx.queue.len());
                 self.start_tx(ctx);
             }
             Ev::TxDone => {
                 self.tx.busy = false;
                 self.tx.processed += 1;
+                ctx.probe().busy("tx", false);
+                ctx.probe().count("tx.built");
                 if let Some(a) = self.tx.queue.pop_front() {
+                    ctx.probe().depth("tx.queue", self.tx.queue.len());
+                    ctx.probe().mark(a.task.req_id, "path.3_tx_build");
                     let t = a.task;
                     let spec = FrameSpec {
                         src_mac: AddressPlan::dispatcher_mac(),
@@ -618,11 +706,14 @@ impl Model for Offload {
                 let placement = self.ddio.place(lines, resident);
                 let iface = self.worker_iface[w];
                 if self.nic.iface_mut(iface).rx[0].push(ctx.now(), bytes) {
+                    let depth = self.nic.iface(iface).rx[0].len();
+                    ctx.probe().depth_i("worker.ring", w, depth);
                     self.workers[w].pending_placement.push_back(placement);
                     if self.workers[w].running.is_none() {
                         ctx.schedule_now(Ev::WorkerPoll(w));
                     }
                 } else {
+                    ctx.probe().count("worker.ring_drops");
                     self.ddio.release(placement, lines);
                 }
             }
@@ -630,17 +721,24 @@ impl Model for Offload {
             Ev::WorkerRunEnd { worker, gen } => self.worker_run_end(worker, gen, ctx),
             Ev::RxNotif(bytes) => {
                 self.rx.queue.push_back(bytes);
+                ctx.probe().depth("rx.queue", self.rx.queue.len());
                 self.start_rx(ctx);
             }
             Ev::RxDone => {
                 self.rx.busy = false;
                 self.rx.processed += 1;
+                ctx.probe().busy("rx", false);
+                ctx.probe().count("rx.notifs");
                 if let Some(bytes) = self.rx.queue.pop_front() {
+                    ctx.probe().depth("rx.queue", self.rx.queue.len());
                     if let Ok(parsed) = ParsedFrame::parse(&bytes) {
                         if let Some(&w) = self.worker_by_mac.get(&parsed.eth.src_addr) {
                             let msg = parsed.msg;
                             let item = match msg.kind {
-                                MsgKind::Done => Some(QmItem::Done { worker: w, req_id: msg.req_id }),
+                                MsgKind::Done => Some(QmItem::Done {
+                                    worker: w,
+                                    req_id: msg.req_id,
+                                }),
                                 MsgKind::Preempted => {
                                     let arrived = self
                                         .task_meta
@@ -673,6 +771,8 @@ impl Model for Offload {
             }
             Ev::ClientResp(bytes) => {
                 if let Ok(parsed) = ParsedFrame::parse(&bytes) {
+                    ctx.probe().count("client.responses");
+                    ctx.probe().finish(parsed.msg.req_id, "path.6_response");
                     self.client.on_response(ctx.now(), &parsed);
                 }
             }
@@ -681,8 +781,15 @@ impl Model for Offload {
 }
 
 /// Run a Shinjuku-Offload simulation of `spec` under `cfg`.
+#[deprecated(note = "use the `ServerSystem` trait: `cfg.run(spec, ProbeConfig::disabled())`")]
 pub fn run(spec: WorkloadSpec, cfg: OffloadConfig) -> RunMetrics {
+    run_probed(spec, cfg, ProbeConfig::disabled())
+}
+
+/// Run a Shinjuku-Offload simulation with stage-level observability.
+pub fn run_probed(spec: WorkloadSpec, cfg: OffloadConfig, probe: ProbeConfig) -> RunMetrics {
     let mut engine = Engine::new(Offload::new(spec, cfg));
+    engine.set_probe(Probe::new(probe));
     engine.schedule_at(SimTime::ZERO, Ev::ClientSend);
     engine.run_until(spec.horizon());
     let horizon = spec.horizon();
@@ -693,10 +800,20 @@ pub fn run(spec: WorkloadSpec, cfg: OffloadConfig) -> RunMetrics {
         .map(|w| w.core.utilization(horizon))
         .sum::<f64>()
         / model.workers.len() as f64;
-    assemble_metrics(&model.client, model.nic.total_drops(), model.preemptions, util)
+    let mut metrics = assemble_metrics(
+        &model.client,
+        model.nic.total_drops(),
+        model.preemptions,
+        util,
+    );
+    if probe.enabled {
+        metrics.stages = Some(engine.probe_mut().report(horizon));
+    }
+    metrics
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the legacy free-function run API stays covered until removal
 mod tests {
     use super::*;
     use workload::ServiceDist;
@@ -717,7 +834,11 @@ mod tests {
         let spec = quick_spec(50_000.0, ServiceDist::Fixed(SimDuration::from_micros(5)));
         let m = run(spec, OffloadConfig::paper(4, 4));
         assert!(m.completed > 500, "completed {}", m.completed);
-        assert!(!m.saturated(0.05), "should not saturate at 50k rps: {}", m.row());
+        assert!(
+            !m.saturated(0.05),
+            "should not saturate at 50k rps: {}",
+            m.row()
+        );
         assert_eq!(m.dropped, 0);
     }
 
@@ -732,7 +853,11 @@ mod tests {
             "p50 {} should include the NIC path",
             m.p50
         );
-        assert!(m.p50 < SimDuration::from_micros(20), "p50 {} suspiciously high", m.p50);
+        assert!(
+            m.p50 < SimDuration::from_micros(20),
+            "p50 {} suspiciously high",
+            m.p50
+        );
     }
 
     #[test]
@@ -751,9 +876,15 @@ mod tests {
         let with = run(spec, OffloadConfig::paper(4, 4));
         let without = run(
             spec,
-            OffloadConfig { time_slice: None, ..OffloadConfig::paper(4, 4) },
+            OffloadConfig {
+                time_slice: None,
+                ..OffloadConfig::paper(4, 4)
+            },
         );
-        assert!(with.preemptions > 0, "bimodal load must trigger preemptions");
+        assert!(
+            with.preemptions > 0,
+            "bimodal load must trigger preemptions"
+        );
         assert_eq!(without.preemptions, 0);
         assert!(
             with.p99 < without.p99,
@@ -768,8 +899,20 @@ mod tests {
         // The Figure 3 effect: more outstanding requests hide the NIC
         // round trip on short requests.
         let spec = quick_spec(1_200_000.0, ServiceDist::Fixed(SimDuration::from_micros(1)));
-        let k1 = run(spec, OffloadConfig { time_slice: None, ..OffloadConfig::paper(4, 1) });
-        let k5 = run(spec, OffloadConfig { time_slice: None, ..OffloadConfig::paper(4, 5) });
+        let k1 = run(
+            spec,
+            OffloadConfig {
+                time_slice: None,
+                ..OffloadConfig::paper(4, 1)
+            },
+        );
+        let k5 = run(
+            spec,
+            OffloadConfig {
+                time_slice: None,
+                ..OffloadConfig::paper(4, 5)
+            },
+        );
         assert!(
             k5.achieved_rps > k1.achieved_rps * 1.5,
             "outstanding=5 ({:.0}) should beat outstanding=1 ({:.0}) by a lot",
@@ -784,7 +927,10 @@ mod tests {
         let stingray = run(spec, OffloadConfig::paper(4, 5));
         let ideal = run(
             spec,
-            OffloadConfig { profile: NicProfile::ideal(), ..OffloadConfig::paper(4, 5) },
+            OffloadConfig {
+                profile: NicProfile::ideal(),
+                ..OffloadConfig::paper(4, 5)
+            },
         );
         assert!(
             ideal.achieved_rps >= stingray.achieved_rps,
@@ -792,7 +938,12 @@ mod tests {
             ideal.achieved_rps,
             stingray.achieved_rps
         );
-        assert!(ideal.p99 < stingray.p99, "ideal {} vs stingray {}", ideal.p99, stingray.p99);
+        assert!(
+            ideal.p99 < stingray.p99,
+            "ideal {} vs stingray {}",
+            ideal.p99,
+            stingray.p99
+        );
     }
 
     #[test]
@@ -807,6 +958,7 @@ mod tests {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the legacy free-function run API stays covered until removal
 mod socket_tests {
     use super::*;
     use workload::ServiceDist;
@@ -829,7 +981,10 @@ mod socket_tests {
         let single = run(quick_spec(400_000.0), OffloadConfig::paper(8, 2));
         let dual = run(
             quick_spec(400_000.0),
-            OffloadConfig { dual_socket: true, ..OffloadConfig::paper(8, 2) },
+            OffloadConfig {
+                dual_socket: true,
+                ..OffloadConfig::paper(8, 2)
+            },
         );
         assert!(
             dual.p50 >= single.p50,
@@ -845,11 +1000,18 @@ mod socket_tests {
         // socket 0 and avoid the QPI hop.
         let blind = run(
             quick_spec(300_000.0),
-            OffloadConfig { dual_socket: true, ..OffloadConfig::paper(8, 2) },
+            OffloadConfig {
+                dual_socket: true,
+                ..OffloadConfig::paper(8, 2)
+            },
         );
         let aware = run(
             quick_spec(300_000.0),
-            OffloadConfig { dual_socket: true, socket_aware: true, ..OffloadConfig::paper(8, 2) },
+            OffloadConfig {
+                dual_socket: true,
+                socket_aware: true,
+                ..OffloadConfig::paper(8, 2)
+            },
         );
         assert!(
             aware.p50 <= blind.p50,
@@ -893,6 +1055,7 @@ mod socket_tests {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the legacy free-function run API stays covered until removal
 mod jit_tests {
     use super::*;
     use workload::ServiceDist;
@@ -914,13 +1077,20 @@ mod jit_tests {
         let open = run(over_capacity_spec(), OffloadConfig::paper(4, 4));
         let jit = run(
             over_capacity_spec(),
-            OffloadConfig { jit_target_depth: Some(16), ..OffloadConfig::paper(4, 4) },
+            OffloadConfig {
+                jit_target_depth: Some(16),
+                ..OffloadConfig::paper(4, 4)
+            },
         );
         // Open loop over capacity: the centralized queue grows without
         // bound and the tail explodes. JIT throttles to ~capacity and
         // keeps the queue at the setpoint (§5.2: "just in time for
         // processing").
-        assert!(open.saturated(0.05), "open loop must saturate: {}", open.row());
+        assert!(
+            open.saturated(0.05),
+            "open loop must saturate: {}",
+            open.row()
+        );
         assert!(
             jit.p99 < open.p99 / 4,
             "JIT should collapse the overload tail: {} vs {}",
@@ -938,9 +1108,18 @@ mod jit_tests {
 
     #[test]
     fn jit_is_inert_below_capacity() {
-        let spec = WorkloadSpec { offered_rps: 300_000.0, ..over_capacity_spec() };
+        let spec = WorkloadSpec {
+            offered_rps: 300_000.0,
+            ..over_capacity_spec()
+        };
         let open = run(spec, OffloadConfig::paper(4, 4));
-        let jit = run(spec, OffloadConfig { jit_target_depth: Some(16), ..OffloadConfig::paper(4, 4) });
+        let jit = run(
+            spec,
+            OffloadConfig {
+                jit_target_depth: Some(16),
+                ..OffloadConfig::paper(4, 4)
+            },
+        );
         // Below the setpoint the pacer stays at full rate.
         assert!(!jit.saturated(0.05), "{}", jit.row());
         let ratio = jit.achieved_rps / open.achieved_rps;
@@ -949,6 +1128,7 @@ mod jit_tests {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the legacy free-function run API stays covered until removal
 mod robustness_tests {
     use super::*;
     use workload::{ArrivalProcess, ServiceDist};
@@ -971,7 +1151,10 @@ mod robustness_tests {
         let clean = run(quick_spec(300_000.0), OffloadConfig::paper(4, 4));
         let lossy = run(
             quick_spec(300_000.0),
-            OffloadConfig { wire_loss: 0.01, ..OffloadConfig::paper(4, 4) },
+            OffloadConfig {
+                wire_loss: 0.01,
+                ..OffloadConfig::paper(4, 4)
+            },
         );
         let ratio = lossy.achieved_rps / clean.achieved_rps;
         assert!(
@@ -985,7 +1168,10 @@ mod robustness_tests {
 
     #[test]
     fn lossy_run_is_deterministic() {
-        let cfg = OffloadConfig { wire_loss: 0.02, ..OffloadConfig::paper(4, 4) };
+        let cfg = OffloadConfig {
+            wire_loss: 0.02,
+            ..OffloadConfig::paper(4, 4)
+        };
         let a = run(quick_spec(200_000.0), cfg);
         let b = run(quick_spec(200_000.0), cfg);
         assert_eq!(a.completed, b.completed);

@@ -20,8 +20,8 @@ use bytes::Bytes;
 use cpu_model::{ContextCosts, ContextPool, Core, CoreId, CoreSpec};
 use net_wire::{FrameSpec, MsgKind, MsgRepr, ParsedFrame};
 use nic_model::Link;
-use nicsched::{Dispatcher, Fcfs, LeastOutstanding, params, Task};
-use sim_core::{Ctx, Engine, Model, Rng, SimDuration, SimTime};
+use nicsched::{params, Dispatcher, Fcfs, LeastOutstanding, Task};
+use sim_core::{Ctx, Engine, Model, Probe, ProbeConfig, Rng, SimDuration, SimTime};
 use workload::{RunMetrics, WorkloadSpec};
 
 use crate::common::{assemble_metrics, AddressPlan, Client};
@@ -55,6 +55,8 @@ enum Ev {
 struct Worker {
     core: Core,
     running: Option<Task>,
+    /// When the worker last went idle (for feedback-gap measurement).
+    idle_since: Option<SimTime>,
 }
 
 struct RpcValet {
@@ -86,6 +88,7 @@ impl RpcValet {
                 .map(|w| Worker {
                     core: Core::new(CoreId(w as u32), CoreSpec::host_x86(), t0),
                     running: None,
+                    idle_since: Some(t0),
                 })
                 .collect(),
             ctx_pool: ContextPool::new(),
@@ -111,6 +114,8 @@ impl Model for RpcValet {
                     return;
                 }
                 let spec = self.client.make_request(ctx.now());
+                ctx.probe().count("client.sent");
+                ctx.probe().mark(spec.msg.req_id, "path.0_client_send");
                 let payload_len = spec.frame_len() - net_wire::ethernet::HEADER_LEN;
                 let bytes = spec.build();
                 let arrive = self.client_link.transmit(ctx.now(), payload_len);
@@ -126,6 +131,8 @@ impl Model for RpcValet {
                     return;
                 }
                 let m = parsed.msg;
+                ctx.probe().count("ni.requests");
+                ctx.probe().mark(m.req_id, "path.1_ni_dispatch");
                 let task = Task::new(
                     m.req_id,
                     m.client_id,
@@ -135,10 +142,18 @@ impl Model for RpcValet {
                     m.body_len,
                 );
                 let assignments = self.dispatcher.on_request(ctx.now(), task);
+                let depth = self.dispatcher.queue_len();
+                ctx.probe().depth("ni.queue", depth);
                 self.emit(assignments, ctx);
             }
             Ev::Deliver(w, task) => {
                 debug_assert!(self.workers[w].running.is_none(), "cap-1 violated");
+                if let Some(idle_at) = self.workers[w].idle_since.take() {
+                    let gap = ctx.now().saturating_duration_since(idle_at);
+                    ctx.probe().hop("worker.idle_gap", gap);
+                }
+                ctx.probe().mark(task.req_id, "path.2_worker_start");
+                ctx.probe().busy_i("worker", w, true);
                 let overhead = ContextPool::op_cost(
                     self.ctx_pool.begin(task.req_id),
                     &self.ctx_costs,
@@ -153,6 +168,10 @@ impl Model for RpcValet {
             Ev::WorkerRunEnd(w) => {
                 let task = self.workers[w].running.take().expect("running");
                 let now = ctx.now();
+                ctx.probe().count("worker.completed");
+                ctx.probe().mark(task.req_id, "path.3_worker_done");
+                ctx.probe().busy_i("worker", w, false);
+                self.workers[w].idle_since = Some(now);
                 let resp_built = now + params::WORKER_TX_COST;
                 let resp = FrameSpec {
                     src_mac: AddressPlan::dispatcher_mac(),
@@ -185,6 +204,8 @@ impl Model for RpcValet {
             }
             Ev::ClientResp(bytes) => {
                 if let Ok(parsed) = ParsedFrame::parse(&bytes) {
+                    ctx.probe().count("client.responses");
+                    ctx.probe().finish(parsed.msg.req_id, "path.4_response");
                     self.client.on_response(ctx.now(), &parsed);
                 }
             }
@@ -193,8 +214,15 @@ impl Model for RpcValet {
 }
 
 /// Run an RPCValet-style simulation of `spec` under `cfg`.
+#[deprecated(note = "use the `ServerSystem` trait: `cfg.run(spec, ProbeConfig::disabled())`")]
 pub fn run(spec: WorkloadSpec, cfg: RpcValetConfig) -> RunMetrics {
+    run_probed(spec, cfg, ProbeConfig::disabled())
+}
+
+/// Run an RPCValet-style simulation with stage-level observability.
+pub fn run_probed(spec: WorkloadSpec, cfg: RpcValetConfig, probe: ProbeConfig) -> RunMetrics {
     let mut engine = Engine::new(RpcValet::new(spec, cfg));
+    engine.set_probe(Probe::new(probe));
     engine.schedule_at(SimTime::ZERO, Ev::ClientSend);
     engine.run_until(spec.horizon());
     let horizon = spec.horizon();
@@ -205,10 +233,15 @@ pub fn run(spec: WorkloadSpec, cfg: RpcValetConfig) -> RunMetrics {
         .map(|w| w.core.utilization(horizon))
         .sum::<f64>()
         / model.workers.len() as f64;
-    assemble_metrics(&model.client, 0, 0, util)
+    let mut metrics = assemble_metrics(&model.client, 0, 0, util);
+    if probe.enabled {
+        metrics.stages = Some(engine.probe_mut().report(horizon));
+    }
+    metrics
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the legacy free-function run API stays covered until removal
 mod tests {
     use super::*;
     use workload::ServiceDist;
@@ -246,7 +279,11 @@ mod tests {
             valet.achieved_rps / 1e6,
             shinjuku.achieved_rps / 1e6
         );
-        assert!(valet.achieved_rps > 6_500_000.0, "{:.0}", valet.achieved_rps);
+        assert!(
+            valet.achieved_rps > 6_500_000.0,
+            "{:.0}",
+            valet.achieved_rps
+        );
     }
 
     #[test]

@@ -20,7 +20,7 @@ use cpu_model::{ContextCosts, ContextPool, Core, CoreId, CoreSpec, OneShotTimer,
 use net_wire::{FrameSpec, MsgKind, MsgRepr, ParsedFrame};
 use nic_model::{IfaceId, Link, NicDevice, QueueSteering};
 use nicsched::{params, Assignment, Dispatcher, LeastOutstanding, PolicyKind, SchedPolicy, Task};
-use sim_core::{Ctx, Engine, Model, Rng, SimDuration, SimTime};
+use sim_core::{Ctx, Engine, Model, Probe, ProbeConfig, Rng, SimDuration, SimTime};
 use workload::{RunMetrics, WorkloadSpec};
 
 use crate::common::{assemble_metrics, AddressPlan, Client};
@@ -41,7 +41,11 @@ pub struct ShinjukuConfig {
 impl ShinjukuConfig {
     /// The paper's §4 configuration with the 10 µs slice.
     pub fn paper(workers: usize) -> ShinjukuConfig {
-        ShinjukuConfig { workers, time_slice: Some(params::TIME_SLICE), policy: PolicyKind::Fcfs }
+        ShinjukuConfig {
+            workers,
+            time_slice: Some(params::TIME_SLICE),
+            policy: PolicyKind::Fcfs,
+        }
     }
 }
 
@@ -49,8 +53,14 @@ impl ShinjukuConfig {
 #[derive(Debug, Clone, Copy)]
 enum DispItem {
     NewTask(Task),
-    Done { worker: usize, req_id: u64 },
-    Preempted { worker: usize, task: Task },
+    Done {
+        worker: usize,
+        req_id: u64,
+    },
+    Preempted {
+        worker: usize,
+        task: Task,
+    },
     /// A decided assignment being written to a worker queue (charged
     /// separately so dispatcher busy-time scales with fan-out).
     Emit(Assignment),
@@ -65,7 +75,10 @@ enum Ev {
     /// A task becomes visible in a worker's shared-memory inbox.
     WorkerTask(usize, Task),
     WorkerPoll(usize),
-    WorkerRunEnd { worker: usize, gen: u64 },
+    WorkerRunEnd {
+        worker: usize,
+        gen: u64,
+    },
     ClientResp(Bytes),
 }
 
@@ -103,7 +116,12 @@ impl Shinjuku {
         let client = Client::new(spec, &mut master);
 
         let mut nic = NicDevice::new(params::PCIE_DMA);
-        let net_iface = nic.add_iface(AddressPlan::dispatcher_mac(), 1, 1024, QueueSteering::Single);
+        let net_iface = nic.add_iface(
+            AddressPlan::dispatcher_mac(),
+            1,
+            1024,
+            QueueSteering::Single,
+        );
 
         let t0 = SimTime::ZERO;
         let workers = (0..cfg.workers)
@@ -140,6 +158,7 @@ impl Shinjuku {
     fn start_networker(&mut self, ctx: &mut Ctx<Ev>) {
         if !self.networker_busy && !self.nic.iface(self.net_iface).rx[0].is_empty() {
             self.networker_busy = true;
+            ctx.probe().busy("networker", true);
             ctx.schedule_in(params::HOST_NET_PER_PACKET, Ev::NetworkerDone);
         }
     }
@@ -156,7 +175,9 @@ impl Shinjuku {
         if !self.disp_busy {
             if let Some(item) = self.disp_queue.front() {
                 self.disp_busy = true;
-                ctx.schedule_in(Self::disp_item_cost(item), Ev::DispDone);
+                let cost = Self::disp_item_cost(item);
+                ctx.probe().busy("dispatcher", true);
+                ctx.schedule_in(cost, Ev::DispDone);
             }
         }
     }
@@ -167,8 +188,13 @@ impl Shinjuku {
         }
         let Some(task) = self.workers[w].inbox.pop_front() else {
             self.workers[w].core.set_idle(ctx.now());
+            ctx.probe().busy_i("worker", w, false);
             return;
         };
+        ctx.probe().mark(task.req_id, "path.3_worker_start");
+        ctx.probe().busy_i("worker", w, true);
+        ctx.probe()
+            .depth_i("worker.inbox", w, self.workers[w].inbox.len());
         let ctx_op = self.ctx_pool.begin(task.req_id);
         let mut overhead = ContextPool::op_cost(ctx_op, &self.ctx_costs, &self.host);
         let run = match self.cfg.time_slice {
@@ -195,6 +221,8 @@ impl Shinjuku {
         let (task, run) = self.workers[w].running.take().expect("running task");
         let now = ctx.now();
         if task.remaining <= run {
+            ctx.probe().count("worker.completed");
+            ctx.probe().mark(task.req_id, "path.4_worker_done");
             // Finished: response straight out the NIC; Done notification is
             // a shared-memory write visible one queue hop later.
             let resp_built = now + params::WORKER_TX_COST;
@@ -222,11 +250,15 @@ impl Shinjuku {
             self.workers[w].core.requests_run += 1;
             ctx.schedule_in(
                 params::HOST_QUEUE_HOP,
-                Ev::DispPush(DispItem::Done { worker: w, req_id: task.req_id }),
+                Ev::DispPush(DispItem::Done {
+                    worker: w,
+                    req_id: task.req_id,
+                }),
             );
             ctx.schedule_at(resp_built, Ev::WorkerPoll(w));
         } else {
             // Slice expiry: posted interrupt, save, hand back via memory.
+            ctx.probe().count("worker.preempted");
             self.preemptions += 1;
             self.workers[w].core.preemptions += 1;
             let after = task.after_preemption(run);
@@ -236,7 +268,10 @@ impl Shinjuku {
                 + self.ctx_costs.save(&self.host);
             ctx.schedule_at(
                 free_at + params::HOST_QUEUE_HOP,
-                Ev::DispPush(DispItem::Preempted { worker: w, task: after }),
+                Ev::DispPush(DispItem::Preempted {
+                    worker: w,
+                    task: after,
+                }),
             );
             ctx.schedule_at(free_at, Ev::WorkerPoll(w));
         }
@@ -253,6 +288,8 @@ impl Model for Shinjuku {
                     return;
                 }
                 let spec = self.client.make_request(ctx.now());
+                ctx.probe().count("client.sent");
+                ctx.probe().mark(spec.msg.req_id, "path.0_client_send");
                 let payload_len = spec.frame_len() - net_wire::ethernet::HEADER_LEN;
                 let bytes = spec.build();
                 let arrive = self.client_link.transmit(ctx.now(), payload_len);
@@ -272,10 +309,15 @@ impl Model for Shinjuku {
             }
             Ev::NetworkerDone => {
                 self.networker_busy = false;
+                ctx.probe().busy("networker", false);
+                ctx.probe().count("networker.parsed");
                 if let Some(frame) = self.nic.iface_mut(self.net_iface).rx[0].pop() {
+                    let depth = self.nic.iface(self.net_iface).rx[0].len();
+                    ctx.probe().depth("networker.ring", depth);
                     if let Ok(parsed) = ParsedFrame::parse(&frame.data) {
                         if parsed.msg.kind == MsgKind::Request {
                             let m = parsed.msg;
+                            ctx.probe().mark(m.req_id, "path.1_host_net");
                             let task = Task::new(
                                 m.req_id,
                                 m.client_id,
@@ -295,40 +337,55 @@ impl Model for Shinjuku {
             }
             Ev::DispPush(item) => {
                 self.disp_queue.push_back(item);
+                ctx.probe().depth("dispatcher.inbox", self.disp_queue.len());
                 self.start_dispatcher(ctx);
             }
             Ev::DispDone => {
                 self.disp_busy = false;
+                ctx.probe().busy("dispatcher", false);
                 if let Some(item) = self.disp_queue.pop_front() {
                     let now = ctx.now();
                     match item {
                         DispItem::NewTask(task) => {
+                            ctx.probe().count("disp.enqueue");
+                            ctx.probe().mark(task.req_id, "path.2_dispatch");
                             let assignments = self.dispatcher.on_request(now, task);
                             for a in assignments.into_iter().rev() {
                                 self.disp_queue.push_front(DispItem::Emit(a));
                             }
                         }
                         DispItem::Done { worker, req_id } => {
+                            ctx.probe().count("disp.done");
                             let assignments = self.dispatcher.on_done(now, worker, req_id);
                             for a in assignments.into_iter().rev() {
                                 self.disp_queue.push_front(DispItem::Emit(a));
                             }
                         }
                         DispItem::Preempted { worker, task } => {
+                            ctx.probe().count("disp.preempt_requeue");
+                            ctx.probe().mark(task.req_id, "path.2_dispatch");
                             let assignments = self.dispatcher.on_preempted(now, worker, task);
                             for a in assignments.into_iter().rev() {
                                 self.disp_queue.push_front(DispItem::Emit(a));
                             }
                         }
                         DispItem::Emit(a) => {
-                            ctx.schedule_in(params::HOST_QUEUE_HOP, Ev::WorkerTask(a.worker, a.task));
+                            ctx.probe().count("disp.assign");
+                            ctx.schedule_in(
+                                params::HOST_QUEUE_HOP,
+                                Ev::WorkerTask(a.worker, a.task),
+                            );
                         }
                     }
+                    ctx.probe()
+                        .depth("dispatcher.central", self.dispatcher.queue_len());
                 }
                 self.start_dispatcher(ctx);
             }
             Ev::WorkerTask(w, task) => {
                 self.workers[w].inbox.push_back(task);
+                ctx.probe()
+                    .depth_i("worker.inbox", w, self.workers[w].inbox.len());
                 if self.workers[w].running.is_none() {
                     ctx.schedule_now(Ev::WorkerPoll(w));
                 }
@@ -337,6 +394,8 @@ impl Model for Shinjuku {
             Ev::WorkerRunEnd { worker, gen } => self.worker_run_end(worker, gen, ctx),
             Ev::ClientResp(bytes) => {
                 if let Ok(parsed) = ParsedFrame::parse(&bytes) {
+                    ctx.probe().count("client.responses");
+                    ctx.probe().finish(parsed.msg.req_id, "path.5_response");
                     self.client.on_response(ctx.now(), &parsed);
                 }
             }
@@ -345,8 +404,15 @@ impl Model for Shinjuku {
 }
 
 /// Run a vanilla Shinjuku simulation of `spec` under `cfg`.
+#[deprecated(note = "use the `ServerSystem` trait: `cfg.run(spec, ProbeConfig::disabled())`")]
 pub fn run(spec: WorkloadSpec, cfg: ShinjukuConfig) -> RunMetrics {
+    run_probed(spec, cfg, ProbeConfig::disabled())
+}
+
+/// Run a vanilla Shinjuku simulation with stage-level observability.
+pub fn run_probed(spec: WorkloadSpec, cfg: ShinjukuConfig, probe: ProbeConfig) -> RunMetrics {
     let mut engine = Engine::new(Shinjuku::new(spec, cfg));
+    engine.set_probe(Probe::new(probe));
     engine.schedule_at(SimTime::ZERO, Ev::ClientSend);
     engine.run_until(spec.horizon());
     let horizon = spec.horizon();
@@ -357,10 +423,20 @@ pub fn run(spec: WorkloadSpec, cfg: ShinjukuConfig) -> RunMetrics {
         .map(|w| w.core.utilization(horizon))
         .sum::<f64>()
         / model.workers.len() as f64;
-    assemble_metrics(&model.client, model.nic.total_drops(), model.preemptions, util)
+    let mut metrics = assemble_metrics(
+        &model.client,
+        model.nic.total_drops(),
+        model.preemptions,
+        util,
+    );
+    if probe.enabled {
+        metrics.stages = Some(engine.probe_mut().report(horizon));
+    }
+    metrics
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the legacy free-function run API stays covered until removal
 mod tests {
     use super::*;
     use workload::ServiceDist;
@@ -404,7 +480,14 @@ mod tests {
     fn saturates_at_worker_capacity() {
         // 3 workers at 5us => 600k rps ceiling.
         let spec = quick_spec(900_000.0, ServiceDist::Fixed(SimDuration::from_micros(5)));
-        let m = run(spec, ShinjukuConfig { workers: 3, time_slice: None, ..ShinjukuConfig::paper(3) });
+        let m = run(
+            spec,
+            ShinjukuConfig {
+                workers: 3,
+                time_slice: None,
+                ..ShinjukuConfig::paper(3)
+            },
+        );
         assert!(m.saturated(0.05), "{}", m.row());
         assert!(m.achieved_rps < 650_000.0, "achieved {:.0}", m.achieved_rps);
         // With one request in flight per worker, each completion costs a
@@ -422,16 +505,38 @@ mod tests {
         // 15 workers of 1us work could do 15M, but the dispatcher's 200ns
         // per request caps the system near 5M (§1) — the Figure 6 story.
         let spec = quick_spec(8_000_000.0, ServiceDist::Fixed(SimDuration::from_micros(1)));
-        let m = run(spec, ShinjukuConfig { workers: 15, time_slice: None, ..ShinjukuConfig::paper(15) });
-        assert!(m.achieved_rps < 5_500_000.0, "achieved {:.0}", m.achieved_rps);
-        assert!(m.achieved_rps > 3_000_000.0, "achieved {:.0}", m.achieved_rps);
+        let m = run(
+            spec,
+            ShinjukuConfig {
+                workers: 15,
+                time_slice: None,
+                ..ShinjukuConfig::paper(15)
+            },
+        );
+        assert!(
+            m.achieved_rps < 5_500_000.0,
+            "achieved {:.0}",
+            m.achieved_rps
+        );
+        assert!(
+            m.achieved_rps > 3_000_000.0,
+            "achieved {:.0}",
+            m.achieved_rps
+        );
     }
 
     #[test]
     fn preemption_bounds_bimodal_tail() {
         let spec = quick_spec(400_000.0, ServiceDist::paper_bimodal());
         let with = run(spec, ShinjukuConfig::paper(4));
-        let without = run(spec, ShinjukuConfig { workers: 4, time_slice: None, ..ShinjukuConfig::paper(4) });
+        let without = run(
+            spec,
+            ShinjukuConfig {
+                workers: 4,
+                time_slice: None,
+                ..ShinjukuConfig::paper(4)
+            },
+        );
         assert!(with.preemptions > 0);
         assert!(
             with.p99 < without.p99,

@@ -42,7 +42,12 @@ impl ArrivalProcess {
     pub fn mean_rate(&self) -> f64 {
         match *self {
             ArrivalProcess::Poisson { rate_rps } | ArrivalProcess::Uniform { rate_rps } => rate_rps,
-            ArrivalProcess::Bursty { calm_rps, burst_rps, calm_dwell, burst_dwell } => {
+            ArrivalProcess::Bursty {
+                calm_rps,
+                burst_rps,
+                calm_dwell,
+                burst_dwell,
+            } => {
                 let tc = calm_dwell.as_secs_f64();
                 let tb = burst_dwell.as_secs_f64();
                 (calm_rps * tc + burst_rps * tb) / (tc + tb)
@@ -65,7 +70,12 @@ pub struct ArrivalGen {
 impl ArrivalGen {
     /// Create a generator over `process` drawing from `rng`.
     pub fn new(process: ArrivalProcess, rng: Rng) -> ArrivalGen {
-        let mut gen = ArrivalGen { process, rng, bursting: false, state_left: 0.0 };
+        let mut gen = ArrivalGen {
+            process,
+            rng,
+            bursting: false,
+            state_left: 0.0,
+        };
         if let ArrivalProcess::Bursty { calm_dwell, .. } = process {
             gen.state_left = gen.rng.exponential(calm_dwell.as_secs_f64());
         }
@@ -79,13 +89,22 @@ impl ArrivalGen {
                 SimDuration::from_secs_f64(self.rng.exponential(1.0 / rate_rps))
             }
             ArrivalProcess::Uniform { rate_rps } => SimDuration::from_secs_f64(1.0 / rate_rps),
-            ArrivalProcess::Bursty { calm_rps, burst_rps, calm_dwell, burst_dwell } => {
+            ArrivalProcess::Bursty {
+                calm_rps,
+                burst_rps,
+                calm_dwell,
+                burst_dwell,
+            } => {
                 let rate = if self.bursting { burst_rps } else { calm_rps };
                 let gap = self.rng.exponential(1.0 / rate);
                 self.state_left -= gap;
                 if self.state_left <= 0.0 {
                     self.bursting = !self.bursting;
-                    let dwell = if self.bursting { burst_dwell } else { calm_dwell };
+                    let dwell = if self.bursting {
+                        burst_dwell
+                    } else {
+                        calm_dwell
+                    };
                     self.state_left = self.rng.exponential(dwell.as_secs_f64());
                 }
                 SimDuration::from_secs_f64(gap)
@@ -106,13 +125,24 @@ mod tests {
 
     #[test]
     fn poisson_rate_converges() {
-        let r = empirical_rate(ArrivalProcess::Poisson { rate_rps: 500_000.0 }, 200_000, 1);
+        let r = empirical_rate(
+            ArrivalProcess::Poisson {
+                rate_rps: 500_000.0,
+            },
+            200_000,
+            1,
+        );
         assert!((r - 500_000.0).abs() < 10_000.0, "rate {r}");
     }
 
     #[test]
     fn uniform_gaps_are_exact() {
-        let mut gen = ArrivalGen::new(ArrivalProcess::Uniform { rate_rps: 1_000_000.0 }, Rng::new(2));
+        let mut gen = ArrivalGen::new(
+            ArrivalProcess::Uniform {
+                rate_rps: 1_000_000.0,
+            },
+            Rng::new(2),
+        );
         for _ in 0..100 {
             assert_eq!(gen.next_gap(), SimDuration::from_micros(1));
         }

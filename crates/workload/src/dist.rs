@@ -82,8 +82,8 @@ impl ServiceDist {
         sorted.sort_unstable();
         // Bin edges: body bins then tail bins up to 1.0.
         const EDGES: [f64; 17] = [
-            0.0, 0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.85, 0.90, 0.94, 0.97, 0.985, 0.993,
-            0.997, 0.999, 0.9997, 1.0,
+            0.0, 0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.85, 0.90, 0.94, 0.97, 0.985, 0.993, 0.997,
+            0.999, 0.9997, 1.0,
         ];
         let mut levels = [SimDuration::ZERO; 16];
         let mut cum = [0.0f64; 16];
@@ -109,7 +109,11 @@ impl ServiceDist {
     pub fn sample(&self, rng: &mut Rng) -> SimDuration {
         match *self {
             ServiceDist::Fixed(d) => d,
-            ServiceDist::Bimodal { p_long, short, long } => {
+            ServiceDist::Bimodal {
+                p_long,
+                short,
+                long,
+            } => {
                 if rng.chance(p_long) {
                     long
                 } else {
@@ -143,7 +147,11 @@ impl ServiceDist {
     pub fn mean(&self) -> SimDuration {
         match *self {
             ServiceDist::Fixed(d) => d,
-            ServiceDist::Bimodal { p_long, short, long } => {
+            ServiceDist::Bimodal {
+                p_long,
+                short,
+                long,
+            } => {
                 let m = short.as_secs_f64() * (1.0 - p_long) + long.as_secs_f64() * p_long;
                 SimDuration::from_secs_f64(m)
             }
@@ -169,7 +177,11 @@ impl ServiceDist {
     pub fn label(&self) -> String {
         match *self {
             ServiceDist::Fixed(d) => format!("fixed({d})"),
-            ServiceDist::Bimodal { p_long, short, long } => {
+            ServiceDist::Bimodal {
+                p_long,
+                short,
+                long,
+            } => {
                 format!(
                     "bimodal({:.1}%@{short}, {:.1}%@{long})",
                     (1.0 - p_long) * 100.0,
@@ -194,7 +206,10 @@ mod tests {
 
     fn sample_mean(dist: ServiceDist, n: usize, seed: u64) -> f64 {
         let mut rng = Rng::new(seed);
-        (0..n).map(|_| dist.sample(&mut rng).as_secs_f64()).sum::<f64>() / n as f64
+        (0..n)
+            .map(|_| dist.sample(&mut rng).as_secs_f64())
+            .sum::<f64>()
+            / n as f64
     }
 
     #[test]
@@ -223,14 +238,19 @@ mod tests {
 
     #[test]
     fn exponential_empirical_mean() {
-        let d = ServiceDist::Exponential { mean: SimDuration::from_micros(10) };
+        let d = ServiceDist::Exponential {
+            mean: SimDuration::from_micros(10),
+        };
         let m = sample_mean(d, 200_000, 3);
         assert!((m - 10e-6).abs() < 0.3e-6, "mean {m}");
     }
 
     #[test]
     fn lognormal_empirical_mean_matches_parameterization() {
-        let d = ServiceDist::Lognormal { mean: SimDuration::from_micros(20), sigma: 1.0 };
+        let d = ServiceDist::Lognormal {
+            mean: SimDuration::from_micros(20),
+            sigma: 1.0,
+        };
         let m = sample_mean(d, 400_000, 4);
         assert!((m - 20e-6).abs() < 1e-6, "mean {m}");
     }
@@ -238,8 +258,14 @@ mod tests {
     #[test]
     fn lognormal_dispersion_grows_with_sigma() {
         let mut rng = Rng::new(5);
-        let narrow = ServiceDist::Lognormal { mean: SimDuration::from_micros(10), sigma: 0.25 };
-        let wide = ServiceDist::Lognormal { mean: SimDuration::from_micros(10), sigma: 2.0 };
+        let narrow = ServiceDist::Lognormal {
+            mean: SimDuration::from_micros(10),
+            sigma: 0.25,
+        };
+        let wide = ServiceDist::Lognormal {
+            mean: SimDuration::from_micros(10),
+            sigma: 2.0,
+        };
         let max_narrow = (0..50_000).map(|_| narrow.sample(&mut rng)).max().unwrap();
         let max_wide = (0..50_000).map(|_| wide.sample(&mut rng)).max().unwrap();
         assert!(max_wide > max_narrow * 5, "{max_wide} vs {max_narrow}");
@@ -282,7 +308,10 @@ mod tests {
         let samples: Vec<SimDuration> = (0..10_000).map(|_| d.sample(&mut rng)).collect();
         assert!(samples.iter().any(|&s| s == SimDuration::from_micros(40)));
         assert!(samples.iter().any(|&s| s == SimDuration::from_micros(2)));
-        let slow = samples.iter().filter(|&&s| s == SimDuration::from_micros(40)).count();
+        let slow = samples
+            .iter()
+            .filter(|&&s| s == SimDuration::from_micros(40))
+            .count();
         let frac = slow as f64 / samples.len() as f64;
         assert!((0.03..0.20).contains(&frac), "slow fraction {frac}");
     }
@@ -296,7 +325,11 @@ mod tests {
                 assert!(pair[0] <= pair[1], "levels must ascend");
             }
             assert!(levels[0] <= SimDuration::from_micros(80));
-            assert!(levels[15] >= SimDuration::from_micros(995), "tail level {}", levels[15]);
+            assert!(
+                levels[15] >= SimDuration::from_micros(995),
+                "tail level {}",
+                levels[15]
+            );
             assert!((cum[15] - 1.0).abs() < 1e-12);
             for pair in cum.windows(2) {
                 assert!(pair[0] < pair[1], "cumulative probs must ascend");
@@ -334,7 +367,9 @@ mod tests {
     #[test]
     fn labels_are_informative() {
         assert!(ServiceDist::paper_bimodal().label().contains("bimodal"));
-        assert!(ServiceDist::Fixed(SimDuration::from_micros(1)).label().contains("fixed"));
+        assert!(ServiceDist::Fixed(SimDuration::from_micros(1))
+            .label()
+            .contains("fixed"));
     }
 
     #[test]

@@ -53,7 +53,13 @@ impl LatencyRecorder {
 
     /// Record a completion observed at `now` for a request sent at
     /// `sent_at` with intrinsic service time `service` and class `class`.
-    pub fn record(&mut self, now: SimTime, sent_at: SimTime, service: SimDuration, class: ReqClass) {
+    pub fn record(
+        &mut self,
+        now: SimTime,
+        sent_at: SimTime,
+        service: SimDuration,
+        class: ReqClass,
+    ) {
         if now < self.warmup_until {
             self.warmup_discarded += 1;
             return;
@@ -117,8 +123,7 @@ impl LatencyRecorder {
     pub fn achieved_rps(&self) -> f64 {
         match (self.first_recorded, self.last_recorded) {
             (Some(first), Some(last)) if last > first => {
-                (self.completed.saturating_sub(1)) as f64
-                    / last.duration_since(first).as_secs_f64()
+                (self.completed.saturating_sub(1)) as f64 / last.duration_since(first).as_secs_f64()
             }
             _ => 0.0,
         }
@@ -139,7 +144,12 @@ mod tests {
         rec.record(us(50), us(45), SimDuration::from_micros(5), ReqClass::Short);
         assert_eq!(rec.completed, 0);
         assert_eq!(rec.warmup_discarded, 1);
-        rec.record(us(150), us(140), SimDuration::from_micros(5), ReqClass::Short);
+        rec.record(
+            us(150),
+            us(140),
+            SimDuration::from_micros(5),
+            ReqClass::Short,
+        );
         assert_eq!(rec.completed, 1);
         assert_eq!(rec.p99(), Some(SimDuration::from_micros(10)));
     }
@@ -148,9 +158,19 @@ mod tests {
     fn per_class_separation() {
         let mut rec = LatencyRecorder::new(SimTime::ZERO);
         for i in 0..100 {
-            rec.record(us(10 + i), us(i), SimDuration::from_micros(5), ReqClass::Short);
+            rec.record(
+                us(10 + i),
+                us(i),
+                SimDuration::from_micros(5),
+                ReqClass::Short,
+            );
         }
-        rec.record(us(1000), us(0), SimDuration::from_micros(100), ReqClass::Long);
+        rec.record(
+            us(1000),
+            us(0),
+            SimDuration::from_micros(100),
+            ReqClass::Long,
+        );
         assert_eq!(rec.class_histogram(ReqClass::Short).count(), 100);
         assert_eq!(rec.class_histogram(ReqClass::Long).count(), 1);
         // The long class does not contaminate the short-class tail.
@@ -173,7 +193,12 @@ mod tests {
         let mut rec = LatencyRecorder::new(SimTime::ZERO);
         // 11 completions, 1 per 10us, spanning 100us -> 100k rps.
         for i in 0..11u64 {
-            rec.record(us(i * 10), us(0), SimDuration::from_micros(1), ReqClass::Short);
+            rec.record(
+                us(i * 10),
+                us(0),
+                SimDuration::from_micros(1),
+                ReqClass::Short,
+            );
         }
         let rps = rec.achieved_rps();
         assert!((rps - 100_000.0).abs() < 1.0, "rps {rps}");

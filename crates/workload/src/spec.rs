@@ -6,7 +6,7 @@
 //! fills a [`RunMetrics`] — the row format every figure in the paper is
 //! plotted from (achieved throughput vs p99 latency).
 
-use sim_core::{SimDuration, SimTime};
+use sim_core::{SimDuration, SimTime, StageReport};
 
 use crate::dist::ServiceDist;
 use crate::latency::ReqClass;
@@ -83,7 +83,7 @@ impl WorkloadSpec {
 
 /// The measured outcome of running one [`WorkloadSpec`] on one system —
 /// one point on one curve of one figure.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct RunMetrics {
     /// Offered load (requests/second).
     pub offered_rps: f64,
@@ -110,6 +110,9 @@ pub struct RunMetrics {
     pub preemptions: u64,
     /// Mean worker utilization in `[0,1]`.
     pub worker_utilization: f64,
+    /// Stage-level observability report; `None` unless the run was probed
+    /// (`ProbeConfig::enabled()` or stronger).
+    pub stages: Option<StageReport>,
 }
 
 impl RunMetrics {
@@ -157,7 +160,12 @@ mod tests {
 
     #[test]
     fn generic_classification_uses_mean_multiple() {
-        let w = WorkloadSpec::new(1.0, ServiceDist::Exponential { mean: SimDuration::from_micros(10) });
+        let w = WorkloadSpec::new(
+            1.0,
+            ServiceDist::Exponential {
+                mean: SimDuration::from_micros(10),
+            },
+        );
         assert_eq!(w.class_of(SimDuration::from_micros(10)), ReqClass::Short);
         assert_eq!(w.class_of(SimDuration::from_micros(50)), ReqClass::Long);
     }
@@ -177,6 +185,7 @@ mod tests {
             dropped: 0,
             preemptions: 0,
             worker_utilization: 0.9,
+            stages: None,
         };
         assert!(!m.saturated(0.03));
         m.achieved_rps = 900_000.0;

@@ -9,8 +9,9 @@
 //! ```
 
 use mindgap::sim::SimDuration;
-use mindgap::systems::offload::{self, OffloadConfig};
-use mindgap::systems::shinjuku::{self, ShinjukuConfig};
+use mindgap::systems::offload::OffloadConfig;
+use mindgap::systems::shinjuku::ShinjukuConfig;
+use mindgap::systems::{ProbeConfig, ServerSystem};
 use mindgap::workload::{ServiceDist, WorkloadSpec};
 
 fn main() {
@@ -30,8 +31,8 @@ fn main() {
             measure: SimDuration::from_millis(40),
             seed: 2,
         };
-        let host = shinjuku::run(spec, ShinjukuConfig::paper(3));
-        let nic = offload::run(spec, OffloadConfig::paper(4, 4));
+        let host = ShinjukuConfig::paper(3).run(spec, ProbeConfig::disabled());
+        let nic = OffloadConfig::paper(4, 4).run(spec, ProbeConfig::disabled());
         let fmt = |m: &mindgap::workload::RunMetrics| {
             if m.saturated(0.05) {
                 format!("saturated ({:.0}/s)", m.achieved_rps)

@@ -47,7 +47,11 @@ impl Ord for Entry {
 
 impl Edf {
     fn new() -> Edf {
-        Edf { heap: BinaryHeap::new(), seq: 0, peak: 0 }
+        Edf {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            peak: 0,
+        }
     }
 
     fn deadline_of(task: &Task) -> SimTime {
@@ -58,7 +62,11 @@ impl Edf {
     fn push(&mut self, task: Task) {
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Entry { deadline: Self::deadline_of(&task), seq, task });
+        self.heap.push(Entry {
+            deadline: Self::deadline_of(&task),
+            seq,
+            task,
+        });
         self.peak = self.peak.max(self.heap.len());
     }
 }

@@ -9,7 +9,8 @@
 
 use mindgap::nicsched::NicProfile;
 use mindgap::sim::SimDuration;
-use mindgap::systems::offload::{run, OffloadConfig};
+use mindgap::systems::offload::OffloadConfig;
+use mindgap::systems::{ProbeConfig, ServerSystem};
 use mindgap::workload::{ServiceDist, WorkloadSpec};
 
 fn main() {
@@ -25,18 +26,25 @@ fn main() {
     };
 
     println!("fixed 1us requests, 16 workers, outstanding cap 5\n");
-    println!("{:<22} {:>16} {:>12}", "NIC design point", "max throughput", "p99 @ 1M/s");
+    println!(
+        "{:<22} {:>16} {:>12}",
+        "NIC design point", "max throughput", "p99 @ 1M/s"
+    );
 
     for profile in [
         NicProfile::stingray(),
         NicProfile::stingray_cxl(),
         NicProfile::ideal(),
     ] {
-        let cfg = OffloadConfig { time_slice: None, profile, ..OffloadConfig::paper(16, 5) };
+        let cfg = OffloadConfig {
+            time_slice: None,
+            profile,
+            ..OffloadConfig::paper(16, 5)
+        };
         // Saturated throughput: offer far beyond any plateau.
-        let sat = run(spec(8_000_000.0), cfg);
+        let sat = cfg.run(spec(8_000_000.0), ProbeConfig::disabled());
         // Tail at a comfortable load.
-        let light = run(spec(1_000_000.0), cfg);
+        let light = cfg.run(spec(1_000_000.0), ProbeConfig::disabled());
         println!(
             "{:<22} {:>13.2}M/s {:>12}",
             profile.name,

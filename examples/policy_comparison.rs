@@ -9,10 +9,11 @@
 //! ```
 
 use mindgap::sim::SimDuration;
-use mindgap::systems::baseline::{self, BaselineConfig, BaselineKind};
-use mindgap::systems::offload::{self, OffloadConfig};
-use mindgap::systems::rpcvalet::{self, RpcValetConfig};
-use mindgap::systems::shinjuku::{self, ShinjukuConfig};
+use mindgap::systems::baseline::{BaselineConfig, BaselineKind};
+use mindgap::systems::offload::OffloadConfig;
+use mindgap::systems::rpcvalet::RpcValetConfig;
+use mindgap::systems::shinjuku::ShinjukuConfig;
+use mindgap::systems::{ProbeConfig, ServerSystem};
 use mindgap::workload::{RunMetrics, ServiceDist, WorkloadSpec};
 
 fn spec(offered: f64) -> WorkloadSpec {
@@ -28,9 +29,7 @@ fn spec(offered: f64) -> WorkloadSpec {
 
 fn main() {
     let offered = 300_000.0;
-    println!(
-        "bimodal 99.5%@5us / 0.5%@100us at {offered:.0} req/s, 4 host cores\n"
-    );
+    println!("bimodal 99.5%@5us / 0.5%@100us at {offered:.0} req/s, 4 host cores\n");
     println!(
         "{:<18} {:>10} {:>10} {:>10} {:>12}",
         "system", "p50", "p99", "p99.9", "achieved"
@@ -42,12 +41,24 @@ fn main() {
         ("Stealing (ZygOS)", BaselineKind::RssStealing),
         ("FlowDir (MICA)", BaselineKind::FlowDirector),
     ] {
-        rows.push((name, baseline::run(spec(offered), BaselineConfig { workers: 4, kind })));
+        rows.push((
+            name,
+            BaselineConfig { workers: 4, kind }.run(spec(offered), ProbeConfig::disabled()),
+        ));
     }
-    rows.push(("RPCValet", rpcvalet::run(spec(offered), RpcValetConfig { workers: 4 })));
+    rows.push((
+        "RPCValet",
+        RpcValetConfig { workers: 4 }.run(spec(offered), ProbeConfig::disabled()),
+    ));
     // Shinjuku spends one core on networking+dispatch: 3 workers.
-    rows.push(("Shinjuku", shinjuku::run(spec(offered), ShinjukuConfig::paper(3))));
-    rows.push(("Shinjuku-Offload", offload::run(spec(offered), OffloadConfig::paper(4, 4))));
+    rows.push((
+        "Shinjuku",
+        ShinjukuConfig::paper(3).run(spec(offered), ProbeConfig::disabled()),
+    ));
+    rows.push((
+        "Shinjuku-Offload",
+        OffloadConfig::paper(4, 4).run(spec(offered), ProbeConfig::disabled()),
+    ));
 
     for (name, m) in &rows {
         println!(

@@ -7,7 +7,8 @@
 //! ```
 
 use mindgap::sim::SimDuration;
-use mindgap::systems::offload::{run, OffloadConfig};
+use mindgap::systems::offload::OffloadConfig;
+use mindgap::systems::{ProbeConfig, ServerSystem};
 use mindgap::workload::{ServiceDist, WorkloadSpec};
 
 fn main() {
@@ -27,11 +28,18 @@ fn main() {
     // workers, up to 4 outstanding requests per worker, 10us slice.
     let config = OffloadConfig::paper(4, 4);
 
-    println!("workload: {} at {:.0} req/s", workload.dist.label(), workload.offered_rps);
-    println!("system:   Shinjuku-Offload ({} workers, cap {})", config.workers, config.outstanding_cap);
+    println!(
+        "workload: {} at {:.0} req/s",
+        workload.dist.label(),
+        workload.offered_rps
+    );
+    println!(
+        "system:   Shinjuku-Offload ({} workers, cap {})",
+        config.workers, config.outstanding_cap
+    );
     println!();
 
-    let m = run(workload, config);
+    let m = config.run(workload, ProbeConfig::disabled());
 
     println!("completed            {:>12}", m.completed);
     println!("achieved throughput  {:>12.0} req/s", m.achieved_rps);
@@ -39,7 +47,10 @@ fn main() {
     println!("p99 latency          {:>12}", m.p99);
     println!("p99.9 latency        {:>12}", m.p999);
     println!("preemptions          {:>12}", m.preemptions);
-    println!("worker utilization   {:>11.1}%", m.worker_utilization * 100.0);
+    println!(
+        "worker utilization   {:>11.1}%",
+        m.worker_utilization * 100.0
+    );
 
     assert!(!m.saturated(0.05), "300k req/s is well inside capacity");
 }

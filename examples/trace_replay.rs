@@ -12,8 +12,9 @@
 //! ```
 
 use mindgap::sim::{Rng, SimDuration};
-use mindgap::systems::baseline::{self, BaselineConfig, BaselineKind};
-use mindgap::systems::offload::{self, OffloadConfig};
+use mindgap::systems::baseline::{BaselineConfig, BaselineKind};
+use mindgap::systems::offload::OffloadConfig;
+use mindgap::systems::{ProbeConfig, ServerSystem};
 use mindgap::workload::{ServiceDist, WorkloadSpec};
 
 /// Synthesize a RocksDB-flavoured service-time trace: 85% point GETs
@@ -50,9 +51,16 @@ fn main() {
         seed: 7,
     };
 
-    println!("{:<18} {:>10} {:>10} {:>12}", "system", "p50", "p99", "achieved");
-    let rss = baseline::run(spec, BaselineConfig { workers: 4, kind: BaselineKind::Rss });
-    let off = offload::run(spec, OffloadConfig::paper(4, 4));
+    println!(
+        "{:<18} {:>10} {:>10} {:>12}",
+        "system", "p50", "p99", "achieved"
+    );
+    let rss = BaselineConfig {
+        workers: 4,
+        kind: BaselineKind::Rss,
+    }
+    .run(spec, ProbeConfig::disabled());
+    let off = OffloadConfig::paper(4, 4).run(spec, ProbeConfig::disabled());
     for (name, m) in [("RSS (IX)", rss), ("Shinjuku-Offload", off)] {
         println!(
             "{:<18} {:>10} {:>10} {:>11.0}/s",

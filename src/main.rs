@@ -29,9 +29,10 @@
 
 use mindgap::nicsched::{params, NicProfile};
 use mindgap::sim::SimDuration;
-use mindgap::systems::baseline::{self, BaselineConfig, BaselineKind};
-use mindgap::systems::offload::{self, OffloadConfig};
-use mindgap::systems::shinjuku::{self, ShinjukuConfig};
+use mindgap::systems::baseline::{BaselineConfig, BaselineKind};
+use mindgap::systems::offload::OffloadConfig;
+use mindgap::systems::shinjuku::ShinjukuConfig;
+use mindgap::systems::{ProbeConfig, ServerSystem};
 use mindgap::workload::{RunMetrics, ServiceDist, WorkloadSpec};
 
 fn usage() -> ! {
@@ -83,7 +84,9 @@ fn parse_dist(s: &str) -> Option<ServiceDist> {
     let dist = match kind {
         "bimodal" => ServiceDist::paper_bimodal(),
         "fixed" => ServiceDist::Fixed(parse_duration(parts.next()?)?),
-        "exp" => ServiceDist::Exponential { mean: parse_duration(parts.next()?)? },
+        "exp" => ServiceDist::Exponential {
+            mean: parse_duration(parts.next()?)?,
+        },
         "lognormal" => ServiceDist::Lognormal {
             mean: parse_duration(parts.next()?)?,
             sigma: parts.next()?.parse().ok()?,
@@ -132,7 +135,11 @@ fn parse_args(args: &[String]) -> Option<Options> {
             "--cap" => opts.cap = it.next()?.parse().ok().filter(|v| *v > 0)?,
             "--slice" => {
                 let v = it.next()?;
-                opts.slice = if v == "off" { None } else { Some(parse_duration(v)?) };
+                opts.slice = if v == "off" {
+                    None
+                } else {
+                    Some(parse_duration(v)?)
+                };
             }
             "--body" => opts.body = it.next()?.parse().ok()?,
             "--measure-ms" => opts.measure_ms = it.next()?.parse().ok().filter(|v| *v > 0)?,
@@ -158,42 +165,43 @@ fn run(opts: &Options) -> Option<RunMetrics> {
         seed: opts.seed,
     };
     let m = match opts.system.as_str() {
-        "offload" => offload::run(
-            spec,
-            OffloadConfig {
-                time_slice: opts.slice,
-                ..OffloadConfig::paper(opts.workers, opts.cap)
-            },
-        ),
-        "ideal" => offload::run(
-            spec,
-            OffloadConfig {
-                time_slice: opts.slice,
-                profile: NicProfile::ideal(),
-                ..OffloadConfig::paper(opts.workers, opts.cap)
-            },
-        ),
-        "shinjuku" => shinjuku::run(
-            spec,
-            ShinjukuConfig {
-                workers: opts.workers,
-                time_slice: opts.slice,
-                ..ShinjukuConfig::paper(opts.workers)
-            },
-        ),
-        "rss" => baseline::run(spec, BaselineConfig { workers: opts.workers, kind: BaselineKind::Rss }),
-        "stealing" => baseline::run(
-            spec,
-            BaselineConfig { workers: opts.workers, kind: BaselineKind::RssStealing },
-        ),
-        "flowdir" => baseline::run(
-            spec,
-            BaselineConfig { workers: opts.workers, kind: BaselineKind::FlowDirector },
-        ),
-        "erss" => baseline::run(
-            spec,
-            BaselineConfig { workers: opts.workers, kind: BaselineKind::ElasticRss },
-        ),
+        "offload" => OffloadConfig {
+            time_slice: opts.slice,
+            ..OffloadConfig::paper(opts.workers, opts.cap)
+        }
+        .run(spec, ProbeConfig::disabled()),
+        "ideal" => OffloadConfig {
+            time_slice: opts.slice,
+            profile: NicProfile::ideal(),
+            ..OffloadConfig::paper(opts.workers, opts.cap)
+        }
+        .run(spec, ProbeConfig::disabled()),
+        "shinjuku" => ShinjukuConfig {
+            workers: opts.workers,
+            time_slice: opts.slice,
+            ..ShinjukuConfig::paper(opts.workers)
+        }
+        .run(spec, ProbeConfig::disabled()),
+        "rss" => BaselineConfig {
+            workers: opts.workers,
+            kind: BaselineKind::Rss,
+        }
+        .run(spec, ProbeConfig::disabled()),
+        "stealing" => BaselineConfig {
+            workers: opts.workers,
+            kind: BaselineKind::RssStealing,
+        }
+        .run(spec, ProbeConfig::disabled()),
+        "flowdir" => BaselineConfig {
+            workers: opts.workers,
+            kind: BaselineKind::FlowDirector,
+        }
+        .run(spec, ProbeConfig::disabled()),
+        "erss" => BaselineConfig {
+            workers: opts.workers,
+            kind: BaselineKind::ElasticRss,
+        }
+        .run(spec, ProbeConfig::disabled()),
         _ => return None,
     };
     Some(m)
@@ -201,7 +209,9 @@ fn run(opts: &Options) -> Option<RunMetrics> {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(opts) = parse_args(&args) else { usage() };
+    let Some(opts) = parse_args(&args) else {
+        usage()
+    };
     let Some(m) = run(&opts) else { usage() };
 
     println!("system    {}", opts.system);
@@ -210,7 +220,9 @@ fn main() {
         "config    {} workers, cap {}, slice {}",
         opts.workers,
         opts.cap,
-        opts.slice.map(|s| s.to_string()).unwrap_or_else(|| "off".into())
+        opts.slice
+            .map(|s| s.to_string())
+            .unwrap_or_else(|| "off".into())
     );
     println!();
     println!("completed            {:>12}", m.completed);
@@ -222,7 +234,10 @@ fn main() {
     println!("p99 (long class)     {:>12}", m.p99_long);
     println!("preemptions          {:>12}", m.preemptions);
     println!("drops                {:>12}", m.dropped);
-    println!("worker utilization   {:>11.1}%", m.worker_utilization * 100.0);
+    println!(
+        "worker utilization   {:>11.1}%",
+        m.worker_utilization * 100.0
+    );
     if m.saturated(0.05) {
         println!("\nNOTE: the system is saturated at this offered load.");
     }
@@ -235,7 +250,10 @@ mod tests {
     #[test]
     fn durations_parse() {
         assert_eq!(parse_duration("500ns"), Some(SimDuration::from_nanos(500)));
-        assert_eq!(parse_duration("2.56us"), Some(SimDuration::from_nanos(2_560)));
+        assert_eq!(
+            parse_duration("2.56us"),
+            Some(SimDuration::from_nanos(2_560))
+        );
         assert_eq!(parse_duration("10ms"), Some(SimDuration::from_millis(10)));
         assert_eq!(parse_duration("1s"), Some(SimDuration::from_secs(1)));
         assert_eq!(parse_duration("10"), None);
@@ -250,7 +268,10 @@ mod tests {
             parse_dist("fixed:5us"),
             Some(ServiceDist::Fixed(SimDuration::from_micros(5)))
         );
-        assert!(matches!(parse_dist("exp:10us"), Some(ServiceDist::Exponential { .. })));
+        assert!(matches!(
+            parse_dist("exp:10us"),
+            Some(ServiceDist::Exponential { .. })
+        ));
         assert!(matches!(
             parse_dist("lognormal:10us:2"),
             Some(ServiceDist::Lognormal { .. })
@@ -296,7 +317,9 @@ mod tests {
 
     #[test]
     fn every_system_name_runs() {
-        for system in ["offload", "shinjuku", "rss", "stealing", "flowdir", "erss", "ideal"] {
+        for system in [
+            "offload", "shinjuku", "rss", "stealing", "flowdir", "erss", "ideal",
+        ] {
             let opts = Options {
                 system: system.into(),
                 rps: 50_000.0,

@@ -3,10 +3,11 @@
 //! determinism invariants.
 
 use mindgap::sim::SimDuration;
-use mindgap::systems::baseline::{self, BaselineConfig, BaselineKind};
-use mindgap::systems::offload::{self, OffloadConfig};
-use mindgap::systems::rpcvalet::{self, RpcValetConfig};
-use mindgap::systems::shinjuku::{self, ShinjukuConfig};
+use mindgap::systems::baseline::{BaselineConfig, BaselineKind};
+use mindgap::systems::offload::OffloadConfig;
+use mindgap::systems::rpcvalet::RpcValetConfig;
+use mindgap::systems::shinjuku::ShinjukuConfig;
+use mindgap::systems::{ProbeConfig, ServerSystem};
 use mindgap::workload::{RunMetrics, ServiceDist, WorkloadSpec};
 
 fn spec(rps: f64, dist: ServiceDist, seed: u64) -> WorkloadSpec {
@@ -22,28 +23,60 @@ fn spec(rps: f64, dist: ServiceDist, seed: u64) -> WorkloadSpec {
 
 fn all_systems(s: WorkloadSpec) -> Vec<(&'static str, RunMetrics)> {
     vec![
-        ("shinjuku", shinjuku::run(s, ShinjukuConfig::paper(3))),
-        ("offload", offload::run(s, OffloadConfig::paper(4, 4))),
-        ("rss", baseline::run(s, BaselineConfig { workers: 4, kind: BaselineKind::Rss })),
+        (
+            "shinjuku",
+            ShinjukuConfig::paper(3).run(s, ProbeConfig::disabled()),
+        ),
+        (
+            "offload",
+            OffloadConfig::paper(4, 4).run(s, ProbeConfig::disabled()),
+        ),
+        (
+            "rss",
+            BaselineConfig {
+                workers: 4,
+                kind: BaselineKind::Rss,
+            }
+            .run(s, ProbeConfig::disabled()),
+        ),
         (
             "stealing",
-            baseline::run(s, BaselineConfig { workers: 4, kind: BaselineKind::RssStealing }),
+            BaselineConfig {
+                workers: 4,
+                kind: BaselineKind::RssStealing,
+            }
+            .run(s, ProbeConfig::disabled()),
         ),
         (
             "flowdir",
-            baseline::run(s, BaselineConfig { workers: 4, kind: BaselineKind::FlowDirector }),
+            BaselineConfig {
+                workers: 4,
+                kind: BaselineKind::FlowDirector,
+            }
+            .run(s, ProbeConfig::disabled()),
         ),
         (
             "erss",
-            baseline::run(s, BaselineConfig { workers: 4, kind: BaselineKind::ElasticRss }),
+            BaselineConfig {
+                workers: 4,
+                kind: BaselineKind::ElasticRss,
+            }
+            .run(s, ProbeConfig::disabled()),
         ),
-        ("rpcvalet", rpcvalet::run(s, RpcValetConfig { workers: 4 })),
+        (
+            "rpcvalet",
+            RpcValetConfig { workers: 4 }.run(s, ProbeConfig::disabled()),
+        ),
     ]
 }
 
 #[test]
 fn every_system_completes_work_at_light_load() {
-    for (name, m) in all_systems(spec(100_000.0, ServiceDist::Fixed(SimDuration::from_micros(5)), 1)) {
+    for (name, m) in all_systems(spec(
+        100_000.0,
+        ServiceDist::Fixed(SimDuration::from_micros(5)),
+        1,
+    )) {
         assert!(m.completed > 800, "{name}: completed {}", m.completed);
         assert!(!m.saturated(0.05), "{name}: {}", m.row());
         assert_eq!(m.dropped, 0, "{name}: no drops at light load");
@@ -92,8 +125,14 @@ fn all_systems_are_deterministic() {
 
 #[test]
 fn seeds_change_the_sample_path_but_not_the_regime() {
-    let a = offload::run(spec(300_000.0, ServiceDist::paper_bimodal(), 1), OffloadConfig::paper(4, 4));
-    let b = offload::run(spec(300_000.0, ServiceDist::paper_bimodal(), 99), OffloadConfig::paper(4, 4));
+    let a = OffloadConfig::paper(4, 4).run(
+        spec(300_000.0, ServiceDist::paper_bimodal(), 1),
+        ProbeConfig::disabled(),
+    );
+    let b = OffloadConfig::paper(4, 4).run(
+        spec(300_000.0, ServiceDist::paper_bimodal(), 99),
+        ProbeConfig::disabled(),
+    );
     assert_ne!(a.completed, b.completed, "different seeds, different paths");
     // Same regime: achieved within 5%, neither saturated.
     assert!((a.achieved_rps - b.achieved_rps).abs() / a.achieved_rps < 0.05);
@@ -105,7 +144,8 @@ fn conservation_no_phantom_completions() {
     // Completions measured can never exceed requests offered during the
     // horizon; utilization is a fraction.
     for (name, m) in all_systems(spec(400_000.0, ServiceDist::paper_bimodal(), 5)) {
-        let horizon_secs = (SimDuration::from_millis(2) + SimDuration::from_millis(15)).as_secs_f64();
+        let horizon_secs =
+            (SimDuration::from_millis(2) + SimDuration::from_millis(15)).as_secs_f64();
         let max_possible = (m.offered_rps * horizon_secs * 1.3) as u64;
         assert!(
             m.completed < max_possible,
@@ -120,9 +160,13 @@ fn conservation_no_phantom_completions() {
 #[test]
 fn preemptions_happen_only_where_enabled() {
     let s = spec(300_000.0, ServiceDist::paper_bimodal(), 6);
-    let shin = shinjuku::run(s, ShinjukuConfig::paper(3));
-    let off = offload::run(s, OffloadConfig::paper(4, 4));
-    let rss = baseline::run(s, BaselineConfig { workers: 4, kind: BaselineKind::Rss });
+    let shin = ShinjukuConfig::paper(3).run(s, ProbeConfig::disabled());
+    let off = OffloadConfig::paper(4, 4).run(s, ProbeConfig::disabled());
+    let rss = BaselineConfig {
+        workers: 4,
+        kind: BaselineKind::Rss,
+    }
+    .run(s, ProbeConfig::disabled());
     assert!(shin.preemptions > 0, "shinjuku preempts 100us requests");
     assert!(off.preemptions > 0, "offload preempts 100us requests");
     assert_eq!(rss.preemptions, 0, "run-to-completion never preempts");
@@ -132,19 +176,49 @@ fn preemptions_happen_only_where_enabled() {
 fn offload_with_one_extra_worker_beats_shinjuku_on_moderate_work() {
     // The Figure 4 claim at a single point: 4 offloaded workers sustain a
     // load that saturates 3 host workers.
-    let s = spec(620_000.0, ServiceDist::Fixed(SimDuration::from_micros(5)), 8);
-    let shin = shinjuku::run(s, ShinjukuConfig { workers: 3, time_slice: None, ..ShinjukuConfig::paper(3) });
-    let off = offload::run(s, OffloadConfig { time_slice: None, ..OffloadConfig::paper(4, 4) });
-    assert!(shin.saturated(0.05), "3 workers cannot do 620k x 5us: {}", shin.row());
+    let s = spec(
+        620_000.0,
+        ServiceDist::Fixed(SimDuration::from_micros(5)),
+        8,
+    );
+    let shin = ShinjukuConfig {
+        workers: 3,
+        time_slice: None,
+        ..ShinjukuConfig::paper(3)
+    }
+    .run(s, ProbeConfig::disabled());
+    let off = OffloadConfig {
+        time_slice: None,
+        ..OffloadConfig::paper(4, 4)
+    }
+    .run(s, ProbeConfig::disabled());
+    assert!(
+        shin.saturated(0.05),
+        "3 workers cannot do 620k x 5us: {}",
+        shin.row()
+    );
     assert!(!off.saturated(0.05), "4 workers can: {}", off.row());
 }
 
 #[test]
 fn shinjuku_dispatcher_outscales_arm_dispatcher_on_tiny_work() {
     // The Figure 6 claim at a single point.
-    let s = spec(2_500_000.0, ServiceDist::Fixed(SimDuration::from_micros(1)), 9);
-    let shin = shinjuku::run(s, ShinjukuConfig { workers: 15, time_slice: None, ..ShinjukuConfig::paper(15) });
-    let off = offload::run(s, OffloadConfig { time_slice: None, ..OffloadConfig::paper(16, 5) });
+    let s = spec(
+        2_500_000.0,
+        ServiceDist::Fixed(SimDuration::from_micros(1)),
+        9,
+    );
+    let shin = ShinjukuConfig {
+        workers: 15,
+        time_slice: None,
+        ..ShinjukuConfig::paper(15)
+    }
+    .run(s, ProbeConfig::disabled());
+    let off = OffloadConfig {
+        time_slice: None,
+        ..OffloadConfig::paper(16, 5)
+    }
+    .run(s, ProbeConfig::disabled());
     assert!(
         shin.achieved_rps > off.achieved_rps * 1.5,
         "host dispatcher {} vs ARM dispatcher {}",

@@ -3,9 +3,10 @@
 //! determinism — across every assembly.
 
 use mindgap::sim::SimDuration;
-use mindgap::systems::baseline::{self, BaselineConfig, BaselineKind};
-use mindgap::systems::offload::{self, OffloadConfig};
-use mindgap::systems::shinjuku::{self, ShinjukuConfig};
+use mindgap::systems::baseline::{BaselineConfig, BaselineKind};
+use mindgap::systems::offload::OffloadConfig;
+use mindgap::systems::shinjuku::ShinjukuConfig;
+use mindgap::systems::{ProbeConfig, ServerSystem};
 use mindgap::workload::{RunMetrics, ServiceDist, WorkloadSpec};
 use proptest::prelude::*;
 
@@ -19,7 +20,9 @@ fn arb_dist() -> impl Strategy<Value = ServiceDist> {
                 long: SimDuration::from_micros(l),
             }
         }),
-        (2u64..40).prop_map(|us| ServiceDist::Exponential { mean: SimDuration::from_micros(us) }),
+        (2u64..40).prop_map(|us| ServiceDist::Exponential {
+            mean: SimDuration::from_micros(us)
+        }),
     ]
 }
 
@@ -49,7 +52,11 @@ fn check_invariants(name: &str, m: &RunMetrics, spec: &WorkloadSpec) {
             ServiceDist::Bimodal { short, .. } => short,
             _ => SimDuration::ZERO,
         };
-        assert!(m.p50 >= floor, "{name}: p50 {} below service floor {floor}", m.p50);
+        assert!(
+            m.p50 >= floor,
+            "{name}: p50 {} below service floor {floor}",
+            m.p50
+        );
     }
     let horizon = (spec.warmup + spec.measure).as_secs_f64();
     assert!(
@@ -66,7 +73,7 @@ proptest! {
                                seed in 0u64..1000,
                                workers in 2usize..8, cap in 1u32..6) {
         let spec = tiny_spec(rps, dist, seed);
-        let m = offload::run(spec, OffloadConfig::paper(workers, cap));
+        let m = OffloadConfig::paper(workers, cap).run(spec, ProbeConfig::disabled());
         check_invariants("offload", &m, &spec);
     }
 
@@ -74,7 +81,7 @@ proptest! {
     fn shinjuku_invariants_hold(rps in 20_000f64..900_000.0, dist in arb_dist(),
                                 seed in 0u64..1000, workers in 2usize..8) {
         let spec = tiny_spec(rps, dist, seed);
-        let m = shinjuku::run(spec, ShinjukuConfig::paper(workers));
+        let m = ShinjukuConfig::paper(workers).run(spec, ProbeConfig::disabled());
         check_invariants("shinjuku", &m, &spec);
     }
 
@@ -84,7 +91,7 @@ proptest! {
                                 kind_sel in 0usize..3) {
         let kind = [BaselineKind::Rss, BaselineKind::RssStealing, BaselineKind::FlowDirector][kind_sel];
         let spec = tiny_spec(rps, dist, seed);
-        let m = baseline::run(spec, BaselineConfig { workers, kind });
+        let m = BaselineConfig { workers, kind }.run(spec, ProbeConfig::disabled());
         check_invariants("baseline", &m, &spec);
     }
 
@@ -92,8 +99,8 @@ proptest! {
     fn offload_determinism_under_random_configs(rps in 50_000f64..500_000.0,
                                                 dist in arb_dist(), seed in 0u64..1000) {
         let spec = tiny_spec(rps, dist, seed);
-        let a = offload::run(spec, OffloadConfig::paper(4, 3));
-        let b = offload::run(spec, OffloadConfig::paper(4, 3));
+        let a = OffloadConfig::paper(4, 3).run(spec, ProbeConfig::disabled());
+        let b = OffloadConfig::paper(4, 3).run(spec, ProbeConfig::disabled());
         prop_assert_eq!(a.completed, b.completed);
         prop_assert_eq!(a.p99, b.p99);
         prop_assert_eq!(a.preemptions, b.preemptions);
@@ -105,8 +112,8 @@ proptest! {
         let mean_us = dist.mean().as_micros_f64().max(1.0);
         let rps = (2.5e6 / mean_us).min(1_200_000.0);
         let spec = tiny_spec(rps, dist, seed);
-        let small = offload::run(spec, OffloadConfig { time_slice: None, ..OffloadConfig::paper(2, 4) });
-        let large = offload::run(spec, OffloadConfig { time_slice: None, ..OffloadConfig::paper(6, 4) });
+        let small = OffloadConfig { time_slice: None, ..OffloadConfig::paper(2, 4) }.run(spec, ProbeConfig::disabled());
+        let large = OffloadConfig { time_slice: None, ..OffloadConfig::paper(6, 4) }.run(spec, ProbeConfig::disabled());
         prop_assert!(
             large.achieved_rps >= small.achieved_rps * 0.98,
             "6 workers ({:.0}) should not lose to 2 workers ({:.0})",

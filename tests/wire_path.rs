@@ -34,7 +34,12 @@ fn client_requests_steer_to_the_dispatcher_interface() {
 fn rss_spreads_client_flows_across_worker_queues() {
     let mut c = client();
     let mut nic = NicDevice::new(SimDuration::ZERO);
-    nic.add_iface(AddressPlan::dispatcher_mac(), 8, 256, QueueSteering::Rss(Rss::new(8)));
+    nic.add_iface(
+        AddressPlan::dispatcher_mac(),
+        8,
+        256,
+        QueueSteering::Rss(Rss::new(8)),
+    );
 
     let mut hit = [0usize; 8];
     for i in 0..2048 {
@@ -44,9 +49,16 @@ fn rss_spreads_client_flows_across_worker_queues() {
         hit[d.queue] += 1;
     }
     for (q, &n) in hit.iter().enumerate() {
-        assert!(n > 64, "queue {q} starved with {n} of 2048 (imbalance too extreme)");
+        assert!(
+            n > 64,
+            "queue {q} starved with {n} of 2048 (imbalance too extreme)"
+        );
     }
-    assert_eq!(hit.iter().sum::<usize>(), 2048, "every frame steered somewhere");
+    assert_eq!(
+        hit.iter().sum::<usize>(),
+        2048,
+        "every frame steered somewhere"
+    );
 
     // Steering is per-flow stable: the same 4-tuple always lands on the
     // same queue (the client cycles through 1024 source ports, so request
@@ -59,8 +71,13 @@ fn rss_spreads_client_flows_across_worker_queues() {
         })
         .collect();
     for i in 0..1024 {
-        let f = ParsedFrame::parse(&c2.make_request(SimTime::from_micros(9999 + i)).build()).unwrap();
-        assert_eq!(nic.steer(&f).unwrap().queue, first[i as usize], "flow {i} moved queues");
+        let f =
+            ParsedFrame::parse(&c2.make_request(SimTime::from_micros(9999 + i)).build()).unwrap();
+        assert_eq!(
+            nic.steer(&f).unwrap().queue,
+            first[i as usize],
+            "flow {i} moved queues"
+        );
     }
 }
 
