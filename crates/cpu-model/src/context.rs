@@ -119,6 +119,14 @@ impl ContextPool {
         self.saved.remove(&req_id);
     }
 
+    /// Whether `req_id` currently has a context saved in DRAM. Lets fault
+    /// paths (e.g. a duplicate execution after a retransmit) distinguish
+    /// "preempted, resumable" from "never started / already finished"
+    /// without tripping the double-save panic.
+    pub fn is_saved(&self, req_id: u64) -> bool {
+        self.saved.contains(&req_id)
+    }
+
     /// Number of contexts currently saved in DRAM.
     pub fn resident(&self) -> usize {
         self.saved.len()

@@ -1,0 +1,27 @@
+//! Resilience grid: loss rate × fault type across every assembly.
+//!
+//! `--smoke` runs the deterministic CI body (one loss+crash point per
+//! system, probing on, ledger asserted closed); `--json` prints the rows
+//! as JSON instead of the aligned table; `--quick` shrinks the grid.
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let as_json = args.iter().any(|a| a == "--json");
+    let rows = if args.iter().any(|a| a == "--smoke") {
+        experiments::resilience::smoke()
+    } else {
+        let scale = if args.iter().any(|a| a == "--quick") {
+            experiments::Scale::Quick
+        } else {
+            experiments::Scale::Full
+        };
+        experiments::resilience::run(scale)
+    };
+    if as_json {
+        println!("{}", experiments::resilience::json(&rows));
+    } else {
+        println!("{}", experiments::resilience::table(&rows));
+        let path = experiments::resilience::write_csv(&rows, &experiments::results_dir())
+            .expect("writing resilience CSV");
+        println!("wrote {}", path.display());
+    }
+}

@@ -12,6 +12,8 @@
 //!   dual-socket DDIO, JIT pacing, worker scaling.
 //! * [`feedback_gap`] — the titular isolation experiment: scheduling
 //!   quality as a pure function of feedback-path latency.
+//! * [`resilience`] — the fault-injection grid: loss rate × fault type
+//!   across every assembly, with request-ledger reconciliation.
 //! * [`sweep`] / [`report`] — the load-sweep driver and table/CSV output.
 //!
 //! Each figure has a binary (`cargo run --release -p experiments --bin
@@ -28,6 +30,7 @@ pub mod figures;
 pub mod microbench;
 pub mod plot;
 pub mod report;
+pub mod resilience;
 pub mod sweep;
 
 pub use figures::Scale;

@@ -113,6 +113,7 @@ mod tests {
             preemptions: 0,
             worker_utilization: 0.5,
             stages: None,
+            faults: workload::FaultMetrics::default(),
         }
     }
 

@@ -76,15 +76,16 @@ impl Figure {
 
     /// Render the figure as CSV.
     pub fn csv(&self) -> String {
-        let mut out = String::from("curve,offered_rps,achieved_rps,p50_us,p99_us,p999_us,p99_short_us,p99_long_us,mean_us,completed,dropped,preemptions,worker_utilization\n");
+        let mut out = String::from("curve,offered_rps,achieved_rps,goodput,p50_us,p99_us,p999_us,p99_short_us,p99_long_us,mean_us,completed,dropped,retries,preemptions,worker_utilization\n");
         for c in &self.curves {
             for m in &c.points {
                 let _ = writeln!(
                     out,
-                    "{},{:.0},{:.0},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{},{},{},{:.4}",
+                    "{},{:.0},{:.0},{:.4},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{},{},{},{},{:.4}",
                     c.label,
                     m.offered_rps,
                     m.achieved_rps,
+                    m.goodput_ratio(),
                     m.p50.as_micros_f64(),
                     m.p99.as_micros_f64(),
                     m.p999.as_micros_f64(),
@@ -93,6 +94,7 @@ impl Figure {
                     m.mean.as_micros_f64(),
                     m.completed,
                     m.dropped,
+                    m.faults.retries,
                     m.preemptions,
                     m.worker_utilization,
                 );
@@ -141,6 +143,13 @@ mod tests {
             preemptions: 3,
             worker_utilization: 0.42,
             stages: None,
+            faults: workload::FaultMetrics {
+                launched: 100,
+                completed_all: 100,
+                attempts: 100,
+                retries: 2,
+                ..Default::default()
+            },
         }
     }
 
@@ -176,8 +185,16 @@ mod tests {
         let lines: Vec<&str> = c.lines().collect();
         assert_eq!(lines.len(), 1 + 4, "header + 4 rows");
         assert!(lines[0].starts_with("curve,offered_rps"));
+        assert_eq!(
+            lines[0].split(',').count(),
+            lines[1].split(',').count(),
+            "header and rows have the same column count"
+        );
         assert!(lines[1].starts_with("Shinjuku,100000"));
         assert!(lines[1].contains(",0.4200"));
+        assert!(lines[0].contains(",goodput,"), "goodput column present");
+        assert!(lines[0].contains(",retries,"), "retries column present");
+        assert!(lines[1].contains(",1.0000,"), "goodput ratio rendered");
     }
 
     #[test]

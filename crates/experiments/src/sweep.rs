@@ -2,7 +2,7 @@
 //! parallel across load points, preserving per-point determinism.
 
 use sim_core::stats::Summary;
-use workload::{RunMetrics, WorkloadSpec};
+use workload::{FaultMetrics, RunMetrics, WorkloadSpec};
 
 /// Run `f` for every load in `loads_rps`, in parallel, returning results
 /// in input order. Each point is an independent, seeded simulation, so
@@ -67,7 +67,9 @@ where
     let mut completed = 0u64;
     let mut dropped = 0u64;
     let mut preemptions = 0u64;
+    let mut faults = FaultMetrics::default();
     for m in &runs {
+        faults.absorb(&m.faults);
         achieved.record(m.achieved_rps);
         p50.record(m.p50.as_nanos() as f64);
         p99.record(m.p99.as_nanos() as f64);
@@ -99,6 +101,7 @@ where
             preemptions,
             worker_utilization: util.mean(),
             stages: None,
+            faults,
         },
         cv,
     )
@@ -149,6 +152,7 @@ mod tests {
             preemptions: 0,
             worker_utilization: 0.5,
             stages: None,
+            faults: FaultMetrics::default(),
         }
     }
 

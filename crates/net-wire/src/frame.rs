@@ -15,7 +15,7 @@ use crate::message::MsgRepr;
 use crate::{ethernet, ipv4, udp, WireError};
 
 /// Everything needed to build one request/response/control frame.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct FrameSpec {
     /// Source MAC.
     pub src_mac: EthernetAddress,

@@ -33,6 +33,10 @@ pub enum MsgKind {
     /// Worker → dispatcher: idle heartbeat / load feedback (core-status
     /// message in the informed-scheduling design, §2.3).
     Feedback,
+    /// Dispatcher → client: early negative acknowledgement — the request
+    /// was shed by admission control and will never run; retry or give up
+    /// now instead of waiting out the timeout.
+    Nack,
 }
 
 impl MsgKind {
@@ -44,6 +48,7 @@ impl MsgKind {
             MsgKind::Done => 4,
             MsgKind::Preempted => 5,
             MsgKind::Feedback => 6,
+            MsgKind::Nack => 7,
         }
     }
 
@@ -55,6 +60,7 @@ impl MsgKind {
             4 => MsgKind::Done,
             5 => MsgKind::Preempted,
             6 => MsgKind::Feedback,
+            7 => MsgKind::Nack,
             _ => return Err(WireError::Malformed),
         })
     }
@@ -215,6 +221,7 @@ mod tests {
             MsgKind::Done,
             MsgKind::Preempted,
             MsgKind::Feedback,
+            MsgKind::Nack,
         ] {
             let m = sample().with_kind(kind);
             let mut buf = vec![0u8; m.buffer_len()];
@@ -289,6 +296,7 @@ mod proptests {
             Just(MsgKind::Done),
             Just(MsgKind::Preempted),
             Just(MsgKind::Feedback),
+            Just(MsgKind::Nack),
         ]
     }
 

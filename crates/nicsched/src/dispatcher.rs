@@ -15,6 +15,7 @@
 
 use sim_core::SimTime;
 
+use crate::admission::{Admission, AdmissionPolicy};
 use crate::policy::SchedPolicy;
 use crate::select::{CoreSelector, WorkerView};
 use crate::task::Task;
@@ -39,6 +40,22 @@ pub struct DispatchStats {
     pub completions: u64,
     /// Preemption notifications processed (tasks re-queued).
     pub requeued: u64,
+    /// Requests refused by the admission policy.
+    pub shed: u64,
+}
+
+/// Outcome of [`Dispatcher::offer`]: either the request was admitted (with
+/// any assignments it unlocked), or the admission policy shed it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AdmitOutcome {
+    /// The request entered the queue; these assignments were issued.
+    Admitted(Vec<Assignment>),
+    /// The request was refused. `nack` says whether the policy wants the
+    /// client notified with an early NACK.
+    Shed {
+        /// Send an early NACK back to the client.
+        nack: bool,
+    },
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -76,6 +93,13 @@ pub struct Dispatcher<P, S> {
     selector: S,
     workers: Vec<WorkerState>,
     outstanding_cap: u32,
+    admission: AdmissionPolicy,
+    // Stale-feedback fallback: when set, worker selection ignores the
+    // configured selector and hashes the request id RSS-style, because the
+    // informed state it would steer on is known to be dead.
+    degraded: bool,
+    // Workers quarantined from selection (crashed or silent too long).
+    excluded: Vec<bool>,
     /// Exported counters.
     pub stats: DispatchStats,
 }
@@ -99,15 +123,64 @@ impl<P: SchedPolicy, S: CoreSelector> Dispatcher<P, S> {
                 n_workers
             ],
             outstanding_cap,
+            admission: AdmissionPolicy::Open,
+            degraded: false,
+            excluded: vec![false; n_workers],
             stats: DispatchStats::default(),
         }
     }
 
-    /// A new request arrived from the networking subsystem.
+    /// Replace the admission policy (default: [`AdmissionPolicy::Open`]).
+    pub fn set_admission(&mut self, admission: AdmissionPolicy) {
+        self.admission = admission;
+    }
+
+    /// Enter or leave stale-feedback fallback: while degraded, worker
+    /// selection hashes the request id over the non-excluded workers
+    /// instead of consulting the configured selector.
+    pub fn set_degraded(&mut self, degraded: bool) {
+        self.degraded = degraded;
+    }
+
+    /// Whether the dispatcher is currently in hashed fallback.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Quarantine `worker` from (or readmit it to) selection. Outstanding
+    /// bookkeeping is untouched: work already on the worker stays counted
+    /// until it completes or the run ends.
+    pub fn set_excluded(&mut self, worker: usize, excluded: bool) {
+        self.excluded[worker] = excluded;
+    }
+
+    /// Whether `worker` is currently quarantined.
+    pub fn is_excluded(&self, worker: usize) -> bool {
+        self.excluded[worker]
+    }
+
+    /// A new request arrived from the networking subsystem. Bypasses
+    /// admission control — the pre-fault-injection entry point, kept for
+    /// embeddings that do their own shedding (or none).
     pub fn on_request(&mut self, now: SimTime, task: Task) -> Vec<Assignment> {
         self.policy.enqueue(now, task);
         self.stats.admitted += 1;
         self.drain(now)
+    }
+
+    /// A new request arrived; run it through the admission policy first.
+    pub fn offer(&mut self, now: SimTime, task: Task) -> AdmitOutcome {
+        match self.admission.admit(self.policy.len()) {
+            Admission::Accept => AdmitOutcome::Admitted(self.on_request(now, task)),
+            Admission::ShedSilent => {
+                self.stats.shed += 1;
+                AdmitOutcome::Shed { nack: false }
+            }
+            Admission::ShedNack => {
+                self.stats.shed += 1;
+                AdmitOutcome::Shed { nack: true }
+            }
+        }
     }
 
     /// A worker reported finishing `req_id`.
@@ -144,6 +217,14 @@ impl<P: SchedPolicy, S: CoreSelector> Dispatcher<P, S> {
         self.drain(now)
     }
 
+    /// Re-run assignment after external scheduler-state changes — a
+    /// quarantine lift or a degraded-mode flip — that may have unparked
+    /// queued work without any request/completion event to trigger a
+    /// drain.
+    pub fn kick(&mut self, now: SimTime) -> Vec<Assignment> {
+        self.drain(now)
+    }
+
     /// Issue assignments while the queue is non-empty and a worker is
     /// below the outstanding cap.
     fn drain(&mut self, now: SimTime) -> Vec<Assignment> {
@@ -152,12 +233,12 @@ impl<P: SchedPolicy, S: CoreSelector> Dispatcher<P, S> {
             if self.policy.is_empty() {
                 break;
             }
-            // Gather candidates below the cap.
+            // Gather non-quarantined candidates below the cap.
             let candidates: Vec<WorkerView> = self
                 .workers
                 .iter()
                 .enumerate()
-                .filter(|(_, w)| w.outstanding < self.outstanding_cap)
+                .filter(|(i, w)| !self.excluded[*i] && w.outstanding < self.outstanding_cap)
                 .map(|(i, w)| WorkerView {
                     worker: i,
                     outstanding: w.outstanding,
@@ -169,7 +250,13 @@ impl<P: SchedPolicy, S: CoreSelector> Dispatcher<P, S> {
                 break;
             }
             let task = self.policy.dequeue(now).expect("non-empty queue");
-            let chosen = self.selector.select(&candidates, task.req_id);
+            let chosen = if self.degraded {
+                // RSS-style static hashing: informed state is stale, so
+                // spread by request id alone.
+                (task.req_id.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33) as usize % candidates.len()
+            } else {
+                self.selector.select(&candidates, task.req_id)
+            };
             let worker = candidates[chosen].worker;
             let w = &mut self.workers[worker];
             w.outstanding += 1;
@@ -337,6 +424,106 @@ mod tests {
                 "queued work while a worker has slack"
             );
         }
+    }
+
+    #[test]
+    fn offer_respects_admission_cap() {
+        let mut d = disp(1, 1);
+        d.set_admission(crate::AdmissionPolicy::NackShed { cap: 2 });
+        // Worker takes the first; the next two queue up to the cap.
+        assert!(matches!(d.offer(us(0), task(1)), AdmitOutcome::Admitted(a) if a.len() == 1));
+        assert!(matches!(d.offer(us(0), task(2)), AdmitOutcome::Admitted(_)));
+        assert!(matches!(d.offer(us(0), task(3)), AdmitOutcome::Admitted(_)));
+        // Queue is at cap 2: the fourth is shed with a NACK.
+        assert_eq!(d.offer(us(0), task(4)), AdmitOutcome::Shed { nack: true });
+        assert_eq!(d.stats.shed, 1);
+        assert_eq!(d.queue_len(), 2);
+        // Silent tail-drop variant sheds without the NACK flag.
+        d.set_admission(crate::AdmissionPolicy::TailDrop { cap: 2 });
+        assert_eq!(d.offer(us(0), task(5)), AdmitOutcome::Shed { nack: false });
+        assert_eq!(d.stats.shed, 2);
+    }
+
+    #[test]
+    fn excluded_worker_receives_nothing() {
+        let mut d = disp(2, 1);
+        d.set_excluded(0, true);
+        for id in 1..=4 {
+            for a in d.on_request(us(0), task(id)) {
+                assert_eq!(a.worker, 1, "quarantined worker 0 must stay idle");
+            }
+        }
+        assert_eq!(d.outstanding(0), 0);
+        assert_eq!(d.outstanding(1), 1);
+        assert_eq!(
+            d.queue_len(),
+            3,
+            "work waits rather than hit the dead worker"
+        );
+        // Readmission drains the backlog to worker 0 as well.
+        d.set_excluded(0, false);
+        let a = d.on_done(us(1), 1, 1);
+        assert!(a.iter().any(|a| a.worker == 0) || d.outstanding(0) > 0 || !a.is_empty());
+    }
+
+    #[test]
+    fn all_workers_excluded_parks_the_queue() {
+        let mut d = disp(2, 1);
+        d.set_excluded(0, true);
+        d.set_excluded(1, true);
+        assert!(d.on_request(us(0), task(1)).is_empty());
+        assert_eq!(d.queue_len(), 1);
+        // Readmitting a worker lets the next dispatcher event drain it.
+        d.set_excluded(1, false);
+        let a = d.on_request(us(1), task(2));
+        assert_eq!(a.len(), 1, "cap 1: exactly one task flows");
+        assert_eq!(a[0].worker, 1);
+        assert_eq!(a[0].task.req_id, 1, "the parked task goes first");
+        assert_eq!(d.queue_len(), 1);
+    }
+
+    #[test]
+    fn degraded_mode_hashes_instead_of_selecting() {
+        let spread = || {
+            let mut d = disp(4, 64);
+            d.set_degraded(true);
+            let mut per = vec![0usize; 4];
+            for id in 0..256 {
+                for a in d.on_request(us(0), task(id)) {
+                    per[a.worker] += 1;
+                }
+            }
+            per
+        };
+        let hashed = spread();
+        assert_eq!(hashed, spread(), "hashing is deterministic");
+        assert!(
+            hashed.iter().all(|&n| n > 20),
+            "hash spreads load: {hashed:?}"
+        );
+        // The RSS property informed selection lacks: the same request id
+        // lands on the same worker regardless of load history.
+        let mut d = disp(4, 2);
+        d.set_degraded(true);
+        let first = d.on_request(us(0), task(42))[0].worker;
+        d.on_done(us(1), first, 42);
+        d.on_request(us(2), task(7)); // perturb the load state
+        let again = d.on_request(us(3), task(42))[0].worker;
+        assert_eq!(first, again, "static hash ignores load state");
+    }
+
+    #[test]
+    fn degraded_hashing_avoids_excluded_workers() {
+        let mut d = disp(3, 64);
+        d.set_degraded(true);
+        d.set_excluded(1, true);
+        for id in 0..64 {
+            for a in d.on_request(us(0), task(id)) {
+                assert_ne!(a.worker, 1);
+            }
+        }
+        assert!(d.is_degraded());
+        assert!(d.is_excluded(1));
     }
 
     #[test]

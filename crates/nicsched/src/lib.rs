@@ -26,6 +26,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod admission;
 mod dispatcher;
 mod feedback;
 pub mod params;
@@ -35,7 +36,8 @@ mod profile;
 mod select;
 mod task;
 
-pub use dispatcher::{Assignment, DispatchStats, Dispatcher};
+pub use admission::{Admission, AdmissionPolicy};
+pub use dispatcher::{AdmitOutcome, Assignment, DispatchStats, Dispatcher};
 pub use feedback::{CoreFeedback, FeedbackChannel};
 pub use policy::{ClassPriority, Fcfs, SchedPolicy, ShortestRemaining};
 pub use policy_kind::PolicyKind;

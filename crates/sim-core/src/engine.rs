@@ -19,6 +19,7 @@
 use core::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use crate::faults::FaultPlan;
 use crate::probe::{Probe, ProbeHandle};
 use crate::time::{SimDuration, SimTime};
 
@@ -40,6 +41,8 @@ pub struct Ctx<E> {
     // The engine's probe, moved in for the duration of one event (an
     // `Option<Box<_>>` so the move is one pointer, not the whole struct).
     probe: Option<Box<Probe>>,
+    // The engine's fault plan, moved in the same way as the probe.
+    faults: Option<Box<FaultPlan>>,
 }
 
 impl<E> Ctx<E> {
@@ -56,6 +59,16 @@ impl<E> Ctx<E> {
             self.now,
             self.probe.as_deref_mut().filter(|p| p.is_enabled()),
         )
+    }
+
+    /// The fault-injection oracle at the current instant. Every engine
+    /// carries a (default fault-free) [`FaultPlan`], so models can consult
+    /// it unconditionally; install a real plan with
+    /// [`Engine::set_faults`].
+    pub fn faults(&mut self) -> &mut FaultPlan {
+        self.faults
+            .as_deref_mut()
+            .expect("fault plan present during event")
     }
 
     /// Schedule `event` to fire `delay` after now.
@@ -137,6 +150,8 @@ pub struct Engine<M: Model> {
     // Always `Some` between steps; `None` only while an event handler
     // borrows the probe through its `Ctx`.
     probe: Option<Box<Probe>>,
+    // Same lifecycle as `probe`: a fault-free plan unless one is installed.
+    faults: Option<Box<FaultPlan>>,
 }
 
 impl<M: Model> Engine<M> {
@@ -151,6 +166,7 @@ impl<M: Model> Engine<M> {
             processed: 0,
             stopped: false,
             probe: Some(Box::default()),
+            faults: Some(Box::default()),
         }
     }
 
@@ -177,6 +193,18 @@ impl<M: Model> Engine<M> {
             .probe
             .replace(Box::default())
             .expect("probe present between steps")
+    }
+
+    /// Install a fault plan (usually `FaultPlan::new(cfg, seed)`).
+    pub fn set_faults(&mut self, faults: FaultPlan) {
+        self.faults = Some(Box::new(faults));
+    }
+
+    /// Shared access to the fault plan (e.g. to read its loss counters).
+    pub fn faults(&self) -> &FaultPlan {
+        self.faults
+            .as_deref()
+            .expect("fault plan present between steps")
     }
 
     /// Current simulated instant (the time of the last event processed).
@@ -247,9 +275,11 @@ impl<M: Model> Engine<M> {
             outbox: Vec::new(),
             stop: false,
             probe: self.probe.take(),
+            faults: self.faults.take(),
         };
         self.model.handle(entry.event, &mut ctx);
         self.probe = ctx.probe.take();
+        self.faults = ctx.faults.take();
         for (at, ev) in ctx.outbox {
             self.push(at, ev);
         }

@@ -48,12 +48,14 @@
 #![warn(missing_docs)]
 
 mod engine;
+pub mod faults;
 pub mod probe;
 mod rng;
 pub mod stats;
 mod time;
 
 pub use engine::{Ctx, Engine, Model, RunOutcome};
+pub use faults::{FaultConfig, FaultPlan, FaultStats};
 pub use probe::{Probe, ProbeConfig, ProbeHandle, StageReport, TraceEvent};
 pub use rng::Rng;
 pub use time::{SimDuration, SimTime};

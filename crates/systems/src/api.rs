@@ -23,6 +23,7 @@ use sim_core::ProbeConfig;
 use workload::{RunMetrics, WorkloadSpec};
 
 use crate::baseline::BaselineConfig;
+use crate::common::ResilienceConfig;
 use crate::multi_shinjuku::MultiShinjukuConfig;
 use crate::offload::OffloadConfig;
 use crate::rpcvalet::RpcValetConfig;
@@ -39,7 +40,27 @@ pub trait ServerSystem {
 
     /// Simulate `spec` on this system and report client-side metrics
     /// (plus a [`sim_core::StageReport`] when `probe` is enabled).
-    fn run(&self, spec: WorkloadSpec, probe: ProbeConfig) -> RunMetrics;
+    fn run(&self, spec: WorkloadSpec, probe: ProbeConfig) -> RunMetrics {
+        self.run_resilient(spec, probe, ResilienceConfig::default())
+    }
+
+    /// Simulate `spec` with fault injection, client retries, admission
+    /// control and staleness fallback per `res`. With
+    /// [`ResilienceConfig::default()`] this is bit-identical to [`run`]
+    /// (same event order, same RNG streams).
+    ///
+    /// Each assembly honours the subset of `res` that is architecturally
+    /// meaningful for it (e.g. baselines have no central dispatcher, so
+    /// admission and staleness fallback are no-ops there); fault and
+    /// retry settings apply everywhere.
+    ///
+    /// [`run`]: ServerSystem::run
+    fn run_resilient(
+        &self,
+        spec: WorkloadSpec,
+        probe: ProbeConfig,
+        res: ResilienceConfig,
+    ) -> RunMetrics;
 }
 
 impl ServerSystem for OffloadConfig {
@@ -47,8 +68,13 @@ impl ServerSystem for OffloadConfig {
         "shinjuku-offload"
     }
 
-    fn run(&self, spec: WorkloadSpec, probe: ProbeConfig) -> RunMetrics {
-        crate::offload::run_probed(spec, *self, probe)
+    fn run_resilient(
+        &self,
+        spec: WorkloadSpec,
+        probe: ProbeConfig,
+        res: ResilienceConfig,
+    ) -> RunMetrics {
+        crate::offload::run_resilient_probed(spec, *self, probe, res)
     }
 }
 
@@ -57,8 +83,13 @@ impl ServerSystem for ShinjukuConfig {
         "shinjuku"
     }
 
-    fn run(&self, spec: WorkloadSpec, probe: ProbeConfig) -> RunMetrics {
-        crate::shinjuku::run_probed(spec, *self, probe)
+    fn run_resilient(
+        &self,
+        spec: WorkloadSpec,
+        probe: ProbeConfig,
+        res: ResilienceConfig,
+    ) -> RunMetrics {
+        crate::shinjuku::run_resilient_probed(spec, *self, probe, res)
     }
 }
 
@@ -72,8 +103,13 @@ impl ServerSystem for BaselineConfig {
         }
     }
 
-    fn run(&self, spec: WorkloadSpec, probe: ProbeConfig) -> RunMetrics {
-        crate::baseline::run_probed(spec, *self, probe)
+    fn run_resilient(
+        &self,
+        spec: WorkloadSpec,
+        probe: ProbeConfig,
+        res: ResilienceConfig,
+    ) -> RunMetrics {
+        crate::baseline::run_resilient_probed(spec, *self, probe, res)
     }
 }
 
@@ -82,8 +118,13 @@ impl ServerSystem for RpcValetConfig {
         "rpcvalet"
     }
 
-    fn run(&self, spec: WorkloadSpec, probe: ProbeConfig) -> RunMetrics {
-        crate::rpcvalet::run_probed(spec, *self, probe)
+    fn run_resilient(
+        &self,
+        spec: WorkloadSpec,
+        probe: ProbeConfig,
+        res: ResilienceConfig,
+    ) -> RunMetrics {
+        crate::rpcvalet::run_resilient_probed(spec, *self, probe, res)
     }
 }
 
@@ -92,8 +133,13 @@ impl ServerSystem for MultiShinjukuConfig {
         "multi-shinjuku"
     }
 
-    fn run(&self, spec: WorkloadSpec, probe: ProbeConfig) -> RunMetrics {
-        crate::multi_shinjuku::run_probed(spec, *self, probe).metrics
+    fn run_resilient(
+        &self,
+        spec: WorkloadSpec,
+        probe: ProbeConfig,
+        res: ResilienceConfig,
+    ) -> RunMetrics {
+        crate::multi_shinjuku::run_resilient_probed(spec, *self, probe, res).metrics
     }
 }
 
@@ -127,13 +173,18 @@ impl ServerSystem for SystemConfig {
         }
     }
 
-    fn run(&self, spec: WorkloadSpec, probe: ProbeConfig) -> RunMetrics {
+    fn run_resilient(
+        &self,
+        spec: WorkloadSpec,
+        probe: ProbeConfig,
+        res: ResilienceConfig,
+    ) -> RunMetrics {
         match self {
-            SystemConfig::Offload(c) => c.run(spec, probe),
-            SystemConfig::Shinjuku(c) => c.run(spec, probe),
-            SystemConfig::Baseline(c) => c.run(spec, probe),
-            SystemConfig::RpcValet(c) => c.run(spec, probe),
-            SystemConfig::MultiShinjuku(c) => c.run(spec, probe),
+            SystemConfig::Offload(c) => c.run_resilient(spec, probe, res),
+            SystemConfig::Shinjuku(c) => c.run_resilient(spec, probe, res),
+            SystemConfig::Baseline(c) => c.run_resilient(spec, probe, res),
+            SystemConfig::RpcValet(c) => c.run_resilient(spec, probe, res),
+            SystemConfig::MultiShinjuku(c) => c.run_resilient(spec, probe, res),
         }
     }
 }
@@ -216,6 +267,44 @@ mod tests {
                 "{}: request path hops missing",
                 sys.name()
             );
+        }
+    }
+
+    #[test]
+    fn default_resilience_is_bit_identical_to_plain_run() {
+        for sys in all_systems() {
+            let plain = sys.run(quick_spec(), ProbeConfig::disabled());
+            let res = sys.run_resilient(
+                quick_spec(),
+                ProbeConfig::disabled(),
+                ResilienceConfig::default(),
+            );
+            assert_eq!(plain, res, "{}: inert faults perturbed the run", sys.name());
+        }
+    }
+
+    #[test]
+    fn every_assembly_closes_the_ledger_under_loss_and_crash() {
+        use sim_core::SimTime;
+        // Satellite: drop-accounting reconciliation across ALL assemblies —
+        // 1% loss plus a mid-run worker crash, and every launched request
+        // must still be accounted for.
+        let res = ResilienceConfig::loss_and_crash(1, SimTime::ZERO + SimDuration::from_millis(3));
+        for sys in all_systems() {
+            let m = sys.run_resilient(quick_spec(), ProbeConfig::disabled(), res);
+            let f = &m.faults;
+            assert_eq!(
+                f.unaccounted(),
+                0,
+                "{}: request ledger leaks: {f:?}",
+                sys.name()
+            );
+            assert!(
+                f.in_pipe() < 1200,
+                "{}: attempt residue beyond pipeline: {f:?}",
+                sys.name()
+            );
+            assert!(m.completed > 50, "{}: goodput collapsed", sys.name());
         }
     }
 

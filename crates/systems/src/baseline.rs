@@ -20,10 +20,13 @@ use cpu_model::{ContextCosts, ContextPool, Core, CoreId, CoreSpec};
 use net_wire::{FrameSpec, MsgKind, MsgRepr, ParsedFrame};
 use nic_model::{FlowDirector, FlowKey, IfaceId, Link, NicDevice, QueueSteering, Rss};
 use nicsched::params;
-use sim_core::{Ctx, Engine, Model, Probe, ProbeConfig, Rng, SimDuration, SimTime};
+use sim_core::{Ctx, Engine, FaultPlan, Model, Probe, ProbeConfig, Rng, SimDuration, SimTime};
 use workload::{RunMetrics, WorkloadSpec};
 
-use crate::common::{assemble_metrics, AddressPlan, Client};
+use crate::common::{
+    assemble_metrics, scale_duration, AddressPlan, Client, ResilienceConfig, TimeoutOutcome,
+    FAULT_SEED_SALT,
+};
 
 /// Elastic-RSS controller period: "provisions cores for applications on
 /// the us scale" (§5.1(1)).
@@ -62,6 +65,11 @@ enum Ev {
     ClientResp(Bytes),
     /// Elastic-RSS controller tick: re-provision the active core set.
     ErssTick,
+    /// A client retransmit timer fires for one attempt of one request.
+    ClientTimeout {
+        req_id: u64,
+        attempt: u32,
+    },
 }
 
 struct Worker {
@@ -93,12 +101,27 @@ struct Baseline {
     last_busy: Vec<SimDuration>,
     /// Elastic RSS: time-weighted active-core count.
     active_tw: sim_core::stats::TimeWeighted,
+
+    req_lost: u64,
+    resp_lost: u64,
+    stranded: u64,
 }
 
 impl Baseline {
-    fn new(spec: WorkloadSpec, cfg: BaselineConfig) -> Baseline {
+    fn new(spec: WorkloadSpec, cfg: BaselineConfig, res: ResilienceConfig) -> Baseline {
         let mut master = Rng::new(spec.seed);
-        let client = Client::new(spec, &mut master);
+        let mut client = Client::new(spec, &mut master);
+        if let Some(policy) = res.retry {
+            client.enable_retries(policy);
+        }
+        let (client_link, server_link) = if res.faults.wire_loss > 0.0 {
+            (
+                Link::ten_gbe().with_loss(res.faults.wire_loss, master.fork()),
+                Link::ten_gbe().with_loss(res.faults.wire_loss, master.fork()),
+            )
+        } else {
+            (Link::ten_gbe(), Link::ten_gbe())
+        };
 
         let steering = match cfg.kind {
             BaselineKind::Rss | BaselineKind::RssStealing | BaselineKind::ElasticRss => {
@@ -140,8 +163,8 @@ impl Baseline {
             cfg,
             horizon: spec.horizon(),
             client,
-            client_link: Link::ten_gbe(),
-            server_link: Link::ten_gbe(),
+            client_link,
+            server_link,
             nic,
             iface,
             workers,
@@ -153,6 +176,46 @@ impl Baseline {
             active: cfg.workers,
             last_busy: vec![SimDuration::ZERO; cfg.workers],
             active_tw: sim_core::stats::TimeWeighted::new(t0, cfg.workers as f64),
+            req_lost: 0,
+            resp_lost: 0,
+            stranded: 0,
+        }
+    }
+
+    /// Transmit a client→NIC frame over the (possibly lossy) request wire.
+    fn send_request(&mut self, spec: &FrameSpec, ctx: &mut Ctx<Ev>) {
+        let payload_len = spec.frame_len() - net_wire::ethernet::HEADER_LEN;
+        let bytes = spec.build();
+        let now = ctx.now();
+        if ctx.faults().burst_frame_lost(now) {
+            self.req_lost += 1;
+            ctx.probe().count("wire.req_lost");
+            return;
+        }
+        match self.client_link.transmit_lossy(now, payload_len) {
+            Some(arrive) => ctx.schedule_at(arrive, Ev::WireToNic(bytes)),
+            None => {
+                self.req_lost += 1;
+                ctx.probe().count("wire.req_lost");
+            }
+        }
+    }
+
+    /// Transmit a server→client response starting at `depart`.
+    fn send_response(&mut self, spec: &FrameSpec, depart: SimTime, ctx: &mut Ctx<Ev>) {
+        let payload_len = spec.frame_len() - net_wire::ethernet::HEADER_LEN;
+        let bytes = spec.build();
+        if ctx.faults().burst_frame_lost(depart) {
+            self.resp_lost += 1;
+            ctx.probe().count("wire.resp_lost");
+            return;
+        }
+        match self.server_link.transmit_lossy(depart, payload_len) {
+            Some(arrive) => ctx.schedule_at(arrive, Ev::ClientResp(bytes)),
+            None => {
+                self.resp_lost += 1;
+                ctx.probe().count("wire.resp_lost");
+            }
         }
     }
 
@@ -208,6 +271,14 @@ impl Baseline {
         if self.workers[w].busy {
             return;
         }
+        let now = ctx.now();
+        if ctx.faults().worker_crashed(w, now) {
+            return; // dead cores never poll again
+        }
+        if let Some(resume) = ctx.faults().worker_stalled_until(w, now) {
+            ctx.schedule_at(resume, Ev::WorkerPoll(w));
+            return;
+        }
         let Some((data, steal_cost)) = self.take_work(w) else {
             self.workers[w].core.set_idle(ctx.now());
             ctx.probe().busy_i("worker", w, false);
@@ -239,6 +310,16 @@ impl Baseline {
             + params::HOST_NET_PER_PACKET
             + ContextPool::op_cost(self.ctx_pool.begin(msg.req_id), &self.ctx_costs, &self.host);
         let service = SimDuration::from_nanos(msg.service_ns);
+        // A slowdown window stretches wall time for this execution.
+        let slow = {
+            let now = ctx.now();
+            ctx.faults().worker_slowdown(w, now)
+        };
+        let wall = if slow > 1.0 {
+            scale_duration(overhead + service, slow)
+        } else {
+            overhead + service
+        };
         let worker = &mut self.workers[w];
         worker.busy = true;
         worker.core.set_busy(ctx.now());
@@ -246,13 +327,23 @@ impl Baseline {
         // completion time; carry the parsed message through worker state
         // instead of re-parsing.
         self.pending[w] = Some(msg);
-        ctx.schedule_in(overhead + service, Ev::WorkerRunEnd(w));
+        ctx.schedule_in(wall, Ev::WorkerRunEnd(w));
     }
 }
 
 impl Baseline {
     fn finish(&mut self, w: usize, ctx: &mut Ctx<Ev>) {
         let msg = self.pending[w].take().expect("worker had work");
+        {
+            let now = ctx.now();
+            if ctx.faults().worker_crashed(w, now) {
+                // Died mid-request: no response ever leaves this core.
+                self.ctx_pool.discard(msg.req_id);
+                self.stranded += 1;
+                ctx.probe().count("worker.stranded");
+                return;
+            }
+        }
         ctx.probe().count("worker.completed");
         ctx.probe().mark(msg.req_id, "path.2_worker_done");
         let resp = FrameSpec {
@@ -267,11 +358,8 @@ impl Baseline {
             },
         };
         let built = ctx.now() + params::WORKER_TX_COST;
-        let payload_len = resp.frame_len() - net_wire::ethernet::HEADER_LEN;
-        let arrive = self
-            .server_link
-            .transmit(built + self.nic.dma_latency, payload_len);
-        ctx.schedule_at(arrive, Ev::ClientResp(resp.build()));
+        let depart = built + self.nic.dma_latency;
+        self.send_response(&resp, depart, ctx);
         self.ctx_pool.discard(msg.req_id);
         let worker = &mut self.workers[w];
         worker.busy = false;
@@ -290,12 +378,13 @@ impl Model for Baseline {
                     return;
                 }
                 let spec = self.client.make_request(ctx.now());
+                let req_id = spec.msg.req_id;
                 ctx.probe().count("client.sent");
-                ctx.probe().mark(spec.msg.req_id, "path.0_client_send");
-                let payload_len = spec.frame_len() - net_wire::ethernet::HEADER_LEN;
-                let bytes = spec.build();
-                let arrive = self.client_link.transmit(ctx.now(), payload_len);
-                ctx.schedule_at(arrive, Ev::WireToNic(bytes));
+                ctx.probe().mark(req_id, "path.0_client_send");
+                self.send_request(&spec, ctx);
+                if let Some((attempt, timeout)) = self.client.arm_timeout(req_id) {
+                    ctx.schedule_in(timeout, Ev::ClientTimeout { req_id, attempt });
+                }
                 let gap = self.client.next_gap();
                 ctx.schedule_in(gap, Ev::ClientSend);
             }
@@ -305,6 +394,16 @@ impl Model for Baseline {
                 };
                 if let Some(d) = self.nic.steer(&parsed) {
                     ctx.probe().count("nic.rx_frames");
+                    let now = ctx.now();
+                    if self.cfg.kind != BaselineKind::RssStealing
+                        && ctx.faults().worker_crashed(d.queue, now)
+                    {
+                        // Hash-steered to a dead core with nobody to steal
+                        // it: the request is stranded in silicon.
+                        self.stranded += 1;
+                        ctx.probe().count("worker.stranded");
+                        return;
+                    }
                     self.nic.iface_mut(d.iface).rx[d.queue].push(ctx.now(), bytes);
                     let depth = self.nic.iface(d.iface).rx[d.queue].len();
                     ctx.probe().depth_i("worker.ring", d.queue, depth);
@@ -329,6 +428,18 @@ impl Model for Baseline {
                     self.client.on_response(ctx.now(), &parsed);
                 }
             }
+            Ev::ClientTimeout { req_id, attempt } => {
+                if let TimeoutOutcome::Retry {
+                    frame,
+                    attempt,
+                    timeout,
+                } = self.client.on_timeout(ctx.now(), req_id, attempt)
+                {
+                    ctx.probe().count("client.retries");
+                    self.send_request(&frame, ctx);
+                    ctx.schedule_in(timeout, Ev::ClientTimeout { req_id, attempt });
+                }
+            }
         }
     }
 }
@@ -342,6 +453,19 @@ pub fn run(spec: WorkloadSpec, cfg: BaselineConfig) -> RunMetrics {
 /// Run a run-to-completion baseline with stage-level observability.
 pub fn run_probed(spec: WorkloadSpec, cfg: BaselineConfig, probe: ProbeConfig) -> RunMetrics {
     run_with_elastic_probed(spec, cfg, probe).0
+}
+
+/// Run a baseline with fault injection and client retries. Baselines
+/// have no central dispatcher: admission and staleness-fallback settings
+/// in `res` are ignored (their per-worker rings already tail-drop, and
+/// hash steering is the fallback the governor would degrade *to*).
+pub fn run_resilient_probed(
+    spec: WorkloadSpec,
+    cfg: BaselineConfig,
+    probe: ProbeConfig,
+    res: ResilienceConfig,
+) -> RunMetrics {
+    run_inner(spec, cfg, probe, res).0
 }
 
 /// Like [`run_probed`] (with probing disabled), also returning the
@@ -358,8 +482,20 @@ pub fn run_with_elastic_probed(
     cfg: BaselineConfig,
     probe: ProbeConfig,
 ) -> (RunMetrics, f64) {
-    let mut engine = Engine::new(Baseline::new(spec, cfg));
+    run_inner(spec, cfg, probe, ResilienceConfig::default())
+}
+
+fn run_inner(
+    spec: WorkloadSpec,
+    cfg: BaselineConfig,
+    probe: ProbeConfig,
+    res: ResilienceConfig,
+) -> (RunMetrics, f64) {
+    let mut engine = Engine::new(Baseline::new(spec, cfg, res));
     engine.set_probe(Probe::new(probe));
+    if res.is_active() {
+        engine.set_faults(FaultPlan::new(res.faults, spec.seed ^ FAULT_SEED_SALT));
+    }
     engine.schedule_at(SimTime::ZERO, Ev::ClientSend);
     if cfg.kind == BaselineKind::ElasticRss {
         engine.schedule_at(SimTime::ZERO + ERSS_INTERVAL, Ev::ErssTick);
@@ -374,7 +510,14 @@ pub fn run_with_elastic_probed(
         .sum::<f64>()
         / model.workers.len() as f64;
     let mean_active = model.active_tw.mean_until(horizon).max(1.0);
-    let mut metrics = assemble_metrics(&model.client, model.nic.total_drops(), 0, util);
+    let ring_dropped = model.nic.total_drops();
+    let mut metrics = assemble_metrics(&model.client, ring_dropped, 0, util);
+    let fm = &mut metrics.faults;
+    fm.req_link_lost = model.req_lost;
+    fm.resp_link_lost = model.resp_lost;
+    fm.ring_dropped = ring_dropped;
+    fm.stranded = model.stranded;
+    metrics.dropped = ring_dropped + fm.link_lost();
     if probe.enabled {
         metrics.stages = Some(engine.probe_mut().report(horizon));
     }
@@ -584,6 +727,51 @@ mod erss_tests {
             },
         );
         assert_eq!(active, 6.0);
+    }
+
+    #[test]
+    fn loss_and_crash_accounts_for_every_request() {
+        let spec = quick_spec(300_000.0);
+        let res = ResilienceConfig::loss_and_crash(1, SimTime::ZERO + SimDuration::from_millis(10));
+        let run = |kind| {
+            run_resilient_probed(
+                spec,
+                BaselineConfig { workers: 4, kind },
+                ProbeConfig::disabled(),
+                res,
+            )
+        };
+        for kind in [BaselineKind::Rss, BaselineKind::RssStealing] {
+            let m = run(kind);
+            let f = &m.faults;
+            assert_eq!(f.unaccounted(), 0, "{kind:?}: request ledger leaks: {f:?}");
+            assert!(
+                f.in_pipe() < 1200,
+                "{kind:?}: attempt residue beyond ring depth: {f:?}"
+            );
+            assert!(f.retries > 0, "{kind:?}: loss never triggered a retry");
+            assert!(
+                m.completed > 1_000,
+                "{kind:?}: goodput collapsed: {}",
+                m.row()
+            );
+        }
+        // Without stealing, frames hashed to the dead core strand; with
+        // stealing, peers rescue them.
+        let rss = run(BaselineKind::Rss);
+        let stealing = run(BaselineKind::RssStealing);
+        assert!(rss.faults.stranded > 0, "no stranding at a dead core");
+        assert!(
+            stealing.faults.stranded < rss.faults.stranded,
+            "stealing should rescue stranded work: {} vs {}",
+            stealing.faults.stranded,
+            rss.faults.stranded
+        );
+        // Determinism under faults.
+        let a = run(BaselineKind::Rss);
+        let b = run(BaselineKind::Rss);
+        assert_eq!(a.faults, b.faults);
+        assert_eq!(a.p99, b.p99);
     }
 
     #[test]

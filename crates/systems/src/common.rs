@@ -1,9 +1,214 @@
 //! Plumbing shared by every system assembly: addressing conventions, the
-//! open-loop client, and metric assembly.
+//! open-loop client (with its reliability layer), the resilience
+//! configuration every assembly accepts, the stale-feedback governor, and
+//! metric assembly.
+
+use std::collections::{HashMap, HashSet};
 
 use net_wire::{Endpoint, EthernetAddress, FrameSpec, Ipv4Address, MsgRepr, ParsedFrame};
+use nicsched::{
+    AdmissionPolicy, CoreFeedback, CoreSelector, Dispatcher, FeedbackChannel, SchedPolicy,
+};
+use sim_core::faults::FaultConfig;
 use sim_core::{Rng, SimDuration, SimTime};
-use workload::{ArrivalGen, ArrivalProcess, LatencyRecorder, ReqClass, RunMetrics, WorkloadSpec};
+use workload::{
+    ArrivalGen, ArrivalProcess, FaultMetrics, LatencyRecorder, ReqClass, RetryPolicy, RunMetrics,
+    WorkloadSpec,
+};
+
+/// Seed salt for the fault plan's private random stream, so fault
+/// decisions never perturb the workload's own streams.
+pub const FAULT_SEED_SALT: u64 = 0x5EED_FA17;
+
+/// Stretch a duration by a slowdown factor (thermal-throttle windows
+/// multiply wall time while the amount of useful work is unchanged).
+pub(crate) fn scale_duration(d: SimDuration, factor: f64) -> SimDuration {
+    SimDuration::from_nanos((d.as_nanos() as f64 * factor) as u64)
+}
+
+/// When the dispatcher's view of workers goes stale enough to be dead
+/// data, stop steering on it: degrade to RSS-style hashing, and
+/// quarantine individual workers that have been silent even longer (a
+/// crashed worker must not keep receiving work until its ring drops it).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StalenessPolicy {
+    /// Staleness beyond which the *majority-stale* dispatcher falls back
+    /// to hashed selection.
+    pub degrade_after: SimDuration,
+    /// Per-worker staleness beyond which the worker is quarantined from
+    /// selection entirely.
+    pub quarantine_after: SimDuration,
+    /// Interval between worker liveness heartbeats on the feedback path.
+    pub heartbeat: SimDuration,
+}
+
+impl StalenessPolicy {
+    /// Defaults scaled to the paper's 2.56 µs PCIe feedback gap: workers
+    /// heartbeat every 5 µs, the dispatcher tolerates ~5 missed
+    /// heartbeats before degrading and ~3× that before quarantining.
+    pub fn paper_default() -> StalenessPolicy {
+        StalenessPolicy {
+            degrade_after: SimDuration::from_micros(25),
+            quarantine_after: SimDuration::from_micros(75),
+            heartbeat: SimDuration::from_micros(5),
+        }
+    }
+}
+
+/// Cross-assembly fault/reliability configuration, deliberately separate
+/// from each assembly's own config struct so existing call sites stay
+/// untouched: `run_probed` is `run_resilient_probed` with
+/// `ResilienceConfig::default()`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ResilienceConfig {
+    /// Timed fault events (loss, bursts, crashes, stalls, blackouts).
+    pub faults: FaultConfig,
+    /// Client-side timeout/retry policy (`None` = fire-and-forget).
+    pub retry: Option<RetryPolicy>,
+    /// Dispatcher admission policy (ignored by assemblies without a
+    /// central dispatcher, where per-worker rings already tail-drop).
+    pub admission: AdmissionPolicy,
+    /// Stale-feedback fallback policy for informed dispatchers.
+    pub fallback: Option<StalenessPolicy>,
+}
+
+impl ResilienceConfig {
+    /// Whether anything here deviates from the legacy fault-free path.
+    pub fn is_active(&self) -> bool {
+        !self.faults.is_none()
+            || self.retry.is_some()
+            || !self.admission.is_open()
+            || self.fallback.is_some()
+    }
+
+    /// The ISSUE-2 acceptance scenario: 1% wire loss plus a mid-run crash
+    /// of `worker` at `at`, with retries and the staleness fallback on.
+    pub fn loss_and_crash(worker: usize, at: SimTime) -> ResilienceConfig {
+        ResilienceConfig {
+            faults: FaultConfig::default()
+                .with_wire_loss(0.01)
+                .with_crash(worker, at),
+            retry: Some(RetryPolicy::paper_default()),
+            admission: AdmissionPolicy::Open,
+            fallback: Some(StalenessPolicy::paper_default()),
+        }
+    }
+}
+
+/// The stale-feedback governor: watches per-worker report staleness
+/// through a [`FeedbackChannel`] and drives the dispatcher's degraded /
+/// quarantine switches. Owned by the informed assemblies; baselines are
+/// already hash-steered and need none of this.
+#[derive(Debug)]
+pub struct FeedbackGovernor {
+    channel: FeedbackChannel,
+    policy: StalenessPolicy,
+    degraded: bool,
+    degraded_since: Option<SimTime>,
+    quarantined: Vec<bool>,
+    /// Informed→hashed transitions taken.
+    pub switches: u64,
+    /// Closed degraded intervals, accumulated nanoseconds.
+    pub degraded_ns: u64,
+    /// Quarantine events (workers excluded for silence).
+    pub quarantines: u64,
+}
+
+impl FeedbackGovernor {
+    /// A governor over `n_workers` workers whose feedback path has
+    /// one-way `latency`.
+    pub fn new(
+        n_workers: usize,
+        latency: SimDuration,
+        policy: StalenessPolicy,
+    ) -> FeedbackGovernor {
+        FeedbackGovernor {
+            channel: FeedbackChannel::new(n_workers, latency),
+            policy,
+            degraded: false,
+            degraded_since: None,
+            quarantined: vec![false; n_workers],
+            switches: 0,
+            degraded_ns: 0,
+            quarantines: 0,
+        }
+    }
+
+    /// The governor's staleness policy.
+    pub fn policy(&self) -> StalenessPolicy {
+        self.policy
+    }
+
+    /// Worker side: a liveness report at `now` (suppressed by the caller
+    /// during blackouts, stalls and after crashes — that suppression is
+    /// exactly what the governor detects).
+    pub fn report(&mut self, now: SimTime, worker: usize, occupancy: u32, busy: bool) {
+        self.channel.send(
+            now,
+            CoreFeedback {
+                worker,
+                occupancy,
+                busy,
+                reported_at: now,
+            },
+        );
+    }
+
+    /// Dispatcher side: re-evaluate staleness at `now` and push the
+    /// resulting degrade/quarantine switches into `disp`. Workers that
+    /// have never reported count as stale since the start of the run.
+    pub fn evaluate<P: SchedPolicy, S: CoreSelector>(
+        &mut self,
+        now: SimTime,
+        disp: &mut Dispatcher<P, S>,
+    ) {
+        let n = self.quarantined.len();
+        let mut stale = 0usize;
+        for w in 0..n {
+            let age = self
+                .channel
+                .staleness(now, w)
+                .unwrap_or_else(|| now.saturating_duration_since(SimTime::ZERO));
+            if age > self.policy.degrade_after {
+                stale += 1;
+            }
+            let quarantine = age > self.policy.quarantine_after;
+            if quarantine != self.quarantined[w] {
+                self.quarantined[w] = quarantine;
+                if quarantine {
+                    self.quarantines += 1;
+                }
+                disp.set_excluded(w, quarantine);
+            }
+        }
+        let degraded = stale * 2 > n;
+        if degraded != self.degraded {
+            if degraded {
+                self.switches += 1;
+                self.degraded_since = Some(now);
+            } else if let Some(since) = self.degraded_since.take() {
+                self.degraded_ns += now.saturating_duration_since(since).as_nanos();
+            }
+            self.degraded = degraded;
+            disp.set_degraded(degraded);
+        }
+    }
+
+    /// Whether the governor currently holds the dispatcher degraded.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Total nanoseconds spent degraded, closing any open interval at
+    /// `now` (for end-of-run metrics).
+    pub fn fallback_ns(&self, now: SimTime) -> u64 {
+        self.degraded_ns
+            + self
+                .degraded_since
+                .map(|s| now.saturating_duration_since(s).as_nanos())
+                .unwrap_or(0)
+    }
+}
 
 /// Deterministic MAC/IP addressing plan for a simulated testbed.
 ///
@@ -79,6 +284,44 @@ impl JitPacing {
     }
 }
 
+/// What became of a response frame arriving at the client.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ResponseOutcome {
+    /// First response for the request: latency recorded.
+    Recorded,
+    /// The request had already completed — a retransmission raced the
+    /// original; suppressed.
+    Duplicate,
+    /// The client had already abandoned the request; the work was wasted.
+    Orphaned,
+}
+
+/// What a per-attempt timeout (or early NACK) resolves to.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TimeoutOutcome {
+    /// The attempt already resolved, or a newer attempt superseded it.
+    Stale,
+    /// Retransmit `frame` now and arm a fresh timeout.
+    Retry {
+        /// The rebuilt request frame (same request id, original send
+        /// timestamp, so recorded latency spans the full ordeal).
+        frame: FrameSpec,
+        /// The new attempt number (1-based).
+        attempt: u32,
+        /// Timeout to arm for this attempt (backed off, capped).
+        timeout: SimDuration,
+    },
+    /// Attempt budget exhausted: the request is abandoned.
+    Abandoned,
+}
+
+/// Per-request reliability state.
+#[derive(Debug, Clone, Copy)]
+struct PendingReq {
+    msg: MsgRepr,
+    attempt: u32,
+}
+
 /// The mutilate-style open-loop client (§4): Poisson arrivals, synthetic
 /// service times stamped into request frames, latency recording from
 /// responses.
@@ -100,6 +343,25 @@ pub struct Client {
     /// When set, responses carry server-load feedback and the client
     /// paces itself (§5.2 co-design). `None` = pure open loop (§4).
     pub pacing: Option<JitPacing>,
+    /// Timeout/retry policy; `None` = fire-and-forget (requests are still
+    /// tracked so the run ledger closes).
+    retry: Option<RetryPolicy>,
+    /// Requests awaiting their first response.
+    outstanding: HashMap<u64, PendingReq>,
+    /// Requests whose response was recorded (including during warmup).
+    done: HashSet<u64>,
+    /// Requests abandoned after the attempt budget.
+    gave_up: HashSet<u64>,
+    /// Retransmissions sent.
+    pub retries: u64,
+    /// Timeouts that fired while their attempt was live.
+    pub timeouts: u64,
+    /// Suppressed duplicate responses.
+    pub duplicates: u64,
+    /// Responses that arrived after abandonment.
+    pub orphaned: u64,
+    /// Requests abandoned.
+    pub abandoned: u64,
 }
 
 impl Client {
@@ -120,7 +382,27 @@ impl Client {
             client_id: 1,
             port_cursor: 0,
             pacing: None,
+            retry: None,
+            outstanding: HashMap::new(),
+            done: HashSet::new(),
+            gave_up: HashSet::new(),
+            retries: 0,
+            timeouts: 0,
+            duplicates: 0,
+            orphaned: 0,
+            abandoned: 0,
         }
+    }
+
+    /// Arm the reliability layer: each request gets a per-attempt timeout
+    /// and up to `policy.max_attempts` transmissions.
+    pub fn enable_retries(&mut self, policy: RetryPolicy) {
+        self.retry = Some(policy);
+    }
+
+    /// The retry policy, if reliability is armed.
+    pub fn retry_policy(&self) -> Option<RetryPolicy> {
+        self.retry
     }
 
     /// The workload being generated.
@@ -155,32 +437,138 @@ impl Client {
         let mut src = AddressPlan::client_ep();
         // 1024 distinct source ports → plenty of flows for RSS.
         src.port = 7000 + (self.port_cursor % 1024);
+        let msg = MsgRepr::request(
+            id,
+            self.client_id,
+            service.as_nanos(),
+            now.as_nanos(),
+            self.spec.body_len,
+        );
+        self.outstanding.insert(id, PendingReq { msg, attempt: 1 });
         FrameSpec {
             src_mac: AddressPlan::client_mac(),
             dst_mac: AddressPlan::dispatcher_mac(),
             src,
             dst: AddressPlan::dispatcher_ep(),
-            msg: MsgRepr::request(
-                id,
-                self.client_id,
-                service.as_nanos(),
-                now.as_nanos(),
-                self.spec.body_len,
-            ),
+            msg,
         }
+    }
+
+    /// The timeout to arm right after transmitting `req_id` (`None` when
+    /// reliability is off or the request already resolved). Returns the
+    /// attempt number to stamp into the timeout event, so stale firings
+    /// from superseded attempts can be ignored (the engine's
+    /// generation-counter cancellation idiom).
+    pub fn arm_timeout(&self, req_id: u64) -> Option<(u32, SimDuration)> {
+        let policy = self.retry?;
+        let pending = self.outstanding.get(&req_id)?;
+        Some((pending.attempt, policy.timeout_for(pending.attempt)))
+    }
+
+    /// Rebuild the wire frame for a retransmission of `req_id`. The
+    /// message is byte-identical to the original (same id, service time
+    /// and send timestamp — latency is measured from the *first*
+    /// transmission); only the source port is re-derived so the flow
+    /// stays stable for RSS.
+    fn rebuild_frame(&self, msg: MsgRepr) -> FrameSpec {
+        let mut src = AddressPlan::client_ep();
+        src.port = 7000 + (msg.req_id % 1024) as u16;
+        FrameSpec {
+            src_mac: AddressPlan::client_mac(),
+            dst_mac: AddressPlan::dispatcher_mac(),
+            src,
+            dst: AddressPlan::dispatcher_ep(),
+            msg,
+        }
+    }
+
+    /// Resolve a live attempt that will never get a response: either
+    /// retransmit (bumping the attempt) or abandon the request.
+    fn expire(&mut self, req_id: u64) -> TimeoutOutcome {
+        let Some(policy) = self.retry else {
+            return TimeoutOutcome::Stale;
+        };
+        let Some(pending) = self.outstanding.get_mut(&req_id) else {
+            return TimeoutOutcome::Stale;
+        };
+        if !policy.may_retry(pending.attempt) {
+            self.outstanding.remove(&req_id);
+            self.gave_up.insert(req_id);
+            self.abandoned += 1;
+            return TimeoutOutcome::Abandoned;
+        }
+        pending.attempt += 1;
+        let attempt = pending.attempt;
+        let msg = pending.msg;
+        self.retries += 1;
+        TimeoutOutcome::Retry {
+            frame: self.rebuild_frame(msg),
+            attempt,
+            timeout: policy.timeout_for(attempt),
+        }
+    }
+
+    /// A timeout armed for (`req_id`, `attempt`) fired at `now`.
+    pub fn on_timeout(&mut self, _now: SimTime, req_id: u64, attempt: u32) -> TimeoutOutcome {
+        match self.outstanding.get(&req_id) {
+            Some(p) if p.attempt == attempt => {}
+            _ => return TimeoutOutcome::Stale, // resolved or superseded
+        }
+        self.timeouts += 1;
+        self.expire(req_id)
+    }
+
+    /// An early NACK for `req_id` arrived at `now`: the dispatcher shed
+    /// the current attempt, so resolve it immediately instead of waiting
+    /// for the timeout.
+    pub fn on_nack(&mut self, _now: SimTime, req_id: u64) -> TimeoutOutcome {
+        if !self.outstanding.contains_key(&req_id) {
+            return TimeoutOutcome::Stale;
+        }
+        self.expire(req_id)
     }
 
     /// Absorb a response frame at `now`. In Response messages the
     /// `remaining_ns` field is repurposed as the NIC's load stamp (§5.2);
-    /// when pacing is on, the client reacts to it.
-    pub fn on_response(&mut self, now: SimTime, frame: &ParsedFrame) {
+    /// when pacing is on, the client reacts to it. Duplicate responses
+    /// (a retransmission raced the original) and orphans (the request was
+    /// already abandoned) are counted and suppressed, never recorded.
+    pub fn on_response(&mut self, now: SimTime, frame: &ParsedFrame) -> ResponseOutcome {
         let msg = frame.msg;
+        if let Some(p) = &mut self.pacing {
+            p.observe(msg.remaining_ns);
+        }
+        if self.done.contains(&msg.req_id) {
+            self.duplicates += 1;
+            return ResponseOutcome::Duplicate;
+        }
+        if self.gave_up.contains(&msg.req_id) {
+            self.orphaned += 1;
+            return ResponseOutcome::Orphaned;
+        }
+        self.done.insert(msg.req_id);
+        self.outstanding.remove(&msg.req_id);
         let service = SimDuration::from_nanos(msg.service_ns);
         let sent_at = SimTime::from_nanos(msg.sent_at_ns);
         let class = self.spec.class_of(service);
         self.recorder.record(now, sent_at, service, class);
-        if let Some(p) = &mut self.pacing {
-            p.observe(msg.remaining_ns);
+        ResponseOutcome::Recorded
+    }
+
+    /// The client-side half of the fault ledger (assemblies overlay the
+    /// model-side counters: link losses, ring drops, sheds, strandings).
+    pub fn fault_metrics(&self) -> FaultMetrics {
+        FaultMetrics {
+            attempts: self.sent + self.retries,
+            launched: self.sent,
+            completed_all: self.done.len() as u64,
+            retries: self.retries,
+            timeouts: self.timeouts,
+            duplicates: self.duplicates,
+            orphaned: self.orphaned,
+            abandoned: self.abandoned,
+            open_at_horizon: self.outstanding.len() as u64,
+            ..FaultMetrics::default()
         }
     }
 }
@@ -215,6 +603,7 @@ pub fn assemble_metrics(
         preemptions,
         worker_utilization,
         stages: None,
+        faults: client.fault_metrics(),
     }
 }
 
@@ -277,6 +666,167 @@ mod tests {
         client.on_response(SimTime::from_micros(30), &parsed);
         assert_eq!(client.recorder.completed, 1);
         assert_eq!(client.recorder.p99(), Some(SimDuration::from_micros(20)));
+    }
+
+    #[test]
+    fn retry_flow_retransmits_then_abandons() {
+        let mut master = Rng::new(5);
+        let mut client = Client::new(spec(), &mut master);
+        let policy = RetryPolicy {
+            timeout: SimDuration::from_micros(100),
+            backoff: 2.0,
+            max_timeout: SimDuration::from_micros(300),
+            max_attempts: 3,
+        };
+        client.enable_retries(policy);
+        let f = client.make_request(SimTime::ZERO);
+        let id = f.msg.req_id;
+        let (attempt, t) = client.arm_timeout(id).unwrap();
+        assert_eq!((attempt, t), (1, SimDuration::from_micros(100)));
+        // First timeout: retransmit with doubled timeout.
+        let out = client.on_timeout(SimTime::from_micros(100), id, 1);
+        let TimeoutOutcome::Retry {
+            frame,
+            attempt,
+            timeout,
+        } = out
+        else {
+            panic!("expected retry, got {out:?}");
+        };
+        assert_eq!(frame.msg, f.msg, "retransmit is byte-identical");
+        assert_eq!(attempt, 2);
+        assert_eq!(timeout, SimDuration::from_micros(200));
+        // A stale firing of the superseded attempt is ignored.
+        assert_eq!(
+            client.on_timeout(SimTime::from_micros(150), id, 1),
+            TimeoutOutcome::Stale
+        );
+        // Second timeout: third (= last) attempt.
+        assert!(matches!(
+            client.on_timeout(SimTime::from_micros(300), id, 2),
+            TimeoutOutcome::Retry { attempt: 3, .. }
+        ));
+        // Third timeout: budget exhausted.
+        assert_eq!(
+            client.on_timeout(SimTime::from_micros(600), id, 3),
+            TimeoutOutcome::Abandoned
+        );
+        assert_eq!(client.retries, 2);
+        assert_eq!(client.timeouts, 3);
+        assert_eq!(client.abandoned, 1);
+        let fm = client.fault_metrics();
+        assert_eq!(fm.attempts, 3);
+        assert_eq!(fm.launched, 1);
+        assert_eq!(fm.unaccounted(), 0, "abandonment closes the ledger");
+    }
+
+    #[test]
+    fn duplicate_and_orphan_responses_are_suppressed() {
+        let mut master = Rng::new(5);
+        let mut s = spec();
+        s.warmup = SimDuration::ZERO;
+        let mut client = Client::new(s, &mut master);
+        client.enable_retries(RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::paper_default()
+        });
+        let req = client.make_request(SimTime::ZERO);
+        let resp = ParsedFrame::parse(
+            &FrameSpec {
+                msg: req.msg.response(),
+                ..req
+            }
+            .build(),
+        )
+        .unwrap();
+        assert_eq!(
+            client.on_response(SimTime::from_micros(10), &resp),
+            ResponseOutcome::Recorded
+        );
+        assert_eq!(
+            client.on_response(SimTime::from_micros(12), &resp),
+            ResponseOutcome::Duplicate
+        );
+        assert_eq!(client.recorder.completed, 1, "recorded exactly once");
+        // An abandoned request's late response is an orphan.
+        let req2 = client.make_request(SimTime::ZERO);
+        assert_eq!(
+            client.on_timeout(SimTime::from_millis(1), req2.msg.req_id, 1),
+            TimeoutOutcome::Abandoned
+        );
+        let resp2 = ParsedFrame::parse(
+            &FrameSpec {
+                msg: req2.msg.response(),
+                ..req2
+            }
+            .build(),
+        )
+        .unwrap();
+        assert_eq!(
+            client.on_response(SimTime::from_millis(2), &resp2),
+            ResponseOutcome::Orphaned
+        );
+        let fm = client.fault_metrics();
+        assert_eq!(fm.duplicates, 1);
+        assert_eq!(fm.orphaned, 1);
+        assert_eq!(fm.unaccounted(), 0);
+    }
+
+    #[test]
+    fn nack_triggers_immediate_retry() {
+        let mut master = Rng::new(5);
+        let mut client = Client::new(spec(), &mut master);
+        client.enable_retries(RetryPolicy::paper_default());
+        let f = client.make_request(SimTime::ZERO);
+        let out = client.on_nack(SimTime::from_micros(5), f.msg.req_id);
+        assert!(matches!(out, TimeoutOutcome::Retry { attempt: 2, .. }));
+        assert_eq!(client.timeouts, 0, "a NACK is not a timeout");
+        assert_eq!(client.retries, 1);
+        assert_eq!(
+            client.on_nack(SimTime::from_micros(5), 999),
+            TimeoutOutcome::Stale
+        );
+    }
+
+    #[test]
+    fn governor_degrades_quarantines_and_recovers() {
+        use nicsched::{Fcfs, LeastOutstanding};
+        let us = SimTime::from_micros;
+        let policy = StalenessPolicy {
+            degrade_after: SimDuration::from_micros(25),
+            quarantine_after: SimDuration::from_micros(75),
+            heartbeat: SimDuration::from_micros(5),
+        };
+        let mut gov = FeedbackGovernor::new(2, SimDuration::from_micros(2), policy);
+        let mut disp = Dispatcher::new(2, 1, Fcfs::new(), LeastOutstanding);
+        // Both workers report early: healthy.
+        gov.report(us(1), 0, 0, false);
+        gov.report(us(1), 1, 0, false);
+        gov.evaluate(us(5), &mut disp);
+        assert!(!gov.is_degraded());
+        // Worker 1 goes silent; worker 0 keeps reporting. Evaluate after the
+        // 2 µs channel latency so the fresh report has actually landed.
+        gov.report(us(30), 0, 0, false);
+        gov.evaluate(us(33), &mut disp);
+        assert!(!gov.is_degraded(), "one stale of two is not a majority");
+        gov.report(us(80), 0, 0, false);
+        gov.evaluate(us(83), &mut disp);
+        assert!(disp.is_excluded(1), "silent worker quarantined");
+        assert!(!disp.is_excluded(0));
+        assert_eq!(gov.quarantines, 1);
+        // Total blackout: both silent long enough -> hashed fallback.
+        gov.evaluate(us(130), &mut disp);
+        assert!(gov.is_degraded());
+        assert!(disp.is_degraded());
+        assert_eq!(gov.switches, 1);
+        // Both resume reporting: fallback lifts, quarantine releases.
+        gov.report(us(140), 0, 0, false);
+        gov.report(us(140), 1, 0, false);
+        gov.evaluate(us(143), &mut disp);
+        assert!(!gov.is_degraded());
+        assert!(!disp.is_excluded(1));
+        assert_eq!(gov.fallback_ns(us(143)), gov.degraded_ns);
+        assert!(gov.degraded_ns >= 13_000, "degraded 130->143us");
     }
 
     #[test]

@@ -42,4 +42,7 @@ pub mod rpcvalet;
 pub mod shinjuku;
 
 pub use api::{ServerSystem, SystemConfig};
+pub use common::{
+    FeedbackGovernor, ResilienceConfig, ResponseOutcome, StalenessPolicy, TimeoutOutcome,
+};
 pub use sim_core::ProbeConfig;

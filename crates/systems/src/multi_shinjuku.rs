@@ -21,10 +21,13 @@ use cpu_model::{ContextCosts, ContextPool, Core, CoreId, CoreSpec, OneShotTimer,
 use net_wire::{FrameSpec, MsgKind, MsgRepr, ParsedFrame};
 use nic_model::{IfaceId, Link, NicDevice, QueueSteering, Rss};
 use nicsched::{params, Assignment, Dispatcher, LeastOutstanding, PolicyKind, SchedPolicy, Task};
-use sim_core::{Ctx, Engine, Model, Probe, ProbeConfig, Rng, SimDuration, SimTime};
+use sim_core::{Ctx, Engine, FaultPlan, Model, Probe, ProbeConfig, Rng, SimDuration, SimTime};
 use workload::{RunMetrics, WorkloadSpec};
 
-use crate::common::{assemble_metrics, AddressPlan, Client};
+use crate::common::{
+    assemble_metrics, scale_duration, AddressPlan, Client, ResilienceConfig, TimeoutOutcome,
+    FAULT_SEED_SALT,
+};
 
 /// Configuration of a multi-dispatcher Shinjuku.
 #[derive(Debug, Clone, Copy)]
@@ -86,6 +89,11 @@ enum Ev {
         gen: u64,
     },
     ClientResp(Bytes),
+    /// A client retransmit timer fires for one attempt of one request.
+    ClientTimeout {
+        req_id: u64,
+        attempt: u32,
+    },
 }
 
 struct Worker {
@@ -118,12 +126,28 @@ struct MultiShinjuku {
     ctx_costs: ContextCosts,
     host: CoreSpec,
     preemptions: u64,
+
+    req_lost: u64,
+    resp_lost: u64,
+    stranded: u64,
+    nacks: u64,
 }
 
 impl MultiShinjuku {
-    fn new(spec: WorkloadSpec, cfg: MultiShinjukuConfig) -> MultiShinjuku {
+    fn new(spec: WorkloadSpec, cfg: MultiShinjukuConfig, res: ResilienceConfig) -> MultiShinjuku {
         let mut master = Rng::new(spec.seed);
-        let client = Client::new(spec, &mut master);
+        let mut client = Client::new(spec, &mut master);
+        if let Some(policy) = res.retry {
+            client.enable_retries(policy);
+        }
+        let (client_link, server_link) = if res.faults.wire_loss > 0.0 {
+            (
+                Link::ten_gbe().with_loss(res.faults.wire_loss, master.fork()),
+                Link::ten_gbe().with_loss(res.faults.wire_loss, master.fork()),
+            )
+        } else {
+            (Link::ten_gbe(), Link::ten_gbe())
+        };
 
         let mut nic = NicDevice::new(params::PCIE_DMA);
         // One RX queue per dispatcher group, fed by RSS (§2.2).
@@ -140,12 +164,16 @@ impl MultiShinjuku {
                 networker_busy: false,
                 disp_queue: VecDeque::new(),
                 disp_busy: false,
-                dispatcher: Dispatcher::new(
-                    cfg.workers_per_group,
-                    1,
-                    cfg.policy.build(),
-                    LeastOutstanding,
-                ),
+                dispatcher: {
+                    let mut d = Dispatcher::new(
+                        cfg.workers_per_group,
+                        1,
+                        cfg.policy.build(),
+                        LeastOutstanding,
+                    );
+                    d.set_admission(res.admission);
+                    d
+                },
                 workers: (0..cfg.workers_per_group)
                     .map(|w| Worker {
                         core: Core::new(
@@ -166,8 +194,8 @@ impl MultiShinjuku {
             cfg,
             horizon: spec.horizon(),
             client,
-            client_link: Link::ten_gbe(),
-            server_link: Link::ten_gbe(),
+            client_link,
+            server_link,
             nic,
             net_iface,
             groups,
@@ -175,6 +203,47 @@ impl MultiShinjuku {
             ctx_costs: ContextCosts::default(),
             host: CoreSpec::host_x86(),
             preemptions: 0,
+            req_lost: 0,
+            resp_lost: 0,
+            stranded: 0,
+            nacks: 0,
+        }
+    }
+
+    /// Transmit a client→NIC frame over the (possibly lossy) request wire.
+    fn send_request(&mut self, spec: &FrameSpec, ctx: &mut Ctx<Ev>) {
+        let payload_len = spec.frame_len() - net_wire::ethernet::HEADER_LEN;
+        let bytes = spec.build();
+        let now = ctx.now();
+        if ctx.faults().burst_frame_lost(now) {
+            self.req_lost += 1;
+            ctx.probe().count("wire.req_lost");
+            return;
+        }
+        match self.client_link.transmit_lossy(now, payload_len) {
+            Some(arrive) => ctx.schedule_at(arrive, Ev::WireToNic(bytes)),
+            None => {
+                self.req_lost += 1;
+                ctx.probe().count("wire.req_lost");
+            }
+        }
+    }
+
+    /// Transmit a server→client frame (response or NACK) starting at `depart`.
+    fn send_response(&mut self, spec: &FrameSpec, depart: SimTime, ctx: &mut Ctx<Ev>) {
+        let payload_len = spec.frame_len() - net_wire::ethernet::HEADER_LEN;
+        let bytes = spec.build();
+        if ctx.faults().burst_frame_lost(depart) {
+            self.resp_lost += 1;
+            ctx.probe().count("wire.resp_lost");
+            return;
+        }
+        match self.server_link.transmit_lossy(depart, payload_len) {
+            Some(arrive) => ctx.schedule_at(arrive, Ev::ClientResp(bytes)),
+            None => {
+                self.resp_lost += 1;
+                ctx.probe().count("wire.resp_lost");
+            }
         }
     }
 
@@ -210,6 +279,17 @@ impl MultiShinjuku {
         if self.groups[g].workers[local].running.is_some() {
             return;
         }
+        {
+            let gw = g * self.cfg.workers_per_group + local;
+            let now = ctx.now();
+            if ctx.faults().worker_crashed(gw, now) {
+                return; // dead cores never poll again
+            }
+            if let Some(resume) = ctx.faults().worker_stalled_until(gw, now) {
+                ctx.schedule_at(resume, Ev::WorkerPoll(g, local));
+                return;
+            }
+        }
         let Some(task) = self.groups[g].workers[local].inbox.pop_front() else {
             self.groups[g].workers[local].core.set_idle(ctx.now());
             let global = g * self.cfg.workers_per_group + local;
@@ -230,9 +310,18 @@ impl MultiShinjuku {
             }
             None => task.remaining,
         };
+        let slow = {
+            let now = ctx.now();
+            ctx.faults().worker_slowdown(global, now)
+        };
+        let wall = if slow > 1.0 {
+            scale_duration(overhead + run, slow)
+        } else {
+            overhead + run
+        };
         let worker = &mut self.groups[g].workers[local];
         worker.core.set_busy(ctx.now());
-        let end = ctx.now() + overhead + run;
+        let end = ctx.now() + wall;
         let gen = worker.timer.arm(end);
         worker.running = Some((task, run));
         ctx.schedule_at(
@@ -254,6 +343,17 @@ impl MultiShinjuku {
             .take()
             .expect("running");
         let now = ctx.now();
+        if ctx
+            .faults()
+            .worker_crashed(g * self.cfg.workers_per_group + local, now)
+        {
+            // Died mid-request: the task is stranded, no Done ever reaches
+            // the group dispatcher, and its cap-1 slot stays occupied.
+            self.ctx_pool.discard(task.req_id);
+            self.stranded += 1;
+            ctx.probe().count("worker.stranded");
+            return;
+        }
         if task.remaining <= run {
             ctx.probe().count("worker.completed");
             ctx.probe().mark(task.req_id, "path.4_worker_done");
@@ -273,11 +373,8 @@ impl MultiShinjuku {
                     body_len: task.body_len,
                 },
             };
-            let payload_len = resp.frame_len() - net_wire::ethernet::HEADER_LEN;
-            let arrive = self
-                .server_link
-                .transmit(resp_built + self.nic.dma_latency, payload_len);
-            ctx.schedule_at(arrive, Ev::ClientResp(resp.build()));
+            let depart = resp_built + self.nic.dma_latency;
+            self.send_response(&resp, depart, ctx);
             self.ctx_pool.discard(task.req_id);
             self.groups[g].workers[local].core.requests_run += 1;
             ctx.schedule_in(
@@ -292,9 +389,27 @@ impl MultiShinjuku {
             );
             ctx.schedule_at(resp_built, Ev::WorkerPoll(g, local));
         } else {
+            let after = task.after_preemption(run);
+            if self.ctx_pool.is_saved(after.req_id) {
+                // A retransmitted copy of this request is already suspended:
+                // kill this copy and free the worker slot via Done.
+                ctx.probe().count("worker.dup_killed");
+                let free_at = now + TimerMode::DuneMapped.deliver_cost(&self.host);
+                ctx.schedule_at(
+                    free_at + params::HOST_QUEUE_HOP,
+                    Ev::DispPush(
+                        g,
+                        DispItem::Done {
+                            local_worker: local,
+                            req_id: after.req_id,
+                        },
+                    ),
+                );
+                ctx.schedule_at(free_at, Ev::WorkerPoll(g, local));
+                return;
+            }
             self.preemptions += 1;
             ctx.probe().count("worker.preempted");
-            let after = task.after_preemption(run);
             self.ctx_pool.save(after.req_id);
             let free_at = now
                 + TimerMode::DuneMapped.deliver_cost(&self.host)
@@ -336,12 +451,13 @@ impl Model for MultiShinjuku {
                     return;
                 }
                 let spec = self.client.make_request(ctx.now());
+                let req_id = spec.msg.req_id;
                 ctx.probe().count("client.sent");
-                ctx.probe().mark(spec.msg.req_id, "path.0_client_send");
-                let payload_len = spec.frame_len() - net_wire::ethernet::HEADER_LEN;
-                let bytes = spec.build();
-                let arrive = self.client_link.transmit(ctx.now(), payload_len);
-                ctx.schedule_at(arrive, Ev::WireToNic(bytes));
+                ctx.probe().mark(req_id, "path.0_client_send");
+                self.send_request(&spec, ctx);
+                if let Some((attempt, timeout)) = self.client.arm_timeout(req_id) {
+                    ctx.schedule_in(timeout, Ev::ClientTimeout { req_id, attempt });
+                }
                 let gap = self.client.next_gap();
                 ctx.schedule_in(gap, Ev::ClientSend);
             }
@@ -396,10 +512,39 @@ impl Model for MultiShinjuku {
                     let now = ctx.now();
                     let assignments = match item {
                         DispItem::NewTask(task) => {
-                            self.groups[g].admitted += 1;
-                            ctx.probe().count("disp.enqueue");
                             ctx.probe().mark(task.req_id, "path.2_dispatch");
-                            self.groups[g].dispatcher.on_request(now, task)
+                            match self.groups[g].dispatcher.offer(now, task) {
+                                nicsched::AdmitOutcome::Admitted(v) => {
+                                    self.groups[g].admitted += 1;
+                                    ctx.probe().count("disp.enqueue");
+                                    v
+                                }
+                                nicsched::AdmitOutcome::Shed { nack } => {
+                                    ctx.probe().count("disp.shed");
+                                    if nack {
+                                        self.nacks += 1;
+                                        ctx.probe().count("disp.nack");
+                                        let frame = FrameSpec {
+                                            src_mac: AddressPlan::dispatcher_mac(),
+                                            dst_mac: AddressPlan::client_mac(),
+                                            src: AddressPlan::dispatcher_ep(),
+                                            dst: AddressPlan::client_ep(),
+                                            msg: MsgRepr {
+                                                kind: MsgKind::Nack,
+                                                req_id: task.req_id,
+                                                client_id: task.client_id,
+                                                service_ns: task.service.as_nanos(),
+                                                remaining_ns: 0,
+                                                sent_at_ns: task.sent_at.as_nanos(),
+                                                body_len: 0,
+                                            },
+                                        };
+                                        let depart = now + self.nic.dma_latency;
+                                        self.send_response(&frame, depart, ctx);
+                                    }
+                                    Vec::new()
+                                }
+                            }
                         }
                         DispItem::Done {
                             local_worker,
@@ -433,6 +578,17 @@ impl Model for MultiShinjuku {
                 self.start_dispatcher(g, ctx);
             }
             Ev::WorkerTask(g, local, task) => {
+                {
+                    let gw = g * self.cfg.workers_per_group + local;
+                    let now = ctx.now();
+                    if ctx.faults().worker_crashed(gw, now) {
+                        // Delivered into a dead core: stranded on arrival.
+                        self.ctx_pool.discard(task.req_id);
+                        self.stranded += 1;
+                        ctx.probe().count("worker.stranded");
+                        return;
+                    }
+                }
                 self.groups[g].workers[local].inbox.push_back(task);
                 if self.groups[g].workers[local].running.is_none() {
                     ctx.schedule_now(Ev::WorkerPoll(g, local));
@@ -441,10 +597,38 @@ impl Model for MultiShinjuku {
             Ev::WorkerPoll(g, local) => self.worker_poll(g, local, ctx),
             Ev::WorkerRunEnd { group, local, gen } => self.worker_run_end(group, local, gen, ctx),
             Ev::ClientResp(bytes) => {
-                if let Ok(parsed) = ParsedFrame::parse(&bytes) {
-                    ctx.probe().count("client.responses");
-                    ctx.probe().finish(parsed.msg.req_id, "path.5_response");
-                    self.client.on_response(ctx.now(), &parsed);
+                let Ok(parsed) = ParsedFrame::parse(&bytes) else {
+                    return;
+                };
+                if parsed.msg.kind == MsgKind::Nack {
+                    ctx.probe().count("client.nacks");
+                    let req_id = parsed.msg.req_id;
+                    if let TimeoutOutcome::Retry {
+                        frame,
+                        attempt,
+                        timeout,
+                    } = self.client.on_nack(ctx.now(), req_id)
+                    {
+                        ctx.probe().count("client.retries");
+                        self.send_request(&frame, ctx);
+                        ctx.schedule_in(timeout, Ev::ClientTimeout { req_id, attempt });
+                    }
+                    return;
+                }
+                ctx.probe().count("client.responses");
+                ctx.probe().finish(parsed.msg.req_id, "path.5_response");
+                self.client.on_response(ctx.now(), &parsed);
+            }
+            Ev::ClientTimeout { req_id, attempt } => {
+                if let TimeoutOutcome::Retry {
+                    frame,
+                    attempt,
+                    timeout,
+                } = self.client.on_timeout(ctx.now(), req_id, attempt)
+                {
+                    ctx.probe().count("client.retries");
+                    self.send_request(&frame, ctx);
+                    ctx.schedule_in(timeout, Ev::ClientTimeout { req_id, attempt });
                 }
             }
         }
@@ -474,8 +658,25 @@ pub fn run_probed(
     cfg: MultiShinjukuConfig,
     probe: ProbeConfig,
 ) -> MultiRunMetrics {
-    let mut engine = Engine::new(MultiShinjuku::new(spec, cfg));
+    run_resilient_probed(spec, cfg, probe, ResilienceConfig::default())
+}
+
+/// Run a multi-dispatcher Shinjuku with fault injection, client retries
+/// and per-group admission control. The staleness-fallback settings in
+/// `res` are ignored: each group's dispatcher sits one queue hop from its
+/// private workers, so there is no cross-group feedback to go stale — the
+/// RSS spray across groups already *is* the uninformed fallback.
+pub fn run_resilient_probed(
+    spec: WorkloadSpec,
+    cfg: MultiShinjukuConfig,
+    probe: ProbeConfig,
+    res: ResilienceConfig,
+) -> MultiRunMetrics {
+    let mut engine = Engine::new(MultiShinjuku::new(spec, cfg, res));
     engine.set_probe(Probe::new(probe));
+    if res.is_active() {
+        engine.set_faults(FaultPlan::new(res.faults, spec.seed ^ FAULT_SEED_SALT));
+    }
     engine.schedule_at(SimTime::ZERO, Ev::ClientSend);
     engine.run_until(spec.horizon());
     let horizon = spec.horizon();
@@ -487,12 +688,17 @@ pub fn run_probed(
         .sum::<f64>()
         / all_workers.len() as f64;
     let imbalance = model.imbalance();
-    let mut metrics = assemble_metrics(
-        &model.client,
-        model.nic.total_drops(),
-        model.preemptions,
-        util,
-    );
+    let ring_dropped = model.nic.total_drops();
+    let shed: u64 = model.groups.iter().map(|g| g.dispatcher.stats.shed).sum();
+    let mut metrics = assemble_metrics(&model.client, ring_dropped, model.preemptions, util);
+    let fm = &mut metrics.faults;
+    fm.req_link_lost = model.req_lost;
+    fm.resp_link_lost = model.resp_lost;
+    fm.ring_dropped = ring_dropped;
+    fm.stranded = model.stranded;
+    fm.shed = shed;
+    fm.nacks = model.nacks;
+    metrics.dropped = ring_dropped + fm.link_lost() + shed;
     if probe.enabled {
         metrics.stages = Some(engine.probe_mut().report(horizon));
     }
@@ -595,6 +801,38 @@ mod tests {
     #[should_panic(expected = "cores left for workers")]
     fn split_needs_worker_cores() {
         let _ = MultiShinjukuConfig::split(4, 4);
+    }
+
+    #[test]
+    fn loss_and_crash_accounts_for_every_request() {
+        let spec = quick_spec(400_000.0, ServiceDist::paper_bimodal());
+        // Crash one worker of group 1 (global index = workers_per_group + 0).
+        let res = ResilienceConfig::loss_and_crash(
+            MultiShinjukuConfig::split(16, 2).workers_per_group,
+            SimTime::ZERO + SimDuration::from_millis(10),
+        );
+        let run = || {
+            run_resilient_probed(
+                spec,
+                MultiShinjukuConfig::split(16, 2),
+                ProbeConfig::disabled(),
+                res,
+            )
+        };
+        let m = run();
+        let f = &m.metrics.faults;
+        assert_eq!(f.unaccounted(), 0, "request ledger leaks: {f:?}");
+        assert!(f.in_pipe() < 200, "attempt residue beyond pipeline: {f:?}");
+        assert!(f.retries > 0, "loss never triggered a retry");
+        assert!(f.stranded >= 1, "crash stranded nothing: {f:?}");
+        assert!(
+            m.metrics.completed > 1_000,
+            "goodput collapsed: {}",
+            m.metrics.row()
+        );
+        let b = run();
+        assert_eq!(m.metrics.faults, b.metrics.faults);
+        assert_eq!(m.metrics.p99, b.metrics.p99);
     }
 
     #[test]

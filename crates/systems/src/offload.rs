@@ -33,13 +33,16 @@ use cpu_model::{
 use net_wire::{FrameSpec, MsgKind, MsgRepr, ParsedFrame};
 use nic_model::{packet_lines, Ddio, IfaceId, Link, NicDevice, Placement, QueueSteering};
 use nicsched::{
-    params, Assignment, CoreSelector, Dispatcher, LeastOutstanding, NicProfile, PolicyKind,
-    SchedPolicy, SocketAffinity, Task,
+    params, AdmitOutcome, Assignment, CoreSelector, Dispatcher, LeastOutstanding, NicProfile,
+    PolicyKind, SchedPolicy, SocketAffinity, Task,
 };
-use sim_core::{Ctx, Engine, Model, Probe, ProbeConfig, Rng, SimDuration, SimTime};
+use sim_core::{Ctx, Engine, FaultPlan, Model, Probe, ProbeConfig, Rng, SimDuration, SimTime};
 use workload::{RunMetrics, WorkloadSpec};
 
-use crate::common::{assemble_metrics, AddressPlan, Client};
+use crate::common::{
+    assemble_metrics, scale_duration, AddressPlan, Client, FeedbackGovernor, ResilienceConfig,
+    TimeoutOutcome, FAULT_SEED_SALT,
+};
 
 /// Configuration of a Shinjuku-Offload instance.
 #[derive(Debug, Clone, Copy)]
@@ -131,6 +134,15 @@ enum Ev {
     RxDone,
     /// A response frame reaches the client.
     ClientResp(Bytes),
+    /// A client retransmit timer fires for one attempt of one request.
+    ClientTimeout {
+        /// Request id the timer guards.
+        req_id: u64,
+        /// Attempt number the timer was armed for (stale if superseded).
+        attempt: u32,
+    },
+    /// A worker's periodic liveness heartbeat to the NIC-side governor.
+    Heartbeat(usize),
 }
 
 /// Items crossing into the queue-manager core.
@@ -205,10 +217,20 @@ struct Offload {
     host: CoreSpec,
 
     preemptions: u64,
+
+    governor: Option<FeedbackGovernor>,
+    /// Request frames lost on the client→NIC wire (i.i.d. + burst).
+    req_lost: u64,
+    /// Response/NACK frames lost on the server→client wire.
+    resp_lost: u64,
+    /// Work that died with a crashed worker (running or in its ring).
+    stranded: u64,
+    /// Early NACK frames sent for shed requests.
+    nacks: u64,
 }
 
 impl Offload {
-    fn new(spec: WorkloadSpec, cfg: OffloadConfig) -> Offload {
+    fn new(spec: WorkloadSpec, cfg: OffloadConfig, res: ResilienceConfig) -> Offload {
         let mut master = Rng::new(spec.seed);
         let mut client = Client::new(spec, &mut master);
         if let Some(target) = cfg.jit_target_depth {
@@ -217,10 +239,19 @@ impl Offload {
         if let Some(process) = cfg.arrivals {
             client.override_arrivals(process, &mut master);
         }
-        let (client_link, server_link) = if cfg.wire_loss > 0.0 {
+        if let Some(policy) = res.retry {
+            client.enable_retries(policy);
+        }
+        // The resilience plan's loss rate overrides the per-config knob.
+        let wire_loss = if res.faults.wire_loss > 0.0 {
+            res.faults.wire_loss
+        } else {
+            cfg.wire_loss
+        };
+        let (client_link, server_link) = if wire_loss > 0.0 {
             (
-                Link::ten_gbe().with_loss(cfg.wire_loss, master.fork()),
-                Link::ten_gbe().with_loss(cfg.wire_loss, master.fork()),
+                Link::ten_gbe().with_loss(wire_loss, master.fork()),
+                Link::ten_gbe().with_loss(wire_loss, master.fork()),
             )
         } else {
             (Link::ten_gbe(), Link::ten_gbe())
@@ -264,13 +295,19 @@ impl Offload {
             Box::new(LeastOutstanding)
         };
 
+        let mut dispatcher = Dispatcher::new(
+            cfg.workers,
+            cfg.outstanding_cap,
+            cfg.policy.build(),
+            selector,
+        );
+        dispatcher.set_admission(res.admission);
+        let governor = res
+            .fallback
+            .map(|p| FeedbackGovernor::new(cfg.workers, cfg.profile.from_worker, p));
+
         Offload {
-            dispatcher: Dispatcher::new(
-                cfg.workers,
-                cfg.outstanding_cap,
-                cfg.policy.build(),
-                selector,
-            ),
+            dispatcher,
             topology,
             cfg,
             horizon: spec.horizon(),
@@ -296,6 +333,51 @@ impl Offload {
             },
             host: CoreSpec::host_x86(),
             preemptions: 0,
+            governor,
+            req_lost: 0,
+            resp_lost: 0,
+            stranded: 0,
+            nacks: 0,
+        }
+    }
+
+    // ---- lossy wire helpers ---------------------------------------------
+
+    /// Transmit a client→NIC frame over the lossy request wire.
+    fn send_request(&mut self, spec: &FrameSpec, ctx: &mut Ctx<Ev>) {
+        let payload_len = spec.frame_len() - net_wire::ethernet::HEADER_LEN;
+        let bytes = spec.build();
+        let now = ctx.now();
+        if ctx.faults().burst_frame_lost(now) {
+            self.req_lost += 1;
+            ctx.probe().count("wire.req_lost");
+            return;
+        }
+        match self.client_link.transmit_lossy(ctx.now(), payload_len) {
+            Some(arrive) => ctx.schedule_at(arrive, Ev::WireToNic(bytes)),
+            None => {
+                self.req_lost += 1;
+                ctx.probe().count("wire.req_lost");
+            }
+        }
+    }
+
+    /// Transmit a server→client frame (response or NACK) over the lossy
+    /// response wire, starting at `depart`.
+    fn send_response(&mut self, spec: &FrameSpec, depart: SimTime, ctx: &mut Ctx<Ev>) {
+        let payload_len = spec.frame_len() - net_wire::ethernet::HEADER_LEN;
+        let bytes = spec.build();
+        if ctx.faults().burst_frame_lost(depart) {
+            self.resp_lost += 1;
+            ctx.probe().count("wire.resp_lost");
+            return;
+        }
+        match self.server_link.transmit_lossy(depart, payload_len) {
+            Some(arrive) => ctx.schedule_at(arrive, Ev::ClientResp(bytes)),
+            None => {
+                self.resp_lost += 1;
+                ctx.probe().count("wire.resp_lost");
+            }
         }
     }
 
@@ -354,6 +436,14 @@ impl Offload {
     /// Start the next stashed request on an idle worker, if any.
     fn worker_poll(&mut self, w: usize, ctx: &mut Ctx<Ev>) {
         if self.workers[w].running.is_some() {
+            return;
+        }
+        let now = ctx.now();
+        if ctx.faults().worker_crashed(w, now) {
+            return; // dead silicon never polls again
+        }
+        if let Some(resume) = ctx.faults().worker_stalled_until(w, now) {
+            ctx.schedule_at(resume, Ev::WorkerPoll(w));
             return;
         }
         let iface = self.worker_iface[w];
@@ -435,9 +525,20 @@ impl Offload {
 
         ctx.probe().mark(task.req_id, "path.4_worker_start");
         ctx.probe().busy_i("worker", w, true);
+        // A slowdown window stretches wall time; `run` stays in work units
+        // so the finish/preempt decision at run end is unchanged.
+        let slow = {
+            let now = ctx.now();
+            ctx.faults().worker_slowdown(w, now)
+        };
+        let wall = if slow > 1.0 {
+            scale_duration(overhead + run, slow)
+        } else {
+            overhead + run
+        };
         let worker = &mut self.workers[w];
         worker.core.set_busy(ctx.now());
-        let end = ctx.now() + overhead + run;
+        let end = ctx.now() + wall;
         let gen = worker.timer.arm(end);
         worker.running = Some(Running { task, run });
         ctx.schedule_at(end, Ev::WorkerRunEnd { worker: w, gen });
@@ -472,6 +573,15 @@ impl Offload {
         }
         let Running { task, run } = self.workers[w].running.take().expect("running");
         let now = ctx.now();
+        if ctx.faults().worker_crashed(w, now) {
+            // The worker died mid-request: no response, no Done. The
+            // dispatcher's outstanding slot leaks until quarantine stops
+            // feeding the corpse.
+            self.ctx_pool.discard(task.req_id);
+            self.stranded += 1;
+            ctx.probe().count("worker.stranded");
+            return;
+        }
         let finished = task.remaining <= run;
 
         if finished {
@@ -499,11 +609,8 @@ impl Offload {
                     body_len: task.body_len,
                 },
             };
-            let payload_len = resp.frame_len() - net_wire::ethernet::HEADER_LEN;
             let depart = resp_built + self.nic.dma_latency;
-            if let Some(arrive) = self.server_link.transmit_lossy(depart, payload_len) {
-                ctx.schedule_at(arrive, Ev::ClientResp(resp.build()));
-            }
+            self.send_response(&resp, depart, ctx);
 
             let notif_built = resp_built + params::WORKER_TX_COST;
             let done = self.notif_spec(
@@ -530,10 +637,36 @@ impl Offload {
             ctx.schedule_at(notif_built, Ev::WorkerPoll(w));
         } else {
             // Slice expiry: take the interrupt, save the context, notify.
+            let after = task.after_preemption(run);
+            if self.ctx_pool.is_saved(after.req_id) {
+                // A retransmitted copy of this request is already suspended
+                // in DRAM: saving a second context would fork the request.
+                // Kill this copy — the saved context owns the request — and
+                // release the worker slot with a Done notification.
+                ctx.probe().count("worker.dup_killed");
+                let free_at = now + self.preempt_receive_cost() + params::WORKER_TX_COST;
+                let done = self.notif_spec(
+                    w,
+                    MsgRepr {
+                        kind: MsgKind::Done,
+                        req_id: after.req_id,
+                        client_id: after.client_id,
+                        service_ns: after.service.as_nanos(),
+                        remaining_ns: 0,
+                        sent_at_ns: after.sent_at.as_nanos(),
+                        body_len: 0,
+                    },
+                );
+                ctx.schedule_at(
+                    free_at + self.cfg.profile.from_worker,
+                    Ev::RxNotif(done.build()),
+                );
+                ctx.schedule_at(free_at, Ev::WorkerPoll(w));
+                return;
+            }
             ctx.probe().count("worker.preempted");
             self.preemptions += 1;
             self.workers[w].core.preemptions += 1;
-            let after = task.after_preemption(run);
             self.ctx_pool.save(after.req_id);
             let free_at = now
                 + self.preempt_receive_cost()
@@ -570,12 +703,12 @@ impl Model for Offload {
                     return;
                 }
                 let spec = self.client.make_request(ctx.now());
+                let req_id = spec.msg.req_id;
                 ctx.probe().count("client.sent");
-                ctx.probe().mark(spec.msg.req_id, "path.0_client_send");
-                let payload_len = spec.frame_len() - net_wire::ethernet::HEADER_LEN;
-                let bytes = spec.build();
-                if let Some(arrive) = self.client_link.transmit_lossy(ctx.now(), payload_len) {
-                    ctx.schedule_at(arrive, Ev::WireToNic(bytes));
+                ctx.probe().mark(req_id, "path.0_client_send");
+                self.send_request(&spec, ctx);
+                if let Some((attempt, timeout)) = self.client.arm_timeout(req_id) {
+                    ctx.schedule_in(timeout, Ev::ClientTimeout { req_id, attempt });
                 }
                 let gap = self.client.next_gap();
                 ctx.schedule_in(gap, Ev::ClientSend);
@@ -636,12 +769,38 @@ impl Model for Offload {
                     ctx.probe().depth("qm.inbox", self.qm.queue.len());
                     let now = ctx.now();
                     let assignments = match item {
-                        QmItem::NewTask(task) => {
-                            ctx.probe().count("qm.enqueue");
-                            ctx.probe().mark(task.req_id, "path.2_qm_admit");
-                            self.task_meta.insert(task.req_id, task.arrived_at);
-                            self.dispatcher.on_request(now, task)
-                        }
+                        QmItem::NewTask(task) => match self.dispatcher.offer(now, task) {
+                            AdmitOutcome::Admitted(assignments) => {
+                                ctx.probe().count("qm.enqueue");
+                                ctx.probe().mark(task.req_id, "path.2_qm_admit");
+                                self.task_meta.insert(task.req_id, task.arrived_at);
+                                assignments
+                            }
+                            AdmitOutcome::Shed { nack } => {
+                                ctx.probe().count("qm.shed");
+                                if nack {
+                                    self.nacks += 1;
+                                    let spec = FrameSpec {
+                                        src_mac: AddressPlan::dispatcher_mac(),
+                                        dst_mac: AddressPlan::client_mac(),
+                                        src: AddressPlan::dispatcher_ep(),
+                                        dst: AddressPlan::client_ep(),
+                                        msg: MsgRepr {
+                                            kind: MsgKind::Nack,
+                                            req_id: task.req_id,
+                                            client_id: task.client_id,
+                                            service_ns: 0,
+                                            remaining_ns: 0,
+                                            sent_at_ns: task.sent_at.as_nanos(),
+                                            body_len: 0,
+                                        },
+                                    };
+                                    let depart = now + self.nic.dma_latency;
+                                    self.send_response(&spec, depart, ctx);
+                                }
+                                Vec::new()
+                            }
+                        },
                         QmItem::Done { worker, req_id } => {
                             ctx.probe().count("qm.done");
                             self.task_meta.remove(&req_id);
@@ -695,6 +854,14 @@ impl Model for Offload {
                 self.start_tx(ctx);
             }
             Ev::WorkerFrame(w, bytes) => {
+                let now = ctx.now();
+                if ctx.faults().worker_crashed(w, now) {
+                    // Delivered to a dead worker's ring: nobody will ever
+                    // poll it out.
+                    self.stranded += 1;
+                    ctx.probe().count("worker.stranded");
+                    return;
+                }
                 // DDIO placement happens at DMA time.
                 let lines = packet_lines(bytes.len());
                 let resident: usize = self.workers[w]
@@ -771,9 +938,64 @@ impl Model for Offload {
             }
             Ev::ClientResp(bytes) => {
                 if let Ok(parsed) = ParsedFrame::parse(&bytes) {
+                    if parsed.msg.kind == MsgKind::Nack {
+                        ctx.probe().count("client.nacks");
+                        let req_id = parsed.msg.req_id;
+                        if let TimeoutOutcome::Retry {
+                            frame,
+                            attempt,
+                            timeout,
+                        } = self.client.on_nack(ctx.now(), req_id)
+                        {
+                            ctx.probe().count("client.retries");
+                            self.send_request(&frame, ctx);
+                            ctx.schedule_in(timeout, Ev::ClientTimeout { req_id, attempt });
+                        }
+                        return;
+                    }
                     ctx.probe().count("client.responses");
                     ctx.probe().finish(parsed.msg.req_id, "path.6_response");
                     self.client.on_response(ctx.now(), &parsed);
+                }
+            }
+            Ev::ClientTimeout { req_id, attempt } => {
+                if let TimeoutOutcome::Retry {
+                    frame,
+                    attempt,
+                    timeout,
+                } = self.client.on_timeout(ctx.now(), req_id, attempt)
+                {
+                    ctx.probe().count("client.retries");
+                    self.send_request(&frame, ctx);
+                    ctx.schedule_in(timeout, Ev::ClientTimeout { req_id, attempt });
+                }
+            }
+            Ev::Heartbeat(w) => {
+                let now = ctx.now();
+                if now >= self.horizon {
+                    return;
+                }
+                let silenced =
+                    ctx.faults().worker_down(w, now) || ctx.faults().feedback_blackout(now);
+                let occupancy = self.dispatcher.outstanding(w);
+                let busy = self.workers[w].running.is_some();
+                let mut assignments = Vec::new();
+                let mut next = None;
+                if let Some(gov) = self.governor.as_mut() {
+                    if !silenced {
+                        gov.report(now, w, occupancy, busy);
+                    }
+                    let was_degraded = gov.is_degraded();
+                    gov.evaluate(now, &mut self.dispatcher);
+                    if gov.is_degraded() != was_degraded {
+                        ctx.probe().count("fallback.switch");
+                    }
+                    assignments = self.dispatcher.kick(now);
+                    next = Some(gov.policy().heartbeat);
+                }
+                self.emit_assignments(assignments, ctx);
+                if let Some(interval) = next {
+                    ctx.schedule_in(interval, Ev::Heartbeat(w));
                 }
             }
         }
@@ -788,9 +1010,29 @@ pub fn run(spec: WorkloadSpec, cfg: OffloadConfig) -> RunMetrics {
 
 /// Run a Shinjuku-Offload simulation with stage-level observability.
 pub fn run_probed(spec: WorkloadSpec, cfg: OffloadConfig, probe: ProbeConfig) -> RunMetrics {
-    let mut engine = Engine::new(Offload::new(spec, cfg));
+    run_resilient_probed(spec, cfg, probe, ResilienceConfig::default())
+}
+
+/// Run a Shinjuku-Offload simulation with fault injection, client
+/// retries, admission control, and the stale-feedback governor layered
+/// over the fault-free assembly.
+pub fn run_resilient_probed(
+    spec: WorkloadSpec,
+    cfg: OffloadConfig,
+    probe: ProbeConfig,
+    res: ResilienceConfig,
+) -> RunMetrics {
+    let mut engine = Engine::new(Offload::new(spec, cfg, res));
     engine.set_probe(Probe::new(probe));
+    if res.is_active() {
+        engine.set_faults(FaultPlan::new(res.faults, spec.seed ^ FAULT_SEED_SALT));
+    }
     engine.schedule_at(SimTime::ZERO, Ev::ClientSend);
+    if engine.model().governor.is_some() {
+        for w in 0..cfg.workers {
+            engine.schedule_at(SimTime::ZERO, Ev::Heartbeat(w));
+        }
+    }
     engine.run_until(spec.horizon());
     let horizon = spec.horizon();
     let model = engine.model();
@@ -800,12 +1042,21 @@ pub fn run_probed(spec: WorkloadSpec, cfg: OffloadConfig, probe: ProbeConfig) ->
         .map(|w| w.core.utilization(horizon))
         .sum::<f64>()
         / model.workers.len() as f64;
-    let mut metrics = assemble_metrics(
-        &model.client,
-        model.nic.total_drops(),
-        model.preemptions,
-        util,
-    );
+    let ring_dropped = model.nic.total_drops();
+    let mut metrics = assemble_metrics(&model.client, ring_dropped, model.preemptions, util);
+    let fm = &mut metrics.faults;
+    fm.req_link_lost = model.req_lost;
+    fm.resp_link_lost = model.resp_lost;
+    fm.ring_dropped = ring_dropped;
+    fm.stranded = model.stranded;
+    fm.shed = model.dispatcher.stats.shed;
+    fm.nacks = model.nacks;
+    if let Some(gov) = &model.governor {
+        fm.fallback_switches = gov.switches;
+        fm.fallback_ns = gov.fallback_ns(horizon);
+        fm.quarantines = gov.quarantines;
+    }
+    metrics.dropped = ring_dropped + fm.link_lost() + fm.shed;
     if probe.enabled {
         metrics.stages = Some(engine.probe_mut().report(horizon));
     }
@@ -1176,6 +1427,128 @@ mod robustness_tests {
         let b = run(quick_spec(200_000.0), cfg);
         assert_eq!(a.completed, b.completed);
         assert_eq!(a.p99, b.p99);
+    }
+
+    #[test]
+    fn loss_and_crash_accounts_for_every_request() {
+        // The ISSUE-2 acceptance scenario: 1% wire loss plus worker 1
+        // crashing mid-run, with retries and the staleness governor on.
+        let spec = quick_spec(300_000.0);
+        let res = crate::common::ResilienceConfig::loss_and_crash(1, SimTime::from_millis(10));
+        let m = run_resilient_probed(
+            spec,
+            OffloadConfig::paper(4, 4),
+            ProbeConfig::disabled(),
+            res,
+        );
+        let f = &m.faults;
+        assert_eq!(f.unaccounted(), 0, "request ledger must close: {f:?}");
+        assert!(f.in_pipe() >= 0, "attempt ledger went negative: {f:?}");
+        assert!(
+            f.in_pipe() < 200,
+            "attempt residue should be pipeline-depth bounded: {f:?}"
+        );
+        assert!(f.retries > 0, "1% loss must trigger retries");
+        assert!(f.link_lost() > 0, "losses must be counted");
+        assert!(
+            f.quarantines >= 1,
+            "the crashed worker must be quarantined: {f:?}"
+        );
+        assert!(
+            f.stranded > 0,
+            "work on the crashed worker must be stranded, not lost silently"
+        );
+        // Three healthy workers still carry the offered load.
+        assert!(m.completed > 1000, "completed {}", m.completed);
+    }
+
+    #[test]
+    fn resilient_run_is_deterministic() {
+        let spec = quick_spec(250_000.0);
+        let res = crate::common::ResilienceConfig::loss_and_crash(0, SimTime::from_millis(8));
+        let cfg = OffloadConfig::paper(4, 4);
+        let a = run_resilient_probed(spec, cfg, ProbeConfig::disabled(), res);
+        let b = run_resilient_probed(spec, cfg, ProbeConfig::disabled(), res);
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.p99, b.p99);
+        assert_eq!(a.faults, b.faults);
+    }
+
+    #[test]
+    fn feedback_blackout_degrades_then_recovers() {
+        use sim_core::faults::FaultConfig;
+        let spec = quick_spec(200_000.0);
+        let res = crate::common::ResilienceConfig {
+            faults: FaultConfig::default()
+                .with_blackout(SimTime::from_millis(8), SimTime::from_millis(12)),
+            retry: Some(workload::RetryPolicy::paper_default()),
+            fallback: Some(crate::common::StalenessPolicy::paper_default()),
+            ..Default::default()
+        };
+        let m = run_resilient_probed(
+            spec,
+            OffloadConfig::paper(4, 4),
+            ProbeConfig::disabled(),
+            res,
+        );
+        let f = &m.faults;
+        assert!(
+            f.fallback_switches >= 1,
+            "a 4 ms blackout must trip the hashed fallback: {f:?}"
+        );
+        assert!(
+            f.fallback_ns > 3_000_000,
+            "fallback should cover most of the blackout: {} ns",
+            f.fallback_ns
+        );
+        assert!(
+            f.fallback_ns < 8_000_000,
+            "fallback must lift after reports resume: {} ns",
+            f.fallback_ns
+        );
+        assert_eq!(f.unaccounted(), 0);
+    }
+
+    #[test]
+    fn nack_shedding_beats_silent_drops_on_reaction_time() {
+        use nicsched::AdmissionPolicy;
+        // Overload the system so admission control actually bites.
+        let spec = quick_spec(1_200_000.0);
+        let base = crate::common::ResilienceConfig {
+            retry: Some(workload::RetryPolicy::paper_default()),
+            ..Default::default()
+        };
+        let silent = run_resilient_probed(
+            spec,
+            OffloadConfig::paper(4, 4),
+            ProbeConfig::disabled(),
+            crate::common::ResilienceConfig {
+                admission: AdmissionPolicy::TailDrop { cap: 64 },
+                ..base
+            },
+        );
+        let nacked = run_resilient_probed(
+            spec,
+            OffloadConfig::paper(4, 4),
+            ProbeConfig::disabled(),
+            crate::common::ResilienceConfig {
+                admission: AdmissionPolicy::NackShed { cap: 64 },
+                ..base
+            },
+        );
+        assert!(silent.faults.shed > 0 && nacked.faults.shed > 0);
+        assert_eq!(silent.faults.nacks, 0);
+        assert!(nacked.faults.nacks > 0, "NACK frames must be sent");
+        // NACKs tell the client immediately; silent shedding burns the
+        // full timeout per drop, so clients learn late and time out more.
+        assert!(
+            nacked.faults.timeouts < silent.faults.timeouts,
+            "early NACKs should pre-empt timeouts: {} vs {}",
+            nacked.faults.timeouts,
+            silent.faults.timeouts
+        );
+        assert_eq!(silent.faults.unaccounted(), 0);
+        assert_eq!(nacked.faults.unaccounted(), 0);
     }
 
     #[test]

@@ -21,10 +21,13 @@ use cpu_model::{ContextCosts, ContextPool, Core, CoreId, CoreSpec};
 use net_wire::{FrameSpec, MsgKind, MsgRepr, ParsedFrame};
 use nic_model::Link;
 use nicsched::{params, Dispatcher, Fcfs, LeastOutstanding, Task};
-use sim_core::{Ctx, Engine, Model, Probe, ProbeConfig, Rng, SimDuration, SimTime};
+use sim_core::{Ctx, Engine, FaultPlan, Model, Probe, ProbeConfig, Rng, SimDuration, SimTime};
 use workload::{RunMetrics, WorkloadSpec};
 
-use crate::common::{assemble_metrics, AddressPlan, Client};
+use crate::common::{
+    assemble_metrics, scale_duration, AddressPlan, Client, ResilienceConfig, TimeoutOutcome,
+    FAULT_SEED_SALT,
+};
 
 /// Configuration of an RPCValet-style system.
 #[derive(Debug, Clone, Copy)]
@@ -50,6 +53,11 @@ enum Ev {
     Deliver(usize, Task),
     WorkerRunEnd(usize),
     ClientResp(Bytes),
+    /// A client retransmit timer fires for one attempt of one request.
+    ClientTimeout {
+        req_id: u64,
+        attempt: u32,
+    },
 }
 
 struct Worker {
@@ -69,12 +77,27 @@ struct RpcValet {
     ctx_pool: ContextPool,
     ctx_costs: ContextCosts,
     host: CoreSpec,
+
+    req_lost: u64,
+    resp_lost: u64,
+    stranded: u64,
 }
 
 impl RpcValet {
-    fn new(spec: WorkloadSpec, cfg: RpcValetConfig) -> RpcValet {
+    fn new(spec: WorkloadSpec, cfg: RpcValetConfig, res: ResilienceConfig) -> RpcValet {
         let mut master = Rng::new(spec.seed);
-        let client = Client::new(spec, &mut master);
+        let mut client = Client::new(spec, &mut master);
+        if let Some(policy) = res.retry {
+            client.enable_retries(policy);
+        }
+        let (client_link, server_link) = if res.faults.wire_loss > 0.0 {
+            (
+                Link::ten_gbe().with_loss(res.faults.wire_loss, master.fork()),
+                Link::ten_gbe().with_loss(res.faults.wire_loss, master.fork()),
+            )
+        } else {
+            (Link::ten_gbe(), Link::ten_gbe())
+        };
         let t0 = SimTime::ZERO;
         RpcValet {
             // One request in flight per core: RPCValet's N=1 design point,
@@ -82,8 +105,8 @@ impl RpcValet {
             dispatcher: Dispatcher::new(cfg.workers, 1, Fcfs::new(), LeastOutstanding),
             horizon: spec.horizon(),
             client,
-            client_link: Link::ten_gbe(),
-            server_link: Link::ten_gbe(),
+            client_link,
+            server_link,
             workers: (0..cfg.workers)
                 .map(|w| Worker {
                     core: Core::new(CoreId(w as u32), CoreSpec::host_x86(), t0),
@@ -94,6 +117,46 @@ impl RpcValet {
             ctx_pool: ContextPool::new(),
             ctx_costs: ContextCosts::default(),
             host: CoreSpec::host_x86(),
+            req_lost: 0,
+            resp_lost: 0,
+            stranded: 0,
+        }
+    }
+
+    /// Transmit a client→NI frame over the (possibly lossy) request wire.
+    fn send_request(&mut self, spec: &FrameSpec, ctx: &mut Ctx<Ev>) {
+        let payload_len = spec.frame_len() - net_wire::ethernet::HEADER_LEN;
+        let bytes = spec.build();
+        let now = ctx.now();
+        if ctx.faults().burst_frame_lost(now) {
+            self.req_lost += 1;
+            ctx.probe().count("wire.req_lost");
+            return;
+        }
+        match self.client_link.transmit_lossy(now, payload_len) {
+            Some(arrive) => ctx.schedule_at(arrive, Ev::NiArrive(bytes)),
+            None => {
+                self.req_lost += 1;
+                ctx.probe().count("wire.req_lost");
+            }
+        }
+    }
+
+    /// Transmit an NI→client response starting at `depart`.
+    fn send_response(&mut self, spec: &FrameSpec, depart: SimTime, ctx: &mut Ctx<Ev>) {
+        let payload_len = spec.frame_len() - net_wire::ethernet::HEADER_LEN;
+        let bytes = spec.build();
+        if ctx.faults().burst_frame_lost(depart) {
+            self.resp_lost += 1;
+            ctx.probe().count("wire.resp_lost");
+            return;
+        }
+        match self.server_link.transmit_lossy(depart, payload_len) {
+            Some(arrive) => ctx.schedule_at(arrive, Ev::ClientResp(bytes)),
+            None => {
+                self.resp_lost += 1;
+                ctx.probe().count("wire.resp_lost");
+            }
         }
     }
 
@@ -116,10 +179,11 @@ impl Model for RpcValet {
                 let spec = self.client.make_request(ctx.now());
                 ctx.probe().count("client.sent");
                 ctx.probe().mark(spec.msg.req_id, "path.0_client_send");
-                let payload_len = spec.frame_len() - net_wire::ethernet::HEADER_LEN;
-                let bytes = spec.build();
-                let arrive = self.client_link.transmit(ctx.now(), payload_len);
-                ctx.schedule_at(arrive, Ev::NiArrive(bytes));
+                let req_id = spec.msg.req_id;
+                self.send_request(&spec, ctx);
+                if let Some((attempt, timeout)) = self.client.arm_timeout(req_id) {
+                    ctx.schedule_in(timeout, Ev::ClientTimeout { req_id, attempt });
+                }
                 let gap = self.client.next_gap();
                 ctx.schedule_in(gap, Ev::ClientSend);
             }
@@ -147,6 +211,22 @@ impl Model for RpcValet {
                 self.emit(assignments, ctx);
             }
             Ev::Deliver(w, task) => {
+                {
+                    let now = ctx.now();
+                    if ctx.faults().worker_crashed(w, now) {
+                        // Delivered into a dead core. The hardware queue
+                        // never sees a completion, so its cap-1 slot stays
+                        // occupied and no further work lands here.
+                        self.ctx_pool.discard(task.req_id);
+                        self.stranded += 1;
+                        ctx.probe().count("worker.stranded");
+                        return;
+                    }
+                    if let Some(resume) = ctx.faults().worker_stalled_until(w, now) {
+                        ctx.schedule_at(resume, Ev::Deliver(w, task));
+                        return;
+                    }
+                }
                 debug_assert!(self.workers[w].running.is_none(), "cap-1 violated");
                 if let Some(idle_at) = self.workers[w].idle_since.take() {
                     let gap = ctx.now().saturating_duration_since(idle_at);
@@ -159,15 +239,31 @@ impl Model for RpcValet {
                     &self.ctx_costs,
                     &self.host,
                 );
+                let slow = {
+                    let now = ctx.now();
+                    ctx.faults().worker_slowdown(w, now)
+                };
                 let worker = &mut self.workers[w];
                 worker.core.set_busy(ctx.now());
                 let remaining = task.remaining;
                 worker.running = Some(task);
-                ctx.schedule_in(overhead + remaining, Ev::WorkerRunEnd(w));
+                let wall = if slow > 1.0 {
+                    scale_duration(overhead + remaining, slow)
+                } else {
+                    overhead + remaining
+                };
+                ctx.schedule_in(wall, Ev::WorkerRunEnd(w));
             }
             Ev::WorkerRunEnd(w) => {
                 let task = self.workers[w].running.take().expect("running");
                 let now = ctx.now();
+                if ctx.faults().worker_crashed(w, now) {
+                    // Died mid-request: no response, no completion signal.
+                    self.ctx_pool.discard(task.req_id);
+                    self.stranded += 1;
+                    ctx.probe().count("worker.stranded");
+                    return;
+                }
                 ctx.probe().count("worker.completed");
                 ctx.probe().mark(task.req_id, "path.3_worker_done");
                 ctx.probe().busy_i("worker", w, false);
@@ -188,10 +284,8 @@ impl Model for RpcValet {
                         body_len: task.body_len,
                     },
                 };
-                let payload_len = resp.frame_len() - net_wire::ethernet::HEADER_LEN;
                 // Integrated NI: the response departs without a PCIe hop.
-                let arrive = self.server_link.transmit(resp_built, payload_len);
-                ctx.schedule_at(arrive, Ev::ClientResp(resp.build()));
+                self.send_response(&resp, resp_built, ctx);
                 self.ctx_pool.discard(task.req_id);
                 let worker = &mut self.workers[w];
                 worker.core.requests_run += 1;
@@ -209,6 +303,18 @@ impl Model for RpcValet {
                     self.client.on_response(ctx.now(), &parsed);
                 }
             }
+            Ev::ClientTimeout { req_id, attempt } => {
+                if let TimeoutOutcome::Retry {
+                    frame,
+                    attempt,
+                    timeout,
+                } = self.client.on_timeout(ctx.now(), req_id, attempt)
+                {
+                    ctx.probe().count("client.retries");
+                    self.send_request(&frame, ctx);
+                    ctx.schedule_in(timeout, Ev::ClientTimeout { req_id, attempt });
+                }
+            }
         }
     }
 }
@@ -221,8 +327,25 @@ pub fn run(spec: WorkloadSpec, cfg: RpcValetConfig) -> RunMetrics {
 
 /// Run an RPCValet-style simulation with stage-level observability.
 pub fn run_probed(spec: WorkloadSpec, cfg: RpcValetConfig, probe: ProbeConfig) -> RunMetrics {
-    let mut engine = Engine::new(RpcValet::new(spec, cfg));
+    run_resilient_probed(spec, cfg, probe, ResilienceConfig::default())
+}
+
+/// Run an RPCValet-style simulation with fault injection and client
+/// retries. The integrated NI has per-nanosecond load knowledge, so the
+/// staleness-fallback settings in `res` are ignored (there is no stale
+/// feedback to degrade on), as is the admission policy (the hardware
+/// global queue is lossless).
+pub fn run_resilient_probed(
+    spec: WorkloadSpec,
+    cfg: RpcValetConfig,
+    probe: ProbeConfig,
+    res: ResilienceConfig,
+) -> RunMetrics {
+    let mut engine = Engine::new(RpcValet::new(spec, cfg, res));
     engine.set_probe(Probe::new(probe));
+    if res.is_active() {
+        engine.set_faults(FaultPlan::new(res.faults, spec.seed ^ FAULT_SEED_SALT));
+    }
     engine.schedule_at(SimTime::ZERO, Ev::ClientSend);
     engine.run_until(spec.horizon());
     let horizon = spec.horizon();
@@ -234,6 +357,11 @@ pub fn run_probed(spec: WorkloadSpec, cfg: RpcValetConfig, probe: ProbeConfig) -
         .sum::<f64>()
         / model.workers.len() as f64;
     let mut metrics = assemble_metrics(&model.client, 0, 0, util);
+    let fm = &mut metrics.faults;
+    fm.req_link_lost = model.req_lost;
+    fm.resp_link_lost = model.resp_lost;
+    fm.stranded = model.stranded;
+    metrics.dropped = fm.link_lost();
     if probe.enabled {
         metrics.stages = Some(engine.probe_mut().report(horizon));
     }
@@ -328,6 +456,32 @@ mod tests {
         // Central queue + perfect knowledge: p99 stays near service time
         // plus the wire at moderate load.
         assert!(m.p99 < SimDuration::from_micros(40), "p99 {}", m.p99);
+    }
+
+    #[test]
+    fn loss_and_crash_accounts_for_every_request() {
+        let spec = quick_spec(300_000.0, ServiceDist::paper_bimodal());
+        let res = ResilienceConfig::loss_and_crash(1, SimTime::ZERO + SimDuration::from_millis(10));
+        let run = || {
+            run_resilient_probed(
+                spec,
+                RpcValetConfig { workers: 4 },
+                ProbeConfig::disabled(),
+                res,
+            )
+        };
+        let m = run();
+        let f = &m.faults;
+        assert_eq!(f.unaccounted(), 0, "request ledger leaks: {f:?}");
+        assert!(f.in_pipe() < 64, "attempt residue beyond pipeline: {f:?}");
+        assert!(f.retries > 0, "loss never triggered a retry");
+        // At most the in-flight task plus one queued delivery strand at the
+        // dead core; the hardware queue stops feeding it after that.
+        assert!(f.stranded >= 1 && f.stranded <= 2, "stranded {f:?}");
+        assert!(m.completed > 1_000, "goodput collapsed: {}", m.row());
+        let b = run();
+        assert_eq!(m.faults, b.faults);
+        assert_eq!(m.p99, b.p99);
     }
 
     #[test]

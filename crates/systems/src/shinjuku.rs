@@ -19,11 +19,16 @@ use bytes::Bytes;
 use cpu_model::{ContextCosts, ContextPool, Core, CoreId, CoreSpec, OneShotTimer, TimerMode};
 use net_wire::{FrameSpec, MsgKind, MsgRepr, ParsedFrame};
 use nic_model::{IfaceId, Link, NicDevice, QueueSteering};
-use nicsched::{params, Assignment, Dispatcher, LeastOutstanding, PolicyKind, SchedPolicy, Task};
-use sim_core::{Ctx, Engine, Model, Probe, ProbeConfig, Rng, SimDuration, SimTime};
+use nicsched::{
+    params, AdmitOutcome, Assignment, Dispatcher, LeastOutstanding, PolicyKind, SchedPolicy, Task,
+};
+use sim_core::{Ctx, Engine, FaultPlan, Model, Probe, ProbeConfig, Rng, SimDuration, SimTime};
 use workload::{RunMetrics, WorkloadSpec};
 
-use crate::common::{assemble_metrics, AddressPlan, Client};
+use crate::common::{
+    assemble_metrics, scale_duration, AddressPlan, Client, FeedbackGovernor, ResilienceConfig,
+    TimeoutOutcome, FAULT_SEED_SALT,
+};
 
 /// Configuration of a vanilla Shinjuku instance.
 #[derive(Debug, Clone, Copy)]
@@ -80,6 +85,13 @@ enum Ev {
         gen: u64,
     },
     ClientResp(Bytes),
+    /// A client retransmit timer fires for one attempt of one request.
+    ClientTimeout {
+        req_id: u64,
+        attempt: u32,
+    },
+    /// A worker's periodic liveness heartbeat to the dispatcher governor.
+    Heartbeat(usize),
 }
 
 struct Worker {
@@ -108,12 +120,29 @@ struct Shinjuku {
     ctx_costs: ContextCosts,
     host: CoreSpec,
     preemptions: u64,
+
+    governor: Option<FeedbackGovernor>,
+    req_lost: u64,
+    resp_lost: u64,
+    stranded: u64,
+    nacks: u64,
 }
 
 impl Shinjuku {
-    fn new(spec: WorkloadSpec, cfg: ShinjukuConfig) -> Shinjuku {
+    fn new(spec: WorkloadSpec, cfg: ShinjukuConfig, res: ResilienceConfig) -> Shinjuku {
         let mut master = Rng::new(spec.seed);
-        let client = Client::new(spec, &mut master);
+        let mut client = Client::new(spec, &mut master);
+        if let Some(policy) = res.retry {
+            client.enable_retries(policy);
+        }
+        let (client_link, server_link) = if res.faults.wire_loss > 0.0 {
+            (
+                Link::ten_gbe().with_loss(res.faults.wire_loss, master.fork()),
+                Link::ten_gbe().with_loss(res.faults.wire_loss, master.fork()),
+            )
+        } else {
+            (Link::ten_gbe(), Link::ten_gbe())
+        };
 
         let mut nic = NicDevice::new(params::PCIE_DMA);
         let net_iface = nic.add_iface(
@@ -133,15 +162,21 @@ impl Shinjuku {
             })
             .collect();
 
+        // Shinjuku keeps exactly one request in flight per worker: the
+        // dispatcher assigns to *idle* workers only (§2.1).
+        let mut dispatcher = Dispatcher::new(cfg.workers, 1, cfg.policy.build(), LeastOutstanding);
+        dispatcher.set_admission(res.admission);
+        let governor = res
+            .fallback
+            .map(|p| FeedbackGovernor::new(cfg.workers, params::HOST_QUEUE_HOP, p));
+
         Shinjuku {
-            // Shinjuku keeps exactly one request in flight per worker: the
-            // dispatcher assigns to *idle* workers only (§2.1).
-            dispatcher: Dispatcher::new(cfg.workers, 1, cfg.policy.build(), LeastOutstanding),
+            dispatcher,
             cfg,
             horizon: spec.horizon(),
             client,
-            client_link: Link::ten_gbe(),
-            server_link: Link::ten_gbe(),
+            client_link,
+            server_link,
             nic,
             net_iface,
             networker_busy: false,
@@ -152,6 +187,49 @@ impl Shinjuku {
             ctx_costs: ContextCosts::default(),
             host: CoreSpec::host_x86(),
             preemptions: 0,
+            governor,
+            req_lost: 0,
+            resp_lost: 0,
+            stranded: 0,
+            nacks: 0,
+        }
+    }
+
+    /// Transmit a client→NIC frame over the (possibly lossy) request wire.
+    fn send_request(&mut self, spec: &FrameSpec, ctx: &mut Ctx<Ev>) {
+        let payload_len = spec.frame_len() - net_wire::ethernet::HEADER_LEN;
+        let bytes = spec.build();
+        let now = ctx.now();
+        if ctx.faults().burst_frame_lost(now) {
+            self.req_lost += 1;
+            ctx.probe().count("wire.req_lost");
+            return;
+        }
+        match self.client_link.transmit_lossy(now, payload_len) {
+            Some(arrive) => ctx.schedule_at(arrive, Ev::WireToNic(bytes)),
+            None => {
+                self.req_lost += 1;
+                ctx.probe().count("wire.req_lost");
+            }
+        }
+    }
+
+    /// Transmit a server→client frame (response or NACK) starting at
+    /// `depart`.
+    fn send_response(&mut self, spec: &FrameSpec, depart: SimTime, ctx: &mut Ctx<Ev>) {
+        let payload_len = spec.frame_len() - net_wire::ethernet::HEADER_LEN;
+        let bytes = spec.build();
+        if ctx.faults().burst_frame_lost(depart) {
+            self.resp_lost += 1;
+            ctx.probe().count("wire.resp_lost");
+            return;
+        }
+        match self.server_link.transmit_lossy(depart, payload_len) {
+            Some(arrive) => ctx.schedule_at(arrive, Ev::ClientResp(bytes)),
+            None => {
+                self.resp_lost += 1;
+                ctx.probe().count("wire.resp_lost");
+            }
         }
     }
 
@@ -186,6 +264,14 @@ impl Shinjuku {
         if self.workers[w].running.is_some() {
             return;
         }
+        let now = ctx.now();
+        if ctx.faults().worker_crashed(w, now) {
+            return; // dead cores never poll again
+        }
+        if let Some(resume) = ctx.faults().worker_stalled_until(w, now) {
+            ctx.schedule_at(resume, Ev::WorkerPoll(w));
+            return;
+        }
         let Some(task) = self.workers[w].inbox.pop_front() else {
             self.workers[w].core.set_idle(ctx.now());
             ctx.probe().busy_i("worker", w, false);
@@ -206,9 +292,20 @@ impl Shinjuku {
             }
             None => task.remaining,
         };
+        // A slowdown window stretches wall time; `run` stays in work
+        // units so the finish/preempt decision at run end is unchanged.
+        let slow = {
+            let now = ctx.now();
+            ctx.faults().worker_slowdown(w, now)
+        };
+        let wall = if slow > 1.0 {
+            scale_duration(overhead + run, slow)
+        } else {
+            overhead + run
+        };
         let worker = &mut self.workers[w];
         worker.core.set_busy(ctx.now());
-        let end = ctx.now() + overhead + run;
+        let end = ctx.now() + wall;
         let gen = worker.timer.arm(end);
         worker.running = Some((task, run));
         ctx.schedule_at(end, Ev::WorkerRunEnd { worker: w, gen });
@@ -220,6 +317,13 @@ impl Shinjuku {
         }
         let (task, run) = self.workers[w].running.take().expect("running task");
         let now = ctx.now();
+        if ctx.faults().worker_crashed(w, now) {
+            // The worker died mid-request: no response, no Done.
+            self.ctx_pool.discard(task.req_id);
+            self.stranded += 1;
+            ctx.probe().count("worker.stranded");
+            return;
+        }
         if task.remaining <= run {
             ctx.probe().count("worker.completed");
             ctx.probe().mark(task.req_id, "path.4_worker_done");
@@ -241,10 +345,8 @@ impl Shinjuku {
                     body_len: task.body_len,
                 },
             };
-            let payload_len = resp.frame_len() - net_wire::ethernet::HEADER_LEN;
             let depart = resp_built + self.nic.dma_latency;
-            let arrive = self.server_link.transmit(depart, payload_len);
-            ctx.schedule_at(arrive, Ev::ClientResp(resp.build()));
+            self.send_response(&resp, depart, ctx);
 
             self.ctx_pool.discard(task.req_id);
             self.workers[w].core.requests_run += 1;
@@ -258,10 +360,25 @@ impl Shinjuku {
             ctx.schedule_at(resp_built, Ev::WorkerPoll(w));
         } else {
             // Slice expiry: posted interrupt, save, hand back via memory.
+            let after = task.after_preemption(run);
+            if self.ctx_pool.is_saved(after.req_id) {
+                // A retransmitted copy of this request is already suspended:
+                // kill this copy and free the worker slot via Done.
+                ctx.probe().count("worker.dup_killed");
+                let free_at = now + TimerMode::DuneMapped.deliver_cost(&self.host);
+                ctx.schedule_at(
+                    free_at + params::HOST_QUEUE_HOP,
+                    Ev::DispPush(DispItem::Done {
+                        worker: w,
+                        req_id: after.req_id,
+                    }),
+                );
+                ctx.schedule_at(free_at, Ev::WorkerPoll(w));
+                return;
+            }
             ctx.probe().count("worker.preempted");
             self.preemptions += 1;
             self.workers[w].core.preemptions += 1;
-            let after = task.after_preemption(run);
             self.ctx_pool.save(after.req_id);
             let free_at = now
                 + TimerMode::DuneMapped.deliver_cost(&self.host)
@@ -288,12 +405,13 @@ impl Model for Shinjuku {
                     return;
                 }
                 let spec = self.client.make_request(ctx.now());
+                let req_id = spec.msg.req_id;
                 ctx.probe().count("client.sent");
-                ctx.probe().mark(spec.msg.req_id, "path.0_client_send");
-                let payload_len = spec.frame_len() - net_wire::ethernet::HEADER_LEN;
-                let bytes = spec.build();
-                let arrive = self.client_link.transmit(ctx.now(), payload_len);
-                ctx.schedule_at(arrive, Ev::WireToNic(bytes));
+                ctx.probe().mark(req_id, "path.0_client_send");
+                self.send_request(&spec, ctx);
+                if let Some((attempt, timeout)) = self.client.arm_timeout(req_id) {
+                    ctx.schedule_in(timeout, Ev::ClientTimeout { req_id, attempt });
+                }
                 let gap = self.client.next_gap();
                 ctx.schedule_in(gap, Ev::ClientSend);
             }
@@ -346,14 +464,38 @@ impl Model for Shinjuku {
                 if let Some(item) = self.disp_queue.pop_front() {
                     let now = ctx.now();
                     match item {
-                        DispItem::NewTask(task) => {
-                            ctx.probe().count("disp.enqueue");
-                            ctx.probe().mark(task.req_id, "path.2_dispatch");
-                            let assignments = self.dispatcher.on_request(now, task);
-                            for a in assignments.into_iter().rev() {
-                                self.disp_queue.push_front(DispItem::Emit(a));
+                        DispItem::NewTask(task) => match self.dispatcher.offer(now, task) {
+                            AdmitOutcome::Admitted(assignments) => {
+                                ctx.probe().count("disp.enqueue");
+                                ctx.probe().mark(task.req_id, "path.2_dispatch");
+                                for a in assignments.into_iter().rev() {
+                                    self.disp_queue.push_front(DispItem::Emit(a));
+                                }
                             }
-                        }
+                            AdmitOutcome::Shed { nack } => {
+                                ctx.probe().count("disp.shed");
+                                if nack {
+                                    self.nacks += 1;
+                                    let spec = FrameSpec {
+                                        src_mac: AddressPlan::dispatcher_mac(),
+                                        dst_mac: AddressPlan::client_mac(),
+                                        src: AddressPlan::dispatcher_ep(),
+                                        dst: AddressPlan::client_ep(),
+                                        msg: MsgRepr {
+                                            kind: MsgKind::Nack,
+                                            req_id: task.req_id,
+                                            client_id: task.client_id,
+                                            service_ns: 0,
+                                            remaining_ns: 0,
+                                            sent_at_ns: task.sent_at.as_nanos(),
+                                            body_len: 0,
+                                        },
+                                    };
+                                    let depart = now + self.nic.dma_latency;
+                                    self.send_response(&spec, depart, ctx);
+                                }
+                            }
+                        },
                         DispItem::Done { worker, req_id } => {
                             ctx.probe().count("disp.done");
                             let assignments = self.dispatcher.on_done(now, worker, req_id);
@@ -383,6 +525,13 @@ impl Model for Shinjuku {
                 self.start_dispatcher(ctx);
             }
             Ev::WorkerTask(w, task) => {
+                let now = ctx.now();
+                if ctx.faults().worker_crashed(w, now) {
+                    // Delivered to a dead worker's inbox: never executed.
+                    self.stranded += 1;
+                    ctx.probe().count("worker.stranded");
+                    return;
+                }
                 self.workers[w].inbox.push_back(task);
                 ctx.probe()
                     .depth_i("worker.inbox", w, self.workers[w].inbox.len());
@@ -394,9 +543,68 @@ impl Model for Shinjuku {
             Ev::WorkerRunEnd { worker, gen } => self.worker_run_end(worker, gen, ctx),
             Ev::ClientResp(bytes) => {
                 if let Ok(parsed) = ParsedFrame::parse(&bytes) {
+                    if parsed.msg.kind == MsgKind::Nack {
+                        ctx.probe().count("client.nacks");
+                        let req_id = parsed.msg.req_id;
+                        if let TimeoutOutcome::Retry {
+                            frame,
+                            attempt,
+                            timeout,
+                        } = self.client.on_nack(ctx.now(), req_id)
+                        {
+                            ctx.probe().count("client.retries");
+                            self.send_request(&frame, ctx);
+                            ctx.schedule_in(timeout, Ev::ClientTimeout { req_id, attempt });
+                        }
+                        return;
+                    }
                     ctx.probe().count("client.responses");
                     ctx.probe().finish(parsed.msg.req_id, "path.5_response");
                     self.client.on_response(ctx.now(), &parsed);
+                }
+            }
+            Ev::ClientTimeout { req_id, attempt } => {
+                if let TimeoutOutcome::Retry {
+                    frame,
+                    attempt,
+                    timeout,
+                } = self.client.on_timeout(ctx.now(), req_id, attempt)
+                {
+                    ctx.probe().count("client.retries");
+                    self.send_request(&frame, ctx);
+                    ctx.schedule_in(timeout, Ev::ClientTimeout { req_id, attempt });
+                }
+            }
+            Ev::Heartbeat(w) => {
+                let now = ctx.now();
+                if now >= self.horizon {
+                    return;
+                }
+                let silenced =
+                    ctx.faults().worker_down(w, now) || ctx.faults().feedback_blackout(now);
+                let occupancy = self.dispatcher.outstanding(w);
+                let busy = self.workers[w].running.is_some();
+                let mut assignments = Vec::new();
+                let mut next = None;
+                if let Some(gov) = self.governor.as_mut() {
+                    if !silenced {
+                        gov.report(now, w, occupancy, busy);
+                    }
+                    let was_degraded = gov.is_degraded();
+                    gov.evaluate(now, &mut self.dispatcher);
+                    if gov.is_degraded() != was_degraded {
+                        ctx.probe().count("fallback.switch");
+                    }
+                    assignments = self.dispatcher.kick(now);
+                    next = Some(gov.policy().heartbeat);
+                }
+                // Unparked work still pays the dispatcher's per-assignment
+                // cost like any other emission.
+                for a in assignments {
+                    ctx.schedule_now(Ev::DispPush(DispItem::Emit(a)));
+                }
+                if let Some(interval) = next {
+                    ctx.schedule_in(interval, Ev::Heartbeat(w));
                 }
             }
         }
@@ -411,9 +619,28 @@ pub fn run(spec: WorkloadSpec, cfg: ShinjukuConfig) -> RunMetrics {
 
 /// Run a vanilla Shinjuku simulation with stage-level observability.
 pub fn run_probed(spec: WorkloadSpec, cfg: ShinjukuConfig, probe: ProbeConfig) -> RunMetrics {
-    let mut engine = Engine::new(Shinjuku::new(spec, cfg));
+    run_resilient_probed(spec, cfg, probe, ResilienceConfig::default())
+}
+
+/// Run a vanilla Shinjuku simulation with fault injection, client
+/// retries, admission control, and the stale-feedback governor.
+pub fn run_resilient_probed(
+    spec: WorkloadSpec,
+    cfg: ShinjukuConfig,
+    probe: ProbeConfig,
+    res: ResilienceConfig,
+) -> RunMetrics {
+    let mut engine = Engine::new(Shinjuku::new(spec, cfg, res));
     engine.set_probe(Probe::new(probe));
+    if res.is_active() {
+        engine.set_faults(FaultPlan::new(res.faults, spec.seed ^ FAULT_SEED_SALT));
+    }
     engine.schedule_at(SimTime::ZERO, Ev::ClientSend);
+    if engine.model().governor.is_some() {
+        for w in 0..cfg.workers {
+            engine.schedule_at(SimTime::ZERO, Ev::Heartbeat(w));
+        }
+    }
     engine.run_until(spec.horizon());
     let horizon = spec.horizon();
     let model = engine.model();
@@ -423,12 +650,21 @@ pub fn run_probed(spec: WorkloadSpec, cfg: ShinjukuConfig, probe: ProbeConfig) -
         .map(|w| w.core.utilization(horizon))
         .sum::<f64>()
         / model.workers.len() as f64;
-    let mut metrics = assemble_metrics(
-        &model.client,
-        model.nic.total_drops(),
-        model.preemptions,
-        util,
-    );
+    let ring_dropped = model.nic.total_drops();
+    let mut metrics = assemble_metrics(&model.client, ring_dropped, model.preemptions, util);
+    let fm = &mut metrics.faults;
+    fm.req_link_lost = model.req_lost;
+    fm.resp_link_lost = model.resp_lost;
+    fm.ring_dropped = ring_dropped;
+    fm.stranded = model.stranded;
+    fm.shed = model.dispatcher.stats.shed;
+    fm.nacks = model.nacks;
+    if let Some(gov) = &model.governor {
+        fm.fallback_switches = gov.switches;
+        fm.fallback_ns = gov.fallback_ns(horizon);
+        fm.quarantines = gov.quarantines;
+    }
+    metrics.dropped = ring_dropped + fm.link_lost() + fm.shed;
     if probe.enabled {
         metrics.stages = Some(engine.probe_mut().report(horizon));
     }
@@ -553,5 +789,23 @@ mod tests {
         let b = run(spec, ShinjukuConfig::paper(3));
         assert_eq!(a.completed, b.completed);
         assert_eq!(a.p99, b.p99);
+    }
+
+    #[test]
+    fn loss_and_crash_accounts_for_every_request() {
+        let spec = quick_spec(200_000.0, ServiceDist::Fixed(SimDuration::from_micros(5)));
+        let res = crate::common::ResilienceConfig::loss_and_crash(1, SimTime::from_millis(10));
+        let m = run_resilient_probed(spec, ShinjukuConfig::paper(4), ProbeConfig::disabled(), res);
+        let f = &m.faults;
+        assert_eq!(f.unaccounted(), 0, "request ledger must close: {f:?}");
+        assert!(f.in_pipe() >= 0, "attempt ledger went negative: {f:?}");
+        assert!(f.in_pipe() < 200, "attempt residue too large: {f:?}");
+        assert!(f.retries > 0, "1% loss must trigger retries");
+        assert!(f.quarantines >= 1, "crashed worker must be quarantined");
+        assert!(m.completed > 1000, "completed {}", m.completed);
+        // Deterministic under faults.
+        let m2 = run_resilient_probed(spec, ShinjukuConfig::paper(4), ProbeConfig::disabled(), res);
+        assert_eq!(m.faults, m2.faults);
+        assert_eq!(m.p99, m2.p99);
     }
 }

@@ -26,9 +26,11 @@
 mod arrivals;
 mod dist;
 mod latency;
+mod retry;
 mod spec;
 
 pub use arrivals::{ArrivalGen, ArrivalProcess};
 pub use dist::ServiceDist;
 pub use latency::{LatencyRecorder, ReqClass};
-pub use spec::{RunMetrics, WorkloadSpec};
+pub use retry::RetryPolicy;
+pub use spec::{FaultMetrics, RunMetrics, WorkloadSpec};

@@ -81,6 +81,117 @@ impl WorkloadSpec {
     }
 }
 
+/// Reliability and fault accounting for one run.
+///
+/// Every counter is a client- or model-side tally, so a dropped request
+/// shows up somewhere instead of silently vanishing from the latency
+/// distribution. Two ledgers reconcile a run:
+///
+/// * **Request ledger** (exact): every request the client launched ends in
+///   exactly one of recorded / abandoned / still-open, so
+///   [`unaccounted`](FaultMetrics::unaccounted) must always be zero.
+/// * **Attempt ledger** (bounded): wire attempts either reach a terminal
+///   fate the model counted (completion, duplicate, orphan, link loss,
+///   ring drop, shed, stranded-on-crashed-worker) or are still in the
+///   pipeline at the horizon; [`in_pipe`](FaultMetrics::in_pipe) is that
+///   remainder and must be small and non-negative.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultMetrics {
+    /// Wire send attempts, including retransmissions.
+    pub attempts: u64,
+    /// Distinct requests launched by the client.
+    pub launched: u64,
+    /// Unique completions recorded (including warmup completions, which
+    /// the latency histograms discard but the ledger must not).
+    pub completed_all: u64,
+    /// Retransmissions sent after a timeout or NACK.
+    pub retries: u64,
+    /// Per-attempt timeouts that fired while the attempt was live.
+    pub timeouts: u64,
+    /// Responses for requests already completed (suppressed, not
+    /// recorded).
+    pub duplicates: u64,
+    /// Responses for requests the client had already abandoned.
+    pub orphaned: u64,
+    /// Requests given up after the attempt budget was exhausted.
+    pub abandoned: u64,
+    /// Requests still awaiting a response when the run ended.
+    pub open_at_horizon: u64,
+    /// Request frames lost on the client→server wire.
+    pub req_link_lost: u64,
+    /// Response frames lost on the server→client wire.
+    pub resp_link_lost: u64,
+    /// Frames tail-dropped by NIC/worker rings.
+    pub ring_dropped: u64,
+    /// Requests shed by the dispatcher's admission policy.
+    pub shed: u64,
+    /// Early-NACK frames the dispatcher sent for shed requests.
+    pub nacks: u64,
+    /// Tasks stranded on a crashed worker (accepted, never finished).
+    pub stranded: u64,
+    /// Informed→hashed fallback transitions taken by the stale-feedback
+    /// governor.
+    pub fallback_switches: u64,
+    /// Cumulative nanoseconds the dispatcher spent in hashed fallback.
+    pub fallback_ns: u64,
+    /// Workers quarantined (excluded from selection) for stale feedback.
+    pub quarantines: u64,
+}
+
+impl FaultMetrics {
+    /// Total frames lost on either wire.
+    pub fn link_lost(&self) -> u64 {
+        self.req_link_lost + self.resp_link_lost
+    }
+
+    /// Request-ledger residue: `launched - (completed + abandoned +
+    /// open)`. Always zero when client bookkeeping is sound.
+    pub fn unaccounted(&self) -> i64 {
+        self.launched as i64
+            - self.completed_all as i64
+            - self.abandoned as i64
+            - self.open_at_horizon as i64
+    }
+
+    /// Attempt-ledger residue: attempts whose fate was not explicitly
+    /// counted, i.e. frames still inside the pipeline (links, rings,
+    /// queues, running workers) at the horizon. Must be non-negative and
+    /// bounded by the pipeline depth.
+    pub fn in_pipe(&self) -> i64 {
+        self.attempts as i64
+            - self.completed_all as i64
+            - self.duplicates as i64
+            - self.orphaned as i64
+            - self.link_lost() as i64
+            - self.ring_dropped as i64
+            - self.shed as i64
+            - self.stranded as i64
+    }
+
+    /// Accumulate another replica's counters into this one (used when
+    /// averaging metrics across seeds: counters sum, ratios re-derive).
+    pub fn absorb(&mut self, other: &FaultMetrics) {
+        self.attempts += other.attempts;
+        self.launched += other.launched;
+        self.completed_all += other.completed_all;
+        self.retries += other.retries;
+        self.timeouts += other.timeouts;
+        self.duplicates += other.duplicates;
+        self.orphaned += other.orphaned;
+        self.abandoned += other.abandoned;
+        self.open_at_horizon += other.open_at_horizon;
+        self.req_link_lost += other.req_link_lost;
+        self.resp_link_lost += other.resp_link_lost;
+        self.ring_dropped += other.ring_dropped;
+        self.shed += other.shed;
+        self.nacks += other.nacks;
+        self.stranded += other.stranded;
+        self.fallback_switches += other.fallback_switches;
+        self.fallback_ns += other.fallback_ns;
+        self.quarantines += other.quarantines;
+    }
+}
+
 /// The measured outcome of running one [`WorkloadSpec`] on one system —
 /// one point on one curve of one figure.
 #[derive(Clone, Debug, PartialEq)]
@@ -113,6 +224,9 @@ pub struct RunMetrics {
     /// Stage-level observability report; `None` unless the run was probed
     /// (`ProbeConfig::enabled()` or stronger).
     pub stages: Option<StageReport>,
+    /// Reliability and fault accounting (all-zero for a fault-free run
+    /// without retries).
+    pub faults: FaultMetrics,
 }
 
 impl RunMetrics {
@@ -122,16 +236,28 @@ impl RunMetrics {
         self.achieved_rps < self.offered_rps * (1.0 - tolerance)
     }
 
+    /// Achieved goodput as a fraction of offered load (1.0 = nothing
+    /// lost; 0.0 when no load was offered).
+    pub fn goodput_ratio(&self) -> f64 {
+        if self.offered_rps > 0.0 {
+            self.achieved_rps / self.offered_rps
+        } else {
+            0.0
+        }
+    }
+
     /// A compact single-line rendering for experiment logs.
     pub fn row(&self) -> String {
         format!(
-            "offered={:>10.0} achieved={:>10.0} p50={} p99={} p999={} drops={} preempt={} util={:.2}",
+            "offered={:>10.0} achieved={:>10.0} goodput={:.3} p50={} p99={} p999={} drops={} retries={} preempt={} util={:.2}",
             self.offered_rps,
             self.achieved_rps,
+            self.goodput_ratio(),
             self.p50,
             self.p99,
             self.p999,
             self.dropped,
+            self.faults.retries,
             self.preemptions,
             self.worker_utilization,
         )
@@ -186,11 +312,42 @@ mod tests {
             preemptions: 0,
             worker_utilization: 0.9,
             stages: None,
+            faults: FaultMetrics::default(),
         };
         assert!(!m.saturated(0.03));
         m.achieved_rps = 900_000.0;
         assert!(m.saturated(0.03));
         assert!(m.row().contains("offered"));
+        assert!(m.row().contains("goodput=0.900"));
+        assert!(m.row().contains("retries=0"));
+    }
+
+    #[test]
+    fn fault_ledgers_reconcile() {
+        let mut f = FaultMetrics {
+            attempts: 110,
+            launched: 100,
+            completed_all: 90,
+            retries: 10,
+            timeouts: 12,
+            duplicates: 1,
+            orphaned: 1,
+            abandoned: 4,
+            open_at_horizon: 6,
+            req_link_lost: 8,
+            resp_link_lost: 2,
+            ring_dropped: 3,
+            shed: 2,
+            nacks: 2,
+            stranded: 1,
+            ..FaultMetrics::default()
+        };
+        assert_eq!(f.unaccounted(), 0, "request ledger closes");
+        assert_eq!(f.link_lost(), 10);
+        // 110 - 90 - 1 - 1 - 10 - 3 - 2 - 1 = 2 attempts still in pipes.
+        assert_eq!(f.in_pipe(), 2);
+        f.completed_all += 1;
+        assert_eq!(f.unaccounted(), -1, "imbalance is visible");
     }
 
     #[test]
