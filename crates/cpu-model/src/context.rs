@@ -64,7 +64,8 @@ impl ContextCosts {
 /// assert the "at most one in-flight context per active request" invariant.
 #[derive(Debug, Default)]
 pub struct ContextPool {
-    saved: std::collections::HashSet<u64>,
+    // Ordered set: resident-context walks must not depend on hasher order.
+    saved: std::collections::BTreeSet<u64>,
     /// Total contexts ever spawned.
     pub spawned: u64,
     /// Total save operations.

@@ -1,13 +1,16 @@
 //! Resilience grid: loss rate × fault type across every assembly.
 //!
 //! `--smoke` runs the deterministic CI body (one loss+crash point per
-//! system, probing on, ledger asserted closed); `--json` prints the rows
-//! as JSON instead of the aligned table; `--quick` shrinks the grid.
+//! system, probing on, ledger asserted closed); `--invariants` layers the
+//! runtime invariant checker over the smoke run (bit-identical output,
+//! panics on any causality/conservation violation); `--json` prints the
+//! rows as JSON instead of the aligned table; `--quick` shrinks the grid.
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let as_json = args.iter().any(|a| a == "--json");
+    let invariants = args.iter().any(|a| a == "--invariants");
     let rows = if args.iter().any(|a| a == "--smoke") {
-        experiments::resilience::smoke()
+        experiments::resilience::smoke_checked(invariants)
     } else {
         let scale = if args.iter().any(|a| a == "--quick") {
             experiments::Scale::Quick

@@ -135,6 +135,7 @@ fn cell(sys: &SystemConfig, spec: WorkloadSpec, scenario: Scenario, loss: f64) -
         retry: Some(RetryPolicy::paper_default()),
         admission: nicsched::AdmissionPolicy::Open,
         fallback: Some(StalenessPolicy::paper_default()),
+        ..ResilienceConfig::default()
     };
     let m = sys.run_resilient(spec, ProbeConfig::disabled(), res);
     row_from(sys.name(), scenario, loss, &m)
@@ -175,15 +176,28 @@ pub fn run(scale: Scale) -> Vec<ResilienceRow> {
 /// One loss+crash point per system with probing on — the CI smoke body.
 /// Panics if any system leaks a request from its ledger.
 pub fn smoke() -> Vec<ResilienceRow> {
+    smoke_checked(false)
+}
+
+/// The smoke body with runtime invariant checking optionally enabled (the
+/// "invcheck" pass). The rows must be bit-identical either way — CI runs
+/// both and diffs the JSON — but the checked run additionally audits
+/// engine causality, ring bounds and ledger conservation on every event
+/// and panics with a violation report if the model misbehaves.
+pub fn smoke_checked(invariants: bool) -> Vec<ResilienceRow> {
     let spec = spec_for(Scale::Quick);
     let mut rows = Vec::new();
     for sys in systems_under_test(Scale::Quick) {
-        let res = ResilienceConfig {
+        let mut res = ResilienceConfig {
             faults: Scenario::Crash.faults(0.01, spec.horizon()),
             retry: Some(RetryPolicy::paper_default()),
             admission: nicsched::AdmissionPolicy::Open,
             fallback: Some(StalenessPolicy::paper_default()),
+            ..ResilienceConfig::default()
         };
+        if invariants {
+            res = res.with_invariants();
+        }
         let m = sys.run_resilient(spec, ProbeConfig::enabled(), res);
         assert!(
             m.stages.is_some(),

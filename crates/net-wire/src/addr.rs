@@ -174,7 +174,10 @@ impl FromStr for Ipv4Address {
 }
 
 /// A UDP/IPv4 endpoint (address, port) — the 2-tuple half of the RSS 4-tuple.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+///
+/// `Ord` so endpoints can key ordered maps (`BTreeMap`), which model code
+/// prefers over hashed maps for deterministic iteration.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Default)]
 pub struct Endpoint {
     /// IPv4 address.
     pub addr: Ipv4Address,

@@ -10,7 +10,7 @@
 //! steering within an interface, and the PCIe DMA latency a frame pays
 //! between the wire and host memory.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use net_wire::{EthernetAddress, ParsedFrame};
 use sim_core::SimDuration;
@@ -89,7 +89,10 @@ pub struct SteerDecision {
 #[derive(Debug)]
 pub struct NicDevice {
     ifaces: Vec<Iface>,
-    mac_table: HashMap<EthernetAddress, IfaceId>,
+    // Ordered map: MAC lookups are point queries today, but an ordered
+    // table guarantees any future iteration (dump, broadcast) is
+    // deterministic.
+    mac_table: BTreeMap<EthernetAddress, IfaceId>,
     /// One-way DMA latency between the device and host memory over PCIe.
     pub dma_latency: SimDuration,
     /// Frames whose destination MAC matched no interface.
@@ -101,7 +104,7 @@ impl NicDevice {
     pub fn new(dma_latency: SimDuration) -> NicDevice {
         NicDevice {
             ifaces: Vec::new(),
-            mac_table: HashMap::new(),
+            mac_table: BTreeMap::new(),
             dma_latency,
             unmatched_drops: 0,
         }
@@ -166,6 +169,18 @@ impl NicDevice {
     /// Number of interfaces.
     pub fn iface_count(&self) -> usize {
         self.ifaces.len()
+    }
+
+    /// Audit every RX ring of every interface (occupancy bounds and frame
+    /// conservation), reporting violations through `inv`. Called from
+    /// [`sim_core::Model::check_invariants`] implementations on invcheck
+    /// runs; pure observation, never mutates.
+    pub fn check_invariants(&self, now: sim_core::SimTime, inv: &mut sim_core::InvariantChecker) {
+        for iface in &self.ifaces {
+            for ring in &iface.rx {
+                ring.check_invariants(now, inv);
+            }
+        }
     }
 
     /// Total frames dropped across every ring of every interface plus
@@ -233,7 +248,7 @@ mod tests {
     fn rss_interface_spreads_flows() {
         let mut dev = NicDevice::new(SimDuration::ZERO);
         let id = dev.add_iface(mac(1), 4, 64, QueueSteering::Rss(Rss::new(4)));
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for port in 0..512 {
             let d = dev.steer(&frame_to(mac(1), port)).unwrap();
             assert_eq!(d.iface, id);

@@ -6,12 +6,12 @@
 //! there is no hashing ambiguity: a rule pins a flow to a core, which gives
 //! MICA its EREW partitioning but inherits RSS's blindness to load.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use net_wire::Endpoint;
 
 /// A flow signature: the UDP/IPv4 4-tuple.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
 pub struct FlowKey {
     /// Source endpoint.
     pub src: Endpoint,
@@ -21,9 +21,13 @@ pub struct FlowKey {
 
 /// An exact-match flow steering table with bounded capacity, like the
 /// 8K-entry perfect-match Flow Director tables in the 82599.
+///
+/// Rules live in a `BTreeMap`: iteration order is the key order, never the
+/// hasher's, so any future walk over the table (eviction sweeps, dumps)
+/// cannot leak nondeterminism into event timing.
 #[derive(Debug)]
 pub struct FlowDirector {
-    rules: HashMap<FlowKey, u32>,
+    rules: BTreeMap<FlowKey, u32>,
     capacity: usize,
     /// Packets matched by a rule.
     pub hits: u64,
@@ -47,7 +51,7 @@ impl FlowDirector {
     pub fn new(capacity: usize) -> FlowDirector {
         assert!(capacity > 0, "flow table capacity must be positive");
         FlowDirector {
-            rules: HashMap::new(),
+            rules: BTreeMap::new(),
             capacity,
             hits: 0,
             misses: 0,

@@ -31,6 +31,8 @@ pub struct Ring {
     capacity: usize,
     /// Frames accepted.
     pub enqueued: u64,
+    /// Frames dequeued by software.
+    pub popped: u64,
     /// Frames dropped because the ring was full.
     pub dropped: u64,
     /// Occupancy high-water mark.
@@ -45,9 +47,34 @@ impl Ring {
             frames: VecDeque::with_capacity(capacity),
             capacity,
             enqueued: 0,
+            popped: 0,
             dropped: 0,
             peak: 0,
         }
+    }
+
+    /// Descriptor count the ring was built with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Audit this ring's occupancy bound and frame conservation at `now`,
+    /// reporting violations through `inv`. Pure observation: safe to call
+    /// on every event of an invcheck run.
+    pub fn check_invariants(&self, now: SimTime, inv: &mut sim_core::InvariantChecker) {
+        inv.check_bound(
+            now,
+            "nic.ring",
+            self.frames.len() as u64,
+            self.capacity as u64,
+        );
+        inv.check_bound(now, "nic.ring.peak", self.peak as u64, self.capacity as u64);
+        inv.check_conservation(
+            now,
+            "nic.ring frames (enqueued = popped + resident)",
+            self.enqueued,
+            self.popped + self.frames.len() as u64,
+        );
     }
 
     /// Hardware-side enqueue. Returns `false` (and counts a drop) when full.
@@ -67,12 +94,15 @@ impl Ring {
 
     /// Software-side dequeue of the oldest frame.
     pub fn pop(&mut self) -> Option<RxFrame> {
-        self.frames.pop_front()
+        let frame = self.frames.pop_front();
+        self.popped += frame.is_some() as u64;
+        frame
     }
 
     /// Burst dequeue of up to `max` frames (DPDK `rx_burst`).
     pub fn pop_burst(&mut self, max: usize) -> Vec<RxFrame> {
         let n = max.min(self.frames.len());
+        self.popped += n as u64;
         self.frames.drain(..n).collect()
     }
 
@@ -168,5 +198,21 @@ mod tests {
         r.push(us(0), frame(2));
         assert_eq!(r.peak, 2);
         assert_eq!(r.free(), 2);
+        assert_eq!(r.popped, 1);
+        assert_eq!(r.capacity(), 4);
+    }
+
+    #[test]
+    fn invariant_audit_is_clean_and_conserves_frames() {
+        use sim_core::{InvariantChecker, InvariantConfig};
+        let mut r = Ring::new(2);
+        r.push(us(0), frame(0));
+        r.push(us(0), frame(1));
+        r.push(us(0), frame(2)); // dropped
+        r.pop_burst(1);
+        let mut inv = InvariantChecker::new(InvariantConfig::enabled());
+        r.check_invariants(us(1), &mut inv);
+        inv.assert_clean();
+        assert_eq!(inv.checks_performed(), 3);
     }
 }

@@ -20,6 +20,7 @@ use core::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use crate::faults::FaultPlan;
+use crate::invariants::InvariantChecker;
 use crate::probe::{Probe, ProbeHandle};
 use crate::time::{SimDuration, SimTime};
 
@@ -31,6 +32,16 @@ pub trait Model {
     /// Handle one event at the current simulated instant. Post follow-up
     /// events through `ctx`.
     fn handle(&mut self, event: Self::Event, ctx: &mut Ctx<Self::Event>);
+
+    /// Audit internal state against the model's own invariants, reporting
+    /// violations through `inv`. Called by the engine after every event
+    /// when an enabled [`InvariantChecker`] is installed (see
+    /// [`Engine::set_invariants`]); never called otherwise. Must not
+    /// mutate observable state — invcheck-enabled runs are required to be
+    /// bit-identical to plain runs.
+    fn check_invariants(&self, now: SimTime, inv: &mut InvariantChecker) {
+        let _ = (now, inv);
+    }
 }
 
 /// Handler-side view of the engine: the clock plus an outbox for new events.
@@ -152,6 +163,9 @@ pub struct Engine<M: Model> {
     probe: Option<Box<Probe>>,
     // Same lifecycle as `probe`: a fault-free plan unless one is installed.
     faults: Option<Box<FaultPlan>>,
+    // A disabled checker unless one is installed; stays engine-resident
+    // (models see it only through `Model::check_invariants`).
+    invariants: Box<InvariantChecker>,
 }
 
 impl<M: Model> Engine<M> {
@@ -167,7 +181,29 @@ impl<M: Model> Engine<M> {
             stopped: false,
             probe: Some(Box::default()),
             faults: Some(Box::default()),
+            invariants: Box::default(),
         }
+    }
+
+    /// Install an invariant checker (usually
+    /// `InvariantChecker::new(InvariantConfig::enabled())`). With an
+    /// enabled checker the engine verifies causality and FIFO
+    /// tie-breaking on every pop and calls
+    /// [`Model::check_invariants`] after every event; violations
+    /// accumulate in the checker instead of panicking.
+    pub fn set_invariants(&mut self, inv: InvariantChecker) {
+        *self.invariants = inv;
+    }
+
+    /// Shared access to the invariant checker.
+    pub fn invariants(&self) -> &InvariantChecker {
+        &self.invariants
+    }
+
+    /// Remove the invariant checker (e.g. to assert cleanliness at the
+    /// end of a run), leaving a disabled one in its place.
+    pub fn take_invariants(&mut self) -> InvariantChecker {
+        *std::mem::take(&mut self.invariants)
     }
 
     /// Install a probe (usually `Probe::new(ProbeConfig::enabled())`).
@@ -267,8 +303,16 @@ impl<M: Model> Engine<M> {
         let Some(entry) = self.heap.pop() else {
             return false;
         };
-        debug_assert!(entry.at >= self.now, "event heap yielded a past event");
-        self.now = entry.at;
+        if self.invariants.is_enabled() {
+            self.invariants.observe_pop(self.now, entry.at, entry.seq);
+            // Even on a causality violation (possible only through the
+            // test-only unchecked scheduling hook) the clock must not run
+            // backwards; on valid runs this is exactly `entry.at`.
+            self.now = self.now.max(entry.at);
+        } else {
+            debug_assert!(entry.at >= self.now, "event heap yielded a past event");
+            self.now = entry.at;
+        }
         self.processed += 1;
         let mut ctx = Ctx {
             now: self.now,
@@ -286,7 +330,18 @@ impl<M: Model> Engine<M> {
         if ctx.stop {
             self.stopped = true;
         }
+        if self.invariants.is_enabled() {
+            self.model.check_invariants(self.now, &mut self.invariants);
+        }
         true
+    }
+
+    /// Seed an event with no causality check — deliberately able to put
+    /// an event in the past so tests can prove the invariant checker
+    /// catches exactly that.
+    #[cfg(test)]
+    pub(crate) fn schedule_at_unchecked(&mut self, at: SimTime, event: M::Event) {
+        self.push(at, event);
     }
 
     /// Run until the heap drains or a handler stops the engine.
@@ -466,6 +521,59 @@ mod tests {
         assert_eq!(e.model().seen, vec![(1, 1)]);
         assert_eq!(e.events_pending(), 1, "post-stop events remain pending");
         assert!(!e.step(), "a stopped engine does not step");
+    }
+
+    #[test]
+    fn invariant_checker_reports_an_event_scheduled_in_the_past() {
+        use crate::invariants::{InvariantChecker, InvariantConfig};
+        let mut e = engine();
+        e.set_invariants(InvariantChecker::new(InvariantConfig::enabled()));
+        e.schedule_at(SimTime::from_micros(5), Ev::Mark(0));
+        e.run();
+        assert_eq!(e.now(), SimTime::from_micros(5));
+        // The test-only hook bypasses the schedule_at causality assert —
+        // exactly the class of bug the checker exists to catch.
+        e.schedule_at_unchecked(SimTime::from_micros(1), Ev::Mark(1));
+        assert!(e.step(), "the past event is still processed");
+        let inv = e.take_invariants();
+        assert_eq!(inv.violations().len(), 1, "{}", inv.report());
+        let v = &inv.violations()[0];
+        assert_eq!(v.rule, "causality");
+        assert!(
+            v.detail.contains("before the clock"),
+            "unexpected detail: {v}"
+        );
+        assert_eq!(e.now(), SimTime::from_micros(5), "clock never reverses");
+    }
+
+    #[test]
+    fn enabled_invariants_leave_a_valid_run_untouched_and_clean() {
+        use crate::invariants::{InvariantChecker, InvariantConfig};
+        let run = |checked: bool| {
+            let mut e = engine();
+            if checked {
+                e.set_invariants(InvariantChecker::new(InvariantConfig::enabled()));
+            }
+            e.schedule_at(
+                SimTime::ZERO,
+                Ev::Chain {
+                    label: 3,
+                    remaining: 50,
+                    gap: SimDuration::from_nanos(13),
+                },
+            );
+            for label in 0..10 {
+                e.schedule_at(SimTime::from_nanos(65), Ev::Mark(label));
+            }
+            e.run();
+            let inv = e.take_invariants();
+            if checked {
+                assert!(inv.checks_performed() > 0, "checker never ran");
+                inv.assert_clean();
+            }
+            e.into_model().seen
+        };
+        assert_eq!(run(false), run(true), "invcheck must not perturb the run");
     }
 
     #[test]

@@ -49,6 +49,7 @@
 
 mod engine;
 pub mod faults;
+pub mod invariants;
 pub mod probe;
 mod rng;
 pub mod stats;
@@ -56,6 +57,7 @@ mod time;
 
 pub use engine::{Ctx, Engine, Model, RunOutcome};
 pub use faults::{FaultConfig, FaultPlan, FaultStats};
+pub use invariants::{InvariantChecker, InvariantConfig, Violation};
 pub use probe::{Probe, ProbeConfig, ProbeHandle, StageReport, TraceEvent};
 pub use rng::Rng;
 pub use time::{SimDuration, SimTime};

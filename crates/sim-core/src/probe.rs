@@ -29,7 +29,7 @@
 //! report can telescope them: summed over the chain, the per-hop means
 //! reconcile with the client-observed sojourn time.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::fmt;
 
 use crate::stats::{BusyTracker, Histogram, TimeWeighted};
@@ -160,7 +160,9 @@ pub struct Probe {
     busy: BTreeMap<Key, BusyTracker>,
     hops: BTreeMap<&'static str, Histogram>,
     /// Per-request time of the most recent mark.
-    inflight: HashMap<u64, SimTime>,
+    // Ordered map so a report that ever walks the in-flight set (e.g. to
+    // list stuck requests) does so in request-id order, not hasher order.
+    inflight: BTreeMap<u64, SimTime>,
     trace: Vec<TraceEvent>,
     trace_dropped: u64,
 }
@@ -289,6 +291,7 @@ impl Probe {
             .map(|(name, h)| HopStat {
                 name: (*name).to_string(),
                 count: h.count(),
+                // simlint: allow(time-float-cast, reason=histogram mean is a float by construction)
                 mean: SimDuration::from_nanos(h.mean().round() as u64),
                 p50: SimDuration::from_nanos(h.p50().unwrap_or(0)),
                 p99: SimDuration::from_nanos(h.p99().unwrap_or(0)),

@@ -109,12 +109,14 @@ impl SimDuration {
     /// Construct from fractional microseconds, rounding to the nearest
     /// nanosecond. Negative inputs clamp to zero.
     pub fn from_micros_f64(us: f64) -> Self {
+        // simlint: allow(time-float-cast, reason=canonical float-to-ns boundary, rounds explicitly)
         SimDuration((us.max(0.0) * 1_000.0).round() as u64)
     }
 
     /// Construct from fractional seconds, rounding to the nearest nanosecond.
     /// Negative inputs clamp to zero.
     pub fn from_secs_f64(s: f64) -> Self {
+        // simlint: allow(time-float-cast, reason=canonical float-to-ns boundary, rounds explicitly)
         SimDuration((s.max(0.0) * 1_000_000_000.0).round() as u64)
     }
 
@@ -146,6 +148,7 @@ impl SimDuration {
     /// Multiply by a non-negative float, rounding to the nearest nanosecond.
     pub fn mul_f64(self, k: f64) -> SimDuration {
         debug_assert!(k >= 0.0, "mul_f64 by negative factor");
+        // simlint: allow(time-float-cast, reason=canonical float-to-ns boundary, rounds explicitly)
         SimDuration((self.0 as f64 * k).round() as u64)
     }
 }

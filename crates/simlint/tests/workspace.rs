@@ -1,0 +1,73 @@
+//! The two acceptance gates for simlint: the merged tree itself is clean,
+//! and a synthetic workspace with a freshly-introduced hazard fails.
+
+use std::fs;
+use std::path::PathBuf;
+
+use simlint::{find_workspace_root, lint_workspace, run};
+
+fn repo_root() -> PathBuf {
+    let here = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    find_workspace_root(&here).expect("simlint must live inside the workspace")
+}
+
+#[test]
+fn the_merged_tree_is_clean() {
+    let report = lint_workspace(&repo_root()).expect("scan must succeed");
+    assert!(
+        report.files_scanned > 50,
+        "scan looks truncated: {report:?}"
+    );
+    assert!(
+        report.is_clean(),
+        "workspace has determinism findings:\n{}",
+        report
+            .findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn cli_exits_zero_on_the_merged_tree() {
+    let root = repo_root();
+    let args = vec![
+        "--deny-all".to_string(),
+        "--root".to_string(),
+        root.display().to_string(),
+    ];
+    assert_eq!(run(&args), 0);
+}
+
+/// Build a throwaway mini-workspace with one model crate, inject a hazard,
+/// and check the CLI reports failure (exit code 1).
+#[test]
+fn cli_exits_nonzero_when_a_hazard_enters_a_model_crate() {
+    let dir = std::env::temp_dir().join(format!("simlint-fixture-{}", std::process::id()));
+    let src = dir.join("crates/systems/src");
+    fs::create_dir_all(&src).unwrap();
+    fs::write(dir.join("Cargo.toml"), "[workspace]\nmembers = []\n").unwrap();
+    fs::write(
+        src.join("lib.rs"),
+        "#![forbid(unsafe_code)]\n\
+         use std::collections::HashMap;\n\
+         pub fn seed() -> u64 { thread_rng().gen() }\n",
+    )
+    .unwrap();
+
+    let args = vec![
+        "--deny-all".to_string(),
+        "--root".to_string(),
+        dir.display().to_string(),
+    ];
+    assert_eq!(run(&args), 1, "hazardous model crate must fail the lint");
+
+    let report = lint_workspace(&dir).unwrap();
+    let rules: Vec<_> = report.findings.iter().map(|f| f.rule).collect();
+    assert!(rules.contains(&"unordered"), "{rules:?}");
+    assert!(rules.contains(&"ambient-rng"), "{rules:?}");
+
+    fs::remove_dir_all(&dir).unwrap();
+}

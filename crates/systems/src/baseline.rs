@@ -371,6 +371,11 @@ impl Baseline {
 impl Model for Baseline {
     type Event = Ev;
 
+    fn check_invariants(&self, now: SimTime, inv: &mut sim_core::InvariantChecker) {
+        self.nic.check_invariants(now, inv);
+        self.client.check_invariants(now, inv);
+    }
+
     fn handle(&mut self, event: Ev, ctx: &mut Ctx<Ev>) {
         match event {
             Ev::ClientSend => {
@@ -493,6 +498,7 @@ fn run_inner(
 ) -> (RunMetrics, f64) {
     let mut engine = Engine::new(Baseline::new(spec, cfg, res));
     engine.set_probe(Probe::new(probe));
+    engine.set_invariants(crate::common::checker_for(&res));
     if res.is_active() {
         engine.set_faults(FaultPlan::new(res.faults, spec.seed ^ FAULT_SEED_SALT));
     }
@@ -521,6 +527,7 @@ fn run_inner(
     if probe.enabled {
         metrics.stages = Some(engine.probe_mut().report(horizon));
     }
+    crate::common::close_invariants(engine.take_invariants(), horizon, &metrics);
     (
         metrics,
         if cfg.kind == BaselineKind::ElasticRss {

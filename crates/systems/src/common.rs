@@ -3,14 +3,14 @@
 //! configuration every assembly accepts, the stale-feedback governor, and
 //! metric assembly.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use net_wire::{Endpoint, EthernetAddress, FrameSpec, Ipv4Address, MsgRepr, ParsedFrame};
 use nicsched::{
     AdmissionPolicy, CoreFeedback, CoreSelector, Dispatcher, FeedbackChannel, SchedPolicy,
 };
 use sim_core::faults::FaultConfig;
-use sim_core::{Rng, SimDuration, SimTime};
+use sim_core::{InvariantChecker, InvariantConfig, Rng, SimDuration, SimTime};
 use workload::{
     ArrivalGen, ArrivalProcess, FaultMetrics, LatencyRecorder, ReqClass, RetryPolicy, RunMetrics,
     WorkloadSpec,
@@ -22,8 +22,10 @@ pub const FAULT_SEED_SALT: u64 = 0x5EED_FA17;
 
 /// Stretch a duration by a slowdown factor (thermal-throttle windows
 /// multiply wall time while the amount of useful work is unchanged).
+/// Delegates to the canonical float boundary in sim-core rather than
+/// casting here, so simlint's time-float-cast rule has one waiver site.
 pub(crate) fn scale_duration(d: SimDuration, factor: f64) -> SimDuration {
-    SimDuration::from_nanos((d.as_nanos() as f64 * factor) as u64)
+    d.mul_f64(factor)
 }
 
 /// When the dispatcher's view of workers goes stale enough to be dead
@@ -70,6 +72,11 @@ pub struct ResilienceConfig {
     pub admission: AdmissionPolicy,
     /// Stale-feedback fallback policy for informed dispatchers.
     pub fallback: Option<StalenessPolicy>,
+    /// Runtime invariant checking (the "invcheck" pass): engine
+    /// causality/FIFO audits, per-event model self-audits, and end-of-run
+    /// conservation checks. Enabled runs are bit-identical to plain runs
+    /// and panic with a full violation report if any invariant breaks.
+    pub invariants: InvariantConfig,
 }
 
 impl ResilienceConfig {
@@ -91,8 +98,42 @@ impl ResilienceConfig {
             retry: Some(RetryPolicy::paper_default()),
             admission: AdmissionPolicy::Open,
             fallback: Some(StalenessPolicy::paper_default()),
+            invariants: InvariantConfig::disabled(),
         }
     }
+
+    /// This configuration with runtime invariant checking switched on.
+    pub fn with_invariants(mut self) -> ResilienceConfig {
+        self.invariants = InvariantConfig::enabled();
+        self
+    }
+}
+
+/// Build the engine-resident invariant checker for `res` (disabled unless
+/// the config asks for the invcheck pass).
+pub(crate) fn checker_for(res: &ResilienceConfig) -> InvariantChecker {
+    InvariantChecker::new(res.invariants)
+}
+
+/// End-of-run conservation audit, shared by every assembly: the request
+/// ledger must close (`launched = completed + abandoned + still-open`,
+/// attempts itemised) and the client's bookkeeping must be self-consistent.
+/// Then panic with the accumulated report if the run violated anything.
+pub(crate) fn close_invariants(mut inv: InvariantChecker, at: SimTime, m: &RunMetrics) {
+    if !inv.is_enabled() {
+        return;
+    }
+    let f = &m.faults;
+    if f.unaccounted() != 0 {
+        inv.record(
+            at,
+            "ledger-conservation",
+            format!("request ledger residue {}: {f:?}", f.unaccounted()),
+        );
+    }
+    inv.check_bound(at, "client attempts vs launched", f.launched, f.attempts);
+    inv.check_bound(at, "completions vs launches", f.completed_all, f.launched);
+    inv.assert_clean();
 }
 
 /// The stale-feedback governor: watches per-worker report staleness
@@ -346,12 +387,13 @@ pub struct Client {
     /// Timeout/retry policy; `None` = fire-and-forget (requests are still
     /// tracked so the run ledger closes).
     retry: Option<RetryPolicy>,
-    /// Requests awaiting their first response.
-    outstanding: HashMap<u64, PendingReq>,
+    /// Requests awaiting their first response. Ordered by request id so
+    /// any iteration (ledger dumps, horizon accounting) is deterministic.
+    outstanding: BTreeMap<u64, PendingReq>,
     /// Requests whose response was recorded (including during warmup).
-    done: HashSet<u64>,
+    done: BTreeSet<u64>,
     /// Requests abandoned after the attempt budget.
-    gave_up: HashSet<u64>,
+    gave_up: BTreeSet<u64>,
     /// Retransmissions sent.
     pub retries: u64,
     /// Timeouts that fired while their attempt was live.
@@ -383,9 +425,9 @@ impl Client {
             port_cursor: 0,
             pacing: None,
             retry: None,
-            outstanding: HashMap::new(),
-            done: HashSet::new(),
-            gave_up: HashSet::new(),
+            outstanding: BTreeMap::new(),
+            done: BTreeSet::new(),
+            gave_up: BTreeSet::new(),
             retries: 0,
             timeouts: 0,
             duplicates: 0,
@@ -555,6 +597,19 @@ impl Client {
         ResponseOutcome::Recorded
     }
 
+    /// Audit client bookkeeping: every issued request id lives in exactly
+    /// one of `outstanding` / `done` / `gave_up`, so their sizes must sum
+    /// to the number of requests sent. O(1), called per event on invcheck
+    /// runs.
+    pub fn check_invariants(&self, now: SimTime, inv: &mut InvariantChecker) {
+        inv.check_conservation(
+            now,
+            "client requests (sent = done + gave_up + outstanding)",
+            self.sent,
+            (self.done.len() + self.gave_up.len() + self.outstanding.len()) as u64,
+        );
+    }
+
     /// The client-side half of the fault ledger (assemblies overlay the
     /// model-side counters: link losses, ring drops, sheds, strandings).
     pub fn fault_metrics(&self) -> FaultMetrics {
@@ -619,7 +674,7 @@ mod tests {
 
     #[test]
     fn addressing_is_unique() {
-        let mut macs = std::collections::HashSet::new();
+        let mut macs = std::collections::BTreeSet::new();
         macs.insert(AddressPlan::client_mac());
         macs.insert(AddressPlan::dispatcher_mac());
         for i in 0..16 {

@@ -444,6 +444,11 @@ impl MultiShinjuku {
 impl Model for MultiShinjuku {
     type Event = Ev;
 
+    fn check_invariants(&self, now: SimTime, inv: &mut sim_core::InvariantChecker) {
+        self.nic.check_invariants(now, inv);
+        self.client.check_invariants(now, inv);
+    }
+
     fn handle(&mut self, event: Ev, ctx: &mut Ctx<Ev>) {
         match event {
             Ev::ClientSend => {
@@ -674,6 +679,7 @@ pub fn run_resilient_probed(
 ) -> MultiRunMetrics {
     let mut engine = Engine::new(MultiShinjuku::new(spec, cfg, res));
     engine.set_probe(Probe::new(probe));
+    engine.set_invariants(crate::common::checker_for(&res));
     if res.is_active() {
         engine.set_faults(FaultPlan::new(res.faults, spec.seed ^ FAULT_SEED_SALT));
     }
@@ -702,6 +708,7 @@ pub fn run_resilient_probed(
     if probe.enabled {
         metrics.stages = Some(engine.probe_mut().report(horizon));
     }
+    crate::common::close_invariants(engine.take_invariants(), horizon, &metrics);
     MultiRunMetrics { metrics, imbalance }
 }
 

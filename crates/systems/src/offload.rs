@@ -23,7 +23,7 @@
 //! `net-wire`. The system is generic over [`NicProfile`], which is how the
 //! CXL / ideal-NIC ablations reuse this assembly unchanged.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use bytes::Bytes;
 use cpu_model::{
@@ -198,7 +198,7 @@ struct Offload {
     nic: NicDevice,
     disp_iface: IfaceId,
     worker_iface: Vec<IfaceId>,
-    worker_by_mac: HashMap<net_wire::EthernetAddress, usize>,
+    worker_by_mac: BTreeMap<net_wire::EthernetAddress, usize>,
 
     networker: Stage<()>,
     qm: Stage<QmItem>,
@@ -207,8 +207,10 @@ struct Offload {
 
     dispatcher: Dispatcher<Box<dyn SchedPolicy>, Box<dyn CoreSelector>>,
     topology: Topology,
-    /// First-arrival instants, so re-queued tasks keep their admission time.
-    task_meta: HashMap<u64, SimTime>,
+    /// First-arrival instants, so re-queued tasks keep their admission
+    /// time. Ordered by request id: iteration order can never depend on a
+    /// hasher seed.
+    task_meta: BTreeMap<u64, SimTime>,
 
     workers: Vec<Worker>,
     ctx_pool: ContextPool,
@@ -265,7 +267,7 @@ impl Offload {
             QueueSteering::Single,
         );
         let mut worker_iface = Vec::new();
-        let mut worker_by_mac = HashMap::new();
+        let mut worker_by_mac = BTreeMap::new();
         for w in 0..cfg.workers {
             let mac = AddressPlan::worker_mac(w);
             worker_iface.push(nic.add_iface(mac, 1, 128, QueueSteering::Single));
@@ -322,7 +324,7 @@ impl Offload {
             qm: Stage::new(),
             tx: Stage::new(),
             rx: Stage::new(),
-            task_meta: HashMap::new(),
+            task_meta: BTreeMap::new(),
             workers,
             ctx_pool: ContextPool::new(),
             ctx_costs: ContextCosts::default(),
@@ -696,6 +698,11 @@ impl Offload {
 impl Model for Offload {
     type Event = Ev;
 
+    fn check_invariants(&self, now: SimTime, inv: &mut sim_core::InvariantChecker) {
+        self.nic.check_invariants(now, inv);
+        self.client.check_invariants(now, inv);
+    }
+
     fn handle(&mut self, event: Ev, ctx: &mut Ctx<Ev>) {
         match event {
             Ev::ClientSend => {
@@ -1024,6 +1031,7 @@ pub fn run_resilient_probed(
 ) -> RunMetrics {
     let mut engine = Engine::new(Offload::new(spec, cfg, res));
     engine.set_probe(Probe::new(probe));
+    engine.set_invariants(crate::common::checker_for(&res));
     if res.is_active() {
         engine.set_faults(FaultPlan::new(res.faults, spec.seed ^ FAULT_SEED_SALT));
     }
@@ -1060,6 +1068,7 @@ pub fn run_resilient_probed(
     if probe.enabled {
         metrics.stages = Some(engine.probe_mut().report(horizon));
     }
+    crate::common::close_invariants(engine.take_invariants(), horizon, &metrics);
     metrics
 }
 

@@ -170,6 +170,21 @@ impl RpcValet {
 impl Model for RpcValet {
     type Event = Ev;
 
+    fn check_invariants(&self, now: SimTime, inv: &mut sim_core::InvariantChecker) {
+        self.client.check_invariants(now, inv);
+        // Cap-1 hardware dispatch: a worker running a task must not also
+        // be marked idle, or the idle-gap accounting double-books time.
+        for (w, worker) in self.workers.iter().enumerate() {
+            if worker.running.is_some() && worker.idle_since.is_some() {
+                inv.record(
+                    now,
+                    "worker-state",
+                    format!("worker {w} runs a task but is still marked idle"),
+                );
+            }
+        }
+    }
+
     fn handle(&mut self, event: Ev, ctx: &mut Ctx<Ev>) {
         match event {
             Ev::ClientSend => {
@@ -343,6 +358,7 @@ pub fn run_resilient_probed(
 ) -> RunMetrics {
     let mut engine = Engine::new(RpcValet::new(spec, cfg, res));
     engine.set_probe(Probe::new(probe));
+    engine.set_invariants(crate::common::checker_for(&res));
     if res.is_active() {
         engine.set_faults(FaultPlan::new(res.faults, spec.seed ^ FAULT_SEED_SALT));
     }
@@ -365,6 +381,7 @@ pub fn run_resilient_probed(
     if probe.enabled {
         metrics.stages = Some(engine.probe_mut().report(horizon));
     }
+    crate::common::close_invariants(engine.take_invariants(), horizon, &metrics);
     metrics
 }
 

@@ -398,6 +398,11 @@ impl Shinjuku {
 impl Model for Shinjuku {
     type Event = Ev;
 
+    fn check_invariants(&self, now: SimTime, inv: &mut sim_core::InvariantChecker) {
+        self.nic.check_invariants(now, inv);
+        self.client.check_invariants(now, inv);
+    }
+
     fn handle(&mut self, event: Ev, ctx: &mut Ctx<Ev>) {
         match event {
             Ev::ClientSend => {
@@ -632,6 +637,7 @@ pub fn run_resilient_probed(
 ) -> RunMetrics {
     let mut engine = Engine::new(Shinjuku::new(spec, cfg, res));
     engine.set_probe(Probe::new(probe));
+    engine.set_invariants(crate::common::checker_for(&res));
     if res.is_active() {
         engine.set_faults(FaultPlan::new(res.faults, spec.seed ^ FAULT_SEED_SALT));
     }
@@ -668,6 +674,7 @@ pub fn run_resilient_probed(
     if probe.enabled {
         metrics.stages = Some(engine.probe_mut().report(horizon));
     }
+    crate::common::close_invariants(engine.take_invariants(), horizon, &metrics);
     metrics
 }
 

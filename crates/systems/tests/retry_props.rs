@@ -37,6 +37,7 @@ proptest! {
             retry: Some(RetryPolicy::paper_default()),
             admission: nicsched::AdmissionPolicy::Open,
             fallback: Some(StalenessPolicy::paper_default()),
+            ..ResilienceConfig::default()
         };
         let sys = SystemConfig::Offload(OffloadConfig::paper(4, 4));
         let m = sys.run_resilient(spec(seed, rps), ProbeConfig::disabled(), res);

@@ -23,6 +23,8 @@
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the full inventory.
 
+#![forbid(unsafe_code)]
+
 pub use cpu_model as cpu;
 pub use experiments;
 pub use net_wire as wire;
