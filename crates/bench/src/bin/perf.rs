@@ -1,0 +1,543 @@
+//! Perf baseline: engine throughput, per-assembly simulation rate, and
+//! sweep parallelism, emitted as machine-readable JSON for the CI gate.
+//!
+//! ```text
+//! perf [--smoke] [--out PATH] [--compare PATH] [--tolerance F]
+//!      [--jobs N] [--handicap N]
+//! ```
+//!
+//! Three sections:
+//!
+//! * **engine** — events/second of the indexed [`EventQueue`] against the
+//!   pre-existing [`LegacyHeap`] (kept as the executable specification)
+//!   on a bundle of workload shapes that mirror the simulator's real
+//!   traffic (timer chains, schedule_now handoff cascades, NIC fan-outs
+//!   over a standing timer population), plus the full [`Engine`] loop.
+//!   The headline is `normalized_throughput`: the geometric mean of the
+//!   per-shape speedups (indexed / legacy, both *measured in the same
+//!   process*), so the number is comparable across machines of different
+//!   speeds — which is what lets CI gate on it.
+//! * **assemblies** — simulated seconds per wall second for each of the
+//!   five server assemblies at a fixed bench point.
+//! * **sweep** — wall-clock of one parallel grid at `--jobs 1` vs
+//!   `--jobs N`, asserting the results are identical either way.
+//!
+//! `--compare BASELINE.json` re-runs the measurement and exits non-zero
+//! if `normalized_throughput` regressed more than `--tolerance` (default
+//! 0.25) below the baseline. `--handicap N` multiplies the work done on
+//! the fast path only — `--handicap 2` simulates a 2× engine slowdown and
+//! must make the comparison fail; CI uses it once to prove the gate bites.
+
+use std::time::Instant;
+
+use sim_core::{Ctx, Engine, EventQueue, LegacyHeap, Model, SimDuration, SimTime};
+use systems::baseline::{BaselineConfig, BaselineKind};
+use systems::multi_shinjuku::MultiShinjukuConfig;
+use systems::offload::OffloadConfig;
+use systems::rpcvalet::RpcValetConfig;
+use systems::shinjuku::ShinjukuConfig;
+use systems::{ProbeConfig, ServerSystem, SystemConfig};
+use workload::ServiceDist;
+
+/// Realistically-sized event payload: models carry request ids, sizes and
+/// routing state, so queue costs must include payload movement.
+type Payload = [u64; 6];
+
+/// The queue surface both implementations share, so one driver measures
+/// both.
+trait Q {
+    fn push(&mut self, at: SimTime, e: Payload) -> u64;
+    fn pop(&mut self) -> Option<(SimTime, u64, Payload)>;
+}
+
+impl Q for EventQueue<Payload> {
+    fn push(&mut self, at: SimTime, e: Payload) -> u64 {
+        EventQueue::push(self, at, e)
+    }
+    fn pop(&mut self) -> Option<(SimTime, u64, Payload)> {
+        EventQueue::pop(self)
+    }
+}
+
+impl Q for LegacyHeap<Payload> {
+    fn push(&mut self, at: SimTime, e: Payload) -> u64 {
+        LegacyHeap::push(self, at, e)
+    }
+    fn pop(&mut self) -> Option<(SimTime, u64, Payload)> {
+        LegacyHeap::pop(self)
+    }
+}
+
+/// One synthetic queue workload; returns events processed (for a
+/// throughput denominator) and a checksum (so the work cannot be
+/// optimized away and both queues can be cross-checked).
+fn drive<T: Q>(q: &mut T, shape: &Shape, n_events: u64) -> (u64, u64) {
+    let mut checksum = 0u64;
+    let mut processed = 0u64;
+    // Standing far-future timers: retransmit timeouts, connection
+    // expiries, periodic telemetry. Real runs always carry a population
+    // of these, so hot-path events pay the sift depth they induce. They
+    // only drain at the end (which is inside the timed region, but is
+    // `backlog` pops against `n_events` — noise).
+    const FAR: u64 = 1 << 40;
+    let backlog = match *shape {
+        Shape::Chains { backlog, .. }
+        | Shape::Handoff { backlog, .. }
+        | Shape::Fanout { backlog, .. } => backlog,
+    };
+    for i in 0..backlog {
+        q.push(SimTime::from_nanos(FAR + i * 1_000), [i, 1, 0, 0, 0, 0]);
+    }
+    match *shape {
+        Shape::Chains { fanout, .. } => {
+            for i in 0..fanout {
+                q.push(SimTime::from_nanos(i), [i, 0, 0, 0, 0, i]);
+            }
+            while processed < n_events {
+                let (at, seq, ev) = q.pop().expect("chains never drain");
+                checksum = checksum.wrapping_add(at.as_nanos() ^ seq ^ ev[0]);
+                // Re-arm the chain a pseudo-random distance ahead, like a
+                // service completion scheduling the next arrival.
+                let gap = 100 + (ev[0].wrapping_mul(0x9E37_79B9) % 900);
+                q.push(at + SimDuration::from_nanos(gap), ev);
+                processed += 1;
+            }
+        }
+        Shape::Handoff { chain, .. } => {
+            // The schedule_now idiom every model leans on: handling one
+            // arrival cascades through dispatcher push -> worker poll ->
+            // completion emit at the *same* instant before the next
+            // arrival fires. ev[1] counts remaining same-instant hops.
+            q.push(SimTime::from_nanos(0), [0, chain, 0, 0, 0, 0]);
+            while processed < n_events {
+                let (at, seq, mut ev) = q.pop().expect("handoff chain never drains");
+                checksum = checksum.wrapping_add(at.as_nanos() ^ seq ^ ev[0]);
+                processed += 1;
+                if ev[1] > 0 {
+                    ev[1] -= 1;
+                    q.push(at, ev);
+                } else {
+                    ev[1] = chain;
+                    let gap = 100 + (ev[0].wrapping_mul(0x9E37_79B9) % 900);
+                    ev[0] = ev[0].wrapping_add(1);
+                    q.push(at + SimDuration::from_nanos(gap), ev);
+                }
+            }
+        }
+        Shape::Fanout { width, .. } => {
+            // NIC-style dispatch: a frame arrival fans out `width` events
+            // at the same instant, which all run before time advances.
+            let mut now = 0u64;
+            while processed < n_events {
+                for i in 0..width {
+                    q.push(SimTime::from_nanos(now), [i, now, 0, 0, 0, 0]);
+                }
+                for _ in 0..width {
+                    let (at, seq, ev) = q.pop().expect("burst events present");
+                    checksum = checksum.wrapping_add(at.as_nanos() ^ seq ^ ev[0]);
+                    processed += 1;
+                }
+                now += 1_000;
+            }
+        }
+    }
+    while let Some((at, seq, ev)) = q.pop() {
+        checksum = checksum.wrapping_add(at.as_nanos() ^ seq ^ ev[0]);
+    }
+    (processed, checksum)
+}
+
+enum Shape {
+    /// `fanout` self-rescheduling chains with scattered future
+    /// timestamps over `backlog` standing timers — service-completion /
+    /// arrival-process traffic.
+    Chains { fanout: u64, backlog: u64 },
+    /// Same-instant `schedule_now` cascades of length `chain` per
+    /// arrival, over `backlog` standing timers — the dispatcher/worker
+    /// handoff idiom.
+    Handoff { chain: u64, backlog: u64 },
+    /// Same-instant fan-outs of `width` events over `backlog` standing
+    /// timers — NIC batch dispatch.
+    Fanout { width: u64, backlog: u64 },
+}
+
+struct EngineRow {
+    name: &'static str,
+    events: u64,
+    fast_eps: f64,
+    legacy_eps: f64,
+}
+
+fn bench_queues(n_events: u64, handicap: u64) -> Vec<EngineRow> {
+    // The bundle mirrors how the models in this repository actually use
+    // the queue (see crates/systems): scattered completion/arrival timers
+    // at two scales, schedule_now handoff cascades, and NIC fan-out
+    // bursts — the latter two over a standing timer population, which is
+    // where every real run spends its time.
+    let shapes: [(&'static str, Shape); 5] = [
+        (
+            "timer_chain_64",
+            Shape::Chains {
+                fanout: 64,
+                backlog: 0,
+            },
+        ),
+        (
+            "timer_chain_1024",
+            Shape::Chains {
+                fanout: 1024,
+                backlog: 0,
+            },
+        ),
+        (
+            "handoff_4_over_256",
+            Shape::Handoff {
+                chain: 4,
+                backlog: 256,
+            },
+        ),
+        (
+            "handoff_16_over_1024",
+            Shape::Handoff {
+                chain: 16,
+                backlog: 1024,
+            },
+        ),
+        (
+            "fanout_32_over_1024",
+            Shape::Fanout {
+                width: 32,
+                backlog: 1024,
+            },
+        ),
+    ];
+    shapes
+        .iter()
+        .map(|(name, shape)| {
+            // Interleave repeats of both queues and keep each side's best
+            // time: scheduler noise on a shared box only ever slows a run
+            // down, so min-of-N converges on the true cost.
+            let reps = 3;
+            let mut fast_secs = f64::INFINITY;
+            let mut legacy_secs = f64::INFINITY;
+            let mut fast_sum = 0;
+            let mut legacy_sum = 0;
+            for _ in 0..reps {
+                // The fast path runs `handicap` times inside the timed
+                // region while crediting one run — an injectable slowdown
+                // that the CI gate must catch (see module docs).
+                let t0 = Instant::now();
+                for _ in 0..handicap {
+                    let mut q = EventQueue::new();
+                    let (_, c) = drive(&mut q, shape, n_events);
+                    fast_sum = c;
+                }
+                fast_secs = fast_secs.min(t0.elapsed().as_secs_f64());
+
+                let t0 = Instant::now();
+                let mut legacy = LegacyHeap::new();
+                let (_, c) = drive(&mut legacy, shape, n_events);
+                legacy_sum = c;
+                legacy_secs = legacy_secs.min(t0.elapsed().as_secs_f64());
+            }
+
+            assert_eq!(
+                fast_sum, legacy_sum,
+                "{name}: queues disagree on the event stream"
+            );
+            EngineRow {
+                name,
+                events: n_events,
+                fast_eps: n_events as f64 / fast_secs,
+                legacy_eps: n_events as f64 / legacy_secs,
+            }
+        })
+        .collect()
+}
+
+/// The full engine loop (queue + dispatch + outbox recycling) on the
+/// chain model from the criterion bench, in events/second.
+fn bench_engine_loop(n_events: u64) -> f64 {
+    struct Chains;
+    struct ChainEv {
+        gap: SimDuration,
+        remaining: u32,
+    }
+    impl Model for Chains {
+        type Event = ChainEv;
+        fn handle(&mut self, ev: ChainEv, ctx: &mut Ctx<ChainEv>) {
+            if ev.remaining > 0 {
+                ctx.schedule_in(
+                    ev.gap,
+                    ChainEv {
+                        gap: ev.gap,
+                        remaining: ev.remaining - 1,
+                    },
+                );
+            }
+        }
+    }
+    let fanout = 16u64;
+    let t0 = Instant::now();
+    let mut engine = Engine::new(Chains);
+    for i in 0..fanout {
+        engine.schedule_at(
+            SimTime::from_nanos(i),
+            ChainEv {
+                gap: SimDuration::from_nanos(100 + i),
+                remaining: (n_events / fanout) as u32,
+            },
+        );
+    }
+    engine.run();
+    let secs = t0.elapsed().as_secs_f64();
+    engine.events_processed() as f64 / secs
+}
+
+struct AssemblyRow {
+    name: &'static str,
+    sim_per_wall: f64,
+    wall_ms: f64,
+}
+
+fn bench_assemblies(measure: SimDuration) -> Vec<AssemblyRow> {
+    let systems: Vec<SystemConfig> = vec![
+        SystemConfig::Offload(OffloadConfig::paper(4, 4)),
+        SystemConfig::Shinjuku(ShinjukuConfig::paper(4)),
+        SystemConfig::Baseline(BaselineConfig {
+            workers: 4,
+            kind: BaselineKind::Rss,
+        }),
+        SystemConfig::RpcValet(RpcValetConfig { workers: 4 }),
+        SystemConfig::MultiShinjuku(MultiShinjukuConfig::split(10, 2)),
+    ];
+    systems
+        .into_iter()
+        .map(|sys| {
+            let mut spec = bench::bench_spec(250_000.0, ServiceDist::paper_bimodal());
+            spec.measure = measure;
+            let t0 = Instant::now();
+            let m = sys.run(spec, ProbeConfig::disabled());
+            let secs = t0.elapsed().as_secs_f64();
+            assert!(
+                m.completed > 0,
+                "{}: bench run completed nothing",
+                sys.name()
+            );
+            let sim_secs = (spec.warmup + spec.measure).as_secs_f64();
+            AssemblyRow {
+                name: sys.name(),
+                sim_per_wall: sim_secs / secs,
+                wall_ms: secs * 1e3,
+            }
+        })
+        .collect()
+}
+
+struct SweepRow {
+    points: usize,
+    jobs_n: usize,
+    jobs1_ms: f64,
+    jobsn_ms: f64,
+}
+
+fn bench_sweep(points: usize) -> SweepRow {
+    let loads: Vec<f64> = (0..points)
+        .map(|i| 100_000.0 + 25_000.0 * i as f64)
+        .collect();
+    let run_at = |rps: f64| {
+        OffloadConfig::paper(4, 4).run(
+            bench::bench_spec(rps, ServiceDist::paper_bimodal()),
+            ProbeConfig::disabled(),
+        )
+    };
+    let jobs_n = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+
+    experiments::sweep::set_jobs(1);
+    let t0 = Instant::now();
+    let serial = experiments::sweep::par_map(&loads, |&l| run_at(l));
+    let jobs1_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    experiments::sweep::set_jobs(jobs_n);
+    let t0 = Instant::now();
+    let parallel = experiments::sweep::par_map(&loads, |&l| run_at(l));
+    let jobsn_ms = t0.elapsed().as_secs_f64() * 1e3;
+    experiments::sweep::set_jobs(0);
+
+    for (a, b) in serial.iter().zip(&parallel) {
+        assert_eq!(a.p99, b.p99, "parallel sweep must not perturb results");
+        assert_eq!(a.completed, b.completed);
+    }
+    SweepRow {
+        points,
+        jobs_n,
+        jobs1_ms,
+        jobsn_ms,
+    }
+}
+
+fn emit_json(
+    smoke: bool,
+    engine_rows: &[EngineRow],
+    engine_loop_eps: f64,
+    assemblies: &[AssemblyRow],
+    sweep: &SweepRow,
+) -> String {
+    use std::fmt::Write;
+    let fast_total: f64 =
+        engine_rows.iter().map(|r| r.fast_eps).sum::<f64>() / engine_rows.len() as f64;
+    let legacy_total: f64 =
+        engine_rows.iter().map(|r| r.legacy_eps).sum::<f64>() / engine_rows.len() as f64;
+    // Geometric mean of per-workload speedups: the standard aggregate for
+    // a benchmark suite — every workload carries equal weight regardless
+    // of its absolute events/sec, and it is machine-independent (both
+    // sides of each ratio run in the same process on the same box).
+    let geomean: f64 = (engine_rows
+        .iter()
+        .map(|r| (r.fast_eps / r.legacy_eps).ln())
+        .sum::<f64>()
+        / engine_rows.len() as f64)
+        .exp();
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema\": \"mindgap-bench-v1\",");
+    let _ = writeln!(out, "  \"smoke\": {smoke},");
+    let _ = writeln!(out, "  \"engine\": {{");
+    let _ = writeln!(out, "    \"workloads\": [");
+    for (i, r) in engine_rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "      {{\"name\": \"{}\", \"events\": {}, \"fast_events_per_sec\": {:.0}, \"legacy_events_per_sec\": {:.0}, \"speedup\": {:.3}}}",
+            r.name,
+            r.events,
+            r.fast_eps,
+            r.legacy_eps,
+            r.fast_eps / r.legacy_eps
+        );
+        out.push_str(if i + 1 < engine_rows.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    let _ = writeln!(out, "    ],");
+    let _ = writeln!(
+        out,
+        "    \"engine_loop_events_per_sec\": {engine_loop_eps:.0},"
+    );
+    let _ = writeln!(out, "    \"mean_fast_events_per_sec\": {fast_total:.0},");
+    let _ = writeln!(
+        out,
+        "    \"mean_legacy_events_per_sec\": {legacy_total:.0},"
+    );
+    let _ = writeln!(out, "    \"normalized_throughput\": {geomean:.4}");
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"assemblies\": [");
+    for (i, a) in assemblies.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"name\": \"{}\", \"sim_seconds_per_wall_second\": {:.4}, \"wall_ms\": {:.1}}}",
+            a.name, a.sim_per_wall, a.wall_ms
+        );
+        out.push_str(if i + 1 < assemblies.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"sweep\": {{");
+    let _ = writeln!(out, "    \"points\": {},", sweep.points);
+    let _ = writeln!(out, "    \"jobs_n\": {},", sweep.jobs_n);
+    let _ = writeln!(out, "    \"jobs_1_wall_ms\": {:.1},", sweep.jobs1_ms);
+    let _ = writeln!(out, "    \"jobs_n_wall_ms\": {:.1},", sweep.jobsn_ms);
+    let _ = writeln!(
+        out,
+        "    \"speedup\": {:.3}",
+        sweep.jobs1_ms / sweep.jobsn_ms
+    );
+    let _ = writeln!(out, "  }}");
+    out.push('}');
+    out
+}
+
+/// Extract `"key": <number>` from our own JSON dialect — no serializer
+/// crate needed for a format this binary both writes and reads.
+fn json_number(text: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let start = text.find(&pat)? + pat.len();
+    let rest = text[start..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == name {
+            return it.next().cloned();
+        }
+        if let Some(v) = a.strip_prefix(&format!("{name}=")) {
+            return Some(v.to_string());
+        }
+    }
+    None
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    experiments::sweep::init_jobs_from_args();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let handicap: u64 = flag_value(&args, "--handicap")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let tolerance: f64 = flag_value(&args, "--tolerance")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.25);
+
+    let (queue_events, loop_events, measure, sweep_points) = if smoke {
+        (400_000, 400_000, SimDuration::from_millis(4), 4)
+    } else {
+        (4_000_000, 4_000_000, SimDuration::from_millis(8), 8)
+    };
+
+    eprintln!("perf: engine queue microbenchmarks ({queue_events} events/workload)...");
+    let engine_rows = bench_queues(queue_events, handicap);
+    eprintln!("perf: full engine loop...");
+    let engine_loop_eps = bench_engine_loop(loop_events);
+    eprintln!("perf: assemblies...");
+    let assemblies = bench_assemblies(measure);
+    eprintln!("perf: sweep parallelism...");
+    let sweep = bench_sweep(sweep_points);
+
+    let json = emit_json(smoke, &engine_rows, engine_loop_eps, &assemblies, &sweep);
+    println!("{json}");
+    if let Some(path) = flag_value(&args, "--out") {
+        std::fs::write(&path, format!("{json}\n")).expect("writing bench JSON");
+        eprintln!("perf: wrote {path}");
+    }
+
+    if let Some(baseline_path) = flag_value(&args, "--compare") {
+        let baseline = std::fs::read_to_string(&baseline_path).expect("reading baseline JSON");
+        let base_norm = json_number(&baseline, "normalized_throughput")
+            .expect("baseline missing normalized_throughput");
+        let cur_norm = json_number(&json, "normalized_throughput").expect("own JSON parses");
+        let floor = base_norm * (1.0 - tolerance);
+        eprintln!(
+            "perf: normalized_throughput {cur_norm:.4} vs baseline {base_norm:.4} \
+             (floor {floor:.4}, tolerance {tolerance})"
+        );
+        if cur_norm < floor {
+            eprintln!(
+                "perf: FAIL — engine throughput regressed more than {:.0}% \
+                 relative to the in-process legacy-heap calibration",
+                tolerance * 100.0
+            );
+            std::process::exit(1);
+        }
+        eprintln!("perf: PASS");
+    }
+}

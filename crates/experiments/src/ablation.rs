@@ -12,26 +12,15 @@ use systems::baseline::{BaselineConfig, BaselineKind};
 use systems::offload::OffloadConfig;
 use systems::rpcvalet::RpcValetConfig;
 use systems::shinjuku::ShinjukuConfig;
-use systems::{ProbeConfig, ServerSystem};
-use workload::{RunMetrics, ServiceDist, WorkloadSpec};
+use workload::{ServiceDist, WorkloadSpec};
 
 use crate::figures::Scale;
-use crate::report::{Curve, Figure};
-use crate::sweep::{linspace, sweep};
+use crate::report::Figure;
+use crate::sweep::{linspace, run_grid, GridCurve};
 
+/// The ablation family's shared base spec (seed 11, figure windows).
 fn spec(scale: Scale, offered: f64, dist: ServiceDist) -> WorkloadSpec {
-    let (warmup, measure) = match scale {
-        Scale::Quick => (SimDuration::from_millis(2), SimDuration::from_millis(15)),
-        Scale::Full => (SimDuration::from_millis(10), SimDuration::from_millis(80)),
-    };
-    WorkloadSpec {
-        offered_rps: offered,
-        dist,
-        body_len: 64,
-        warmup,
-        measure,
-        seed: 11,
-    }
+    scale.spec_seeded(offered, dist, 11)
 }
 
 /// **Ablation A (comm-path)** — the Figure 6 workload (fixed 1 µs, 16
@@ -39,7 +28,7 @@ fn spec(scale: Scale, offered: f64, dist: ServiceDist) -> WorkloadSpec {
 /// Stingray-with-CXL, and the ideal line-rate NIC. Quantifies how much of
 /// the offload bottleneck is transport vs ARM compute.
 pub fn comm_path(scale: Scale) -> Figure {
-    let dist = ServiceDist::Fixed(SimDuration::from_micros(1));
+    let base = spec(scale, 0.0, ServiceDist::Fixed(SimDuration::from_micros(1)));
     let loads = linspace(
         250_000.0,
         4_000_000.0,
@@ -48,33 +37,28 @@ pub fn comm_path(scale: Scale) -> Figure {
             Scale::Full => 16,
         },
     );
-    let run_profile = |profile: NicProfile| -> Vec<RunMetrics> {
-        sweep(&loads, |rps| {
+    let profile_curve = |label: &str, profile: NicProfile| {
+        GridCurve::system(
+            label,
             OffloadConfig {
                 time_slice: None,
                 profile,
                 ..OffloadConfig::paper(16, 5)
-            }
-            .run(spec(scale, rps, dist), ProbeConfig::disabled())
-        })
+            },
+        )
     };
     Figure {
         id: "ablation_comm".into(),
         title: "fixed 1us, Offload 16w (cap 5): Stingray vs Stingray+CXL vs ideal NIC".into(),
-        curves: vec![
-            Curve {
-                label: "Stingray".into(),
-                points: run_profile(NicProfile::stingray()),
-            },
-            Curve {
-                label: "Stingray-CXL".into(),
-                points: run_profile(NicProfile::stingray_cxl()),
-            },
-            Curve {
-                label: "Ideal-NIC".into(),
-                points: run_profile(NicProfile::ideal()),
-            },
-        ],
+        curves: run_grid(
+            &loads,
+            base,
+            vec![
+                profile_curve("Stingray", NicProfile::stingray()),
+                profile_curve("Stingray-CXL", NicProfile::stingray_cxl()),
+                profile_curve("Ideal-NIC", NicProfile::ideal()),
+            ],
+        ),
     }
 }
 
@@ -82,7 +66,7 @@ pub fn comm_path(scale: Scale) -> Figure {
 /// worker-local Dune timers (the prototype) vs NIC-sent interrupt packets
 /// (the design §3.4.4 rejects because of the 2.56 µs path).
 pub fn preempt_path(scale: Scale) -> Figure {
-    let dist = ServiceDist::paper_bimodal();
+    let base = spec(scale, 0.0, ServiceDist::paper_bimodal());
     let loads = linspace(
         50_000.0,
         550_000.0,
@@ -91,23 +75,26 @@ pub fn preempt_path(scale: Scale) -> Figure {
             Scale::Full => 11,
         },
     );
-    let run_profile = |label: &str, profile: NicProfile| Curve {
-        label: label.into(),
-        points: sweep(&loads, |rps| {
+    let profile_curve = |label: &str, profile: NicProfile| {
+        GridCurve::system(
+            label,
             OffloadConfig {
                 profile,
                 ..OffloadConfig::paper(4, 4)
-            }
-            .run(spec(scale, rps, dist), ProbeConfig::disabled())
-        }),
+            },
+        )
     };
     Figure {
         id: "ablation_preempt".into(),
         title: "bimodal, Offload 4w (cap 4): local APIC timer vs packet-based preemption".into(),
-        curves: vec![
-            run_profile("Local-timer", NicProfile::stingray()),
-            run_profile("Packet-interrupt", NicProfile::stingray_packet_preemption()),
-        ],
+        curves: run_grid(
+            &loads,
+            base,
+            vec![
+                profile_curve("Local-timer", NicProfile::stingray()),
+                profile_curve("Packet-interrupt", NicProfile::stingray_packet_preemption()),
+            ],
+        ),
     }
 }
 
@@ -116,7 +103,7 @@ pub fn preempt_path(scale: Scale) -> Figure {
 /// bimodal workload, all with 4 worker cores (Shinjuku gets 3 + the
 /// dispatcher core, matching the paper's accounting).
 pub fn baselines(scale: Scale) -> Figure {
-    let dist = ServiceDist::paper_bimodal();
+    let base = spec(scale, 0.0, ServiceDist::paper_bimodal());
     let loads = linspace(
         50_000.0,
         450_000.0,
@@ -125,46 +112,31 @@ pub fn baselines(scale: Scale) -> Figure {
             Scale::Full => 9,
         },
     );
-    let base = |label: &str, kind: BaselineKind| Curve {
-        label: label.into(),
-        points: sweep(&loads, |rps| {
-            BaselineConfig { workers: 4, kind }.run(spec(scale, rps, dist), ProbeConfig::disabled())
-        }),
+    let baseline = |label: &str, kind: BaselineKind| {
+        GridCurve::system(label, BaselineConfig { workers: 4, kind })
     };
     Figure {
         id: "baselines".into(),
         title: "bimodal dispersion across scheduling designs (4 host cores)".into(),
-        curves: vec![
-            base("RSS", BaselineKind::Rss),
-            base("WorkStealing", BaselineKind::RssStealing),
-            base("FlowDirector", BaselineKind::FlowDirector),
-            Curve {
-                label: "RPCValet".into(),
-                points: sweep(&loads, |rps| {
-                    RpcValetConfig { workers: 4 }
-                        .run(spec(scale, rps, dist), ProbeConfig::disabled())
-                }),
-            },
-            Curve {
-                label: "Shinjuku".into(),
-                points: sweep(&loads, |rps| {
-                    ShinjukuConfig::paper(3).run(spec(scale, rps, dist), ProbeConfig::disabled())
-                }),
-            },
-            Curve {
-                label: "Shinjuku-Offload".into(),
-                points: sweep(&loads, |rps| {
-                    OffloadConfig::paper(4, 4).run(spec(scale, rps, dist), ProbeConfig::disabled())
-                }),
-            },
-        ],
+        curves: run_grid(
+            &loads,
+            base,
+            vec![
+                baseline("RSS", BaselineKind::Rss),
+                baseline("WorkStealing", BaselineKind::RssStealing),
+                baseline("FlowDirector", BaselineKind::FlowDirector),
+                GridCurve::system("RPCValet", RpcValetConfig { workers: 4 }),
+                GridCurve::system("Shinjuku", ShinjukuConfig::paper(3)),
+                GridCurve::system("Shinjuku-Offload", OffloadConfig::paper(4, 4)),
+            ],
+        ),
     }
 }
 
 /// **Ablation C (DDIO, §5.2)** — unloaded latency with classic LLC DDIO vs
 /// the informed-scheduler L1 placement the paper proposes.
 pub fn ddio(scale: Scale) -> Figure {
-    let dist = ServiceDist::Fixed(SimDuration::from_micros(1));
+    let base = spec(scale, 0.0, ServiceDist::Fixed(SimDuration::from_micros(1)));
     let loads = linspace(
         50_000.0,
         800_000.0,
@@ -173,21 +145,24 @@ pub fn ddio(scale: Scale) -> Figure {
             Scale::Full => 8,
         },
     );
-    let with = |label: &str, ddio_l1: bool| Curve {
-        label: label.into(),
-        points: sweep(&loads, |rps| {
+    let with = |label: &str, ddio_l1: bool| {
+        GridCurve::system(
+            label,
             OffloadConfig {
                 time_slice: None,
                 ddio_l1,
                 ..OffloadConfig::paper(4, 2)
-            }
-            .run(spec(scale, rps, dist), ProbeConfig::disabled())
-        }),
+            },
+        )
     };
     Figure {
         id: "ablation_ddio".into(),
         title: "fixed 1us, Offload 4w (cap 2): LLC DDIO vs informed L1 placement (§5.2)".into(),
-        curves: vec![with("DDIO-LLC", false), with("DDIO-L1", true)],
+        curves: run_grid(
+            &loads,
+            base,
+            vec![with("DDIO-LLC", false), with("DDIO-L1", true)],
+        ),
     }
 }
 

@@ -1,5 +1,6 @@
 //! The §5.1/§5.2 ablations: comm path, preemption path, DDIO placement.
 fn main() {
+    experiments::sweep::init_jobs_from_args();
     for figure in [
         experiments::ablation::comm_path(experiments::Scale::Full),
         experiments::ablation::preempt_path(experiments::Scale::Full),

@@ -1,6 +1,7 @@
 //! Regenerate every experiment in the repository: Figures 2-6, the
 //! microbenchmark table, the ablations and the baseline comparison.
 fn main() {
+    experiments::sweep::init_jobs_from_args();
     println!("=== microbenchmarks ===");
     println!(
         "{}",

@@ -1,6 +1,7 @@
 //! Extension experiments: multi-dispatcher scaling, Elastic RSS, slice
 //! sweep, policy comparison, heavy tails.
 fn main() {
+    experiments::sweep::init_jobs_from_args();
     let scale = experiments::Scale::Full;
     let gap_rows = experiments::feedback_gap::run(scale);
     println!("{}", experiments::feedback_gap::table(&gap_rows));

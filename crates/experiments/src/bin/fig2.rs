@@ -1,5 +1,6 @@
 //! Regenerate the paper's Fig2 (see experiments::figures).
 fn main() {
+    experiments::sweep::init_jobs_from_args();
     let figure = experiments::figures::fig2(experiments::Scale::Full);
     experiments::emit(&figure);
 }

@@ -1,5 +1,6 @@
 //! Regenerate the paper's Fig5 (see experiments::figures).
 fn main() {
+    experiments::sweep::init_jobs_from_args();
     let figure = experiments::figures::fig5(experiments::Scale::Full);
     experiments::emit(&figure);
 }

@@ -6,6 +6,7 @@
 //! panics on any causality/conservation violation); `--json` prints the
 //! rows as JSON instead of the aligned table; `--quick` shrinks the grid.
 fn main() {
+    experiments::sweep::init_jobs_from_args();
     let args: Vec<String> = std::env::args().collect();
     let as_json = args.iter().any(|a| a == "--json");
     let invariants = args.iter().any(|a| a == "--invariants");

@@ -13,6 +13,7 @@ struct Check {
 }
 
 fn main() {
+    experiments::sweep::init_jobs_from_args();
     let scale = Scale::Quick;
     let mut checks: Vec<Check> = Vec::new();
 

@@ -25,21 +25,17 @@ use workload::{ServiceDist, WorkloadSpec};
 
 use crate::figures::Scale;
 use crate::report::{Curve, Figure};
-use crate::sweep::{linspace, sweep};
+use crate::sweep::{linspace, par_map, run_grid, GridCurve};
 
+/// The extension family's shared base spec: seed 17, and a slightly
+/// shorter Full window (60 ms) than the paper figures — these suites run
+/// many more curves.
 fn spec(scale: Scale, offered: f64, dist: ServiceDist) -> WorkloadSpec {
-    let (warmup, measure) = match scale {
-        Scale::Quick => (SimDuration::from_millis(2), SimDuration::from_millis(15)),
-        Scale::Full => (SimDuration::from_millis(10), SimDuration::from_millis(60)),
-    };
-    WorkloadSpec {
-        offered_rps: offered,
-        dist,
-        body_len: 64,
-        warmup,
-        measure,
-        seed: 17,
+    let mut s = scale.spec_seeded(offered, dist, 17);
+    if scale == Scale::Full {
+        s.measure = SimDuration::from_millis(60);
     }
+    s
 }
 
 /// One row of the multi-dispatcher scaling table.
@@ -64,27 +60,21 @@ pub fn multi_dispatcher(scale: Scale) -> Vec<MultiDispatchRow> {
     // Just under the 10GbE frame-rate ceiling (~7.27M 64B-body requests/s),
     // so multi-group configurations stay distinguishable from the wire.
     let offered = 6_500_000.0;
-    [1usize, 2, 4, 8]
-        .iter()
-        .map(|&groups| {
-            let cfg = MultiShinjukuConfig {
-                time_slice: None,
-                ..MultiShinjukuConfig::split(32, groups)
-            };
-            let out = multi_shinjuku::run_probed(
-                spec(scale, offered, dist),
-                cfg,
-                ProbeConfig::disabled(),
-            );
-            MultiDispatchRow {
-                groups,
-                workers_per_group: cfg.workers_per_group,
-                achieved_rps: out.metrics.achieved_rps,
-                imbalance: out.imbalance,
-                overhead: cfg.dispatch_overhead_fraction(),
-            }
-        })
-        .collect()
+    par_map(&[1usize, 2, 4, 8], |&groups| {
+        let cfg = MultiShinjukuConfig {
+            time_slice: None,
+            ..MultiShinjukuConfig::split(32, groups)
+        };
+        let out =
+            multi_shinjuku::run_probed(spec(scale, offered, dist), cfg, ProbeConfig::disabled());
+        MultiDispatchRow {
+            groups,
+            workers_per_group: cfg.workers_per_group,
+            achieved_rps: out.metrics.achieved_rps,
+            imbalance: out.imbalance,
+            overhead: cfg.dispatch_overhead_fraction(),
+        }
+    })
 }
 
 /// Render the multi-dispatcher rows as an aligned table.
@@ -123,28 +113,24 @@ pub fn elastic_rss(scale: Scale) -> (Figure, Vec<f64>) {
             Scale::Full => 7,
         },
     );
-    let static_rss = sweep(&loads, |rps| {
+    let static_rss = par_map(&loads, |&rps| {
         BaselineConfig {
             workers: 8,
             kind: BaselineKind::Rss,
         }
         .run(spec(scale, rps, dist), ProbeConfig::disabled())
     });
-    let mut mean_active = Vec::new();
-    let elastic: Vec<_> = loads
-        .iter()
-        .map(|&rps| {
-            let (m, active) = systems::baseline::run_with_elastic(
-                spec(scale, rps, dist),
-                BaselineConfig {
-                    workers: 8,
-                    kind: BaselineKind::ElasticRss,
-                },
-            );
-            mean_active.push(active);
-            m
-        })
-        .collect();
+    let (elastic, mean_active): (Vec<_>, Vec<_>) = par_map(&loads, |&rps| {
+        systems::baseline::run_with_elastic(
+            spec(scale, rps, dist),
+            BaselineConfig {
+                workers: 8,
+                kind: BaselineKind::ElasticRss,
+            },
+        )
+    })
+    .into_iter()
+    .unzip();
     (
         Figure {
             id: "ext_elastic_rss".into(),
@@ -177,20 +163,21 @@ pub fn slice_sweep(scale: Scale) -> Figure {
         ("50us", Some(SimDuration::from_micros(50))),
         ("off", None),
     ];
-    let points = slices
+    let indexed: Vec<(usize, Option<SimDuration>)> = slices
         .iter()
         .enumerate()
-        .map(|(i, (_, slice))| {
-            let mut m = OffloadConfig {
-                time_slice: *slice,
-                ..OffloadConfig::paper(4, 4)
-            }
-            .run(spec(scale, offered, dist), ProbeConfig::disabled());
-            // x-axis: slice index (labels in the CSV carry the value).
-            m.offered_rps = i as f64;
-            m
-        })
+        .map(|(i, (_, s))| (i, *s))
         .collect();
+    let points = par_map(&indexed, |&(i, slice)| {
+        let mut m = OffloadConfig {
+            time_slice: slice,
+            ..OffloadConfig::paper(4, 4)
+        }
+        .run(spec(scale, offered, dist), ProbeConfig::disabled());
+        // x-axis: slice index (labels in the CSV carry the value).
+        m.offered_rps = i as f64;
+        m
+    });
     Figure {
         id: "ext_slice_sweep".into(),
         title: "bimodal at 350k RPS, Offload 4w: slice length vs tail (x = slice index: 2/5/10/20/50/off)"
@@ -201,7 +188,7 @@ pub fn slice_sweep(scale: Scale) -> Figure {
 
 /// §5.1(4): the same offloaded hardware under three queue policies.
 pub fn policies(scale: Scale) -> Figure {
-    let dist = ServiceDist::paper_bimodal();
+    let base = spec(scale, 0.0, ServiceDist::paper_bimodal());
     let loads = linspace(
         100_000.0,
         550_000.0,
@@ -210,36 +197,43 @@ pub fn policies(scale: Scale) -> Figure {
             Scale::Full => 10,
         },
     );
-    let with = |label: &str, policy: PolicyKind| Curve {
-        label: label.into(),
-        points: sweep(&loads, |rps| {
+    let with = |label: &str, policy: PolicyKind| {
+        GridCurve::system(
+            label,
             OffloadConfig {
                 policy,
                 ..OffloadConfig::paper(4, 4)
-            }
-            .run(spec(scale, rps, dist), ProbeConfig::disabled())
-        }),
+            },
+        )
     };
     Figure {
         id: "ext_policies".into(),
         title: "bimodal, Offload 4w (cap 4): FCFS vs shortest-remaining vs class-priority".into(),
-        curves: vec![
-            with("FCFS", PolicyKind::Fcfs),
-            with("SRF", PolicyKind::ShortestRemaining),
-            with(
-                "ClassPrio",
-                PolicyKind::ClassPriority(SimDuration::from_micros(10)),
-            ),
-        ],
+        curves: run_grid(
+            &loads,
+            base,
+            vec![
+                with("FCFS", PolicyKind::Fcfs),
+                with("SRF", PolicyKind::ShortestRemaining),
+                with(
+                    "ClassPrio",
+                    PolicyKind::ClassPriority(SimDuration::from_micros(10)),
+                ),
+            ],
+        ),
     }
 }
 
 /// §2.2(2): a lognormal (sigma = 2) heavy-tail workload across designs.
 pub fn heavy_tail(scale: Scale) -> Figure {
-    let dist = ServiceDist::Lognormal {
-        mean: SimDuration::from_micros(10),
-        sigma: 2.0,
-    };
+    let base = spec(
+        scale,
+        0.0,
+        ServiceDist::Lognormal {
+            mean: SimDuration::from_micros(10),
+            sigma: 2.0,
+        },
+    );
     let loads = linspace(
         50_000.0,
         300_000.0,
@@ -251,30 +245,21 @@ pub fn heavy_tail(scale: Scale) -> Figure {
     Figure {
         id: "ext_heavy_tail".into(),
         title: "lognormal(mean 10us, sigma 2) across designs, 4 host cores".into(),
-        curves: vec![
-            Curve {
-                label: "RSS".into(),
-                points: sweep(&loads, |rps| {
+        curves: run_grid(
+            &loads,
+            base,
+            vec![
+                GridCurve::system(
+                    "RSS",
                     BaselineConfig {
                         workers: 4,
                         kind: BaselineKind::Rss,
-                    }
-                    .run(spec(scale, rps, dist), ProbeConfig::disabled())
-                }),
-            },
-            Curve {
-                label: "Shinjuku".into(),
-                points: sweep(&loads, |rps| {
-                    ShinjukuConfig::paper(3).run(spec(scale, rps, dist), ProbeConfig::disabled())
-                }),
-            },
-            Curve {
-                label: "Shinjuku-Offload".into(),
-                points: sweep(&loads, |rps| {
-                    OffloadConfig::paper(4, 4).run(spec(scale, rps, dist), ProbeConfig::disabled())
-                }),
-            },
-        ],
+                    },
+                ),
+                GridCurve::system("Shinjuku", ShinjukuConfig::paper(3)),
+                GridCurve::system("Shinjuku-Offload", OffloadConfig::paper(4, 4)),
+            ],
+        ),
     }
 }
 
@@ -282,7 +267,8 @@ pub fn heavy_tail(scale: Scale) -> Figure {
 /// workload on 8 workers — single socket, dual socket with load-blind
 /// selection, and dual socket with the socket-aware selector.
 pub fn dual_socket(scale: Scale) -> Figure {
-    let dist = ServiceDist::Fixed(SimDuration::from_micros(2));
+    let mut base = spec(scale, 0.0, ServiceDist::Fixed(SimDuration::from_micros(2)));
+    base.body_len = 1024; // big packets make the cache path visible
     let loads = linspace(
         100_000.0,
         1_200_000.0,
@@ -291,29 +277,30 @@ pub fn dual_socket(scale: Scale) -> Figure {
             Scale::Full => 8,
         },
     );
-    let with = |label: &str, dual: bool, aware: bool| Curve {
-        label: label.into(),
-        points: sweep(&loads, |rps| {
-            let mut s = spec(scale, rps, dist);
-            s.body_len = 1024; // big packets make the cache path visible
+    let with = |label: &str, dual: bool, aware: bool| {
+        GridCurve::system(
+            label,
             OffloadConfig {
                 dual_socket: dual,
                 socket_aware: aware,
                 time_slice: None,
                 ..OffloadConfig::paper(8, 2)
-            }
-            .run(s, ProbeConfig::disabled())
-        }),
+            },
+        )
     };
     Figure {
         id: "ext_dual_socket".into(),
         title: "fixed 2us, 1KiB bodies, Offload 8w: single socket vs dual (blind) vs dual (socket-aware)"
             .into(),
-        curves: vec![
-            with("Single-socket", false, false),
-            with("Dual-blind", true, false),
-            with("Dual-aware", true, true),
-        ],
+        curves: run_grid(
+            &loads,
+            base,
+            vec![
+                with("Single-socket", false, false),
+                with("Dual-blind", true, false),
+                with("Dual-aware", true, true),
+            ],
+        ),
     }
 }
 
@@ -325,61 +312,65 @@ pub fn dual_socket(scale: Scale) -> Figure {
 /// until the wire binds.
 pub fn worker_scaling(scale: Scale) -> Figure {
     let dist = ServiceDist::Fixed(SimDuration::from_micros(1));
-    let workers: Vec<usize> = match scale {
-        Scale::Quick => vec![2, 6, 10, 16],
-        Scale::Full => vec![2, 4, 6, 8, 10, 12, 16, 20, 24],
+    let workers: Vec<f64> = match scale {
+        Scale::Quick => vec![2.0, 6.0, 10.0, 16.0],
+        Scale::Full => vec![2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 16.0, 20.0, 24.0],
     };
     let offered = 7_000_000.0; // just under the 10GbE frame rate
-    let shin: Vec<_> = workers
-        .iter()
-        .map(|&w| {
-            let mut m = ShinjukuConfig {
-                workers: w,
-                time_slice: None,
-                ..ShinjukuConfig::paper(w)
-            }
-            .run(spec(scale, offered, dist), ProbeConfig::disabled());
-            m.offered_rps = w as f64; // x-axis: worker count
-            m
-        })
-        .collect();
-    let off: Vec<_> = workers
-        .iter()
-        .map(|&w| {
-            let mut m = OffloadConfig {
-                time_slice: None,
-                ..OffloadConfig::paper(w, 5)
-            }
-            .run(spec(scale, offered, dist), ProbeConfig::disabled());
-            m.offered_rps = w as f64;
-            m
-        })
-        .collect();
-    let valet: Vec<_> = workers
-        .iter()
-        .map(|&w| {
-            let mut m = RpcValetConfig { workers: w }
-                .run(spec(scale, offered, dist), ProbeConfig::disabled());
-            m.offered_rps = w as f64;
-            m
-        })
-        .collect();
+    let base = spec(scale, offered, dist);
+    // x-axis carries the worker count; each point runs at the saturating
+    // offered load and re-labels offered_rps for reporting.
+    let relabel = |mut m: workload::RunMetrics, w: f64| {
+        m.offered_rps = w;
+        m
+    };
     Figure {
         id: "ext_worker_scaling".into(),
         title: "fixed 1us, saturated throughput vs workers (x = workers): host vs ARM dispatcher vs hw queue"
             .into(),
-        curves: vec![
-            Curve { label: "Shinjuku".into(), points: shin },
-            Curve { label: "Shinjuku-Offload".into(), points: off },
-            Curve { label: "RPCValet".into(), points: valet },
-        ],
+        curves: run_grid(
+            &workers,
+            base,
+            vec![
+                GridCurve::new("Shinjuku", move |w, s| {
+                    relabel(
+                        ShinjukuConfig {
+                            workers: w as usize,
+                            time_slice: None,
+                            ..ShinjukuConfig::paper(w as usize)
+                        }
+                        .run(s, ProbeConfig::disabled()),
+                        w,
+                    )
+                }),
+                GridCurve::new("Shinjuku-Offload", move |w, s| {
+                    relabel(
+                        OffloadConfig {
+                            time_slice: None,
+                            ..OffloadConfig::paper(w as usize, 5)
+                        }
+                        .run(s, ProbeConfig::disabled()),
+                        w,
+                    )
+                }),
+                GridCurve::new("RPCValet", move |w, s| {
+                    relabel(
+                        RpcValetConfig {
+                            workers: w as usize,
+                        }
+                        .run(s, ProbeConfig::disabled()),
+                        w,
+                    )
+                }),
+            ],
+        ),
     }
 }
 
 /// §5.2's congestion-control co-design: open-loop vs JIT-paced clients on
 /// the bimodal workload, swept across (and past) capacity.
 pub fn jit_pacing(scale: Scale) -> Figure {
-    let dist = ServiceDist::paper_bimodal();
+    let base = spec(scale, 0.0, ServiceDist::paper_bimodal());
     let loads = linspace(
         200_000.0,
         900_000.0,
@@ -388,21 +379,24 @@ pub fn jit_pacing(scale: Scale) -> Figure {
             Scale::Full => 8,
         },
     );
-    let with = |label: &str, jit: Option<u64>| Curve {
-        label: label.into(),
-        points: sweep(&loads, |rps| {
+    let with = |label: &str, jit: Option<u64>| {
+        GridCurve::system(
+            label,
             OffloadConfig {
                 jit_target_depth: jit,
                 ..OffloadConfig::paper(4, 4)
-            }
-            .run(spec(scale, rps, dist), ProbeConfig::disabled())
-        }),
+            },
+        )
     };
     Figure {
         id: "ext_jit_pacing".into(),
         title: "bimodal, Offload 4w: open loop vs NIC-feedback JIT pacing (setpoint 16) (§5.2)"
             .into(),
-        curves: vec![with("Open-loop", None), with("JIT-paced", Some(16))],
+        curves: run_grid(
+            &loads,
+            base,
+            vec![with("Open-loop", None), with("JIT-paced", Some(16))],
+        ),
     }
 }
 

@@ -10,10 +10,10 @@ use sim_core::SimDuration;
 use systems::offload::OffloadConfig;
 use systems::shinjuku::ShinjukuConfig;
 use systems::{ProbeConfig, ServerSystem};
-use workload::{RunMetrics, ServiceDist, WorkloadSpec};
+use workload::{ServiceDist, WorkloadSpec};
 
-use crate::report::{Curve, Figure};
-use crate::sweep::{linspace, sweep};
+use crate::report::Figure;
+use crate::sweep::{linspace, run_grid, GridCurve};
 
 /// Measurement scale.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -25,19 +25,31 @@ pub enum Scale {
 }
 
 impl Scale {
-    fn spec(self, offered: f64, dist: ServiceDist) -> WorkloadSpec {
-        let (warmup, measure) = match self {
+    /// The scale's measurement windows (warmup, measure).
+    pub fn windows(self) -> (SimDuration, SimDuration) {
+        match self {
             Scale::Quick => (SimDuration::from_millis(2), SimDuration::from_millis(15)),
             Scale::Full => (SimDuration::from_millis(10), SimDuration::from_millis(80)),
-        };
+        }
+    }
+
+    /// The shared base spec for one figure at this scale: windows and body
+    /// size are fixed per scale, the seed per experiment family; sweeps
+    /// derive per-point loads with [`WorkloadSpec::at`].
+    pub fn spec_seeded(self, offered: f64, dist: ServiceDist, seed: u64) -> WorkloadSpec {
+        let (warmup, measure) = self.windows();
         WorkloadSpec {
             offered_rps: offered,
             dist,
             body_len: 64,
             warmup,
             measure,
-            seed: 7,
+            seed,
         }
+    }
+
+    fn spec(self, offered: f64, dist: ServiceDist) -> WorkloadSpec {
+        self.spec_seeded(offered, dist, 7)
     }
 
     fn points(self, full: usize) -> usize {
@@ -52,28 +64,20 @@ impl Scale {
 /// Shinjuku 3 workers vs Shinjuku-Offload 4 workers (≤ 4 outstanding);
 /// p99 vs throughput up to 600 kRPS.
 pub fn fig2(scale: Scale) -> Figure {
-    let dist = ServiceDist::paper_bimodal();
+    let base = scale.spec(0.0, ServiceDist::paper_bimodal());
     let loads = linspace(50_000.0, 600_000.0, scale.points(12));
-    let shin = sweep(&loads, |rps| {
-        ShinjukuConfig::paper(3).run(scale.spec(rps, dist), ProbeConfig::disabled())
-    });
-    let off = sweep(&loads, |rps| {
-        OffloadConfig::paper(4, 4).run(scale.spec(rps, dist), ProbeConfig::disabled())
-    });
     Figure {
         id: "fig2".into(),
         title: "bimodal 99.5%@5us / 0.5%@100us, slice 10us; Shinjuku 3w vs Offload 4w (cap 4)"
             .into(),
-        curves: vec![
-            Curve {
-                label: "Shinjuku".into(),
-                points: shin,
-            },
-            Curve {
-                label: "Shinjuku-Offload".into(),
-                points: off,
-            },
-        ],
+        curves: run_grid(
+            &loads,
+            base,
+            vec![
+                GridCurve::system("Shinjuku", ShinjukuConfig::paper(3)),
+                GridCurve::system("Shinjuku-Offload", OffloadConfig::paper(4, 4)),
+            ],
+        ),
     }
 }
 
@@ -82,109 +86,90 @@ pub fn fig2(scale: Scale) -> Figure {
 /// reports the *achieved* throughput under heavy offered load (the
 /// saturation plateau the paper plots).
 pub fn fig3(scale: Scale) -> Figure {
-    let dist = ServiceDist::Fixed(SimDuration::from_micros(1));
-    let caps: Vec<u32> = (1..=7).collect();
-    let run_for = |workers: usize| -> Vec<RunMetrics> {
-        let results: Vec<RunMetrics> =
-            sweep(&caps.iter().map(|&c| c as f64).collect::<Vec<_>>(), |cap| {
-                let cfg = OffloadConfig {
-                    time_slice: None,
-                    ..OffloadConfig::paper(workers, cap as u32)
-                };
-                // Offer well beyond any plateau so achieved == capacity.
-                let mut m = cfg.run(scale.spec(2_500_000.0, dist), ProbeConfig::disabled());
-                // Re-purpose offered_rps to carry the x-axis value
-                // (outstanding requests) for reporting.
-                m.offered_rps = cap;
-                m
-            });
-        results
+    // Offer well beyond any plateau so achieved == capacity.
+    let base = scale.spec(2_500_000.0, ServiceDist::Fixed(SimDuration::from_micros(1)));
+    let caps: Vec<f64> = (1..=7).map(f64::from).collect();
+    let curve_for = |workers: usize| {
+        GridCurve::new(format!("{workers} workers"), move |cap, spec| {
+            let cfg = OffloadConfig {
+                time_slice: None,
+                ..OffloadConfig::paper(workers, cap as u32)
+            };
+            let mut m = cfg.run(spec, ProbeConfig::disabled());
+            // Re-purpose offered_rps to carry the x-axis value
+            // (outstanding requests) for reporting.
+            m.offered_rps = cap;
+            m
+        })
     };
     Figure {
         id: "fig3".into(),
         title: "fixed 1us; Offload saturated throughput vs outstanding cap (x = cap)".into(),
-        curves: vec![
-            Curve {
-                label: "16 workers".into(),
-                points: run_for(16),
-            },
-            Curve {
-                label: "4 workers".into(),
-                points: run_for(4),
-            },
-        ],
+        curves: run_grid(&caps, base, vec![curve_for(16), curve_for(4)]),
     }
 }
 
 /// **Figure 4** — fixed 5 µs, preemption off; Shinjuku 3 workers vs
 /// Offload 4 workers (≤ 4 outstanding); p99 vs throughput to 700 kRPS.
 pub fn fig4(scale: Scale) -> Figure {
-    let dist = ServiceDist::Fixed(SimDuration::from_micros(5));
+    let base = scale.spec(0.0, ServiceDist::Fixed(SimDuration::from_micros(5)));
     let loads = linspace(50_000.0, 700_000.0, scale.points(14));
-    let shin = sweep(&loads, |rps| {
-        ShinjukuConfig {
-            workers: 3,
-            time_slice: None,
-            ..ShinjukuConfig::paper(3)
-        }
-        .run(scale.spec(rps, dist), ProbeConfig::disabled())
-    });
-    let off = sweep(&loads, |rps| {
-        OffloadConfig {
-            time_slice: None,
-            ..OffloadConfig::paper(4, 4)
-        }
-        .run(scale.spec(rps, dist), ProbeConfig::disabled())
-    });
     Figure {
         id: "fig4".into(),
         title: "fixed 5us, no preemption; Shinjuku 3w vs Offload 4w (cap 4)".into(),
-        curves: vec![
-            Curve {
-                label: "Shinjuku".into(),
-                points: shin,
-            },
-            Curve {
-                label: "Shinjuku-Offload".into(),
-                points: off,
-            },
-        ],
+        curves: run_grid(
+            &loads,
+            base,
+            vec![
+                GridCurve::system(
+                    "Shinjuku",
+                    ShinjukuConfig {
+                        workers: 3,
+                        time_slice: None,
+                        ..ShinjukuConfig::paper(3)
+                    },
+                ),
+                GridCurve::system(
+                    "Shinjuku-Offload",
+                    OffloadConfig {
+                        time_slice: None,
+                        ..OffloadConfig::paper(4, 4)
+                    },
+                ),
+            ],
+        ),
     }
 }
 
 /// **Figure 5** — fixed 100 µs; Shinjuku 15 workers vs Offload 16 workers
 /// (≤ 2 outstanding); p99 vs throughput to 150 kRPS.
 pub fn fig5(scale: Scale) -> Figure {
-    let dist = ServiceDist::Fixed(SimDuration::from_micros(100));
+    let base = scale.spec(0.0, ServiceDist::Fixed(SimDuration::from_micros(100)));
     let loads = linspace(20_000.0, 160_000.0, scale.points(15));
-    let shin = sweep(&loads, |rps| {
-        ShinjukuConfig {
-            workers: 15,
-            time_slice: None,
-            ..ShinjukuConfig::paper(15)
-        }
-        .run(scale.spec(rps, dist), ProbeConfig::disabled())
-    });
-    let off = sweep(&loads, |rps| {
-        OffloadConfig {
-            time_slice: None,
-            ..OffloadConfig::paper(16, 2)
-        }
-        .run(scale.spec(rps, dist), ProbeConfig::disabled())
-    });
     Figure {
         id: "fig5".into(),
         title: "fixed 100us, no preemption; Shinjuku 15w vs Offload 16w (cap 2)".into(),
-        curves: vec![
-            Curve {
-                label: "Shinjuku".into(),
-                points: shin,
-            },
-            Curve {
-                label: "Shinjuku-Offload".into(),
-                points: off,
-            },
-        ],
+        curves: run_grid(
+            &loads,
+            base,
+            vec![
+                GridCurve::system(
+                    "Shinjuku",
+                    ShinjukuConfig {
+                        workers: 15,
+                        time_slice: None,
+                        ..ShinjukuConfig::paper(15)
+                    },
+                ),
+                GridCurve::system(
+                    "Shinjuku-Offload",
+                    OffloadConfig {
+                        time_slice: None,
+                        ..OffloadConfig::paper(16, 2)
+                    },
+                ),
+            ],
+        ),
     }
 }
 
@@ -192,36 +177,32 @@ pub fn fig5(scale: Scale) -> Figure {
 /// (≤ 5 outstanding); p99 vs throughput to 4 MRPS. The offload's ARM
 /// dispatcher is the bottleneck; Shinjuku "greatly outperforms".
 pub fn fig6(scale: Scale) -> Figure {
-    let dist = ServiceDist::Fixed(SimDuration::from_micros(1));
+    let base = scale.spec(0.0, ServiceDist::Fixed(SimDuration::from_micros(1)));
     let loads = linspace(250_000.0, 4_000_000.0, scale.points(16));
-    let shin = sweep(&loads, |rps| {
-        ShinjukuConfig {
-            workers: 15,
-            time_slice: None,
-            ..ShinjukuConfig::paper(15)
-        }
-        .run(scale.spec(rps, dist), ProbeConfig::disabled())
-    });
-    let off = sweep(&loads, |rps| {
-        OffloadConfig {
-            time_slice: None,
-            ..OffloadConfig::paper(16, 5)
-        }
-        .run(scale.spec(rps, dist), ProbeConfig::disabled())
-    });
     Figure {
         id: "fig6".into(),
         title: "fixed 1us, no preemption; Shinjuku 15w vs Offload 16w (cap 5)".into(),
-        curves: vec![
-            Curve {
-                label: "Shinjuku".into(),
-                points: shin,
-            },
-            Curve {
-                label: "Shinjuku-Offload".into(),
-                points: off,
-            },
-        ],
+        curves: run_grid(
+            &loads,
+            base,
+            vec![
+                GridCurve::system(
+                    "Shinjuku",
+                    ShinjukuConfig {
+                        workers: 15,
+                        time_slice: None,
+                        ..ShinjukuConfig::paper(15)
+                    },
+                ),
+                GridCurve::system(
+                    "Shinjuku-Offload",
+                    OffloadConfig {
+                        time_slice: None,
+                        ..OffloadConfig::paper(16, 5)
+                    },
+                ),
+            ],
+        ),
     }
 }
 
@@ -229,6 +210,7 @@ pub fn fig6(scale: Scale) -> Figure {
 mod tests {
     use super::*;
     use crate::sweep::{knee_throughput, peak_throughput};
+    use workload::RunMetrics;
 
     #[test]
     fn fig2_shape_offload_extends_further() {

@@ -159,18 +159,22 @@ fn row_from(system: &'static str, scenario: Scenario, loss: f64, m: &RunMetrics)
     }
 }
 
-/// Run the full loss-rate × fault-type grid over every assembly.
+/// Run the full loss-rate × fault-type grid over every assembly. Cells
+/// are independent seeded runs, so the grid fans out over the sweep pool
+/// (`--jobs`) with rows returned in grid order.
 pub fn run(scale: Scale) -> Vec<ResilienceRow> {
     let spec = spec_for(scale);
-    let mut rows = Vec::new();
+    let mut cells = Vec::new();
     for sys in systems_under_test(scale) {
         for scenario in [Scenario::Loss, Scenario::Crash, Scenario::Blackout] {
             for &loss in &loss_rates(scale) {
-                rows.push(cell(&sys, spec, scenario, loss));
+                cells.push((sys, scenario, loss));
             }
         }
     }
-    rows
+    crate::sweep::par_map(&cells, |&(sys, scenario, loss)| {
+        cell(&sys, spec, scenario, loss)
+    })
 }
 
 /// One loss+crash point per system with probing on — the CI smoke body.

@@ -1,8 +1,104 @@
 //! Load-sweep driver: run one system over a range of offered loads, in
 //! parallel across load points, preserving per-point determinism.
+//!
+//! # Parallelism model
+//!
+//! Every grid point is one independent, seeded simulation — the engine
+//! itself is strictly single-threaded (see `sim_core::queue`), so fanning
+//! points across host cores cannot perturb results. The pool here is a
+//! dependency-free `std::thread::scope` work-stealing loop: an atomic
+//! cursor hands out point indices, results land in their input slot, and
+//! output order is always input order. The worker count is process-global
+//! (every figure function funnels through [`par_map`]), set by the
+//! `--jobs N` flag on each experiment binary via [`init_jobs_from_args`]:
+//! `--jobs 1` runs inline on the calling thread — no pool at all — and by
+//! construction produces byte-identical output to any other `--jobs`
+//! value; the default is the host's available parallelism.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use sim_core::stats::Summary;
+use systems::ServerSystem;
 use workload::{FaultMetrics, RunMetrics, WorkloadSpec};
+
+use crate::report::Curve;
+
+/// Configured worker count; 0 means "auto" (available parallelism).
+static JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Set the sweep worker count for this process. `0` restores the default
+/// (one worker per available core). `1` disables the pool entirely.
+pub fn set_jobs(n: usize) {
+    JOBS.store(n, Ordering::Relaxed);
+}
+
+/// The effective sweep worker count.
+pub fn jobs() -> usize {
+    match JOBS.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4),
+        n => n,
+    }
+}
+
+/// Parse `--jobs N` / `--jobs=N` from the process arguments and install
+/// it via [`set_jobs`]; returns the effective worker count. Every
+/// experiment binary calls this first. Unparsable values are ignored
+/// (auto remains in effect) rather than aborting a long sweep over a
+/// typo'd flag nobody needs for correctness.
+pub fn init_jobs_from_args() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let val = if a == "--jobs" {
+            it.next().cloned()
+        } else {
+            a.strip_prefix("--jobs=").map(str::to_string)
+        };
+        if let Some(n) = val.and_then(|v| v.parse::<usize>().ok()) {
+            set_jobs(n);
+        }
+    }
+    jobs()
+}
+
+/// Map `f` over `items` on the sweep pool, returning results in input
+/// order. With an effective job count of 1 (or a single item) this runs
+/// inline on the calling thread; either way the output is identical,
+/// because every item is computed independently.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = jobs().min(items.len());
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let mut results: Vec<Option<R>> = items.iter().map(|_| None).collect();
+    let next = AtomicUsize::new(0);
+    let results_mx = std::sync::Mutex::new(&mut results);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(&items[i]);
+                results_mx.lock().unwrap()[i] = Some(r);
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|r| r.expect("all points computed"))
+        .collect()
+}
 
 /// Run `f` for every load in `loads_rps`, in parallel, returning results
 /// in input order. Each point is an independent, seeded simulation, so
@@ -11,29 +107,60 @@ pub fn sweep<F>(loads_rps: &[f64], f: F) -> Vec<RunMetrics>
 where
     F: Fn(f64) -> RunMetrics + Sync,
 {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4);
-    let mut results: Vec<Option<RunMetrics>> = (0..loads_rps.len()).map(|_| None).collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let results_mx = std::sync::Mutex::new(&mut results);
+    par_map(loads_rps, |&l| f(l))
+}
 
-    std::thread::scope(|scope| {
-        for _ in 0..threads.min(loads_rps.len()) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= loads_rps.len() {
-                    break;
-                }
-                let m = f(loads_rps[i]);
-                results_mx.lock().unwrap()[i] = Some(m);
-            });
+/// One labelled curve of a [`run_grid`] call: a closure from `(x, base
+/// spec)` to metrics.
+pub struct GridCurve<'a> {
+    /// Curve label for tables and CSV.
+    pub label: String,
+    /// Per-point runner; receives the grid x-value and the figure's
+    /// shared base spec.
+    pub run: Box<dyn Fn(f64, WorkloadSpec) -> RunMetrics + Sync + 'a>,
+}
+
+impl<'a> GridCurve<'a> {
+    /// A curve from an arbitrary per-point closure (for grids whose x
+    /// axis is not offered load, e.g. Figure 3's outstanding cap).
+    pub fn new<F>(label: impl Into<String>, run: F) -> Self
+    where
+        F: Fn(f64, WorkloadSpec) -> RunMetrics + Sync + 'a,
+    {
+        GridCurve {
+            label: label.into(),
+            run: Box::new(run),
         }
-    });
+    }
 
-    results
+    /// The common case: one assembly, probes off, x = offered load.
+    pub fn system(label: impl Into<String>, sys: impl ServerSystem + Sync + 'a) -> Self {
+        GridCurve::new(label, move |rps, base: WorkloadSpec| {
+            sys.run(base.at(rps), sim_core::ProbeConfig::disabled())
+        })
+    }
+}
+
+/// Run several labelled curves over one x-grid as a single flattened
+/// parallel batch, returning [`Curve`]s in the given order with points in
+/// x order. This is the shared body of every figure and ablation grid:
+/// the `WorkloadSpec` is constructed once per figure (warmup, windows,
+/// distribution, seed) and only the per-point load is derived, and the
+/// curves×points matrix saturates the pool even when a single curve has
+/// fewer points than workers.
+pub fn run_grid(xs: &[f64], base: WorkloadSpec, curves: Vec<GridCurve<'_>>) -> Vec<Curve> {
+    let points: Vec<(usize, f64)> = curves
+        .iter()
+        .enumerate()
+        .flat_map(|(c, _)| xs.iter().map(move |&x| (c, x)))
+        .collect();
+    let mut metrics = par_map(&points, |&(c, x)| (curves[c].run)(x, base)).into_iter();
+    curves
         .into_iter()
-        .map(|r| r.expect("all points computed"))
+        .map(|c| Curve {
+            label: c.label,
+            points: metrics.by_ref().take(xs.len()).collect(),
+        })
         .collect()
 }
 
@@ -163,6 +290,45 @@ mod tests {
         assert_eq!(results.len(), 10);
         for (l, m) in loads.iter().zip(&results) {
             assert_eq!(m.offered_rps, *l);
+        }
+    }
+
+    #[test]
+    fn par_map_is_input_ordered_for_any_job_count() {
+        let items: Vec<u64> = (0..97).collect();
+        let expect: Vec<u64> = items.iter().map(|i| i * 3 + 1).collect();
+        // The global job count races with concurrently running tests by
+        // design; every setting must yield the same (ordered) output.
+        for jobs in [1, 2, 4, 13, 0] {
+            set_jobs(jobs);
+            assert_eq!(par_map(&items, |&i| i * 3 + 1), expect, "jobs {jobs}");
+        }
+        set_jobs(0);
+    }
+
+    #[test]
+    fn run_grid_matches_per_curve_sweeps() {
+        let xs = linspace(100.0, 900.0, 7);
+        let base = WorkloadSpec::new(
+            0.0,
+            workload::ServiceDist::Fixed(SimDuration::from_micros(1)),
+        );
+        let curves = run_grid(
+            &xs,
+            base,
+            vec![
+                GridCurve::new("a", |x, _| fake(x)),
+                GridCurve::new("b", |x, _| fake(x * 2.0)),
+            ],
+        );
+        assert_eq!(curves.len(), 2);
+        assert_eq!(curves[0].label, "a");
+        assert_eq!(curves[1].label, "b");
+        for (x, m) in xs.iter().zip(&curves[0].points) {
+            assert_eq!(m.offered_rps, *x);
+        }
+        for (x, m) in xs.iter().zip(&curves[1].points) {
+            assert_eq!(m.offered_rps, *x * 2.0);
         }
     }
 

@@ -2,7 +2,9 @@
 //!
 //! Following the event-driven style of poll-based network stacks, the engine
 //! owns a single *model* (the whole simulated system as one state machine)
-//! and a time-ordered event heap. There are no threads, no async runtime and
+//! and a time-ordered event queue (the slab-indexed [`EventQueue`] — see
+//! [`crate::queue`] for the layout and why it is faster than the naive
+//! heap it replaced). There are no threads, no async runtime and
 //! no shared-state cells: a handler receives `&mut self` on the model plus a
 //! [`Ctx`] through which it posts future events. Two events at the same
 //! instant fire in insertion order, so runs are totally ordered and
@@ -16,12 +18,10 @@
 //! and ignore stale firings. This is cheaper and simpler than a handle-based
 //! cancel API and keeps the hot path allocation-free.
 
-use core::cmp::Ordering;
-use std::collections::BinaryHeap;
-
 use crate::faults::FaultPlan;
 use crate::invariants::InvariantChecker;
 use crate::probe::{Probe, ProbeHandle};
+use crate::queue::EventQueue;
 use crate::time::{SimDuration, SimTime};
 
 /// A simulated system: one state machine handling its own event alphabet.
@@ -114,31 +114,6 @@ impl<E> Ctx<E> {
     }
 }
 
-struct Entry<E> {
-    at: SimTime,
-    seq: u64,
-    event: E,
-}
-
-// Order entries so the *smallest* (time, seq) is popped first from the
-// max-heap by reversing the comparison.
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        (other.at, other.seq).cmp(&(self.at, self.seq))
-    }
-}
-
 /// Why [`Engine::run_until`] returned.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RunOutcome {
@@ -152,12 +127,14 @@ pub enum RunOutcome {
 
 /// The discrete-event simulation engine.
 pub struct Engine<M: Model> {
-    heap: BinaryHeap<Entry<M::Event>>,
+    queue: EventQueue<M::Event>,
     model: M,
     now: SimTime,
-    seq: u64,
     processed: u64,
     stopped: bool,
+    // Recycled outbox storage: handed to each event's `Ctx` and taken
+    // back after the drain, so steady-state steps never allocate.
+    scratch: Vec<(SimTime, M::Event)>,
     // Always `Some` between steps; `None` only while an event handler
     // borrows the probe through its `Ctx`.
     probe: Option<Box<Probe>>,
@@ -173,12 +150,12 @@ impl<M: Model> Engine<M> {
     /// disabled probe.
     pub fn new(model: M) -> Self {
         Engine {
-            heap: BinaryHeap::new(),
+            queue: EventQueue::new(),
             model,
             now: SimTime::ZERO,
-            seq: 0,
             processed: 0,
             stopped: false,
+            scratch: Vec::new(),
             probe: Some(Box::default()),
             faults: Some(Box::default()),
             invariants: Box::default(),
@@ -255,7 +232,7 @@ impl<M: Model> Engine<M> {
 
     /// Number of events currently pending.
     pub fn events_pending(&self) -> usize {
-        self.heap.len()
+        self.queue.len()
     }
 
     /// Shared access to the model.
@@ -289,9 +266,7 @@ impl<M: Model> Engine<M> {
     }
 
     fn push(&mut self, at: SimTime, event: M::Event) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.heap.push(Entry { at, seq, event });
+        self.queue.push(at, event);
     }
 
     /// Process a single event. Returns `false` if the heap was empty or the
@@ -300,33 +275,34 @@ impl<M: Model> Engine<M> {
         if self.stopped {
             return false;
         }
-        let Some(entry) = self.heap.pop() else {
+        let Some((at, seq, event)) = self.queue.pop() else {
             return false;
         };
         if self.invariants.is_enabled() {
-            self.invariants.observe_pop(self.now, entry.at, entry.seq);
+            self.invariants.observe_pop(self.now, at, seq);
             // Even on a causality violation (possible only through the
             // test-only unchecked scheduling hook) the clock must not run
-            // backwards; on valid runs this is exactly `entry.at`.
-            self.now = self.now.max(entry.at);
+            // backwards; on valid runs this is exactly `at`.
+            self.now = self.now.max(at);
         } else {
-            debug_assert!(entry.at >= self.now, "event heap yielded a past event");
-            self.now = entry.at;
+            debug_assert!(at >= self.now, "event queue yielded a past event");
+            self.now = at;
         }
         self.processed += 1;
         let mut ctx = Ctx {
             now: self.now,
-            outbox: Vec::new(),
+            outbox: std::mem::take(&mut self.scratch),
             stop: false,
             probe: self.probe.take(),
             faults: self.faults.take(),
         };
-        self.model.handle(entry.event, &mut ctx);
+        self.model.handle(event, &mut ctx);
         self.probe = ctx.probe.take();
         self.faults = ctx.faults.take();
-        for (at, ev) in ctx.outbox {
+        for (at, ev) in ctx.outbox.drain(..) {
             self.push(at, ev);
         }
+        self.scratch = ctx.outbox;
         if ctx.stop {
             self.stopped = true;
         }
@@ -362,9 +338,9 @@ impl<M: Model> Engine<M> {
             if self.stopped {
                 return RunOutcome::Stopped;
             }
-            match self.heap.peek() {
+            match self.queue.peek_at() {
                 None => return RunOutcome::Drained,
-                Some(e) if e.at > horizon => {
+                Some(at) if at > horizon => {
                     self.now = horizon.max(self.now);
                     return RunOutcome::Horizon;
                 }

@@ -51,6 +51,7 @@ mod engine;
 pub mod faults;
 pub mod invariants;
 pub mod probe;
+pub mod queue;
 mod rng;
 pub mod stats;
 mod time;
@@ -59,5 +60,6 @@ pub use engine::{Ctx, Engine, Model, RunOutcome};
 pub use faults::{FaultConfig, FaultPlan, FaultStats};
 pub use invariants::{InvariantChecker, InvariantConfig, Violation};
 pub use probe::{Probe, ProbeConfig, ProbeHandle, StageReport, TraceEvent};
+pub use queue::{EventQueue, LegacyHeap};
 pub use rng::Rng;
 pub use time::{SimDuration, SimTime};

@@ -1,0 +1,506 @@
+//! The engine's event queue: an indexed (slab-backed) priority queue that
+//! is bit-for-bit order-identical to the naive `BinaryHeap<(time, seq,
+//! event)>` it replaced, but cheaper on the hot path.
+//!
+//! # Why not `BinaryHeap<Entry<E>>`?
+//!
+//! The original engine kept whole entries — timestamp, sequence number and
+//! the event payload — inside one `BinaryHeap`. Every sift during a push
+//! or pop then moves the *payload* (system event alphabets are multi-word
+//! enums) and every comparison goes through an `Ord` impl on the struct.
+//! On the hottest loop in the repository that is pure overhead: ordering
+//! only ever depends on `(time, seq)`.
+//!
+//! [`EventQueue`] splits the two concerns:
+//!
+//! * **Slab-backed payloads.** Events live in a free-list slab
+//!   (`Vec<Option<E>>`); they are written once on push and taken once on
+//!   pop. Sifts never touch them.
+//! * **Key-only heap.** The heap is a plain `Vec` of `Copy` keys
+//!   `(at, seq, slot)` with hand-rolled sift-up/sift-down on the compact
+//!   `(u64, u64)` ordering — no allocation per push (slab slots and heap
+//!   capacity are reused), no comparator indirection.
+//! * **Same-instant lane (batched pop).** Discrete-event models burst:
+//!   a NIC hop fires, and a run of events lands at the *same* nanosecond
+//!   (`schedule_now` chains, simultaneous ring slots). When a pop opens
+//!   instant `t`, every other pending key at `t` is drained — in sequence
+//!   order — into a FIFO lane, and *new* pushes at `t` append to the lane
+//!   in O(1), bypassing the heap entirely. FIFO tie-breaking is preserved
+//!   exactly: lane entries carry their sequence numbers and the lane head
+//!   competes with the heap minimum on `(time, seq)` at every pop.
+//!
+//! [`LegacyHeap`] keeps the original `BinaryHeap` implementation alive as
+//! the executable specification: the property tests below drive both
+//! queues through identical (and adversarial — including past-scheduled)
+//! push/pop interleavings and demand identical pop sequences, and the
+//! `perf` bench binary reports the measured speedup of new over old.
+
+use core::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
+
+use crate::time::SimTime;
+
+/// A compact, `Copy` ordering key: everything a sift needs to move.
+#[derive(Clone, Copy, PartialEq, Eq)]
+struct Key {
+    at: u64,
+    seq: u64,
+    slot: u32,
+}
+
+impl Key {
+    #[inline]
+    fn rank(self) -> (u64, u64) {
+        (self.at, self.seq)
+    }
+}
+
+/// The engine's indexed event queue. Pops strictly in `(time, seq)`
+/// order, where `seq` is the queue-assigned insertion number — i.e.
+/// time order with FIFO tie-breaking, exactly like the legacy heap.
+pub struct EventQueue<E> {
+    /// Min-heap of keys, hand-sifted on `(at, seq)`.
+    heap: Vec<Key>,
+    /// Payload slab; `Key::slot` indexes here.
+    slab: Vec<Option<E>>,
+    /// Recycled slab slots.
+    free: Vec<u32>,
+    /// Same-instant lane: `(seq, slot)` pairs, all at `lane_at`, in
+    /// strictly increasing `seq` order.
+    lane: VecDeque<(u64, u32)>,
+    /// The instant the lane serves. Pushes at exactly this time append to
+    /// the lane instead of the heap.
+    lane_at: u64,
+    /// Next insertion sequence number.
+    seq: u64,
+    /// Live events (heap + lane).
+    len: usize,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: Vec::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            lane: VecDeque::new(),
+            // u64::MAX: no real push can match the unopened lane (an event
+            // at the far end of the clock still orders correctly through
+            // the key comparison in `pop`).
+            lane_at: u64::MAX,
+            seq: 0,
+            len: 0,
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The instant of the next event to pop, if any.
+    pub fn peek_at(&self) -> Option<SimTime> {
+        let lane = self.lane.front().map(|&(seq, _)| (self.lane_at, seq));
+        let heap = self.heap.first().map(|k| k.rank());
+        match (lane, heap) {
+            (None, None) => None,
+            (Some((at, _)), None) | (None, Some((at, _))) => Some(SimTime::from_nanos(at)),
+            (Some(l), Some(h)) => Some(SimTime::from_nanos(l.min(h).0)),
+        }
+    }
+
+    /// Insert `event` at instant `at`, after everything already queued for
+    /// that instant. Returns the assigned sequence number.
+    pub fn push(&mut self, at: SimTime, event: E) -> u64 {
+        let seq = self.seq;
+        self.seq += 1;
+        let slot = self.alloc(event);
+        if at.as_nanos() == self.lane_at {
+            // Same instant as the open lane: sequence numbers only grow,
+            // so appending keeps the lane sorted. O(1), no heap traffic.
+            self.lane.push_back((seq, slot));
+        } else {
+            self.heap_push(Key {
+                at: at.as_nanos(),
+                seq,
+                slot,
+            });
+        }
+        self.len += 1;
+        seq
+    }
+
+    /// Remove and return the earliest event as `(time, seq, event)`.
+    pub fn pop(&mut self) -> Option<(SimTime, u64, E)> {
+        let lane_rank = self.lane.front().map(|&(seq, _)| (self.lane_at, seq));
+        let heap_rank = self.heap.first().map(|k| k.rank());
+        let from_lane = match (lane_rank, heap_rank) {
+            (None, None) => return None,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            // `<` would do — the two streams never share a (time, seq) —
+            // but `<=` keeps the decision total.
+            (Some(l), Some(h)) => l <= h,
+        };
+        self.len -= 1;
+        if from_lane {
+            let (seq, slot) = self.lane.pop_front().expect("lane checked non-empty");
+            let ev = self.take(slot);
+            return Some((SimTime::from_nanos(self.lane_at), seq, ev));
+        }
+        let k = self.heap_pop().expect("heap checked non-empty");
+        // Batched pop: opening instant `k.at` drains the run of
+        // equal-timestamp keys into the lane (heap pops at equal time come
+        // out in seq order, so the lane stays sorted) and re-targets the
+        // lane so follow-up pushes at this instant skip the heap. Only a
+        // *clean* lane may be re-targeted: a non-empty lane still holds a
+        // different instant (reachable only through past-scheduled events,
+        // i.e. the invariant checker's test hook) and must keep competing
+        // through the key comparison above.
+        if self.lane.is_empty() {
+            self.lane_at = k.at;
+            while self.heap.first().is_some_and(|n| n.at == k.at) {
+                let n = self.heap_pop().expect("peeked entry pops");
+                self.lane.push_back((n.seq, n.slot));
+            }
+        }
+        Some((SimTime::from_nanos(k.at), k.seq, self.take(k.slot)))
+    }
+
+    fn alloc(&mut self, event: E) -> u32 {
+        match self.free.pop() {
+            Some(slot) => {
+                debug_assert!(self.slab[slot as usize].is_none());
+                self.slab[slot as usize] = Some(event);
+                slot
+            }
+            None => {
+                let slot =
+                    u32::try_from(self.slab.len()).expect("more than u32::MAX events pending");
+                self.slab.push(Some(event));
+                slot
+            }
+        }
+    }
+
+    fn take(&mut self, slot: u32) -> E {
+        let ev = self.slab[slot as usize].take().expect("slot is live");
+        self.free.push(slot);
+        ev
+    }
+
+    /// Heap arity. A 4-ary layout halves the tree depth of the binary
+    /// heap: pushes sift through half as many levels, pops touch half as
+    /// many cache lines, and the four children of a node share one cache
+    /// line of keys — a well-known discrete-event-queue win that needs no
+    /// unsafe holes to beat `BinaryHeap`'s optimized binary sift.
+    const D: usize = 4;
+
+    /// Hole-based insertion: the new key rides a "hole" up the tree, so
+    /// each level costs one parent move instead of a three-move swap.
+    fn heap_push(&mut self, k: Key) {
+        self.heap.push(k);
+        let mut i = self.heap.len() - 1;
+        while i > 0 {
+            let parent = (i - 1) / Self::D;
+            if self.heap[parent].rank() <= k.rank() {
+                break;
+            }
+            self.heap[i] = self.heap[parent];
+            i = parent;
+        }
+        self.heap[i] = k;
+    }
+
+    /// Hole-based removal: the displaced last leaf rides a hole down from
+    /// the root along the smallest-child path until it fits.
+    fn heap_pop(&mut self) -> Option<Key> {
+        let top = *self.heap.first()?;
+        let last = self.heap.pop().expect("checked non-empty");
+        let n = self.heap.len();
+        if n > 0 {
+            let last_rank = last.rank();
+            let mut i = 0;
+            loop {
+                let first_child = Self::D * i + 1;
+                if first_child >= n {
+                    break;
+                }
+                let mut child = first_child;
+                let mut child_rank = self.heap[child].rank();
+                let fan_end = (first_child + Self::D).min(n);
+                for c in first_child + 1..fan_end {
+                    let r = self.heap[c].rank();
+                    if r < child_rank {
+                        child = c;
+                        child_rank = r;
+                    }
+                }
+                if last_rank <= child_rank {
+                    break;
+                }
+                self.heap[i] = self.heap[child];
+                i = child;
+            }
+            self.heap[i] = last;
+        }
+        Some(top)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The executable specification: the pre-optimization heap, verbatim.
+// ---------------------------------------------------------------------------
+
+struct LegacyEntry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for LegacyEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for LegacyEntry<E> {}
+impl<E> PartialOrd for LegacyEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for LegacyEntry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: the std max-heap must yield the smallest (time, seq).
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// The engine's original event queue — `BinaryHeap` over whole entries —
+/// kept as the reference implementation. The property tests drive it and
+/// [`EventQueue`] through identical interleavings and require identical
+/// pop sequences; the `perf` bench binary measures the speedup of the
+/// indexed queue over this one. Not used by the engine.
+pub struct LegacyHeap<E> {
+    heap: BinaryHeap<LegacyEntry<E>>,
+    seq: u64,
+}
+
+impl<E> Default for LegacyHeap<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> LegacyHeap<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        LegacyHeap {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The instant of the next event to pop, if any.
+    pub fn peek_at(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Insert `event` at instant `at`; FIFO among equal instants.
+    pub fn push(&mut self, at: SimTime, event: E) -> u64 {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(LegacyEntry { at, seq, event });
+        seq
+    }
+
+    /// Remove and return the earliest event as `(time, seq, event)`.
+    pub fn pop(&mut self) -> Option<(SimTime, u64, E)> {
+        self.heap.pop().map(|e| (e.at, e.seq, e.event))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order_with_fifo_ties() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(30), "c");
+        q.push(SimTime::from_nanos(10), "a1");
+        q.push(SimTime::from_nanos(10), "a2");
+        q.push(SimTime::from_nanos(20), "b");
+        let mut out = Vec::new();
+        while let Some((t, _, e)) = q.pop() {
+            out.push((t.as_nanos(), e));
+        }
+        assert_eq!(out, vec![(10, "a1"), (10, "a2"), (20, "b"), (30, "c")]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn same_instant_pushes_during_a_run_keep_fifo_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(5), 0u32);
+        q.push(SimTime::from_nanos(5), 1);
+        let first = q.pop().unwrap();
+        assert_eq!((first.0.as_nanos(), first.2), (5, 0));
+        // Mid-run push at the open instant: must land after the drained
+        // run (higher seq), served from the lane.
+        q.push(SimTime::from_nanos(5), 2);
+        q.push(SimTime::from_nanos(7), 9);
+        assert_eq!(q.pop().map(|(_, _, e)| e), Some(1));
+        assert_eq!(q.pop().map(|(_, _, e)| e), Some(2));
+        assert_eq!(q.pop().map(|(_, _, e)| e), Some(9));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn peek_at_tracks_the_global_minimum() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_at(), None);
+        q.push(SimTime::from_nanos(40), ());
+        assert_eq!(q.peek_at(), Some(SimTime::from_nanos(40)));
+        q.push(SimTime::from_nanos(15), ());
+        assert_eq!(q.peek_at(), Some(SimTime::from_nanos(15)));
+        q.pop();
+        assert_eq!(q.peek_at(), Some(SimTime::from_nanos(40)));
+    }
+
+    #[test]
+    fn slab_slots_are_recycled() {
+        let mut q = EventQueue::new();
+        for round in 0..10u64 {
+            for i in 0..100 {
+                q.push(SimTime::from_nanos(round * 1000 + i), i);
+            }
+            for _ in 0..100 {
+                q.pop().unwrap();
+            }
+        }
+        assert!(q.is_empty());
+        assert!(
+            q.slab.len() <= 100,
+            "slab grew past the high-water mark: {}",
+            q.slab.len()
+        );
+    }
+
+    /// A deterministic xorshift so the equivalence tests below can build
+    /// large adversarial interleavings without proptest overhead.
+    fn xorshift(x: &mut u64) -> u64 {
+        *x ^= *x << 13;
+        *x ^= *x >> 7;
+        *x ^= *x << 17;
+        *x
+    }
+
+    #[test]
+    fn matches_legacy_heap_under_random_interleavings() {
+        for seed in 1..=20u64 {
+            let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let mut fast = EventQueue::new();
+            let mut slow = LegacyHeap::new();
+            let mut fast_out = Vec::new();
+            let mut slow_out = Vec::new();
+            for step in 0..2000 {
+                let r = xorshift(&mut s);
+                if r % 3 != 0 || fast.is_empty() {
+                    // Push: mostly clustered times (forcing ties), with a
+                    // dash of far-future and deliberately *past* instants —
+                    // the unchecked-scheduling corner the invariant checker
+                    // exists for must order identically too.
+                    let at = SimTime::from_nanos(match r % 16 {
+                        0..=9 => (r >> 8) % 64,
+                        10..=13 => (r >> 8) % 4096,
+                        _ => (r >> 8) % 8,
+                    });
+                    let label = step as u32;
+                    let sa = fast.push(at, label);
+                    let sb = slow.push(at, label);
+                    assert_eq!(sa, sb, "sequence numbering diverged");
+                } else {
+                    fast_out.push(fast.pop().map(|(t, q2, e)| (t.as_nanos(), q2, e)));
+                    slow_out.push(slow.pop().map(|(t, q2, e)| (t.as_nanos(), q2, e)));
+                }
+                assert_eq!(fast.len(), slow.len());
+                assert_eq!(fast.peek_at(), slow.peek_at());
+            }
+            while !slow.is_empty() {
+                fast_out.push(fast.pop().map(|(t, q2, e)| (t.as_nanos(), q2, e)));
+                slow_out.push(slow.pop().map(|(t, q2, e)| (t.as_nanos(), q2, e)));
+            }
+            assert_eq!(fast.pop(), None);
+            assert_eq!(
+                fast_out, slow_out,
+                "seed {seed}: indexed queue diverged from the legacy heap"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The indexed queue and the legacy heap produce identical
+        /// `(time, seq, event)` pop sequences — FIFO tie-breaks included —
+        /// under seeded random event streams with interleaved pops.
+        #[test]
+        fn indexed_queue_is_pop_identical_to_legacy_heap(
+            ops in proptest::collection::vec(
+                // (is_push, time): small time range to force heavy ties.
+                (any::<bool>(), 0u64..48),
+                1..400,
+            )
+        ) {
+            let mut fast = EventQueue::new();
+            let mut slow = LegacyHeap::new();
+            let mut fast_out = Vec::new();
+            let mut slow_out = Vec::new();
+            for (i, &(is_push, t)) in ops.iter().enumerate() {
+                if is_push {
+                    fast.push(SimTime::from_nanos(t), i);
+                    slow.push(SimTime::from_nanos(t), i);
+                } else {
+                    fast_out.push(fast.pop());
+                    slow_out.push(slow.pop());
+                }
+                prop_assert_eq!(fast.len(), slow.len());
+            }
+            loop {
+                let (a, b) = (fast.pop(), slow.pop());
+                let done = a.is_none() && b.is_none();
+                fast_out.push(a);
+                slow_out.push(b);
+                if done { break; }
+            }
+            prop_assert_eq!(fast_out, slow_out);
+        }
+    }
+}

@@ -29,8 +29,9 @@
 //! | rule | scope | fires on |
 //! |------|-------|----------|
 //! | `unordered` | model crates | `HashMap` / `HashSet` (hasher iteration order) |
-//! | `wall-clock` | all but experiment binaries | `Instant::now`, `SystemTime`, `UNIX_EPOCH` |
-//! | `ambient-rng` | all but experiment binaries | `thread_rng`, `rand::random`, `from_entropy`, `OsRng` |
+//! | `wall-clock` | all but harness binaries | `Instant::now`, `SystemTime`, `UNIX_EPOCH` |
+//! | `ambient-rng` | all but harness binaries | `thread_rng`, `rand::random`, `from_entropy`, `OsRng` |
+//! | `host-thread` | all but harness crates | `std::thread`, `thread::spawn`, `thread::scope` |
 //! | `float-sort` | everywhere | `sort_by*` with `partial_cmp` on one line |
 //! | `time-float-cast` | model crates | bare `as` casts between u64 time and floats |
 //! | `unsafe-code` | everywhere | `unsafe` blocks/fns |
@@ -38,7 +39,13 @@
 //! | `bad-waiver` | everywhere | waiver comment without a reason |
 //!
 //! Model crates are the ones whose state feeds simulation results:
-//! sim-core, nic-model, nicsched, cpu-model, systems, workload.
+//! sim-core, nic-model, nicsched, cpu-model, systems, workload. Harness
+//! crates (`experiments`, `bench`) drive many independent simulations from
+//! the host side and may fan them across OS threads; harness *binaries*
+//! (`crates/experiments/src/bin/`, `crates/bench/src/bin/`) may also time
+//! real builds with the wall clock. The simulation itself stays
+//! single-threaded — one engine, one model, one queue — which is what
+//! `host-thread` enforces for every model crate.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -64,6 +71,7 @@ pub const RULES: &[&str] = &[
     "unordered",
     "wall-clock",
     "ambient-rng",
+    "host-thread",
     "float-sort",
     "time-float-cast",
     "unsafe-code",
@@ -381,6 +389,7 @@ fn parse_waivers(comments: &[String]) -> Waivers {
 struct FileCtx {
     model_crate: bool,
     experiment_bin: bool,
+    harness_crate: bool,
 }
 
 fn classify(rel_path: &str) -> FileCtx {
@@ -388,12 +397,19 @@ fn classify(rel_path: &str) -> FileCtx {
         .strip_prefix("crates/")
         .and_then(|r| r.split('/').next());
     let model_crate = crate_name.is_some_and(|c| MODEL_CRATES.contains(&c));
-    // Experiment drivers are allowed to look at the wall clock or seed
-    // from entropy (they time real builds, not simulated ones).
-    let experiment_bin = rel_path.starts_with("crates/experiments/src/bin/");
+    // Experiment and perf-bench drivers are allowed to look at the wall
+    // clock or seed from entropy (they time real builds, not simulated
+    // ones).
+    let experiment_bin = rel_path.starts_with("crates/experiments/src/bin/")
+        || rel_path.starts_with("crates/bench/src/bin/");
+    // Harness crates fan independent simulations across OS threads; every
+    // other crate — the model crates above all — must stay thread-free so
+    // a simulation is one deterministic sequential event loop.
+    let harness_crate = crate_name.is_some_and(|c| c == "experiments" || c == "bench");
     FileCtx {
         model_crate,
         experiment_bin,
+        harness_crate,
     }
 }
 
@@ -503,6 +519,23 @@ pub fn lint_source(rel_path: &str, source: &str) -> Vec<Finding> {
                      must come from seeded sim_core::Rng streams"
                         .into(),
                 );
+            }
+        }
+        if !ctx.harness_crate {
+            for tok in ["std::thread", "thread::spawn", "thread::scope"] {
+                if line.contains(tok) {
+                    push(
+                        idx,
+                        "host-thread",
+                        format!(
+                            "{tok} puts OS threads inside the simulation; \
+                             models run on one deterministic event loop, and \
+                             only the host-side harness crates (experiments, \
+                             bench) may fan runs across threads"
+                        ),
+                    );
+                    break;
+                }
             }
         }
         if (line.contains("sort_by") || line.contains("sort_unstable_by"))
@@ -761,6 +794,43 @@ use std::collections::HashSet;
             vec!["wall-clock", "ambient-rng"]
         );
         assert!(lint_source("crates/experiments/src/bin/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn host_threads_flagged_everywhere_but_harness_crates() {
+        let src = "std::thread::scope(|s| { s.spawn(|| {}); });\n";
+        // A thread in a model crate is a determinism hazard…
+        assert_eq!(
+            rules_of(&lint_source("crates/sim-core/src/x.rs", src)),
+            vec!["host-thread"]
+        );
+        assert_eq!(
+            rules_of(&lint_source("crates/nicsched/src/x.rs", src)),
+            vec!["host-thread"]
+        );
+        // …and in the workspace root package.
+        assert_eq!(
+            rules_of(&lint_source("src/lib.rs", src)),
+            vec!["host-thread"]
+        );
+        // The harness crates fan independent runs across threads by design.
+        assert!(lint_source("crates/experiments/src/sweep.rs", src).is_empty());
+        assert!(lint_source("crates/bench/src/bin/perf.rs", src).is_empty());
+        assert!(lint_source("crates/bench/benches/engine.rs", src).is_empty());
+    }
+
+    #[test]
+    fn bench_bins_may_read_the_wall_clock_but_benches_may_not() {
+        let src = "let t = std::time::Instant::now();\n";
+        assert!(lint_source("crates/bench/src/bin/perf.rs", src).is_empty());
+        assert_eq!(
+            rules_of(&lint_source("crates/bench/benches/engine.rs", src)),
+            vec!["wall-clock"]
+        );
+        assert_eq!(
+            rules_of(&lint_source("crates/bench/src/lib.rs", src)),
+            vec!["wall-clock"]
+        );
     }
 
     #[test]

@@ -53,7 +53,8 @@ fn cli_exits_nonzero_when_a_hazard_enters_a_model_crate() {
         src.join("lib.rs"),
         "#![forbid(unsafe_code)]\n\
          use std::collections::HashMap;\n\
-         pub fn seed() -> u64 { thread_rng().gen() }\n",
+         pub fn seed() -> u64 { thread_rng().gen() }\n\
+         pub fn fanout() { std::thread::spawn(|| {}); }\n",
     )
     .unwrap();
 
@@ -68,6 +69,7 @@ fn cli_exits_nonzero_when_a_hazard_enters_a_model_crate() {
     let rules: Vec<_> = report.findings.iter().map(|f| f.rule).collect();
     assert!(rules.contains(&"unordered"), "{rules:?}");
     assert!(rules.contains(&"ambient-rng"), "{rules:?}");
+    assert!(rules.contains(&"host-thread"), "{rules:?}");
 
     fs::remove_dir_all(&dir).unwrap();
 }

@@ -43,6 +43,14 @@ impl WorkloadSpec {
         }
     }
 
+    /// This spec with the offered load replaced — the per-point
+    /// derivation used by load sweeps, so warmup/measure/seed are
+    /// constructed once per figure rather than once per point.
+    pub fn at(mut self, offered_rps: f64) -> WorkloadSpec {
+        self.offered_rps = offered_rps;
+        self
+    }
+
     /// Total simulated horizon (warmup + measurement).
     pub fn horizon(&self) -> SimTime {
         SimTime::ZERO + self.warmup + self.measure
