@@ -1,0 +1,652 @@
+//! The v1 lexical pass, kept verbatim as the executable specification.
+//!
+//! simlint v2 replaced this line-oriented scan with the token-stream
+//! analyzer in [`crate::rules::tokens`], but the old pass is not dead
+//! code: the differential test (`tests/differential.rs`) drives both
+//! passes over the real workspace and a fixture corpus and requires the
+//! token pass to report a strict superset of the lexical findings,
+//! minus an explicit list of known lexical false positives. Any token
+//! regression — a hazard the grep caught that the lexer now misses —
+//! fails that test. This mirrors how `sim-core` keeps `LegacyHeap` as
+//! the spec for the indexed event queue.
+//!
+//! Nothing here should gain features. The hand-maintained crate lists
+//! (`MODEL_CRATES`, the `experiments`/`bench` harness allowlist in
+//! [`classify`]) are part of the frozen spec; the live pass derives the
+//! same facts from `[package.metadata.simlint]` in each crate manifest
+//! via [`crate::graph`].
+
+use crate::rules::RULES;
+use crate::Finding;
+
+/// Crates whose in-memory state feeds simulation results, where iteration
+/// order and lossy numeric casts are correctness hazards, not style.
+/// (Frozen v1 list; the v2 pass reads layers from crate metadata.)
+pub const MODEL_CRATES: &[&str] = &[
+    "sim-core",
+    "nic-model",
+    "nicsched",
+    "cpu-model",
+    "systems",
+    "workload",
+];
+
+// ---------------------------------------------------------------------------
+// Source scrubbing: blank out comments and string/char literals while
+// preserving the line structure, and keep the comment text separately so
+// waivers can be parsed from it.
+// ---------------------------------------------------------------------------
+
+struct Scrubbed {
+    /// Source lines with comments and literals replaced by spaces.
+    code: Vec<String>,
+    /// Comment text per line (concatenated if a line has several).
+    comments: Vec<String>,
+}
+
+fn scrub(source: &str) -> Scrubbed {
+    #[derive(PartialEq)]
+    enum St {
+        Code,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(usize),
+    }
+    let mut st = St::Code;
+    let mut code = Vec::new();
+    let mut comments = Vec::new();
+    let mut code_line = String::new();
+    let mut comment_line = String::new();
+    let chars: Vec<char> = source.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        if c == '\n' {
+            if st == St::LineComment {
+                st = St::Code;
+            }
+            code.push(std::mem::take(&mut code_line));
+            comments.push(std::mem::take(&mut comment_line));
+            i += 1;
+            continue;
+        }
+        match st {
+            St::Code => match c {
+                '/' if next == Some('/') => {
+                    st = St::LineComment;
+                    code_line.push_str("  ");
+                    i += 2;
+                }
+                '/' if next == Some('*') => {
+                    st = St::BlockComment(1);
+                    code_line.push_str("  ");
+                    i += 2;
+                }
+                '"' => {
+                    st = St::Str;
+                    code_line.push(' ');
+                    i += 1;
+                }
+                'r' if next == Some('"') || next == Some('#') => {
+                    // Possible raw string r"..." / r#"..."#.
+                    let mut j = i + 1;
+                    let mut hashes = 0;
+                    while chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if chars.get(j) == Some(&'"') {
+                        st = St::RawStr(hashes);
+                        for _ in i..=j {
+                            code_line.push(' ');
+                        }
+                        i = j + 1;
+                    } else {
+                        code_line.push(c);
+                        i += 1;
+                    }
+                }
+                '\'' => {
+                    // Char literal vs lifetime: a literal closes with a
+                    // quote after one (possibly escaped) character.
+                    if next == Some('\\') {
+                        // Escaped char literal: skip to the closing quote.
+                        let mut j = i + 2;
+                        while j < chars.len() && chars[j] != '\'' && chars[j] != '\n' {
+                            j += 1;
+                        }
+                        for _ in i..=j.min(chars.len() - 1) {
+                            code_line.push(' ');
+                        }
+                        i = j + 1;
+                    } else if chars.get(i + 2) == Some(&'\'') {
+                        code_line.push_str("   ");
+                        i += 3;
+                    } else {
+                        // A lifetime; keep the tick so tokens stay apart.
+                        code_line.push(c);
+                        i += 1;
+                    }
+                }
+                _ => {
+                    code_line.push(c);
+                    i += 1;
+                }
+            },
+            St::LineComment => {
+                comment_line.push(c);
+                code_line.push(' ');
+                i += 1;
+            }
+            St::BlockComment(depth) => {
+                if c == '*' && next == Some('/') {
+                    st = if depth == 1 {
+                        St::Code
+                    } else {
+                        St::BlockComment(depth - 1)
+                    };
+                    code_line.push_str("  ");
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    st = St::BlockComment(depth + 1);
+                    comment_line.push_str("/*");
+                    code_line.push_str("  ");
+                    i += 2;
+                } else {
+                    comment_line.push(c);
+                    code_line.push(' ');
+                    i += 1;
+                }
+            }
+            St::Str => {
+                if c == '\\' {
+                    code_line.push_str("  ");
+                    i += 2;
+                } else if c == '"' {
+                    st = St::Code;
+                    code_line.push(' ');
+                    i += 1;
+                } else {
+                    code_line.push(' ');
+                    i += 1;
+                }
+            }
+            St::RawStr(hashes) => {
+                if c == '"' {
+                    let mut j = i + 1;
+                    let mut seen = 0;
+                    while seen < hashes && chars.get(j) == Some(&'#') {
+                        seen += 1;
+                        j += 1;
+                    }
+                    if seen == hashes {
+                        st = St::Code;
+                        for _ in i..j {
+                            code_line.push(' ');
+                        }
+                        i = j;
+                    } else {
+                        code_line.push(' ');
+                        i += 1;
+                    }
+                } else {
+                    code_line.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    code.push(code_line);
+    comments.push(comment_line);
+    Scrubbed { code, comments }
+}
+
+/// True when `line` contains `tok` as a whole word (identifier boundary
+/// on both sides; `_` counts as a word character).
+fn has_token(line: &str, tok: &str) -> bool {
+    let bytes = line.as_bytes();
+    let is_word = |b: u8| b == b'_' || b.is_ascii_alphanumeric();
+    let mut start = 0;
+    while let Some(pos) = line[start..].find(tok) {
+        let at = start + pos;
+        let before_ok = at == 0 || !is_word(bytes[at - 1]);
+        let after = at + tok.len();
+        let after_ok = after >= bytes.len() || !is_word(bytes[after]);
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + tok.len().max(1);
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// Waivers (v1 syntax: `allow(rule, reason=…)`, covering its own line and
+// the next; the v2 parser in rules::waivers adds allow-block).
+// ---------------------------------------------------------------------------
+
+struct Waivers {
+    /// `allowed[i]` holds rules waived on 0-based line `i`.
+    allowed: Vec<Vec<String>>,
+    /// Malformed waiver findings (missing reason, unknown rule).
+    bad: Vec<(usize, String)>,
+}
+
+fn parse_waivers(comments: &[String]) -> Waivers {
+    let mut allowed = vec![Vec::new(); comments.len() + 1];
+    let mut bad = Vec::new();
+    for (idx, comment) in comments.iter().enumerate() {
+        let Some(pos) = comment.find("simlint:") else {
+            continue;
+        };
+        let rest = comment[pos + "simlint:".len()..].trim_start();
+        let Some(body) = rest.strip_prefix("allow(") else {
+            bad.push((idx, "waiver must use `allow(rule, reason=...)`".into()));
+            continue;
+        };
+        let Some(close) = body.find(')') else {
+            bad.push((idx, "unterminated waiver: missing `)`".into()));
+            continue;
+        };
+        let inner = &body[..close];
+        // Everything after `reason=` is the reason, commas included;
+        // rule names come before it.
+        let (rule_part, reason) = match inner.find("reason=") {
+            Some(at) => (
+                inner[..at].trim_end_matches([' ', ',']),
+                Some(inner[at + "reason=".len()..].trim().to_string()),
+            ),
+            None => (inner, None),
+        };
+        let rules: Vec<String> = rule_part
+            .split(',')
+            .map(str::trim)
+            .filter(|p| !p.is_empty())
+            .map(str::to_string)
+            .collect();
+        match reason {
+            Some(r) if !r.is_empty() => {
+                for rule in &rules {
+                    if !RULES.contains(&rule.as_str()) {
+                        bad.push((idx, format!("waiver names unknown rule `{rule}`")));
+                    }
+                }
+                if rules.is_empty() {
+                    bad.push((idx, "waiver allows no rule".into()));
+                } else {
+                    // A waiver covers its own line and the next.
+                    allowed[idx].extend(rules.iter().cloned());
+                    if idx + 1 < allowed.len() {
+                        allowed[idx + 1].extend(rules);
+                    }
+                }
+            }
+            _ => bad.push((
+                idx,
+                "waiver is missing a non-empty `reason=`: every exception \
+                 must say why it is sound"
+                    .into(),
+            )),
+        }
+    }
+    Waivers { allowed, bad }
+}
+
+// ---------------------------------------------------------------------------
+// Per-file context and rule evaluation
+// ---------------------------------------------------------------------------
+
+/// What kind of file a workspace-relative path is, for rule scoping.
+struct FileCtx {
+    model_crate: bool,
+    experiment_bin: bool,
+    harness_crate: bool,
+}
+
+fn classify(rel_path: &str) -> FileCtx {
+    let crate_name = rel_path
+        .strip_prefix("crates/")
+        .and_then(|r| r.split('/').next());
+    let model_crate = crate_name.is_some_and(|c| MODEL_CRATES.contains(&c));
+    // Experiment and perf-bench drivers are allowed to look at the wall
+    // clock or seed from entropy (they time real builds, not simulated
+    // ones).
+    let experiment_bin = rel_path.starts_with("crates/experiments/src/bin/")
+        || rel_path.starts_with("crates/bench/src/bin/");
+    // Harness crates fan independent simulations across OS threads; every
+    // other crate — the model crates above all — must stay thread-free so
+    // a simulation is one deterministic sequential event loop.
+    let harness_crate = crate_name.is_some_and(|c| c == "experiments" || c == "bench");
+    FileCtx {
+        model_crate,
+        experiment_bin,
+        harness_crate,
+    }
+}
+
+fn time_token(line: &str) -> bool {
+    has_token(line, "SimTime")
+        || has_token(line, "SimDuration")
+        || has_token(line, "as_nanos")
+        || has_token(line, "from_nanos")
+        || line
+            .split(|c: char| !(c == '_' || c.is_ascii_alphanumeric()))
+            .any(|w| w.ends_with("_ns"))
+}
+
+fn float_cast(line: &str) -> bool {
+    if line.contains(" as f64") || line.contains(" as f32") {
+        return true;
+    }
+    line.contains(" as u64")
+        && (line.contains(".round()") || line.contains(".mean()") || line.contains("f64"))
+}
+
+/// Lint one file's source with the frozen v1 lexical pass. `rel_path`
+/// must be workspace-relative with forward slashes (it drives scoping).
+pub fn lint_source_legacy(rel_path: &str, source: &str) -> Vec<Finding> {
+    let ctx = classify(rel_path);
+    let scrubbed = scrub(source);
+    let waivers = parse_waivers(&scrubbed.comments);
+    let mut findings: Vec<Finding> = waivers
+        .bad
+        .iter()
+        .map(|(idx, msg)| Finding {
+            file: rel_path.to_string(),
+            line: idx + 1,
+            rule: "bad-waiver",
+            message: msg.clone(),
+        })
+        .collect();
+    let mut push = |line_idx: usize, rule: &'static str, message: String| {
+        if waivers.allowed[line_idx].iter().any(|r| r == rule) {
+            return;
+        }
+        findings.push(Finding {
+            file: rel_path.to_string(),
+            line: line_idx + 1,
+            rule,
+            message,
+        });
+    };
+
+    for (idx, line) in scrubbed.code.iter().enumerate() {
+        if ctx.model_crate {
+            for tok in ["HashMap", "HashSet"] {
+                if has_token(line, tok) {
+                    push(
+                        idx,
+                        "unordered",
+                        format!(
+                            "{tok} iterates in hasher order, which is not stable \
+                             across runs; use BTreeMap/BTreeSet or waive with \
+                             `// simlint: allow(unordered, reason=...)`"
+                        ),
+                    );
+                }
+            }
+            if time_token(line) && float_cast(line) {
+                push(
+                    idx,
+                    "time-float-cast",
+                    "bare `as` cast between u64 time and float loses \
+                     nanoseconds silently; go through SimDuration's *_f64 \
+                     constructors/accessors or waive with a reason"
+                        .into(),
+                );
+            }
+        }
+        if !ctx.experiment_bin {
+            for tok in ["Instant", "SystemTime", "UNIX_EPOCH"] {
+                if has_token(line, tok) {
+                    push(
+                        idx,
+                        "wall-clock",
+                        format!(
+                            "{tok} reads the wall clock, which differs across \
+                             runs and machines; simulated time must come from \
+                             the engine clock"
+                        ),
+                    );
+                }
+            }
+            for tok in ["thread_rng", "from_entropy", "OsRng"] {
+                if has_token(line, tok) {
+                    push(
+                        idx,
+                        "ambient-rng",
+                        format!(
+                            "{tok} draws from ambient entropy; all randomness \
+                             must come from seeded sim_core::Rng streams"
+                        ),
+                    );
+                }
+            }
+            if line.contains("rand::random") {
+                push(
+                    idx,
+                    "ambient-rng",
+                    "rand::random draws from ambient entropy; all randomness \
+                     must come from seeded sim_core::Rng streams"
+                        .into(),
+                );
+            }
+        }
+        if !ctx.harness_crate {
+            for tok in ["std::thread", "thread::spawn", "thread::scope"] {
+                if line.contains(tok) {
+                    push(
+                        idx,
+                        "host-thread",
+                        format!(
+                            "{tok} puts OS threads inside the simulation; \
+                             models run on one deterministic event loop, and \
+                             only the host-side harness crates (experiments, \
+                             bench) may fan runs across threads"
+                        ),
+                    );
+                    break;
+                }
+            }
+        }
+        if (line.contains("sort_by") || line.contains("sort_unstable_by"))
+            && line.contains("partial_cmp")
+        {
+            push(
+                idx,
+                "float-sort",
+                "float sort via partial_cmp panics on NaN and invites \
+                 platform-dependent totalization; sort on integer keys \
+                 (e.g. nanoseconds) instead"
+                    .into(),
+            );
+        }
+        if has_token(line, "unsafe") {
+            push(
+                idx,
+                "unsafe-code",
+                "unsafe block in a workspace that promises #![forbid(unsafe_code)] \
+                 everywhere; the simulation has no business touching raw memory"
+                    .into(),
+            );
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn hashmap_in_model_crate_is_flagged() {
+        let f = lint_source_legacy(
+            "crates/systems/src/x.rs",
+            "use std::collections::HashMap;\nfn f() { let m: HashMap<u32, u32> = HashMap::new(); }\n",
+        );
+        assert!(f.iter().all(|f| f.rule == "unordered"), "{f:?}");
+        assert_eq!(f.len(), 2);
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn hashmap_outside_model_crates_is_fine() {
+        let f = lint_source_legacy(
+            "crates/experiments/src/x.rs",
+            "use std::collections::HashMap;\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn waiver_with_reason_suppresses_same_and_next_line() {
+        let src = "\
+// simlint: allow(unordered, reason=keys are never iterated)
+use std::collections::HashSet;
+";
+        let f = lint_source_legacy("crates/nic-model/src/x.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn waiver_without_reason_is_itself_a_finding() {
+        let src = "// simlint: allow(unordered)\nuse std::collections::HashSet;\n";
+        let f = lint_source_legacy("crates/nic-model/src/x.rs", src);
+        assert_eq!(rules_of(&f), vec!["bad-waiver", "unordered"]);
+    }
+
+    #[test]
+    fn waiver_naming_unknown_rule_is_flagged() {
+        let src = "// simlint: allow(no-such-rule, reason=whatever)\n";
+        let f = lint_source_legacy("crates/sim-core/src/x.rs", src);
+        assert_eq!(rules_of(&f), vec!["bad-waiver"]);
+    }
+
+    #[test]
+    fn ambient_rng_and_wall_clock_flagged_everywhere_but_experiment_bins() {
+        let src = "fn f() { let t = Instant::now(); let r = thread_rng(); }\n";
+        assert_eq!(
+            rules_of(&lint_source_legacy("crates/workload/src/x.rs", src)),
+            vec!["wall-clock", "ambient-rng"]
+        );
+        assert_eq!(
+            rules_of(&lint_source_legacy("crates/bench/benches/x.rs", src)),
+            vec!["wall-clock", "ambient-rng"]
+        );
+        assert!(lint_source_legacy("crates/experiments/src/bin/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn host_threads_flagged_everywhere_but_harness_crates() {
+        let src = "std::thread::scope(|s| { s.spawn(|| {}); });\n";
+        // A thread in a model crate is a determinism hazard…
+        assert_eq!(
+            rules_of(&lint_source_legacy("crates/sim-core/src/x.rs", src)),
+            vec!["host-thread"]
+        );
+        assert_eq!(
+            rules_of(&lint_source_legacy("crates/nicsched/src/x.rs", src)),
+            vec!["host-thread"]
+        );
+        // …and in the workspace root package.
+        assert_eq!(
+            rules_of(&lint_source_legacy("src/lib.rs", src)),
+            vec!["host-thread"]
+        );
+        // The harness crates fan independent runs across threads by design.
+        assert!(lint_source_legacy("crates/experiments/src/sweep.rs", src).is_empty());
+        assert!(lint_source_legacy("crates/bench/src/bin/perf.rs", src).is_empty());
+        assert!(lint_source_legacy("crates/bench/benches/engine.rs", src).is_empty());
+    }
+
+    #[test]
+    fn bench_bins_may_read_the_wall_clock_but_benches_may_not() {
+        let src = "let t = std::time::Instant::now();\n";
+        assert!(lint_source_legacy("crates/bench/src/bin/perf.rs", src).is_empty());
+        assert_eq!(
+            rules_of(&lint_source_legacy("crates/bench/benches/engine.rs", src)),
+            vec!["wall-clock"]
+        );
+        assert_eq!(
+            rules_of(&lint_source_legacy("crates/bench/src/lib.rs", src)),
+            vec!["wall-clock"]
+        );
+    }
+
+    #[test]
+    fn rand_random_path_is_flagged() {
+        let f = lint_source_legacy("src/lib.rs", "fn f() -> f64 { rand::random() }\n");
+        assert_eq!(rules_of(&f), vec!["ambient-rng"]);
+    }
+
+    #[test]
+    fn float_sort_flagged() {
+        let src = "v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n";
+        assert_eq!(
+            rules_of(&lint_source_legacy("crates/experiments/src/x.rs", src)),
+            vec!["float-sort"]
+        );
+    }
+
+    #[test]
+    fn partial_ord_impls_are_not_float_sorts() {
+        let src = "fn partial_cmp(&self, other: &Self) -> Option<Ordering> {\n";
+        assert!(lint_source_legacy("crates/sim-core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn time_float_cast_flagged_only_with_time_context() {
+        let model = "crates/cpu-model/src/x.rs";
+        let f = lint_source_legacy(model, "let d = SimDuration::from_nanos(x as f64 as u64);\n");
+        assert_eq!(rules_of(&f), vec!["time-float-cast"]);
+        // A plain integer widening with a _ns field is not a float cast.
+        assert!(lint_source_legacy(model, "let n = queue_len_ns as u64;\n").is_empty());
+        // Float casts with no time units in sight are someone else's problem.
+        assert!(lint_source_legacy(model, "let share = busy as f64 / total;\n").is_empty());
+    }
+
+    #[test]
+    fn unsafe_block_flagged_but_forbid_attribute_is_not() {
+        let f = lint_source_legacy("crates/net-wire/src/x.rs", "unsafe { *p }\n");
+        assert_eq!(rules_of(&f), vec!["unsafe-code"]);
+        assert!(
+            lint_source_legacy("crates/net-wire/src/x.rs", "#![forbid(unsafe_code)]\n").is_empty()
+        );
+    }
+
+    #[test]
+    fn comments_and_strings_do_not_trip_rules() {
+        let src = "\
+// Instant of the crash, a HashMap in prose, unsafe in a comment.
+let s = \"HashMap thread_rng Instant unsafe\";
+/* SystemTime in a block comment */
+let r = r#\"OsRng in a raw string\"#;
+";
+        let f = lint_source_legacy("crates/sim-core/src/x.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn lifetimes_survive_scrubbing() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }\nlet c = 'x';\nlet e = '\\n';\n";
+        assert!(lint_source_legacy("crates/sim-core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn waiver_does_not_leak_past_the_next_line() {
+        let src = "\
+// simlint: allow(unordered, reason=scoped narrowly)
+use std::collections::HashSet;
+use std::collections::HashMap;
+";
+        let f = lint_source_legacy("crates/systems/src/x.rs", src);
+        assert_eq!(rules_of(&f), vec!["unordered"]);
+        assert_eq!(f[0].line, 3);
+    }
+}

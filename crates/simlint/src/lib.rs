@@ -1,591 +1,88 @@
-//! # simlint — determinism & invariant static analysis for the workspace
+//! simlint — determinism and architecture lints for the simulation
+//! workspace.
 //!
-//! The mindgap reproduction stakes everything on bit-for-bit deterministic
-//! simulation: CI runs every experiment twice and diffs the JSON. That
-//! guarantee is easy to break with one careless line — a `HashMap`
-//! iteration in a model crate, a `thread_rng()` call, a float sort keyed
-//! on `partial_cmp().unwrap()` — and the double-run diff only catches the
-//! breakage *after* it happens, on whichever workload happens to tickle
-//! it. `simlint` closes the gap statically: it is a dependency-free,
-//! offline lexical pass over the workspace sources that fails the build
-//! the moment a determinism hazard is introduced.
+//! v2 is a token-stream analyzer: a dependency-free lexer
+//! ([`lexer`]) feeds alias-aware rules ([`rules::tokens`]) scoped by the
+//! workspace dependency graph ([`graph`]), with a waiver lifecycle that
+//! detects its own dead entries ([`rules::waivers`]) and a checked-in
+//! findings baseline ([`report`]) gating CI the same way the perf gate
+//! (`BENCH_4.json`) does. The v1 line-oriented pass survives verbatim in
+//! [`legacy`] as an executable specification: a differential test keeps
+//! the token pass a strict superset of it modulo the known false
+//! positives the lexer removes.
 //!
-//! It is deliberately *not* a compiler plugin: the scan is line-based over
-//! comment- and string-stripped source, so it runs in milliseconds, needs
-//! no nightly toolchain, and its rules are greppable one-liners anyone can
-//! audit. The price is lexical precision — which is why every rule has an
-//! explicit waiver syntax that forces the author to leave a reason at the
-//! site:
+//! CLI:
 //!
 //! ```text
-//! // simlint: allow(time-float-cast, reason=canonical float boundary)
+//! simlint [--root DIR] [--deny-all] [--json] [--out FILE]
+//!         [--annotations] [--compare BASELINE] [--write-baseline FILE]
+//!         [--self] [--legacy] [--list-rules] [--explain RULE]
+//!         [--write-rules-doc]
 //! ```
 //!
-//! A waiver covers its own line and the next line. A waiver without a
-//! `reason=` is itself a finding (`bad-waiver`).
-//!
-//! ## Rules
-//!
-//! | rule | scope | fires on |
-//! |------|-------|----------|
-//! | `unordered` | model crates | `HashMap` / `HashSet` (hasher iteration order) |
-//! | `wall-clock` | all but harness binaries | `Instant::now`, `SystemTime`, `UNIX_EPOCH` |
-//! | `ambient-rng` | all but harness binaries | `thread_rng`, `rand::random`, `from_entropy`, `OsRng` |
-//! | `host-thread` | all but harness crates | `std::thread`, `thread::spawn`, `thread::scope` |
-//! | `float-sort` | everywhere | `sort_by*` with `partial_cmp` on one line |
-//! | `time-float-cast` | model crates | bare `as` casts between u64 time and floats |
-//! | `unsafe-code` | everywhere | `unsafe` blocks/fns |
-//! | `missing-forbid` | every crate root | `src/lib.rs` without `#![forbid(unsafe_code)]` |
-//! | `bad-waiver` | everywhere | waiver comment without a reason |
-//!
-//! Model crates are the ones whose state feeds simulation results:
-//! sim-core, nic-model, nicsched, cpu-model, systems, workload. Harness
-//! crates (`experiments`, `bench`) drive many independent simulations from
-//! the host side and may fan them across OS threads; harness *binaries*
-//! (`crates/experiments/src/bin/`, `crates/bench/src/bin/`) may also time
-//! real builds with the wall clock. The simulation itself stays
-//! single-threaded — one engine, one model, one queue — which is what
-//! `host-thread` enforces for every model crate.
-
+#![doc = include_str!("rules/RULES.md")]
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
-use std::fmt;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// Crates whose in-memory state feeds simulation results, where iteration
-/// order and lossy numeric casts are correctness hazards, not style.
-pub const MODEL_CRATES: &[&str] = &[
-    "sim-core",
-    "nic-model",
-    "nicsched",
-    "cpu-model",
-    "systems",
-    "workload",
-];
+pub mod graph;
+pub mod legacy;
+pub mod lexer;
+pub mod report;
+pub mod rules;
 
-/// Every rule simlint knows, in severity-agnostic listing order.
-pub const RULES: &[&str] = &[
-    "unordered",
-    "wall-clock",
-    "ambient-rng",
-    "host-thread",
-    "float-sort",
-    "time-float-cast",
-    "unsafe-code",
-    "missing-forbid",
-    "bad-waiver",
-];
+use graph::WorkspaceGraph;
+use report::{Report, WaiverRecord};
+use rules::tokens::{analyze_source, FileCtx};
 
-/// One lint finding, pointing at a workspace-relative file and line.
+/// One lint finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
     /// Workspace-relative path with forward slashes.
     pub file: String,
-    /// 1-based line number.
+    /// 1-based line.
     pub line: usize,
-    /// Stable rule name (one of [`RULES`]).
+    /// Stable rule name (one of [`rules::RULES`]).
     pub rule: &'static str,
-    /// What was matched and what to do about it.
+    /// Human-readable explanation with remediation.
     pub message: String,
 }
 
-impl fmt::Display for Finding {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
+impl Finding {
+    /// `file:line: [rule] message` — the human-readable form.
+    pub fn render(&self) -> String {
+        format!(
             "{}:{}: [{}] {}",
             self.file, self.line, self.rule, self.message
         )
     }
 }
 
-/// The result of linting a whole workspace.
-#[derive(Debug, Default)]
-pub struct Report {
-    /// Number of `.rs` files scanned.
-    pub files_scanned: usize,
-    /// All findings, sorted by (file, line, rule).
-    pub findings: Vec<Finding>,
-}
-
-impl Report {
-    /// True when no rule fired.
-    pub fn is_clean(&self) -> bool {
-        self.findings.is_empty()
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Source scrubbing: blank out comments and string/char literals while
-// preserving the line structure, and keep the comment text separately so
-// waivers can be parsed from it.
-// ---------------------------------------------------------------------------
-
-struct Scrubbed {
-    /// Source lines with comments and literals replaced by spaces.
-    code: Vec<String>,
-    /// Comment text per line (concatenated if a line has several).
-    comments: Vec<String>,
-}
-
-fn scrub(source: &str) -> Scrubbed {
-    #[derive(PartialEq)]
-    enum St {
-        Code,
-        LineComment,
-        BlockComment(u32),
-        Str,
-        RawStr(usize),
-    }
-    let mut st = St::Code;
-    let mut code = Vec::new();
-    let mut comments = Vec::new();
-    let mut code_line = String::new();
-    let mut comment_line = String::new();
-    let chars: Vec<char> = source.chars().collect();
-    let mut i = 0;
-    while i < chars.len() {
-        let c = chars[i];
-        let next = chars.get(i + 1).copied();
-        if c == '\n' {
-            if st == St::LineComment {
-                st = St::Code;
-            }
-            code.push(std::mem::take(&mut code_line));
-            comments.push(std::mem::take(&mut comment_line));
-            i += 1;
-            continue;
-        }
-        match st {
-            St::Code => match c {
-                '/' if next == Some('/') => {
-                    st = St::LineComment;
-                    code_line.push_str("  ");
-                    i += 2;
-                }
-                '/' if next == Some('*') => {
-                    st = St::BlockComment(1);
-                    code_line.push_str("  ");
-                    i += 2;
-                }
-                '"' => {
-                    st = St::Str;
-                    code_line.push(' ');
-                    i += 1;
-                }
-                'r' if next == Some('"') || next == Some('#') => {
-                    // Possible raw string r"..." / r#"..."#.
-                    let mut j = i + 1;
-                    let mut hashes = 0;
-                    while chars.get(j) == Some(&'#') {
-                        hashes += 1;
-                        j += 1;
-                    }
-                    if chars.get(j) == Some(&'"') {
-                        st = St::RawStr(hashes);
-                        for _ in i..=j {
-                            code_line.push(' ');
-                        }
-                        i = j + 1;
-                    } else {
-                        code_line.push(c);
-                        i += 1;
-                    }
-                }
-                '\'' => {
-                    // Char literal vs lifetime: a literal closes with a
-                    // quote after one (possibly escaped) character.
-                    if next == Some('\\') {
-                        // Escaped char literal: skip to the closing quote.
-                        let mut j = i + 2;
-                        while j < chars.len() && chars[j] != '\'' && chars[j] != '\n' {
-                            j += 1;
-                        }
-                        for _ in i..=j.min(chars.len() - 1) {
-                            code_line.push(' ');
-                        }
-                        i = j + 1;
-                    } else if chars.get(i + 2) == Some(&'\'') {
-                        code_line.push_str("   ");
-                        i += 3;
-                    } else {
-                        // A lifetime; keep the tick so tokens stay apart.
-                        code_line.push(c);
-                        i += 1;
-                    }
-                }
-                _ => {
-                    code_line.push(c);
-                    i += 1;
-                }
-            },
-            St::LineComment => {
-                comment_line.push(c);
-                code_line.push(' ');
-                i += 1;
-            }
-            St::BlockComment(depth) => {
-                if c == '*' && next == Some('/') {
-                    st = if depth == 1 {
-                        St::Code
-                    } else {
-                        St::BlockComment(depth - 1)
-                    };
-                    code_line.push_str("  ");
-                    i += 2;
-                } else if c == '/' && next == Some('*') {
-                    st = St::BlockComment(depth + 1);
-                    comment_line.push_str("/*");
-                    code_line.push_str("  ");
-                    i += 2;
-                } else {
-                    comment_line.push(c);
-                    code_line.push(' ');
-                    i += 1;
-                }
-            }
-            St::Str => {
-                if c == '\\' {
-                    code_line.push_str("  ");
-                    i += 2;
-                } else if c == '"' {
-                    st = St::Code;
-                    code_line.push(' ');
-                    i += 1;
-                } else {
-                    code_line.push(' ');
-                    i += 1;
-                }
-            }
-            St::RawStr(hashes) => {
-                if c == '"' {
-                    let mut j = i + 1;
-                    let mut seen = 0;
-                    while seen < hashes && chars.get(j) == Some(&'#') {
-                        seen += 1;
-                        j += 1;
-                    }
-                    if seen == hashes {
-                        st = St::Code;
-                        for _ in i..j {
-                            code_line.push(' ');
-                        }
-                        i = j;
-                    } else {
-                        code_line.push(' ');
-                        i += 1;
-                    }
-                } else {
-                    code_line.push(' ');
-                    i += 1;
-                }
-            }
-        }
-    }
-    code.push(code_line);
-    comments.push(comment_line);
-    Scrubbed { code, comments }
-}
-
-/// True when `line` contains `tok` as a whole word (identifier boundary
-/// on both sides; `_` counts as a word character).
-fn has_token(line: &str, tok: &str) -> bool {
-    let bytes = line.as_bytes();
-    let is_word = |b: u8| b == b'_' || b.is_ascii_alphanumeric();
-    let mut start = 0;
-    while let Some(pos) = line[start..].find(tok) {
-        let at = start + pos;
-        let before_ok = at == 0 || !is_word(bytes[at - 1]);
-        let after = at + tok.len();
-        let after_ok = after >= bytes.len() || !is_word(bytes[after]);
-        if before_ok && after_ok {
-            return true;
-        }
-        start = at + tok.len().max(1);
-    }
-    false
-}
-
-// ---------------------------------------------------------------------------
-// Waivers
-// ---------------------------------------------------------------------------
-
-/// Waivers parsed from one file: for each line, the rules allowed there.
-struct Waivers {
-    /// `allowed[i]` holds rules waived on 0-based line `i`.
-    allowed: Vec<Vec<String>>,
-    /// Malformed waiver findings (missing reason, unknown rule).
-    bad: Vec<(usize, String)>,
-}
-
-fn parse_waivers(comments: &[String]) -> Waivers {
-    let mut allowed = vec![Vec::new(); comments.len() + 1];
-    let mut bad = Vec::new();
-    for (idx, comment) in comments.iter().enumerate() {
-        let Some(pos) = comment.find("simlint:") else {
-            continue;
-        };
-        let rest = comment[pos + "simlint:".len()..].trim_start();
-        let Some(body) = rest.strip_prefix("allow(") else {
-            bad.push((idx, "waiver must use `allow(rule, reason=...)`".into()));
-            continue;
-        };
-        let Some(close) = body.find(')') else {
-            bad.push((idx, "unterminated waiver: missing `)`".into()));
-            continue;
-        };
-        let inner = &body[..close];
-        // Everything after `reason=` is the reason, commas included;
-        // rule names come before it.
-        let (rule_part, reason) = match inner.find("reason=") {
-            Some(at) => (
-                inner[..at].trim_end_matches([' ', ',']),
-                Some(inner[at + "reason=".len()..].trim().to_string()),
-            ),
-            None => (inner, None),
-        };
-        let rules: Vec<String> = rule_part
-            .split(',')
-            .map(str::trim)
-            .filter(|p| !p.is_empty())
-            .map(str::to_string)
-            .collect();
-        match reason {
-            Some(r) if !r.is_empty() => {
-                for rule in &rules {
-                    if !RULES.contains(&rule.as_str()) {
-                        bad.push((idx, format!("waiver names unknown rule `{rule}`")));
-                    }
-                }
-                if rules.is_empty() {
-                    bad.push((idx, "waiver allows no rule".into()));
-                } else {
-                    // A waiver covers its own line and the next.
-                    allowed[idx].extend(rules.iter().cloned());
-                    if idx + 1 < allowed.len() {
-                        allowed[idx + 1].extend(rules);
-                    }
-                }
-            }
-            _ => bad.push((
-                idx,
-                "waiver is missing a non-empty `reason=`: every exception \
-                 must say why it is sound"
-                    .into(),
-            )),
-        }
-    }
-    Waivers { allowed, bad }
-}
-
-// ---------------------------------------------------------------------------
-// Per-file context and rule evaluation
-// ---------------------------------------------------------------------------
-
-/// What kind of file a workspace-relative path is, for rule scoping.
-struct FileCtx {
-    model_crate: bool,
-    experiment_bin: bool,
-    harness_crate: bool,
-}
-
-fn classify(rel_path: &str) -> FileCtx {
-    let crate_name = rel_path
-        .strip_prefix("crates/")
-        .and_then(|r| r.split('/').next());
-    let model_crate = crate_name.is_some_and(|c| MODEL_CRATES.contains(&c));
-    // Experiment and perf-bench drivers are allowed to look at the wall
-    // clock or seed from entropy (they time real builds, not simulated
-    // ones).
-    let experiment_bin = rel_path.starts_with("crates/experiments/src/bin/")
-        || rel_path.starts_with("crates/bench/src/bin/");
-    // Harness crates fan independent simulations across OS threads; every
-    // other crate — the model crates above all — must stay thread-free so
-    // a simulation is one deterministic sequential event loop.
-    let harness_crate = crate_name.is_some_and(|c| c == "experiments" || c == "bench");
-    FileCtx {
-        model_crate,
-        experiment_bin,
-        harness_crate,
-    }
-}
-
-fn time_token(line: &str) -> bool {
-    has_token(line, "SimTime")
-        || has_token(line, "SimDuration")
-        || has_token(line, "as_nanos")
-        || has_token(line, "from_nanos")
-        || line
-            .split(|c: char| !(c == '_' || c.is_ascii_alphanumeric()))
-            .any(|w| w.ends_with("_ns"))
-}
-
-fn float_cast(line: &str) -> bool {
-    if line.contains(" as f64") || line.contains(" as f32") {
-        return true;
-    }
-    line.contains(" as u64")
-        && (line.contains(".round()") || line.contains(".mean()") || line.contains("f64"))
-}
-
-/// Lint one file's source. `rel_path` must be workspace-relative with
-/// forward slashes (it drives rule scoping).
-pub fn lint_source(rel_path: &str, source: &str) -> Vec<Finding> {
-    let ctx = classify(rel_path);
-    let scrubbed = scrub(source);
-    let waivers = parse_waivers(&scrubbed.comments);
-    let mut findings: Vec<Finding> = waivers
-        .bad
-        .iter()
-        .map(|(idx, msg)| Finding {
-            file: rel_path.to_string(),
-            line: idx + 1,
-            rule: "bad-waiver",
-            message: msg.clone(),
-        })
-        .collect();
-    let mut push = |line_idx: usize, rule: &'static str, message: String| {
-        if waivers.allowed[line_idx].iter().any(|r| r == rule) {
-            return;
-        }
-        findings.push(Finding {
-            file: rel_path.to_string(),
-            line: line_idx + 1,
-            rule,
-            message,
-        });
-    };
-
-    for (idx, line) in scrubbed.code.iter().enumerate() {
-        if ctx.model_crate {
-            for tok in ["HashMap", "HashSet"] {
-                if has_token(line, tok) {
-                    push(
-                        idx,
-                        "unordered",
-                        format!(
-                            "{tok} iterates in hasher order, which is not stable \
-                             across runs; use BTreeMap/BTreeSet or waive with \
-                             `// simlint: allow(unordered, reason=...)`"
-                        ),
-                    );
-                }
-            }
-            if time_token(line) && float_cast(line) {
-                push(
-                    idx,
-                    "time-float-cast",
-                    "bare `as` cast between u64 time and float loses \
-                     nanoseconds silently; go through SimDuration's *_f64 \
-                     constructors/accessors or waive with a reason"
-                        .into(),
-                );
-            }
-        }
-        if !ctx.experiment_bin {
-            for tok in ["Instant", "SystemTime", "UNIX_EPOCH"] {
-                if has_token(line, tok) {
-                    push(
-                        idx,
-                        "wall-clock",
-                        format!(
-                            "{tok} reads the wall clock, which differs across \
-                             runs and machines; simulated time must come from \
-                             the engine clock"
-                        ),
-                    );
-                }
-            }
-            for tok in ["thread_rng", "from_entropy", "OsRng"] {
-                if has_token(line, tok) {
-                    push(
-                        idx,
-                        "ambient-rng",
-                        format!(
-                            "{tok} draws from ambient entropy; all randomness \
-                             must come from seeded sim_core::Rng streams"
-                        ),
-                    );
-                }
-            }
-            if line.contains("rand::random") {
-                push(
-                    idx,
-                    "ambient-rng",
-                    "rand::random draws from ambient entropy; all randomness \
-                     must come from seeded sim_core::Rng streams"
-                        .into(),
-                );
-            }
-        }
-        if !ctx.harness_crate {
-            for tok in ["std::thread", "thread::spawn", "thread::scope"] {
-                if line.contains(tok) {
-                    push(
-                        idx,
-                        "host-thread",
-                        format!(
-                            "{tok} puts OS threads inside the simulation; \
-                             models run on one deterministic event loop, and \
-                             only the host-side harness crates (experiments, \
-                             bench) may fan runs across threads"
-                        ),
-                    );
-                    break;
-                }
-            }
-        }
-        if (line.contains("sort_by") || line.contains("sort_unstable_by"))
-            && line.contains("partial_cmp")
-        {
-            push(
-                idx,
-                "float-sort",
-                "float sort via partial_cmp panics on NaN and invites \
-                 platform-dependent totalization; sort on integer keys \
-                 (e.g. nanoseconds) instead"
-                    .into(),
-            );
-        }
-        if has_token(line, "unsafe") {
-            push(
-                idx,
-                "unsafe-code",
-                "unsafe block in a workspace that promises #![forbid(unsafe_code)] \
-                 everywhere; the simulation has no business touching raw memory"
-                    .into(),
-            );
-        }
-    }
-    findings
-}
-
-// ---------------------------------------------------------------------------
-// Workspace walking
-// ---------------------------------------------------------------------------
-
-/// Walk upward from `start` until a directory holding a `Cargo.toml` with
-/// a `[workspace]` table is found.
+/// Walk upward from `start` to the directory whose `Cargo.toml` declares
+/// `[workspace]`.
 pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
-    let mut dir = Some(start.to_path_buf());
-    while let Some(d) = dir {
-        let manifest = d.join("Cargo.toml");
-        if let Ok(text) = fs::read_to_string(&manifest) {
-            if text.contains("[workspace]") {
-                return Some(d);
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
             }
         }
-        dir = d.parent().map(Path::to_path_buf);
+        if !dir.pop() {
+            return None;
+        }
     }
-    None
 }
 
-fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
-    let mut entries: Vec<_> = fs::read_dir(dir)?.collect::<Result<_, _>>()?;
-    entries.sort_by_key(|e| e.file_name());
+/// Collect `.rs` files under `dir`, sorted for deterministic output.
+pub fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?.collect::<io::Result<_>>()?;
+    entries.sort_by_key(|e| e.path());
     for entry in entries {
         let path = entry.path();
         if path.is_dir() {
@@ -597,72 +94,6 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     Ok(())
 }
 
-/// Crate directories subject to the scan: every `crates/*` member except
-/// simlint itself, plus the workspace-root package. Vendored stand-ins
-/// under `vendor/` are third-party code and out of scope.
-fn scan_roots(root: &Path) -> io::Result<Vec<PathBuf>> {
-    let mut roots = Vec::new();
-    let crates = root.join("crates");
-    if crates.is_dir() {
-        let mut entries: Vec<_> = fs::read_dir(&crates)?.collect::<Result<_, _>>()?;
-        entries.sort_by_key(|e| e.file_name());
-        for entry in entries {
-            let path = entry.path();
-            if path.is_dir() && entry.file_name() != "simlint" {
-                roots.push(path);
-            }
-        }
-    }
-    roots.push(root.to_path_buf());
-    Ok(roots)
-}
-
-/// Lint every workspace source file under `root`.
-pub fn lint_workspace(root: &Path) -> io::Result<Report> {
-    let mut report = Report::default();
-    for crate_root in scan_roots(root)? {
-        // Rule `missing-forbid`: every crate root must forbid unsafe code
-        // at the source level, so the guarantee survives even if the
-        // Cargo-level lint table is edited away.
-        let lib = crate_root.join("src/lib.rs");
-        if lib.is_file() {
-            let text = fs::read_to_string(&lib)?;
-            if !text.contains("#![forbid(unsafe_code)]") {
-                report.findings.push(Finding {
-                    file: rel_to(root, &lib),
-                    line: 1,
-                    rule: "missing-forbid",
-                    message: "crate root lacks #![forbid(unsafe_code)]".into(),
-                });
-            }
-        }
-        for sub in ["src", "tests", "examples", "benches"] {
-            let dir = crate_root.join(sub);
-            // The workspace root package shares `root` with the crates/
-            // tree; only descend into its own src/tests dirs.
-            if crate_root == root && (sub == "examples" || sub == "benches") {
-                continue;
-            }
-            if !dir.is_dir() {
-                continue;
-            }
-            let mut files = Vec::new();
-            collect_rs_files(&dir, &mut files)?;
-            for file in files {
-                let source = fs::read_to_string(&file)?;
-                report.files_scanned += 1;
-                report
-                    .findings
-                    .extend(lint_source(&rel_to(root, &file), &source));
-            }
-        }
-    }
-    report
-        .findings
-        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
-    Ok(report)
-}
-
 fn rel_to(root: &Path, path: &Path) -> String {
     path.strip_prefix(root)
         .unwrap_or(path)
@@ -670,63 +101,295 @@ fn rel_to(root: &Path, path: &Path) -> String {
         .replace('\\', "/")
 }
 
-// ---------------------------------------------------------------------------
-// CLI
-// ---------------------------------------------------------------------------
+/// Lint the whole workspace with the token pass: graph rules first, then
+/// every `src/` and `tests/` file of every workspace crate (the simlint
+/// crate included; `tests/fixtures` trees excluded — they exist to
+/// contain hazards).
+pub fn lint_workspace(root: &Path) -> io::Result<Report> {
+    let graph = WorkspaceGraph::load(root)?;
+    let mut report = Report {
+        findings: graph.check(),
+        ..Report::default()
+    };
+    for info in graph.crates.values() {
+        let crate_dir = root.join(&info.dir);
+        for sub in ["src", "tests"] {
+            let dir = crate_dir.join(sub);
+            if !dir.is_dir() {
+                continue;
+            }
+            let mut files = Vec::new();
+            collect_rs_files(&dir, &mut files)?;
+            for path in files {
+                let rel = rel_to(root, &path);
+                if rel.contains("tests/fixtures") {
+                    continue;
+                }
+                let source = fs::read_to_string(&path)?;
+                report.files_scanned += 1;
+                let layer = info.layer.unwrap_or(graph::Layer::Model);
+                let analysis = analyze_source(FileCtx::new(layer, &rel), &rel, &source);
+                report.findings.extend(analysis.findings);
+                report
+                    .waivers
+                    .extend(analysis.waivers.into_iter().map(|w| WaiverRecord {
+                        file: rel.clone(),
+                        line: w.line,
+                        rules: w.rules,
+                        block: w.block,
+                    }));
+            }
+        }
+        let lib = crate_dir.join("src/lib.rs");
+        if lib.is_file() {
+            let text = fs::read_to_string(&lib)?;
+            if !text.contains("#![forbid(unsafe_code)]") {
+                report.findings.push(Finding {
+                    file: rel_to(root, &lib),
+                    line: 1,
+                    rule: "missing-forbid",
+                    message: "crate root lacks #![forbid(unsafe_code)]; every crate \
+                              must carry the guarantee locally"
+                        .into(),
+                });
+            }
+        }
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    report
+        .waivers
+        .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(report)
+}
 
-/// CLI entry point; returns the process exit code. `--deny-all` (the only
-/// mode) fails on any finding; `--root <dir>` overrides workspace-root
-/// discovery from the current directory.
+/// Run the v1 line-oriented pass over the file set it historically
+/// covered (everything but the simlint crate itself). Kept for
+/// `--legacy` and the differential test.
+pub fn lint_workspace_legacy(root: &Path) -> io::Result<Vec<Finding>> {
+    let graph = WorkspaceGraph::load(root)?;
+    let mut findings = Vec::new();
+    for info in graph.crates.values() {
+        if info.name == "simlint" {
+            continue;
+        }
+        for sub in ["src", "tests"] {
+            let dir = root.join(&info.dir).join(sub);
+            if !dir.is_dir() {
+                continue;
+            }
+            let mut files = Vec::new();
+            collect_rs_files(&dir, &mut files)?;
+            for path in files {
+                let rel = rel_to(root, &path);
+                if rel.contains("tests/fixtures") {
+                    continue;
+                }
+                let source = fs::read_to_string(&path)?;
+                findings.extend(legacy::lint_source_legacy(&rel, &source));
+            }
+        }
+    }
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(findings)
+}
+
+/// CLI entry point; returns the process exit code.
 pub fn run(args: &[String]) -> i32 {
-    let mut root_override = None;
-    let mut it = args.iter();
-    while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--deny-all" => {} // all rules are deny; accepted for CI clarity
-            "--root" => match it.next() {
-                Some(dir) => root_override = Some(PathBuf::from(dir)),
-                None => {
-                    eprintln!("simlint: --root needs a directory argument");
+    let mut root_arg: Option<PathBuf> = None;
+    let mut json = false;
+    let mut out_file: Option<PathBuf> = None;
+    let mut annotations = false;
+    let mut compare_file: Option<PathBuf> = None;
+    let mut write_baseline: Option<PathBuf> = None;
+    let mut self_lint = false;
+    let mut use_legacy = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--deny-all" => {} // compatibility: findings always fail
+            "--json" => json = true,
+            "--annotations" => annotations = true,
+            "--self" => self_lint = true,
+            "--legacy" => use_legacy = true,
+            "--list-rules" => {
+                for r in rules::TABLE {
+                    println!("{:<16} {}", r.name, r.fires_on.replace('\n', " "));
+                }
+                return 0;
+            }
+            "--explain" => {
+                i += 1;
+                let Some(name) = args.get(i) else {
+                    eprintln!("--explain needs a rule name; try --list-rules");
+                    return 2;
+                };
+                let Some(spec) = rules::spec(name) else {
+                    eprintln!("unknown rule `{name}`; try --list-rules");
+                    return 2;
+                };
+                println!("{}", spec.name);
+                println!("  scope:    {}", spec.scope);
+                println!("  fires on: {}", spec.fires_on.replace('\n', " "));
+                println!("  waivable: {}", if spec.waivable { "yes" } else { "no" });
+                println!("\n{}", spec.detail);
+                return 0;
+            }
+            "--root" => {
+                i += 1;
+                root_arg = args.get(i).map(PathBuf::from);
+            }
+            "--out" => {
+                i += 1;
+                out_file = args.get(i).map(PathBuf::from);
+            }
+            "--compare" => {
+                i += 1;
+                compare_file = args.get(i).map(PathBuf::from);
+            }
+            "--write-baseline" => {
+                i += 1;
+                write_baseline = args.get(i).map(PathBuf::from);
+            }
+            "--write-rules-doc" => {
+                let root = match resolve_root(root_arg.as_deref()) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!("simlint: {e}");
+                        return 2;
+                    }
+                };
+                let path = root.join("crates/simlint/src/rules/RULES.md");
+                if let Err(e) = fs::write(&path, rules::render_rules_doc()) {
+                    eprintln!("simlint: cannot write {}: {e}", path.display());
                     return 2;
                 }
-            },
+                println!("wrote {}", path.display());
+                return 0;
+            }
             other => {
                 eprintln!("simlint: unknown argument `{other}`");
-                eprintln!("usage: simlint [--deny-all] [--root <dir>]");
+                return 2;
+            }
+        }
+        i += 1;
+    }
+
+    let root = match resolve_root(root_arg.as_deref()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("simlint: {e}");
+            return 2;
+        }
+    };
+
+    if use_legacy {
+        let findings = match lint_workspace_legacy(&root) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("simlint: {e}");
+                return 2;
+            }
+        };
+        for f in &findings {
+            println!("{}", f.render());
+        }
+        println!("simlint (legacy pass): {} finding(s)", findings.len());
+        return i32::from(!findings.is_empty());
+    }
+
+    let mut report = match lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("simlint: {e}");
+            return 2;
+        }
+    };
+
+    if self_lint {
+        report
+            .findings
+            .retain(|f| f.file.starts_with("crates/simlint/"));
+        report
+            .waivers
+            .retain(|w| w.file.starts_with("crates/simlint/"));
+        if !report.waivers.is_empty() {
+            for w in &report.waivers {
+                eprintln!(
+                    "{}:{}: the linter may not waive its own rules ({})",
+                    w.file,
+                    w.line,
+                    w.rules.join(", ")
+                );
+            }
+            return 1;
+        }
+    }
+
+    let mut failed = !report.findings.is_empty();
+    for f in &report.findings {
+        println!("{}", f.render());
+    }
+    if annotations {
+        print!("{}", report.to_annotations());
+    }
+    if json {
+        print!("{}", report.to_json());
+    }
+    if let Some(path) = out_file {
+        if let Err(e) = fs::write(&path, report.to_json()) {
+            eprintln!("simlint: cannot write {}: {e}", path.display());
+            return 2;
+        }
+    }
+    if let Some(path) = write_baseline {
+        if let Err(e) = fs::write(&path, report.to_baseline_json()) {
+            eprintln!("simlint: cannot write {}: {e}", path.display());
+            return 2;
+        }
+        println!("wrote baseline {}", path.display());
+    }
+    if let Some(path) = compare_file {
+        match fs::read_to_string(&path) {
+            Ok(text) => match report::compare(&report, &text) {
+                Ok(notes) => {
+                    for n in notes {
+                        println!("note: {n}");
+                    }
+                    println!("baseline gate: OK ({})", path.display());
+                }
+                Err(errors) => {
+                    for e in errors {
+                        eprintln!("baseline gate: {e}");
+                    }
+                    failed = true;
+                }
+            },
+            Err(e) => {
+                eprintln!("simlint: cannot read baseline {}: {e}", path.display());
                 return 2;
             }
         }
     }
-    let root = match root_override.or_else(|| {
-        std::env::current_dir()
-            .ok()
-            .and_then(|d| find_workspace_root(&d))
-    }) {
-        Some(r) => r,
-        None => {
-            eprintln!("simlint: no workspace root found (Cargo.toml with [workspace])");
-            return 2;
-        }
-    };
-    let report = match lint_workspace(&root) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("simlint: io error while scanning {}: {e}", root.display());
-            return 2;
-        }
-    };
-    for finding in &report.findings {
-        println!("{finding}");
+    if !json {
+        println!(
+            "simlint: scanned {} files, {} finding(s), {} waiver(s)",
+            report.files_scanned,
+            report.findings.len(),
+            report.waivers.len()
+        );
     }
-    println!(
-        "simlint: {} file(s) scanned, {} finding(s)",
-        report.files_scanned,
-        report.findings.len()
-    );
-    if report.is_clean() {
-        0
-    } else {
-        1
+    i32::from(failed)
+}
+
+fn resolve_root(arg: Option<&Path>) -> Result<PathBuf, String> {
+    match arg {
+        Some(p) => Ok(p.to_path_buf()),
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
+            find_workspace_root(&cwd).ok_or_else(|| "no workspace root found above cwd".into())
+        }
     }
 }
 
@@ -734,171 +397,21 @@ pub fn run(args: &[String]) -> i32 {
 mod tests {
     use super::*;
 
-    fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
-        findings.iter().map(|f| f.rule).collect()
+    #[test]
+    fn finding_render_is_stable() {
+        let f = Finding {
+            file: "crates/x/src/lib.rs".into(),
+            line: 3,
+            rule: "unordered",
+            message: "m".into(),
+        };
+        assert_eq!(f.render(), "crates/x/src/lib.rs:3: [unordered] m");
     }
 
     #[test]
-    fn hashmap_in_model_crate_is_flagged() {
-        let f = lint_source(
-            "crates/systems/src/x.rs",
-            "use std::collections::HashMap;\nfn f() { let m: HashMap<u32, u32> = HashMap::new(); }\n",
-        );
-        assert!(f.iter().all(|f| f.rule == "unordered"), "{f:?}");
-        assert_eq!(f.len(), 2);
-        assert_eq!(f[0].line, 1);
-    }
-
-    #[test]
-    fn hashmap_outside_model_crates_is_fine() {
-        let f = lint_source(
-            "crates/experiments/src/x.rs",
-            "use std::collections::HashMap;\n",
-        );
-        assert!(f.is_empty(), "{f:?}");
-    }
-
-    #[test]
-    fn waiver_with_reason_suppresses_same_and_next_line() {
-        let src = "\
-// simlint: allow(unordered, reason=keys are never iterated)
-use std::collections::HashSet;
-";
-        let f = lint_source("crates/nic-model/src/x.rs", src);
-        assert!(f.is_empty(), "{f:?}");
-    }
-
-    #[test]
-    fn waiver_without_reason_is_itself_a_finding() {
-        let src = "// simlint: allow(unordered)\nuse std::collections::HashSet;\n";
-        let f = lint_source("crates/nic-model/src/x.rs", src);
-        assert_eq!(rules_of(&f), vec!["bad-waiver", "unordered"]);
-    }
-
-    #[test]
-    fn waiver_naming_unknown_rule_is_flagged() {
-        let src = "// simlint: allow(no-such-rule, reason=whatever)\n";
-        let f = lint_source("crates/sim-core/src/x.rs", src);
-        assert_eq!(rules_of(&f), vec!["bad-waiver"]);
-    }
-
-    #[test]
-    fn ambient_rng_and_wall_clock_flagged_everywhere_but_experiment_bins() {
-        let src = "fn f() { let t = Instant::now(); let r = thread_rng(); }\n";
-        assert_eq!(
-            rules_of(&lint_source("crates/workload/src/x.rs", src)),
-            vec!["wall-clock", "ambient-rng"]
-        );
-        assert_eq!(
-            rules_of(&lint_source("crates/bench/benches/x.rs", src)),
-            vec!["wall-clock", "ambient-rng"]
-        );
-        assert!(lint_source("crates/experiments/src/bin/x.rs", src).is_empty());
-    }
-
-    #[test]
-    fn host_threads_flagged_everywhere_but_harness_crates() {
-        let src = "std::thread::scope(|s| { s.spawn(|| {}); });\n";
-        // A thread in a model crate is a determinism hazard…
-        assert_eq!(
-            rules_of(&lint_source("crates/sim-core/src/x.rs", src)),
-            vec!["host-thread"]
-        );
-        assert_eq!(
-            rules_of(&lint_source("crates/nicsched/src/x.rs", src)),
-            vec!["host-thread"]
-        );
-        // …and in the workspace root package.
-        assert_eq!(
-            rules_of(&lint_source("src/lib.rs", src)),
-            vec!["host-thread"]
-        );
-        // The harness crates fan independent runs across threads by design.
-        assert!(lint_source("crates/experiments/src/sweep.rs", src).is_empty());
-        assert!(lint_source("crates/bench/src/bin/perf.rs", src).is_empty());
-        assert!(lint_source("crates/bench/benches/engine.rs", src).is_empty());
-    }
-
-    #[test]
-    fn bench_bins_may_read_the_wall_clock_but_benches_may_not() {
-        let src = "let t = std::time::Instant::now();\n";
-        assert!(lint_source("crates/bench/src/bin/perf.rs", src).is_empty());
-        assert_eq!(
-            rules_of(&lint_source("crates/bench/benches/engine.rs", src)),
-            vec!["wall-clock"]
-        );
-        assert_eq!(
-            rules_of(&lint_source("crates/bench/src/lib.rs", src)),
-            vec!["wall-clock"]
-        );
-    }
-
-    #[test]
-    fn rand_random_path_is_flagged() {
-        let f = lint_source("src/lib.rs", "fn f() -> f64 { rand::random() }\n");
-        assert_eq!(rules_of(&f), vec!["ambient-rng"]);
-    }
-
-    #[test]
-    fn float_sort_flagged() {
-        let src = "v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n";
-        assert_eq!(
-            rules_of(&lint_source("crates/experiments/src/x.rs", src)),
-            vec!["float-sort"]
-        );
-    }
-
-    #[test]
-    fn partial_ord_impls_are_not_float_sorts() {
-        let src = "fn partial_cmp(&self, other: &Self) -> Option<Ordering> {\n";
-        assert!(lint_source("crates/sim-core/src/x.rs", src).is_empty());
-    }
-
-    #[test]
-    fn time_float_cast_flagged_only_with_time_context() {
-        let model = "crates/cpu-model/src/x.rs";
-        let f = lint_source(model, "let d = SimDuration::from_nanos(x as f64 as u64);\n");
-        assert_eq!(rules_of(&f), vec!["time-float-cast"]);
-        // A plain integer widening with a _ns field is not a float cast.
-        assert!(lint_source(model, "let n = queue_len_ns as u64;\n").is_empty());
-        // Float casts with no time units in sight are someone else's problem.
-        assert!(lint_source(model, "let share = busy as f64 / total;\n").is_empty());
-    }
-
-    #[test]
-    fn unsafe_block_flagged_but_forbid_attribute_is_not() {
-        let f = lint_source("crates/net-wire/src/x.rs", "unsafe { *p }\n");
-        assert_eq!(rules_of(&f), vec!["unsafe-code"]);
-        assert!(lint_source("crates/net-wire/src/x.rs", "#![forbid(unsafe_code)]\n").is_empty());
-    }
-
-    #[test]
-    fn comments_and_strings_do_not_trip_rules() {
-        let src = "\
-// Instant of the crash, a HashMap in prose, unsafe in a comment.
-let s = \"HashMap thread_rng Instant unsafe\";
-/* SystemTime in a block comment */
-let r = r#\"OsRng in a raw string\"#;
-";
-        let f = lint_source("crates/sim-core/src/x.rs", src);
-        assert!(f.is_empty(), "{f:?}");
-    }
-
-    #[test]
-    fn lifetimes_survive_scrubbing() {
-        let src = "fn f<'a>(x: &'a str) -> &'a str { x }\nlet c = 'x';\nlet e = '\\n';\n";
-        assert!(lint_source("crates/sim-core/src/x.rs", src).is_empty());
-    }
-
-    #[test]
-    fn waiver_does_not_leak_past_the_next_line() {
-        let src = "\
-// simlint: allow(unordered, reason=scoped narrowly)
-use std::collections::HashSet;
-use std::collections::HashMap;
-";
-        let f = lint_source("crates/systems/src/x.rs", src);
-        assert_eq!(rules_of(&f), vec!["unordered"]);
-        assert_eq!(f[0].line, 3);
+    fn workspace_root_is_found_from_nested_dir() {
+        let here = std::env::current_dir().unwrap();
+        let root = find_workspace_root(&here).expect("inside the workspace");
+        assert!(root.join("crates/simlint").is_dir());
     }
 }

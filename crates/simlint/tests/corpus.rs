@@ -1,0 +1,94 @@
+//! Exact-findings assertions over the lexer edge-case fixture corpus.
+//!
+//! Each fixture is analyzed as if it lived in a model-layer crate
+//! (`crates/systems/src/<fixture>`), and the test pins the *complete*
+//! (line, rule) finding set — not just presence — so a lexer regression
+//! that adds or drops a finding anywhere in a fixture fails loudly.
+
+use std::fs;
+use std::path::Path;
+
+use simlint::graph::Layer;
+use simlint::rules::tokens::{analyze_source, FileCtx};
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/corpus")
+        .join(name);
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+fn token_findings(name: &str) -> Vec<(usize, &'static str)> {
+    let rel = format!("crates/systems/src/{name}");
+    let source = fixture(name);
+    analyze_source(FileCtx::new(Layer::Model, &rel), &rel, &source)
+        .findings
+        .iter()
+        .map(|f| (f.line, f.rule))
+        .collect()
+}
+
+#[test]
+fn raw_strings_with_embedded_quotes_never_fire() {
+    assert_eq!(token_findings("raw_strings.rs"), vec![]);
+}
+
+#[test]
+fn nested_block_comments_never_fire() {
+    assert_eq!(token_findings("nested_comments.rs"), vec![]);
+}
+
+#[test]
+fn lifetimes_do_not_hide_the_real_hazard() {
+    assert_eq!(
+        token_findings("chars_lifetimes.rs"),
+        vec![(13, "wall-clock")]
+    );
+}
+
+#[test]
+fn cfg_test_gated_wall_clock_is_exempt() {
+    assert_eq!(token_findings("cfg_test_wallclock.rs"), vec![]);
+}
+
+#[test]
+fn aliased_hashmap_fires_at_import_and_every_use() {
+    assert_eq!(
+        token_findings("alias_unordered.rs"),
+        vec![(3, "unordered"), (5, "unordered"), (6, "unordered")]
+    );
+}
+
+#[test]
+fn local_instant_type_is_not_a_wall_clock() {
+    assert_eq!(token_findings("local_shadow_instant.rs"), vec![]);
+}
+
+#[test]
+fn multiline_float_sort_fires_once_at_the_call() {
+    assert_eq!(
+        token_findings("multiline_float_sort.rs"),
+        vec![(4, "float-sort")]
+    );
+}
+
+#[test]
+fn aliased_thread_fires_at_import_and_spawn() {
+    assert_eq!(
+        token_findings("alias_thread.rs"),
+        vec![(2, "host-thread"), (5, "host-thread")]
+    );
+}
+
+#[test]
+fn unused_waiver_is_itself_a_finding() {
+    assert_eq!(token_findings("stale_waiver.rs"), vec![(3, "stale-waiver")]);
+}
+
+#[test]
+fn allow_block_covers_its_span_and_no_more() {
+    assert_eq!(
+        token_findings("allow_block.rs"),
+        vec![(10, "unordered"), (11, "unordered")]
+    );
+}

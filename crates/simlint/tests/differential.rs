@@ -1,0 +1,170 @@
+//! Differential test: the v1 line-oriented pass is kept in
+//! `simlint::legacy` as an executable specification, and the v2 token
+//! pass must report a strict superset of it — minus the false positives
+//! the lexer provably removes, each of which is named here.
+//!
+//! Two properties, over the fixture corpus and the live workspace:
+//!
+//! 1. **Superset**: every legacy finding is also a token-pass finding,
+//!    unless its (fixture, rule) pair is in [`KNOWN_LEGACY_FPS`].
+//! 2. **Strictness**: the passes genuinely diverge — at least three
+//!    fixtures where the finding sets differ, in both directions (false
+//!    negatives caught, false positives removed).
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::Path;
+
+use simlint::graph::Layer;
+use simlint::legacy::lint_source_legacy;
+use simlint::rules::tokens::{analyze_source, FileCtx};
+use simlint::{find_workspace_root, lint_workspace, lint_workspace_legacy};
+
+/// Legacy findings the token pass intentionally does not reproduce.
+/// Every entry is a class of false positive the lexer removes:
+///
+/// * `allow_block.rs` — v1 does not understand the `allow-block` waiver
+///   form, so it reports the directive as `bad-waiver` and the waived
+///   span's `unordered` hazards as live.
+/// * `cfg_test_wallclock.rs` — v1 has no item extents, so it cannot see
+///   that the `Instant` reads are `#[cfg(test)]`-gated.
+/// * `local_shadow_instant.rs` — v1 matches the token `Instant` with no
+///   name resolution, so a local type of that name fires six times.
+const KNOWN_LEGACY_FPS: &[(&str, &str)] = &[
+    ("allow_block.rs", "bad-waiver"),
+    ("allow_block.rs", "unordered"),
+    ("cfg_test_wallclock.rs", "wall-clock"),
+    ("local_shadow_instant.rs", "wall-clock"),
+];
+
+fn corpus_dir() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/corpus")
+}
+
+fn corpus_files() -> Vec<String> {
+    let mut names: Vec<String> = fs::read_dir(corpus_dir())
+        .expect("corpus dir")
+        .map(|e| e.unwrap().file_name().into_string().unwrap())
+        .filter(|n| n.ends_with(".rs"))
+        .collect();
+    names.sort();
+    names
+}
+
+type FindingSet = BTreeSet<(usize, String)>;
+
+fn both_passes(name: &str) -> (FindingSet, FindingSet) {
+    let source = fs::read_to_string(corpus_dir().join(name)).unwrap();
+    let rel = format!("crates/systems/src/{name}");
+    let token: FindingSet = analyze_source(FileCtx::new(Layer::Model, &rel), &rel, &source)
+        .findings
+        .into_iter()
+        .map(|f| (f.line, f.rule.to_string()))
+        .collect();
+    let legacy: FindingSet = lint_source_legacy(&rel, &source)
+        .into_iter()
+        .map(|f| (f.line, f.rule.to_string()))
+        .collect();
+    (token, legacy)
+}
+
+#[test]
+fn token_pass_is_a_superset_of_legacy_on_the_corpus() {
+    for name in corpus_files() {
+        let (token, legacy) = both_passes(&name);
+        for (line, rule) in &legacy {
+            let known_fp = KNOWN_LEGACY_FPS
+                .iter()
+                .any(|(f, r)| *f == name && r == rule);
+            assert!(
+                token.contains(&(*line, rule.clone())) || known_fp,
+                "{name}:{line} [{rule}] found by legacy but not by the token \
+                 pass, and not a documented false positive"
+            );
+        }
+    }
+}
+
+#[test]
+fn the_passes_diverge_in_both_directions() {
+    let mut divergent = Vec::new();
+    let mut fn_caught = 0usize; // token finds what legacy missed
+    let mut fp_removed = 0usize; // legacy fired where token stays silent
+    for name in corpus_files() {
+        let (token, legacy) = both_passes(&name);
+        if token != legacy {
+            divergent.push(name.clone());
+        }
+        if token.difference(&legacy).next().is_some() {
+            fn_caught += 1;
+        }
+        if legacy.difference(&token).next().is_some() {
+            fp_removed += 1;
+        }
+    }
+    assert!(
+        divergent.len() >= 3,
+        "need at least 3 divergence fixtures, got {divergent:?}"
+    );
+    assert!(
+        fn_caught >= 2,
+        "no fixtures show false negatives being caught"
+    );
+    assert!(
+        fp_removed >= 2,
+        "no fixtures show false positives being removed"
+    );
+}
+
+#[test]
+fn every_known_fp_entry_is_live() {
+    // The FP allowlist must not rot: each entry must correspond to an
+    // actual legacy-only finding, or it is itself stale.
+    for (file, rule) in KNOWN_LEGACY_FPS {
+        let (token, legacy) = both_passes(file);
+        let live = legacy
+            .iter()
+            .any(|(l, r)| r == rule && !token.contains(&(*l, r.clone())));
+        assert!(
+            live,
+            "KNOWN_LEGACY_FPS entry ({file}, {rule}) no longer fires"
+        );
+    }
+}
+
+#[test]
+fn workspace_token_pass_superset_of_legacy_modulo_tests_dir_scoping() {
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("root");
+    let token: BTreeSet<(String, usize, String)> = lint_workspace(&root)
+        .expect("token pass")
+        .findings
+        .into_iter()
+        .map(|f| (f.file, f.line, f.rule.to_string()))
+        .collect();
+    let legacy = lint_workspace_legacy(&root).expect("legacy pass");
+    let mut fp_removed = 0usize;
+    for f in &legacy {
+        // The one scoping change v2 makes on the live tree: files in
+        // `tests/` directories may read time as floats and the wall
+        // clock — assertions there cannot touch model state.
+        let known_fp =
+            f.file.contains("/tests/") && matches!(f.rule, "time-float-cast" | "wall-clock");
+        if known_fp {
+            fp_removed += 1;
+            continue;
+        }
+        assert!(
+            token.contains(&(f.file.clone(), f.line, f.rule.to_string())),
+            "{}:{} [{}] found by legacy but not by the token pass",
+            f.file,
+            f.line,
+            f.rule
+        );
+    }
+    // The probe chain-vs-client tolerance comparison used to need two
+    // waivers; under v2 scoping they are gone, not waived.
+    assert!(
+        fp_removed >= 2,
+        "expected the probe.rs tests-dir casts to show up as removed FPs"
+    );
+}

@@ -1,0 +1,7 @@
+// Renaming std::thread does not make it deterministic.
+use std::thread as host;
+
+pub fn fan_out() {
+    let h = host::spawn(|| 42);
+    let _ = h.join();
+}

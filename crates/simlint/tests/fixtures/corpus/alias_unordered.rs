@@ -1,0 +1,9 @@
+// An aliased import must not launder a hash container: `Fast` is
+// std::collections::HashMap, and every use site is a finding.
+use std::collections::HashMap as Fast;
+
+pub fn build() -> Fast<u32, u32> {
+    let mut m = Fast::new();
+    m.insert(1, 2);
+    m
+}

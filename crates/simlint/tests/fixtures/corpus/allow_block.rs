@@ -1,0 +1,12 @@
+// One allow-block covers a multi-line construct; the hazard past its
+// span still fires.
+// simlint: allow-block(unordered, lines=4, reason=fixed table built once and never iterated)
+use std::collections::HashMap;
+
+pub fn table() -> HashMap<u8, u8> {
+    HashMap::new()
+}
+
+pub fn beyond() -> std::collections::HashSet<u8> {
+    std::collections::HashSet::new()
+}

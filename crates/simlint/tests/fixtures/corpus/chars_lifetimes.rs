@@ -1,0 +1,14 @@
+// Lifetimes and char literals must not confuse the lexer: the `'a` in
+// a generic list is not an unterminated char whose "body" swallows the
+// rest of the file (which would hide the real hazard at the bottom).
+struct Holder<'a> {
+    name: &'a str,
+}
+
+fn pick<'a, 'b: 'a>(x: &'a str, _y: &'b str) -> (&'a str, char, char, u8) {
+    (x, 'I', '\'', b'"')
+}
+
+fn real_hazard() {
+    let _t = std::time::Instant::now();
+}

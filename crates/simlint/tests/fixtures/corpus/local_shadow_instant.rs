@@ -1,0 +1,14 @@
+// A local type that merely shares a hazard's name is not a hazard:
+// this Instant is a simulated timestamp, not std::time::Instant.
+#[derive(Clone, Copy)]
+pub struct Instant(pub u64);
+
+impl Instant {
+    pub fn now(clock: u64) -> Instant {
+        Instant(clock)
+    }
+}
+
+pub fn stamp(clock: u64) -> Instant {
+    Instant::now(clock)
+}

@@ -1,0 +1,9 @@
+// A float sort whose closure spans lines is still a float sort: the
+// token pass scans the whole argument list, not one source line.
+pub fn order(v: &mut Vec<(f64, u64)>) {
+    v.sort_by(|a, b| {
+        a.0.partial_cmp(&b.0)
+            .unwrap()
+            .then(a.1.cmp(&b.1))
+    });
+}

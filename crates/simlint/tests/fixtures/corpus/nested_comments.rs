@@ -1,0 +1,7 @@
+/* outer comment
+   /* nested inner comment */
+   still a comment: HashMap::new() and thread_rng() and unsafe
+*/
+fn clean() -> u32 {
+    7
+}

@@ -1,0 +1,10 @@
+// Hazard names inside raw strings must never fire. The embedded quotes
+// are the point: a quote-pair scrubber flips in and out of "string"
+// state and leaks the middle of the literal as code.
+fn doc_text() -> &'static str {
+    let a = r#"call "HashMap::new()" or "unsafe" or "OsRng" here"#;
+    let b = br##"bytes: "std::thread::spawn" and "Instant::now()""##;
+    let c = r"plain raw SystemTime";
+    let _ = (b, c);
+    a
+}

@@ -1,0 +1,6 @@
+// The hazard this waiver excused was refactored away; the waiver is
+// now debt pretending to be documentation, and must itself be flagged.
+// simlint: allow(unordered, reason=keys are sorted before iteration)
+pub fn sums(v: &[u64]) -> u64 {
+    v.iter().sum()
+}

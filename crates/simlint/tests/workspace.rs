@@ -1,75 +1,235 @@
-//! The two acceptance gates for simlint: the merged tree itself is clean,
-//! and a synthetic workspace with a freshly-introduced hazard fails.
+//! Integration tests over the live workspace and over throwaway fixture
+//! workspaces: the merged tree must be clean, the layer-violation rule
+//! must fail a workspace whose model crate depends on a harness crate,
+//! stale waivers must fail the build, and the baseline gate must hold.
 
 use std::fs;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+use std::process::Command;
 
-use simlint::{find_workspace_root, lint_workspace, run};
+use simlint::{find_workspace_root, lint_workspace};
 
 fn repo_root() -> PathBuf {
-    let here = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
-    find_workspace_root(&here).expect("simlint must live inside the workspace")
+    find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root")
 }
 
-#[test]
-fn the_merged_tree_is_clean() {
-    let report = lint_workspace(&repo_root()).expect("scan must succeed");
-    assert!(
-        report.files_scanned > 50,
-        "scan looks truncated: {report:?}"
-    );
-    assert!(
-        report.is_clean(),
-        "workspace has determinism findings:\n{}",
-        report
-            .findings
-            .iter()
-            .map(|f| f.to_string())
-            .collect::<Vec<_>>()
-            .join("\n")
-    );
+fn run_cli(args: &[&str]) -> (i32, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_simlint"))
+        .args(args)
+        .output()
+        .expect("run simlint");
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
 }
 
-#[test]
-fn cli_exits_zero_on_the_merged_tree() {
-    let root = repo_root();
-    let args = vec![
-        "--deny-all".to_string(),
-        "--root".to_string(),
-        root.display().to_string(),
-    ];
-    assert_eq!(run(&args), 0);
-}
-
-/// Build a throwaway mini-workspace with one model crate, inject a hazard,
-/// and check the CLI reports failure (exit code 1).
-#[test]
-fn cli_exits_nonzero_when_a_hazard_enters_a_model_crate() {
-    let dir = std::env::temp_dir().join(format!("simlint-fixture-{}", std::process::id()));
-    let src = dir.join("crates/systems/src");
-    fs::create_dir_all(&src).unwrap();
-    fs::write(dir.join("Cargo.toml"), "[workspace]\nmembers = []\n").unwrap();
+/// Build a throwaway workspace under the target dir (inside the repo, so
+/// no sandbox issues) and return its root.
+fn scratch_ws(name: &str, crates: &[(&str, &str, &str, &str)]) -> PathBuf {
+    // crates: (dir_name, layer, extra_manifest, lib_source)
+    let root = repo_root()
+        .join("target/simlint-scratch")
+        .join(format!("{name}-{}", std::process::id()));
+    if root.exists() {
+        fs::remove_dir_all(&root).unwrap();
+    }
+    fs::create_dir_all(root.join("crates")).unwrap();
     fs::write(
-        src.join("lib.rs"),
-        "#![forbid(unsafe_code)]\n\
-         use std::collections::HashMap;\n\
-         pub fn seed() -> u64 { thread_rng().gen() }\n\
-         pub fn fanout() { std::thread::spawn(|| {}); }\n",
+        root.join("Cargo.toml"),
+        "[workspace]\nmembers = [\"crates/*\"]\nresolver = \"2\"\n",
     )
     .unwrap();
+    for (dir, layer, extra, lib) in crates {
+        let cdir = root.join("crates").join(dir);
+        fs::create_dir_all(cdir.join("src")).unwrap();
+        fs::write(
+            cdir.join("Cargo.toml"),
+            format!(
+                "[package]\nname = \"{dir}\"\nversion = \"0.1.0\"\nedition = \"2021\"\n\n\
+                 [package.metadata.simlint]\nlayer = \"{layer}\"\n\n{extra}"
+            ),
+        )
+        .unwrap();
+        fs::write(
+            cdir.join("src/lib.rs"),
+            format!("#![forbid(unsafe_code)]\n{lib}"),
+        )
+        .unwrap();
+    }
+    root
+}
 
-    let args = vec![
-        "--deny-all".to_string(),
-        "--root".to_string(),
-        dir.display().to_string(),
-    ];
-    assert_eq!(run(&args), 1, "hazardous model crate must fail the lint");
+#[test]
+fn merged_tree_is_clean_with_a_bounded_waiver_ledger() {
+    let report = lint_workspace(&repo_root()).expect("lint workspace");
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned: {}",
+        report.files_scanned
+    );
+    let rendered: Vec<String> = report.findings.iter().map(|f| f.render()).collect();
+    assert!(
+        rendered.is_empty(),
+        "workspace has findings:\n{}",
+        rendered.join("\n")
+    );
+    // The waiver ledger may only shrink: 9 waivers as of the token-pass
+    // migration (3 in sim-core/time, 1 in sim-core/probe, 1 in
+    // nic-model/link, 2 in cpu-model/core, 2 in workload/latency). If
+    // you legitimately removed one, lower this number; never raise it.
+    assert!(
+        report.waivers.len() <= 9,
+        "waiver ledger grew to {}: the ledger may only shrink",
+        report.waivers.len()
+    );
+    assert!(
+        report
+            .waivers
+            .iter()
+            .all(|w| w.rules == vec!["time-float-cast".to_string()]),
+        "only time-float-cast waivers are expected on the live tree"
+    );
+}
 
-    let report = lint_workspace(&dir).unwrap();
-    let rules: Vec<_> = report.findings.iter().map(|f| f.rule).collect();
-    assert!(rules.contains(&"unordered"), "{rules:?}");
-    assert!(rules.contains(&"ambient-rng"), "{rules:?}");
-    assert!(rules.contains(&"host-thread"), "{rules:?}");
+#[test]
+fn cli_passes_on_the_live_workspace() {
+    let root = repo_root();
+    let (code, out, err) = run_cli(&["--deny-all", "--root", root.to_str().unwrap()]);
+    assert_eq!(code, 0, "stdout:\n{out}\nstderr:\n{err}");
+    assert!(out.contains("0 finding(s)"), "{out}");
+}
 
-    fs::remove_dir_all(&dir).unwrap();
+#[test]
+fn self_lint_passes_with_zero_waivers() {
+    let root = repo_root();
+    let (code, out, err) = run_cli(&["--self", "--root", root.to_str().unwrap()]);
+    assert_eq!(code, 0, "stdout:\n{out}\nstderr:\n{err}");
+    assert!(out.contains("0 waiver(s)"), "{out}");
+}
+
+#[test]
+fn model_crate_depending_on_harness_crate_fails_the_build() {
+    let ws = scratch_ws(
+        "layer",
+        &[
+            (
+                "modelcrate",
+                "model",
+                "[dependencies]\nharnesscrate = { path = \"../harnesscrate\" }\n",
+                "pub fn step() {}\n",
+            ),
+            ("harnesscrate", "harness", "", "pub fn drive() {}\n"),
+        ],
+    );
+    let (code, out, _err) = run_cli(&["--deny-all", "--root", ws.to_str().unwrap()]);
+    assert_eq!(code, 1, "expected failure, got:\n{out}");
+    assert!(out.contains("layer-violation"), "{out}");
+    assert!(out.contains("harnesscrate"), "{out}");
+    fs::remove_dir_all(&ws).ok();
+}
+
+#[test]
+fn crate_without_layer_metadata_fails_the_build() {
+    let ws = scratch_ws("nolayer", &[("plain", "model", "", "pub fn ok() {}\n")]);
+    // Strip the metadata table the helper wrote.
+    let manifest = ws.join("crates/plain/Cargo.toml");
+    let text = fs::read_to_string(&manifest)
+        .unwrap()
+        .replace("[package.metadata.simlint]\nlayer = \"model\"\n", "");
+    fs::write(&manifest, text).unwrap();
+    let (code, out, _err) = run_cli(&["--deny-all", "--root", ws.to_str().unwrap()]);
+    assert_eq!(code, 1, "expected failure, got:\n{out}");
+    assert!(out.contains("declares no architectural layer"), "{out}");
+    fs::remove_dir_all(&ws).ok();
+}
+
+#[test]
+fn stale_waiver_fails_the_build() {
+    let ws = scratch_ws(
+        "stale",
+        &[(
+            "modelcrate",
+            "model",
+            "",
+            "// simlint: allow(unordered, reason=was needed once)\npub fn clean() {}\n",
+        )],
+    );
+    let (code, out, _err) = run_cli(&["--deny-all", "--root", ws.to_str().unwrap()]);
+    assert_eq!(code, 1, "expected failure, got:\n{out}");
+    assert!(out.contains("stale-waiver"), "{out}");
+    fs::remove_dir_all(&ws).ok();
+}
+
+#[test]
+fn hazardous_model_crate_fails_with_alias_resolution() {
+    let ws = scratch_ws(
+        "hazard",
+        &[(
+            "modelcrate",
+            "model",
+            "",
+            "use std::collections::HashMap as Fast;\npub fn t() -> Fast<u8, u8> { Fast::new() }\n",
+        )],
+    );
+    let (code, out, _err) = run_cli(&["--deny-all", "--root", ws.to_str().unwrap()]);
+    assert_eq!(code, 1, "expected failure, got:\n{out}");
+    assert!(out.contains("unordered"), "{out}");
+    assert!(out.contains("aliasing HashMap"), "{out}");
+    fs::remove_dir_all(&ws).ok();
+}
+
+#[test]
+fn baseline_gate_passes_then_rejects_growth() {
+    let root = repo_root();
+    let baseline = root.join("SIMLINT_BASELINE.json");
+    assert!(
+        baseline.is_file(),
+        "SIMLINT_BASELINE.json must be checked in"
+    );
+    let (code, out, err) = run_cli(&[
+        "--root",
+        root.to_str().unwrap(),
+        "--compare",
+        baseline.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 0, "stdout:\n{out}\nstderr:\n{err}");
+    assert!(out.contains("baseline gate: OK"), "{out}");
+
+    // Tamper: a baseline allowing fewer waivers than the tree carries
+    // must fail the gate (this is what catches ledger growth in CI).
+    let tampered = root.join("target/simlint-scratch");
+    fs::create_dir_all(&tampered).unwrap();
+    let tampered = tampered.join(format!("tampered-{}.json", std::process::id()));
+    fs::write(&tampered, "{\"findings\": [], \"waiver_counts\": {}}").unwrap();
+    let (code, _out, err) = run_cli(&[
+        "--root",
+        root.to_str().unwrap(),
+        "--compare",
+        tampered.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 1, "tampered baseline must fail");
+    assert!(err.contains("waiver ledger grew"), "{err}");
+    fs::remove_file(&tampered).ok();
+}
+
+#[test]
+fn list_rules_and_explain_share_one_source_of_truth() {
+    let (code, out, _) = run_cli(&["--list-rules"]);
+    assert_eq!(code, 0);
+    for rule in simlint::rules::RULES {
+        assert!(out.contains(rule), "--list-rules missing {rule}");
+    }
+    let (code, out, _) = run_cli(&["--explain", "stale-waiver"]);
+    assert_eq!(code, 0);
+    let spec = simlint::rules::spec("stale-waiver").unwrap();
+    assert!(
+        out.contains(spec.detail.split_whitespace().next().unwrap()),
+        "{out}"
+    );
+    assert!(out.contains("waivable: no"), "{out}");
+    let (code, _, err) = run_cli(&["--explain", "no-such-rule"]);
+    assert_eq!(code, 2);
+    assert!(err.contains("unknown rule"), "{err}");
 }

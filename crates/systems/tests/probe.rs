@@ -47,9 +47,7 @@ fn offload_hop_breakdown_reconciles_with_client_sojourn() {
     // sojourn. They are not identical populations: requests still in
     // flight at the horizon are censored differently on each side, so
     // allow a small tolerance.
-    // simlint: allow(time-float-cast, reason=tolerance comparison in a test, not model state)
     let chain_mean = stages.chain_mean().as_nanos() as f64;
-    // simlint: allow(time-float-cast, reason=tolerance comparison in a test, not model state)
     let client_mean = m.mean.as_nanos() as f64;
     let rel = (chain_mean - client_mean).abs() / client_mean;
     assert!(
