@@ -6,7 +6,7 @@
 //! path becomes CXL, when the ARM pipeline becomes an ASIC, and what the
 //! dispersion workload does to every §2.1 baseline at one fixed load.
 
-use nicsched::NicProfile;
+use nicsched::{NicProfile, PolicySpec};
 use sim_core::SimDuration;
 use systems::baseline::{BaselineConfig, BaselineKind};
 use systems::offload::OffloadConfig;
@@ -23,11 +23,29 @@ fn spec(scale: Scale, offered: f64, dist: ServiceDist) -> WorkloadSpec {
     scale.spec_seeded(offered, dist, 11)
 }
 
+/// Resolve an optional `--policy` override to a concrete spec (the
+/// paper's FCFS when absent) and tag curve labels accordingly.
+fn policy_or_default(policy: Option<PolicySpec>) -> PolicySpec {
+    policy.unwrap_or(PolicySpec::FCFS)
+}
+
+fn tagged(label: &str, policy: Option<PolicySpec>) -> String {
+    match policy {
+        Some(p) => format!("{label} [{p}]"),
+        None => label.to_string(),
+    }
+}
+
 /// **Ablation A (comm-path)** — the Figure 6 workload (fixed 1 µs, 16
 /// workers, cap 5) on three §5.1 design points: the measured Stingray,
 /// Stingray-with-CXL, and the ideal line-rate NIC. Quantifies how much of
 /// the offload bottleneck is transport vs ARM compute.
 pub fn comm_path(scale: Scale) -> Figure {
+    comm_path_with(scale, None)
+}
+
+/// [`comm_path`] with an optional scheduler-policy override.
+pub fn comm_path_with(scale: Scale, policy: Option<PolicySpec>) -> Figure {
     let base = spec(scale, 0.0, ServiceDist::Fixed(SimDuration::from_micros(1)));
     let loads = linspace(
         250_000.0,
@@ -39,10 +57,11 @@ pub fn comm_path(scale: Scale) -> Figure {
     );
     let profile_curve = |label: &str, profile: NicProfile| {
         GridCurve::system(
-            label,
+            tagged(label, policy),
             OffloadConfig {
                 time_slice: None,
                 profile,
+                policy: policy_or_default(policy),
                 ..OffloadConfig::paper(16, 5)
             },
         )
@@ -66,6 +85,11 @@ pub fn comm_path(scale: Scale) -> Figure {
 /// worker-local Dune timers (the prototype) vs NIC-sent interrupt packets
 /// (the design §3.4.4 rejects because of the 2.56 µs path).
 pub fn preempt_path(scale: Scale) -> Figure {
+    preempt_path_with(scale, None)
+}
+
+/// [`preempt_path`] with an optional scheduler-policy override.
+pub fn preempt_path_with(scale: Scale, policy: Option<PolicySpec>) -> Figure {
     let base = spec(scale, 0.0, ServiceDist::paper_bimodal());
     let loads = linspace(
         50_000.0,
@@ -77,9 +101,10 @@ pub fn preempt_path(scale: Scale) -> Figure {
     );
     let profile_curve = |label: &str, profile: NicProfile| {
         GridCurve::system(
-            label,
+            tagged(label, policy),
             OffloadConfig {
                 profile,
+                policy: policy_or_default(policy),
                 ..OffloadConfig::paper(4, 4)
             },
         )
@@ -136,6 +161,11 @@ pub fn baselines(scale: Scale) -> Figure {
 /// **Ablation C (DDIO, §5.2)** — unloaded latency with classic LLC DDIO vs
 /// the informed-scheduler L1 placement the paper proposes.
 pub fn ddio(scale: Scale) -> Figure {
+    ddio_with(scale, None)
+}
+
+/// [`ddio`] with an optional scheduler-policy override.
+pub fn ddio_with(scale: Scale, policy: Option<PolicySpec>) -> Figure {
     let base = spec(scale, 0.0, ServiceDist::Fixed(SimDuration::from_micros(1)));
     let loads = linspace(
         50_000.0,
@@ -147,10 +177,11 @@ pub fn ddio(scale: Scale) -> Figure {
     );
     let with = |label: &str, ddio_l1: bool| {
         GridCurve::system(
-            label,
+            tagged(label, policy),
             OffloadConfig {
                 time_slice: None,
                 ddio_l1,
+                policy: policy_or_default(policy),
                 ..OffloadConfig::paper(4, 2)
             },
         )

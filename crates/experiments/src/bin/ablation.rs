@@ -1,10 +1,12 @@
 //! The §5.1/§5.2 ablations: comm path, preemption path, DDIO placement.
+//! `--policy <spec>` swaps the offload scheduler (registry grammar).
 fn main() {
     experiments::sweep::init_jobs_from_args();
+    let policy = experiments::sweep::init_policy_from_args();
     for figure in [
-        experiments::ablation::comm_path(experiments::Scale::Full),
-        experiments::ablation::preempt_path(experiments::Scale::Full),
-        experiments::ablation::ddio(experiments::Scale::Full),
+        experiments::ablation::comm_path_with(experiments::Scale::Full, policy),
+        experiments::ablation::preempt_path_with(experiments::Scale::Full, policy),
+        experiments::ablation::ddio_with(experiments::Scale::Full, policy),
     ] {
         experiments::emit(&figure);
     }

@@ -1,6 +1,8 @@
-//! Regenerate the paper's Fig3 (see experiments::figures).
+//! Regenerate the paper's Fig3 (see experiments::figures). `--policy
+//! <spec>` swaps the offload scheduler (registry grammar).
 fn main() {
     experiments::sweep::init_jobs_from_args();
-    let figure = experiments::figures::fig3(experiments::Scale::Full);
+    let policy = experiments::sweep::init_policy_from_args();
+    let figure = experiments::figures::fig3_with(experiments::Scale::Full, policy);
     experiments::emit(&figure);
 }

@@ -3,17 +3,19 @@
 //! measured idle interval rather than an inferred one.
 //!
 //! ```text
-//! trace [system] [rps] [--json]
+//! trace [system] [rps] [--json] [--policy <spec>]
 //! ```
 //!
 //! `system` is one of `offload` (default), `shinjuku`, `rss`, `rpcvalet`,
 //! `multi`; `rps` the offered load (default 200000). `--json` emits the
-//! timelines as a JSON array instead of tables.
+//! timelines as a JSON array instead of tables. `--policy` swaps the
+//! scheduler on policy-capable assemblies (registry grammar, e.g.
+//! `srpt` or `edf:deadline=50us`).
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-use nicsched::PolicyKind;
+use nicsched::PolicySpec;
 use sim_core::{ProbeConfig, SimDuration, SimTime, TraceEvent};
 use systems::baseline::{BaselineConfig, BaselineKind};
 use systems::multi_shinjuku::MultiShinjukuConfig;
@@ -39,10 +41,30 @@ fn system_by_name(name: &str) -> Option<SystemConfig> {
             groups: 2,
             workers_per_group: 2,
             time_slice: None,
-            policy: PolicyKind::Fcfs,
+            policy: PolicySpec::FCFS,
         }),
         _ => return None,
     })
+}
+
+/// Swap the scheduling policy on assemblies that have one; baselines and
+/// RPCValet are policy-oblivious and pass through unchanged.
+fn with_policy(sys: SystemConfig, policy: PolicySpec) -> SystemConfig {
+    match sys {
+        SystemConfig::Offload(mut c) => {
+            c.policy = policy;
+            SystemConfig::Offload(c)
+        }
+        SystemConfig::Shinjuku(mut c) => {
+            c.policy = policy;
+            SystemConfig::Shinjuku(c)
+        }
+        SystemConfig::MultiShinjuku(mut c) => {
+            c.policy = policy;
+            SystemConfig::MultiShinjuku(c)
+        }
+        other => other,
+    }
 }
 
 /// Group the flat event stream into per-request timelines, preserving
@@ -117,10 +139,13 @@ fn render_json(by_req: &BTreeMap<u64, Vec<&TraceEvent>>) -> String {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
-    let sys = args
+    let mut sys = args
         .iter()
         .find_map(|a| system_by_name(a))
         .unwrap_or(SystemConfig::Offload(OffloadConfig::paper(4, 4)));
+    if let Some(spec) = experiments::sweep::policy_from_args(&args) {
+        sys = with_policy(sys, spec);
+    }
     let rps = args
         .iter()
         .find_map(|a| a.parse::<f64>().ok())

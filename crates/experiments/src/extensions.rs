@@ -13,7 +13,7 @@
 //! * [`heavy_tail`] — §2.2(2): dispersion beyond bimodal (lognormal
 //!   service times) across scheduling designs.
 
-use nicsched::PolicyKind;
+use nicsched::PolicySpec;
 use sim_core::SimDuration;
 use systems::baseline::{BaselineConfig, BaselineKind};
 use systems::multi_shinjuku::{self, MultiShinjukuConfig};
@@ -197,7 +197,7 @@ pub fn policies(scale: Scale) -> Figure {
             Scale::Full => 10,
         },
     );
-    let with = |label: &str, policy: PolicyKind| {
+    let with = |label: &str, policy: PolicySpec| {
         GridCurve::system(
             label,
             OffloadConfig {
@@ -213,12 +213,9 @@ pub fn policies(scale: Scale) -> Figure {
             &loads,
             base,
             vec![
-                with("FCFS", PolicyKind::Fcfs),
-                with("SRF", PolicyKind::ShortestRemaining),
-                with(
-                    "ClassPrio",
-                    PolicyKind::ClassPriority(SimDuration::from_micros(10)),
-                ),
+                with("FCFS", PolicySpec::FCFS),
+                with("SRF", PolicySpec::named("srf")),
+                with("ClassPrio", PolicySpec::named("class-priority:cutoff=10us")),
             ],
         ),
     }

@@ -6,6 +6,7 @@
 //! `Scale` trades measurement length for runtime so the test suite can
 //! exercise every experiment quickly while binaries run the full version.
 
+use nicsched::PolicySpec;
 use sim_core::SimDuration;
 use systems::offload::OffloadConfig;
 use systems::shinjuku::ShinjukuConfig;
@@ -64,8 +65,24 @@ impl Scale {
 /// Shinjuku 3 workers vs Shinjuku-Offload 4 workers (≤ 4 outstanding);
 /// p99 vs throughput up to 600 kRPS.
 pub fn fig2(scale: Scale) -> Figure {
+    fig2_with(scale, None)
+}
+
+/// [`fig2`] with an optional scheduler-policy override (`--policy`) on
+/// both dispatched assemblies. `None` is the paper's FCFS and is
+/// bit-identical to [`fig2`]; an override tags the curve labels with the
+/// policy spec so CSVs stay self-describing.
+pub fn fig2_with(scale: Scale, policy: Option<PolicySpec>) -> Figure {
     let base = scale.spec(0.0, ServiceDist::paper_bimodal());
     let loads = linspace(50_000.0, 600_000.0, scale.points(12));
+    let shinjuku = ShinjukuConfig {
+        policy: policy.unwrap_or(PolicySpec::FCFS),
+        ..ShinjukuConfig::paper(3)
+    };
+    let offload = OffloadConfig {
+        policy: policy.unwrap_or(PolicySpec::FCFS),
+        ..OffloadConfig::paper(4, 4)
+    };
     Figure {
         id: "fig2".into(),
         title: "bimodal 99.5%@5us / 0.5%@100us, slice 10us; Shinjuku 3w vs Offload 4w (cap 4)"
@@ -74,10 +91,18 @@ pub fn fig2(scale: Scale) -> Figure {
             &loads,
             base,
             vec![
-                GridCurve::system("Shinjuku", ShinjukuConfig::paper(3)),
-                GridCurve::system("Shinjuku-Offload", OffloadConfig::paper(4, 4)),
+                GridCurve::system(tagged("Shinjuku", policy), shinjuku),
+                GridCurve::system(tagged("Shinjuku-Offload", policy), offload),
             ],
         ),
+    }
+}
+
+/// Append a policy spec to a curve label when one was overridden.
+fn tagged(label: &str, policy: Option<PolicySpec>) -> String {
+    match policy {
+        Some(p) => format!("{label} [{p}]"),
+        None => label.to_string(),
     }
 }
 
@@ -86,21 +111,31 @@ pub fn fig2(scale: Scale) -> Figure {
 /// reports the *achieved* throughput under heavy offered load (the
 /// saturation plateau the paper plots).
 pub fn fig3(scale: Scale) -> Figure {
+    fig3_with(scale, None)
+}
+
+/// [`fig3`] with an optional scheduler-policy override; `None` matches
+/// [`fig3`] bit for bit.
+pub fn fig3_with(scale: Scale, policy: Option<PolicySpec>) -> Figure {
     // Offer well beyond any plateau so achieved == capacity.
     let base = scale.spec(2_500_000.0, ServiceDist::Fixed(SimDuration::from_micros(1)));
     let caps: Vec<f64> = (1..=7).map(f64::from).collect();
     let curve_for = |workers: usize| {
-        GridCurve::new(format!("{workers} workers"), move |cap, spec| {
-            let cfg = OffloadConfig {
-                time_slice: None,
-                ..OffloadConfig::paper(workers, cap as u32)
-            };
-            let mut m = cfg.run(spec, ProbeConfig::disabled());
-            // Re-purpose offered_rps to carry the x-axis value
-            // (outstanding requests) for reporting.
-            m.offered_rps = cap;
-            m
-        })
+        GridCurve::new(
+            tagged(&format!("{workers} workers"), policy),
+            move |cap, spec| {
+                let cfg = OffloadConfig {
+                    time_slice: None,
+                    policy: policy.unwrap_or(PolicySpec::FCFS),
+                    ..OffloadConfig::paper(workers, cap as u32)
+                };
+                let mut m = cfg.run(spec, ProbeConfig::disabled());
+                // Re-purpose offered_rps to carry the x-axis value
+                // (outstanding requests) for reporting.
+                m.offered_rps = cap;
+                m
+            },
+        )
     };
     Figure {
         id: "fig3".into(),

@@ -14,6 +14,8 @@
 //!   quality as a pure function of feedback-path latency.
 //! * [`resilience`] — the fault-injection grid: loss rate × fault type
 //!   across every assembly, with request-ledger reconciliation.
+//! * [`policies`] — the registry sweep: every pluggable scheduling
+//!   policy × the Fig. 2/3 workloads × every assembly.
 //! * [`sweep`] / [`report`] — the load-sweep driver and table/CSV output.
 //!
 //! Each figure has a binary (`cargo run --release -p experiments --bin
@@ -29,6 +31,7 @@ pub mod feedback_gap;
 pub mod figures;
 pub mod microbench;
 pub mod plot;
+pub mod policies;
 pub mod report;
 pub mod resilience;
 pub mod sweep;

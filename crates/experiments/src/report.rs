@@ -82,7 +82,7 @@ impl Figure {
                 let _ = writeln!(
                     out,
                     "{},{:.0},{:.0},{:.4},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{},{},{},{},{:.4}",
-                    c.label,
+                    csv_field(&c.label),
                     m.offered_rps,
                     m.achieved_rps,
                     m.goodput_ratio(),
@@ -109,6 +109,17 @@ impl Figure {
         let path = dir.join(format!("{}.csv", self.id));
         std::fs::write(&path, self.csv())?;
         Ok(path)
+    }
+}
+
+/// Quote a CSV field when it needs it. Policy-parameterised curve labels
+/// carry commas (`wfq:w=4,1,1`), which would otherwise shift every column
+/// after the first.
+pub(crate) fn csv_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
     }
 }
 
@@ -195,6 +206,18 @@ mod tests {
         assert!(lines[0].contains(",goodput,"), "goodput column present");
         assert!(lines[0].contains(",retries,"), "retries column present");
         assert!(lines[1].contains(",1.0000,"), "goodput ratio rendered");
+    }
+
+    #[test]
+    fn comma_bearing_labels_are_quoted_in_csv() {
+        let mut f = figure();
+        f.curves[0].label = "wfq:w=4,1,1".into();
+        let c = f.csv();
+        let lines: Vec<&str> = c.lines().collect();
+        assert!(lines[1].starts_with("\"wfq:w=4,1,1\","), "{}", lines[1]);
+        // Quoted commas aside, the column count must match the header.
+        let data_cols = lines[1].split(',').count() - "wfq:w=4,1,1".matches(',').count();
+        assert_eq!(lines[0].split(',').count(), data_cols);
     }
 
     #[test]

@@ -94,16 +94,33 @@ pub struct ResilienceRow {
 }
 
 fn systems_under_test(scale: Scale) -> Vec<SystemConfig> {
+    systems_under_test_with(scale, None)
+}
+
+fn systems_under_test_with(
+    scale: Scale,
+    policy: Option<nicsched::PolicySpec>,
+) -> Vec<SystemConfig> {
     let _ = scale;
+    let policy = policy.unwrap_or(nicsched::PolicySpec::FCFS);
     vec![
-        SystemConfig::Offload(OffloadConfig::paper(4, 4)),
-        SystemConfig::Shinjuku(ShinjukuConfig::paper(4)),
+        SystemConfig::Offload(OffloadConfig {
+            policy,
+            ..OffloadConfig::paper(4, 4)
+        }),
+        SystemConfig::Shinjuku(ShinjukuConfig {
+            policy,
+            ..ShinjukuConfig::paper(4)
+        }),
         SystemConfig::Baseline(BaselineConfig {
             workers: 4,
             kind: BaselineKind::Rss,
         }),
         SystemConfig::RpcValet(RpcValetConfig { workers: 4 }),
-        SystemConfig::MultiShinjuku(MultiShinjukuConfig::split(10, 2)),
+        SystemConfig::MultiShinjuku(MultiShinjukuConfig {
+            policy,
+            ..MultiShinjukuConfig::split(10, 2)
+        }),
     ]
 }
 
@@ -163,9 +180,15 @@ fn row_from(system: &'static str, scenario: Scenario, loss: f64, m: &RunMetrics)
 /// are independent seeded runs, so the grid fans out over the sweep pool
 /// (`--jobs`) with rows returned in grid order.
 pub fn run(scale: Scale) -> Vec<ResilienceRow> {
+    run_with(scale, None)
+}
+
+/// [`run`] with an optional scheduler-policy override applied to every
+/// policy-capable assembly (`--policy`); `None` matches [`run`] exactly.
+pub fn run_with(scale: Scale, policy: Option<nicsched::PolicySpec>) -> Vec<ResilienceRow> {
     let spec = spec_for(scale);
     let mut cells = Vec::new();
-    for sys in systems_under_test(scale) {
+    for sys in systems_under_test_with(scale, policy) {
         for scenario in [Scenario::Loss, Scenario::Crash, Scenario::Blackout] {
             for &loss in &loss_rates(scale) {
                 cells.push((sys, scenario, loss));

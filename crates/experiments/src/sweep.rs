@@ -63,6 +63,43 @@ pub fn init_jobs_from_args() -> usize {
     jobs()
 }
 
+/// Parse `--policy <spec>` / `--policy=<spec>` from `args` using the
+/// scheduler registry grammar (`srpt`, `edf:deadline=50us`,
+/// `wfq:w=4,1,1`, ...). Returns `None` when the flag is absent. Unlike
+/// `--jobs`, a malformed spec aborts the process: silently sweeping the
+/// default policy when the user asked for another would corrupt results.
+pub fn policy_from_args(args: &[String]) -> Option<nicsched::PolicySpec> {
+    let mut found = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let val = if a == "--policy" {
+            it.next().cloned()
+        } else {
+            a.strip_prefix("--policy=").map(str::to_string)
+        };
+        if let Some(v) = val {
+            match nicsched::PolicySpec::parse(&v) {
+                Ok(spec) => found = Some(spec),
+                Err(e) => {
+                    eprintln!("invalid --policy {v:?}: {e}");
+                    eprintln!(
+                        "known policies: {}",
+                        nicsched::PolicyRegistry::standard().names().join(", ")
+                    );
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    found
+}
+
+/// [`policy_from_args`] over this process's own arguments.
+pub fn init_policy_from_args() -> Option<nicsched::PolicySpec> {
+    let args: Vec<String> = std::env::args().collect();
+    policy_from_args(&args)
+}
+
 /// Map `f` over `items` on the sweep pool, returning results in input
 /// order. With an effective job count of 1 (or a single item) this runs
 /// inline on the calling thread; either way the output is identical,

@@ -89,13 +89,20 @@ pub struct MsgRepr {
     /// Extra padding bytes appended after the header, emulating request
     /// bodies of different sizes (the paper considers 64 B and 1 KiB).
     pub body_len: u16,
+    /// Scheduler slice grant riding `Assign` frames in the once-reserved
+    /// header byte: 0 = inherit the worker's configured slice, 255 = run
+    /// to completion, 1–254 = budget in microseconds (see
+    /// `nicsched::PreemptDecision`). Zero — the old reserved value — in
+    /// every other kind, so default frames are byte-identical to the
+    /// pre-grant protocol.
+    pub grant_code: u8,
 }
 
 mod field {
     use core::ops::Range;
     pub const MAGIC: Range<usize> = 0..2;
     pub const KIND: usize = 2;
-    pub const _RESERVED: usize = 3;
+    pub const GRANT: usize = 3;
     pub const REQ_ID: Range<usize> = 4..12;
     pub const CLIENT_ID: Range<usize> = 12..16;
     pub const SERVICE: Range<usize> = 16..24;
@@ -121,6 +128,7 @@ impl MsgRepr {
             remaining_ns: service_ns,
             sent_at_ns,
             body_len,
+            grant_code: 0,
         }
     }
 
@@ -129,13 +137,19 @@ impl MsgRepr {
         MsgRepr {
             kind: MsgKind::Response,
             remaining_ns: 0,
+            grant_code: 0,
             ..*self
         }
     }
 
-    /// Derive a message of a different kind, preserving identity fields.
+    /// Derive a message of a different kind, preserving identity fields
+    /// but not the grant (only `Assign` frames carry one).
     pub fn with_kind(&self, kind: MsgKind) -> MsgRepr {
-        MsgRepr { kind, ..*self }
+        MsgRepr {
+            kind,
+            grant_code: 0,
+            ..*self
+        }
     }
 
     /// Total emitted length: header plus padding body.
@@ -151,7 +165,7 @@ impl MsgRepr {
         assert!(buf.len() >= self.buffer_len(), "message buffer too short");
         buf[field::MAGIC].copy_from_slice(&MAGIC.to_be_bytes());
         buf[field::KIND] = self.kind.to_u8();
-        buf[field::_RESERVED] = 0;
+        buf[field::GRANT] = self.grant_code;
         buf[field::REQ_ID].copy_from_slice(&self.req_id.to_be_bytes());
         buf[field::CLIENT_ID].copy_from_slice(&self.client_id.to_be_bytes());
         buf[field::SERVICE].copy_from_slice(&self.service_ns.to_be_bytes());
@@ -191,6 +205,7 @@ impl MsgRepr {
             remaining_ns: be64(field::REMAINING),
             sent_at_ns: be64(field::SENT_AT),
             body_len,
+            grant_code: buf[field::GRANT],
         })
     }
 }
@@ -238,6 +253,22 @@ mod tests {
         assert_eq!(r.req_id, m.req_id);
         assert_eq!(r.sent_at_ns, m.sent_at_ns);
         assert_eq!(r.remaining_ns, 0);
+        assert_eq!(r.grant_code, 0);
+    }
+
+    #[test]
+    fn grant_codes_ride_the_reserved_byte() {
+        let mut m = sample().with_kind(MsgKind::Assign);
+        m.grant_code = 25;
+        let mut buf = vec![0u8; m.buffer_len()];
+        m.emit(&mut buf);
+        assert_eq!(buf[3], 25, "grant occupies the old reserved offset");
+        assert_eq!(MsgRepr::parse(&buf).unwrap().grant_code, 25);
+        // A zero grant reproduces the pre-grant frame bytes exactly.
+        let legacy = sample().with_kind(MsgKind::Assign);
+        let mut legacy_buf = vec![0u8; legacy.buffer_len()];
+        legacy.emit(&mut legacy_buf);
+        assert_eq!(legacy_buf[3], 0);
     }
 
     #[test]
@@ -305,9 +336,10 @@ mod proptests {
         fn any_message_round_trips(kind in arb_kind(), req_id in any::<u64>(),
                                    client_id in any::<u32>(), service in any::<u64>(),
                                    remaining in any::<u64>(), sent in any::<u64>(),
-                                   body in 0u16..2048) {
+                                   body in 0u16..2048, grant in any::<u8>()) {
             let m = MsgRepr { kind, req_id, client_id, service_ns: service,
-                              remaining_ns: remaining, sent_at_ns: sent, body_len: body };
+                              remaining_ns: remaining, sent_at_ns: sent, body_len: body,
+                              grant_code: grant };
             let mut buf = vec![0xaau8; m.buffer_len()];
             m.emit(&mut buf);
             prop_assert_eq!(MsgRepr::parse(&buf).unwrap(), m);

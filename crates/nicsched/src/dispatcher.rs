@@ -12,11 +12,20 @@
 //! The dispatcher is a pure decision structure: embeddings feed it
 //! arrivals and worker feedback, it returns [`Assignment`]s; the embedding
 //! charges compute time and transport latency for each decision.
+//!
+//! Policy hooks: each dispatch goes through the policy's
+//! [`pick_next`](SchedPolicy::pick_next) (which may bind a worker) and
+//! [`should_preempt`](SchedPolicy::should_preempt) (whose grant is stamped
+//! on the assigned task); completions, preemptions, and core-status
+//! reports are mirrored to [`feedback`](SchedPolicy::feedback).
 
-use sim_core::SimTime;
+use std::collections::BTreeMap;
+
+use sim_core::{SimDuration, SimTime};
 
 use crate::admission::{Admission, AdmissionPolicy};
-use crate::policy::SchedPolicy;
+use crate::feedback::CoreFeedback;
+use crate::policy::{FeedbackEvent, RunningTask, SchedPolicy};
 use crate::select::{CoreSelector, WorkerView};
 use crate::task::Task;
 
@@ -25,7 +34,8 @@ use crate::task::Task;
 pub struct Assignment {
     /// Target worker index.
     pub worker: usize,
-    /// The request to run.
+    /// The request to run (its [`Task::preempt`] carries the policy's
+    /// slice grant for this dispatch).
     pub task: Task,
 }
 
@@ -100,6 +110,10 @@ pub struct Dispatcher<P, S> {
     degraded: bool,
     // Workers quarantined from selection (crashed or silent too long).
     excluded: Vec<bool>,
+    // Total service of each dispatched request, so completions can report
+    // it to the policy's feedback hook (the wire's Done frame does not
+    // carry the service time back).
+    in_flight: BTreeMap<u64, SimDuration>,
     /// Exported counters.
     pub stats: DispatchStats,
 }
@@ -107,10 +121,12 @@ pub struct Dispatcher<P, S> {
 impl<P: SchedPolicy, S: CoreSelector> Dispatcher<P, S> {
     /// A dispatcher over `n_workers` workers, keeping at most
     /// `outstanding_cap` requests outstanding per worker (1 = no stashing;
-    /// the paper finds 5 best for its 1 µs workload, §4.1).
-    pub fn new(n_workers: usize, outstanding_cap: u32, policy: P, selector: S) -> Self {
+    /// the paper finds 5 best for its 1 µs workload, §4.1). Calls the
+    /// policy's [`init`](SchedPolicy::init) with the worker count.
+    pub fn new(n_workers: usize, outstanding_cap: u32, mut policy: P, selector: S) -> Self {
         assert!(n_workers > 0, "dispatcher needs at least one worker");
         assert!(outstanding_cap >= 1, "outstanding cap must be at least 1");
+        policy.init(n_workers);
         Dispatcher {
             policy,
             selector,
@@ -126,6 +142,7 @@ impl<P: SchedPolicy, S: CoreSelector> Dispatcher<P, S> {
             admission: AdmissionPolicy::Open,
             degraded: false,
             excluded: vec![false; n_workers],
+            in_flight: BTreeMap::new(),
             stats: DispatchStats::default(),
         }
     }
@@ -196,11 +213,21 @@ impl<P: SchedPolicy, S: CoreSelector> Dispatcher<P, S> {
         if w.outstanding == 0 {
             w.idle_since = Some(now);
         }
+        let service = self.in_flight.remove(&req_id).unwrap_or(SimDuration::ZERO);
+        self.policy.feedback(
+            now,
+            &FeedbackEvent::Completed {
+                worker,
+                req_id,
+                service,
+            },
+        );
         self.drain(now)
     }
 
     /// A worker reported preempting `task` (with `remaining` updated); the
-    /// task returns to the queue tail and may later run on *any* worker.
+    /// task returns to the queue and may later run on any worker the
+    /// policy allows.
     pub fn on_preempted(&mut self, now: SimTime, worker: usize, task: Task) -> Vec<Assignment> {
         self.stats.requeued += 1;
         let w = &mut self.workers[worker];
@@ -213,7 +240,24 @@ impl<P: SchedPolicy, S: CoreSelector> Dispatcher<P, S> {
         if w.outstanding == 0 {
             w.idle_since = Some(now);
         }
+        self.in_flight.remove(&task.req_id);
+        self.policy.feedback(
+            now,
+            &FeedbackEvent::Preempted {
+                worker,
+                req_id: task.req_id,
+                remaining: task.remaining,
+            },
+        );
         self.policy.requeue(now, task);
+        self.drain(now)
+    }
+
+    /// A core-status report arrived over the feedback channel; mirror it
+    /// to the policy and re-run assignment (the report may change what the
+    /// policy is willing to dispatch).
+    pub fn on_feedback(&mut self, now: SimTime, report: CoreFeedback) -> Vec<Assignment> {
+        self.policy.feedback(now, &FeedbackEvent::Core(report));
         self.drain(now)
     }
 
@@ -225,8 +269,8 @@ impl<P: SchedPolicy, S: CoreSelector> Dispatcher<P, S> {
         self.drain(now)
     }
 
-    /// Issue assignments while the queue is non-empty and a worker is
-    /// below the outstanding cap.
+    /// Issue assignments while the queue is non-empty, a worker is below
+    /// the outstanding cap, and the policy keeps picking.
     fn drain(&mut self, now: SimTime) -> Vec<Assignment> {
         let mut out = Vec::new();
         loop {
@@ -249,19 +293,52 @@ impl<P: SchedPolicy, S: CoreSelector> Dispatcher<P, S> {
             if candidates.is_empty() {
                 break;
             }
-            let task = self.policy.dequeue(now).expect("non-empty queue");
-            let chosen = if self.degraded {
-                // RSS-style static hashing: informed state is stale, so
-                // spread by request id alone.
-                (task.req_id.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33) as usize % candidates.len()
-            } else {
-                self.selector.select(&candidates, task.req_id)
+            let Some(pick) = self.policy.pick_next(now, &candidates) else {
+                // The policy parks the queue: none of its queued work may
+                // run on any candidate (e.g. dFCFS with busy home cores).
+                break;
             };
-            let worker = candidates[chosen].worker;
+            let task = pick.task;
+            let worker = match pick.worker {
+                // Policy-bound worker: must be one of the candidates it
+                // was shown. Binding overrides the selector *and* the
+                // degraded hash — a worker-binding policy (dFCFS) is
+                // already feedback-free.
+                Some(w) => {
+                    assert!(
+                        candidates.iter().any(|c| c.worker == w),
+                        "policy picked worker {w} outside the candidate set"
+                    );
+                    w
+                }
+                None => {
+                    let chosen = if self.degraded {
+                        // RSS-style static hashing: informed state is
+                        // stale, so spread by request id alone.
+                        (task.req_id.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33) as usize
+                            % candidates.len()
+                    } else {
+                        self.selector.select(&candidates, task.req_id)
+                    };
+                    candidates[chosen].worker
+                }
+            };
+            // The policy rules on this dispatch's slice budget; the grant
+            // rides the task to the worker.
+            let decision = self.policy.should_preempt(
+                now,
+                &RunningTask {
+                    worker,
+                    task: &task,
+                },
+            );
+            let mut task = task;
+            task.preempt = decision;
             let w = &mut self.workers[worker];
             w.outstanding += 1;
             w.idle_since = None;
             self.stats.assigned += 1;
+            self.in_flight.insert(task.req_id, task.service);
             out.push(Assignment { worker, task });
         }
         out
@@ -301,7 +378,8 @@ impl<P: SchedPolicy, S: CoreSelector> Dispatcher<P, S> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::policy::Fcfs;
+    use crate::disciplines::{Dfcfs, Srpt};
+    use crate::policy::{Fcfs, PreemptDecision};
     use crate::select::LeastOutstanding;
     use sim_core::{SimDuration, SimTime};
 
@@ -527,6 +605,79 @@ mod tests {
     }
 
     #[test]
+    fn worker_binding_policies_override_the_selector() {
+        // dFCFS binds every task to its RSS home; the dispatcher must
+        // honour the binding and park the queue when homes are busy.
+        let mut d = Dispatcher::new(4, 1, Dfcfs::new(), LeastOutstanding);
+        let mut homes = std::collections::BTreeMap::new();
+        for id in 0..32 {
+            for a in d.on_request(us(id), task(id)) {
+                homes.insert(a.task.req_id, a.worker);
+            }
+        }
+        // Drain the rest through completions; every req lands on one home.
+        let mut now = 100;
+        while d.total_outstanding() > 0 {
+            let w = (0..4).find(|&w| d.outstanding(w) > 0).unwrap();
+            // Find which req is on w from our map... instead just pop via
+            // on_done with any req we recorded for w.
+            let (&rid, _) = homes.iter().find(|(_, &hw)| hw == w).unwrap();
+            homes.remove(&rid);
+            for a in d.on_done(us(now), w, rid) {
+                homes.insert(a.task.req_id, a.worker);
+            }
+            now += 1;
+        }
+        assert_eq!(d.queue_len(), 0);
+        assert_eq!(d.stats.assigned, 32);
+    }
+
+    #[test]
+    fn preempt_grants_ride_assignments() {
+        // SRPT grants no budget before its first completion sample, then
+        // budgets every dispatch.
+        let mut d = Dispatcher::new(1, 1, Srpt::new(), LeastOutstanding);
+        let a = d.on_request(us(0), task(1));
+        assert_eq!(a[0].task.preempt, PreemptDecision::Inherit);
+        let a = d.on_done(us(10), 0, 1); // feedback: service = 5us
+        assert!(a.is_empty());
+        let a = d.on_request(us(11), task(2));
+        assert_eq!(
+            a[0].task.preempt,
+            PreemptDecision::Budget(SimDuration::from_micros(10)),
+            "200% of the learned 5us estimate"
+        );
+    }
+
+    #[test]
+    fn completions_feed_the_policy_the_true_service() {
+        let mut d = Dispatcher::new(2, 1, Srpt::new(), LeastOutstanding);
+        let a = d.on_request(us(0), task(7));
+        d.on_done(us(9), a[0].worker, 7);
+        assert_eq!(
+            d.policy().estimate(),
+            SimDuration::from_micros(5),
+            "in-flight map recovered the service time at completion"
+        );
+    }
+
+    #[test]
+    fn core_feedback_reaches_the_policy_and_redrains() {
+        let mut d = disp(1, 1);
+        let report = CoreFeedback {
+            worker: 0,
+            occupancy: 3,
+            busy: true,
+            reported_at: us(5),
+        };
+        let a = d.on_feedback(us(5), report);
+        assert!(
+            a.is_empty(),
+            "nothing queued: feedback alone assigns nothing"
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "at least one worker")]
     fn zero_workers_rejected() {
         let _ = disp(0, 1);
@@ -543,80 +694,83 @@ mod tests {
 mod proptests {
     use super::*;
     use crate::policy::{Fcfs, ShortestRemaining};
+    use crate::registry::PolicyRegistry;
     use crate::select::{LeastOutstanding, RoundRobin};
     use proptest::prelude::*;
     use sim_core::{SimDuration, SimTime};
 
     /// Drive a dispatcher with a random interleaving of arrivals and
     /// worker completions, checking the conservation and cap invariants
-    /// after every step.
-    fn drive(ops: Vec<u8>, workers: usize, cap: u32, srf: bool) -> Result<(), TestCaseError> {
-        fn check<P: SchedPolicy, S: CoreSelector>(
-            ops: &[u8],
-            d: &mut Dispatcher<P, S>,
-            workers: usize,
-            cap: u32,
-        ) -> Result<(), TestCaseError> {
-            let mut in_flight: Vec<Vec<Task>> = vec![Vec::new(); workers];
-            let mut next_id = 1u64;
-            let mut t = 0u64;
-            let absorb = |assignments: Vec<Assignment>,
-                          in_flight: &mut Vec<Vec<Task>>|
-             -> Result<(), TestCaseError> {
-                for a in assignments {
-                    in_flight[a.worker].push(a.task);
-                    prop_assert!(
-                        in_flight[a.worker].len() <= cap as usize,
-                        "cap violated at worker {}",
-                        a.worker
-                    );
+    /// after every step. `work_conserving` asserts the no-slack invariant,
+    /// which worker-binding policies (dFCFS) legitimately violate.
+    fn check<P: SchedPolicy, S: CoreSelector>(
+        ops: &[u8],
+        d: &mut Dispatcher<P, S>,
+        workers: usize,
+        cap: u32,
+        work_conserving: bool,
+    ) -> Result<(), TestCaseError> {
+        let mut in_flight: Vec<Vec<Task>> = vec![Vec::new(); workers];
+        let mut next_id = 1u64;
+        let mut t = 0u64;
+        let absorb = |assignments: Vec<Assignment>,
+                      in_flight: &mut Vec<Vec<Task>>|
+         -> Result<(), TestCaseError> {
+            for a in assignments {
+                in_flight[a.worker].push(a.task);
+                prop_assert!(
+                    in_flight[a.worker].len() <= cap as usize,
+                    "cap violated at worker {}",
+                    a.worker
+                );
+            }
+            Ok(())
+        };
+        for &op in ops {
+            t += 1;
+            let now = SimTime::from_micros(t);
+            match op % 3 {
+                // Arrival.
+                0 | 1 => {
+                    let service = SimDuration::from_micros(1 + u64::from(op) % 50);
+                    let task = Task::new(next_id, 0, service, now, now, 0);
+                    next_id += 1;
+                    let a = d.on_request(now, task);
+                    absorb(a, &mut in_flight)?;
                 }
-                Ok(())
-            };
-            for &op in ops {
-                t += 1;
-                let now = SimTime::from_micros(t);
-                match op % 3 {
-                    // Arrival.
-                    0 | 1 => {
-                        let service = SimDuration::from_micros(1 + u64::from(op) % 50);
-                        let task = Task::new(next_id, 0, service, now, now, 0);
-                        next_id += 1;
-                        let a = d.on_request(now, task);
+                // Completion or preemption at a pseudo-random worker.
+                _ => {
+                    let w = (op as usize / 3) % workers;
+                    if let Some(task) = in_flight[w].pop() {
+                        let a = if op % 2 == 0 {
+                            d.on_done(now, w, task.req_id)
+                        } else {
+                            d.on_preempted(
+                                now,
+                                w,
+                                task.after_preemption(SimDuration::from_nanos(500)),
+                            )
+                        };
                         absorb(a, &mut in_flight)?;
                     }
-                    // Completion or preemption at a pseudo-random worker.
-                    _ => {
-                        let w = (op as usize / 3) % workers;
-                        if let Some(task) = in_flight[w].pop() {
-                            let a = if op % 2 == 0 {
-                                d.on_done(now, w, task.req_id)
-                            } else {
-                                d.on_preempted(
-                                    now,
-                                    w,
-                                    task.after_preemption(SimDuration::from_nanos(500)),
-                                )
-                            };
-                            absorb(a, &mut in_flight)?;
-                        }
-                    }
                 }
-                // Invariants after every step:
-                let total_in_flight: usize = in_flight.iter().map(|v| v.len()).sum();
-                prop_assert_eq!(
-                    d.total_outstanding() as usize,
-                    total_in_flight,
-                    "dispatcher bookkeeping out of sync"
-                );
-                // Conservation: admitted = queued + in flight + retired.
-                let retired = d.stats.completions;
-                prop_assert_eq!(
-                    d.stats.admitted + d.stats.requeued,
-                    d.queue_len() as u64 + d.stats.assigned,
-                    "admission/assignment ledger must balance with the queue"
-                );
-                let _ = retired;
+            }
+            // Invariants after every step:
+            let total_in_flight: usize = in_flight.iter().map(|v| v.len()).sum();
+            prop_assert_eq!(
+                d.total_outstanding() as usize,
+                total_in_flight,
+                "dispatcher bookkeeping out of sync"
+            );
+            // Conservation: admitted = queued + in flight + retired.
+            let retired = d.stats.completions;
+            prop_assert_eq!(
+                d.stats.admitted + d.stats.requeued,
+                d.queue_len() as u64 + d.stats.assigned,
+                "admission/assignment ledger must balance with the queue"
+            );
+            let _ = retired;
+            if work_conserving {
                 // Work conservation: never queued work alongside capacity.
                 let slack = (0..workers).any(|w| d.outstanding(w) < cap);
                 prop_assert!(
@@ -624,9 +778,11 @@ mod proptests {
                     "queued work while a worker has slack"
                 );
             }
-            Ok(())
         }
+        Ok(())
+    }
 
+    fn drive(ops: Vec<u8>, workers: usize, cap: u32, srf: bool) -> Result<(), TestCaseError> {
         if srf {
             let mut d = Dispatcher::new(
                 workers,
@@ -634,11 +790,21 @@ mod proptests {
                 ShortestRemaining::new(),
                 RoundRobin::default(),
             );
-            check(&ops, &mut d, workers, cap)
+            check(&ops, &mut d, workers, cap, true)
         } else {
             let mut d = Dispatcher::new(workers, cap, Fcfs::new(), LeastOutstanding);
-            check(&ops, &mut d, workers, cap)
+            check(&ops, &mut d, workers, cap, true)
         }
+    }
+
+    /// Same invariant run for every standard-registry policy, via the
+    /// boxed path experiments actually use.
+    fn drive_spec(ops: Vec<u8>, workers: usize, cap: u32, spec: &str) -> Result<(), TestCaseError> {
+        let policy = PolicyRegistry::standard().build(spec).expect(spec);
+        let mut d = Dispatcher::new(workers, cap, policy, LeastOutstanding);
+        // dFCFS may park work while its home cores are busy.
+        let work_conserving = spec != "dfcfs";
+        check(&ops, &mut d, workers, cap, work_conserving)
     }
 
     proptest! {
@@ -658,6 +824,26 @@ mod proptests {
             cap in 1u32..5,
         ) {
             drive(ops, workers, cap, true)?;
+        }
+
+        #[test]
+        fn every_registry_policy_holds_the_ledger_invariants(
+            ops in proptest::collection::vec(any::<u8>(), 1..200),
+            workers in 1usize..6,
+            cap in 1u32..5,
+            which in 0usize..8,
+        ) {
+            let specs = [
+                "fcfs",
+                "cfcfs",
+                "dfcfs",
+                "srf",
+                "srpt",
+                "edf:deadline=50us",
+                "class-priority:cutoff=10us",
+                "wfq:w=4,1,1",
+            ];
+            drive_spec(ops, workers, cap, specs[which])?;
         }
     }
 }

@@ -5,9 +5,17 @@
 //!
 //! * [`Task`] — the scheduler's view of a request (identity + remaining
 //!   work across preemptions).
-//! * [`SchedPolicy`] — programmable request selection over the centralized
-//!   queue ([`Fcfs`] is the paper's policy; [`ShortestRemaining`] and
-//!   [`ClassPriority`] are framework extensions).
+//! * [`SchedPolicy`] — the programmable scheduling surface, sched_ext
+//!   style: queue hooks ([`Fcfs`] is the paper's policy) plus
+//!   [`pick_next`](SchedPolicy::pick_next) worker binding,
+//!   [`feedback`](SchedPolicy::feedback) consumption, and
+//!   [`should_preempt`](SchedPolicy::should_preempt) slice grants.
+//!   Implementations: [`Fcfs`], [`Cfcfs`], [`Dfcfs`],
+//!   [`ShortestRemaining`], [`Srpt`], [`Edf`], [`ClassPriority`],
+//!   [`WeightedFair`].
+//! * [`PolicyRegistry`] / [`PolicySpec`] — string-keyed policy lookup with
+//!   a spec grammar (`"fcfs"`, `"edf:deadline=50us"`, `"wfq:w=4,1,1"`), so
+//!   configs and CLIs name policies without a closed enum.
 //! * [`CoreSelector`] — programmable worker selection
 //!   ([`LeastOutstanding`], [`RoundRobin`], [`Affinity`],
 //!   [`MostRecentlyIdle`]).
@@ -27,21 +35,32 @@
 #![warn(missing_docs)]
 
 mod admission;
+mod disciplines;
 mod dispatcher;
 mod feedback;
 pub mod params;
 mod policy;
 mod policy_kind;
 mod profile;
+mod registry;
 mod select;
 mod task;
 
 pub use admission::{Admission, AdmissionPolicy};
+pub use disciplines::{Cfcfs, Dfcfs, Edf, Srpt, WeightedFair};
 pub use dispatcher::{AdmitOutcome, Assignment, DispatchStats, Dispatcher};
 pub use feedback::{CoreFeedback, FeedbackChannel};
-pub use policy::{ClassPriority, Fcfs, SchedPolicy, ShortestRemaining};
+pub use policy::{
+    ClassPriority, Fcfs, FeedbackEvent, Pick, PreemptDecision, RunningTask, SchedPolicy,
+    ShortestRemaining,
+};
+#[allow(deprecated)]
 pub use policy_kind::PolicyKind;
 pub use profile::{NicProfile, SchedCompute};
+pub use registry::{
+    fmt_duration, parse_duration, PolicyBuilder, PolicyError, PolicyParams, PolicyRegistry,
+    PolicySpec,
+};
 pub use select::{
     Affinity, CoreSelector, LeastOutstanding, MostRecentlyIdle, RoundRobin, SocketAffinity,
     WorkerView,

@@ -5,54 +5,271 @@
 //! is that the NIC should make the policy programmable, so the queue is a
 //! trait with several implementations; the systems default to [`Fcfs`] to
 //! match the paper.
+//!
+//! # Hook lifecycle
+//!
+//! A policy plugs into the [`Dispatcher`](crate::Dispatcher) the way an
+//! sched_ext scheduler plugs into the kernel: a fixed set of hooks, each
+//! with a conservative default, so a minimal policy only implements the
+//! queue itself.
+//!
+//! 1. [`init`](SchedPolicy::init) — once, with the worker count.
+//! 2. [`enqueue`](SchedPolicy::enqueue) / [`requeue`](SchedPolicy::requeue)
+//!    — every admission and every preemption re-admission.
+//! 3. [`pick_next`](SchedPolicy::pick_next) — per dispatch opportunity,
+//!    with the dispatchable workers in view; may bind the task to a
+//!    specific worker (e.g. dFCFS) or leave core selection to the
+//!    embedding's [`CoreSelector`](crate::CoreSelector).
+//! 4. [`should_preempt`](SchedPolicy::should_preempt) — per dispatch, to
+//!    grant the slice budget the worker will honour (the decision the
+//!    embedding's static `time_slice` used to make alone).
+//! 5. [`feedback`](SchedPolicy::feedback) — on every worker report
+//!    (completion, preemption, core-status message), closing the paper's
+//!    feedback loop into the policy itself.
 
 use std::collections::VecDeque;
 
 use sim_core::stats::TimeWeighted;
 use sim_core::{SimDuration, SimTime};
 
+use crate::feedback::CoreFeedback;
+use crate::select::WorkerView;
 use crate::task::Task;
 
+/// A worker-side event delivered to the policy via
+/// [`SchedPolicy::feedback`] — the fine-grained core-status channel of
+/// §2.3, surfaced to the scheduling policy rather than consumed solely by
+/// the dispatcher's bookkeeping.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FeedbackEvent {
+    /// A core-status report arrived over the feedback channel.
+    Core(CoreFeedback),
+    /// `worker` finished `req_id` after `service` total work. The service
+    /// time is what an informed NIC learns from completions — policies
+    /// like SRPT build their size estimates from it.
+    Completed {
+        /// Reporting worker.
+        worker: usize,
+        /// The finished request.
+        req_id: u64,
+        /// Total intrinsic service of the finished request.
+        service: SimDuration,
+    },
+    /// `worker` preempted `req_id` with `remaining` work still owed.
+    Preempted {
+        /// Reporting worker.
+        worker: usize,
+        /// The preempted request.
+        req_id: u64,
+        /// Work still owed after the slice.
+        remaining: SimDuration,
+    },
+}
+
+/// The dispatch [`SchedPolicy::should_preempt`] is deciding about: the
+/// task about to start on `worker`.
+#[derive(Debug)]
+pub struct RunningTask<'a> {
+    /// The worker the task was assigned to.
+    pub worker: usize,
+    /// The task about to run.
+    pub task: &'a Task,
+}
+
+/// A policy's preemption ruling for one dispatch: the slice budget the
+/// worker should honour before handing the request back.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PreemptDecision {
+    /// Defer to the embedding's configured time slice (the paper's static
+    /// 10 µs APIC timer, §3.4.4).
+    Inherit,
+    /// Grant exactly this much run time before preemption.
+    Budget(SimDuration),
+    /// Let the request run to completion.
+    RunToCompletion,
+}
+
+impl PreemptDecision {
+    /// Resolve against the embedding's configured slice: the effective
+    /// `Option<slice>` the worker arms its timer with.
+    pub fn resolve(self, configured: Option<SimDuration>) -> Option<SimDuration> {
+        match self {
+            PreemptDecision::Inherit => configured,
+            PreemptDecision::Budget(d) => Some(d),
+            PreemptDecision::RunToCompletion => None,
+        }
+    }
+
+    /// Encode for the wire's one-byte grant field: 0 = inherit, 255 = run
+    /// to completion, otherwise the budget in microseconds (1..=254,
+    /// rounded to the nearest microsecond) — the protocol constraint a
+    /// real NIC header imposes on grant precision.
+    pub fn grant_code(self) -> u8 {
+        match self {
+            PreemptDecision::Inherit => 0,
+            PreemptDecision::RunToCompletion => 255,
+            PreemptDecision::Budget(d) => {
+                let us = (d.as_nanos() + 500) / 1_000;
+                us.clamp(1, 254) as u8
+            }
+        }
+    }
+
+    /// Decode the wire's grant byte (inverse of
+    /// [`grant_code`](PreemptDecision::grant_code), up to rounding).
+    pub fn from_grant_code(code: u8) -> PreemptDecision {
+        match code {
+            0 => PreemptDecision::Inherit,
+            255 => PreemptDecision::RunToCompletion,
+            us => PreemptDecision::Budget(SimDuration::from_micros(us as u64)),
+        }
+    }
+}
+
+/// One dispatch selected by [`SchedPolicy::pick_next`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Pick {
+    /// The task to dispatch.
+    pub task: Task,
+    /// `Some(w)`: the policy binds the task to worker `w`, which must be
+    /// one of the candidates it was shown (e.g. dFCFS home queues).
+    /// `None`: the embedding's core selector chooses.
+    pub worker: Option<usize>,
+}
+
+impl Pick {
+    /// A pick that leaves worker selection to the embedding.
+    pub fn any(task: Task) -> Pick {
+        Pick { task, worker: None }
+    }
+
+    /// A pick bound to a specific worker.
+    pub fn on(task: Task, worker: usize) -> Pick {
+        Pick {
+            task,
+            worker: Some(worker),
+        }
+    }
+}
+
 /// A request-selection policy over the centralized task queue.
+///
+/// Only the queue methods ([`enqueue`](SchedPolicy::enqueue),
+/// [`requeue`](SchedPolicy::requeue), [`dequeue`](SchedPolicy::dequeue),
+/// [`len`](SchedPolicy::len), [`label`](SchedPolicy::label), depth stats)
+/// are mandatory; the scheduling hooks default to the paper's behaviour —
+/// [`pick_next`](SchedPolicy::pick_next) pops the queue and lets the core
+/// selector place it, [`should_preempt`](SchedPolicy::should_preempt)
+/// inherits the embedding's slice, [`feedback`](SchedPolicy::feedback) is
+/// ignored — so a policy that implements nothing extra schedules exactly
+/// like the pre-hook dispatcher.
 pub trait SchedPolicy {
+    /// Called once when a dispatcher adopts the policy, with the number of
+    /// workers it will schedule over. Policies with per-worker structure
+    /// (e.g. dFCFS home queues) size themselves here.
+    fn init(&mut self, n_workers: usize) {
+        let _ = n_workers;
+    }
     /// Admit a new request.
     fn enqueue(&mut self, now: SimTime, task: Task);
     /// Re-admit a preempted request ("the dispatcher adds the request to
     /// the end of the task queue", §3.4.1 — but a policy may choose
     /// differently).
     fn requeue(&mut self, now: SimTime, task: Task);
-    /// Select the next request to dispatch.
+    /// Select the next request to dispatch, ignoring worker state.
     fn dequeue(&mut self, now: SimTime) -> Option<Task>;
+    /// Select the next dispatch given the workers currently able to accept
+    /// work. Returning `None` parks the queue until the next scheduler
+    /// event even if tasks are queued (a policy must only do so when none
+    /// of its queued work may run on any candidate).
+    fn pick_next(&mut self, now: SimTime, candidates: &[WorkerView]) -> Option<Pick> {
+        let _ = candidates;
+        self.dequeue(now).map(Pick::any)
+    }
+    /// A worker-side event arrived (completion, preemption, core status).
+    fn feedback(&mut self, now: SimTime, event: &FeedbackEvent) {
+        let _ = (now, event);
+    }
+    /// Rule on the slice budget for a dispatch about to start.
+    fn should_preempt(&mut self, now: SimTime, running: &RunningTask<'_>) -> PreemptDecision {
+        let _ = (now, running);
+        PreemptDecision::Inherit
+    }
     /// Requests currently queued.
     fn len(&self) -> usize;
     /// True when no requests are queued.
     fn is_empty(&self) -> bool {
         self.len() == 0
     }
-    /// Policy name for reports.
-    fn name(&self) -> &'static str;
+    /// Policy label for tables and CSV, including parameters (so
+    /// `class-priority:cutoff=10us` and `class-priority:cutoff=50us` stay
+    /// distinguishable in reports).
+    fn label(&self) -> String;
     /// Time-weighted mean queue depth since creation.
     fn mean_depth(&self, now: SimTime) -> f64;
     /// Peak queue depth.
     fn peak_depth(&self) -> usize;
 }
 
+// Boxed policies are policies, so `Dispatcher<Box<dyn SchedPolicy>, S>`
+// works without per-policy monomorphization. Every hook delegates
+// explicitly: falling back to the trait defaults here would silently
+// bypass an inner policy's overrides.
+impl SchedPolicy for Box<dyn SchedPolicy> {
+    fn init(&mut self, n_workers: usize) {
+        (**self).init(n_workers)
+    }
+    fn enqueue(&mut self, now: SimTime, task: Task) {
+        (**self).enqueue(now, task)
+    }
+    fn requeue(&mut self, now: SimTime, task: Task) {
+        (**self).requeue(now, task)
+    }
+    fn dequeue(&mut self, now: SimTime) -> Option<Task> {
+        (**self).dequeue(now)
+    }
+    fn pick_next(&mut self, now: SimTime, candidates: &[WorkerView]) -> Option<Pick> {
+        (**self).pick_next(now, candidates)
+    }
+    fn feedback(&mut self, now: SimTime, event: &FeedbackEvent) {
+        (**self).feedback(now, event)
+    }
+    fn should_preempt(&mut self, now: SimTime, running: &RunningTask<'_>) -> PreemptDecision {
+        (**self).should_preempt(now, running)
+    }
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+    fn is_empty(&self) -> bool {
+        (**self).is_empty()
+    }
+    fn label(&self) -> String {
+        (**self).label()
+    }
+    fn mean_depth(&self, now: SimTime) -> f64 {
+        (**self).mean_depth(now)
+    }
+    fn peak_depth(&self) -> usize {
+        (**self).peak_depth()
+    }
+}
+
 /// Depth-tracking shared by the policy implementations.
 #[derive(Debug)]
-struct DepthStats {
-    tw: TimeWeighted,
-    peak: usize,
+pub(crate) struct DepthStats {
+    pub(crate) tw: TimeWeighted,
+    pub(crate) peak: usize,
 }
 
 impl DepthStats {
-    fn new() -> DepthStats {
+    pub(crate) fn new() -> DepthStats {
         DepthStats {
             tw: TimeWeighted::new(SimTime::ZERO, 0.0),
             peak: 0,
         }
     }
 
-    fn set(&mut self, now: SimTime, depth: usize) {
+    pub(crate) fn set(&mut self, now: SimTime, depth: usize) {
         self.tw.set(now, depth as f64);
         self.peak = self.peak.max(depth);
     }
@@ -105,8 +322,8 @@ impl SchedPolicy for Fcfs {
         self.queue.len()
     }
 
-    fn name(&self) -> &'static str {
-        "fcfs"
+    fn label(&self) -> String {
+        "fcfs".to_string()
     }
 
     fn mean_depth(&self, now: SimTime) -> f64 {
@@ -120,7 +337,9 @@ impl SchedPolicy for Fcfs {
 
 /// Shortest-remaining-work-first: dispatches the queued task with the
 /// least remaining service. An idealized dispersion-killer the NIC could
-/// implement given the service hints requests carry.
+/// implement given the service hints requests carry. Size-informed but
+/// feedback-oblivious — contrast [`Srpt`](crate::Srpt), which learns
+/// sizes from worker feedback instead of trusting the wire hint.
 #[derive(Debug)]
 pub struct ShortestRemaining {
     // Tie-break on (remaining, seq) for deterministic FIFO-within-equal.
@@ -198,8 +417,8 @@ impl SchedPolicy for ShortestRemaining {
         self.heap.len()
     }
 
-    fn name(&self) -> &'static str {
-        "srf"
+    fn label(&self) -> String {
+        "srf".to_string()
     }
 
     fn mean_depth(&self, now: SimTime) -> f64 {
@@ -264,8 +483,11 @@ impl SchedPolicy for ClassPriority {
         self.short.len() + self.long.len()
     }
 
-    fn name(&self) -> &'static str {
-        "class-priority"
+    fn label(&self) -> String {
+        format!(
+            "class-priority:cutoff={}",
+            crate::registry::fmt_duration(self.cutoff)
+        )
     }
 
     fn mean_depth(&self, now: SimTime) -> f64 {
@@ -381,11 +603,84 @@ mod tests {
     }
 
     #[test]
-    fn names_distinct() {
-        assert_ne!(Fcfs::new().name(), ShortestRemaining::new().name());
+    fn labels_distinct_and_parameterized() {
+        assert_ne!(Fcfs::new().label(), ShortestRemaining::new().label());
         assert_eq!(
-            ClassPriority::new(SimDuration::ZERO).name(),
-            "class-priority"
+            ClassPriority::new(SimDuration::from_micros(10)).label(),
+            "class-priority:cutoff=10us"
+        );
+        assert_eq!(
+            ClassPriority::new(SimDuration::from_micros(50)).label(),
+            "class-priority:cutoff=50us",
+            "parameterized policies must not collapse to one label"
+        );
+    }
+
+    #[test]
+    fn default_hooks_reduce_to_the_paper_dispatcher() {
+        // pick_next defaults to dequeue + selector-chosen worker;
+        // should_preempt defaults to the embedding's slice; feedback is
+        // inert. A policy overriding nothing schedules like PR-0 FCFS.
+        let mut q = Fcfs::new();
+        q.init(4);
+        q.enqueue(us(0), task(1, 5));
+        let views = [WorkerView {
+            worker: 2,
+            outstanding: 0,
+            last_req: None,
+            idle_since: Some(SimTime::ZERO),
+        }];
+        let pick = q.pick_next(us(1), &views).unwrap();
+        assert_eq!(pick.task.req_id, 1);
+        assert_eq!(pick.worker, None, "default pick defers core selection");
+        let t = task(2, 5);
+        let decision = q.should_preempt(
+            us(1),
+            &RunningTask {
+                worker: 2,
+                task: &t,
+            },
+        );
+        assert_eq!(decision, PreemptDecision::Inherit);
+        q.feedback(
+            us(2),
+            &FeedbackEvent::Completed {
+                worker: 2,
+                req_id: 1,
+                service: SimDuration::from_micros(5),
+            },
+        );
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn preempt_decisions_resolve_and_round_trip_the_wire() {
+        let slice = Some(SimDuration::from_micros(10));
+        assert_eq!(PreemptDecision::Inherit.resolve(slice), slice);
+        assert_eq!(PreemptDecision::Inherit.resolve(None), None);
+        assert_eq!(PreemptDecision::RunToCompletion.resolve(slice), None);
+        let b = PreemptDecision::Budget(SimDuration::from_micros(7));
+        assert_eq!(b.resolve(None), Some(SimDuration::from_micros(7)));
+
+        // Wire codes: exact for whole microseconds in 1..=254.
+        for d in [
+            b,
+            PreemptDecision::Inherit,
+            PreemptDecision::RunToCompletion,
+        ] {
+            assert_eq!(PreemptDecision::from_grant_code(d.grant_code()), d);
+        }
+        // Sub-microsecond budgets round to the nearest microsecond.
+        let fine = PreemptDecision::Budget(SimDuration::from_nanos(11_400));
+        assert_eq!(
+            PreemptDecision::from_grant_code(fine.grant_code()),
+            PreemptDecision::Budget(SimDuration::from_micros(11))
+        );
+        // Zero and huge budgets clamp into the representable band.
+        assert_eq!(PreemptDecision::Budget(SimDuration::ZERO).grant_code(), 1);
+        assert_eq!(
+            PreemptDecision::Budget(SimDuration::from_millis(5)).grant_code(),
+            254
         );
     }
 }

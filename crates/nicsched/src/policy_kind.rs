@@ -1,17 +1,25 @@
-//! Runtime-selectable queue policies.
+//! Deprecated closed-enum policy selector, superseded by the string-keyed
+//! [`PolicyRegistry`](crate::PolicyRegistry) / [`PolicySpec`](crate::PolicySpec).
 //!
-//! §5.1(4) calls for "libraries and tools that make it easy to specify
-//! scheduling functions for the SmartNIC". [`PolicyKind`] is the
-//! configuration-level handle: systems store it in their configs and
-//! instantiate the matching [`SchedPolicy`] at build time, so experiments
-//! can sweep policies without monomorphizing every assembly.
+//! [`PolicyKind`] was the PR-2 configuration handle: a closed enum the
+//! systems stored in their configs. It cannot name the registry's newer
+//! policies (SRPT, EDF, WFQ, the cFCFS/dFCFS split) nor carry arbitrary
+//! parameters, so configs now store a [`PolicySpec`](crate::PolicySpec)
+//! instead. The enum remains for one release as a shim that forwards to
+//! the registry; [`PolicyKind::spec`] is the migration path.
 
-use sim_core::{SimDuration, SimTime};
+#![allow(deprecated)]
 
-use crate::policy::{ClassPriority, Fcfs, SchedPolicy, ShortestRemaining};
-use crate::task::Task;
+use sim_core::SimDuration;
 
-/// A selectable queue policy.
+use crate::policy::SchedPolicy;
+use crate::registry::{fmt_duration, PolicySpec};
+
+/// A selectable queue policy (deprecated closed enum).
+#[deprecated(
+    since = "0.1.0",
+    note = "use `PolicySpec` / `PolicyRegistry` — e.g. `PolicySpec::parse(\"fcfs\")`"
+)]
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum PolicyKind {
     /// FIFO with tail re-enqueue — the paper's policy (§3.4.1).
@@ -23,45 +31,29 @@ pub enum PolicyKind {
 }
 
 impl PolicyKind {
-    /// Instantiate the policy.
-    pub fn build(self) -> Box<dyn SchedPolicy> {
+    /// The equivalent registry spec.
+    pub fn spec(self) -> PolicySpec {
         match self {
-            PolicyKind::Fcfs => Box::new(Fcfs::new()),
-            PolicyKind::ShortestRemaining => Box::new(ShortestRemaining::new()),
-            PolicyKind::ClassPriority(cutoff) => Box::new(ClassPriority::new(cutoff)),
+            PolicyKind::Fcfs => PolicySpec::FCFS,
+            PolicyKind::ShortestRemaining => PolicySpec::named("srf"),
+            PolicyKind::ClassPriority(cutoff) => {
+                let spec = format!("class-priority:cutoff={}", fmt_duration(cutoff));
+                PolicySpec::parse(&spec).expect("class-priority spec is always valid")
+            }
         }
     }
-}
 
-// Boxed policies are policies, so `Dispatcher<Box<dyn SchedPolicy>, S>`
-// works without per-policy monomorphization.
-impl SchedPolicy for Box<dyn SchedPolicy> {
-    fn enqueue(&mut self, now: SimTime, task: Task) {
-        (**self).enqueue(now, task)
-    }
-    fn requeue(&mut self, now: SimTime, task: Task) {
-        (**self).requeue(now, task)
-    }
-    fn dequeue(&mut self, now: SimTime) -> Option<Task> {
-        (**self).dequeue(now)
-    }
-    fn len(&self) -> usize {
-        (**self).len()
-    }
-    fn name(&self) -> &'static str {
-        (**self).name()
-    }
-    fn mean_depth(&self, now: SimTime) -> f64 {
-        (**self).mean_depth(now)
-    }
-    fn peak_depth(&self) -> usize {
-        (**self).peak_depth()
+    /// Instantiate the policy (forwards to the registry).
+    pub fn build(self) -> Box<dyn SchedPolicy> {
+        self.spec().build()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::task::Task;
+    use sim_core::SimTime;
 
     fn task(id: u64, service_us: u64) -> Task {
         Task::new(
@@ -75,14 +67,26 @@ mod tests {
     }
 
     #[test]
+    fn kinds_map_to_registry_specs() {
+        assert_eq!(PolicyKind::Fcfs.spec(), PolicySpec::FCFS);
+        assert_eq!(PolicyKind::ShortestRemaining.spec().as_str(), "srf");
+        assert_eq!(
+            PolicyKind::ClassPriority(SimDuration::from_micros(10))
+                .spec()
+                .as_str(),
+            "class-priority:cutoff=10us"
+        );
+    }
+
+    #[test]
     fn kinds_build_the_right_policy() {
-        assert_eq!(PolicyKind::Fcfs.build().name(), "fcfs");
-        assert_eq!(PolicyKind::ShortestRemaining.build().name(), "srf");
+        assert_eq!(PolicyKind::Fcfs.build().label(), "fcfs");
+        assert_eq!(PolicyKind::ShortestRemaining.build().label(), "srf");
         assert_eq!(
             PolicyKind::ClassPriority(SimDuration::from_micros(10))
                 .build()
-                .name(),
-            "class-priority"
+                .label(),
+            "class-priority:cutoff=10us"
         );
     }
 
@@ -104,6 +108,6 @@ mod tests {
         let mut d = Dispatcher::new(1, 1, PolicyKind::Fcfs.build(), LeastOutstanding);
         let a = d.on_request(SimTime::ZERO, task(1, 5));
         assert_eq!(a.len(), 1);
-        assert_eq!(d.policy().name(), "fcfs");
+        assert_eq!(d.policy().label(), "fcfs");
     }
 }

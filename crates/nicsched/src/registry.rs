@@ -1,0 +1,558 @@
+//! String-keyed policy registry and spec grammar.
+//!
+//! Policies are looked up by name the way sched_ext schedulers are loaded
+//! by name: a [`PolicyRegistry`] maps keys to builder functions, and a
+//! textual spec selects one with parameters:
+//!
+//! ```text
+//! spec     := key [ ':' param (',' param)* ]
+//! param    := ident '=' value | value      // bare values extend the
+//! value    := ident | integer | duration   // previous key's list
+//! duration := integer ('ns'|'us'|'ms'|'s')
+//! ```
+//!
+//! Examples: `"fcfs"`, `"srpt"`, `"edf:deadline=50us"`, `"wfq:w=4,1,1"`
+//! (the bare `1,1` segments extend `w`'s value to the list `4,1,1`).
+//!
+//! [`PolicySpec`] is the `Copy` handle the system configs carry: it
+//! interns the spec string, so a config struct stays `Copy` while naming
+//! an arbitrarily-parameterized policy.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::str::FromStr;
+use std::sync::{Mutex, OnceLock};
+
+use sim_core::SimDuration;
+
+use crate::disciplines::{Cfcfs, Dfcfs, Edf, Srpt, WeightedFair};
+use crate::policy::{ClassPriority, Fcfs, SchedPolicy, ShortestRemaining};
+
+/// A policy spec failed to parse or resolve.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolicyError(String);
+
+impl PolicyError {
+    fn new(msg: impl Into<String>) -> PolicyError {
+        PolicyError(msg.into())
+    }
+}
+
+impl fmt::Display for PolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "policy spec error: {}", self.0)
+    }
+}
+
+impl std::error::Error for PolicyError {}
+
+/// The parsed `k=v` parameter bag a builder receives.
+///
+/// Values are lists so the grammar's bare-value continuation works:
+/// `wfq:w=4,1,1` parses to `w -> ["4", "1", "1"]`.
+#[derive(Debug, Clone, Default)]
+pub struct PolicyParams {
+    entries: Vec<(String, Vec<String>)>,
+}
+
+impl PolicyParams {
+    /// Parse the parameter section of a spec (everything after the first
+    /// `:`), or an empty bag from an empty string.
+    pub fn parse(s: &str) -> Result<PolicyParams, PolicyError> {
+        let mut entries: Vec<(String, Vec<String>)> = Vec::new();
+        if s.is_empty() {
+            return Ok(PolicyParams { entries });
+        }
+        for seg in s.split(',') {
+            let seg = seg.trim();
+            if seg.is_empty() {
+                return Err(PolicyError::new("empty parameter segment"));
+            }
+            match seg.split_once('=') {
+                Some((k, v)) => {
+                    let k = k.trim();
+                    if k.is_empty() {
+                        return Err(PolicyError::new(format!("missing key in `{seg}`")));
+                    }
+                    if entries.iter().any(|(ek, _)| ek == k) {
+                        return Err(PolicyError::new(format!("duplicate key `{k}`")));
+                    }
+                    entries.push((k.to_string(), vec![v.trim().to_string()]));
+                }
+                None => match entries.last_mut() {
+                    // Bare value: continuation of the previous key's list.
+                    Some((_, vs)) => vs.push(seg.to_string()),
+                    None => {
+                        return Err(PolicyError::new(format!(
+                            "bare value `{seg}` with no preceding key"
+                        )))
+                    }
+                },
+            }
+        }
+        Ok(PolicyParams { entries })
+    }
+
+    /// Reject any key outside `allowed` — typo'd parameters fail loudly
+    /// instead of silently falling back to defaults.
+    pub fn expect_keys(&self, policy: &str, allowed: &[&str]) -> Result<(), PolicyError> {
+        for (k, _) in &self.entries {
+            if !allowed.contains(&k.as_str()) {
+                return Err(PolicyError::new(format!(
+                    "unknown key `{k}` for `{policy}` (allowed: {})",
+                    allowed.join(", ")
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    fn values(&self, key: &str) -> Option<&[String]> {
+        self.entries
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, vs)| vs.as_slice())
+    }
+
+    fn single(&self, key: &str) -> Result<Option<&str>, PolicyError> {
+        match self.values(key) {
+            None => Ok(None),
+            Some([v]) => Ok(Some(v)),
+            Some(vs) => Err(PolicyError::new(format!(
+                "`{key}` takes one value, got {}",
+                vs.len()
+            ))),
+        }
+    }
+
+    /// Integer parameter with a default.
+    pub fn get_u64(&self, key: &str, default: u64) -> Result<u64, PolicyError> {
+        match self.single(key)? {
+            None => Ok(default),
+            Some(v) => v
+                .parse::<u64>()
+                .map_err(|_| PolicyError::new(format!("`{key}={v}` is not an integer"))),
+        }
+    }
+
+    /// Duration parameter (`50us`, `10ms`, …) with a default.
+    pub fn get_duration(
+        &self,
+        key: &str,
+        default: SimDuration,
+    ) -> Result<SimDuration, PolicyError> {
+        match self.single(key)? {
+            None => Ok(default),
+            Some(v) => parse_duration(v)
+                .ok_or_else(|| PolicyError::new(format!("`{key}={v}` is not a duration"))),
+        }
+    }
+
+    /// Integer-list parameter (`w=4,1,1`) with a default.
+    pub fn get_u64_list(&self, key: &str, default: &[u64]) -> Result<Vec<u64>, PolicyError> {
+        match self.values(key) {
+            None => Ok(default.to_vec()),
+            Some(vs) => vs
+                .iter()
+                .map(|v| {
+                    v.parse::<u64>().map_err(|_| {
+                        PolicyError::new(format!("`{key}` element `{v}` is not an integer"))
+                    })
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Parse an integer duration with an `ns`/`us`/`ms`/`s` suffix.
+pub fn parse_duration(s: &str) -> Option<SimDuration> {
+    let (digits, mult) = if let Some(d) = s.strip_suffix("ns") {
+        (d, 1)
+    } else if let Some(d) = s.strip_suffix("us") {
+        (d, 1_000)
+    } else if let Some(d) = s.strip_suffix("ms") {
+        (d, 1_000_000)
+    } else if let Some(d) = s.strip_suffix('s') {
+        (d, 1_000_000_000)
+    } else {
+        return None;
+    };
+    let n: u64 = digits.parse().ok()?;
+    Some(SimDuration::from_nanos(n.checked_mul(mult)?))
+}
+
+/// Format a duration in the largest unit that represents it exactly, the
+/// inverse of [`parse_duration`] (`SimDuration::from_micros(50)` →
+/// `"50us"`).
+pub fn fmt_duration(d: SimDuration) -> String {
+    let ns = d.as_nanos();
+    if ns == 0 {
+        "0ns".to_string()
+    } else if ns % 1_000_000_000 == 0 {
+        format!("{}s", ns / 1_000_000_000)
+    } else if ns % 1_000_000 == 0 {
+        format!("{}ms", ns / 1_000_000)
+    } else if ns % 1_000 == 0 {
+        format!("{}us", ns / 1_000)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Builder function a registry entry wraps.
+pub type PolicyBuilder = fn(&PolicyParams) -> Result<Box<dyn SchedPolicy>, PolicyError>;
+
+struct RegistryEntry {
+    build: PolicyBuilder,
+    about: &'static str,
+}
+
+/// String-keyed policy registry: `key -> builder`.
+pub struct PolicyRegistry {
+    entries: BTreeMap<&'static str, RegistryEntry>,
+}
+
+impl PolicyRegistry {
+    /// An empty registry.
+    pub fn new() -> PolicyRegistry {
+        PolicyRegistry {
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// Register `key`; replaces any previous builder under that key.
+    pub fn register(&mut self, key: &'static str, about: &'static str, build: PolicyBuilder) {
+        self.entries.insert(key, RegistryEntry { build, about });
+    }
+
+    /// Registered keys, sorted.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.entries.keys().copied().collect()
+    }
+
+    /// One-line description of a registered key.
+    pub fn about(&self, key: &str) -> Option<&'static str> {
+        self.entries.get(key).map(|e| e.about)
+    }
+
+    /// Build a policy from a spec string (`key[:k=v,...]`).
+    pub fn build(&self, spec: &str) -> Result<Box<dyn SchedPolicy>, PolicyError> {
+        let spec = spec.trim();
+        let (key, rest) = match spec.split_once(':') {
+            Some((k, r)) => (k.trim(), r),
+            None => (spec, ""),
+        };
+        if key.is_empty() {
+            return Err(PolicyError::new("empty policy name"));
+        }
+        let entry = self.entries.get(key).ok_or_else(|| {
+            PolicyError::new(format!(
+                "unknown policy `{key}` (known: {})",
+                self.names().join(", ")
+            ))
+        })?;
+        let params = PolicyParams::parse(rest)?;
+        (entry.build)(&params)
+    }
+
+    /// The standard registry: every policy this crate ships.
+    pub fn standard() -> &'static PolicyRegistry {
+        static STANDARD: OnceLock<PolicyRegistry> = OnceLock::new();
+        STANDARD.get_or_init(|| {
+            let mut r = PolicyRegistry::new();
+            r.register(
+                "fcfs",
+                "single FIFO, tail re-enqueue (the paper's policy)",
+                |p| {
+                    p.expect_keys("fcfs", &[])?;
+                    Ok(Box::new(Fcfs::new()))
+                },
+            );
+            r.register("cfcfs", "centralized FCFS: shared FIFO, any worker", |p| {
+                p.expect_keys("cfcfs", &[])?;
+                Ok(Box::new(Cfcfs::new()))
+            });
+            r.register(
+                "dfcfs",
+                "distributed FCFS: RSS-hashed per-worker FIFOs",
+                |p| {
+                    p.expect_keys("dfcfs", &[])?;
+                    Ok(Box::new(Dfcfs::new()))
+                },
+            );
+            r.register(
+                "srf",
+                "shortest-remaining-first on wire-carried sizes",
+                |p| {
+                    p.expect_keys("srf", &[])?;
+                    Ok(Box::new(ShortestRemaining::new()))
+                },
+            );
+            r.register(
+                "srpt",
+                "SRPT on feedback-learned sizes [gain=8,boost=200,floor=1us]",
+                |p| {
+                    p.expect_keys("srpt", &["gain", "boost", "floor"])?;
+                    let gain = p.get_u64("gain", 8)?;
+                    let boost = p.get_u64("boost", 200)?;
+                    let floor = p.get_duration("floor", SimDuration::from_micros(1))?;
+                    if gain == 0 {
+                        return Err(PolicyError::new("`gain` must be >= 1"));
+                    }
+                    Ok(Box::new(Srpt::with_params(gain, boost, floor)))
+                },
+            );
+            r.register(
+                "edf",
+                "earliest-deadline-first [deadline=50us,stretch=0]",
+                |p| {
+                    p.expect_keys("edf", &["deadline", "stretch"])?;
+                    let deadline = p.get_duration("deadline", SimDuration::from_micros(50))?;
+                    let stretch = p.get_u64("stretch", 0)?;
+                    Ok(Box::new(Edf::with_stretch(deadline, stretch)))
+                },
+            );
+            r.register(
+                "class-priority",
+                "two-class priority by service cutoff [cutoff=10us]",
+                |p| {
+                    p.expect_keys("class-priority", &["cutoff"])?;
+                    let cutoff = p.get_duration("cutoff", SimDuration::from_micros(10))?;
+                    Ok(Box::new(ClassPriority::new(cutoff)))
+                },
+            );
+            r.register("wfq", "weighted-fair over tenant lanes [w=1,1]", |p| {
+                p.expect_keys("wfq", &["w"])?;
+                let w = p.get_u64_list("w", &[1, 1])?;
+                if w.is_empty() {
+                    return Err(PolicyError::new("`w` needs at least one weight"));
+                }
+                Ok(Box::new(WeightedFair::new(w)))
+            });
+            r
+        })
+    }
+}
+
+impl Default for PolicyRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for PolicyRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PolicyRegistry")
+            .field("names", &self.names())
+            .finish()
+    }
+}
+
+/// Intern a spec string so [`PolicySpec`] stays `Copy`. Each distinct
+/// spec leaks once per process — specs come from CLI flags and config
+/// literals, so the set is tiny.
+fn intern(s: &str) -> &'static str {
+    static TABLE: OnceLock<Mutex<BTreeMap<String, &'static str>>> = OnceLock::new();
+    let table = TABLE.get_or_init(|| Mutex::new(BTreeMap::new()));
+    let mut table = table.lock().expect("intern table poisoned");
+    if let Some(&interned) = table.get(s) {
+        return interned;
+    }
+    let leaked: &'static str = String::leak(s.to_string());
+    table.insert(s.to_string(), leaked);
+    leaked
+}
+
+/// A `Copy` handle to a registry policy: the spec string (`"fcfs"`,
+/// `"edf:deadline=50us"`) plus the standard registry to resolve it.
+///
+/// System configs carry a `PolicySpec` instead of a policy value so they
+/// remain `Copy`/`Eq` while naming parameterized policies.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct PolicySpec {
+    spec: &'static str,
+}
+
+impl PolicySpec {
+    /// The paper's default policy.
+    pub const FCFS: PolicySpec = PolicySpec::named("fcfs");
+
+    /// A spec from a static string, *without* validation — invalid specs
+    /// surface when [`build`](PolicySpec::build) runs. Use
+    /// [`parse`](PolicySpec::parse) for anything user-supplied.
+    pub const fn named(spec: &'static str) -> PolicySpec {
+        PolicySpec { spec }
+    }
+
+    /// Validate `s` against the standard registry (a throwaway build) and
+    /// intern it.
+    pub fn parse(s: &str) -> Result<PolicySpec, PolicyError> {
+        let s = s.trim();
+        PolicyRegistry::standard().build(s)?;
+        Ok(PolicySpec { spec: intern(s) })
+    }
+
+    /// The spec string.
+    pub fn as_str(&self) -> &'static str {
+        self.spec
+    }
+
+    /// Build the policy.
+    ///
+    /// # Panics
+    /// If the spec is invalid — impossible for specs from
+    /// [`parse`](PolicySpec::parse), possible for [`named`](PolicySpec::named).
+    pub fn build(&self) -> Box<dyn SchedPolicy> {
+        match PolicyRegistry::standard().build(self.spec) {
+            Ok(p) => p,
+            Err(e) => panic!("invalid PolicySpec `{}`: {e}", self.spec),
+        }
+    }
+}
+
+impl Default for PolicySpec {
+    fn default() -> Self {
+        PolicySpec::FCFS
+    }
+}
+
+impl fmt::Display for PolicySpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.spec)
+    }
+}
+
+impl fmt::Debug for PolicySpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PolicySpec({})", self.spec)
+    }
+}
+
+impl FromStr for PolicySpec {
+    type Err = PolicyError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        PolicySpec::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::SimTime;
+
+    #[test]
+    fn grammar_round_trips_the_examples() {
+        for spec in [
+            "fcfs",
+            "cfcfs",
+            "dfcfs",
+            "srf",
+            "srpt",
+            "edf:deadline=50us",
+            "wfq:w=4,1,1",
+            "class-priority:cutoff=10us",
+        ] {
+            let p = PolicyRegistry::standard().build(spec).expect(spec);
+            // Defaults elide from labels; explicit non-defaults round-trip.
+            match spec {
+                "srpt" => assert_eq!(p.label(), "srpt"),
+                "edf:deadline=50us" => assert_eq!(p.label(), "edf:deadline=50us"),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn bare_values_extend_the_previous_key() {
+        let p = PolicyParams::parse("w=4,1,1").unwrap();
+        assert_eq!(p.get_u64_list("w", &[]).unwrap(), vec![4, 1, 1]);
+        let wfq = PolicyRegistry::standard().build("wfq:w=4,1,1").unwrap();
+        assert_eq!(wfq.label(), "wfq:w=4,1,1");
+    }
+
+    #[test]
+    fn unknown_policy_and_keys_are_rejected() {
+        let r = PolicyRegistry::standard();
+        assert!(r.build("zygos").is_err(), "unknown policy");
+        assert!(r.build("fcfs:x=1").is_err(), "fcfs takes no params");
+        assert!(r.build("edf:deadlnie=50us").is_err(), "typo'd key");
+        assert!(r.build("srpt:gain=banana").is_err(), "non-integer");
+        assert!(r.build("edf:deadline=50").is_err(), "missing unit");
+        assert!(r.build("").is_err(), "empty spec");
+        assert!(r.build("wfq:1,2").is_err(), "bare value without a key");
+    }
+
+    #[test]
+    fn durations_parse_and_format() {
+        assert_eq!(parse_duration("50us"), Some(SimDuration::from_micros(50)));
+        assert_eq!(parse_duration("10ms"), Some(SimDuration::from_millis(10)));
+        assert_eq!(
+            parse_duration("3s"),
+            Some(SimDuration::from_nanos(3_000_000_000))
+        );
+        assert_eq!(parse_duration("250ns"), Some(SimDuration::from_nanos(250)));
+        assert_eq!(parse_duration("50"), None);
+        assert_eq!(parse_duration("-1us"), None);
+        for d in [
+            SimDuration::from_nanos(250),
+            SimDuration::from_micros(50),
+            SimDuration::from_millis(10),
+            SimDuration::from_nanos(3_000_000_000),
+            SimDuration::ZERO,
+        ] {
+            assert_eq!(parse_duration(&fmt_duration(d)), Some(d), "{d:?}");
+        }
+    }
+
+    #[test]
+    fn spec_is_copy_and_builds() {
+        let spec: PolicySpec = "edf:deadline=25us".parse().unwrap();
+        let copy = spec; // Copy, no clone needed
+        assert_eq!(spec, copy);
+        assert_eq!(spec.to_string(), "edf:deadline=25us");
+        let mut p = copy.build();
+        assert_eq!(p.label(), "edf:deadline=25us");
+        p.enqueue(
+            SimTime::ZERO,
+            crate::Task::new(
+                1,
+                0,
+                SimDuration::from_micros(5),
+                SimTime::ZERO,
+                SimTime::ZERO,
+                0,
+            ),
+        );
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn invalid_specs_fail_at_parse_not_build() {
+        assert!(PolicySpec::parse("edf:deadline=oops").is_err());
+        assert!("nope".parse::<PolicySpec>().is_err());
+    }
+
+    #[test]
+    fn default_spec_is_the_papers_policy() {
+        assert_eq!(PolicySpec::default(), PolicySpec::FCFS);
+        assert_eq!(PolicySpec::default().build().label(), "fcfs");
+    }
+
+    #[test]
+    fn interning_is_stable() {
+        let a = PolicySpec::parse("wfq:w=2,1").unwrap();
+        let b = PolicySpec::parse("wfq:w=2,1").unwrap();
+        assert_eq!(a, b);
+        assert!(std::ptr::eq(a.as_str(), b.as_str()), "same interned str");
+    }
+
+    #[test]
+    fn registry_lists_the_acceptance_set() {
+        let names = PolicyRegistry::standard().names();
+        for required in ["fcfs", "cfcfs", "dfcfs", "srpt", "edf", "wfq"] {
+            assert!(names.contains(&required), "missing `{required}`");
+        }
+        assert!(PolicyRegistry::standard().about("fcfs").is_some());
+    }
+}

@@ -2,6 +2,8 @@
 
 use sim_core::{SimDuration, SimTime};
 
+use crate::policy::PreemptDecision;
+
 /// A request as the dispatcher sees it: identity plus remaining work.
 ///
 /// Created when the networking subsystem parses a request packet; carried
@@ -25,6 +27,11 @@ pub struct Task {
     pub body_len: u16,
     /// Times this task has been preempted so far.
     pub preemptions: u32,
+    /// The policy's slice grant for the *current* dispatch, stamped by the
+    /// dispatcher when the task is assigned. Workers resolve it against
+    /// their configured slice; `Inherit` (the default) reproduces the
+    /// paper's static timer.
+    pub preempt: PreemptDecision,
 }
 
 impl Task {
@@ -46,6 +53,7 @@ impl Task {
             arrived_at,
             body_len,
             preemptions: 0,
+            preempt: PreemptDecision::Inherit,
         }
     }
 

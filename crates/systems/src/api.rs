@@ -193,7 +193,7 @@ impl ServerSystem for SystemConfig {
 mod tests {
     use super::*;
     use crate::baseline::BaselineKind;
-    use nicsched::PolicyKind;
+    use nicsched::PolicySpec;
     use sim_core::SimDuration;
     use workload::ServiceDist;
 
@@ -221,7 +221,7 @@ mod tests {
                 groups: 2,
                 workers_per_group: 2,
                 time_slice: None,
-                policy: PolicyKind::Fcfs,
+                policy: PolicySpec::FCFS,
             }),
         ]
     }
@@ -318,12 +318,44 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_shims_match_the_trait() {
+    fn free_functions_match_the_trait() {
         let spec = quick_spec();
         let cfg = OffloadConfig::paper(4, 4);
+        let free = crate::offload::run_probed(spec, cfg, ProbeConfig::disabled());
+        let trait_run = cfg.run(spec, ProbeConfig::disabled());
+        assert_eq!(
+            free, trait_run,
+            "free function and trait must agree exactly"
+        );
+    }
+
+    #[test]
+    fn policy_kind_shim_matches_the_registry() {
+        // The deprecated `PolicyKind` enum must stay behaviourally
+        // identical to the registry specs it maps onto until removal.
         #[allow(deprecated)]
-        let old = crate::offload::run(spec, cfg);
-        let new = cfg.run(spec, ProbeConfig::disabled());
-        assert_eq!(old, new, "shim and trait must agree exactly");
+        let pairs = [
+            (nicsched::PolicyKind::Fcfs, "fcfs"),
+            (nicsched::PolicyKind::ShortestRemaining, "srf"),
+            (
+                nicsched::PolicyKind::ClassPriority(SimDuration::from_micros(10)),
+                "class-priority:cutoff=10us",
+            ),
+        ];
+        for (kind, spec_str) in pairs {
+            #[allow(deprecated)]
+            let via_kind = kind.spec();
+            let via_registry = PolicySpec::parse(spec_str).expect("valid spec");
+            assert_eq!(
+                via_kind, via_registry,
+                "{spec_str}: specs must intern equal"
+            );
+            let mut cfg = ShinjukuConfig::paper(4);
+            cfg.policy = via_kind;
+            let a = cfg.run(quick_spec(), ProbeConfig::disabled());
+            cfg.policy = via_registry;
+            let b = cfg.run(quick_spec(), ProbeConfig::disabled());
+            assert_eq!(a, b, "{spec_str}: shim and registry runs must match");
+        }
     }
 }

@@ -449,12 +449,6 @@ impl Model for Baseline {
     }
 }
 
-/// Run a run-to-completion baseline simulation of `spec` under `cfg`.
-#[deprecated(note = "use the `ServerSystem` trait: `cfg.run(spec, ProbeConfig::disabled())`")]
-pub fn run(spec: WorkloadSpec, cfg: BaselineConfig) -> RunMetrics {
-    run_probed(spec, cfg, ProbeConfig::disabled())
-}
-
 /// Run a run-to-completion baseline with stage-level observability.
 pub fn run_probed(spec: WorkloadSpec, cfg: BaselineConfig, probe: ProbeConfig) -> RunMetrics {
     run_with_elastic_probed(spec, cfg, probe).0
@@ -539,10 +533,13 @@ fn run_inner(
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the legacy free-function run API stays covered until removal
 mod tests {
     use super::*;
     use workload::ServiceDist;
+
+    fn run(spec: WorkloadSpec, cfg: BaselineConfig) -> RunMetrics {
+        run_probed(spec, cfg, ProbeConfig::disabled())
+    }
 
     fn quick_spec(rps: f64, dist: ServiceDist) -> WorkloadSpec {
         WorkloadSpec {
@@ -584,7 +581,11 @@ mod tests {
                 kind: BaselineKind::Rss,
             },
         );
-        let shinjuku = crate::shinjuku::run(spec, crate::shinjuku::ShinjukuConfig::paper(4));
+        let shinjuku = crate::shinjuku::run_probed(
+            spec,
+            crate::shinjuku::ShinjukuConfig::paper(4),
+            ProbeConfig::disabled(),
+        );
         assert!(
             rss.p99 > shinjuku.p99 * 2,
             "rss p99 {} should dwarf shinjuku p99 {}",
@@ -663,7 +664,6 @@ mod tests {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the legacy free-function run API stays covered until removal
 mod erss_tests {
     use super::*;
     use workload::ServiceDist;

@@ -663,7 +663,6 @@ pub fn assemble_metrics(
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the legacy free-function run API stays covered until removal
 mod tests {
     use super::*;
     use workload::ServiceDist;

@@ -20,7 +20,7 @@ use bytes::Bytes;
 use cpu_model::{ContextCosts, ContextPool, Core, CoreId, CoreSpec, OneShotTimer, TimerMode};
 use net_wire::{FrameSpec, MsgKind, MsgRepr, ParsedFrame};
 use nic_model::{IfaceId, Link, NicDevice, QueueSteering, Rss};
-use nicsched::{params, Assignment, Dispatcher, LeastOutstanding, PolicyKind, SchedPolicy, Task};
+use nicsched::{params, Assignment, Dispatcher, LeastOutstanding, PolicySpec, SchedPolicy, Task};
 use sim_core::{Ctx, Engine, FaultPlan, Model, Probe, ProbeConfig, Rng, SimDuration, SimTime};
 use workload::{RunMetrics, WorkloadSpec};
 
@@ -38,8 +38,8 @@ pub struct MultiShinjukuConfig {
     pub workers_per_group: usize,
     /// Preemption time slice; `None` disables preemption.
     pub time_slice: Option<SimDuration>,
-    /// Queue policy within each group.
-    pub policy: PolicyKind,
+    /// Queue policy within each group (a registry spec).
+    pub policy: PolicySpec,
 }
 
 impl MultiShinjukuConfig {
@@ -55,7 +55,7 @@ impl MultiShinjukuConfig {
             groups,
             workers_per_group: (total_cores - groups) / groups,
             time_slice: Some(params::TIME_SLICE),
-            policy: PolicyKind::Fcfs,
+            policy: PolicySpec::FCFS,
         }
     }
 
@@ -303,7 +303,9 @@ impl MultiShinjuku {
         ctx.probe().depth_i("worker.inbox", global, depth);
         let ctx_op = self.ctx_pool.begin(task.req_id);
         let mut overhead = ContextPool::op_cost(ctx_op, &self.ctx_costs, &self.host);
-        let run = match self.cfg.time_slice {
+        // Per-dispatch grants stamped by the group's policy survive the
+        // shared-memory hop intact; `Inherit` reproduces the static timer.
+        let run = match task.preempt.resolve(self.cfg.time_slice) {
             Some(slice) => {
                 overhead += TimerMode::DuneMapped.set_cost(&self.host);
                 task.remaining.min(slice)
@@ -371,6 +373,7 @@ impl MultiShinjuku {
                     remaining_ns: 0,
                     sent_at_ns: task.sent_at.as_nanos(),
                     body_len: task.body_len,
+                    grant_code: 0,
                 },
             };
             let depart = resp_built + self.nic.dma_latency;
@@ -542,6 +545,7 @@ impl Model for MultiShinjuku {
                                                 remaining_ns: 0,
                                                 sent_at_ns: task.sent_at.as_nanos(),
                                                 body_len: 0,
+                                                grant_code: 0,
                                             },
                                         };
                                         let depart = now + self.nic.dma_latency;
@@ -650,12 +654,6 @@ pub struct MultiRunMetrics {
     pub imbalance: f64,
 }
 
-/// Run a multi-dispatcher Shinjuku simulation.
-#[deprecated(note = "use the `ServerSystem` trait: `cfg.run(spec, ProbeConfig::disabled())`")]
-pub fn run(spec: WorkloadSpec, cfg: MultiShinjukuConfig) -> MultiRunMetrics {
-    run_probed(spec, cfg, ProbeConfig::disabled())
-}
-
 /// Run a multi-dispatcher Shinjuku simulation with stage-level
 /// observability (per-group stages are indexed, e.g. `dispatcher[1]`).
 pub fn run_probed(
@@ -713,10 +711,13 @@ pub fn run_resilient_probed(
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the legacy free-function run API stays covered until removal
 mod tests {
     use super::*;
     use workload::ServiceDist;
+
+    fn run(spec: WorkloadSpec, cfg: MultiShinjukuConfig) -> MultiRunMetrics {
+        run_probed(spec, cfg, ProbeConfig::disabled())
+    }
 
     fn quick_spec(rps: f64, dist: ServiceDist) -> WorkloadSpec {
         WorkloadSpec {
@@ -738,16 +739,17 @@ mod tests {
                 groups: 1,
                 workers_per_group: 3,
                 time_slice: None,
-                policy: PolicyKind::Fcfs,
+                policy: PolicySpec::FCFS,
             },
         );
-        let vanilla = crate::shinjuku::run(
+        let vanilla = crate::shinjuku::run_probed(
             spec,
             crate::shinjuku::ShinjukuConfig {
                 workers: 3,
                 time_slice: None,
-                policy: PolicyKind::Fcfs,
+                policy: PolicySpec::FCFS,
             },
+            ProbeConfig::disabled(),
         );
         assert_eq!(multi.metrics.completed, vanilla.completed);
         assert_eq!(multi.metrics.p99, vanilla.p99);
@@ -791,7 +793,7 @@ mod tests {
             groups: 1,
             workers_per_group: 11,
             time_slice: None,
-            policy: PolicyKind::Fcfs,
+            policy: PolicySpec::FCFS,
         };
         assert!((cfg.dispatch_overhead_fraction() - 1.0 / 12.0).abs() < 1e-9);
         // 4 groups of 11: still 8.33% of the machine.
@@ -799,7 +801,7 @@ mod tests {
             groups: 4,
             workers_per_group: 11,
             time_slice: None,
-            policy: PolicyKind::Fcfs,
+            policy: PolicySpec::FCFS,
         };
         assert!((cfg4.dispatch_overhead_fraction() - 1.0 / 12.0).abs() < 1e-9);
     }

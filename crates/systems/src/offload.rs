@@ -34,7 +34,7 @@ use net_wire::{FrameSpec, MsgKind, MsgRepr, ParsedFrame};
 use nic_model::{packet_lines, Ddio, IfaceId, Link, NicDevice, Placement, QueueSteering};
 use nicsched::{
     params, AdmitOutcome, Assignment, CoreSelector, Dispatcher, LeastOutstanding, NicProfile,
-    PolicyKind, SchedPolicy, SocketAffinity, Task,
+    PolicySpec, PreemptDecision, SchedPolicy, SocketAffinity, Task,
 };
 use sim_core::{Ctx, Engine, FaultPlan, Model, Probe, ProbeConfig, Rng, SimDuration, SimTime};
 use workload::{RunMetrics, WorkloadSpec};
@@ -59,8 +59,9 @@ pub struct OffloadConfig {
     /// DDIO cache-placement configuration.
     pub ddio_l1: bool,
     /// Centralized queue policy (the paper's prototype uses FCFS, §3.4.1;
-    /// the framework makes it programmable, §5.1(4)).
-    pub policy: PolicyKind,
+    /// the framework makes it programmable, §5.1(4)). A registry spec —
+    /// e.g. `PolicySpec::parse("edf:deadline=50us")`.
+    pub policy: PolicySpec,
     /// Model the dual-socket host (§1/§4): workers split across two
     /// sockets; DDIO pre-loads into socket 0's LLC (where the NIC hangs),
     /// so socket-1 workers pay a QPI/UPI hop per packet line.
@@ -91,7 +92,7 @@ impl OffloadConfig {
             time_slice: Some(params::TIME_SLICE),
             profile: NicProfile::stingray(),
             ddio_l1: false,
-            policy: PolicyKind::Fcfs,
+            policy: PolicySpec::FCFS,
             dual_socket: false,
             socket_aware: false,
             jit_target_depth: None,
@@ -489,6 +490,8 @@ impl Offload {
             arrived_at: ctx.now(),
             body_len: msg.body_len,
             preemptions: 0,
+            // The policy's slice grant rode the Assign frame's grant byte.
+            preempt: PreemptDecision::from_grant_code(msg.grant_code),
         };
 
         // Overheads before useful work: parse, context spawn/restore,
@@ -513,7 +516,9 @@ impl Offload {
             packet_lines(net_wire::message::HEADER_LEN + task.body_len as usize),
         );
 
-        let run = match self.cfg.time_slice {
+        // The policy's per-dispatch grant resolves against the configured
+        // slice (`Inherit` — grant byte 0 — reproduces the static timer).
+        let run = match task.preempt.resolve(self.cfg.time_slice) {
             Some(slice) => {
                 overhead += self.timer_set_cost();
                 // A NIC-initiated interrupt lands one transport latency
@@ -609,6 +614,7 @@ impl Offload {
                         + self.dispatcher.total_outstanding() as u64,
                     sent_at_ns: task.sent_at.as_nanos(),
                     body_len: task.body_len,
+                    grant_code: 0,
                 },
             };
             let depart = resp_built + self.nic.dma_latency;
@@ -625,6 +631,7 @@ impl Offload {
                     remaining_ns: 0,
                     sent_at_ns: task.sent_at.as_nanos(),
                     body_len: 0,
+                    grant_code: 0,
                 },
             );
             ctx.schedule_at(
@@ -657,6 +664,7 @@ impl Offload {
                         remaining_ns: 0,
                         sent_at_ns: after.sent_at.as_nanos(),
                         body_len: 0,
+                        grant_code: 0,
                     },
                 );
                 ctx.schedule_at(
@@ -684,6 +692,7 @@ impl Offload {
                     remaining_ns: after.remaining.as_nanos(),
                     sent_at_ns: after.sent_at.as_nanos(),
                     body_len: after.body_len,
+                    grant_code: 0,
                 },
             );
             ctx.schedule_at(
@@ -800,6 +809,7 @@ impl Model for Offload {
                                             remaining_ns: 0,
                                             sent_at_ns: task.sent_at.as_nanos(),
                                             body_len: 0,
+                                            grant_code: 0,
                                         },
                                     };
                                     let depart = now + self.nic.dma_latency;
@@ -851,6 +861,9 @@ impl Model for Offload {
                             remaining_ns: t.remaining.as_nanos(),
                             sent_at_ns: t.sent_at.as_nanos(),
                             body_len: t.body_len,
+                            // The slice grant must survive the wire: the
+                            // worker rebuilds its Task from this frame.
+                            grant_code: t.preempt.grant_code(),
                         },
                     };
                     ctx.schedule_in(
@@ -930,6 +943,7 @@ impl Model for Offload {
                                             arrived_at: arrived,
                                             body_len: msg.body_len,
                                             preemptions: 0,
+                                            preempt: PreemptDecision::Inherit,
                                         },
                                     })
                                 }
@@ -1009,12 +1023,6 @@ impl Model for Offload {
     }
 }
 
-/// Run a Shinjuku-Offload simulation of `spec` under `cfg`.
-#[deprecated(note = "use the `ServerSystem` trait: `cfg.run(spec, ProbeConfig::disabled())`")]
-pub fn run(spec: WorkloadSpec, cfg: OffloadConfig) -> RunMetrics {
-    run_probed(spec, cfg, ProbeConfig::disabled())
-}
-
 /// Run a Shinjuku-Offload simulation with stage-level observability.
 pub fn run_probed(spec: WorkloadSpec, cfg: OffloadConfig, probe: ProbeConfig) -> RunMetrics {
     run_resilient_probed(spec, cfg, probe, ResilienceConfig::default())
@@ -1073,10 +1081,13 @@ pub fn run_resilient_probed(
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the legacy free-function run API stays covered until removal
 mod tests {
     use super::*;
     use workload::ServiceDist;
+
+    fn run(spec: WorkloadSpec, cfg: OffloadConfig) -> RunMetrics {
+        run_probed(spec, cfg, ProbeConfig::disabled())
+    }
 
     fn quick_spec(rps: f64, dist: ServiceDist) -> WorkloadSpec {
         WorkloadSpec {
@@ -1218,10 +1229,13 @@ mod tests {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the legacy free-function run API stays covered until removal
 mod socket_tests {
     use super::*;
     use workload::ServiceDist;
+
+    fn run(spec: WorkloadSpec, cfg: OffloadConfig) -> RunMetrics {
+        run_probed(spec, cfg, ProbeConfig::disabled())
+    }
 
     fn quick_spec(rps: f64) -> WorkloadSpec {
         WorkloadSpec {
@@ -1315,10 +1329,13 @@ mod socket_tests {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the legacy free-function run API stays covered until removal
 mod jit_tests {
     use super::*;
     use workload::ServiceDist;
+
+    fn run(spec: WorkloadSpec, cfg: OffloadConfig) -> RunMetrics {
+        run_probed(spec, cfg, ProbeConfig::disabled())
+    }
 
     fn over_capacity_spec() -> WorkloadSpec {
         // 4 workers x 5.475us mean = ~730k capacity; offer 850k.
@@ -1388,10 +1405,13 @@ mod jit_tests {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the legacy free-function run API stays covered until removal
 mod robustness_tests {
     use super::*;
     use workload::{ArrivalProcess, ServiceDist};
+
+    fn run(spec: WorkloadSpec, cfg: OffloadConfig) -> RunMetrics {
+        run_probed(spec, cfg, ProbeConfig::disabled())
+    }
 
     fn quick_spec(rps: f64) -> WorkloadSpec {
         WorkloadSpec {

@@ -297,6 +297,7 @@ impl Model for RpcValet {
                         remaining_ns: 0,
                         sent_at_ns: task.sent_at.as_nanos(),
                         body_len: task.body_len,
+                        grant_code: 0,
                     },
                 };
                 // Integrated NI: the response departs without a PCIe hop.
@@ -332,12 +333,6 @@ impl Model for RpcValet {
             }
         }
     }
-}
-
-/// Run an RPCValet-style simulation of `spec` under `cfg`.
-#[deprecated(note = "use the `ServerSystem` trait: `cfg.run(spec, ProbeConfig::disabled())`")]
-pub fn run(spec: WorkloadSpec, cfg: RpcValetConfig) -> RunMetrics {
-    run_probed(spec, cfg, ProbeConfig::disabled())
 }
 
 /// Run an RPCValet-style simulation with stage-level observability.
@@ -386,10 +381,13 @@ pub fn run_resilient_probed(
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the legacy free-function run API stays covered until removal
 mod tests {
     use super::*;
     use workload::ServiceDist;
+
+    fn run(spec: WorkloadSpec, cfg: RpcValetConfig) -> RunMetrics {
+        run_probed(spec, cfg, ProbeConfig::disabled())
+    }
 
     fn quick_spec(rps: f64, dist: ServiceDist) -> WorkloadSpec {
         WorkloadSpec {
@@ -410,13 +408,14 @@ mod tests {
         // beating host Shinjuku's dispatcher-capped throughput.
         let spec = quick_spec(7_000_000.0, ServiceDist::Fixed(SimDuration::from_micros(1)));
         let valet = run(spec, RpcValetConfig { workers: 16 });
-        let shinjuku = crate::shinjuku::run(
+        let shinjuku = crate::shinjuku::run_probed(
             spec,
             crate::shinjuku::ShinjukuConfig {
                 workers: 16,
                 time_slice: None,
-                policy: nicsched::PolicyKind::Fcfs,
+                policy: nicsched::PolicySpec::FCFS,
             },
+            ProbeConfig::disabled(),
         );
         assert!(
             valet.achieved_rps > shinjuku.achieved_rps * 1.4,
@@ -437,7 +436,11 @@ mod tests {
         // latency beats every software design in the repository.
         let spec = quick_spec(100_000.0, ServiceDist::Fixed(SimDuration::from_micros(1)));
         let valet = run(spec, RpcValetConfig { workers: 4 });
-        let offload = crate::offload::run(spec, crate::offload::OffloadConfig::paper(4, 4));
+        let offload = crate::offload::run_probed(
+            spec,
+            crate::offload::OffloadConfig::paper(4, 4),
+            ProbeConfig::disabled(),
+        );
         assert!(valet.p50 < offload.p50, "{} vs {}", valet.p50, offload.p50);
     }
 
@@ -456,7 +459,11 @@ mod tests {
         };
         let spec = quick_spec(280_000.0, dist); // rho ~ 0.83 on 4 workers
         let valet = run(spec, RpcValetConfig { workers: 4 });
-        let offload = crate::offload::run(spec, crate::offload::OffloadConfig::paper(4, 4));
+        let offload = crate::offload::run_probed(
+            spec,
+            crate::offload::OffloadConfig::paper(4, 4),
+            ProbeConfig::disabled(),
+        );
         assert!(
             valet.p99_short > offload.p99_short * 2,
             "short requests stuck behind 200us ones: valet {} vs offload {}",

@@ -20,7 +20,7 @@ use cpu_model::{ContextCosts, ContextPool, Core, CoreId, CoreSpec, OneShotTimer,
 use net_wire::{FrameSpec, MsgKind, MsgRepr, ParsedFrame};
 use nic_model::{IfaceId, Link, NicDevice, QueueSteering};
 use nicsched::{
-    params, AdmitOutcome, Assignment, Dispatcher, LeastOutstanding, PolicyKind, SchedPolicy, Task,
+    params, AdmitOutcome, Assignment, Dispatcher, LeastOutstanding, PolicySpec, SchedPolicy, Task,
 };
 use sim_core::{Ctx, Engine, FaultPlan, Model, Probe, ProbeConfig, Rng, SimDuration, SimTime};
 use workload::{RunMetrics, WorkloadSpec};
@@ -39,8 +39,9 @@ pub struct ShinjukuConfig {
     pub workers: usize,
     /// Preemption time slice; `None` disables preemption.
     pub time_slice: Option<SimDuration>,
-    /// Centralized queue policy (FCFS in the original system).
-    pub policy: PolicyKind,
+    /// Centralized queue policy (FCFS in the original system); a registry
+    /// spec such as `PolicySpec::parse("srpt")`.
+    pub policy: PolicySpec,
 }
 
 impl ShinjukuConfig {
@@ -49,7 +50,7 @@ impl ShinjukuConfig {
         ShinjukuConfig {
             workers,
             time_slice: Some(params::TIME_SLICE),
-            policy: PolicyKind::Fcfs,
+            policy: PolicySpec::FCFS,
         }
     }
 }
@@ -283,7 +284,10 @@ impl Shinjuku {
             .depth_i("worker.inbox", w, self.workers[w].inbox.len());
         let ctx_op = self.ctx_pool.begin(task.req_id);
         let mut overhead = ContextPool::op_cost(ctx_op, &self.ctx_costs, &self.host);
-        let run = match self.cfg.time_slice {
+        // The policy's per-dispatch grant (carried on the task — the
+        // shared-memory path preserves it exactly) resolves against the
+        // configured slice; `Inherit` reproduces the static timer.
+        let run = match task.preempt.resolve(self.cfg.time_slice) {
             Some(slice) => {
                 // Dune-mapped APIC timers — the mechanism Shinjuku itself
                 // introduced (§3.4.4 cites its cost numbers).
@@ -343,6 +347,7 @@ impl Shinjuku {
                     remaining_ns: 0,
                     sent_at_ns: task.sent_at.as_nanos(),
                     body_len: task.body_len,
+                    grant_code: 0,
                 },
             };
             let depart = resp_built + self.nic.dma_latency;
@@ -494,6 +499,7 @@ impl Model for Shinjuku {
                                             remaining_ns: 0,
                                             sent_at_ns: task.sent_at.as_nanos(),
                                             body_len: 0,
+                                            grant_code: 0,
                                         },
                                     };
                                     let depart = now + self.nic.dma_latency;
@@ -616,12 +622,6 @@ impl Model for Shinjuku {
     }
 }
 
-/// Run a vanilla Shinjuku simulation of `spec` under `cfg`.
-#[deprecated(note = "use the `ServerSystem` trait: `cfg.run(spec, ProbeConfig::disabled())`")]
-pub fn run(spec: WorkloadSpec, cfg: ShinjukuConfig) -> RunMetrics {
-    run_probed(spec, cfg, ProbeConfig::disabled())
-}
-
 /// Run a vanilla Shinjuku simulation with stage-level observability.
 pub fn run_probed(spec: WorkloadSpec, cfg: ShinjukuConfig, probe: ProbeConfig) -> RunMetrics {
     run_resilient_probed(spec, cfg, probe, ResilienceConfig::default())
@@ -679,10 +679,13 @@ pub fn run_resilient_probed(
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the legacy free-function run API stays covered until removal
 mod tests {
     use super::*;
     use workload::ServiceDist;
+
+    fn run(spec: WorkloadSpec, cfg: ShinjukuConfig) -> RunMetrics {
+        run_probed(spec, cfg, ProbeConfig::disabled())
+    }
 
     fn quick_spec(rps: f64, dist: ServiceDist) -> WorkloadSpec {
         WorkloadSpec {
@@ -710,7 +713,11 @@ mod tests {
         // latency beats Shinjuku-Offload's.
         let spec = quick_spec(5_000.0, ServiceDist::Fixed(SimDuration::from_micros(1)));
         let host = run(spec, ShinjukuConfig::paper(2));
-        let offload = crate::offload::run(spec, crate::offload::OffloadConfig::paper(2, 2));
+        let offload = crate::offload::run_probed(
+            spec,
+            crate::offload::OffloadConfig::paper(2, 2),
+            ProbeConfig::disabled(),
+        );
         assert!(
             host.p50 < offload.p50,
             "host {} should undercut offload {} at low load",

@@ -5,9 +5,9 @@
 //!    separate estimate.
 //! 2. Probing never perturbs the simulation: metrics with the probe
 //!    enabled equal metrics with it disabled, and the disabled path is
-//!    bit-identical to the legacy free-function API.
+//!    bit-identical to the direct free-function API.
 
-use nicsched::PolicyKind;
+use nicsched::PolicySpec;
 use sim_core::{ProbeConfig, SimDuration};
 use systems::baseline::{BaselineConfig, BaselineKind};
 use systems::multi_shinjuku::MultiShinjukuConfig;
@@ -57,8 +57,9 @@ fn offload_hop_breakdown_reconciles_with_client_sojourn() {
 }
 
 #[test]
-fn disabled_probe_is_bit_identical_to_the_legacy_path() {
+fn disabled_probe_is_bit_identical_to_the_free_functions() {
     let spec = uniform_chain_spec();
+    let probe = ProbeConfig::disabled();
     for sys in [
         SystemConfig::Offload(OffloadConfig::paper(4, 4)),
         SystemConfig::Shinjuku(ShinjukuConfig::paper(4)),
@@ -71,24 +72,25 @@ fn disabled_probe_is_bit_identical_to_the_legacy_path() {
             groups: 2,
             workers_per_group: 2,
             time_slice: None,
-            policy: PolicyKind::Fcfs,
+            policy: PolicySpec::FCFS,
         }),
     ] {
-        let disabled = sys.run(spec, ProbeConfig::disabled());
+        let disabled = sys.run(spec, probe);
         assert!(disabled.stages.is_none());
 
-        #[allow(deprecated)]
-        let legacy = match sys {
-            SystemConfig::Offload(c) => systems::offload::run(spec, c),
-            SystemConfig::Shinjuku(c) => systems::shinjuku::run(spec, c),
-            SystemConfig::Baseline(c) => systems::baseline::run(spec, c),
-            SystemConfig::RpcValet(c) => systems::rpcvalet::run(spec, c),
-            SystemConfig::MultiShinjuku(c) => systems::multi_shinjuku::run(spec, c).metrics,
+        let direct = match sys {
+            SystemConfig::Offload(c) => systems::offload::run_probed(spec, c, probe),
+            SystemConfig::Shinjuku(c) => systems::shinjuku::run_probed(spec, c, probe),
+            SystemConfig::Baseline(c) => systems::baseline::run_probed(spec, c, probe),
+            SystemConfig::RpcValet(c) => systems::rpcvalet::run_probed(spec, c, probe),
+            SystemConfig::MultiShinjuku(c) => {
+                systems::multi_shinjuku::run_probed(spec, c, probe).metrics
+            }
         };
         assert_eq!(
             disabled,
-            legacy,
-            "{}: shim must be bit-identical",
+            direct,
+            "{}: trait must be bit-identical to the free function",
             sys.name()
         );
     }
