@@ -32,6 +32,7 @@ pub mod figures;
 pub mod microbench;
 pub mod plot;
 pub mod policies;
+pub mod recovery;
 pub mod report;
 pub mod resilience;
 pub mod sweep;

@@ -37,6 +37,10 @@ pub enum MsgKind {
     /// was shed by admission control and will never run; retry or give up
     /// now instead of waiting out the timeout.
     Nack,
+    /// Worker → dispatcher: lease renewal for the failure detector. Only
+    /// emitted when NIC-side recovery is enabled; runs without recovery
+    /// never put this kind on the wire.
+    Heartbeat,
 }
 
 impl MsgKind {
@@ -49,6 +53,7 @@ impl MsgKind {
             MsgKind::Preempted => 5,
             MsgKind::Feedback => 6,
             MsgKind::Nack => 7,
+            MsgKind::Heartbeat => 8,
         }
     }
 
@@ -61,6 +66,7 @@ impl MsgKind {
             5 => MsgKind::Preempted,
             6 => MsgKind::Feedback,
             7 => MsgKind::Nack,
+            8 => MsgKind::Heartbeat,
             _ => return Err(WireError::Malformed),
         })
     }
@@ -237,6 +243,7 @@ mod tests {
             MsgKind::Preempted,
             MsgKind::Feedback,
             MsgKind::Nack,
+            MsgKind::Heartbeat,
         ] {
             let m = sample().with_kind(kind);
             let mut buf = vec![0u8; m.buffer_len()];
@@ -328,6 +335,7 @@ mod proptests {
             Just(MsgKind::Preempted),
             Just(MsgKind::Feedback),
             Just(MsgKind::Nack),
+            Just(MsgKind::Heartbeat),
         ]
     }
 

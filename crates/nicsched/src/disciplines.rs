@@ -51,6 +51,12 @@ impl SchedPolicy for Cfcfs {
     fn dequeue(&mut self, now: SimTime) -> Option<Task> {
         self.0.dequeue(now)
     }
+    fn worker_down(&mut self, now: SimTime, worker: usize) {
+        self.0.worker_down(now, worker)
+    }
+    fn worker_up(&mut self, now: SimTime, worker: usize) {
+        self.0.worker_up(now, worker)
+    }
     fn len(&self) -> usize {
         self.0.len()
     }
@@ -73,6 +79,9 @@ impl SchedPolicy for Cfcfs {
 #[derive(Debug)]
 pub struct Dfcfs {
     queues: Vec<VecDeque<(u64, Task)>>,
+    /// Workers the failure detector has taken out of the candidate set;
+    /// their home traffic re-homes to the next live worker.
+    down: Vec<bool>,
     seq: u64,
     queued: usize,
     depth: DepthStats,
@@ -84,10 +93,26 @@ impl Dfcfs {
     pub fn new() -> Dfcfs {
         Dfcfs {
             queues: Vec::new(),
+            down: Vec::new(),
             seq: 0,
             queued: 0,
             depth: DepthStats::new(),
         }
+    }
+
+    /// Where `home`'s traffic lands: `home` itself while it is live,
+    /// otherwise the next live worker scanning upward (wrapping). With the
+    /// whole fleet down the original home keeps the queue so nothing is
+    /// lost.
+    fn redirect(&self, home: usize) -> usize {
+        let n = self.queues.len();
+        if !self.down.get(home).copied().unwrap_or(false) {
+            return home;
+        }
+        (1..n)
+            .map(|d| (home + d) % n)
+            .find(|&w| !self.down.get(w).copied().unwrap_or(false))
+            .unwrap_or(home)
     }
 
     fn push(&mut self, now: SimTime, task: Task) {
@@ -95,7 +120,7 @@ impl Dfcfs {
             // Standalone use without init(): behave as one shared queue.
             self.queues.push(VecDeque::new());
         }
-        let home = rss_home(task.req_id, self.queues.len());
+        let home = self.redirect(rss_home(task.req_id, self.queues.len()));
         let seq = self.seq;
         self.seq += 1;
         self.queues[home].push_back((seq, task));
@@ -144,6 +169,7 @@ impl SchedPolicy for Dfcfs {
     fn init(&mut self, n_workers: usize) {
         assert!(self.queued == 0, "init() after enqueue would re-home tasks");
         self.queues = (0..n_workers.max(1)).map(|_| VecDeque::new()).collect();
+        self.down = vec![false; self.queues.len()];
     }
 
     fn enqueue(&mut self, now: SimTime, task: Task) {
@@ -168,6 +194,33 @@ impl SchedPolicy for Dfcfs {
         let q = self.earliest_head(Some(candidates))?;
         let t = self.pop_from(now, q)?;
         Some(Pick::on(t, q))
+    }
+
+    fn worker_down(&mut self, _now: SimTime, worker: usize) {
+        if worker >= self.queues.len() {
+            return;
+        }
+        if self.down.len() < self.queues.len() {
+            self.down.resize(self.queues.len(), false);
+        }
+        self.down[worker] = true;
+        // Re-home everything queued on the dead worker. Admission
+        // sequence numbers travel with the tasks and each destination
+        // queue stays seq-sorted, so global FIFO order survives the move.
+        let orphans: Vec<(u64, Task)> = self.queues[worker].drain(..).collect();
+        for (seq, task) in orphans {
+            let dest = self.redirect(rss_home(task.req_id, self.queues.len()));
+            let q = &mut self.queues[dest];
+            let pos = q.partition_point(|&(s, _)| s < seq);
+            q.insert(pos, (seq, task));
+        }
+    }
+
+    fn worker_up(&mut self, _now: SimTime, worker: usize) {
+        if let Some(d) = self.down.get_mut(worker) {
+            // Re-homed tasks stay put; only new arrivals home here again.
+            *d = false;
+        }
     }
 
     fn len(&self) -> usize {
@@ -269,7 +322,14 @@ pub struct Srpt {
     /// Never grant a budget below this (guards against a tiny estimate
     /// causing preemption storms).
     floor: SimDuration,
+    /// Samples left in the post-membership-change fast-relearn window:
+    /// while non-zero the EWMA gain drops to 2 so the estimate re-tracks
+    /// the surviving fleet's service times quickly.
+    fast: u64,
 }
+
+/// How many completions [`Srpt`] weighs heavily after a membership change.
+const SRPT_FAST_RELEARN_SAMPLES: u64 = 8;
 
 impl Srpt {
     /// Default SRPT: gain 8, budget 200% of the estimate, 1 µs floor.
@@ -286,6 +346,7 @@ impl Srpt {
             gain: gain.max(1),
             boost,
             floor,
+            fast: 0,
         }
     }
 
@@ -295,13 +356,19 @@ impl Srpt {
     }
 
     fn observe(&mut self, service: SimDuration) {
+        let gain = if self.fast > 0 {
+            self.fast -= 1;
+            self.gain.min(2)
+        } else {
+            self.gain
+        };
         let s = service.as_nanos();
         if self.samples == 0 {
             self.est_ns = s;
         } else if s >= self.est_ns {
-            self.est_ns += (s - self.est_ns) / self.gain;
+            self.est_ns += (s - self.est_ns) / gain;
         } else {
-            self.est_ns -= (self.est_ns - s) / self.gain;
+            self.est_ns -= (self.est_ns - s) / gain;
         }
         self.samples += 1;
     }
@@ -343,6 +410,18 @@ impl SchedPolicy for Srpt {
         }
         let budget = SimDuration::from_nanos(self.est_ns / 100 * self.boost);
         PreemptDecision::Budget(budget.max(self.floor))
+    }
+
+    fn worker_down(&mut self, _now: SimTime, _worker: usize) {
+        // The learned size distribution reflects the old fleet; weigh the
+        // next completions heavily so the estimate re-tracks the
+        // survivors (who now absorb the reclaimed load) quickly.
+        self.fast = SRPT_FAST_RELEARN_SAMPLES;
+    }
+
+    fn worker_up(&mut self, _now: SimTime, _worker: usize) {
+        // Readmission changes capacity just like suspicion did.
+        self.fast = SRPT_FAST_RELEARN_SAMPLES;
     }
 
     fn len(&self) -> usize {
@@ -513,6 +592,21 @@ impl WeightedFair {
         self.queued += 1;
         self.depth.set(now, self.queued);
     }
+
+    /// Fairness is epoch-scoped to the worker membership: when the
+    /// failure detector changes the fleet, accumulated cross-tenant
+    /// virtual lead no longer reflects real capacity. Re-tag every
+    /// backlogged head one weighted charge past the current virtual time
+    /// so post-change arbitration restarts from the weights alone —
+    /// reclaimed re-dispatches then compete on weight, not on stale
+    /// credit earned against the old fleet.
+    fn rebase(&mut self) {
+        for lane in 0..self.lanes.len() {
+            if let Some(head) = self.lanes[lane].front().copied() {
+                self.finish[lane] = self.vtime + self.charge(lane, &head);
+            }
+        }
+    }
 }
 
 impl SchedPolicy for WeightedFair {
@@ -541,6 +635,14 @@ impl SchedPolicy for WeightedFair {
         self.queued -= 1;
         self.depth.set(now, self.queued);
         Some(task)
+    }
+
+    fn worker_down(&mut self, _now: SimTime, _worker: usize) {
+        self.rebase();
+    }
+
+    fn worker_up(&mut self, _now: SimTime, _worker: usize) {
+        self.rebase();
     }
 
     fn len(&self) -> usize {
@@ -603,6 +705,7 @@ mod tests {
             outstanding: 0,
             last_req: None,
             idle_since: Some(SimTime::ZERO),
+            health: crate::WorkerHealth::Healthy,
         }
     }
 
@@ -807,6 +910,90 @@ mod tests {
         let order = drain(&mut q, us(1));
         // Equal weights, equal sizes: strict alternation.
         assert_eq!(order, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn dfcfs_rehomes_queued_and_future_work_on_worker_down() {
+        let mut q = Dfcfs::new();
+        q.init(4);
+        let homed2 = (0..100).find(|&i| rss_home(i, 4) == 2).unwrap();
+        let homed2b = (homed2 + 1..200).find(|&i| rss_home(i, 4) == 2).unwrap();
+        q.enqueue(us(0), task(homed2, 5));
+        q.worker_down(us(1), 2);
+        // Queued work moved to the next live worker and serves there.
+        let views: Vec<WorkerView> = [0, 1, 3].into_iter().map(view).collect();
+        let p = q
+            .pick_next(us(2), &views)
+            .expect("re-homed task dispatchable");
+        assert_eq!(p.task.req_id, homed2);
+        assert_eq!(p.worker, Some(3), "next live worker after 2");
+        // New arrivals for the dead home redirect too.
+        q.enqueue(us(3), task(homed2b, 5));
+        let p = q.pick_next(us(4), &views).unwrap();
+        assert_eq!(p.worker, Some(3));
+        // After readmission, fresh arrivals home to 2 again.
+        q.worker_up(us(5), 2);
+        q.enqueue(us(6), task(homed2, 5));
+        let p = q.pick_next(us(7), &[view(2)]).unwrap();
+        assert_eq!(p.worker, Some(2));
+    }
+
+    #[test]
+    fn dfcfs_rehoming_preserves_global_fifo() {
+        let mut q = Dfcfs::new();
+        q.init(4);
+        let homed2 = (0..100).find(|&i| rss_home(i, 4) == 2).unwrap();
+        let homed3 = (0..100).find(|&i| rss_home(i, 4) == 3).unwrap();
+        q.enqueue(us(0), task(homed2, 5)); // admitted first
+        q.enqueue(us(0), task(homed3, 5));
+        q.worker_down(us(1), 2);
+        // Both now serve on worker 3; admission order must hold.
+        let order: Vec<u64> = (0..2)
+            .map(|_| q.pick_next(us(2), &[view(3)]).unwrap().task.req_id)
+            .collect();
+        assert_eq!(order, vec![homed2, homed3]);
+    }
+
+    #[test]
+    fn srpt_relearns_fast_after_membership_change() {
+        let done = |id: u64, service_us: u64| FeedbackEvent::Completed {
+            worker: 0,
+            req_id: id,
+            service: SimDuration::from_micros(service_us),
+        };
+        let mut slow = Srpt::new();
+        let mut fast = Srpt::new();
+        for q in [&mut slow, &mut fast] {
+            q.feedback(us(0), &done(1, 80));
+        }
+        fast.worker_down(us(1), 0);
+        for q in [&mut slow, &mut fast] {
+            q.feedback(us(2), &done(2, 8));
+        }
+        // Steady gain 8: 80 - 72/8 = 71us. Fast-relearn gain 2: 80 - 72/2.
+        assert_eq!(slow.estimate(), SimDuration::from_micros(71));
+        assert_eq!(fast.estimate(), SimDuration::from_micros(44));
+    }
+
+    #[test]
+    fn wfq_membership_change_rebases_virtual_time() {
+        // Weights 3:1; even ids land on lane 0, odd on lane 1.
+        let mut plain = WeightedFair::new(vec![3, 1]);
+        let mut rebased = WeightedFair::new(vec![3, 1]);
+        for q in [&mut plain, &mut rebased] {
+            for id in 0..7 {
+                q.enqueue(us(0), task(id, 10));
+            }
+            for _ in 0..3 {
+                q.dequeue(us(1));
+            }
+        }
+        // Without a membership change the low-weight lane's head is next
+        // (its finish tag predates lane 0's accumulated charges); after
+        // rebase both heads restart from vtime and weight 3 leads again.
+        assert_eq!(plain.dequeue(us(2)).unwrap().req_id % 2, 1);
+        rebased.worker_down(us(2), 0);
+        assert_eq!(rebased.dequeue(us(2)).unwrap().req_id % 2, 0);
     }
 
     #[test]

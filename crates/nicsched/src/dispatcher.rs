@@ -18,6 +18,22 @@
 //! [`should_preempt`](SchedPolicy::should_preempt) (whose grant is stamped
 //! on the assigned task); completions, preemptions, and core-status
 //! reports are mirrored to [`feedback`](SchedPolicy::feedback).
+//!
+//! # Failure recovery
+//!
+//! With [`enable_recovery`](Dispatcher::enable_recovery) the dispatcher
+//! runs a [`HealthTracker`] over its workers: every completion, preemption
+//! notice, or heartbeat renews the worker's lease, and
+//! [`check_health`](Dispatcher::check_health) (driven by the embedding's
+//! periodic event) suspects workers whose lease expired while they held
+//! outstanding work. A suspected worker's in-flight requests are
+//! *reclaimed*: released from its outstanding count, re-queued through the
+//! policy, and re-dispatched to healthy workers — instead of stranding
+//! until the client-side retry timeout. Exactly-once accounting handles
+//! the false positive: if the suspect was merely slow and later reports a
+//! completion (or preemption) for a reclaimed request, the stale report is
+//! absorbed into the recovery ledger ([`DispatchStats::late_duplicates`])
+//! without double-completing, and the worker is readmitted.
 
 use std::collections::BTreeMap;
 
@@ -26,6 +42,7 @@ use sim_core::{SimDuration, SimTime};
 use crate::admission::{Admission, AdmissionPolicy};
 use crate::feedback::CoreFeedback;
 use crate::policy::{FeedbackEvent, RunningTask, SchedPolicy};
+use crate::recovery::{HealthTracker, RecoveryPolicy, WorkerHealth};
 use crate::select::{CoreSelector, WorkerView};
 use crate::task::Task;
 
@@ -52,6 +69,12 @@ pub struct DispatchStats {
     pub requeued: u64,
     /// Requests refused by the admission policy.
     pub shed: u64,
+    /// In-flight requests reclaimed from suspected workers and re-queued
+    /// for re-dispatch (also counted in `requeued`).
+    pub recovered: u64,
+    /// Late done/preempt reports from a worker a request was already
+    /// reclaimed from, absorbed by the exactly-once filter.
+    pub late_duplicates: u64,
 }
 
 /// Outcome of [`Dispatcher::offer`]: either the request was admitted (with
@@ -73,6 +96,16 @@ struct WorkerState {
     outstanding: u32,
     last_req: Option<u64>,
     idle_since: Option<SimTime>,
+}
+
+/// A dispatched request the dispatcher is still waiting on: which worker
+/// owns it and the task as last dispatched (so a reclaim can re-queue it
+/// and a completion can report the true service to the policy — the
+/// wire's Done frame does not carry the service time back).
+#[derive(Clone, Copy, Debug)]
+struct InFlight {
+    worker: usize,
+    task: Task,
 }
 
 /// The centralized dispatcher state machine.
@@ -110,10 +143,19 @@ pub struct Dispatcher<P, S> {
     degraded: bool,
     // Workers quarantined from selection (crashed or silent too long).
     excluded: Vec<bool>,
-    // Total service of each dispatched request, so completions can report
-    // it to the policy's feedback hook (the wire's Done frame does not
-    // carry the service time back).
-    in_flight: BTreeMap<u64, SimDuration>,
+    // Every dispatched request the dispatcher is waiting on, keyed by
+    // request id (deterministic iteration order for reclaims).
+    in_flight: BTreeMap<u64, InFlight>,
+    // The failure detector; `None` (recovery off) is bit-identical to the
+    // pre-recovery dispatcher.
+    health: Option<HealthTracker>,
+    // Exactly-once filter: how many zombie copies of (req_id, worker) are
+    // owed a stale report — one per reclaim of that request from that
+    // worker. A late report matching an entry is absorbed instead of
+    // re-counted. Counted, not a set: a request can be reclaimed from the
+    // same worker twice across a readmission, and from several workers
+    // along a re-dispatch chain.
+    reclaimed: BTreeMap<(u64, usize), u32>,
     /// Exported counters.
     pub stats: DispatchStats,
 }
@@ -143,8 +185,27 @@ impl<P: SchedPolicy, S: CoreSelector> Dispatcher<P, S> {
             degraded: false,
             excluded: vec![false; n_workers],
             in_flight: BTreeMap::new(),
+            health: None,
+            reclaimed: BTreeMap::new(),
             stats: DispatchStats::default(),
         }
+    }
+
+    /// Arm NIC-side failure detection with the given lease policy. Until
+    /// this is called the dispatcher behaves bit-identically to the
+    /// pre-recovery code path.
+    pub fn enable_recovery(&mut self, policy: RecoveryPolicy) {
+        self.health = Some(HealthTracker::new(self.workers.len(), policy));
+    }
+
+    /// The failure detector, when recovery is armed.
+    pub fn health(&self) -> Option<&HealthTracker> {
+        self.health.as_ref()
+    }
+
+    /// Whether NIC-side failure detection is armed.
+    pub fn recovery_enabled(&self) -> bool {
+        self.health.is_some()
     }
 
     /// Replace the admission policy (default: [`AdmissionPolicy::Open`]).
@@ -202,6 +263,10 @@ impl<P: SchedPolicy, S: CoreSelector> Dispatcher<P, S> {
 
     /// A worker reported finishing `req_id`.
     pub fn on_done(&mut self, now: SimTime, worker: usize, req_id: u64) -> Vec<Assignment> {
+        if self.is_stale_report(worker, req_id) {
+            return self.absorb_stale_report(now, worker, req_id);
+        }
+        self.note_activity(now, worker);
         self.stats.completions += 1;
         let w = &mut self.workers[worker];
         debug_assert!(
@@ -213,7 +278,11 @@ impl<P: SchedPolicy, S: CoreSelector> Dispatcher<P, S> {
         if w.outstanding == 0 {
             w.idle_since = Some(now);
         }
-        let service = self.in_flight.remove(&req_id).unwrap_or(SimDuration::ZERO);
+        let service = self
+            .in_flight
+            .remove(&req_id)
+            .map(|e| e.task.service)
+            .unwrap_or(SimDuration::ZERO);
         self.policy.feedback(
             now,
             &FeedbackEvent::Completed {
@@ -229,6 +298,10 @@ impl<P: SchedPolicy, S: CoreSelector> Dispatcher<P, S> {
     /// task returns to the queue and may later run on any worker the
     /// policy allows.
     pub fn on_preempted(&mut self, now: SimTime, worker: usize, task: Task) -> Vec<Assignment> {
+        if self.is_stale_report(worker, task.req_id) {
+            return self.absorb_stale_report(now, worker, task.req_id);
+        }
+        self.note_activity(now, worker);
         self.stats.requeued += 1;
         let w = &mut self.workers[worker];
         debug_assert!(
@@ -251,6 +324,124 @@ impl<P: SchedPolicy, S: CoreSelector> Dispatcher<P, S> {
         );
         self.policy.requeue(now, task);
         self.drain(now)
+    }
+
+    /// A heartbeat frame arrived from `worker` (the lease-renewal signal
+    /// on the completion path). Renews the lease; if this readmits a
+    /// suspected worker, queued work may flow to it again.
+    pub fn on_heartbeat(&mut self, now: SimTime, worker: usize) -> Vec<Assignment> {
+        if self.note_activity(now, worker) {
+            self.drain(now)
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Advance the failure detector to `now` (driven by the embedding's
+    /// periodic health event — the suspicion "timer" is this event, not a
+    /// wall clock). Newly suspected workers have their in-flight requests
+    /// reclaimed and re-dispatched to healthy workers. No-op when recovery
+    /// is off.
+    pub fn check_health(&mut self, now: SimTime) -> Vec<Assignment> {
+        let Some(h) = self.health.as_mut() else {
+            return Vec::new();
+        };
+        let outstanding: Vec<u32> = self.workers.iter().map(|w| w.outstanding).collect();
+        let suspects = h.check(now, &outstanding);
+        if suspects.is_empty() {
+            return Vec::new();
+        }
+        for w in suspects {
+            self.policy.worker_down(now, w);
+            self.reclaim(now, w);
+        }
+        self.drain(now)
+    }
+
+    /// Release every in-flight request charged to `worker` and re-queue it
+    /// through the policy, marking each for the exactly-once filter.
+    fn reclaim(&mut self, now: SimTime, worker: usize) {
+        let ids: Vec<u64> = self
+            .in_flight
+            .iter()
+            .filter(|(_, e)| e.worker == worker)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in ids {
+            let e = self.in_flight.remove(&id).expect("collected above");
+            let w = &mut self.workers[worker];
+            w.outstanding = w.outstanding.saturating_sub(1);
+            if w.outstanding == 0 {
+                w.idle_since = Some(now);
+            }
+            *self.reclaimed.entry((id, worker)).or_insert(0) += 1;
+            self.stats.recovered += 1;
+            self.stats.requeued += 1;
+            self.policy.requeue(now, e.task);
+        }
+    }
+
+    /// NI-fabric dedup for integrated designs (RPCValet): a delayed
+    /// delivery of a request whose lease was reclaimed from `worker` is a
+    /// zombie copy — the queue already re-dispatched the request. Returns
+    /// `true` when the delivery must be dropped, consuming one reclaim
+    /// marker. Unlike a report, a delivery is NIC-side and proves nothing
+    /// about the worker, so this never readmits.
+    pub fn absorb_stale_delivery(&mut self, worker: usize, req_id: u64) -> bool {
+        if !self.is_stale_report(worker, req_id) {
+            return false;
+        }
+        if let Some(c) = self.reclaimed.get_mut(&(req_id, worker)) {
+            *c -= 1;
+            if *c == 0 {
+                self.reclaimed.remove(&(req_id, worker));
+            }
+        }
+        self.stats.late_duplicates += 1;
+        true
+    }
+
+    /// A report for `req_id` from `worker` is stale when the request was
+    /// reclaimed from that worker and is not currently charged to it (the
+    /// charge was released at reclaim time). The second clause keeps the
+    /// accounting exact if a reclaimed request was later re-assigned to
+    /// the same worker after readmission: the live copy's report then
+    /// takes the normal path and the leftover zombie report is absorbed,
+    /// in either arrival order.
+    fn is_stale_report(&self, worker: usize, req_id: u64) -> bool {
+        self.reclaimed.contains_key(&(req_id, worker))
+            && self.in_flight.get(&req_id).map(|e| e.worker) != Some(worker)
+    }
+
+    /// Absorb a stale report: count it in the recovery ledger, never
+    /// double-complete. The report is still proof of life — the suspicion
+    /// was a false positive — so the worker is readmitted.
+    fn absorb_stale_report(&mut self, now: SimTime, worker: usize, req_id: u64) -> Vec<Assignment> {
+        if let Some(c) = self.reclaimed.get_mut(&(req_id, worker)) {
+            *c -= 1;
+            if *c == 0 {
+                self.reclaimed.remove(&(req_id, worker));
+            }
+        }
+        self.stats.late_duplicates += 1;
+        if self.note_activity(now, worker) {
+            self.drain(now)
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Record proof of life; fires `worker_up` and returns `true` on
+    /// readmission.
+    fn note_activity(&mut self, now: SimTime, worker: usize) -> bool {
+        let readmitted = match self.health.as_mut() {
+            Some(h) => h.on_activity(now, worker),
+            None => false,
+        };
+        if readmitted {
+            self.policy.worker_up(now, worker);
+        }
+        readmitted
     }
 
     /// A core-status report arrived over the feedback channel; mirror it
@@ -277,17 +468,26 @@ impl<P: SchedPolicy, S: CoreSelector> Dispatcher<P, S> {
             if self.policy.is_empty() {
                 break;
             }
-            // Gather non-quarantined candidates below the cap.
+            // Gather non-quarantined, health-selectable candidates below
+            // the cap.
             let candidates: Vec<WorkerView> = self
                 .workers
                 .iter()
                 .enumerate()
-                .filter(|(i, w)| !self.excluded[*i] && w.outstanding < self.outstanding_cap)
+                .filter(|(i, w)| {
+                    !self.excluded[*i]
+                        && w.outstanding < self.outstanding_cap
+                        && self.health.as_ref().map_or(true, |h| h.selectable(*i))
+                })
                 .map(|(i, w)| WorkerView {
                     worker: i,
                     outstanding: w.outstanding,
                     last_req: w.last_req,
                     idle_since: w.idle_since,
+                    health: self
+                        .health
+                        .as_ref()
+                        .map_or(WorkerHealth::Healthy, |h| h.state_of(i)),
                 })
                 .collect();
             if candidates.is_empty() {
@@ -338,7 +538,13 @@ impl<P: SchedPolicy, S: CoreSelector> Dispatcher<P, S> {
             w.outstanding += 1;
             w.idle_since = None;
             self.stats.assigned += 1;
-            self.in_flight.insert(task.req_id, task.service);
+            if let Some(h) = self.health.as_mut() {
+                // Lease renewal: the worker owes this request back within
+                // the suspicion window from now.
+                h.on_assign(now, worker);
+            }
+            self.in_flight
+                .insert(task.req_id, InFlight { worker, task });
             out.push(Assignment { worker, task });
         }
         out
@@ -677,6 +883,112 @@ mod tests {
         );
     }
 
+    fn recovery_disp(workers: usize, cap: u32) -> Dispatcher<Fcfs, LeastOutstanding> {
+        let mut d = disp(workers, cap);
+        d.enable_recovery(crate::RecoveryPolicy::paper_default());
+        d
+    }
+
+    #[test]
+    fn suspected_worker_orphans_are_redispatched() {
+        let mut d = recovery_disp(2, 1);
+        let a = d.on_request(us(0), task(1));
+        assert_eq!(a.len(), 1);
+        let victim = a[0].worker;
+        // Worker goes silent past the 30us suspicion window: the health
+        // check reclaims its request and re-dispatches to the other worker.
+        let a = d.check_health(us(40));
+        assert_eq!(a.len(), 1, "orphan re-dispatched");
+        assert_eq!(a[0].task.req_id, 1);
+        assert_ne!(a[0].worker, victim, "suspect is out of the candidate set");
+        assert_eq!(d.outstanding(victim), 0, "charge released at reclaim");
+        assert_eq!(d.stats.recovered, 1);
+        assert_eq!(d.stats.requeued, 1);
+        assert_eq!(
+            d.health().unwrap().state_of(victim),
+            crate::WorkerHealth::Suspected
+        );
+        // The healthy copy completes normally: exactly one completion.
+        let done = d.on_done(us(45), a[0].worker, 1);
+        assert!(done.is_empty());
+        assert_eq!(d.stats.completions, 1);
+    }
+
+    #[test]
+    fn late_completion_is_absorbed_exactly_once_and_readmits() {
+        let mut d = recovery_disp(2, 1);
+        let a = d.on_request(us(0), task(1));
+        let victim = a[0].worker;
+        let re = d.check_health(us(40));
+        let healthy = re[0].worker;
+        // The stalled-but-alive victim wakes up and reports the very
+        // completion we already re-dispatched: absorbed, never counted as
+        // a completion, and the false positive readmits the worker.
+        let out = d.on_done(us(50), victim, 1);
+        assert_eq!(d.stats.completions, 0, "stale report must not complete");
+        assert_eq!(d.stats.late_duplicates, 1);
+        assert!(d.health().unwrap().selectable(victim), "readmitted");
+        assert!(out.is_empty(), "nothing queued to flow");
+        // The live copy still completes exactly once.
+        d.on_done(us(55), healthy, 1);
+        assert_eq!(d.stats.completions, 1);
+        assert_eq!(d.stats.late_duplicates, 1);
+        assert_eq!(d.total_outstanding(), 0);
+    }
+
+    #[test]
+    fn heartbeat_keeps_a_busy_worker_healthy() {
+        let mut d = recovery_disp(1, 1);
+        d.on_request(us(0), task(1));
+        // Heartbeats every 5us: the lease never lapses even though the
+        // request takes far longer than the suspicion window.
+        for t in (5..100).step_by(5) {
+            assert!(d.on_heartbeat(us(t), 0).is_empty());
+            assert!(d.check_health(us(t)).is_empty());
+        }
+        assert_eq!(d.stats.recovered, 0);
+        assert_eq!(
+            d.health().unwrap().state_of(0),
+            crate::WorkerHealth::Healthy
+        );
+    }
+
+    #[test]
+    fn reclaim_to_same_worker_after_readmission_accounts_exactly() {
+        // The ambiguous case: a reclaimed request is re-assigned to the
+        // very worker it was reclaimed from (after readmission). Two
+        // physical copies live on one worker, but only one charge — both
+        // report orders must keep the ledger exact.
+        let mut d = recovery_disp(1, 1);
+        d.on_request(us(0), task(1));
+        assert!(d.check_health(us(40)).is_empty(), "sole worker suspected");
+        assert_eq!(d.queue_len(), 1, "orphan parked: no healthy candidate");
+        // Heartbeat readmits; the parked orphan flows back to worker 0.
+        let a = d.on_heartbeat(us(45), 0);
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0].worker, 0);
+        // First report: the charged live copy completes normally.
+        d.on_done(us(50), 0, 1);
+        assert_eq!(d.stats.completions, 1);
+        assert_eq!(d.outstanding(0), 0);
+        // Second report: the zombie copy is absorbed.
+        d.on_done(us(51), 0, 1);
+        assert_eq!(d.stats.completions, 1, "no double completion");
+        assert_eq!(d.stats.late_duplicates, 1);
+        assert_eq!(d.outstanding(0), 0, "no underflow");
+    }
+
+    #[test]
+    fn recovery_off_ignores_health_entry_points() {
+        let mut d = disp(2, 1);
+        d.on_request(us(0), task(1));
+        assert!(d.check_health(us(1_000)).is_empty());
+        assert!(d.on_heartbeat(us(1_000), 0).is_empty());
+        assert_eq!(d.stats.recovered, 0);
+        assert!(d.health().is_none());
+        assert!(!d.recovery_enabled());
+    }
+
     #[test]
     #[should_panic(expected = "at least one worker")]
     fn zero_workers_rejected() {
@@ -844,6 +1156,105 @@ mod proptests {
                 "wfq:w=4,1,1",
             ];
             drive_spec(ops, workers, cap, specs[which])?;
+        }
+
+        /// With recovery armed and workers going arbitrarily silent, the
+        /// admission/assignment ledger must still balance, no request may
+        /// complete more often than it was assigned, and stale reports
+        /// must never exceed reclaims.
+        #[test]
+        fn recovery_keeps_the_ledger_exact_under_random_silence(
+            ops in proptest::collection::vec(any::<u8>(), 1..300),
+            workers in 1usize..5,
+            cap in 1u32..4,
+            which in 0usize..8,
+        ) {
+            let specs = [
+                "fcfs",
+                "cfcfs",
+                "dfcfs",
+                "srf",
+                "srpt",
+                "edf:deadline=50us",
+                "class-priority:cutoff=10us",
+                "wfq:w=4,1,1",
+            ];
+            let policy = PolicyRegistry::standard().build(specs[which]).unwrap();
+            let mut d = Dispatcher::new(workers, cap, policy, LeastOutstanding);
+            d.enable_recovery(crate::RecoveryPolicy::with_suspicion(
+                SimDuration::from_micros(5),
+            ));
+            // Mirror of physical copies per worker — reclaimed zombies
+            // stay physical until their report is delivered, so the
+            // mirror may exceed the dispatcher's charge but never the
+            // other way around.
+            let mut phys: Vec<Vec<Task>> = vec![Vec::new(); workers];
+            let mut completions_per_req: BTreeMap<u64, u64> = BTreeMap::new();
+            let mut next_id = 1u64;
+            let mut t = 0u64;
+            for &op in &ops {
+                t += u64::from(op % 7) + 1;
+                let now = SimTime::from_micros(t);
+                let absorb = |a: Vec<Assignment>, phys: &mut Vec<Vec<Task>>| {
+                    for x in a {
+                        phys[x.worker].push(x.task);
+                    }
+                };
+                match op % 4 {
+                    0 | 1 => {
+                        let service = SimDuration::from_micros(1 + u64::from(op) % 50);
+                        let task = Task::new(next_id, 0, service, now, now, 0);
+                        next_id += 1;
+                        let a = d.on_request(now, task);
+                        absorb(a, &mut phys);
+                    }
+                    2 => {
+                        let w = (op as usize / 4) % workers;
+                        if let Some(task) = phys[w].pop() {
+                            let before = d.stats.completions;
+                            let a = d.on_done(now, w, task.req_id);
+                            if d.stats.completions > before {
+                                *completions_per_req.entry(task.req_id).or_insert(0) += 1;
+                            }
+                            absorb(a, &mut phys);
+                        }
+                    }
+                    _ => {
+                        let a = d.check_health(now);
+                        absorb(a, &mut phys);
+                    }
+                }
+                prop_assert_eq!(
+                    d.stats.admitted + d.stats.requeued,
+                    d.queue_len() as u64 + d.stats.assigned,
+                    "ledger must balance under reclaims"
+                );
+                prop_assert!(d.stats.late_duplicates <= d.stats.recovered);
+                let physical: usize = phys.iter().map(|v| v.len()).sum();
+                prop_assert!(
+                    (d.total_outstanding() as usize) <= physical,
+                    "dispatcher charges more than physically dispatched"
+                );
+            }
+            // Deliver every remaining physical report: zombies are
+            // absorbed, live copies complete; nothing completes twice.
+            t += 1_000;
+            for w in 0..workers {
+                while let Some(task) = phys[w].pop() {
+                    t += 1;
+                    let before = d.stats.completions;
+                    let a = d.on_done(SimTime::from_micros(t), w, task.req_id);
+                    if d.stats.completions > before {
+                        *completions_per_req.entry(task.req_id).or_insert(0) += 1;
+                    }
+                    for x in a {
+                        phys[x.worker].push(x.task);
+                    }
+                }
+            }
+            for (req, n) in &completions_per_req {
+                prop_assert!(*n <= 1, "request {} completed {} times", req, n);
+            }
         }
     }
 }

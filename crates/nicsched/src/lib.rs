@@ -26,6 +26,12 @@
 //!   or in a line-rate ASIC model (`systems::ideal_nic`).
 //! * [`FeedbackChannel`] — the fine-grained core-status feedback path
 //!   whose latency is the "gap" of the title.
+//! * [`HealthTracker`] / [`RecoveryPolicy`] — NIC-side failure detection:
+//!   a deterministic lease/heartbeat discipline (Healthy → Suspected →
+//!   Dead → Readmitted) that lets the dispatcher reclaim and re-dispatch
+//!   requests orphaned on a failed worker instead of waiting for the
+//!   client's retry timeout, with exactly-once completion accounting for
+//!   the false-positive case.
 //! * [`NicProfile`] — one point in the §5.1 hardware design space
 //!   (compute × transport × interrupt path).
 //! * [`params`] — every calibration constant, paper-sourced or fitted,
@@ -40,8 +46,8 @@ mod dispatcher;
 mod feedback;
 pub mod params;
 mod policy;
-mod policy_kind;
 mod profile;
+mod recovery;
 mod registry;
 mod select;
 mod task;
@@ -54,9 +60,8 @@ pub use policy::{
     ClassPriority, Fcfs, FeedbackEvent, Pick, PreemptDecision, RunningTask, SchedPolicy,
     ShortestRemaining,
 };
-#[allow(deprecated)]
-pub use policy_kind::PolicyKind;
 pub use profile::{NicProfile, SchedCompute};
+pub use recovery::{HealthTracker, RecoveryPolicy, RecoveryStats, WorkerHealth};
 pub use registry::{
     fmt_duration, parse_duration, PolicyBuilder, PolicyError, PolicyParams, PolicyRegistry,
     PolicySpec,

@@ -26,6 +26,13 @@
 //! 5. [`feedback`](SchedPolicy::feedback) — on every worker report
 //!    (completion, preemption, core-status message), closing the paper's
 //!    feedback loop into the policy itself.
+//! 6. [`worker_down`](SchedPolicy::worker_down) /
+//!    [`worker_up`](SchedPolicy::worker_up) — membership changes from the
+//!    NIC's failure detector (see [`HealthTracker`](crate::HealthTracker)):
+//!    a worker was suspected and its in-flight work reclaimed, or a
+//!    suspected worker was readmitted. Policies with per-worker structure
+//!    (dFCFS homes, WFQ lanes) or learned state (SRPT size estimates)
+//!    react here; stateless queues ignore them.
 
 use std::collections::VecDeque;
 
@@ -195,6 +202,20 @@ pub trait SchedPolicy {
         let _ = (now, running);
         PreemptDecision::Inherit
     }
+    /// `worker` was suspected by the failure detector: it is out of the
+    /// candidate set and its in-flight requests have been reclaimed for
+    /// re-dispatch (they arrive back through
+    /// [`requeue`](SchedPolicy::requeue) immediately after this call).
+    /// Default: no reaction — correct for policies without per-worker
+    /// state.
+    fn worker_down(&mut self, now: SimTime, worker: usize) {
+        let _ = (now, worker);
+    }
+    /// A suspected/dead worker produced late activity and was readmitted
+    /// to the candidate set. Default: no reaction.
+    fn worker_up(&mut self, now: SimTime, worker: usize) {
+        let _ = (now, worker);
+    }
     /// Requests currently queued.
     fn len(&self) -> usize;
     /// True when no requests are queued.
@@ -236,6 +257,12 @@ impl SchedPolicy for Box<dyn SchedPolicy> {
     }
     fn should_preempt(&mut self, now: SimTime, running: &RunningTask<'_>) -> PreemptDecision {
         (**self).should_preempt(now, running)
+    }
+    fn worker_down(&mut self, now: SimTime, worker: usize) {
+        (**self).worker_down(now, worker)
+    }
+    fn worker_up(&mut self, now: SimTime, worker: usize) {
+        (**self).worker_up(now, worker)
     }
     fn len(&self) -> usize {
         (**self).len()
@@ -629,6 +656,7 @@ mod tests {
             outstanding: 0,
             last_req: None,
             idle_since: Some(SimTime::ZERO),
+            health: crate::WorkerHealth::Healthy,
         }];
         let pick = q.pick_next(us(1), &views).unwrap();
         assert_eq!(pick.task.req_id, 1);
@@ -642,6 +670,10 @@ mod tests {
             },
         );
         assert_eq!(decision, PreemptDecision::Inherit);
+        // Membership hooks default to no-ops: FCFS has no per-worker state.
+        q.worker_down(us(1), 2);
+        q.worker_up(us(1), 2);
+        assert_eq!(q.len(), 0);
         q.feedback(
             us(2),
             &FeedbackEvent::Completed {

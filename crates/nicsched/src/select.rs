@@ -9,6 +9,8 @@
 
 use sim_core::SimTime;
 
+use crate::recovery::WorkerHealth;
+
 /// What the dispatcher knows about one worker when selecting.
 #[derive(Clone, Copy, Debug)]
 pub struct WorkerView {
@@ -21,6 +23,12 @@ pub struct WorkerView {
     pub last_req: Option<u64>,
     /// When the worker last went idle (for LIFO warm-core selection).
     pub idle_since: Option<SimTime>,
+    /// The failure detector's verdict on this worker. Candidates shown to
+    /// `pick_next`/`select` are always selectable (`Healthy` or
+    /// `Readmitted`); the distinction lets a policy treat a worker on
+    /// readmission probation more cautiously. Always `Healthy` when
+    /// recovery is off.
+    pub health: WorkerHealth,
 }
 
 /// A worker-selection strategy.
@@ -177,6 +185,7 @@ mod tests {
             outstanding,
             last_req: None,
             idle_since: None,
+            health: WorkerHealth::Healthy,
         }
     }
 

@@ -84,9 +84,19 @@ pub struct Blackout {
     pub end: SimTime,
 }
 
+/// Maximum number of crash entries and of stall entries per
+/// [`FaultConfig`]. Fixed capacity keeps the config `Copy`, which the
+/// parallel sweep runners and the experiment grids rely on (configs are
+/// passed by value into `par_map` closures).
+pub const MAX_FAULT_EVENTS: usize = 16;
+
 /// Declarative fault specification for one run. `Default` is fault-free;
 /// every field composes independently, so a plan can combine e.g. 1% wire
-/// loss with a mid-run crash and a feedback blackout.
+/// loss with a mid-run crash and a feedback blackout. Crashes and stalls
+/// are *lists* (up to [`MAX_FAULT_EVENTS`] each): call
+/// [`with_crash`](FaultConfig::with_crash) /
+/// [`with_stall`](FaultConfig::with_stall) repeatedly to build a fault
+/// schedule such as a rolling stall storm.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct FaultConfig {
     /// Independent per-frame loss probability applied to every wire
@@ -94,10 +104,10 @@ pub struct FaultConfig {
     pub wire_loss: f64,
     /// Optional Gilbert–Elliott burst-loss window.
     pub burst: Option<LossBurst>,
-    /// Optional permanent worker crash.
-    pub crash: Option<WorkerCrash>,
-    /// Optional transient worker stall.
-    pub stall: Option<StallWindow>,
+    /// Permanent worker crashes, in insertion order.
+    crashes: [Option<WorkerCrash>; MAX_FAULT_EVENTS],
+    /// Transient worker stalls, in insertion order.
+    stalls: [Option<StallWindow>; MAX_FAULT_EVENTS],
     /// Optional worker slowdown window.
     pub slowdown: Option<SlowdownWindow>,
     /// Optional feedback blackout window.
@@ -109,10 +119,20 @@ impl FaultConfig {
     pub fn is_none(&self) -> bool {
         self.wire_loss == 0.0
             && self.burst.is_none()
-            && self.crash.is_none()
-            && self.stall.is_none()
+            && self.crashes.iter().all(Option::is_none)
+            && self.stalls.iter().all(Option::is_none)
             && self.slowdown.is_none()
             && self.blackout.is_none()
+    }
+
+    /// The configured crashes, in insertion order.
+    pub fn crashes(&self) -> impl Iterator<Item = WorkerCrash> + '_ {
+        self.crashes.iter().copied().flatten()
+    }
+
+    /// The configured stalls, in insertion order.
+    pub fn stalls(&self) -> impl Iterator<Item = StallWindow> + '_ {
+        self.stalls.iter().copied().flatten()
     }
 
     /// Add independent per-frame wire loss.
@@ -122,16 +142,28 @@ impl FaultConfig {
         self
     }
 
-    /// Add a permanent worker crash at `at`.
+    /// Add a permanent worker crash at `at`. May be called up to
+    /// [`MAX_FAULT_EVENTS`] times to crash several workers on a schedule.
     pub fn with_crash(mut self, worker: usize, at: SimTime) -> FaultConfig {
-        self.crash = Some(WorkerCrash { worker, at });
+        let slot = self
+            .crashes
+            .iter()
+            .position(Option::is_none)
+            .expect("crash schedule full");
+        self.crashes[slot] = Some(WorkerCrash { worker, at });
         self
     }
 
-    /// Add a transient worker stall over `[start, end)`.
+    /// Add a transient worker stall over `[start, end)`. May be called up
+    /// to [`MAX_FAULT_EVENTS`] times to build a stall storm.
     pub fn with_stall(mut self, worker: usize, start: SimTime, end: SimTime) -> FaultConfig {
         assert!(end > start, "empty stall window");
-        self.stall = Some(StallWindow { worker, start, end });
+        let slot = self
+            .stalls
+            .iter()
+            .position(Option::is_none)
+            .expect("stall schedule full");
+        self.stalls[slot] = Some(StallWindow { worker, start, end });
         self
     }
 
@@ -247,20 +279,24 @@ impl FaultPlan {
 
     /// Whether `worker` has crashed by `now`.
     pub fn worker_crashed(&self, worker: usize, now: SimTime) -> bool {
-        matches!(self.cfg.crash, Some(c) if c.worker == worker && now >= c.at)
+        self.cfg
+            .crashes()
+            .any(|c| c.worker == worker && now >= c.at)
     }
 
-    /// The configured crash, if any.
+    /// The earliest configured crash, if any (legacy single-crash view).
     pub fn crash(&self) -> Option<WorkerCrash> {
-        self.cfg.crash
+        self.cfg.crashes().min_by_key(|c| c.at)
     }
 
-    /// If `worker` is stalled at `now`, the instant the stall ends.
+    /// If `worker` is stalled at `now`, the latest instant any covering
+    /// stall window ends (overlapping windows extend each other).
     pub fn worker_stalled_until(&self, worker: usize, now: SimTime) -> Option<SimTime> {
-        match self.cfg.stall {
-            Some(s) if s.worker == worker && now >= s.start && now < s.end => Some(s.end),
-            _ => None,
-        }
+        self.cfg
+            .stalls()
+            .filter(|s| s.worker == worker && now >= s.start && now < s.end)
+            .map(|s| s.end)
+            .max()
     }
 
     /// Whether `worker` is unable to make progress at `now` (crashed or
@@ -325,6 +361,40 @@ mod tests {
         assert_eq!(p.worker_stalled_until(1, us(19)), Some(us(20)));
         assert_eq!(p.worker_stalled_until(1, us(20)), None);
         assert_eq!(p.worker_stalled_until(0, us(15)), None);
+    }
+
+    #[test]
+    fn crash_and_stall_schedules_compose() {
+        // Satellite: `FaultConfig` holds *lists* of crashes and stalls —
+        // the builders stay source-compatible but may be chained.
+        let cfg = FaultConfig::default()
+            .with_crash(2, us(50))
+            .with_crash(0, us(80))
+            .with_stall(1, us(10), us(20))
+            .with_stall(1, us(30), us(40))
+            .with_stall(3, us(15), us(25));
+        let p = FaultPlan::new(cfg, 1);
+        assert!(p.worker_crashed(2, us(50)));
+        assert!(!p.worker_crashed(0, us(79)));
+        assert!(p.worker_crashed(0, us(80)));
+        assert_eq!(p.crash().unwrap().worker, 2, "earliest crash wins");
+        assert_eq!(p.worker_stalled_until(1, us(15)), Some(us(20)));
+        assert_eq!(p.worker_stalled_until(1, us(25)), None);
+        assert_eq!(p.worker_stalled_until(1, us(35)), Some(us(40)));
+        assert_eq!(p.worker_stalled_until(3, us(20)), Some(us(25)));
+        assert_eq!(cfg.crashes().count(), 2);
+        assert_eq!(cfg.stalls().count(), 3);
+        assert!(!cfg.is_none());
+    }
+
+    #[test]
+    fn overlapping_stalls_extend_each_other() {
+        let cfg = FaultConfig::default()
+            .with_stall(0, us(10), us(20))
+            .with_stall(0, us(15), us(30));
+        let p = FaultPlan::new(cfg, 1);
+        assert_eq!(p.worker_stalled_until(0, us(16)), Some(us(30)));
+        assert_eq!(p.worker_stalled_until(0, us(12)), Some(us(20)));
     }
 
     #[test]

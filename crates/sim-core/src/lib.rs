@@ -57,7 +57,7 @@ pub mod stats;
 mod time;
 
 pub use engine::{Ctx, Engine, Model, RunOutcome};
-pub use faults::{FaultConfig, FaultPlan, FaultStats};
+pub use faults::{FaultConfig, FaultPlan, FaultStats, MAX_FAULT_EVENTS};
 pub use invariants::{InvariantChecker, InvariantConfig, Violation};
 pub use probe::{Probe, ProbeConfig, ProbeHandle, StageReport, TraceEvent};
 pub use queue::{EventQueue, LegacyHeap};

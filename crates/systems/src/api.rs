@@ -330,32 +330,33 @@ mod tests {
     }
 
     #[test]
-    fn policy_kind_shim_matches_the_registry() {
-        // The deprecated `PolicyKind` enum must stay behaviourally
-        // identical to the registry specs it maps onto until removal.
-        #[allow(deprecated)]
+    fn equivalent_spec_strings_run_identically() {
+        // Distinct spellings of the same policy (defaults spelled out,
+        // durations in different units) are different interned handles
+        // but must drive bit-identical runs through the registry.
         let pairs = [
-            (nicsched::PolicyKind::Fcfs, "fcfs"),
-            (nicsched::PolicyKind::ShortestRemaining, "srf"),
+            ("srpt", "srpt:gain=8,boost=200,floor=1us"),
+            ("edf:deadline=50us", "edf:deadline=50000ns"),
             (
-                nicsched::PolicyKind::ClassPriority(SimDuration::from_micros(10)),
                 "class-priority:cutoff=10us",
+                "class-priority:cutoff=10000ns",
             ),
         ];
-        for (kind, spec_str) in pairs {
-            #[allow(deprecated)]
-            let via_kind = kind.spec();
-            let via_registry = PolicySpec::parse(spec_str).expect("valid spec");
-            assert_eq!(
-                via_kind, via_registry,
-                "{spec_str}: specs must intern equal"
-            );
+        for (a_str, b_str) in pairs {
+            let a_spec = PolicySpec::parse(a_str).expect("valid spec");
+            let b_spec = PolicySpec::parse(b_str).expect("valid spec");
             let mut cfg = ShinjukuConfig::paper(4);
-            cfg.policy = via_kind;
+            cfg.policy = a_spec;
             let a = cfg.run(quick_spec(), ProbeConfig::disabled());
-            cfg.policy = via_registry;
+            cfg.policy = b_spec;
             let b = cfg.run(quick_spec(), ProbeConfig::disabled());
-            assert_eq!(a, b, "{spec_str}: shim and registry runs must match");
+            assert_eq!(a, b, "{a_str} vs {b_str}: runs must match");
         }
+        // The same spelling (modulo whitespace) interns to the same
+        // `Copy` handle, so configs compare equal.
+        assert_eq!(
+            PolicySpec::parse("fcfs").unwrap(),
+            PolicySpec::parse(" fcfs ").unwrap()
+        );
     }
 }

@@ -458,6 +458,11 @@ pub fn run_probed(spec: WorkloadSpec, cfg: BaselineConfig, probe: ProbeConfig) -
 /// have no central dispatcher: admission and staleness-fallback settings
 /// in `res` are ignored (their per-worker rings already tail-drop, and
 /// hash steering is the fallback the governor would degrade *to*).
+/// NIC-side recovery (`res.recovery`) is likewise a no-op — with no
+/// dispatcher there is no lease table to expire and no central queue to
+/// re-dispatch from; orphaned requests here are recovered only by client
+/// retries, which is exactly the contrast the `recovery` experiment
+/// measures.
 pub fn run_resilient_probed(
     spec: WorkloadSpec,
     cfg: BaselineConfig,

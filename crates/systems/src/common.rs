@@ -72,6 +72,12 @@ pub struct ResilienceConfig {
     pub admission: AdmissionPolicy,
     /// Stale-feedback fallback policy for informed dispatchers.
     pub fallback: Option<StalenessPolicy>,
+    /// NIC-side failure detection and orphan re-dispatch: the dispatcher
+    /// tracks per-worker leases and reclaims in-flight requests from
+    /// suspected workers instead of waiting for the client's retry
+    /// timeout. `None` keeps runs bit-identical to the pre-recovery path
+    /// (no heartbeat frames, no health ticks).
+    pub recovery: Option<nicsched::RecoveryPolicy>,
     /// Runtime invariant checking (the "invcheck" pass): engine
     /// causality/FIFO audits, per-event model self-audits, and end-of-run
     /// conservation checks. Enabled runs are bit-identical to plain runs
@@ -86,6 +92,7 @@ impl ResilienceConfig {
             || self.retry.is_some()
             || !self.admission.is_open()
             || self.fallback.is_some()
+            || self.recovery.is_some()
     }
 
     /// The ISSUE-2 acceptance scenario: 1% wire loss plus a mid-run crash
@@ -98,8 +105,15 @@ impl ResilienceConfig {
             retry: Some(RetryPolicy::paper_default()),
             admission: AdmissionPolicy::Open,
             fallback: Some(StalenessPolicy::paper_default()),
+            recovery: None,
             invariants: InvariantConfig::disabled(),
         }
+    }
+
+    /// This configuration with NIC-side failure recovery switched on.
+    pub fn with_recovery(mut self, policy: nicsched::RecoveryPolicy) -> ResilienceConfig {
+        self.recovery = Some(policy);
+        self
     }
 
     /// This configuration with runtime invariant checking switched on.

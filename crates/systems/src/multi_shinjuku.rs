@@ -20,7 +20,9 @@ use bytes::Bytes;
 use cpu_model::{ContextCosts, ContextPool, Core, CoreId, CoreSpec, OneShotTimer, TimerMode};
 use net_wire::{FrameSpec, MsgKind, MsgRepr, ParsedFrame};
 use nic_model::{IfaceId, Link, NicDevice, QueueSteering, Rss};
-use nicsched::{params, Assignment, Dispatcher, LeastOutstanding, PolicySpec, SchedPolicy, Task};
+use nicsched::{
+    params, Assignment, Dispatcher, LeastOutstanding, PolicySpec, RecoveryPolicy, SchedPolicy, Task,
+};
 use sim_core::{Ctx, Engine, FaultPlan, Model, Probe, ProbeConfig, Rng, SimDuration, SimTime};
 use workload::{RunMetrics, WorkloadSpec};
 
@@ -69,9 +71,19 @@ impl MultiShinjukuConfig {
 #[derive(Debug, Clone, Copy)]
 enum DispItem {
     NewTask(Task),
-    Done { local_worker: usize, req_id: u64 },
-    Preempted { local_worker: usize, task: Task },
+    Done {
+        local_worker: usize,
+        req_id: u64,
+    },
+    Preempted {
+        local_worker: usize,
+        task: Task,
+    },
     Emit(Assignment),
+    /// A lease-renewal heartbeat from a group-local worker (recovery only).
+    Heartbeat {
+        local_worker: usize,
+    },
 }
 
 enum Ev {
@@ -94,6 +106,9 @@ enum Ev {
         req_id: u64,
         attempt: u32,
     },
+    /// A worker's periodic liveness heartbeat to its group dispatcher
+    /// (group, local worker index; recovery only).
+    Heartbeat(usize, usize),
 }
 
 struct Worker {
@@ -127,6 +142,9 @@ struct MultiShinjuku {
     host: CoreSpec,
     preemptions: u64,
 
+    /// NIC-side failure-detection policy, when recovery is enabled. Each
+    /// group's dispatcher runs its own tracker over its private workers.
+    recovery: Option<RecoveryPolicy>,
     req_lost: u64,
     resp_lost: u64,
     stranded: u64,
@@ -172,6 +190,9 @@ impl MultiShinjuku {
                         LeastOutstanding,
                     );
                     d.set_admission(res.admission);
+                    if let Some(policy) = res.recovery {
+                        d.enable_recovery(policy);
+                    }
                     d
                 },
                 workers: (0..cfg.workers_per_group)
@@ -203,6 +224,7 @@ impl MultiShinjuku {
             ctx_costs: ContextCosts::default(),
             host: CoreSpec::host_x86(),
             preemptions: 0,
+            recovery: res.recovery,
             req_lost: 0,
             resp_lost: 0,
             stranded: 0,
@@ -260,6 +282,9 @@ impl MultiShinjuku {
             DispItem::NewTask(_) => params::HOST_DISPATCH_ENQUEUE,
             DispItem::Done { .. } | DispItem::Preempted { .. } => params::HOST_DISPATCH_COMPLETE,
             DispItem::Emit(_) => params::HOST_DISPATCH_ASSIGN,
+            // A heartbeat is a single timestamp store on the tracker: charge
+            // it like a completion notification (queue-op scale).
+            DispItem::Heartbeat { .. } => params::HOST_DISPATCH_COMPLETE,
         }
     }
 
@@ -577,6 +602,10 @@ impl Model for MultiShinjuku {
                             );
                             Vec::new()
                         }
+                        DispItem::Heartbeat { local_worker } => {
+                            ctx.probe().count("disp.heartbeat");
+                            self.groups[g].dispatcher.on_heartbeat(now, local_worker)
+                        }
                     };
                     for a in assignments.into_iter().rev() {
                         self.groups[g].disp_queue.push_front(DispItem::Emit(a));
@@ -640,6 +669,41 @@ impl Model for MultiShinjuku {
                     ctx.schedule_in(timeout, Ev::ClientTimeout { req_id, attempt });
                 }
             }
+            Ev::Heartbeat(g, local) => {
+                let now = ctx.now();
+                if now >= self.horizon {
+                    return;
+                }
+                let Some(policy) = self.recovery else {
+                    return;
+                };
+                let global = g * self.cfg.workers_per_group + local;
+                let silenced =
+                    ctx.faults().worker_down(global, now) || ctx.faults().feedback_blackout(now);
+                // Worker side: lease renewal crosses host shared memory —
+                // a silenced worker cannot renew.
+                if !silenced {
+                    ctx.schedule_in(
+                        params::HOST_QUEUE_HOP,
+                        Ev::DispPush(
+                            g,
+                            DispItem::Heartbeat {
+                                local_worker: local,
+                            },
+                        ),
+                    );
+                }
+                // Group-dispatcher side: expire leases and re-dispatch
+                // orphans within this group on the same tick.
+                let recovered = self.groups[g].dispatcher.check_health(now);
+                if !recovered.is_empty() {
+                    ctx.probe().count("recovery.redispatch");
+                }
+                for a in recovered {
+                    ctx.schedule_now(Ev::DispPush(g, DispItem::Emit(a)));
+                }
+                ctx.schedule_in(policy.heartbeat, Ev::Heartbeat(g, local));
+            }
         }
     }
 }
@@ -682,6 +746,13 @@ pub fn run_resilient_probed(
         engine.set_faults(FaultPlan::new(res.faults, spec.seed ^ FAULT_SEED_SALT));
     }
     engine.schedule_at(SimTime::ZERO, Ev::ClientSend);
+    if engine.model().recovery.is_some() {
+        for g in 0..cfg.groups {
+            for local in 0..cfg.workers_per_group {
+                engine.schedule_at(SimTime::ZERO, Ev::Heartbeat(g, local));
+            }
+        }
+    }
     engine.run_until(spec.horizon());
     let horizon = spec.horizon();
     let model = engine.model();
@@ -702,6 +773,16 @@ pub fn run_resilient_probed(
     fm.stranded = model.stranded;
     fm.shed = shed;
     fm.nacks = model.nacks;
+    if model.recovery.is_some() {
+        for group in &model.groups {
+            fm.recovered += group.dispatcher.stats.recovered;
+            fm.recovery_duplicates += group.dispatcher.stats.late_duplicates;
+            if let Some(h) = group.dispatcher.health() {
+                fm.suspicions += h.stats.suspicions;
+                fm.readmissions += h.stats.readmissions;
+            }
+        }
+    }
     metrics.dropped = ring_dropped + fm.link_lost() + shed;
     if probe.enabled {
         metrics.stages = Some(engine.probe_mut().report(horizon));

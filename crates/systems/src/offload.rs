@@ -34,7 +34,7 @@ use net_wire::{FrameSpec, MsgKind, MsgRepr, ParsedFrame};
 use nic_model::{packet_lines, Ddio, IfaceId, Link, NicDevice, Placement, QueueSteering};
 use nicsched::{
     params, AdmitOutcome, Assignment, CoreSelector, Dispatcher, LeastOutstanding, NicProfile,
-    PolicySpec, PreemptDecision, SchedPolicy, SocketAffinity, Task,
+    PolicySpec, PreemptDecision, RecoveryPolicy, SchedPolicy, SocketAffinity, Task,
 };
 use sim_core::{Ctx, Engine, FaultPlan, Model, Probe, ProbeConfig, Rng, SimDuration, SimTime};
 use workload::{RunMetrics, WorkloadSpec};
@@ -150,8 +150,18 @@ enum Ev {
 #[derive(Debug, Clone, Copy)]
 enum QmItem {
     NewTask(Task),
-    Done { worker: usize, req_id: u64 },
-    Preempted { worker: usize, task: Task },
+    Done {
+        worker: usize,
+        req_id: u64,
+    },
+    Preempted {
+        worker: usize,
+        task: Task,
+    },
+    /// A lease-renewal heartbeat frame from a worker (recovery only).
+    Heartbeat {
+        worker: usize,
+    },
 }
 
 /// A serially-processed pipeline stage on an ARM core.
@@ -222,6 +232,9 @@ struct Offload {
     preemptions: u64,
 
     governor: Option<FeedbackGovernor>,
+    /// NIC-side failure-detection policy, when recovery is enabled. The
+    /// dispatcher owns the tracker; this copy drives the heartbeat cadence.
+    recovery: Option<RecoveryPolicy>,
     /// Request frames lost on the client→NIC wire (i.i.d. + burst).
     req_lost: u64,
     /// Response/NACK frames lost on the server→client wire.
@@ -305,6 +318,9 @@ impl Offload {
             selector,
         );
         dispatcher.set_admission(res.admission);
+        if let Some(policy) = res.recovery {
+            dispatcher.enable_recovery(policy);
+        }
         let governor = res
             .fallback
             .map(|p| FeedbackGovernor::new(cfg.workers, cfg.profile.from_worker, p));
@@ -337,6 +353,7 @@ impl Offload {
             host: CoreSpec::host_x86(),
             preemptions: 0,
             governor,
+            recovery: res.recovery,
             req_lost: 0,
             resp_lost: 0,
             stranded: 0,
@@ -828,6 +845,10 @@ impl Model for Offload {
                             ctx.probe().mark(task.req_id, "path.2_qm_admit");
                             self.dispatcher.on_preempted(now, worker, task)
                         }
+                        QmItem::Heartbeat { worker } => {
+                            ctx.probe().count("qm.heartbeat");
+                            self.dispatcher.on_heartbeat(now, worker)
+                        }
                     };
                     ctx.probe().depth("qm.central", self.dispatcher.queue_len());
                     self.emit_assignments(assignments, ctx);
@@ -947,6 +968,7 @@ impl Model for Offload {
                                         },
                                     })
                                 }
+                                MsgKind::Heartbeat => Some(QmItem::Heartbeat { worker: w }),
                                 _ => None,
                             };
                             if let Some(item) = item {
@@ -1014,6 +1036,41 @@ impl Model for Offload {
                     assignments = self.dispatcher.kick(now);
                     next = Some(gov.policy().heartbeat);
                 }
+                if let Some(policy) = self.recovery {
+                    // Worker side: lease renewal rides a real Heartbeat
+                    // frame over the notification wire — a silenced worker
+                    // (crashed, stalled, or blacked out) cannot renew.
+                    if !silenced {
+                        let hb = self.notif_spec(
+                            w,
+                            MsgRepr {
+                                kind: MsgKind::Heartbeat,
+                                req_id: 0,
+                                client_id: 0,
+                                service_ns: 0,
+                                remaining_ns: occupancy as u64,
+                                sent_at_ns: now.as_nanos(),
+                                body_len: 0,
+                                grant_code: 0,
+                            },
+                        );
+                        ctx.schedule_at(
+                            now + self.cfg.profile.from_worker,
+                            Ev::RxNotif(hb.build()),
+                        );
+                    }
+                    // NIC side: expire leases and re-dispatch orphans on the
+                    // same tick, so detection shares the indexed event queue
+                    // with everything else (no wall clocks).
+                    let recovered = self.dispatcher.check_health(now);
+                    if !recovered.is_empty() {
+                        ctx.probe().count("recovery.redispatch");
+                    }
+                    assignments.extend(recovered);
+                    next = Some(
+                        next.map_or(policy.heartbeat, |n: SimDuration| n.min(policy.heartbeat)),
+                    );
+                }
                 self.emit_assignments(assignments, ctx);
                 if let Some(interval) = next {
                     ctx.schedule_in(interval, Ev::Heartbeat(w));
@@ -1044,7 +1101,7 @@ pub fn run_resilient_probed(
         engine.set_faults(FaultPlan::new(res.faults, spec.seed ^ FAULT_SEED_SALT));
     }
     engine.schedule_at(SimTime::ZERO, Ev::ClientSend);
-    if engine.model().governor.is_some() {
+    if engine.model().governor.is_some() || engine.model().recovery.is_some() {
         for w in 0..cfg.workers {
             engine.schedule_at(SimTime::ZERO, Ev::Heartbeat(w));
         }
@@ -1071,6 +1128,12 @@ pub fn run_resilient_probed(
         fm.fallback_switches = gov.switches;
         fm.fallback_ns = gov.fallback_ns(horizon);
         fm.quarantines = gov.quarantines;
+    }
+    if let Some(h) = model.dispatcher.health() {
+        fm.recovered = model.dispatcher.stats.recovered;
+        fm.recovery_duplicates = model.dispatcher.stats.late_duplicates;
+        fm.suspicions = h.stats.suspicions;
+        fm.readmissions = h.stats.readmissions;
     }
     metrics.dropped = ring_dropped + fm.link_lost() + fm.shed;
     if probe.enabled {

@@ -20,7 +20,7 @@ use bytes::Bytes;
 use cpu_model::{ContextCosts, ContextPool, Core, CoreId, CoreSpec};
 use net_wire::{FrameSpec, MsgKind, MsgRepr, ParsedFrame};
 use nic_model::Link;
-use nicsched::{params, Dispatcher, Fcfs, LeastOutstanding, Task};
+use nicsched::{params, Dispatcher, Fcfs, LeastOutstanding, RecoveryPolicy, Task};
 use sim_core::{Ctx, Engine, FaultPlan, Model, Probe, ProbeConfig, Rng, SimDuration, SimTime};
 use workload::{RunMetrics, WorkloadSpec};
 
@@ -58,6 +58,10 @@ enum Ev {
         req_id: u64,
         attempt: u32,
     },
+    /// The integrated NI's periodic failure-detector sweep (recovery
+    /// only). Lease renewal is hardware-observed core liveness — no
+    /// heartbeat frames cross a wire in this design.
+    HealthTick,
 }
 
 struct Worker {
@@ -78,6 +82,8 @@ struct RpcValet {
     ctx_costs: ContextCosts,
     host: CoreSpec,
 
+    /// NIC-side failure-detection policy, when recovery is enabled.
+    recovery: Option<RecoveryPolicy>,
     req_lost: u64,
     resp_lost: u64,
     stranded: u64,
@@ -99,10 +105,14 @@ impl RpcValet {
             (Link::ten_gbe(), Link::ten_gbe())
         };
         let t0 = SimTime::ZERO;
+        // One request in flight per core: RPCValet's N=1 design point,
+        // which its paper shows is optimal for its hardware queue.
+        let mut dispatcher = Dispatcher::new(cfg.workers, 1, Fcfs::new(), LeastOutstanding);
+        if let Some(policy) = res.recovery {
+            dispatcher.enable_recovery(policy);
+        }
         RpcValet {
-            // One request in flight per core: RPCValet's N=1 design point,
-            // which its paper shows is optimal for its hardware queue.
-            dispatcher: Dispatcher::new(cfg.workers, 1, Fcfs::new(), LeastOutstanding),
+            dispatcher,
             horizon: spec.horizon(),
             client,
             client_link,
@@ -117,6 +127,7 @@ impl RpcValet {
             ctx_pool: ContextPool::new(),
             ctx_costs: ContextCosts::default(),
             host: CoreSpec::host_x86(),
+            recovery: res.recovery,
             req_lost: 0,
             resp_lost: 0,
             stranded: 0,
@@ -226,6 +237,15 @@ impl Model for RpcValet {
                 self.emit(assignments, ctx);
             }
             Ev::Deliver(w, task) => {
+                if self.dispatcher.absorb_stale_delivery(w, task.req_id) {
+                    // The lease on this copy was reclaimed while it sat in
+                    // the NI fabric (e.g. across a stall): the queue already
+                    // re-dispatched the request, so the hardware drops the
+                    // zombie instead of double-running it.
+                    self.ctx_pool.discard(task.req_id);
+                    ctx.probe().count("worker.zombie_dropped");
+                    return;
+                }
                 {
                     let now = ctx.now();
                     if ctx.faults().worker_crashed(w, now) {
@@ -331,6 +351,32 @@ impl Model for RpcValet {
                     ctx.schedule_in(timeout, Ev::ClientTimeout { req_id, attempt });
                 }
             }
+            Ev::HealthTick => {
+                let now = ctx.now();
+                if now >= self.horizon {
+                    return;
+                }
+                let Some(policy) = self.recovery else {
+                    return;
+                };
+                // The integrated NI reads core liveness directly off the
+                // fabric: every core that is not crashed or stalled renews
+                // its lease for free. Detection then falls entirely on the
+                // cores the hardware cannot see making progress.
+                let mut assignments = Vec::new();
+                for w in 0..self.workers.len() {
+                    if !ctx.faults().worker_down(w, now) {
+                        assignments.extend(self.dispatcher.on_heartbeat(now, w));
+                    }
+                }
+                let recovered = self.dispatcher.check_health(now);
+                if !recovered.is_empty() {
+                    ctx.probe().count("recovery.redispatch");
+                }
+                assignments.extend(recovered);
+                self.emit(assignments, ctx);
+                ctx.schedule_in(policy.heartbeat, Ev::HealthTick);
+            }
         }
     }
 }
@@ -358,6 +404,9 @@ pub fn run_resilient_probed(
         engine.set_faults(FaultPlan::new(res.faults, spec.seed ^ FAULT_SEED_SALT));
     }
     engine.schedule_at(SimTime::ZERO, Ev::ClientSend);
+    if engine.model().recovery.is_some() {
+        engine.schedule_at(SimTime::ZERO, Ev::HealthTick);
+    }
     engine.run_until(spec.horizon());
     let horizon = spec.horizon();
     let model = engine.model();
@@ -372,6 +421,12 @@ pub fn run_resilient_probed(
     fm.req_link_lost = model.req_lost;
     fm.resp_link_lost = model.resp_lost;
     fm.stranded = model.stranded;
+    if let Some(h) = model.dispatcher.health() {
+        fm.recovered = model.dispatcher.stats.recovered;
+        fm.recovery_duplicates = model.dispatcher.stats.late_duplicates;
+        fm.suspicions = h.stats.suspicions;
+        fm.readmissions = h.stats.readmissions;
+    }
     metrics.dropped = fm.link_lost();
     if probe.enabled {
         metrics.stages = Some(engine.probe_mut().report(horizon));

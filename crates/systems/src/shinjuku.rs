@@ -20,7 +20,8 @@ use cpu_model::{ContextCosts, ContextPool, Core, CoreId, CoreSpec, OneShotTimer,
 use net_wire::{FrameSpec, MsgKind, MsgRepr, ParsedFrame};
 use nic_model::{IfaceId, Link, NicDevice, QueueSteering};
 use nicsched::{
-    params, AdmitOutcome, Assignment, Dispatcher, LeastOutstanding, PolicySpec, SchedPolicy, Task,
+    params, AdmitOutcome, Assignment, Dispatcher, LeastOutstanding, PolicySpec, RecoveryPolicy,
+    SchedPolicy, Task,
 };
 use sim_core::{Ctx, Engine, FaultPlan, Model, Probe, ProbeConfig, Rng, SimDuration, SimTime};
 use workload::{RunMetrics, WorkloadSpec};
@@ -70,6 +71,10 @@ enum DispItem {
     /// A decided assignment being written to a worker queue (charged
     /// separately so dispatcher busy-time scales with fan-out).
     Emit(Assignment),
+    /// A lease-renewal heartbeat from a worker (recovery only).
+    Heartbeat {
+        worker: usize,
+    },
 }
 
 enum Ev {
@@ -123,6 +128,8 @@ struct Shinjuku {
     preemptions: u64,
 
     governor: Option<FeedbackGovernor>,
+    /// NIC-side failure-detection policy, when recovery is enabled.
+    recovery: Option<RecoveryPolicy>,
     req_lost: u64,
     resp_lost: u64,
     stranded: u64,
@@ -167,6 +174,9 @@ impl Shinjuku {
         // dispatcher assigns to *idle* workers only (§2.1).
         let mut dispatcher = Dispatcher::new(cfg.workers, 1, cfg.policy.build(), LeastOutstanding);
         dispatcher.set_admission(res.admission);
+        if let Some(policy) = res.recovery {
+            dispatcher.enable_recovery(policy);
+        }
         let governor = res
             .fallback
             .map(|p| FeedbackGovernor::new(cfg.workers, params::HOST_QUEUE_HOP, p));
@@ -189,6 +199,7 @@ impl Shinjuku {
             host: CoreSpec::host_x86(),
             preemptions: 0,
             governor,
+            recovery: res.recovery,
             req_lost: 0,
             resp_lost: 0,
             stranded: 0,
@@ -247,6 +258,9 @@ impl Shinjuku {
             DispItem::NewTask(_) => params::HOST_DISPATCH_ENQUEUE,
             DispItem::Done { .. } | DispItem::Preempted { .. } => params::HOST_DISPATCH_COMPLETE,
             DispItem::Emit(_) => params::HOST_DISPATCH_ASSIGN,
+            // A heartbeat is a single timestamp store on the tracker: charge
+            // it like a completion notification (queue-op scale).
+            DispItem::Heartbeat { .. } => params::HOST_DISPATCH_COMPLETE,
         }
     }
 
@@ -529,6 +543,13 @@ impl Model for Shinjuku {
                                 Ev::WorkerTask(a.worker, a.task),
                             );
                         }
+                        DispItem::Heartbeat { worker } => {
+                            ctx.probe().count("disp.heartbeat");
+                            let assignments = self.dispatcher.on_heartbeat(now, worker);
+                            for a in assignments.into_iter().rev() {
+                                self.disp_queue.push_front(DispItem::Emit(a));
+                            }
+                        }
                     }
                     ctx.probe()
                         .depth("dispatcher.central", self.dispatcher.queue_len());
@@ -609,6 +630,27 @@ impl Model for Shinjuku {
                     assignments = self.dispatcher.kick(now);
                     next = Some(gov.policy().heartbeat);
                 }
+                if let Some(policy) = self.recovery {
+                    // Worker side: lease renewal crosses host shared memory
+                    // like any other notification — a silenced worker
+                    // (crashed, stalled, or blacked out) cannot renew.
+                    if !silenced {
+                        ctx.schedule_in(
+                            params::HOST_QUEUE_HOP,
+                            Ev::DispPush(DispItem::Heartbeat { worker: w }),
+                        );
+                    }
+                    // Dispatcher side: expire leases and re-dispatch orphans
+                    // on the same tick.
+                    let recovered = self.dispatcher.check_health(now);
+                    if !recovered.is_empty() {
+                        ctx.probe().count("recovery.redispatch");
+                    }
+                    assignments.extend(recovered);
+                    next = Some(
+                        next.map_or(policy.heartbeat, |n: SimDuration| n.min(policy.heartbeat)),
+                    );
+                }
                 // Unparked work still pays the dispatcher's per-assignment
                 // cost like any other emission.
                 for a in assignments {
@@ -642,7 +684,7 @@ pub fn run_resilient_probed(
         engine.set_faults(FaultPlan::new(res.faults, spec.seed ^ FAULT_SEED_SALT));
     }
     engine.schedule_at(SimTime::ZERO, Ev::ClientSend);
-    if engine.model().governor.is_some() {
+    if engine.model().governor.is_some() || engine.model().recovery.is_some() {
         for w in 0..cfg.workers {
             engine.schedule_at(SimTime::ZERO, Ev::Heartbeat(w));
         }
@@ -669,6 +711,12 @@ pub fn run_resilient_probed(
         fm.fallback_switches = gov.switches;
         fm.fallback_ns = gov.fallback_ns(horizon);
         fm.quarantines = gov.quarantines;
+    }
+    if let Some(h) = model.dispatcher.health() {
+        fm.recovered = model.dispatcher.stats.recovered;
+        fm.recovery_duplicates = model.dispatcher.stats.late_duplicates;
+        fm.suspicions = h.stats.suspicions;
+        fm.readmissions = h.stats.readmissions;
     }
     metrics.dropped = ring_dropped + fm.link_lost() + fm.shed;
     if probe.enabled {

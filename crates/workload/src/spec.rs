@@ -144,6 +144,16 @@ pub struct FaultMetrics {
     pub fallback_ns: u64,
     /// Workers quarantined (excluded from selection) for stale feedback.
     pub quarantines: u64,
+    /// In-flight requests reclaimed from suspected workers and
+    /// re-dispatched by the NIC-side failure detector.
+    pub recovered: u64,
+    /// Late completions from stalled-but-alive workers absorbed by the
+    /// exactly-once filter after their request was already re-dispatched.
+    pub recovery_duplicates: u64,
+    /// Workers suspected by the failure detector (lease expiries).
+    pub suspicions: u64,
+    /// Suspected workers readmitted on late activity (false positives).
+    pub readmissions: u64,
 }
 
 impl FaultMetrics {
@@ -164,9 +174,17 @@ impl FaultMetrics {
     /// Attempt-ledger residue: attempts whose fate was not explicitly
     /// counted, i.e. frames still inside the pipeline (links, rings,
     /// queues, running workers) at the horizon. Must be non-negative and
-    /// bounded by the pipeline depth.
+    /// bounded by the pipeline depth (plus `recovery_duplicates` when
+    /// NIC-side recovery is on).
+    ///
+    /// Recovery re-dispatch clones an admitted attempt *inside* the
+    /// server: when the original copy later surfaces anyway (a stalled
+    /// worker finishing its zombie), its terminal event — a duplicate
+    /// response at the client, or an absorbed report at the dispatcher —
+    /// was never paid for by a wire attempt, so each one is credited
+    /// back here.
     pub fn in_pipe(&self) -> i64 {
-        self.attempts as i64
+        self.attempts as i64 + self.recovery_duplicates as i64
             - self.completed_all as i64
             - self.duplicates as i64
             - self.orphaned as i64
@@ -197,6 +215,10 @@ impl FaultMetrics {
         self.fallback_switches += other.fallback_switches;
         self.fallback_ns += other.fallback_ns;
         self.quarantines += other.quarantines;
+        self.recovered += other.recovered;
+        self.recovery_duplicates += other.recovery_duplicates;
+        self.suspicions += other.suspicions;
+        self.readmissions += other.readmissions;
     }
 }
 
