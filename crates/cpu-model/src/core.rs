@@ -70,14 +70,15 @@ impl CoreSpec {
     /// applying the work factor.
     pub fn cycles(&self, host_cycles: u64) -> SimDuration {
         let eff = host_cycles as f64 * self.work_factor;
-        // simlint: allow(time-float-cast, reason=cycles-to-ns conversion is the calibrated float boundary)
-        SimDuration::from_nanos((eff * 1e9 / self.freq_hz as f64).round() as u64)
+        let hz = self.freq_hz as f64;
+        SimDuration::from_nanos_f64(eff * 1e9 / hz)
     }
 
     /// Convert a raw cycle count on this core (no work factor) into time.
     pub fn raw_cycles(&self, cycles: u64) -> SimDuration {
-        // simlint: allow(time-float-cast, reason=cycles-to-ns conversion is the calibrated float boundary)
-        SimDuration::from_nanos((cycles as f64 * 1e9 / self.freq_hz as f64).round() as u64)
+        let cyc = cycles as f64;
+        let hz = self.freq_hz as f64;
+        SimDuration::from_nanos_f64(cyc * 1e9 / hz)
     }
 
     /// Convert a duration into raw cycles on this core.

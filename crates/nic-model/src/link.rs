@@ -65,8 +65,9 @@ impl Link {
     /// is `payload_len` bytes.
     pub fn serialization(&self, payload_len: usize) -> SimDuration {
         let wire_bits = wire_occupancy(payload_len) as u64 * 8;
-        // simlint: allow(time-float-cast, reason=serialization delay is bits over a float line rate)
-        SimDuration::from_secs_f64(wire_bits as f64 / self.bits_per_sec as f64)
+        let bits = wire_bits as f64;
+        let rate = self.bits_per_sec as f64;
+        SimDuration::from_secs_f64(bits / rate)
     }
 
     /// Transmit a frame whose Ethernet payload is `payload_len` bytes at

@@ -57,6 +57,9 @@ impl SchedPolicy for Cfcfs {
     fn worker_up(&mut self, now: SimTime, worker: usize) {
         self.0.worker_up(now, worker)
     }
+    fn feedback(&mut self, now: SimTime, event: &FeedbackEvent) {
+        self.0.feedback(now, event)
+    }
     fn len(&self) -> usize {
         self.0.len()
     }
@@ -222,6 +225,10 @@ impl SchedPolicy for Dfcfs {
             *d = false;
         }
     }
+
+    // Explicitly no-op: d-FCFS homes by RSS hash at admission and learns
+    // nothing from completions; liveness arrives via worker_down/up.
+    fn feedback(&mut self, _now: SimTime, _event: &FeedbackEvent) {}
 
     fn len(&self) -> usize {
         self.queued
@@ -531,6 +538,13 @@ impl SchedPolicy for Edf {
     fn peak_depth(&self) -> usize {
         self.queue.depth.peak
     }
+
+    // Failure hooks, explicitly no-ops: deadlines are computed from
+    // admission time alone, never per worker; reclaimed requests re-enter
+    // through `requeue` and recompute the same deadline.
+    fn worker_down(&mut self, _now: SimTime, _worker: usize) {}
+    fn worker_up(&mut self, _now: SimTime, _worker: usize) {}
+    fn feedback(&mut self, _now: SimTime, _event: &FeedbackEvent) {}
 }
 
 /// Virtual-time precision multiplier for [`WeightedFair`].
@@ -644,6 +658,10 @@ impl SchedPolicy for WeightedFair {
     fn worker_up(&mut self, _now: SimTime, _worker: usize) {
         self.rebase();
     }
+
+    // Explicitly no-op: lane weights are static configuration; WFQ takes
+    // no signal from completions (contrast Srpt, which learns sizes).
+    fn feedback(&mut self, _now: SimTime, _event: &FeedbackEvent) {}
 
     fn len(&self) -> usize {
         self.queued

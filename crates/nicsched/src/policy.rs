@@ -360,6 +360,12 @@ impl SchedPolicy for Fcfs {
     fn peak_depth(&self) -> usize {
         self.depth.peak
     }
+
+    // Failure hooks, explicitly no-ops: FCFS keeps no per-worker state,
+    // and reclaimed requests re-enter through `requeue`.
+    fn worker_down(&mut self, _now: SimTime, _worker: usize) {}
+    fn worker_up(&mut self, _now: SimTime, _worker: usize) {}
+    fn feedback(&mut self, _now: SimTime, _event: &FeedbackEvent) {}
 }
 
 /// Shortest-remaining-work-first: dispatches the queued task with the
@@ -455,6 +461,13 @@ impl SchedPolicy for ShortestRemaining {
     fn peak_depth(&self) -> usize {
         self.depth.peak
     }
+
+    // Failure hooks, explicitly no-ops: the heap is keyed by remaining
+    // service only, never by worker; reclaimed requests re-enter through
+    // `requeue` with their remaining work intact.
+    fn worker_down(&mut self, _now: SimTime, _worker: usize) {}
+    fn worker_up(&mut self, _now: SimTime, _worker: usize) {}
+    fn feedback(&mut self, _now: SimTime, _event: &FeedbackEvent) {}
 }
 
 /// Two-class priority: requests at or below the cutoff form the high
@@ -524,6 +537,12 @@ impl SchedPolicy for ClassPriority {
     fn peak_depth(&self) -> usize {
         self.depth.peak
     }
+
+    // Failure hooks, explicitly no-ops: both lanes are worker-agnostic
+    // FIFOs, and reclaimed requests re-enter through `requeue`.
+    fn worker_down(&mut self, _now: SimTime, _worker: usize) {}
+    fn worker_up(&mut self, _now: SimTime, _worker: usize) {}
+    fn feedback(&mut self, _now: SimTime, _event: &FeedbackEvent) {}
 }
 
 #[cfg(test)]

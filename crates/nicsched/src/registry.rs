@@ -257,6 +257,7 @@ impl PolicyRegistry {
 
     /// The standard registry: every policy this crate ships.
     pub fn standard() -> &'static PolicyRegistry {
+        // simlint: allow(shard-isolation, reason=write-once policy registry, initialised before any simulation runs and read-only after)
         static STANDARD: OnceLock<PolicyRegistry> = OnceLock::new();
         STANDARD.get_or_init(|| {
             let mut r = PolicyRegistry::new();
@@ -352,6 +353,7 @@ impl fmt::Debug for PolicyRegistry {
 /// spec leaks once per process — specs come from CLI flags and config
 /// literals, so the set is tiny.
 fn intern(s: &str) -> &'static str {
+    // simlint: allow(shard-isolation, reason=interner for CLI spec strings, touched only during argument parsing, never on the event-loop path)
     static TABLE: OnceLock<Mutex<BTreeMap<String, &'static str>>> = OnceLock::new();
     let table = TABLE.get_or_init(|| Mutex::new(BTreeMap::new()));
     let mut table = table.lock().expect("intern table poisoned");

@@ -291,8 +291,7 @@ impl Probe {
             .map(|(name, h)| HopStat {
                 name: (*name).to_string(),
                 count: h.count(),
-                // simlint: allow(time-float-cast, reason=histogram mean is a float by construction)
-                mean: SimDuration::from_nanos(h.mean().round() as u64),
+                mean: SimDuration::from_nanos_f64(h.mean()),
                 p50: SimDuration::from_nanos(h.p50().unwrap_or(0)),
                 p99: SimDuration::from_nanos(h.p99().unwrap_or(0)),
                 max: SimDuration::from_nanos(h.max().unwrap_or(0)),

@@ -106,17 +106,30 @@ impl SimDuration {
         SimDuration(s * 1_000_000_000)
     }
 
+    /// Construct from fractional nanoseconds, rounding to the nearest
+    /// nanosecond. Negative inputs clamp to zero.
+    pub fn from_nanos_f64(ns: f64) -> Self {
+        SimDuration(ns.max(0.0).round() as u64)
+    }
+
+    /// Construct from fractional nanoseconds, truncating toward zero.
+    /// Negative inputs clamp to zero. Exists alongside
+    /// [`SimDuration::from_nanos_f64`] because some historical call sites
+    /// truncate, and changing their rounding would change bit-identical
+    /// outputs.
+    pub fn from_nanos_f64_trunc(ns: f64) -> Self {
+        SimDuration(ns.max(0.0).trunc() as u64)
+    }
+
     /// Construct from fractional microseconds, rounding to the nearest
     /// nanosecond. Negative inputs clamp to zero.
     pub fn from_micros_f64(us: f64) -> Self {
-        // simlint: allow(time-float-cast, reason=canonical float-to-ns boundary, rounds explicitly)
         SimDuration((us.max(0.0) * 1_000.0).round() as u64)
     }
 
     /// Construct from fractional seconds, rounding to the nearest nanosecond.
     /// Negative inputs clamp to zero.
     pub fn from_secs_f64(s: f64) -> Self {
-        // simlint: allow(time-float-cast, reason=canonical float-to-ns boundary, rounds explicitly)
         SimDuration((s.max(0.0) * 1_000_000_000.0).round() as u64)
     }
 
@@ -135,6 +148,12 @@ impl SimDuration {
         self.0 as f64 / 1_000_000_000.0
     }
 
+    /// The ratio of two spans, as a float (`self / rhs`). The lossless
+    /// replacement for ad-hoc `as f64` division at call sites.
+    pub fn div_duration_f64(self, rhs: SimDuration) -> f64 {
+        self.0 as f64 / rhs.0 as f64
+    }
+
     /// True if this span is zero.
     pub const fn is_zero(self) -> bool {
         self.0 == 0
@@ -148,7 +167,6 @@ impl SimDuration {
     /// Multiply by a non-negative float, rounding to the nearest nanosecond.
     pub fn mul_f64(self, k: f64) -> SimDuration {
         debug_assert!(k >= 0.0, "mul_f64 by negative factor");
-        // simlint: allow(time-float-cast, reason=canonical float-to-ns boundary, rounds explicitly)
         SimDuration((self.0 as f64 * k).round() as u64)
     }
 }

@@ -1,0 +1,580 @@
+//! Forward determinism-taint analysis, intraprocedural with same-file
+//! call summaries.
+//!
+//! The v2 token pass flags *mentions* of nondeterminism (`HashMap` in a
+//! type, `Instant::now()` in model code). This pass flags *flows*: a
+//! nondeterministic value produced at a source reaching an
+//! ordering-sensitive sink within one function body. Sources:
+//!
+//! * iteration over an unordered container (`HashMap`/`HashSet` locals,
+//!   fields, or parameters — `.iter()`, `.keys()`, `.drain()`, or a
+//!   bare `for x in map`),
+//! * pointer/address casts (`as *const`, `.as_ptr()`, `addr_of!`) —
+//!   addresses vary run to run under ASLR,
+//! * float-keyed comparisons (`partial_cmp`, `total_cmp`) — NaN-order
+//!   hazards in keys,
+//! * unseeded RNG (`thread_rng`, `from_entropy`, `OsRng`,
+//!   `rand::random`).
+//!
+//! Taint propagates through `let` bindings, assignments, `for`/`if let`
+//! patterns, and same-file function returns (summaries iterated to a
+//! small fixpoint). Sinks:
+//!
+//! * comparator-driven ordering (`sort_by*`, `binary_search_by*`),
+//! * event-queue scheduling (`schedule`, `schedule_at`, `schedule_in`,
+//!   `schedule_now`),
+//! * inserts/pushes into ordered or queue-shaped receivers (`BTreeMap`
+//!   key construction, `push` on a heap/queue/events receiver),
+//! * probe/CSV emission (`record`/`emit`/`observe` methods, `writeln!`
+//!   and friends).
+//!
+//! This is a lint, not a verifier: it is flow-insensitive within a
+//! statement, field-insensitive beyond name matching, and its precision
+//! contract is pinned by the fixture corpus, exactly like the token
+//! rules.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::items::FileItems;
+use crate::lexer::{TokKind, Token};
+
+/// One taint flow: a source reaching a sink.
+#[derive(Debug, Clone)]
+pub struct TaintFinding {
+    /// 1-based line of the sink statement.
+    pub line: usize,
+    /// Human-readable source → sink description.
+    pub message: String,
+}
+
+const UNORDERED_TYPES: &[&str] = &["HashMap", "HashSet", "FxHashMap", "FxHashSet", "IndexMap"];
+const ORDERED_TYPES: &[&str] = &["BTreeMap", "BTreeSet", "BinaryHeap", "VecDeque"];
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+];
+const SORT_SINKS: &[&str] = &[
+    "sort_by",
+    "sort_by_key",
+    "sort_by_cached_key",
+    "sort_unstable_by",
+    "sort_unstable_by_key",
+    "binary_search_by",
+    "binary_search_by_key",
+];
+const SCHED_SINKS: &[&str] = &["schedule", "schedule_at", "schedule_in", "schedule_now"];
+const PUSH_SINKS: &[&str] = &["push", "push_back", "push_front", "insert"];
+const EMIT_SINKS: &[&str] = &["record", "emit", "observe", "probe"];
+const EMIT_MACROS: &[&str] = &["writeln", "write", "println", "print", "eprintln", "format"];
+const RNG_SOURCES: &[&str] = &["thread_rng", "from_entropy", "OsRng"];
+
+/// Analyze every function body in the file; return taint flows.
+pub fn analyze_taint(toks: &[Token], items: &FileItems) -> Vec<TaintFinding> {
+    // Struct fields seed container shape knowledge file-wide.
+    let mut field_unordered: BTreeSet<String> = BTreeSet::new();
+    let mut field_ordered: BTreeSet<String> = BTreeSet::new();
+    for st in &items.structs {
+        for f in &st.fields {
+            if f.type_idents
+                .iter()
+                .any(|t| UNORDERED_TYPES.contains(&t.as_str()))
+            {
+                field_unordered.insert(f.name.clone());
+            }
+            if f.type_idents
+                .iter()
+                .any(|t| ORDERED_TYPES.contains(&t.as_str()))
+            {
+                field_ordered.insert(f.name.clone());
+            }
+        }
+    }
+
+    // Same-file call summaries: fn name → origin label of its tainted
+    // return, iterated to a small fixpoint so helper chains resolve.
+    let mut summaries: BTreeMap<String, String> = BTreeMap::new();
+    for _round in 0..4 {
+        let mut changed = false;
+        for f in &items.fns {
+            if summaries.contains_key(&f.name) {
+                continue;
+            }
+            let (_, ret) = scan_fn(toks, f.body, &field_unordered, &field_ordered, &summaries);
+            if let Some(origin) = ret {
+                summaries.insert(f.name.clone(), origin);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let mut out = Vec::new();
+    let mut seen: BTreeSet<(usize, String)> = BTreeSet::new();
+    for f in &items.fns {
+        let (findings, _) = scan_fn(toks, f.body, &field_unordered, &field_ordered, &summaries);
+        for tf in findings {
+            if seen.insert((tf.line, tf.message.clone())) {
+                out.push(tf);
+            }
+        }
+    }
+    out.sort_by_key(|f| f.line);
+    out
+}
+
+/// Scan one function body: returns (sink findings, tainted-return origin).
+fn scan_fn(
+    toks: &[Token],
+    body: (usize, usize),
+    field_unordered: &BTreeSet<String>,
+    field_ordered: &BTreeSet<String>,
+    summaries: &BTreeMap<String, String>,
+) -> (Vec<TaintFinding>, Option<String>) {
+    let stmts = split_statements(toks, body.0, body.1);
+    let mut tainted: BTreeMap<String, String> = BTreeMap::new();
+    let mut unordered: BTreeSet<String> = field_unordered.clone();
+    let mut ordered: BTreeSet<String> = field_ordered.clone();
+    let mut findings = Vec::new();
+    let mut ret_origin: Option<String> = None;
+
+    // Two forward passes: loop bodies can use bindings that are only
+    // re-tainted on a later statement of the same body.
+    for pass in 0..2 {
+        let emit = pass == 1;
+        for &(s, e) in &stmts {
+            let stmt = &toks[s..e];
+            if stmt.is_empty() {
+                continue;
+            }
+            let origin = stmt_taint(stmt, &tainted, &unordered, summaries);
+
+            // Propagation: bind lhs names when the statement binds.
+            if let Some((lhs, rhs_at)) = binding_split(stmt) {
+                let rhs = &stmt[rhs_at..];
+                let rhs_origin = stmt_taint(rhs, &tainted, &unordered, summaries);
+                // Shape flows through type annotations too (`let m2:
+                // &HashMap<..> = m;`), so scan the whole statement.
+                let rhs_unordered = stmt.iter().any(|t| {
+                    t.kind
+                        .ident()
+                        .is_some_and(|s| UNORDERED_TYPES.contains(&s) || unordered.contains(s))
+                });
+                let rhs_ordered = stmt.iter().any(|t| {
+                    t.kind
+                        .ident()
+                        .is_some_and(|s| ORDERED_TYPES.contains(&s) || ordered.contains(s))
+                });
+                for name in lhs {
+                    if let Some(o) = &rhs_origin {
+                        tainted.insert(name.clone(), o.clone());
+                    }
+                    if rhs_unordered && rhs_origin.is_none() {
+                        // Alias of a container, not yet an iterated value.
+                        unordered.insert(name.clone());
+                    }
+                    if rhs_ordered {
+                        ordered.insert(name.clone());
+                    }
+                }
+            }
+
+            if !emit {
+                continue;
+            }
+            let Some(origin) = origin else {
+                continue;
+            };
+            let line = stmt[0].line;
+            for sink in stmt_sinks(stmt, &ordered) {
+                findings.push(TaintFinding {
+                    line,
+                    message: format!("{origin} flows into {sink}"),
+                });
+            }
+            if stmt.iter().any(|t| t.kind.ident() == Some("return")) {
+                ret_origin.get_or_insert(origin.clone());
+            }
+        }
+        // Tail expression: the last fragment taints the return value.
+        if let Some(&(s, e)) = stmts.last() {
+            if let Some(o) = stmt_taint(&toks[s..e], &tainted, &unordered, summaries) {
+                ret_origin.get_or_insert(o);
+            }
+        }
+    }
+    (findings, ret_origin)
+}
+
+/// Split a body token range into statement fragments at `;`, `{`, `}`
+/// (any depth — blocks become their own fragment sequence).
+pub(crate) fn split_statements(toks: &[Token], start: usize, end: usize) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut s = start;
+    let stop = end.min(toks.len());
+    for (k, t) in toks.iter().enumerate().take(stop).skip(start) {
+        if matches!(t.kind, TokKind::Punct(';' | '{' | '}')) {
+            if k > s {
+                out.push((s, k));
+            }
+            s = k + 1;
+        }
+    }
+    if end.min(toks.len()) > s {
+        out.push((s, end.min(toks.len())));
+    }
+    out
+}
+
+/// If the statement binds names (`let`, `for … in`, assignment), return
+/// (bound lowercase-initial names, token index where the rhs starts).
+pub(crate) fn binding_split(stmt: &[Token]) -> Option<(Vec<String>, usize)> {
+    // `for PAT in EXPR`
+    if let Some(fp) = stmt.iter().position(|t| t.kind.ident() == Some("for")) {
+        if let Some(ip) = stmt[fp..].iter().position(|t| t.kind.ident() == Some("in")) {
+            let names = pattern_names(&stmt[fp + 1..fp + ip]);
+            if !names.is_empty() {
+                return Some((names, fp + ip + 1));
+            }
+        }
+    }
+    // `let PAT = EXPR` (covers `if let` / `while let`)
+    if let Some(lp) = stmt.iter().position(|t| t.kind.ident() == Some("let")) {
+        if let Some(eq) = assign_pos(stmt, lp + 1) {
+            let names = pattern_names(&stmt[lp + 1..eq]);
+            if !names.is_empty() {
+                return Some((names, eq + 1));
+            }
+        }
+        return None;
+    }
+    // Plain or compound assignment.
+    if let Some(eq) = assign_pos(stmt, 0) {
+        let names = pattern_names(&stmt[..eq]);
+        if !names.is_empty() {
+            return Some((names, eq + 1));
+        }
+    }
+    None
+}
+
+/// Index of the first standalone `=` (not `==`, `=>`, `<=`, comparison)
+/// at or after `from`; compound assignments (`+=` etc.) count, with the
+/// index of the `=` itself returned. The lexer emits `>` and `=` as
+/// separate tokens, so `Vec<u64> = …` would read as `>=` without angle
+/// tracking: a `>` that closes an open generic list is not a comparison.
+fn assign_pos(stmt: &[Token], from: usize) -> Option<usize> {
+    let mut angle = 0i32;
+    let mut gt_closed_generic = false;
+    for k in from..stmt.len() {
+        match &stmt[k].kind {
+            TokKind::Punct('<') => angle += 1,
+            TokKind::Punct('>') => {
+                let arrow = k > 0 && stmt[k - 1].kind == TokKind::Punct('-');
+                gt_closed_generic = false;
+                if !arrow && angle > 0 {
+                    angle -= 1;
+                    gt_closed_generic = true;
+                }
+            }
+            TokKind::Punct('=') => {
+                let next = stmt.get(k + 1).map(|t| &t.kind);
+                if next == Some(&TokKind::Punct('=')) || next == Some(&TokKind::Punct('>')) {
+                    continue;
+                }
+                if k > from {
+                    if let TokKind::Punct(p) = stmt[k - 1].kind {
+                        match p {
+                            '=' | '<' | '!' => continue,
+                            '>' if !gt_closed_generic => continue,
+                            // `+=`, `-=`, … assign to an existing binding.
+                            '+' | '-' | '*' | '/' | '%' | '&' | '|' | '^' => return Some(k),
+                            _ => {}
+                        }
+                    }
+                }
+                return Some(k);
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Lowercase-initial identifiers in a binding pattern (skips keywords,
+/// type names, and primitive-typed annotations do no harm).
+fn pattern_names(pat: &[Token]) -> Vec<String> {
+    let mut out = Vec::new();
+    for t in pat {
+        if let Some(s) = t.kind.ident() {
+            if matches!(s, "mut" | "ref" | "let" | "if" | "while" | "self" | "_") {
+                continue;
+            }
+            // Primitive type names show up in annotations (`let v: Vec<u64>`)
+            // and must not become phantom bindings.
+            if matches!(
+                s,
+                "u8" | "u16"
+                    | "u32"
+                    | "u64"
+                    | "u128"
+                    | "usize"
+                    | "i8"
+                    | "i16"
+                    | "i32"
+                    | "i64"
+                    | "i128"
+                    | "isize"
+                    | "f32"
+                    | "f64"
+                    | "bool"
+                    | "char"
+                    | "str"
+                    | "dyn"
+            ) {
+                continue;
+            }
+            if s.starts_with(|c: char| c.is_lowercase() || c == '_') {
+                out.push(s.to_string());
+            }
+        }
+    }
+    out
+}
+
+/// Does this expression fragment carry taint? Returns the origin label.
+fn stmt_taint(
+    stmt: &[Token],
+    tainted: &BTreeMap<String, String>,
+    unordered: &BTreeSet<String>,
+    summaries: &BTreeMap<String, String>,
+) -> Option<String> {
+    for (k, t) in stmt.iter().enumerate() {
+        let Some(s) = t.kind.ident() else {
+            // `addr_of!` path handled via ident below; nothing here.
+            continue;
+        };
+        // Pointer/address casts.
+        if s == "as"
+            && stmt.get(k + 1).map(|t| &t.kind) == Some(&TokKind::Punct('*'))
+            && matches!(
+                stmt.get(k + 2).and_then(|t| t.kind.ident()),
+                Some("const" | "mut")
+            )
+        {
+            return Some("address-cast value".to_string());
+        }
+        if matches!(s, "as_ptr" | "as_mut_ptr" | "addr_of" | "addr_of_mut") {
+            return Some("address-cast value".to_string());
+        }
+        // Float-keyed comparisons.
+        if matches!(s, "partial_cmp" | "total_cmp") {
+            return Some("float-keyed comparison".to_string());
+        }
+        // Unseeded RNG.
+        if RNG_SOURCES.contains(&s) {
+            return Some(format!("unseeded RNG (`{s}`)"));
+        }
+        if s == "random"
+            && k >= 3
+            && stmt[k - 1].kind == TokKind::Punct(':')
+            && stmt[k - 2].kind == TokKind::Punct(':')
+            && stmt[k - 3].kind.ident() == Some("rand")
+        {
+            return Some("unseeded RNG (`rand::random`)".to_string());
+        }
+        // Iteration over an unordered container local/field: either an
+        // iter-family method on it, or it as the subject of `for … in`.
+        if unordered.contains(s) {
+            let method_after = stmt.get(k + 1).map(|t| &t.kind) == Some(&TokKind::Punct('.'))
+                && stmt
+                    .get(k + 2)
+                    .and_then(|t| t.kind.ident())
+                    .is_some_and(|m| ITER_METHODS.contains(&m));
+            let for_subject = k > 0
+                && stmt[..k]
+                    .iter()
+                    .rev()
+                    .find_map(|t| t.kind.ident())
+                    .is_some_and(|p| p == "in");
+            if method_after || for_subject {
+                return Some(format!("iteration over unordered container `{s}`"));
+            }
+        }
+        // Tainted local referenced.
+        if let Some(origin) = tainted.get(s) {
+            return Some(origin.clone());
+        }
+        // Call of a same-file fn with a tainted return.
+        if let Some(origin) = summaries.get(s) {
+            if stmt.get(k + 1).map(|t| &t.kind) == Some(&TokKind::Punct('(')) {
+                return Some(format!("{origin} (via `{s}()`)"));
+            }
+        }
+    }
+    None
+}
+
+/// Ordering-sensitive sinks present in this statement.
+fn stmt_sinks(stmt: &[Token], ordered: &BTreeSet<String>) -> Vec<String> {
+    let mut out = Vec::new();
+    for (k, t) in stmt.iter().enumerate() {
+        let Some(s) = t.kind.ident() else { continue };
+        let is_method = k > 0 && stmt[k - 1].kind == TokKind::Punct('.');
+        if is_method && SORT_SINKS.contains(&s) {
+            out.push(format!("comparator sink `.{s}(..)`"));
+        }
+        if is_method && SCHED_SINKS.contains(&s) {
+            out.push(format!("event-queue sink `.{s}(..)`"));
+        }
+        if is_method && EMIT_SINKS.contains(&s) {
+            out.push(format!("probe/CSV emission sink `.{s}(..)`"));
+        }
+        if is_method && PUSH_SINKS.contains(&s) {
+            // Receiver shape: `recv.push(..)` — the ident before the dot.
+            if let Some(recv) = stmt[..k - 1].iter().rev().find_map(|t| t.kind.ident()) {
+                let name = recv.to_ascii_lowercase();
+                let queue_shaped = ["queue", "events", "heap", "ready", "pending"]
+                    .iter()
+                    .any(|q| name.contains(q));
+                if queue_shaped || ordered.contains(recv) {
+                    out.push(format!("ordered-insert sink `{recv}.{s}(..)`"));
+                }
+            }
+        }
+        if EMIT_MACROS.contains(&s)
+            && stmt.get(k + 1).map(|t| &t.kind) == Some(&TokKind::Punct('!'))
+        {
+            out.push(format!("probe/CSV emission sink `{s}!(..)`"));
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::parse_items;
+    use crate::lexer::lex;
+
+    fn taint(src: &str) -> Vec<TaintFinding> {
+        let lexed = lex(src);
+        let items = parse_items(&lexed.tokens);
+        analyze_taint(&lexed.tokens, &items)
+    }
+
+    #[test]
+    fn hashmap_iteration_reaching_sort_fires() {
+        let src = "\
+fn order(m: &HashMap<u64, u64>) -> Vec<u64> {
+    let m2: &HashMap<u64, u64> = m;
+    let mut v: Vec<u64> = m2.keys().copied().collect();
+    v.sort_by(|a, b| a.cmp(b));
+    v
+}
+";
+        let fs = taint(src);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert!(fs[0].message.contains("unordered container"), "{fs:?}");
+        assert!(fs[0].message.contains("comparator sink"), "{fs:?}");
+    }
+
+    #[test]
+    fn btreemap_iteration_is_clean() {
+        let src = "\
+fn order(m: &BTreeMap<u64, u64>) -> Vec<u64> {
+    let m2: &BTreeMap<u64, u64> = m;
+    let mut v: Vec<u64> = m2.keys().copied().collect();
+    v.sort_by(|a, b| a.cmp(b));
+    v
+}
+";
+        assert!(taint(src).is_empty());
+    }
+
+    #[test]
+    fn address_cast_into_schedule_fires() {
+        let src = "\
+fn go(&mut self, task: &Task) {
+    let key = task as *const Task as usize;
+    self.eq.schedule(SimTime::ZERO, key as u64);
+}
+";
+        let fs = taint(src);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert!(fs[0].message.contains("address-cast"), "{fs:?}");
+        assert!(fs[0].message.contains("event-queue sink"), "{fs:?}");
+    }
+
+    #[test]
+    fn taint_through_same_file_helper_return() {
+        let src = "\
+fn pick(m: &HashMap<u64, u64>) -> u64 {
+    let m2: &HashMap<u64, u64> = m;
+    let first = m2.keys().next();
+    first.copied().unwrap_or(0)
+}
+fn drive(&mut self) {
+    let k = pick(&self.live);
+    self.events.push(k);
+}
+";
+        let fs = taint(src);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert!(fs[0].message.contains("via `pick()`"), "{fs:?}");
+        assert!(fs[0].message.contains("ordered-insert sink"), "{fs:?}");
+    }
+
+    #[test]
+    fn unordered_struct_field_for_loop_into_emit_fires() {
+        let src = "\
+struct Reg { live: HashMap<u64, u64> }
+impl Reg {
+    fn dump(&self, out: &mut String) {
+        for k in self.live.keys() {
+            writeln!(out, \"{}\", k).unwrap();
+        }
+    }
+}
+";
+        let fs = taint(src);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert!(fs[0].message.contains("`live`"), "{fs:?}");
+        assert!(fs[0].message.contains("writeln!"), "{fs:?}");
+    }
+
+    #[test]
+    fn untainted_sinks_do_not_fire() {
+        let src = "\
+fn go(&mut self, t: SimTime, id: u64) {
+    self.eq.schedule(t, id);
+    let mut v = vec![3u64, 1, 2];
+    v.sort_by(|a, b| a.cmp(b));
+}
+";
+        assert!(taint(src).is_empty());
+    }
+
+    #[test]
+    fn rng_into_sort_key_fires() {
+        let src = "\
+fn shuffle(v: &mut Vec<u64>) {
+    let mut rng = thread_rng();
+    v.sort_by_key(|_| rng.gen::<u64>());
+}
+";
+        let fs = taint(src);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert!(fs[0].message.contains("unseeded RNG"), "{fs:?}");
+    }
+}

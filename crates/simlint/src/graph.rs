@@ -121,6 +121,15 @@ pub struct CrateInfo {
     pub layer_raw: Option<String>,
     /// All declared dependency names (internal and external).
     pub deps: Vec<DepEdge>,
+    /// Crate-relative path of the declared float-to-time boundary file
+    /// (`time_boundary = "src/time.rs"`): the one audited file where the
+    /// canonical `*_f64` conversions may cast between time and floats
+    /// without per-line waivers.
+    pub time_boundary: Option<String>,
+    /// Exactly-once ledger fields (`ledger = ["reclaimed"]`): every
+    /// declared field must have matched debit and credit sites somewhere
+    /// in the crate (the `ledger-pairing` rule).
+    pub ledger: Vec<String>,
 }
 
 /// The parsed workspace graph.
@@ -330,6 +339,8 @@ fn parse_manifest(text: &str, manifest_rel: &str, dir_rel: &str) -> Option<Crate
     let mut section = Section::Other;
     let mut name = None;
     let mut layer_raw: Option<String> = None;
+    let mut time_boundary: Option<String> = None;
+    let mut ledger: Vec<String> = Vec::new();
     let mut deps = Vec::new();
     let mut saw_package = false;
 
@@ -366,6 +377,21 @@ fn parse_manifest(text: &str, manifest_rel: &str, dir_rel: &str) -> Option<Crate
                     let rest = rest.trim_start();
                     if let Some(v) = rest.strip_prefix('=') {
                         layer_raw = Some(v.trim().trim_matches('"').to_string());
+                    }
+                } else if let Some(rest) = line.strip_prefix("time_boundary") {
+                    let rest = rest.trim_start();
+                    if let Some(v) = rest.strip_prefix('=') {
+                        time_boundary = Some(v.trim().trim_matches('"').to_string());
+                    }
+                } else if let Some(rest) = line.strip_prefix("ledger") {
+                    let rest = rest.trim_start();
+                    if let Some(v) = rest.strip_prefix('=') {
+                        let inner = v.trim().trim_start_matches('[').trim_end_matches(']');
+                        ledger = inner
+                            .split(',')
+                            .map(|s| s.trim().trim_matches('"').to_string())
+                            .filter(|s| !s.is_empty())
+                            .collect();
                     }
                 }
             }
@@ -409,6 +435,8 @@ fn parse_manifest(text: &str, manifest_rel: &str, dir_rel: &str) -> Option<Crate
         layer,
         layer_raw,
         deps,
+        time_boundary,
+        ledger,
     })
 }
 
@@ -441,6 +469,19 @@ mod tests {
         let names: Vec<_> = c.deps.iter().map(|d| d.to.as_str()).collect();
         assert_eq!(names, vec!["sim-core", "bytes"]);
         assert!(c.deps[0].line > 0);
+    }
+
+    #[test]
+    fn manifest_parsing_extracts_boundary_and_ledger_metadata() {
+        let text = "[package]\nname = \"sim-core\"\n\n[package.metadata.simlint]\n\
+                    layer = \"core\"\ntime_boundary = \"src/time.rs\"\n\
+                    ledger = [\"reclaimed\", \"in_flight\"]\n";
+        let c = parse_manifest(text, "crates/sim-core/Cargo.toml", "crates/sim-core").unwrap();
+        assert_eq!(c.time_boundary.as_deref(), Some("src/time.rs"));
+        assert_eq!(c.ledger, vec!["reclaimed", "in_flight"]);
+        let plain = mk("net-wire", "crates/net-wire", "model", &[]);
+        assert_eq!(plain.time_boundary, None);
+        assert!(plain.ledger.is_empty());
     }
 
     #[test]

@@ -15,9 +15,9 @@
 //!
 //! ```text
 //! simlint [--root DIR] [--deny-all] [--json] [--out FILE]
-//!         [--annotations] [--compare BASELINE] [--write-baseline FILE]
-//!         [--self] [--legacy] [--list-rules] [--explain RULE]
-//!         [--write-rules-doc]
+//!         [--annotations] [--sarif FILE] [--compare BASELINE] [--strict]
+//!         [--write-baseline FILE] [--self] [--legacy] [--list-rules]
+//!         [--explain RULE] [--write-rules-doc]
 //! ```
 //!
 #![doc = include_str!("rules/RULES.md")]
@@ -27,7 +27,9 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
+pub mod dataflow;
 pub mod graph;
+pub mod items;
 pub mod legacy;
 pub mod lexer;
 pub mod report;
@@ -35,7 +37,8 @@ pub mod rules;
 
 use graph::WorkspaceGraph;
 use report::{Report, WaiverRecord};
-use rules::tokens::{analyze_source, FileCtx};
+use rules::semantic::LedgerSites;
+use rules::tokens::{Analysis, FileCtx};
 
 /// One lint finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -101,10 +104,107 @@ fn rel_to(root: &Path, path: &Path) -> String {
         .replace('\\', "/")
 }
 
-/// Lint the whole workspace with the token pass: graph rules first, then
-/// every `src/` and `tests/` file of every workspace crate (the simlint
-/// crate included; `tests/fixtures` trees excluded — they exist to
-/// contain hazards).
+/// The result of the v3 per-file analysis: the merged token + semantic
+/// findings, plus the file's ledger debit/credit sites for the caller to
+/// aggregate per crate.
+#[derive(Debug, Default)]
+pub struct V3Analysis {
+    /// Post-waiver findings and the file's waiver ledger.
+    pub analysis: Analysis,
+    /// Per declared ledger field: this file's non-test sites.
+    pub ledger: Vec<(String, LedgerSites)>,
+}
+
+/// Analyze one file with the full v3 pipeline: the v2 token scan, the
+/// item parser, the determinism-taint dataflow pass, and the semantic
+/// rules — all contributing *pre-waiver* candidates, so one waiver
+/// application at the end serves every rule family (a waiver for a
+/// semantic rule is never falsely stale).
+///
+/// `exempt_time_boundary` drops `time-float-cast` candidates: the owning
+/// crate declared this file as its audited float/time conversion
+/// boundary (`time_boundary` metadata), which replaces per-line waivers.
+pub fn analyze_source_v3(
+    ctx: FileCtx,
+    rel_path: &str,
+    source: &str,
+    ledger_fields: &[String],
+    exempt_time_boundary: bool,
+) -> V3Analysis {
+    let scan = rules::tokens::scan_source(ctx, rel_path, source);
+    let rules::tokens::Scan {
+        mut candidates,
+        wset,
+        lexed,
+        test_lines,
+    } = scan;
+    if exempt_time_boundary {
+        candidates.retain(|f| f.rule != "time-float-cast");
+    }
+    let is_test = |line: usize| test_lines.get(line).copied().unwrap_or(false);
+    let model_scope = matches!(ctx.layer, graph::Layer::Core | graph::Layer::Model);
+    let parsed = items::parse_items(&lexed.tokens);
+
+    if model_scope && !ctx.tests_dir {
+        for tf in dataflow::analyze_taint(&lexed.tokens, &parsed) {
+            if is_test(tf.line) {
+                continue;
+            }
+            candidates.push(Finding {
+                file: rel_path.to_string(),
+                line: tf.line,
+                rule: "determinism-taint",
+                message: format!(
+                    "{}; break the flow (ordered container, stable key, seeded \
+                     stream) or waive with a reason",
+                    tf.message
+                ),
+            });
+        }
+        for (line, message) in rules::semantic::shard_isolation(&parsed) {
+            if is_test(line) {
+                continue;
+            }
+            candidates.push(Finding {
+                file: rel_path.to_string(),
+                line,
+                rule: "shard-isolation",
+                message,
+            });
+        }
+    }
+    if ctx.layer == graph::Layer::Model && !ctx.tests_dir {
+        for (line, message) in rules::semantic::hook_conformance(&lexed.tokens, &parsed) {
+            if is_test(line) {
+                continue;
+            }
+            candidates.push(Finding {
+                file: rel_path.to_string(),
+                line,
+                rule: "hook-conformance",
+                message,
+            });
+        }
+    }
+    let mut ledger = Vec::new();
+    if !ledger_fields.is_empty() && !ctx.tests_dir {
+        let sites = rules::semantic::ledger_sites(&lexed.tokens, &parsed, ledger_fields);
+        for (field, mut s) in ledger_fields.iter().cloned().zip(sites) {
+            s.debits.retain(|&l| !is_test(l));
+            s.credits.retain(|&l| !is_test(l));
+            ledger.push((field, s));
+        }
+    }
+    V3Analysis {
+        analysis: rules::tokens::finalize(rel_path, candidates, wset),
+        ledger,
+    }
+}
+
+/// Lint the whole workspace with the v3 pipeline: graph rules first,
+/// then every `src/` and `tests/` file of every workspace crate (the
+/// simlint crate included; `tests/fixtures` trees excluded — they exist
+/// to contain hazards), then crate-level ledger pairing.
 pub fn lint_workspace(root: &Path) -> io::Result<Report> {
     let graph = WorkspaceGraph::load(root)?;
     let mut report = Report {
@@ -113,6 +213,20 @@ pub fn lint_workspace(root: &Path) -> io::Result<Report> {
     };
     for info in graph.crates.values() {
         let crate_dir = root.join(&info.dir);
+        let boundary_rel = info.time_boundary.as_ref().map(|b| {
+            if info.dir.is_empty() {
+                b.clone()
+            } else {
+                format!("{}/{}", info.dir, b)
+            }
+        });
+        // field → (debit sites, credit sites) across the crate's files.
+        type Site = (String, usize);
+        let mut ledger: Vec<(String, Vec<Site>, Vec<Site>)> = info
+            .ledger
+            .iter()
+            .map(|f| (f.clone(), Vec::new(), Vec::new()))
+            .collect();
         for sub in ["src", "tests"] {
             let dir = crate_dir.join(sub);
             if !dir.is_dir() {
@@ -128,16 +242,69 @@ pub fn lint_workspace(root: &Path) -> io::Result<Report> {
                 let source = fs::read_to_string(&path)?;
                 report.files_scanned += 1;
                 let layer = info.layer.unwrap_or(graph::Layer::Model);
-                let analysis = analyze_source(FileCtx::new(layer, &rel), &rel, &source);
-                report.findings.extend(analysis.findings);
+                let exempt = boundary_rel.as_deref() == Some(rel.as_str());
+                let v3 = analyze_source_v3(
+                    FileCtx::new(layer, &rel),
+                    &rel,
+                    &source,
+                    &info.ledger,
+                    exempt,
+                );
+                report.findings.extend(v3.analysis.findings);
                 report
                     .waivers
-                    .extend(analysis.waivers.into_iter().map(|w| WaiverRecord {
+                    .extend(v3.analysis.waivers.into_iter().map(|w| WaiverRecord {
                         file: rel.clone(),
                         line: w.line,
                         rules: w.rules,
                         block: w.block,
                     }));
+                for (field, sites) in v3.ledger {
+                    if let Some(entry) = ledger.iter_mut().find(|(f, _, _)| *f == field) {
+                        entry
+                            .1
+                            .extend(sites.debits.iter().map(|&l| (rel.clone(), l)));
+                        entry
+                            .2
+                            .extend(sites.credits.iter().map(|&l| (rel.clone(), l)));
+                    }
+                }
+            }
+        }
+        for (field, debits, credits) in ledger {
+            let manifest = &info.manifest;
+            match (debits.first(), credits.first()) {
+                (None, None) => report.findings.push(Finding {
+                    file: manifest.clone(),
+                    line: 1,
+                    rule: "ledger-pairing",
+                    message: format!(
+                        "manifest declares exactly-once ledger field `{field}` \
+                         but no debit or credit site exists in the crate; \
+                         remove the declaration or wire the ledger"
+                    ),
+                }),
+                (Some((file, line)), None) => report.findings.push(Finding {
+                    file: file.clone(),
+                    line: *line,
+                    rule: "ledger-pairing",
+                    message: format!(
+                        "ledger field `{field}` is debited here but never \
+                         credited (`-=` / `.remove(` / `.clear(`) anywhere in \
+                         the crate; exactly-once accounting needs both sides"
+                    ),
+                }),
+                (None, Some((file, line))) => report.findings.push(Finding {
+                    file: file.clone(),
+                    line: *line,
+                    rule: "ledger-pairing",
+                    message: format!(
+                        "ledger field `{field}` is credited here but never \
+                         debited (`+=` / `.insert(`) anywhere in the crate; \
+                         exactly-once accounting needs both sides"
+                    ),
+                }),
+                (Some(_), Some(_)) => {}
             }
         }
         let lib = crate_dir.join("src/lib.rs");
@@ -205,6 +372,8 @@ pub fn run(args: &[String]) -> i32 {
     let mut write_baseline: Option<PathBuf> = None;
     let mut self_lint = false;
     let mut use_legacy = false;
+    let mut sarif_file: Option<PathBuf> = None;
+    let mut strict = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -213,6 +382,11 @@ pub fn run(args: &[String]) -> i32 {
             "--annotations" => annotations = true,
             "--self" => self_lint = true,
             "--legacy" => use_legacy = true,
+            "--strict" => strict = true,
+            "--sarif" => {
+                i += 1;
+                sarif_file = args.get(i).map(PathBuf::from);
+            }
             "--list-rules" => {
                 for r in rules::TABLE {
                     println!("{:<16} {}", r.name, r.fires_on.replace('\n', " "));
@@ -343,6 +517,13 @@ pub fn run(args: &[String]) -> i32 {
             return 2;
         }
     }
+    if let Some(path) = sarif_file {
+        if let Err(e) = fs::write(&path, report.to_sarif()) {
+            eprintln!("simlint: cannot write {}: {e}", path.display());
+            return 2;
+        }
+        println!("wrote SARIF {}", path.display());
+    }
     if let Some(path) = write_baseline {
         if let Err(e) = fs::write(&path, report.to_baseline_json()) {
             eprintln!("simlint: cannot write {}: {e}", path.display());
@@ -353,6 +534,18 @@ pub fn run(args: &[String]) -> i32 {
     if let Some(path) = compare_file {
         match fs::read_to_string(&path) {
             Ok(text) => match report::compare(&report, &text) {
+                Ok(notes) if strict && !notes.is_empty() => {
+                    // Under --strict, drift in *either* direction fails:
+                    // unexplained disappearances mean the baseline lies.
+                    for n in notes {
+                        eprintln!("baseline gate (strict): {n}");
+                    }
+                    eprintln!(
+                        "baseline gate (strict): findings disappeared without a \
+                         baseline update; re-ratchet with --write-baseline"
+                    );
+                    failed = true;
+                }
                 Ok(notes) => {
                     for n in notes {
                         println!("note: {n}");

@@ -92,9 +92,11 @@ impl Report {
 
     /// The baseline document (`--write-baseline`): standing findings
     /// without messages (lines drift; messages churn) plus the waiver
-    /// ledger.
+    /// ledger. `schema: 3` marks the v3 finding vocabulary (semantic
+    /// rules, boundary exemption); `compare` ignores the key, so v2
+    /// baselines still parse.
     pub fn to_baseline_json(&self) -> String {
-        let mut out = String::from("{\n  \"findings\": [\n");
+        let mut out = String::from("{\n  \"schema\": 3,\n  \"findings\": [\n");
         for (i, f) in self.findings.iter().enumerate() {
             out.push_str(&format!(
                 "    {{\"file\": {}, \"line\": {}, \"rule\": {}}}{}\n",
@@ -116,6 +118,49 @@ impl Report {
             ));
         }
         out.push_str("  }\n}\n");
+        out
+    }
+
+    /// SARIF 2.1.0 (`--sarif`): one run, rules from the registry, one
+    /// `error`-level result per finding. Minimal but valid — enough for
+    /// `github/codeql-action/upload-sarif` to render findings as PR
+    /// annotations in the Security tab.
+    pub fn to_sarif(&self) -> String {
+        let mut out = String::from(
+            "{\n  \"$schema\": \
+             \"https://json.schemastore.org/sarif-2.1.0.json\",\n  \
+             \"version\": \"2.1.0\",\n  \"runs\": [\n    {\n      \
+             \"tool\": {\n        \"driver\": {\n          \
+             \"name\": \"simlint\",\n          \
+             \"informationUri\": \"https://example.invalid/simlint\",\n          \
+             \"rules\": [\n",
+        );
+        let n_rules = crate::rules::TABLE.len();
+        for (i, r) in crate::rules::TABLE.iter().enumerate() {
+            out.push_str(&format!(
+                "            {{\"id\": {}, \"shortDescription\": {{\"text\": {}}}, \
+                 \"fullDescription\": {{\"text\": {}}}}}{}\n",
+                json_str(r.name),
+                json_str(&r.fires_on.replace('\n', " ")),
+                json_str(&r.detail.replace('\n', " ")),
+                if i + 1 < n_rules { "," } else { "" }
+            ));
+        }
+        out.push_str("          ]\n        }\n      },\n      \"results\": [\n");
+        for (i, f) in self.findings.iter().enumerate() {
+            out.push_str(&format!(
+                "        {{\"ruleId\": {}, \"level\": \"error\", \"message\": \
+                 {{\"text\": {}}}, \"locations\": [{{\"physicalLocation\": \
+                 {{\"artifactLocation\": {{\"uri\": {}}}, \"region\": \
+                 {{\"startLine\": {}}}}}}}]}}{}\n",
+                json_str(f.rule),
+                json_str(&f.message),
+                json_str(&f.file),
+                f.line,
+                if i + 1 < self.findings.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("      ]\n    }\n  ]\n}\n");
         out
     }
 
@@ -540,6 +585,45 @@ mod tests {
         assert!(ann.starts_with("::error file=a.rs,line=7::[unordered]"));
         assert!(ann.contains("%0A"));
         assert!(!ann.trim_end().contains('\n') || ann.lines().count() == 1);
+    }
+
+    #[test]
+    fn sarif_is_valid_json_with_rules_and_results() {
+        let report = report_with(vec![finding("a.rs", 7, "unordered")], vec![]);
+        let value = parse_json(&report.to_sarif()).expect("valid SARIF JSON");
+        assert_eq!(value.get("version").and_then(Value::as_str), Some("2.1.0"));
+        let run = &value.get("runs").and_then(Value::as_array).unwrap()[0];
+        let rules = run
+            .get("tool")
+            .and_then(|t| t.get("driver"))
+            .and_then(|d| d.get("rules"))
+            .and_then(Value::as_array)
+            .unwrap();
+        assert_eq!(rules.len(), crate::rules::TABLE.len());
+        let results = run.get("results").and_then(Value::as_array).unwrap();
+        assert_eq!(results.len(), 1);
+        assert_eq!(
+            results[0].get("ruleId").and_then(Value::as_str),
+            Some("unordered")
+        );
+        let loc = &results[0]
+            .get("locations")
+            .and_then(Value::as_array)
+            .unwrap()[0];
+        assert_eq!(
+            loc.get("physicalLocation")
+                .and_then(|p| p.get("region"))
+                .and_then(|r| r.get("startLine"))
+                .and_then(Value::as_usize),
+            Some(7)
+        );
+    }
+
+    #[test]
+    fn baseline_declares_schema_3() {
+        let report = report_with(vec![], vec![]);
+        let value = parse_json(&report.to_baseline_json()).unwrap();
+        assert_eq!(value.get("schema").and_then(Value::as_usize), Some(3));
     }
 
     #[test]

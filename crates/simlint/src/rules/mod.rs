@@ -9,6 +9,7 @@
 //! (`tests/docs_sync.rs`) renders [`TABLE`] to markdown and fails if
 //! `RULES.md` or the README drifted.
 
+pub mod semantic;
 pub mod tokens;
 pub mod waivers;
 
@@ -151,6 +152,71 @@ pub const TABLE: &[RuleSpec] = &[
                  and stale-waiver rejects leftovers.",
         waivable: false,
     },
+    RuleSpec {
+        name: "determinism-taint",
+        scope: "core + model crates, non-test code",
+        fires_on: "a nondeterministic value flowing into an \
+                   ordering-sensitive sink",
+        detail: "The v3 dataflow pass tracks values from nondeterminism \
+                 sources — iteration over unordered containers, \
+                 pointer/address casts (ASLR), float-keyed comparisons, \
+                 unseeded RNG — through let bindings, assignments, for/if-let \
+                 patterns, and same-file helper returns, into sinks where \
+                 ordering escapes into simulation state or output: comparator \
+                 sorts, event-queue schedule calls, inserts into ordered or \
+                 queue-shaped receivers, and probe/CSV emission. Unlike the \
+                 token rules this flags *flows*, not mentions: a HashMap used \
+                 only for membership tests is fine; its keys() feeding a sort \
+                 key is not.",
+        waivable: true,
+    },
+    RuleSpec {
+        name: "hook-conformance",
+        scope: "model crates, non-test code",
+        fires_on: "an `impl SchedPolicy` leaning on default no-op failure \
+                   hooks, or a resilient assembly missing its wiring",
+        detail: "SchedPolicy's `worker_down` / `worker_up` / `feedback` \
+                 default to no-ops, so a policy can silently ignore failure \
+                 signals and keep dispatching to dead workers. Every impl \
+                 must define all three — an explicit empty body documents \
+                 the decision — or carry a waiver saying why not. Files \
+                 assembling a resilient system (`fn run_resilient_probed`) \
+                 must also wire invariant checking (`checker_for` + \
+                 `close_invariants`) and a failure-detection entry point \
+                 (`check_health` / heartbeat), or waive the gap.",
+        waivable: true,
+    },
+    RuleSpec {
+        name: "shard-isolation",
+        scope: "core + model crates, non-test code",
+        fires_on: "`static` items with interior mutability, `static mut`, \
+                   `thread_local!`, `Rc`-shaped struct fields",
+        detail: "The planned intra-run sharding work partitions model state \
+                 across workers; any process-global mutable state (statics \
+                 holding Mutex/RefCell/Cell/atomics, `static mut`, \
+                 thread-local storage) or non-Send shared ownership (`Rc` \
+                 fields) would couple shards invisibly and break the \
+                 partition proof. This rule is the machine-checked \
+                 precondition: model state must reach code through `&mut \
+                 self`, never through ambient globals.",
+        waivable: true,
+    },
+    RuleSpec {
+        name: "ledger-pairing",
+        scope: "crates declaring `ledger = [\"field\", …]` metadata",
+        fires_on: "a declared exactly-once ledger field with debits but no \
+                   credits (or vice versa), or never touched at all",
+        detail: "Recovery correctness rests on exactly-once ledgers: every \
+                 increment (debit) of a declared field must have a matching \
+                 decrement/removal site (credit) somewhere in the crate, \
+                 else retries double-count or leak. Declare the audited \
+                 fields in `[package.metadata.simlint] ledger = [\"name\"]`; \
+                 the pass finds `+=`/`insert` debits and `-=`/`remove`/\
+                 `clear` credits, following `get_mut` aliases within a \
+                 function. Manifest-declared obligations cannot be waived \
+                 at a source site.",
+        waivable: false,
+    },
 ];
 
 /// Every rule name, in listing order (derived from [`TABLE`]).
@@ -166,6 +232,10 @@ pub const RULES: &[&str] = &[
     "layer-violation",
     "bad-waiver",
     "stale-waiver",
+    "determinism-taint",
+    "hook-conformance",
+    "shard-isolation",
+    "ledger-pairing",
 ];
 
 /// Look up one rule's spec by name.

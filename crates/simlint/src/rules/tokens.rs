@@ -32,7 +32,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use crate::graph::Layer;
-use crate::lexer::{lex, TokKind, Token};
+use crate::lexer::{lex, Lexed, TokKind, Token};
 use crate::rules::waivers::{Waiver, WaiverSet};
 use crate::Finding;
 
@@ -70,11 +70,31 @@ pub struct Analysis {
     pub waivers: Vec<Waiver>,
 }
 
-/// Analyze one file with the token pass.
+/// Pre-waiver scan state for one file: the token-pass candidate findings
+/// plus everything a later pass (the v3 semantic rules) needs to add its
+/// own candidates before waivers are applied once, at the end.
+pub(crate) struct Scan {
+    /// Candidate findings, pre-waiver, in emission order.
+    pub(crate) candidates: Vec<Finding>,
+    /// Parsed waivers with usage tracking not yet consumed.
+    pub(crate) wset: WaiverSet,
+    /// The lexed file, for item-level passes.
+    pub(crate) lexed: Lexed,
+    /// Per-line `#[cfg(test)]` / tests-dir extents (index = 1-based line).
+    pub(crate) test_lines: Vec<bool>,
+}
+
+/// Analyze one file with the token pass (the frozen v2 behavior).
 pub fn analyze_source(ctx: FileCtx, rel_path: &str, source: &str) -> Analysis {
+    let scan = scan_source(ctx, rel_path, source);
+    finalize(rel_path, scan.candidates, scan.wset)
+}
+
+/// Run the token rules, producing pre-waiver candidates.
+pub(crate) fn scan_source(ctx: FileCtx, rel_path: &str, source: &str) -> Scan {
     let lexed = lex(source);
     let toks = &lexed.tokens;
-    let mut wset = WaiverSet::parse(&lexed.comments);
+    let wset = WaiverSet::parse(&lexed.comments);
 
     let bindings = collect_bindings(toks);
     let defs = collect_defs(toks);
@@ -303,7 +323,22 @@ pub fn analyze_source(ctx: FileCtx, rel_path: &str, source: &str) -> Analysis {
         }
     }
 
-    // --- Waiver application + bad/stale findings.
+    Scan {
+        candidates,
+        wset,
+        lexed,
+        test_lines,
+    }
+}
+
+/// Apply waivers to the accumulated candidates and emit bad/stale
+/// waiver findings. Runs once, after every pass contributed candidates,
+/// so a waiver for a semantic rule is never falsely reported stale.
+pub(crate) fn finalize(
+    rel_path: &str,
+    mut candidates: Vec<Finding>,
+    mut wset: WaiverSet,
+) -> Analysis {
     candidates.sort_by(|a, b| (a.line, a.rule, &a.message).cmp(&(b.line, b.rule, &b.message)));
     let mut findings: Vec<Finding> = Vec::new();
     for cand in candidates {

@@ -183,16 +183,24 @@ impl WaiverSet {
     }
 
     /// If some waiver covers `line` (1-based) for `rule`, mark it used
-    /// and return true. The earliest matching waiver takes the hit, so a
-    /// redundant second waiver over the same span stays stale.
+    /// and return true. Hits are distributed: the earliest *unused*
+    /// matching waiver takes the hit first, so when two findings of the
+    /// same rule land on one covered line, a second overlapping waiver
+    /// absorbs the second finding instead of being reported stale. A
+    /// waiver that overlaps a span where nothing extra fires still rots
+    /// into `stale-waiver`.
     pub fn suppresses(&mut self, line: usize, rule: &str) -> bool {
+        let mut covered = false;
         for (i, w) in self.waivers.iter().enumerate() {
             if w.first <= line && line <= w.last && w.rules.iter().any(|r| r == rule) {
-                self.used[i].insert(rule.to_string());
-                return true;
+                if !self.used[i].contains(rule) {
+                    self.used[i].insert(rule.to_string());
+                    return true;
+                }
+                covered = true;
             }
         }
-        false
+        covered
     }
 
     /// After rule evaluation: one `stale-waiver` finding per waiver that
@@ -307,6 +315,33 @@ mod tests {
         assert_eq!(stale.len(), 1);
         assert!(stale[0].message.contains("wall-clock"));
         assert!(!stale[0].message.contains("unordered`"));
+    }
+
+    #[test]
+    fn stacked_waivers_split_same_rule_hits_on_one_line() {
+        // Two findings of the same rule on one line, two waivers both
+        // covering it: each waiver absorbs one hit, neither is stale.
+        // (Regression: suppresses() used to send every hit to the first
+        // matching waiver, leaving the second as a false stale-waiver.)
+        let mut set = parse(&[
+            "simlint: allow-block(unordered, lines=2, reason=map half)",
+            "simlint: allow(unordered, reason=set half)",
+        ]);
+        assert!(set.suppresses(3, "unordered"));
+        assert!(set.suppresses(3, "unordered"));
+        assert!(set.stale_findings("x.rs").is_empty());
+    }
+
+    #[test]
+    fn redundant_waiver_with_a_single_hit_is_still_stale() {
+        let mut set = parse(&[
+            "simlint: allow-block(unordered, lines=2, reason=live)",
+            "simlint: allow(unordered, reason=redundant)",
+        ]);
+        assert!(set.suppresses(3, "unordered"));
+        let stale = set.stale_findings("x.rs");
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0].line, 2);
     }
 
     #[test]

@@ -1,0 +1,20 @@
+// The clean twin of hook_missing_hooks.rs: every failure hook is
+// defined, even if only to document why nothing needs to happen.
+pub struct Careful {
+    queue: VecDeque<Request>,
+}
+
+impl SchedPolicy for Careful {
+    fn admit(&mut self, now: SimTime, req: Request) {
+        self.queue.push_back(req);
+    }
+    fn pick(&mut self, now: SimTime, worker: usize) -> Pick {
+        self.queue.pop_front().map_or(Pick::Idle, Pick::Run)
+    }
+    fn worker_down(&mut self, _now: SimTime, _worker: usize) {}
+    fn worker_up(&mut self, _now: SimTime, _worker: usize) {}
+    fn feedback(&mut self, _now: SimTime, _event: &FeedbackEvent) {}
+    fn len(&self) -> usize {
+        self.queue.len()
+    }
+}

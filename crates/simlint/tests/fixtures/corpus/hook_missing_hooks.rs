@@ -1,0 +1,18 @@
+// A policy that silently inherits the default no-op failure hooks:
+// under fault injection its queue would keep dispatching to dead
+// workers. hook-conformance demands the hooks be defined (or waived).
+pub struct Naive {
+    queue: VecDeque<Request>,
+}
+
+impl SchedPolicy for Naive {
+    fn admit(&mut self, now: SimTime, req: Request) {
+        self.queue.push_back(req);
+    }
+    fn pick(&mut self, now: SimTime, worker: usize) -> Pick {
+        self.queue.pop_front().map_or(Pick::Idle, Pick::Run)
+    }
+    fn len(&self) -> usize {
+        self.queue.len()
+    }
+}

@@ -1,0 +1,9 @@
+// A resilient entry point that never wires the invariant checker or a
+// failure detector: the run would report success without ever checking
+// conservation, which is exactly the silent hole hook-conformance
+// exists to close.
+pub fn run_resilient_probed(spec: WorkloadSpec, res: ResilienceConfig) -> RunMetrics {
+    let mut sim = Sim::new(spec);
+    sim.inject(res);
+    sim.run()
+}

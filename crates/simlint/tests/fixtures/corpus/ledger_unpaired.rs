@@ -1,0 +1,12 @@
+// A declared ledger field that is only ever debited: reclaimed
+// requests accumulate forever and the exactly-once invariant can never
+// close. ledger-pairing fires at the lone debit site.
+pub struct Leaky {
+    reclaimed: BTreeMap<u64, Request>,
+}
+
+impl Leaky {
+    pub fn reclaim(&mut self, id: u64, req: Request) {
+        self.reclaimed.insert(id, req);
+    }
+}

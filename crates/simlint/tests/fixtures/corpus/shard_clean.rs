@@ -1,0 +1,11 @@
+// The clean twin of shard_static_state.rs: consts, immutable statics,
+// and owned ordered containers are all shard-safe.
+use std::collections::BTreeMap;
+
+const MAX_WORKERS: usize = 64;
+
+static BANNER: &str = "nicsched";
+
+pub struct Owned {
+    table: BTreeMap<u64, u64>,
+}

@@ -1,0 +1,16 @@
+// Process-wide mutable state in model code: every one of these would
+// couple shards the moment the simulation runs scenarios in parallel.
+use std::rc::Rc;
+use std::sync::atomic::AtomicU64;
+
+static COMPLETED: AtomicU64 = AtomicU64::new(0);
+
+static mut LAST_SEED: u64 = 0;
+
+thread_local! {
+    static SCRATCH: RefCell<Vec<u64>> = RefCell::new(Vec::new());
+}
+
+pub struct Shared {
+    peers: Rc<Vec<u64>>,
+}

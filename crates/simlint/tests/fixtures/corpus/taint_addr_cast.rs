@@ -1,0 +1,13 @@
+// A pointer address used as an event key: ASLR makes the address vary
+// run to run, so scheduling on it breaks replay. No v2 rule sees this —
+// only the v3 taint pass does.
+pub struct Sched {
+    eq: EventQueue,
+}
+
+impl Sched {
+    pub fn enqueue(&mut self, task: &Task) {
+        let key = task as *const Task as usize;
+        self.eq.schedule(SimTime::ZERO, key as u64);
+    }
+}

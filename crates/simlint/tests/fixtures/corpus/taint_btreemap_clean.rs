@@ -1,0 +1,10 @@
+// The ordered twin of taint_hashmap_sort.rs: BTreeMap iteration is
+// deterministic, so the identical flow is clean under both passes.
+use std::collections::BTreeMap;
+
+pub fn ranked(m: &BTreeMap<u64, u64>) -> Vec<u64> {
+    let live: &BTreeMap<u64, u64> = m;
+    let mut v: Vec<u64> = live.keys().copied().collect();
+    v.sort_by(|a, b| a.cmp(b));
+    v
+}

@@ -1,0 +1,179 @@
+//! Exact-findings assertions for the v3 pipeline (dataflow + semantic
+//! rules) over the fixture corpus, plus the v2-vs-v3 differential: v3
+//! runs the v2 token pass unchanged before adding its own candidates,
+//! so on every fixture the v3 finding set must be a superset of v2's —
+//! the v2 behaviour is the executable spec the refactor must preserve.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use simlint::graph::Layer;
+use simlint::rules::tokens::{analyze_source, FileCtx};
+use simlint::{analyze_source_v3, V3Analysis};
+
+fn corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/corpus")
+}
+
+fn fixture(name: &str) -> String {
+    let path = corpus_dir().join(name);
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+fn v3(name: &str, ledger_fields: &[String]) -> V3Analysis {
+    let rel = format!("crates/systems/src/{name}");
+    let source = fixture(name);
+    analyze_source_v3(
+        FileCtx::new(Layer::Model, &rel),
+        &rel,
+        &source,
+        ledger_fields,
+        false,
+    )
+}
+
+fn v3_findings(name: &str) -> Vec<(usize, &'static str)> {
+    v3(name, &[])
+        .analysis
+        .findings
+        .iter()
+        .map(|f| (f.line, f.rule))
+        .collect()
+}
+
+#[test]
+fn hashmap_into_sort_fires_both_passes() {
+    assert_eq!(
+        v3_findings("taint_hashmap_sort.rs"),
+        vec![
+            (4, "unordered"),
+            (6, "unordered"),
+            (7, "unordered"),
+            (9, "determinism-taint"),
+        ]
+    );
+}
+
+#[test]
+fn btreemap_twin_is_clean() {
+    assert_eq!(v3_findings("taint_btreemap_clean.rs"), vec![]);
+}
+
+#[test]
+fn address_cast_into_schedule_fires_only_in_v3() {
+    let rel = "crates/systems/src/taint_addr_cast.rs";
+    let source = fixture("taint_addr_cast.rs");
+    assert_eq!(
+        analyze_source(FileCtx::new(Layer::Model, rel), rel, &source).findings,
+        vec![],
+        "no v2 rule sees an address-as-key flow"
+    );
+    assert_eq!(
+        v3_findings("taint_addr_cast.rs"),
+        vec![(11, "determinism-taint")]
+    );
+}
+
+#[test]
+fn policy_impl_missing_hooks_fires_at_the_impl() {
+    let fs = v3("hook_missing_hooks.rs", &[]).analysis.findings;
+    assert_eq!(fs.len(), 1, "{fs:?}");
+    assert_eq!((fs[0].line, fs[0].rule), (8, "hook-conformance"));
+    for hook in ["worker_down", "worker_up", "feedback"] {
+        assert!(fs[0].message.contains(hook), "{:?}", fs[0].message);
+    }
+}
+
+#[test]
+fn fully_hooked_policy_impl_is_clean() {
+    assert_eq!(v3_findings("hook_conformant.rs"), vec![]);
+}
+
+#[test]
+fn unwired_resilient_entry_point_fires() {
+    let fs = v3("hook_unwired_recovery.rs", &[]).analysis.findings;
+    assert_eq!(fs.len(), 1, "{fs:?}");
+    assert_eq!((fs[0].line, fs[0].rule), (5, "hook-conformance"));
+}
+
+#[test]
+fn process_wide_mutable_state_fires_per_site() {
+    assert_eq!(
+        v3_findings("shard_static_state.rs"),
+        vec![
+            (6, "shard-isolation"),
+            (8, "shard-isolation"),
+            (10, "shard-isolation"),
+            (11, "shard-isolation"),
+            (15, "shard-isolation"),
+        ]
+    );
+}
+
+#[test]
+fn consts_and_immutable_statics_are_clean() {
+    assert_eq!(v3_findings("shard_clean.rs"), vec![]);
+}
+
+#[test]
+fn paired_ledger_field_has_both_sides() {
+    let fields = vec!["reclaimed".to_string()];
+    let a = v3("ledger_paired.rs", &fields);
+    assert_eq!(a.analysis.findings, vec![]);
+    let (field, sites) = &a.ledger[0];
+    assert_eq!(field, "reclaimed");
+    assert_eq!(sites.debits, vec![10]);
+    assert_eq!(sites.credits, vec![13]);
+}
+
+#[test]
+fn unpaired_ledger_field_exposes_the_lone_debit() {
+    let fields = vec!["reclaimed".to_string()];
+    let a = v3("ledger_unpaired.rs", &fields);
+    let (field, sites) = &a.ledger[0];
+    assert_eq!(field, "reclaimed");
+    assert_eq!(sites.debits, vec![10]);
+    assert_eq!(
+        sites.credits,
+        Vec::<usize>::new(),
+        "the firing condition lint_workspace reports"
+    );
+}
+
+/// The differential: on every corpus fixture, v3 must report everything
+/// v2 reports (same file, line, rule, and message), and on at least
+/// four fixtures it must report strictly more — the new passes earn
+/// their keep without eating the old ones.
+#[test]
+fn v3_is_a_superset_of_v2_on_every_fixture() {
+    let mut fixtures: Vec<String> = fs::read_dir(corpus_dir())
+        .expect("corpus dir")
+        .map(|e| e.expect("entry").file_name().to_string_lossy().into_owned())
+        .filter(|n| n.ends_with(".rs"))
+        .collect();
+    fixtures.sort();
+    assert!(fixtures.len() >= 18, "corpus shrank: {fixtures:?}");
+
+    let mut strictly_more = 0usize;
+    for name in &fixtures {
+        let rel = format!("crates/systems/src/{name}");
+        let source = fixture(name);
+        let v2 = analyze_source(FileCtx::new(Layer::Model, &rel), &rel, &source).findings;
+        let v3 = analyze_source_v3(FileCtx::new(Layer::Model, &rel), &rel, &source, &[], false)
+            .analysis
+            .findings;
+        for f in &v2 {
+            assert!(
+                v3.contains(f),
+                "{name}: v2 finding lost in v3: {f:?}\nv3 = {v3:?}"
+            );
+        }
+        if v3.len() > v2.len() {
+            strictly_more += 1;
+        }
+    }
+    assert!(
+        strictly_more >= 4,
+        "expected >=4 fixtures where v3 adds findings, got {strictly_more}"
+    );
+}

@@ -75,22 +75,25 @@ fn merged_tree_is_clean_with_a_bounded_waiver_ledger() {
         "workspace has findings:\n{}",
         rendered.join("\n")
     );
-    // The waiver ledger may only shrink: 9 waivers as of the token-pass
-    // migration (3 in sim-core/time, 1 in sim-core/probe, 1 in
-    // nic-model/link, 2 in cpu-model/core, 2 in workload/latency). If
-    // you legitimately removed one, lower this number; never raise it.
+    // The waiver ledger may only shrink: 3 waivers as of the v3
+    // dataflow migration, which burned down every time-float-cast
+    // waiver via the SimDuration float accessors (the `time_boundary`
+    // metadata audits that one file instead). What remains: 1
+    // hook-conformance on the dispatcherless resilient baseline, 2
+    // shard-isolation on nicsched's write-once registries. If you
+    // legitimately removed one, lower this number; never raise it.
     assert!(
-        report.waivers.len() <= 9,
+        report.waivers.len() <= 3,
         "waiver ledger grew to {}: the ledger may only shrink",
         report.waivers.len()
     );
-    assert!(
-        report
-            .waivers
-            .iter()
-            .all(|w| w.rules == vec!["time-float-cast".to_string()]),
-        "only time-float-cast waivers are expected on the live tree"
-    );
+    for w in &report.waivers {
+        assert!(
+            w.rules == vec!["hook-conformance".to_string()]
+                || w.rules == vec!["shard-isolation".to_string()],
+            "unexpected waiver on the live tree: {w:?}"
+        );
+    }
 }
 
 #[test]
@@ -212,6 +215,69 @@ fn baseline_gate_passes_then_rejects_growth() {
     assert_eq!(code, 1, "tampered baseline must fail");
     assert!(err.contains("waiver ledger grew"), "{err}");
     fs::remove_file(&tampered).ok();
+}
+
+#[test]
+fn strict_gate_fails_on_unratcheted_shrinkage() {
+    // A baseline carrying a finding the tree no longer has: the plain
+    // gate notes the improvement and passes; `--strict` (what CI runs)
+    // fails until --write-baseline re-ratchets, so the checked-in
+    // ledger can never silently overstate the debt.
+    let root = repo_root();
+    let real = fs::read_to_string(root.join("SIMLINT_BASELINE.json")).unwrap();
+    let phantom = real.replace(
+        "\"findings\": [\n  ]",
+        "\"findings\": [\n    {\"file\": \"crates/sim-core/src/lib.rs\", \
+         \"line\": 1, \"rule\": \"unordered\"}\n  ]",
+    );
+    assert_ne!(phantom, real, "baseline format changed under the test");
+    let dir = root.join("target/simlint-scratch");
+    fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("phantom-{}.json", std::process::id()));
+    fs::write(&path, phantom).unwrap();
+
+    let (code, out, err) = run_cli(&[
+        "--root",
+        root.to_str().unwrap(),
+        "--compare",
+        path.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 0, "plain gate must tolerate shrinkage:\n{out}\n{err}");
+    assert!(out.contains("baseline gate: OK"), "{out}");
+
+    let (code, _out, err) = run_cli(&[
+        "--root",
+        root.to_str().unwrap(),
+        "--compare",
+        path.to_str().unwrap(),
+        "--strict",
+    ]);
+    assert_eq!(code, 1, "strict gate must fail on shrinkage:\n{err}");
+    assert!(err.contains("baseline gate (strict)"), "{err}");
+    assert!(err.contains("--write-baseline"), "{err}");
+    fs::remove_file(&path).ok();
+}
+
+#[test]
+fn sarif_output_is_written_and_well_formed() {
+    let root = repo_root();
+    let dir = root.join("target/simlint-scratch");
+    fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("sarif-{}.sarif", std::process::id()));
+    let (code, out, err) = run_cli(&[
+        "--root",
+        root.to_str().unwrap(),
+        "--sarif",
+        path.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 0, "stdout:\n{out}\nstderr:\n{err}");
+    let sarif = fs::read_to_string(&path).unwrap();
+    assert!(sarif.contains("\"version\": \"2.1.0\""), "{sarif}");
+    assert!(sarif.contains("\"name\": \"simlint\""), "{sarif}");
+    for rule in simlint::rules::RULES {
+        assert!(sarif.contains(rule), "SARIF rules array missing {rule}");
+    }
+    fs::remove_file(&path).ok();
 }
 
 #[test]

@@ -463,6 +463,7 @@ pub fn run_probed(spec: WorkloadSpec, cfg: BaselineConfig, probe: ProbeConfig) -
 /// re-dispatch from; orphaned requests here are recovered only by client
 /// retries, which is exactly the contrast the `recovery` experiment
 /// measures.
+// simlint: allow(hook-conformance, reason=baselines have no dispatcher, so there is no lease table or detector to wire; recovery here is a documented no-op)
 pub fn run_resilient_probed(
     spec: WorkloadSpec,
     cfg: BaselineConfig,

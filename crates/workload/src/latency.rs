@@ -71,8 +71,7 @@ impl LatencyRecorder {
             ReqClass::Long => self.long.record(sojourn.as_nanos()),
         }
         if !service.is_zero() {
-            // simlint: allow(time-float-cast, reason=slowdown is a dimensionless ratio of two ns counts)
-            let slowdown = sojourn.as_nanos() as f64 / service.as_nanos() as f64;
+            let slowdown = sojourn.div_duration_f64(service);
             self.slowdown_x1000.record((slowdown * 1000.0) as u64);
         }
         self.completed += 1;
@@ -112,8 +111,7 @@ impl LatencyRecorder {
 
     /// Mean sojourn.
     pub fn mean(&self) -> Option<SimDuration> {
-        // simlint: allow(time-float-cast, reason=histogram mean is a float by construction)
-        (self.completed > 0).then(|| SimDuration::from_nanos(self.all.mean() as u64))
+        (self.completed > 0).then(|| SimDuration::from_nanos_f64_trunc(self.all.mean()))
     }
 
     /// p99 of the slowdown (sojourn / service).
