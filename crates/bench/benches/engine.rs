@@ -15,7 +15,7 @@ struct ChainEv {
 
 impl Model for Chains {
     type Event = ChainEv;
-    fn handle(&mut self, ev: ChainEv, ctx: &mut Ctx<ChainEv>) {
+    fn handle(&mut self, ev: ChainEv, ctx: &mut Ctx<'_, ChainEv>) {
         if ev.remaining > 0 {
             ctx.schedule_in(
                 ev.gap,

@@ -92,7 +92,7 @@ impl GapModel {
 impl Model for GapModel {
     type Event = Ev;
 
-    fn handle(&mut self, event: Ev, ctx: &mut Ctx<Ev>) {
+    fn handle(&mut self, event: Ev, ctx: &mut Ctx<'_, Ev>) {
         match event {
             Ev::Arrive => {
                 if ctx.now() < self.horizon {

@@ -2,26 +2,34 @@
 //!
 //! Following the event-driven style of poll-based network stacks, the engine
 //! owns a single *model* (the whole simulated system as one state machine)
-//! and a time-ordered event queue (the slab-indexed [`EventQueue`] — see
-//! [`crate::queue`] for the layout and why it is faster than the naive
-//! heap it replaced). There are no threads, no async runtime and
+//! and a time-ordered event queue (the three-lane indexed [`EventQueue`] —
+//! see [`crate::queue`] for the lane layout and why it is faster than the
+//! naive heap it replaced). There are no threads, no async runtime and
 //! no shared-state cells: a handler receives `&mut self` on the model plus a
-//! [`Ctx`] through which it posts future events. Two events at the same
-//! instant fire in insertion order, so runs are totally ordered and
-//! bit-for-bit reproducible.
+//! [`Ctx`] through which it posts future events — the `Ctx` borrows the
+//! engine's queue directly, so scheduling is one queue insert with no
+//! intermediate outbox. Two events at the same instant fire in insertion
+//! order, so runs are totally ordered and bit-for-bit reproducible.
 //!
-//! # Cancellation pattern
+//! # Cancellation
 //!
-//! The heap does not support removal. Components that need cancellable
-//! timers (e.g. a preemption timer that becomes moot when the request
-//! finishes early) should carry a *generation counter* in the event payload
-//! and ignore stale firings. This is cheaper and simpler than a handle-based
-//! cancel API and keeps the hot path allocation-free.
+//! Components that need cancellable timers (e.g. a retransmit timeout that
+//! becomes moot when the reply arrives) take a [`TimerHandle`] from
+//! [`Ctx::schedule_timer_in`] / [`Ctx::schedule_timer_at`] and cancel or
+//! reschedule through it in O(1). Handles are validated against the
+//! queue's payload arena — cancelling an already-fired, already-cancelled
+//! or rescheduled timer is a safe no-op — and cancellation frees the
+//! payload slot immediately, so timers never leak storage: the engine
+//! audits the arena when a run drains (debug assert always; a `slab-leak`
+//! invariant violation when a checker is installed). The older pattern of
+//! carrying a generation counter in the payload and ignoring stale
+//! firings still works, but the handle API is cheaper — a cancelled event
+//! is dropped inside the queue and never reaches the model.
 
 use crate::faults::FaultPlan;
 use crate::invariants::InvariantChecker;
 use crate::probe::{Probe, ProbeHandle};
-use crate::queue::EventQueue;
+use crate::queue::{EventQueue, TimerHandle};
 use crate::time::{SimDuration, SimTime};
 
 /// A simulated system: one state machine handling its own event alphabet.
@@ -31,7 +39,7 @@ pub trait Model {
 
     /// Handle one event at the current simulated instant. Post follow-up
     /// events through `ctx`.
-    fn handle(&mut self, event: Self::Event, ctx: &mut Ctx<Self::Event>);
+    fn handle(&mut self, event: Self::Event, ctx: &mut Ctx<'_, Self::Event>);
 
     /// Audit internal state against the model's own invariants, reporting
     /// violations through `inv`. Called by the engine after every event
@@ -44,19 +52,17 @@ pub trait Model {
     }
 }
 
-/// Handler-side view of the engine: the clock plus an outbox for new events.
-pub struct Ctx<E> {
+/// Handler-side view of the engine: the clock plus direct access to the
+/// event queue, probe and fault plan for the duration of one event.
+pub struct Ctx<'a, E> {
     now: SimTime,
-    outbox: Vec<(SimTime, E)>,
+    queue: &'a mut EventQueue<E>,
     stop: bool,
-    // The engine's probe, moved in for the duration of one event (an
-    // `Option<Box<_>>` so the move is one pointer, not the whole struct).
-    probe: Option<Box<Probe>>,
-    // The engine's fault plan, moved in the same way as the probe.
-    faults: Option<Box<FaultPlan>>,
+    probe: &'a mut Probe,
+    faults: &'a mut FaultPlan,
 }
 
-impl<E> Ctx<E> {
+impl<E> Ctx<'_, E> {
     /// The current simulated instant.
     pub fn now(&self) -> SimTime {
         self.now
@@ -66,10 +72,8 @@ impl<E> Ctx<E> {
     /// are no-ops when the engine's probe is disabled, so models can
     /// instrument unconditionally.
     pub fn probe(&mut self) -> ProbeHandle<'_> {
-        ProbeHandle::new(
-            self.now,
-            self.probe.as_deref_mut().filter(|p| p.is_enabled()),
-        )
+        let enabled = self.probe.is_enabled();
+        ProbeHandle::new(self.now, enabled.then_some(&mut *self.probe))
     }
 
     /// The fault-injection oracle at the current instant. Every engine
@@ -78,13 +82,11 @@ impl<E> Ctx<E> {
     /// [`Engine::set_faults`].
     pub fn faults(&mut self) -> &mut FaultPlan {
         self.faults
-            .as_deref_mut()
-            .expect("fault plan present during event")
     }
 
     /// Schedule `event` to fire `delay` after now.
     pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
-        self.outbox.push((self.now + delay, event));
+        self.queue.push(self.now + delay, event);
     }
 
     /// Schedule `event` at an absolute instant.
@@ -98,17 +100,63 @@ impl<E> Ctx<E> {
             "schedule_at({at}) is before now ({})",
             self.now
         );
-        self.outbox.push((at, event));
+        self.queue.push(at, event);
     }
 
     /// Schedule `event` to fire at the current instant, after all events
     /// already queued for this instant.
     pub fn schedule_now(&mut self, event: E) {
-        self.outbox.push((self.now, event));
+        self.queue.push(self.now, event);
+    }
+
+    /// Schedule a cancellable event `delay` after now, returning a handle
+    /// for [`cancel_timer`](Ctx::cancel_timer) /
+    /// [`reschedule_timer`](Ctx::reschedule_timer).
+    pub fn schedule_timer_in(&mut self, delay: SimDuration, event: E) -> TimerHandle {
+        // Saturate so an "effectively never" guard near the end of the
+        // clock clamps to the MAX sentinel rather than wrapping into
+        // the past and firing immediately.
+        self.queue
+            .push_handle(self.now.saturating_add(delay), event)
+    }
+
+    /// Schedule a cancellable event at an absolute instant.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past.
+    pub fn schedule_timer_at(&mut self, at: SimTime, event: E) -> TimerHandle {
+        assert!(
+            at >= self.now,
+            "schedule_timer_at({at}) is before now ({})",
+            self.now
+        );
+        self.queue.push_handle(at, event)
+    }
+
+    /// Cancel a pending timer, returning its payload, or `None` if the
+    /// handle is no longer live (fired, cancelled, or rescheduled). The
+    /// payload slot is freed immediately.
+    pub fn cancel_timer(&mut self, handle: TimerHandle) -> Option<E> {
+        self.queue.cancel(handle)
+    }
+
+    /// Move a pending timer to a new instant, keeping its payload.
+    /// Returns the new handle (the old one is dead), or `None` if the
+    /// timer was no longer live. Ordered as a fresh insertion at `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past.
+    pub fn reschedule_timer(&mut self, handle: TimerHandle, at: SimTime) -> Option<TimerHandle> {
+        assert!(
+            at >= self.now,
+            "reschedule_timer({at}) is before now ({})",
+            self.now
+        );
+        self.queue.reschedule(handle, at)
     }
 
     /// Request that the engine stop after the current handler returns.
-    /// Events already scheduled remain in the heap (inspectable, not run).
+    /// Events already scheduled remain in the queue (inspectable, not run).
     pub fn stop(&mut self) {
         self.stop = true;
     }
@@ -117,7 +165,7 @@ impl<E> Ctx<E> {
 /// Why [`Engine::run_until`] returned.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RunOutcome {
-    /// The event heap drained completely.
+    /// The event queue drained completely.
     Drained,
     /// A handler called [`Ctx::stop`].
     Stopped,
@@ -132,21 +180,18 @@ pub struct Engine<M: Model> {
     now: SimTime,
     processed: u64,
     stopped: bool,
-    // Recycled outbox storage: handed to each event's `Ctx` and taken
-    // back after the drain, so steady-state steps never allocate.
-    scratch: Vec<(SimTime, M::Event)>,
-    // Always `Some` between steps; `None` only while an event handler
-    // borrows the probe through its `Ctx`.
-    probe: Option<Box<Probe>>,
+    // Boxed so the engine stays cheap to move; handlers borrow it through
+    // their `Ctx`, no moves per event.
+    probe: Box<Probe>,
     // Same lifecycle as `probe`: a fault-free plan unless one is installed.
-    faults: Option<Box<FaultPlan>>,
+    faults: Box<FaultPlan>,
     // A disabled checker unless one is installed; stays engine-resident
     // (models see it only through `Model::check_invariants`).
     invariants: Box<InvariantChecker>,
 }
 
 impl<M: Model> Engine<M> {
-    /// Create an engine at `t = 0` around `model` with an empty heap and a
+    /// Create an engine at `t = 0` around `model` with an empty queue and a
     /// disabled probe.
     pub fn new(model: M) -> Self {
         Engine {
@@ -155,9 +200,8 @@ impl<M: Model> Engine<M> {
             now: SimTime::ZERO,
             processed: 0,
             stopped: false,
-            scratch: Vec::new(),
-            probe: Some(Box::default()),
-            faults: Some(Box::default()),
+            probe: Box::default(),
+            faults: Box::default(),
             invariants: Box::default(),
         }
     }
@@ -185,39 +229,32 @@ impl<M: Model> Engine<M> {
 
     /// Install a probe (usually `Probe::new(ProbeConfig::enabled())`).
     pub fn set_probe(&mut self, probe: Probe) {
-        self.probe = Some(Box::new(probe));
+        *self.probe = probe;
     }
 
     /// Shared access to the probe.
     pub fn probe(&self) -> &Probe {
-        self.probe.as_deref().expect("probe present between steps")
+        &self.probe
     }
 
     /// Exclusive access to the probe (e.g. to build its final report).
     pub fn probe_mut(&mut self) -> &mut Probe {
-        self.probe
-            .as_deref_mut()
-            .expect("probe present between steps")
+        &mut self.probe
     }
 
     /// Remove the probe, leaving a disabled one in its place.
     pub fn take_probe(&mut self) -> Probe {
-        *self
-            .probe
-            .replace(Box::default())
-            .expect("probe present between steps")
+        std::mem::take(&mut self.probe)
     }
 
     /// Install a fault plan (usually `FaultPlan::new(cfg, seed)`).
     pub fn set_faults(&mut self, faults: FaultPlan) {
-        self.faults = Some(Box::new(faults));
+        *self.faults = faults;
     }
 
     /// Shared access to the fault plan (e.g. to read its loss counters).
     pub fn faults(&self) -> &FaultPlan {
-        self.faults
-            .as_deref()
-            .expect("fault plan present between steps")
+        &self.faults
     }
 
     /// Current simulated instant (the time of the last event processed).
@@ -257,20 +294,36 @@ impl<M: Model> Engine<M> {
             "schedule_at({at}) is before now ({})",
             self.now
         );
-        self.push(at, event);
+        self.queue.push(at, event);
     }
 
     /// Seed an event `delay` after the current instant.
     pub fn schedule_in(&mut self, delay: SimDuration, event: M::Event) {
-        self.push(self.now + delay, event);
+        self.queue.push(self.now + delay, event);
     }
 
-    fn push(&mut self, at: SimTime, event: M::Event) {
-        self.queue.push(at, event);
+    /// Seed a cancellable event at an absolute instant, returning its
+    /// handle (see [`Ctx::schedule_timer_at`]).
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past.
+    pub fn schedule_timer_at(&mut self, at: SimTime, event: M::Event) -> TimerHandle {
+        assert!(
+            at >= self.now,
+            "schedule_timer_at({at}) is before now ({})",
+            self.now
+        );
+        self.queue.push_handle(at, event)
     }
 
-    /// Process a single event. Returns `false` if the heap was empty or the
-    /// engine had been stopped.
+    /// Cancel a pending timer from outside a handler (between steps or
+    /// before the run), returning its payload if it was still live.
+    pub fn cancel_timer(&mut self, handle: TimerHandle) -> Option<M::Event> {
+        self.queue.cancel(handle)
+    }
+
+    /// Process a single event. Returns `false` if the queue was empty or
+    /// the engine had been stopped.
     pub fn step(&mut self) -> bool {
         if self.stopped {
             return false;
@@ -291,18 +344,12 @@ impl<M: Model> Engine<M> {
         self.processed += 1;
         let mut ctx = Ctx {
             now: self.now,
-            outbox: std::mem::take(&mut self.scratch),
+            queue: &mut self.queue,
             stop: false,
-            probe: self.probe.take(),
-            faults: self.faults.take(),
+            probe: &mut self.probe,
+            faults: &mut self.faults,
         };
         self.model.handle(event, &mut ctx);
-        self.probe = ctx.probe.take();
-        self.faults = ctx.faults.take();
-        for (at, ev) in ctx.outbox.drain(..) {
-            self.push(at, ev);
-        }
-        self.scratch = ctx.outbox;
         if ctx.stop {
             self.stopped = true;
         }
@@ -317,15 +364,16 @@ impl<M: Model> Engine<M> {
     /// catches exactly that.
     #[cfg(test)]
     pub(crate) fn schedule_at_unchecked(&mut self, at: SimTime, event: M::Event) {
-        self.push(at, event);
+        self.queue.push(at, event);
     }
 
-    /// Run until the heap drains or a handler stops the engine.
+    /// Run until the queue drains or a handler stops the engine.
     pub fn run(&mut self) -> RunOutcome {
         while self.step() {}
         if self.stopped {
             RunOutcome::Stopped
         } else {
+            self.audit_drained();
             RunOutcome::Drained
         }
     }
@@ -339,7 +387,10 @@ impl<M: Model> Engine<M> {
                 return RunOutcome::Stopped;
             }
             match self.queue.peek_at() {
-                None => return RunOutcome::Drained,
+                None => {
+                    self.audit_drained();
+                    return RunOutcome::Drained;
+                }
                 Some(at) if at > horizon => {
                     self.now = horizon.max(self.now);
                     return RunOutcome::Horizon;
@@ -348,6 +399,20 @@ impl<M: Model> Engine<M> {
                     self.step();
                 }
             }
+        }
+    }
+
+    /// End-of-run arena leak audit: pop, cancel and reschedule all free
+    /// payload slots eagerly, so a drained queue must hold zero payloads.
+    fn audit_drained(&mut self) {
+        debug_assert_eq!(
+            self.queue.live_payloads(),
+            0,
+            "event arena leaked payloads after drain"
+        );
+        if self.invariants.is_enabled() {
+            let leaked = self.queue.live_payloads();
+            self.invariants.observe_drained(self.now, leaked);
         }
     }
 }
@@ -374,7 +439,7 @@ mod tests {
 
     impl Model for Recorder {
         type Event = Ev;
-        fn handle(&mut self, ev: Ev, ctx: &mut Ctx<Ev>) {
+        fn handle(&mut self, ev: Ev, ctx: &mut Ctx<'_, Ev>) {
             match ev {
                 Ev::Mark(label) => self.seen.push((ctx.now().as_nanos(), label)),
                 Ev::Chain {
@@ -437,7 +502,7 @@ mod tests {
         }
         impl Model for M {
             type Event = E2;
-            fn handle(&mut self, ev: E2, ctx: &mut Ctx<E2>) {
+            fn handle(&mut self, ev: E2, ctx: &mut Ctx<'_, E2>) {
                 match ev {
                     E2::First => {
                         self.order.push(1);
@@ -497,6 +562,130 @@ mod tests {
         assert_eq!(e.model().seen, vec![(1, 1)]);
         assert_eq!(e.events_pending(), 1, "post-stop events remain pending");
         assert!(!e.step(), "a stopped engine does not step");
+    }
+
+    /// A model exercising the handle-based timer API: each `Arm` event
+    /// schedules a far-future `Timeout` and a nearer `Reply`; the reply
+    /// cancels the timeout, so no timeout may ever fire — and the arena
+    /// must still drain clean.
+    struct TimeoutModel {
+        pending: Vec<TimerHandle>,
+        timeouts_fired: u32,
+        replies: u32,
+    }
+
+    enum TEv {
+        Arm,
+        Reply(usize),
+        Timeout,
+    }
+
+    impl Model for TimeoutModel {
+        type Event = TEv;
+        fn handle(&mut self, ev: TEv, ctx: &mut Ctx<'_, TEv>) {
+            match ev {
+                TEv::Arm => {
+                    // Timeout far in the future (wheel territory), reply
+                    // well before it.
+                    let h = ctx.schedule_timer_in(SimDuration::from_millis(10), TEv::Timeout);
+                    let idx = self.pending.len();
+                    self.pending.push(h);
+                    ctx.schedule_in(SimDuration::from_micros(3), TEv::Reply(idx));
+                }
+                TEv::Reply(idx) => {
+                    self.replies += 1;
+                    let h = self.pending[idx];
+                    assert!(ctx.cancel_timer(h).is_some(), "timeout already dead");
+                    assert!(ctx.cancel_timer(h).is_none(), "double cancel must no-op");
+                }
+                TEv::Timeout => self.timeouts_fired += 1,
+            }
+        }
+    }
+
+    #[test]
+    fn cancelled_timers_never_fire_and_never_leak() {
+        let mut e = Engine::new(TimeoutModel {
+            pending: Vec::new(),
+            timeouts_fired: 0,
+            replies: 0,
+        });
+        for i in 0..50u64 {
+            e.schedule_at(SimTime::from_micros(i * 7), TEv::Arm);
+        }
+        assert_eq!(e.run(), RunOutcome::Drained);
+        assert_eq!(e.model().replies, 50);
+        assert_eq!(e.model().timeouts_fired, 0, "a cancelled timeout fired");
+        // 50 arms + 50 replies; no timeouts.
+        assert_eq!(e.events_processed(), 100);
+    }
+
+    /// Reschedule: a heartbeat timer pushed later every time traffic
+    /// arrives, firing only after a quiet period.
+    struct HeartbeatModel {
+        deadline: Option<TimerHandle>,
+        fired_at: Option<u64>,
+    }
+
+    enum HEv {
+        Traffic,
+        Quiet,
+    }
+
+    impl Model for HeartbeatModel {
+        type Event = HEv;
+        fn handle(&mut self, ev: HEv, ctx: &mut Ctx<'_, HEv>) {
+            match ev {
+                HEv::Traffic => {
+                    let at = ctx.now() + SimDuration::from_micros(100);
+                    self.deadline = Some(match self.deadline.take() {
+                        None => ctx.schedule_timer_at(at, HEv::Quiet),
+                        Some(h) => ctx
+                            .reschedule_timer(h, at)
+                            .expect("deadline timer is pending"),
+                    });
+                }
+                HEv::Quiet => self.fired_at = Some(ctx.now().as_nanos()),
+            }
+        }
+    }
+
+    #[test]
+    fn rescheduled_timer_fires_once_at_the_final_deadline() {
+        let mut e = Engine::new(HeartbeatModel {
+            deadline: None,
+            fired_at: None,
+        });
+        for i in 0..10u64 {
+            e.schedule_at(SimTime::from_micros(i * 10), HEv::Traffic);
+        }
+        assert_eq!(e.run(), RunOutcome::Drained);
+        // Last traffic at 90 µs; quiet deadline 100 µs later.
+        assert_eq!(e.model().fired_at, Some(190_000));
+        assert_eq!(e.events_processed(), 11, "one deadline despite 10 arms");
+    }
+
+    #[test]
+    fn engine_seeded_timer_can_be_cancelled_before_the_run() {
+        let mut e = engine();
+        let h = e.schedule_timer_at(SimTime::from_micros(1), Ev::Mark(1));
+        e.schedule_at(SimTime::from_micros(2), Ev::Mark(2));
+        assert!(e.cancel_timer(h).is_some());
+        assert!(e.cancel_timer(h).is_none());
+        assert_eq!(e.run(), RunOutcome::Drained);
+        assert_eq!(e.model().seen, vec![(2_000, 2)]);
+    }
+
+    #[test]
+    fn slab_leak_audit_runs_under_invariants() {
+        use crate::invariants::{InvariantChecker, InvariantConfig};
+        let mut e = engine();
+        e.set_invariants(InvariantChecker::new(InvariantConfig::enabled()));
+        e.schedule_at(SimTime::from_micros(1), Ev::Mark(1));
+        assert_eq!(e.run(), RunOutcome::Drained);
+        let inv = e.take_invariants();
+        inv.assert_clean();
+        assert!(inv.checks_performed() > 0);
     }
 
     #[test]
@@ -606,7 +795,7 @@ mod proptests {
 
     impl Model for Recorder {
         type Event = REv;
-        fn handle(&mut self, ev: REv, ctx: &mut Ctx<REv>) {
+        fn handle(&mut self, ev: REv, ctx: &mut Ctx<'_, REv>) {
             self.fired.push((ctx.now().as_nanos(), ev.label));
             for (i, d) in ev.children.iter().enumerate() {
                 ctx.schedule_in(

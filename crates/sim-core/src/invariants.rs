@@ -183,6 +183,23 @@ impl InvariantChecker {
         self.last_popped = Some((at.max(now), seq));
     }
 
+    /// Engine-side: audit the event arena after a run drains. Pop, cancel
+    /// and reschedule all free payload slots eagerly, so a drained queue
+    /// with payloads still resident means the queue leaked storage.
+    pub(crate) fn observe_drained(&mut self, now: SimTime, leaked: usize) {
+        if !self.cfg.enabled {
+            return;
+        }
+        self.checks += 1;
+        if leaked > 0 {
+            self.record(
+                now,
+                "slab-leak",
+                format!("{leaked} event payload(s) still resident after the queue drained"),
+            );
+        }
+    }
+
     /// Render every violation, one per line.
     pub fn report(&self) -> String {
         use fmt::Write;
@@ -254,6 +271,17 @@ mod tests {
         c.observe_pop(t, t, 2); // same instant, earlier seq popped later
         assert_eq!(c.violations().len(), 1);
         assert_eq!(c.violations()[0].rule, "fifo-order");
+    }
+
+    #[test]
+    fn drained_queue_leak_is_reported() {
+        let mut c = InvariantChecker::new(InvariantConfig::enabled());
+        c.observe_drained(SimTime::from_nanos(9), 0);
+        assert!(c.violations().is_empty());
+        c.observe_drained(SimTime::from_nanos(9), 3);
+        assert_eq!(c.violations().len(), 1);
+        assert_eq!(c.violations()[0].rule, "slab-leak");
+        assert_eq!(c.checks_performed(), 2);
     }
 
     #[test]

@@ -29,7 +29,7 @@
 //!
 //! impl Model for Server {
 //!     type Event = Ev;
-//!     fn handle(&mut self, ev: Ev, ctx: &mut Ctx<Ev>) {
+//!     fn handle(&mut self, ev: Ev, ctx: &mut Ctx<'_, Ev>) {
 //!         match ev {
 //!             Ev::Arrive => ctx.schedule_in(SimDuration::from_micros(5), Ev::Finish),
 //!             Ev::Finish => self.completed += 1,
@@ -55,11 +55,12 @@ pub mod queue;
 mod rng;
 pub mod stats;
 mod time;
+mod wheel;
 
 pub use engine::{Ctx, Engine, Model, RunOutcome};
 pub use faults::{FaultConfig, FaultPlan, FaultStats, MAX_FAULT_EVENTS};
 pub use invariants::{InvariantChecker, InvariantConfig, Violation};
 pub use probe::{Probe, ProbeConfig, ProbeHandle, StageReport, TraceEvent};
-pub use queue::{EventQueue, LegacyHeap};
+pub use queue::{EventQueue, LegacyHeap, TimerHandle};
 pub use rng::Rng;
 pub use time::{SimDuration, SimTime};

@@ -76,7 +76,14 @@ const EMIT_MACROS: &[&str] = &["writeln", "write", "println", "print", "eprintln
 const RNG_SOURCES: &[&str] = &["thread_rng", "from_entropy", "OsRng"];
 
 /// Analyze every function body in the file; return taint flows.
-pub fn analyze_taint(toks: &[Token], items: &FileItems) -> Vec<TaintFinding> {
+/// `extra_sched` extends [`SCHED_SINKS`] with crate-declared scheduling
+/// entry points (`sched_sinks` manifest metadata) — a crate that grows
+/// its own queue lanes names them there and they become sinks here.
+pub fn analyze_taint(
+    toks: &[Token],
+    items: &FileItems,
+    extra_sched: &[String],
+) -> Vec<TaintFinding> {
     // Struct fields seed container shape knowledge file-wide.
     let mut field_unordered: BTreeSet<String> = BTreeSet::new();
     let mut field_ordered: BTreeSet<String> = BTreeSet::new();
@@ -106,7 +113,14 @@ pub fn analyze_taint(toks: &[Token], items: &FileItems) -> Vec<TaintFinding> {
             if summaries.contains_key(&f.name) {
                 continue;
             }
-            let (_, ret) = scan_fn(toks, f.body, &field_unordered, &field_ordered, &summaries);
+            let (_, ret) = scan_fn(
+                toks,
+                f.body,
+                &field_unordered,
+                &field_ordered,
+                &summaries,
+                extra_sched,
+            );
             if let Some(origin) = ret {
                 summaries.insert(f.name.clone(), origin);
                 changed = true;
@@ -120,7 +134,14 @@ pub fn analyze_taint(toks: &[Token], items: &FileItems) -> Vec<TaintFinding> {
     let mut out = Vec::new();
     let mut seen: BTreeSet<(usize, String)> = BTreeSet::new();
     for f in &items.fns {
-        let (findings, _) = scan_fn(toks, f.body, &field_unordered, &field_ordered, &summaries);
+        let (findings, _) = scan_fn(
+            toks,
+            f.body,
+            &field_unordered,
+            &field_ordered,
+            &summaries,
+            extra_sched,
+        );
         for tf in findings {
             if seen.insert((tf.line, tf.message.clone())) {
                 out.push(tf);
@@ -138,6 +159,7 @@ fn scan_fn(
     field_unordered: &BTreeSet<String>,
     field_ordered: &BTreeSet<String>,
     summaries: &BTreeMap<String, String>,
+    extra_sched: &[String],
 ) -> (Vec<TaintFinding>, Option<String>) {
     let stmts = split_statements(toks, body.0, body.1);
     let mut tainted: BTreeMap<String, String> = BTreeMap::new();
@@ -194,7 +216,7 @@ fn scan_fn(
                 continue;
             };
             let line = stmt[0].line;
-            for sink in stmt_sinks(stmt, &ordered) {
+            for sink in stmt_sinks(stmt, &ordered, extra_sched) {
                 findings.push(TaintFinding {
                     line,
                     message: format!("{origin} flows into {sink}"),
@@ -424,7 +446,7 @@ fn stmt_taint(
 }
 
 /// Ordering-sensitive sinks present in this statement.
-fn stmt_sinks(stmt: &[Token], ordered: &BTreeSet<String>) -> Vec<String> {
+fn stmt_sinks(stmt: &[Token], ordered: &BTreeSet<String>, extra_sched: &[String]) -> Vec<String> {
     let mut out = Vec::new();
     for (k, t) in stmt.iter().enumerate() {
         let Some(s) = t.kind.ident() else { continue };
@@ -432,7 +454,7 @@ fn stmt_sinks(stmt: &[Token], ordered: &BTreeSet<String>) -> Vec<String> {
         if is_method && SORT_SINKS.contains(&s) {
             out.push(format!("comparator sink `.{s}(..)`"));
         }
-        if is_method && SCHED_SINKS.contains(&s) {
+        if is_method && (SCHED_SINKS.contains(&s) || extra_sched.iter().any(|x| x == s)) {
             out.push(format!("event-queue sink `.{s}(..)`"));
         }
         if is_method && EMIT_SINKS.contains(&s) {
@@ -470,7 +492,32 @@ mod tests {
     fn taint(src: &str) -> Vec<TaintFinding> {
         let lexed = lex(src);
         let items = parse_items(&lexed.tokens);
-        analyze_taint(&lexed.tokens, &items)
+        analyze_taint(&lexed.tokens, &items, &[])
+    }
+
+    #[test]
+    fn declared_sched_sinks_extend_the_builtin_family() {
+        let src = "\
+fn arm(q: &mut EventQueue<u64>, m: &HashMap<u64, u64>) {
+    let m2: &HashMap<u64, u64> = m;
+    let first: u64 = m2.keys().copied().next().unwrap_or(0);
+    q.push_handle(SimTime::from_nanos(first), first);
+}
+";
+        let lexed = lex(src);
+        let items = parse_items(&lexed.tokens);
+        // Not a sink by default...
+        assert!(analyze_taint(&lexed.tokens, &items, &[]).is_empty());
+        // ...but declared via manifest metadata, the same flow fires.
+        let flows = analyze_taint(&lexed.tokens, &items, &["push_handle".to_string()]);
+        assert_eq!(flows.len(), 1);
+        assert!(
+            flows[0]
+                .message
+                .contains("event-queue sink `.push_handle(..)`"),
+            "unexpected message: {}",
+            flows[0].message
+        );
     }
 
     #[test]

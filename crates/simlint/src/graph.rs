@@ -130,6 +130,13 @@ pub struct CrateInfo {
     /// declared field must have matched debit and credit sites somewhere
     /// in the crate (the `ledger-pairing` rule).
     pub ledger: Vec<String>,
+    /// Additional event-queue scheduling entry points (`sched_sinks =
+    /// ["push_handle"]`): method names the determinism-taint pass treats
+    /// as ordering-sensitive sinks in this crate's files, alongside the
+    /// built-in `schedule*` family — how a crate that grows its own
+    /// queue lanes (e.g. the timer wheel) keeps them under taint
+    /// analysis without a lint release.
+    pub sched_sinks: Vec<String>,
 }
 
 /// The parsed workspace graph.
@@ -341,6 +348,7 @@ fn parse_manifest(text: &str, manifest_rel: &str, dir_rel: &str) -> Option<Crate
     let mut layer_raw: Option<String> = None;
     let mut time_boundary: Option<String> = None;
     let mut ledger: Vec<String> = Vec::new();
+    let mut sched_sinks: Vec<String> = Vec::new();
     let mut deps = Vec::new();
     let mut saw_package = false;
 
@@ -393,6 +401,16 @@ fn parse_manifest(text: &str, manifest_rel: &str, dir_rel: &str) -> Option<Crate
                             .filter(|s| !s.is_empty())
                             .collect();
                     }
+                } else if let Some(rest) = line.strip_prefix("sched_sinks") {
+                    let rest = rest.trim_start();
+                    if let Some(v) = rest.strip_prefix('=') {
+                        let inner = v.trim().trim_start_matches('[').trim_end_matches(']');
+                        sched_sinks = inner
+                            .split(',')
+                            .map(|s| s.trim().trim_matches('"').to_string())
+                            .filter(|s| !s.is_empty())
+                            .collect();
+                    }
                 }
             }
             Section::Deps | Section::DevDeps | Section::BuildDeps => {
@@ -437,6 +455,7 @@ fn parse_manifest(text: &str, manifest_rel: &str, dir_rel: &str) -> Option<Crate
         deps,
         time_boundary,
         ledger,
+        sched_sinks,
     })
 }
 
@@ -482,6 +501,15 @@ mod tests {
         let plain = mk("net-wire", "crates/net-wire", "model", &[]);
         assert_eq!(plain.time_boundary, None);
         assert!(plain.ledger.is_empty());
+        assert!(plain.sched_sinks.is_empty());
+    }
+
+    #[test]
+    fn manifest_parsing_extracts_sched_sink_metadata() {
+        let text = "[package]\nname = \"sim-core\"\n\n[package.metadata.simlint]\n\
+                    layer = \"core\"\nsched_sinks = [\"push_handle\", \"schedule_far\"]\n";
+        let c = parse_manifest(text, "crates/sim-core/Cargo.toml", "crates/sim-core").unwrap();
+        assert_eq!(c.sched_sinks, vec!["push_handle", "schedule_far"]);
     }
 
     #[test]

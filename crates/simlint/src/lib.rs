@@ -124,11 +124,17 @@ pub struct V3Analysis {
 /// `exempt_time_boundary` drops `time-float-cast` candidates: the owning
 /// crate declared this file as its audited float/time conversion
 /// boundary (`time_boundary` metadata), which replaces per-line waivers.
+///
+/// `sched_sinks` extends the taint pass's built-in `schedule*` sink
+/// family with the owning crate's declared scheduling entry points
+/// (`sched_sinks` metadata) — e.g. the timer-wheel lane's `schedule_far`
+/// and the handle-returning `push_handle`/`reschedule` surface.
 pub fn analyze_source_v3(
     ctx: FileCtx,
     rel_path: &str,
     source: &str,
     ledger_fields: &[String],
+    sched_sinks: &[String],
     exempt_time_boundary: bool,
 ) -> V3Analysis {
     let scan = rules::tokens::scan_source(ctx, rel_path, source);
@@ -146,7 +152,7 @@ pub fn analyze_source_v3(
     let parsed = items::parse_items(&lexed.tokens);
 
     if model_scope && !ctx.tests_dir {
-        for tf in dataflow::analyze_taint(&lexed.tokens, &parsed) {
+        for tf in dataflow::analyze_taint(&lexed.tokens, &parsed, sched_sinks) {
             if is_test(tf.line) {
                 continue;
             }
@@ -248,6 +254,7 @@ pub fn lint_workspace(root: &Path) -> io::Result<Report> {
                     &rel,
                     &source,
                     &info.ledger,
+                    &info.sched_sinks,
                     exempt,
                 );
                 report.findings.extend(v3.analysis.findings);

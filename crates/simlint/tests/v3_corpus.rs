@@ -28,6 +28,7 @@ fn v3(name: &str, ledger_fields: &[String]) -> V3Analysis {
         &rel,
         &source,
         ledger_fields,
+        &[],
         false,
     )
 }
@@ -159,9 +160,16 @@ fn v3_is_a_superset_of_v2_on_every_fixture() {
         let rel = format!("crates/systems/src/{name}");
         let source = fixture(name);
         let v2 = analyze_source(FileCtx::new(Layer::Model, &rel), &rel, &source).findings;
-        let v3 = analyze_source_v3(FileCtx::new(Layer::Model, &rel), &rel, &source, &[], false)
-            .analysis
-            .findings;
+        let v3 = analyze_source_v3(
+            FileCtx::new(Layer::Model, &rel),
+            &rel,
+            &source,
+            &[],
+            &[],
+            false,
+        )
+        .analysis
+        .findings;
         for f in &v2 {
             assert!(
                 v3.contains(f),

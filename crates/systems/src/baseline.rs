@@ -183,7 +183,7 @@ impl Baseline {
     }
 
     /// Transmit a client→NIC frame over the (possibly lossy) request wire.
-    fn send_request(&mut self, spec: &FrameSpec, ctx: &mut Ctx<Ev>) {
+    fn send_request(&mut self, spec: &FrameSpec, ctx: &mut Ctx<'_, Ev>) {
         let payload_len = spec.frame_len() - net_wire::ethernet::HEADER_LEN;
         let bytes = spec.build();
         let now = ctx.now();
@@ -202,7 +202,7 @@ impl Baseline {
     }
 
     /// Transmit a server→client response starting at `depart`.
-    fn send_response(&mut self, spec: &FrameSpec, depart: SimTime, ctx: &mut Ctx<Ev>) {
+    fn send_response(&mut self, spec: &FrameSpec, depart: SimTime, ctx: &mut Ctx<'_, Ev>) {
         let payload_len = spec.frame_len() - net_wire::ethernet::HEADER_LEN;
         let bytes = spec.build();
         if ctx.faults().burst_frame_lost(depart) {
@@ -223,7 +223,7 @@ impl Baseline {
     /// cores over the last window and grow/shrink the provisioned set,
     /// then rewrite the indirection table — the operation a programmable
     /// NIC performs in hardware.
-    fn erss_tick(&mut self, ctx: &mut Ctx<Ev>) {
+    fn erss_tick(&mut self, ctx: &mut Ctx<'_, Ev>) {
         let now = ctx.now();
         let window = ERSS_INTERVAL.as_secs_f64();
         let mut busy = 0.0;
@@ -267,7 +267,7 @@ impl Baseline {
         Some((frame.data, params::WORK_STEAL_COST))
     }
 
-    fn worker_poll(&mut self, w: usize, ctx: &mut Ctx<Ev>) {
+    fn worker_poll(&mut self, w: usize, ctx: &mut Ctx<'_, Ev>) {
         if self.workers[w].busy {
             return;
         }
@@ -332,7 +332,7 @@ impl Baseline {
 }
 
 impl Baseline {
-    fn finish(&mut self, w: usize, ctx: &mut Ctx<Ev>) {
+    fn finish(&mut self, w: usize, ctx: &mut Ctx<'_, Ev>) {
         let msg = self.pending[w].take().expect("worker had work");
         {
             let now = ctx.now();
@@ -376,7 +376,7 @@ impl Model for Baseline {
         self.client.check_invariants(now, inv);
     }
 
-    fn handle(&mut self, event: Ev, ctx: &mut Ctx<Ev>) {
+    fn handle(&mut self, event: Ev, ctx: &mut Ctx<'_, Ev>) {
         match event {
             Ev::ClientSend => {
                 if ctx.now() >= self.horizon {

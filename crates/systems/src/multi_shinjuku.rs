@@ -233,7 +233,7 @@ impl MultiShinjuku {
     }
 
     /// Transmit a client→NIC frame over the (possibly lossy) request wire.
-    fn send_request(&mut self, spec: &FrameSpec, ctx: &mut Ctx<Ev>) {
+    fn send_request(&mut self, spec: &FrameSpec, ctx: &mut Ctx<'_, Ev>) {
         let payload_len = spec.frame_len() - net_wire::ethernet::HEADER_LEN;
         let bytes = spec.build();
         let now = ctx.now();
@@ -252,7 +252,7 @@ impl MultiShinjuku {
     }
 
     /// Transmit a server→client frame (response or NACK) starting at `depart`.
-    fn send_response(&mut self, spec: &FrameSpec, depart: SimTime, ctx: &mut Ctx<Ev>) {
+    fn send_response(&mut self, spec: &FrameSpec, depart: SimTime, ctx: &mut Ctx<'_, Ev>) {
         let payload_len = spec.frame_len() - net_wire::ethernet::HEADER_LEN;
         let bytes = spec.build();
         if ctx.faults().burst_frame_lost(depart) {
@@ -269,7 +269,7 @@ impl MultiShinjuku {
         }
     }
 
-    fn start_networker(&mut self, g: usize, ctx: &mut Ctx<Ev>) {
+    fn start_networker(&mut self, g: usize, ctx: &mut Ctx<'_, Ev>) {
         if !self.groups[g].networker_busy && !self.nic.iface(self.net_iface).rx[g].is_empty() {
             self.groups[g].networker_busy = true;
             ctx.probe().busy_i("networker", g, true);
@@ -288,7 +288,7 @@ impl MultiShinjuku {
         }
     }
 
-    fn start_dispatcher(&mut self, g: usize, ctx: &mut Ctx<Ev>) {
+    fn start_dispatcher(&mut self, g: usize, ctx: &mut Ctx<'_, Ev>) {
         let group = &mut self.groups[g];
         if !group.disp_busy {
             if let Some(item) = group.disp_queue.front() {
@@ -300,7 +300,7 @@ impl MultiShinjuku {
         }
     }
 
-    fn worker_poll(&mut self, g: usize, local: usize, ctx: &mut Ctx<Ev>) {
+    fn worker_poll(&mut self, g: usize, local: usize, ctx: &mut Ctx<'_, Ev>) {
         if self.groups[g].workers[local].running.is_some() {
             return;
         }
@@ -361,7 +361,7 @@ impl MultiShinjuku {
         );
     }
 
-    fn worker_run_end(&mut self, g: usize, local: usize, gen: u64, ctx: &mut Ctx<Ev>) {
+    fn worker_run_end(&mut self, g: usize, local: usize, gen: u64, ctx: &mut Ctx<'_, Ev>) {
         if !self.groups[g].workers[local].timer.accept(gen) {
             return;
         }
@@ -477,7 +477,7 @@ impl Model for MultiShinjuku {
         self.client.check_invariants(now, inv);
     }
 
-    fn handle(&mut self, event: Ev, ctx: &mut Ctx<Ev>) {
+    fn handle(&mut self, event: Ev, ctx: &mut Ctx<'_, Ev>) {
         match event {
             Ev::ClientSend => {
                 if ctx.now() >= self.horizon {

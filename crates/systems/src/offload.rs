@@ -364,7 +364,7 @@ impl Offload {
     // ---- lossy wire helpers ---------------------------------------------
 
     /// Transmit a client→NIC frame over the lossy request wire.
-    fn send_request(&mut self, spec: &FrameSpec, ctx: &mut Ctx<Ev>) {
+    fn send_request(&mut self, spec: &FrameSpec, ctx: &mut Ctx<'_, Ev>) {
         let payload_len = spec.frame_len() - net_wire::ethernet::HEADER_LEN;
         let bytes = spec.build();
         let now = ctx.now();
@@ -384,7 +384,7 @@ impl Offload {
 
     /// Transmit a server→client frame (response or NACK) over the lossy
     /// response wire, starting at `depart`.
-    fn send_response(&mut self, spec: &FrameSpec, depart: SimTime, ctx: &mut Ctx<Ev>) {
+    fn send_response(&mut self, spec: &FrameSpec, depart: SimTime, ctx: &mut Ctx<'_, Ev>) {
         let payload_len = spec.frame_len() - net_wire::ethernet::HEADER_LEN;
         let bytes = spec.build();
         if ctx.faults().burst_frame_lost(depart) {
@@ -408,7 +408,7 @@ impl Offload {
 
     // ---- stage starters -------------------------------------------------
 
-    fn start_networker(&mut self, ctx: &mut Ctx<Ev>) {
+    fn start_networker(&mut self, ctx: &mut Ctx<'_, Ev>) {
         let ring = &self.nic.iface(self.disp_iface).rx[0];
         if !self.networker.busy && !ring.is_empty() {
             self.networker.busy = true;
@@ -420,7 +420,7 @@ impl Offload {
         }
     }
 
-    fn start_qm(&mut self, ctx: &mut Ctx<Ev>) {
+    fn start_qm(&mut self, ctx: &mut Ctx<'_, Ev>) {
         if !self.qm.busy && !self.qm.queue.is_empty() {
             self.qm.busy = true;
             ctx.probe().busy("qm", true);
@@ -428,7 +428,7 @@ impl Offload {
         }
     }
 
-    fn start_tx(&mut self, ctx: &mut Ctx<Ev>) {
+    fn start_tx(&mut self, ctx: &mut Ctx<'_, Ev>) {
         if !self.tx.busy && !self.tx.queue.is_empty() {
             self.tx.busy = true;
             ctx.probe().busy("tx", true);
@@ -436,7 +436,7 @@ impl Offload {
         }
     }
 
-    fn start_rx(&mut self, ctx: &mut Ctx<Ev>) {
+    fn start_rx(&mut self, ctx: &mut Ctx<'_, Ev>) {
         if !self.rx.busy && !self.rx.queue.is_empty() {
             self.rx.busy = true;
             ctx.probe().busy("rx", true);
@@ -445,7 +445,7 @@ impl Offload {
     }
 
     /// Route a batch of dispatcher assignments toward the TX core.
-    fn emit_assignments(&mut self, assignments: Vec<Assignment>, ctx: &mut Ctx<Ev>) {
+    fn emit_assignments(&mut self, assignments: Vec<Assignment>, ctx: &mut Ctx<'_, Ev>) {
         for a in assignments {
             ctx.schedule_in(self.cfg.profile.stage_hop, Ev::TxPush(a));
         }
@@ -454,7 +454,7 @@ impl Offload {
     // ---- worker helpers -------------------------------------------------
 
     /// Start the next stashed request on an idle worker, if any.
-    fn worker_poll(&mut self, w: usize, ctx: &mut Ctx<Ev>) {
+    fn worker_poll(&mut self, w: usize, ctx: &mut Ctx<'_, Ev>) {
         if self.workers[w].running.is_some() {
             return;
         }
@@ -591,7 +591,7 @@ impl Offload {
         }
     }
 
-    fn worker_run_end(&mut self, w: usize, gen: u64, ctx: &mut Ctx<Ev>) {
+    fn worker_run_end(&mut self, w: usize, gen: u64, ctx: &mut Ctx<'_, Ev>) {
         if !self.workers[w].timer.accept(gen) {
             return; // stale firing
         }
@@ -729,7 +729,7 @@ impl Model for Offload {
         self.client.check_invariants(now, inv);
     }
 
-    fn handle(&mut self, event: Ev, ctx: &mut Ctx<Ev>) {
+    fn handle(&mut self, event: Ev, ctx: &mut Ctx<'_, Ev>) {
         match event {
             Ev::ClientSend => {
                 if ctx.now() >= self.horizon {

@@ -135,7 +135,7 @@ impl RpcValet {
     }
 
     /// Transmit a client→NI frame over the (possibly lossy) request wire.
-    fn send_request(&mut self, spec: &FrameSpec, ctx: &mut Ctx<Ev>) {
+    fn send_request(&mut self, spec: &FrameSpec, ctx: &mut Ctx<'_, Ev>) {
         let payload_len = spec.frame_len() - net_wire::ethernet::HEADER_LEN;
         let bytes = spec.build();
         let now = ctx.now();
@@ -154,7 +154,7 @@ impl RpcValet {
     }
 
     /// Transmit an NI→client response starting at `depart`.
-    fn send_response(&mut self, spec: &FrameSpec, depart: SimTime, ctx: &mut Ctx<Ev>) {
+    fn send_response(&mut self, spec: &FrameSpec, depart: SimTime, ctx: &mut Ctx<'_, Ev>) {
         let payload_len = spec.frame_len() - net_wire::ethernet::HEADER_LEN;
         let bytes = spec.build();
         if ctx.faults().burst_frame_lost(depart) {
@@ -171,7 +171,7 @@ impl RpcValet {
         }
     }
 
-    fn emit(&mut self, assignments: Vec<nicsched::Assignment>, ctx: &mut Ctx<Ev>) {
+    fn emit(&mut self, assignments: Vec<nicsched::Assignment>, ctx: &mut Ctx<'_, Ev>) {
         for a in assignments {
             ctx.schedule_in(HW_DISPATCH + NI_TO_CORE, Ev::Deliver(a.worker, a.task));
         }
@@ -196,7 +196,7 @@ impl Model for RpcValet {
         }
     }
 
-    fn handle(&mut self, event: Ev, ctx: &mut Ctx<Ev>) {
+    fn handle(&mut self, event: Ev, ctx: &mut Ctx<'_, Ev>) {
         match event {
             Ev::ClientSend => {
                 if ctx.now() >= self.horizon {

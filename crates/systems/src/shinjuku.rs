@@ -208,7 +208,7 @@ impl Shinjuku {
     }
 
     /// Transmit a client→NIC frame over the (possibly lossy) request wire.
-    fn send_request(&mut self, spec: &FrameSpec, ctx: &mut Ctx<Ev>) {
+    fn send_request(&mut self, spec: &FrameSpec, ctx: &mut Ctx<'_, Ev>) {
         let payload_len = spec.frame_len() - net_wire::ethernet::HEADER_LEN;
         let bytes = spec.build();
         let now = ctx.now();
@@ -228,7 +228,7 @@ impl Shinjuku {
 
     /// Transmit a server→client frame (response or NACK) starting at
     /// `depart`.
-    fn send_response(&mut self, spec: &FrameSpec, depart: SimTime, ctx: &mut Ctx<Ev>) {
+    fn send_response(&mut self, spec: &FrameSpec, depart: SimTime, ctx: &mut Ctx<'_, Ev>) {
         let payload_len = spec.frame_len() - net_wire::ethernet::HEADER_LEN;
         let bytes = spec.build();
         if ctx.faults().burst_frame_lost(depart) {
@@ -245,7 +245,7 @@ impl Shinjuku {
         }
     }
 
-    fn start_networker(&mut self, ctx: &mut Ctx<Ev>) {
+    fn start_networker(&mut self, ctx: &mut Ctx<'_, Ev>) {
         if !self.networker_busy && !self.nic.iface(self.net_iface).rx[0].is_empty() {
             self.networker_busy = true;
             ctx.probe().busy("networker", true);
@@ -264,7 +264,7 @@ impl Shinjuku {
         }
     }
 
-    fn start_dispatcher(&mut self, ctx: &mut Ctx<Ev>) {
+    fn start_dispatcher(&mut self, ctx: &mut Ctx<'_, Ev>) {
         if !self.disp_busy {
             if let Some(item) = self.disp_queue.front() {
                 self.disp_busy = true;
@@ -275,7 +275,7 @@ impl Shinjuku {
         }
     }
 
-    fn worker_poll(&mut self, w: usize, ctx: &mut Ctx<Ev>) {
+    fn worker_poll(&mut self, w: usize, ctx: &mut Ctx<'_, Ev>) {
         if self.workers[w].running.is_some() {
             return;
         }
@@ -329,7 +329,7 @@ impl Shinjuku {
         ctx.schedule_at(end, Ev::WorkerRunEnd { worker: w, gen });
     }
 
-    fn worker_run_end(&mut self, w: usize, gen: u64, ctx: &mut Ctx<Ev>) {
+    fn worker_run_end(&mut self, w: usize, gen: u64, ctx: &mut Ctx<'_, Ev>) {
         if !self.workers[w].timer.accept(gen) {
             return;
         }
@@ -422,7 +422,7 @@ impl Model for Shinjuku {
         self.client.check_invariants(now, inv);
     }
 
-    fn handle(&mut self, event: Ev, ctx: &mut Ctx<Ev>) {
+    fn handle(&mut self, event: Ev, ctx: &mut Ctx<'_, Ev>) {
         match event {
             Ev::ClientSend => {
                 if ctx.now() >= self.horizon {
