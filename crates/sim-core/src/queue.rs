@@ -437,7 +437,8 @@ impl<E> EventQueue<E> {
             });
             self.stale -= before - self.run.len();
             if !self.run.is_empty() {
-                self.run.sort_unstable_by_key(|k| core::cmp::Reverse(k.rank()));
+                self.run
+                    .sort_unstable_by_key(|k| core::cmp::Reverse(k.rank()));
                 return;
             }
             // The whole bucket was cancelled entries; keep advancing.

@@ -1,0 +1,533 @@
+//! Incremental analysis cache: per-file facts keyed by content hash.
+//!
+//! Phase A of the v4 pipeline (lex, parse, token rules, semantic rules,
+//! local taint, fact extraction) is a pure function of one file's bytes
+//! plus its crate's manifest metadata. That makes it cacheable: the CLI
+//! persists every file's [`FileFacts`] keyed by an FNV-1a-64 content
+//! hash, and a re-run only re-analyzes files whose bytes changed. The
+//! global passes (call graph, summaries, shard certificate, waiver
+//! finalize) always run fresh — they are cheap and depend on *every*
+//! file — so cached and cold runs produce identical findings by
+//! construction, which a test pins.
+//!
+//! The whole cache is salted with the rule inventory and every crate's
+//! simlint manifest metadata (layer, `time_boundary`, `ledger`,
+//! `sched_sinks`, `shard_roots`). Any change to either invalidates all
+//! entries at once: manifest metadata changes analysis behavior without
+//! touching file bytes, so it must participate in the key. An
+//! unreadable, unparsable, or version-skewed cache file degrades to a
+//! cold run — the cache can never change results, only skip work.
+//! `--no-cache` skips both load and store.
+
+use std::collections::BTreeMap;
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::dataflow::{CallFact, FnTaintFacts, OriginFact, SinkFact};
+use crate::interproc::{FileFacts, FnFact, GlobalRef, StaticFact};
+use crate::report::{json_str, parse_json, Value};
+use crate::rules;
+use crate::rules::semantic::LedgerSites;
+use crate::rules::waivers::Waiver;
+use crate::Finding;
+
+/// Bumped whenever the serialized fact layout changes.
+const CACHE_VERSION: &str = "simlint-cache-v1";
+
+/// FNV-1a 64-bit.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Hash the environment a cached entry depends on besides file bytes:
+/// cache layout version, the rule inventory, and every crate's simlint
+/// manifest metadata (pre-rendered by the caller into `meta`).
+pub fn salt(meta: &str) -> String {
+    let mut text = String::from(CACHE_VERSION);
+    text.push('\n');
+    text.push_str(&rules::RULES.join(","));
+    text.push('\n');
+    text.push_str(meta);
+    format!("{:016x}", fnv64(text.as_bytes()))
+}
+
+/// The loaded (or fresh) cache.
+#[derive(Debug, Default)]
+pub struct Cache {
+    salt: String,
+    files: BTreeMap<String, (String, FileFacts)>,
+}
+
+impl Cache {
+    /// Load from `path`; any problem (missing file, parse error, salt or
+    /// version mismatch) yields an empty cache with the given salt.
+    pub fn load(path: &Path, salt: &str) -> Cache {
+        let mut cache = Cache {
+            salt: salt.to_string(),
+            files: BTreeMap::new(),
+        };
+        let Ok(text) = fs::read_to_string(path) else {
+            return cache;
+        };
+        let Ok(v) = parse_json(&text) else {
+            return cache;
+        };
+        if v.get("schema").and_then(|s| s.as_usize()) != Some(1)
+            || v.get("salt").and_then(|s| s.as_str()) != Some(salt)
+        {
+            return cache;
+        }
+        if let Some(Value::Object(files)) = v.get("files") {
+            for (rel, entry) in files {
+                let Some(hash) = entry.get("hash").and_then(|h| h.as_str()) else {
+                    continue;
+                };
+                let Some(facts) = entry.get("facts").and_then(facts_from_json) else {
+                    continue;
+                };
+                cache.files.insert(rel.clone(), (hash.to_string(), facts));
+            }
+        }
+        cache
+    }
+
+    /// The cached facts for `rel` if the content hash still matches.
+    pub fn lookup(&self, rel: &str, hash: &str) -> Option<&FileFacts> {
+        self.files
+            .get(rel)
+            .filter(|(h, _)| h == hash)
+            .map(|(_, f)| f)
+    }
+
+    /// Record freshly computed facts.
+    pub fn insert(&mut self, rel: &str, hash: &str, facts: FileFacts) {
+        self.files
+            .insert(rel.to_string(), (hash.to_string(), facts));
+    }
+
+    /// Drop entries for files that no longer exist in the scan set.
+    pub fn retain_files(&mut self, live: &[String]) {
+        self.files.retain(|rel, _| live.iter().any(|l| l == rel));
+    }
+
+    /// Persist to `path` (creating parent directories).
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let mut out = String::from("{\"schema\": 1, \"salt\": ");
+        out.push_str(&json_str(&self.salt));
+        out.push_str(", \"files\": {");
+        let mut first = true;
+        for (rel, (hash, facts)) in &self.files {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push('\n');
+            out.push_str(&json_str(rel));
+            out.push_str(": {\"hash\": ");
+            out.push_str(&json_str(hash));
+            out.push_str(", \"facts\": ");
+            out.push_str(&facts_to_json(facts));
+            out.push('}');
+        }
+        out.push_str("\n}}\n");
+        fs::write(path, out)
+    }
+}
+
+fn arr<T>(items: &[T], f: impl Fn(&T) -> String) -> String {
+    let inner: Vec<String> = items.iter().map(f).collect();
+    format!("[{}]", inner.join(","))
+}
+
+fn str_arr(items: &[String]) -> String {
+    arr(items, |s| json_str(s))
+}
+
+fn usize_arr(items: &[usize]) -> String {
+    arr(items, usize::to_string)
+}
+
+fn origin_json(o: &OriginFact) -> String {
+    format!(
+        "{{\"call\": {}, \"label\": {}, \"line\": {}}}",
+        o.call
+            .as_deref()
+            .map(json_str)
+            .unwrap_or_else(|| "null".into()),
+        json_str(&o.label),
+        o.line
+    )
+}
+
+/// Serialize one file's facts (compact JSON, deterministic).
+pub fn facts_to_json(f: &FileFacts) -> String {
+    let candidates = arr(&f.candidates, |c| {
+        format!(
+            "{{\"line\": {}, \"rule\": {}, \"message\": {}}}",
+            c.line,
+            json_str(c.rule),
+            json_str(&c.message)
+        )
+    });
+    let waivers = arr(&f.waivers, |w| {
+        format!(
+            "{{\"line\": {}, \"rules\": {}, \"first\": {}, \"last\": {}, \"block\": {}}}",
+            w.line,
+            str_arr(&w.rules),
+            w.first,
+            w.last,
+            w.block
+        )
+    });
+    let bad = arr(&f.bad_waivers, |(line, msg)| {
+        format!("{{\"line\": {line}, \"message\": {}}}", json_str(msg))
+    });
+    let ledger = arr(&f.ledger, |(field, s)| {
+        format!(
+            "{{\"field\": {}, \"debits\": {}, \"credits\": {}}}",
+            json_str(field),
+            usize_arr(&s.debits),
+            usize_arr(&s.credits)
+        )
+    });
+    let bindings = {
+        let inner: Vec<String> = f
+            .bindings
+            .iter()
+            .map(|(k, v)| format!("{}: {}", json_str(k), str_arr(v)))
+            .collect();
+        format!("{{{}}}", inner.join(","))
+    };
+    let fns = arr(&f.fns, |fun| {
+        let sinks = arr(&fun.taint.sinks, |s: &SinkFact| {
+            format!(
+                "{{\"line\": {}, \"label\": {}, \"callees\": {}}}",
+                s.line,
+                json_str(&s.label),
+                str_arr(&s.callees)
+            )
+        });
+        let calls = arr(&fun.taint.calls, |c: &CallFact| {
+            format!(
+                "{{\"name\": {}, \"method\": {}, \"path\": {}}}",
+                json_str(&c.name),
+                c.method,
+                str_arr(&c.path)
+            )
+        });
+        let refs = arr(&fun.global_refs, |g: &GlobalRef| {
+            format!(
+                "{{\"name\": {}, \"line\": {}, \"write\": {}}}",
+                json_str(&g.name),
+                g.line,
+                g.write
+            )
+        });
+        format!(
+            "{{\"name\": {}, \"line\": {}, \"impl_type\": {}, \"sinks\": {}, \
+             \"ret\": {}, \"calls\": {}, \"rng\": {}, \"refs\": {}}}",
+            json_str(&fun.name),
+            fun.line,
+            fun.impl_type
+                .as_deref()
+                .map(json_str)
+                .unwrap_or_else(|| "null".into()),
+            sinks,
+            arr(&fun.taint.ret, origin_json),
+            calls,
+            usize_arr(&fun.taint.rng_lines),
+            refs
+        )
+    });
+    let statics = arr(&f.statics, |s: &StaticFact| {
+        format!(
+            "{{\"name\": {}, \"line\": {}, \"mutable\": {}, \"tls\": {}, \"interior\": {}}}",
+            json_str(&s.name),
+            s.line,
+            s.mutable,
+            s.tls,
+            s.interior
+        )
+    });
+    format!(
+        "{{\"rel\": {}, \"crate\": {}, \"candidates\": {}, \"waivers\": {}, \
+         \"bad\": {}, \"ledger\": {}, \"bindings\": {}, \"fns\": {}, \
+         \"statics\": {}, \"taint_scope\": {}, \"has_forbid\": {}}}",
+        json_str(&f.rel),
+        json_str(&f.crate_name),
+        candidates,
+        waivers,
+        bad,
+        ledger,
+        bindings,
+        fns,
+        statics,
+        f.taint_scope,
+        f.has_forbid
+    )
+}
+
+fn origin_from(v: &Value) -> Option<OriginFact> {
+    Some(OriginFact {
+        call: match v.get("call") {
+            Some(Value::Null) | None => None,
+            Some(c) => Some(c.as_str()?.to_string()),
+        },
+        label: v.get("label")?.as_str()?.to_string(),
+        line: v.get("line")?.as_usize()?,
+    })
+}
+
+fn str_vec(v: Option<&Value>) -> Option<Vec<String>> {
+    v?.as_array()?
+        .iter()
+        .map(|s| s.as_str().map(str::to_string))
+        .collect()
+}
+
+fn usize_vec(v: Option<&Value>) -> Option<Vec<usize>> {
+    v?.as_array()?.iter().map(Value::as_usize).collect()
+}
+
+/// Deserialize one file's facts; `None` on any shape mismatch (the
+/// caller treats that as a cache miss).
+pub fn facts_from_json(v: &Value) -> Option<FileFacts> {
+    let rel = v.get("rel")?.as_str()?.to_string();
+    let mut candidates = Vec::new();
+    for c in v.get("candidates")?.as_array()? {
+        // Rule names round-trip through the static table; an unknown
+        // name means the inventory changed and the entry is stale.
+        let rule = rules::spec(c.get("rule")?.as_str()?)?.name;
+        candidates.push(Finding {
+            file: rel.clone(),
+            line: c.get("line")?.as_usize()?,
+            rule,
+            message: c.get("message")?.as_str()?.to_string(),
+        });
+    }
+    let mut waivers = Vec::new();
+    for w in v.get("waivers")?.as_array()? {
+        waivers.push(Waiver {
+            line: w.get("line")?.as_usize()?,
+            rules: str_vec(w.get("rules"))?,
+            first: w.get("first")?.as_usize()?,
+            last: w.get("last")?.as_usize()?,
+            block: w.get("block")?.as_bool()?,
+        });
+    }
+    let mut bad_waivers = Vec::new();
+    for b in v.get("bad")?.as_array()? {
+        bad_waivers.push((
+            b.get("line")?.as_usize()?,
+            b.get("message")?.as_str()?.to_string(),
+        ));
+    }
+    let mut ledger = Vec::new();
+    for l in v.get("ledger")?.as_array()? {
+        ledger.push((
+            l.get("field")?.as_str()?.to_string(),
+            LedgerSites {
+                debits: usize_vec(l.get("debits"))?,
+                credits: usize_vec(l.get("credits"))?,
+            },
+        ));
+    }
+    let mut bindings = BTreeMap::new();
+    if let Some(Value::Object(map)) = v.get("bindings") {
+        for (k, p) in map {
+            bindings.insert(k.clone(), str_vec(Some(p))?);
+        }
+    }
+    let mut fns = Vec::new();
+    for f in v.get("fns")?.as_array()? {
+        let mut sinks = Vec::new();
+        for s in f.get("sinks")?.as_array()? {
+            sinks.push(SinkFact {
+                line: s.get("line")?.as_usize()?,
+                label: s.get("label")?.as_str()?.to_string(),
+                callees: str_vec(s.get("callees"))?,
+            });
+        }
+        let mut ret = Vec::new();
+        for o in f.get("ret")?.as_array()? {
+            ret.push(origin_from(o)?);
+        }
+        let mut calls = Vec::new();
+        for c in f.get("calls")?.as_array()? {
+            calls.push(CallFact {
+                name: c.get("name")?.as_str()?.to_string(),
+                method: c.get("method")?.as_bool()?,
+                path: str_vec(c.get("path"))?,
+            });
+        }
+        let mut global_refs = Vec::new();
+        for g in f.get("refs")?.as_array()? {
+            global_refs.push(GlobalRef {
+                name: g.get("name")?.as_str()?.to_string(),
+                line: g.get("line")?.as_usize()?,
+                write: g.get("write")?.as_bool()?,
+            });
+        }
+        fns.push(FnFact {
+            name: f.get("name")?.as_str()?.to_string(),
+            line: f.get("line")?.as_usize()?,
+            impl_type: match f.get("impl_type") {
+                Some(Value::Null) | None => None,
+                Some(t) => Some(t.as_str()?.to_string()),
+            },
+            taint: FnTaintFacts {
+                sinks,
+                ret,
+                calls,
+                rng_lines: usize_vec(f.get("rng"))?,
+            },
+            global_refs,
+        });
+    }
+    let mut statics = Vec::new();
+    for s in v.get("statics")?.as_array()? {
+        statics.push(StaticFact {
+            name: s.get("name")?.as_str()?.to_string(),
+            line: s.get("line")?.as_usize()?,
+            mutable: s.get("mutable")?.as_bool()?,
+            tls: s.get("tls")?.as_bool()?,
+            interior: s.get("interior")?.as_bool()?,
+        });
+    }
+    Some(FileFacts {
+        rel,
+        crate_name: v.get("crate")?.as_str()?.to_string(),
+        candidates,
+        waivers,
+        bad_waivers,
+        ledger,
+        bindings,
+        fns,
+        statics,
+        taint_scope: v.get("taint_scope")?.as_bool()?,
+        has_forbid: v.get("has_forbid")?.as_bool()?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv64_is_stable() {
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv64(b"a"), fnv64(b"b"));
+    }
+
+    #[test]
+    fn salt_changes_with_metadata() {
+        assert_ne!(salt("layer=core"), salt("layer=model"));
+        assert_eq!(salt("x"), salt("x"));
+    }
+
+    #[test]
+    fn facts_round_trip_through_json() {
+        let facts = FileFacts {
+            rel: "crates/x/src/lib.rs".into(),
+            crate_name: "x".into(),
+            candidates: vec![Finding {
+                file: "crates/x/src/lib.rs".into(),
+                line: 3,
+                rule: "unordered",
+                message: "m \"quoted\"".into(),
+            }],
+            waivers: vec![Waiver {
+                line: 2,
+                rules: vec!["unordered".into()],
+                first: 2,
+                last: 3,
+                block: false,
+            }],
+            bad_waivers: vec![(9, "bad".into())],
+            ledger: vec![(
+                "in_flight".into(),
+                LedgerSites {
+                    debits: vec![4],
+                    credits: vec![7, 9],
+                },
+            )],
+            bindings: BTreeMap::from([("pick".to_string(), vec!["gen".into(), "pick".into()])]),
+            fns: vec![FnFact {
+                name: "drive".into(),
+                line: 5,
+                impl_type: Some("Engine".into()),
+                taint: FnTaintFacts {
+                    sinks: vec![SinkFact {
+                        line: 6,
+                        label: "event-queue sink `.schedule(..)`".into(),
+                        callees: vec!["pick".into()],
+                    }],
+                    ret: vec![OriginFact {
+                        call: None,
+                        label: "unseeded RNG (`OsRng`)".into(),
+                        line: 8,
+                    }],
+                    calls: vec![CallFact {
+                        name: "pick".into(),
+                        method: false,
+                        path: vec![],
+                    }],
+                    rng_lines: vec![8],
+                },
+                global_refs: vec![GlobalRef {
+                    name: "REG".into(),
+                    line: 6,
+                    write: true,
+                }],
+            }],
+            statics: vec![StaticFact {
+                name: "REG".into(),
+                line: 1,
+                mutable: false,
+                tls: false,
+                interior: true,
+            }],
+            taint_scope: true,
+            has_forbid: false,
+        };
+        let json = facts_to_json(&facts);
+        let parsed = parse_json(&json).expect("valid json");
+        let back = facts_from_json(&parsed).expect("round trip");
+        assert_eq!(facts_to_json(&back), json);
+    }
+
+    #[test]
+    fn cache_lookup_respects_hash_and_salt() {
+        let dir = std::env::temp_dir().join("simlint-cache-test");
+        let path = dir.join("cache.json");
+        let s = salt("meta");
+        let mut cache = Cache {
+            salt: s.clone(),
+            files: BTreeMap::new(),
+        };
+        let facts = FileFacts {
+            rel: "a.rs".into(),
+            crate_name: "x".into(),
+            taint_scope: false,
+            ..FileFacts::default()
+        };
+        cache.insert("a.rs", "h1", facts);
+        cache.save(&path).expect("save");
+        let loaded = Cache::load(&path, &s);
+        assert!(loaded.lookup("a.rs", "h1").is_some());
+        assert!(loaded.lookup("a.rs", "h2").is_none());
+        let other = Cache::load(&path, &salt("other-meta"));
+        assert!(other.lookup("a.rs", "h1").is_none());
+        let _ = std::fs::remove_file(&path);
+    }
+}

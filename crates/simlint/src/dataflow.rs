@@ -483,6 +483,467 @@ fn stmt_sinks(stmt: &[Token], ordered: &BTreeSet<String>, extra_sched: &[String]
     out
 }
 
+// ---------------------------------------------------------------------------
+// v4: compositional per-function taint facts
+// ---------------------------------------------------------------------------
+//
+// The v3 pass above resolves same-file helper calls with an in-file
+// summary fixpoint; it survives verbatim as the executable spec (the
+// differential test keeps v4 a superset of it). The collector below is
+// what the workspace-level interprocedural engine consumes instead: a
+// *pure* function of one file's tokens, producing serializable facts —
+// which calls each function makes, which call-carried values reach
+// which sinks, and which origins its return value may carry. Nothing
+// here looks at other functions, so the facts can be cached per file
+// and resolved globally against the whole-workspace call graph.
+
+/// One taint origin as recorded in per-function facts.
+///
+/// `call: None` is a local source (`label` is the v3 origin label,
+/// `line` its source line). `call: Some(name)` is a value obtained from
+/// a call to `name`, tainted iff the resolved callee's summary is — the
+/// interprocedural engine decides that, not this file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OriginFact {
+    /// Callee name for call-carried origins; `None` for local sources.
+    pub call: Option<String>,
+    /// v3-compatible origin label (empty for call-carried origins).
+    pub label: String,
+    /// 1-based line of the originating token.
+    pub line: usize,
+}
+
+/// An ordering-sensitive sink statement that consumes at least one
+/// call-carried value. (Sinks fed only by local sources are fully
+/// handled by the v3 pass and are not recorded here.)
+#[derive(Debug, Clone)]
+pub struct SinkFact {
+    /// 1-based line of the sink statement.
+    pub line: usize,
+    /// v3-compatible sink label (`event-queue sink `.push(..)``, …).
+    pub label: String,
+    /// Callee names whose return values reach this sink.
+    pub callees: Vec<String>,
+}
+
+/// One call site, for the workspace call graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallFact {
+    /// The called function's name (last path segment).
+    pub name: String,
+    /// True for method-call syntax (`recv.name(..)`).
+    pub method: bool,
+    /// Leading `::` path segments (`gen::pick(..)` → `["gen"]`,
+    /// `Gen::pick(..)` → `["Gen"]`); empty for a plain call.
+    pub path: Vec<String>,
+}
+
+/// The taint-relevant facts of one function body.
+#[derive(Debug, Clone, Default)]
+pub struct FnTaintFacts {
+    /// Sinks consuming call-carried values.
+    pub sinks: Vec<SinkFact>,
+    /// Origins the return value may carry, in v3 priority order.
+    pub ret: Vec<OriginFact>,
+    /// Distinct call sites in the body.
+    pub calls: Vec<CallFact>,
+    /// Lines mentioning ambient-RNG sources (shard-hazard input).
+    pub rng_lines: Vec<usize>,
+}
+
+const VAR_ORIGIN_CAP: usize = 6;
+const STMT_ORIGIN_CAP: usize = 12;
+
+/// Collect per-function taint facts for every function in the file,
+/// parallel to `items.fns`.
+pub fn collect_fn_facts(
+    toks: &[Token],
+    items: &FileItems,
+    extra_sched: &[String],
+) -> Vec<FnTaintFacts> {
+    let mut field_unordered: BTreeSet<String> = BTreeSet::new();
+    let mut field_ordered: BTreeSet<String> = BTreeSet::new();
+    for st in &items.structs {
+        for f in &st.fields {
+            if f.type_idents
+                .iter()
+                .any(|t| UNORDERED_TYPES.contains(&t.as_str()))
+            {
+                field_unordered.insert(f.name.clone());
+            }
+            if f.type_idents
+                .iter()
+                .any(|t| ORDERED_TYPES.contains(&t.as_str()))
+            {
+                field_ordered.insert(f.name.clone());
+            }
+        }
+    }
+    items
+        .fns
+        .iter()
+        .map(|f| {
+            // Parameters typed as containers seed shape knowledge too:
+            // interprocedural helpers take their maps as arguments
+            // instead of aliasing them through an annotated `let`.
+            let (param_un, param_ord) = param_shapes(toks, f.sig);
+            let mut un = field_unordered.clone();
+            un.extend(param_un);
+            let mut ord = field_ordered.clone();
+            ord.extend(param_ord);
+            let (sinks, ret) = scan_fn_facts(toks, f.body, &un, &ord, extra_sched);
+            FnTaintFacts {
+                sinks,
+                ret,
+                calls: collect_calls(toks, f.body),
+                rng_lines: collect_rng_lines(toks, f.body),
+            }
+        })
+        .collect()
+}
+
+/// Parameters in `sig` whose type annotation names an unordered or
+/// ordered container: each container-type token is walked back to the
+/// `name:` annotation that owns it. Path separators (`::`) are skipped;
+/// hitting a `(`, `)`, or `,` first means the token is not inside a
+/// parameter annotation (e.g. a return type) and is ignored.
+fn param_shapes(toks: &[Token], sig: (usize, usize)) -> (BTreeSet<String>, BTreeSet<String>) {
+    let mut un = BTreeSet::new();
+    let mut ord = BTreeSet::new();
+    let sig_toks = &toks[sig.0.min(toks.len())..sig.1.min(toks.len())];
+    for (k, t) in sig_toks.iter().enumerate() {
+        let Some(s) = t.kind.ident() else { continue };
+        let is_un = UNORDERED_TYPES.contains(&s);
+        let is_ord = ORDERED_TYPES.contains(&s);
+        if !is_un && !is_ord {
+            continue;
+        }
+        let mut i = k;
+        let name = loop {
+            if i == 0 {
+                break None;
+            }
+            i -= 1;
+            match &sig_toks[i].kind {
+                TokKind::Punct(':') => {
+                    if i > 0 && sig_toks[i - 1].kind == TokKind::Punct(':') {
+                        i -= 1; // path separator, keep walking
+                        continue;
+                    }
+                    break sig_toks[..i]
+                        .last()
+                        .and_then(|t| t.kind.ident())
+                        .filter(|n| n.starts_with(|c: char| c.is_lowercase() || c == '_'))
+                        .map(str::to_string);
+                }
+                TokKind::Punct('(' | ')' | ',') => break None,
+                _ => {}
+            }
+        };
+        if let Some(n) = name {
+            if is_un {
+                un.insert(n.clone());
+            }
+            if is_ord {
+                ord.insert(n);
+            }
+        }
+    }
+    (un, ord)
+}
+
+/// The v4 analogue of [`scan_fn`]: same two-pass statement walk and the
+/// same propagation shape, but origins are multi-valued and calls are
+/// recorded unresolved instead of being looked up in same-file
+/// summaries.
+fn scan_fn_facts(
+    toks: &[Token],
+    body: (usize, usize),
+    field_unordered: &BTreeSet<String>,
+    field_ordered: &BTreeSet<String>,
+    extra_sched: &[String],
+) -> (Vec<SinkFact>, Vec<OriginFact>) {
+    let stmts = split_statements(toks, body.0, body.1);
+    let mut tainted: BTreeMap<String, Vec<OriginFact>> = BTreeMap::new();
+    let mut unordered: BTreeSet<String> = field_unordered.clone();
+    let mut ordered: BTreeSet<String> = field_ordered.clone();
+    let mut sinks: Vec<SinkFact> = Vec::new();
+    let mut ret: Vec<OriginFact> = Vec::new();
+    let push_ret = |ret: &mut Vec<OriginFact>, os: &[OriginFact]| {
+        for o in os {
+            if ret.len() < STMT_ORIGIN_CAP && !ret.contains(o) {
+                ret.push(o.clone());
+            }
+        }
+    };
+
+    for pass in 0..2 {
+        let emit = pass == 1;
+        for &(s, e) in &stmts {
+            let stmt = &toks[s..e];
+            if stmt.is_empty() {
+                continue;
+            }
+            let origins = stmt_origins(stmt, &tainted, &unordered);
+
+            if let Some((lhs, rhs_at)) = binding_split(stmt) {
+                let rhs = &stmt[rhs_at..];
+                let rhs_origins = stmt_origins(rhs, &tainted, &unordered);
+                let rhs_unordered = stmt.iter().any(|t| {
+                    t.kind
+                        .ident()
+                        .is_some_and(|s| UNORDERED_TYPES.contains(&s) || unordered.contains(s))
+                });
+                let rhs_ordered = stmt.iter().any(|t| {
+                    t.kind
+                        .ident()
+                        .is_some_and(|s| ORDERED_TYPES.contains(&s) || ordered.contains(s))
+                });
+                let has_local = rhs_origins.iter().any(|o| o.call.is_none());
+                for name in lhs {
+                    if !rhs_origins.is_empty() {
+                        let mut v = rhs_origins.clone();
+                        v.truncate(VAR_ORIGIN_CAP);
+                        tainted.insert(name.clone(), v);
+                    }
+                    if rhs_unordered && !has_local {
+                        unordered.insert(name.clone());
+                    }
+                    if rhs_ordered {
+                        ordered.insert(name.clone());
+                    }
+                }
+            }
+
+            if !emit {
+                continue;
+            }
+            let callees: Vec<String> = {
+                let mut names: Vec<String> =
+                    origins.iter().filter_map(|o| o.call.clone()).collect();
+                names.dedup();
+                names
+            };
+            if !callees.is_empty() {
+                let line = stmt[0].line;
+                for label in stmt_sinks(stmt, &ordered, extra_sched) {
+                    sinks.push(SinkFact {
+                        line,
+                        label,
+                        callees: callees.clone(),
+                    });
+                }
+            }
+            if stmt.iter().any(|t| t.kind.ident() == Some("return")) {
+                push_ret(&mut ret, &origins);
+            }
+        }
+        if let Some(&(s, e)) = stmts.last() {
+            let os = stmt_origins(&toks[s..e], &tainted, &unordered);
+            push_ret(&mut ret, &os);
+        }
+    }
+    (sinks, ret)
+}
+
+/// Every origin a statement fragment carries, in token order — the v3
+/// single-origin check (`stmt_taint`) generalized to collect all of
+/// them, with unresolved calls as first-class origins.
+fn stmt_origins(
+    stmt: &[Token],
+    tainted: &BTreeMap<String, Vec<OriginFact>>,
+    unordered: &BTreeSet<String>,
+) -> Vec<OriginFact> {
+    let mut out: Vec<OriginFact> = Vec::new();
+    let push = |out: &mut Vec<OriginFact>, o: OriginFact| {
+        if out.len() < STMT_ORIGIN_CAP && !out.contains(&o) {
+            out.push(o);
+        }
+    };
+    for (k, t) in stmt.iter().enumerate() {
+        let Some(s) = t.kind.ident() else { continue };
+        let line = t.line;
+        let local = |label: String| OriginFact {
+            call: None,
+            label,
+            line,
+        };
+        if s == "as"
+            && stmt.get(k + 1).map(|t| &t.kind) == Some(&TokKind::Punct('*'))
+            && matches!(
+                stmt.get(k + 2).and_then(|t| t.kind.ident()),
+                Some("const" | "mut")
+            )
+        {
+            push(&mut out, local("address-cast value".to_string()));
+            continue;
+        }
+        if matches!(s, "as_ptr" | "as_mut_ptr" | "addr_of" | "addr_of_mut") {
+            push(&mut out, local("address-cast value".to_string()));
+            continue;
+        }
+        if matches!(s, "partial_cmp" | "total_cmp") {
+            push(&mut out, local("float-keyed comparison".to_string()));
+            continue;
+        }
+        if RNG_SOURCES.contains(&s) {
+            push(&mut out, local(format!("unseeded RNG (`{s}`)")));
+            continue;
+        }
+        if s == "random"
+            && k >= 3
+            && stmt[k - 1].kind == TokKind::Punct(':')
+            && stmt[k - 2].kind == TokKind::Punct(':')
+            && stmt[k - 3].kind.ident() == Some("rand")
+        {
+            push(&mut out, local("unseeded RNG (`rand::random`)".to_string()));
+            continue;
+        }
+        if unordered.contains(s) {
+            let method_after = stmt.get(k + 1).map(|t| &t.kind) == Some(&TokKind::Punct('.'))
+                && stmt
+                    .get(k + 2)
+                    .and_then(|t| t.kind.ident())
+                    .is_some_and(|m| ITER_METHODS.contains(&m));
+            let for_subject = k > 0
+                && stmt[..k]
+                    .iter()
+                    .rev()
+                    .find_map(|t| t.kind.ident())
+                    .is_some_and(|p| p == "in");
+            if method_after || for_subject {
+                push(
+                    &mut out,
+                    local(format!("iteration over unordered container `{s}`")),
+                );
+            }
+        }
+        if let Some(origins) = tainted.get(s) {
+            for o in origins {
+                push(&mut out, o.clone());
+            }
+        }
+        if is_call_name(s) && stmt.get(k + 1).map(|t| &t.kind) == Some(&TokKind::Punct('(')) {
+            push(
+                &mut out,
+                OriginFact {
+                    call: Some(s.to_string()),
+                    label: String::new(),
+                    line,
+                },
+            );
+        }
+    }
+    out
+}
+
+/// Is this identifier plausibly a callable name? Lowercase-initial and
+/// not a control-flow keyword (which can precede `(` syntactically).
+fn is_call_name(s: &str) -> bool {
+    if !s.starts_with(|c: char| c.is_lowercase() || c == '_') {
+        return false;
+    }
+    !matches!(
+        s,
+        "if" | "while"
+            | "for"
+            | "match"
+            | "loop"
+            | "return"
+            | "in"
+            | "as"
+            | "move"
+            | "let"
+            | "fn"
+            | "else"
+            | "unsafe"
+            | "await"
+            | "ref"
+            | "mut"
+            | "impl"
+            | "dyn"
+            | "where"
+            | "use"
+            | "pub"
+            | "mod"
+            | "const"
+            | "static"
+            | "enum"
+            | "struct"
+            | "trait"
+            | "type"
+            | "self"
+    )
+}
+
+/// Distinct call sites in a body: `name(..)`, `recv.name(..)`, and
+/// path-qualified `a::b::name(..)` forms. Macros (`name!(..)`) and
+/// uppercase constructors (`Variant(..)`) are not calls.
+pub fn collect_calls(toks: &[Token], body: (usize, usize)) -> Vec<CallFact> {
+    let mut out: Vec<CallFact> = Vec::new();
+    let end = body.1.min(toks.len());
+    for k in body.0..end {
+        let Some(s) = toks[k].kind.ident() else {
+            continue;
+        };
+        if !is_call_name(s) {
+            continue;
+        }
+        if toks.get(k + 1).map(|t| &t.kind) != Some(&TokKind::Punct('(')) {
+            continue;
+        }
+        let method = k > 0 && toks[k - 1].kind == TokKind::Punct('.');
+        let mut path: Vec<String> = Vec::new();
+        if !method {
+            // Walk backward through `seg ::` pairs.
+            let mut j = k;
+            while j >= 3
+                && toks[j - 1].kind == TokKind::Punct(':')
+                && toks[j - 2].kind == TokKind::Punct(':')
+            {
+                match toks[j - 3].kind.ident() {
+                    Some(seg) => {
+                        path.insert(0, seg.to_string());
+                        j -= 3;
+                    }
+                    None => break,
+                }
+            }
+        }
+        let cf = CallFact {
+            name: s.to_string(),
+            method,
+            path,
+        };
+        if !out.contains(&cf) {
+            out.push(cf);
+        }
+    }
+    out
+}
+
+/// Lines in a body mentioning ambient-RNG sources (`thread_rng`,
+/// `from_entropy`, `OsRng`, `rand::random`).
+fn collect_rng_lines(toks: &[Token], body: (usize, usize)) -> Vec<usize> {
+    let mut out = Vec::new();
+    let end = body.1.min(toks.len());
+    for k in body.0..end {
+        let Some(s) = toks[k].kind.ident() else {
+            continue;
+        };
+        let hit = RNG_SOURCES.contains(&s)
+            || (s == "random"
+                && k >= 3
+                && toks[k - 1].kind == TokKind::Punct(':')
+                && toks[k - 2].kind == TokKind::Punct(':')
+                && toks[k - 3].kind.ident() == Some("rand"));
+        if hit && !out.contains(&toks[k].line) {
+            out.push(toks[k].line);
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

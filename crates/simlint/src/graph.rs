@@ -137,6 +137,13 @@ pub struct CrateInfo {
     /// queue lanes (e.g. the timer wheel) keeps them under taint
     /// analysis without a lint release.
     pub sched_sinks: Vec<String>,
+    /// Shard entry points (`shard_roots = ["Dispatcher::on_request"]`):
+    /// the functions a future intra-run shard calls into. The shard
+    /// certification pass proves everything reachable from these roots
+    /// touches only shard-local state and records the per-crate verdict
+    /// in `SHARD_SAFETY.json`. `Type::method` names an impl method; a
+    /// bare name matches free functions of that name in the crate.
+    pub shard_roots: Vec<String>,
 }
 
 /// The parsed workspace graph.
@@ -349,6 +356,7 @@ fn parse_manifest(text: &str, manifest_rel: &str, dir_rel: &str) -> Option<Crate
     let mut time_boundary: Option<String> = None;
     let mut ledger: Vec<String> = Vec::new();
     let mut sched_sinks: Vec<String> = Vec::new();
+    let mut shard_roots: Vec<String> = Vec::new();
     let mut deps = Vec::new();
     let mut saw_package = false;
 
@@ -411,6 +419,16 @@ fn parse_manifest(text: &str, manifest_rel: &str, dir_rel: &str) -> Option<Crate
                             .filter(|s| !s.is_empty())
                             .collect();
                     }
+                } else if let Some(rest) = line.strip_prefix("shard_roots") {
+                    let rest = rest.trim_start();
+                    if let Some(v) = rest.strip_prefix('=') {
+                        let inner = v.trim().trim_start_matches('[').trim_end_matches(']');
+                        shard_roots = inner
+                            .split(',')
+                            .map(|s| s.trim().trim_matches('"').to_string())
+                            .filter(|s| !s.is_empty())
+                            .collect();
+                    }
                 }
             }
             Section::Deps | Section::DevDeps | Section::BuildDeps => {
@@ -456,6 +474,7 @@ fn parse_manifest(text: &str, manifest_rel: &str, dir_rel: &str) -> Option<Crate
         time_boundary,
         ledger,
         sched_sinks,
+        shard_roots,
     })
 }
 
@@ -510,6 +529,16 @@ mod tests {
                     layer = \"core\"\nsched_sinks = [\"push_handle\", \"schedule_far\"]\n";
         let c = parse_manifest(text, "crates/sim-core/Cargo.toml", "crates/sim-core").unwrap();
         assert_eq!(c.sched_sinks, vec!["push_handle", "schedule_far"]);
+        assert!(c.shard_roots.is_empty());
+    }
+
+    #[test]
+    fn manifest_parsing_extracts_shard_root_metadata() {
+        let text = "[package]\nname = \"nicsched\"\n\n[package.metadata.simlint]\n\
+                    layer = \"model\"\n\
+                    shard_roots = [\"Dispatcher::on_request\", \"kick\"]\n";
+        let c = parse_manifest(text, "crates/nicsched/Cargo.toml", "crates/nicsched").unwrap();
+        assert_eq!(c.shard_roots, vec!["Dispatcher::on_request", "kick"]);
     }
 
     #[test]

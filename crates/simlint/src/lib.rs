@@ -13,11 +13,21 @@
 //!
 //! CLI:
 //!
+//! v4 lifts the analysis to the workspace: every file is first reduced
+//! to cacheable per-file facts ([`interproc::FileFacts`], served
+//! incrementally by [`cache`]), then a cross-file, cross-crate call
+//! graph with SCC condensation and bottom-up taint summaries
+//! ([`interproc`]) propagates determinism taint through any call chain
+//! in the workspace, and a shard-safety certification pass ([`shard`])
+//! proves manifest-declared entry points touch only shard-local state,
+//! emitting the checked-in `SHARD_SAFETY.json` gate.
+//!
 //! ```text
 //! simlint [--root DIR] [--deny-all] [--json] [--out FILE]
 //!         [--annotations] [--sarif FILE] [--compare BASELINE] [--strict]
 //!         [--write-baseline FILE] [--self] [--legacy] [--list-rules]
-//!         [--explain RULE] [--write-rules-doc]
+//!         [--explain RULE] [--write-rules-doc] [--no-cache]
+//!         [--shard-cert FILE] [--compare-shard-cert FILE]
 //! ```
 //!
 #![doc = include_str!("rules/RULES.md")]
@@ -27,18 +37,25 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
+pub mod cache;
 pub mod dataflow;
 pub mod graph;
+pub mod interproc;
 pub mod items;
 pub mod legacy;
 pub mod lexer;
 pub mod report;
 pub mod rules;
+pub mod shard;
+
+use std::collections::BTreeSet;
 
 use graph::WorkspaceGraph;
+use interproc::{FileFacts, FnFact};
 use report::{Report, WaiverRecord};
 use rules::semantic::LedgerSites;
 use rules::tokens::{Analysis, FileCtx};
+use rules::waivers::WaiverSet;
 
 /// One lint finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -207,16 +224,198 @@ pub fn analyze_source_v3(
     }
 }
 
-/// Lint the whole workspace with the v3 pipeline: graph rules first,
-/// then every `src/` and `tests/` file of every workspace crate (the
-/// simlint crate included; `tests/fixtures` trees excluded — they exist
-/// to contain hazards), then crate-level ledger pairing.
+/// Collect one file's cacheable facts: the v3 pre-waiver candidates
+/// (token rules, semantic rules, local taint — byte-identical to what
+/// [`analyze_source_v3`] would produce before waiver application) plus
+/// the interprocedural facts the global passes consume. A pure function
+/// of the source and the manifest metadata, which is what lets the
+/// incremental cache key it by content hash.
+pub fn collect_file_facts(
+    ctx: FileCtx,
+    rel_path: &str,
+    crate_name: &str,
+    source: &str,
+    ledger_fields: &[String],
+    sched_sinks: &[String],
+    exempt_time_boundary: bool,
+) -> FileFacts {
+    let scan = rules::tokens::scan_source(ctx, rel_path, source);
+    let rules::tokens::Scan {
+        mut candidates,
+        wset,
+        lexed,
+        test_lines,
+    } = scan;
+    if exempt_time_boundary {
+        candidates.retain(|f| f.rule != "time-float-cast");
+    }
+    let is_test = |line: usize| test_lines.get(line).copied().unwrap_or(false);
+    let model_scope = matches!(ctx.layer, graph::Layer::Core | graph::Layer::Model);
+    let parsed = items::parse_items(&lexed.tokens);
+
+    if model_scope && !ctx.tests_dir {
+        for tf in dataflow::analyze_taint(&lexed.tokens, &parsed, sched_sinks) {
+            if is_test(tf.line) {
+                continue;
+            }
+            candidates.push(Finding {
+                file: rel_path.to_string(),
+                line: tf.line,
+                rule: "determinism-taint",
+                message: format!(
+                    "{}; break the flow (ordered container, stable key, seeded \
+                     stream) or waive with a reason",
+                    tf.message
+                ),
+            });
+        }
+        for (line, message) in rules::semantic::shard_isolation(&parsed) {
+            if is_test(line) {
+                continue;
+            }
+            candidates.push(Finding {
+                file: rel_path.to_string(),
+                line,
+                rule: "shard-isolation",
+                message,
+            });
+        }
+    }
+    if ctx.layer == graph::Layer::Model && !ctx.tests_dir {
+        for (line, message) in rules::semantic::hook_conformance(&lexed.tokens, &parsed) {
+            if is_test(line) {
+                continue;
+            }
+            candidates.push(Finding {
+                file: rel_path.to_string(),
+                line,
+                rule: "hook-conformance",
+                message,
+            });
+        }
+    }
+    let mut ledger = Vec::new();
+    if !ledger_fields.is_empty() && !ctx.tests_dir {
+        let sites = rules::semantic::ledger_sites(&lexed.tokens, &parsed, ledger_fields);
+        for (field, mut s) in ledger_fields.iter().cloned().zip(sites) {
+            s.debits.retain(|&l| !is_test(l));
+            s.credits.retain(|&l| !is_test(l));
+            ledger.push((field, s));
+        }
+    }
+
+    let taint_facts = dataflow::collect_fn_facts(&lexed.tokens, &parsed, sched_sinks);
+    let fns = parsed
+        .fns
+        .iter()
+        .zip(taint_facts)
+        .map(|(f, mut t)| {
+            // Interprocedural findings obey the same test-extent filter
+            // as the v3 pass: sinks inside #[cfg(test)] never fire.
+            t.sinks.retain(|s| !is_test(s.line));
+            FnFact {
+                name: f.name.clone(),
+                line: f.line,
+                impl_type: f.owner.map(|o| parsed.impls[o].type_name.clone()),
+                taint: t,
+                global_refs: interproc::collect_global_refs(&lexed.tokens, f.body),
+            }
+        })
+        .collect();
+
+    FileFacts {
+        rel: rel_path.to_string(),
+        crate_name: crate_name.to_string(),
+        candidates,
+        waivers: wset.waivers.clone(),
+        bad_waivers: wset.bad.clone(),
+        ledger,
+        bindings: rules::tokens::collect_bindings(&lexed.tokens),
+        fns,
+        statics: interproc::collect_statics(&lexed.tokens, &parsed),
+        taint_scope: model_scope && !ctx.tests_dir,
+        has_forbid: source.contains("#![forbid(unsafe_code)]"),
+    }
+}
+
+/// Options for [`lint_workspace_opts`].
+#[derive(Debug, Default)]
+pub struct LintOptions {
+    /// When set, load/store per-file facts at this path, keyed by
+    /// content hash and salted with rules + manifest metadata.
+    pub cache_path: Option<PathBuf>,
+}
+
+/// The full v4 result: the findings report, the shard-safety
+/// certificate, and cache statistics.
+#[derive(Debug)]
+pub struct LintOutcome {
+    /// Post-waiver findings and waiver records.
+    pub report: Report,
+    /// Per-crate shard-safety verdicts (empty when no crate declares
+    /// `shard_roots`).
+    pub cert: shard::ShardCert,
+    /// Files served from the incremental cache.
+    pub cache_hits: usize,
+    /// Files analyzed cold.
+    pub cache_misses: usize,
+}
+
+/// Lint the whole workspace with the v3 per-file pipeline. Kept as the
+/// plain-`Report` entry point; delegates to [`lint_workspace_opts`].
 pub fn lint_workspace(root: &Path) -> io::Result<Report> {
+    Ok(lint_workspace_opts(root, &LintOptions::default())?.report)
+}
+
+/// Lint the whole workspace with the v4 three-phase pipeline.
+///
+/// * **Phase A (per file, cacheable):** graph rules first, then every
+///   `src/` and `tests/` file of every workspace crate (the simlint
+///   crate included; `tests/fixtures` trees excluded — they exist to
+///   contain hazards) is reduced to [`FileFacts`], via the incremental
+///   cache when enabled.
+/// * **Phase B (global):** the workspace call graph is built and
+///   condensed ([`interproc::Workspace`]), bottom-up taint summaries
+///   resolve cross-file/cross-crate flows, and the shard-safety
+///   certificate is computed from manifest-declared roots
+///   ([`shard::certify`]).
+/// * **Phase C (per file):** interprocedural findings join the file's
+///   candidates (deduplicated against the same-file chains the v3 pass
+///   already reported), source-side waivers of cross-file flows are
+///   credited so they do not rot into `stale-waiver`, and one waiver
+///   application finalizes each file. Crate-level ledger pairing and
+///   the `missing-forbid` check close out the report.
+pub fn lint_workspace_opts(root: &Path, opts: &LintOptions) -> io::Result<LintOutcome> {
     let graph = WorkspaceGraph::load(root)?;
     let mut report = Report {
         findings: graph.check(),
         ..Report::default()
     };
+
+    // Cache salt: the rule inventory plus every crate's analysis-shaping
+    // manifest metadata.
+    let mut meta = String::new();
+    for info in graph.crates.values() {
+        meta.push_str(&format!(
+            "{}|{}|{:?}|{:?}|{:?}|{:?}|{:?}\n",
+            info.name,
+            info.dir,
+            info.layer,
+            info.time_boundary,
+            info.ledger,
+            info.sched_sinks,
+            info.shard_roots,
+        ));
+    }
+    let salt = cache::salt(&meta);
+    let mut file_cache = opts
+        .cache_path
+        .as_deref()
+        .map(|p| cache::Cache::load(p, &salt));
+    let (mut cache_hits, mut cache_misses) = (0usize, 0usize);
+
+    // Phase A: reduce every file to facts.
+    let mut files: Vec<FileFacts> = Vec::new();
     for info in graph.crates.values() {
         let crate_dir = root.join(&info.dir);
         let boundary_rel = info.time_boundary.as_ref().map(|b| {
@@ -226,55 +425,135 @@ pub fn lint_workspace(root: &Path) -> io::Result<Report> {
                 format!("{}/{}", info.dir, b)
             }
         });
-        // field → (debit sites, credit sites) across the crate's files.
-        type Site = (String, usize);
-        let mut ledger: Vec<(String, Vec<Site>, Vec<Site>)> = info
-            .ledger
-            .iter()
-            .map(|f| (f.clone(), Vec::new(), Vec::new()))
-            .collect();
         for sub in ["src", "tests"] {
             let dir = crate_dir.join(sub);
             if !dir.is_dir() {
                 continue;
             }
-            let mut files = Vec::new();
-            collect_rs_files(&dir, &mut files)?;
-            for path in files {
+            let mut paths = Vec::new();
+            collect_rs_files(&dir, &mut paths)?;
+            for path in paths {
                 let rel = rel_to(root, &path);
                 if rel.contains("tests/fixtures") {
                     continue;
                 }
                 let source = fs::read_to_string(&path)?;
                 report.files_scanned += 1;
+                let hash = format!("{:016x}", cache::fnv64(source.as_bytes()));
+                if let Some(facts) = file_cache.as_ref().and_then(|c| c.lookup(&rel, &hash)) {
+                    cache_hits += 1;
+                    files.push(facts.clone());
+                    continue;
+                }
+                cache_misses += 1;
                 let layer = info.layer.unwrap_or(graph::Layer::Model);
                 let exempt = boundary_rel.as_deref() == Some(rel.as_str());
-                let v3 = analyze_source_v3(
+                let facts = collect_file_facts(
                     FileCtx::new(layer, &rel),
                     &rel,
+                    &info.name,
                     &source,
                     &info.ledger,
                     &info.sched_sinks,
                     exempt,
                 );
-                report.findings.extend(v3.analysis.findings);
-                report
-                    .waivers
-                    .extend(v3.analysis.waivers.into_iter().map(|w| WaiverRecord {
-                        file: rel.clone(),
-                        line: w.line,
-                        rules: w.rules,
-                        block: w.block,
-                    }));
-                for (field, sites) in v3.ledger {
-                    if let Some(entry) = ledger.iter_mut().find(|(f, _, _)| *f == field) {
-                        entry
-                            .1
-                            .extend(sites.debits.iter().map(|&l| (rel.clone(), l)));
-                        entry
-                            .2
-                            .extend(sites.credits.iter().map(|&l| (rel.clone(), l)));
-                    }
+                if let Some(c) = file_cache.as_mut() {
+                    c.insert(&rel, &hash, facts.clone());
+                }
+                files.push(facts);
+            }
+        }
+    }
+    if let (Some(c), Some(p)) = (file_cache.as_mut(), opts.cache_path.as_deref()) {
+        let live: Vec<String> = files.iter().map(|f| f.rel.clone()).collect();
+        c.retain_files(&live);
+        let _ = c.save(p); // best-effort: an unwritable cache is a cold run next time
+    }
+
+    // Phase B: global passes over the fact base.
+    let ws = interproc::Workspace::new(&files);
+    let sums = ws.summaries();
+    let inter = ws.interproc_findings(&sums);
+    let specs: Vec<shard::RootSpec> = graph
+        .crates
+        .values()
+        .filter(|i| !i.shard_roots.is_empty())
+        .map(|i| shard::RootSpec {
+            crate_name: i.name.clone(),
+            manifest: i.manifest.clone(),
+            roots: i.shard_roots.clone(),
+        })
+        .collect();
+    let (cert, cert_findings) = shard::certify(&specs, &ws);
+    report.findings.extend(cert_findings);
+
+    // Route each interprocedural finding to its sink file; collect
+    // source-side waiver credits for cross-file flows.
+    let mut extra: Vec<Vec<Finding>> = vec![Vec::new(); files.len()];
+    let mut credits: Vec<Vec<usize>> = vec![Vec::new(); files.len()];
+    for f in inter {
+        let mut message = f.message;
+        if let Some((sf, sl)) = f.source {
+            message = format!("{message} (source at {}:{})", files[sf].rel, sl);
+            credits[sf].push(sl);
+        }
+        extra[f.file].push(Finding {
+            file: files[f.file].rel.clone(),
+            line: f.line,
+            rule: "determinism-taint",
+            message: format!(
+                "{message}; break the flow (ordered container, stable key, \
+                 seeded stream) or waive with a reason"
+            ),
+        });
+    }
+
+    // Phase C: finalize each file once, with interprocedural candidates
+    // deduplicated against the v3 same-file chains by (line, message).
+    for (idx, facts) in files.iter().enumerate() {
+        let mut candidates = facts.candidates.clone();
+        let mut seen: BTreeSet<(usize, String)> = candidates
+            .iter()
+            .map(|c| (c.line, c.message.clone()))
+            .collect();
+        for f in &extra[idx] {
+            if seen.insert((f.line, f.message.clone())) {
+                candidates.push(f.clone());
+            }
+        }
+        let mut wset = WaiverSet::from_parts(facts.waivers.clone(), facts.bad_waivers.clone());
+        for &line in &credits[idx] {
+            wset.credit(line, "determinism-taint");
+        }
+        let analysis = rules::tokens::finalize(&facts.rel, candidates, wset);
+        report.findings.extend(analysis.findings);
+        report
+            .waivers
+            .extend(analysis.waivers.into_iter().map(|w| WaiverRecord {
+                file: facts.rel.clone(),
+                line: w.line,
+                rules: w.rules,
+                block: w.block,
+            }));
+    }
+
+    // Crate-level rules from the aggregated facts.
+    for info in graph.crates.values() {
+        type Site = (String, usize);
+        let mut ledger: Vec<(String, Vec<Site>, Vec<Site>)> = info
+            .ledger
+            .iter()
+            .map(|f| (f.clone(), Vec::new(), Vec::new()))
+            .collect();
+        for facts in files.iter().filter(|f| f.crate_name == info.name) {
+            for (field, sites) in &facts.ledger {
+                if let Some(entry) = ledger.iter_mut().find(|(f, _, _)| f == field) {
+                    entry
+                        .1
+                        .extend(sites.debits.iter().map(|&l| (facts.rel.clone(), l)));
+                    entry
+                        .2
+                        .extend(sites.credits.iter().map(|&l| (facts.rel.clone(), l)));
                 }
             }
         }
@@ -314,12 +593,15 @@ pub fn lint_workspace(root: &Path) -> io::Result<Report> {
                 (Some(_), Some(_)) => {}
             }
         }
-        let lib = crate_dir.join("src/lib.rs");
-        if lib.is_file() {
-            let text = fs::read_to_string(&lib)?;
-            if !text.contains("#![forbid(unsafe_code)]") {
+        let lib_rel = if info.dir.is_empty() {
+            "src/lib.rs".to_string()
+        } else {
+            format!("{}/src/lib.rs", info.dir)
+        };
+        if let Some(facts) = files.iter().find(|f| f.rel == lib_rel) {
+            if !facts.has_forbid {
                 report.findings.push(Finding {
-                    file: rel_to(root, &lib),
+                    file: lib_rel,
                     line: 1,
                     rule: "missing-forbid",
                     message: "crate root lacks #![forbid(unsafe_code)]; every crate \
@@ -335,7 +617,12 @@ pub fn lint_workspace(root: &Path) -> io::Result<Report> {
     report
         .waivers
         .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
-    Ok(report)
+    Ok(LintOutcome {
+        report,
+        cert,
+        cache_hits,
+        cache_misses,
+    })
 }
 
 /// Run the v1 line-oriented pass over the file set it historically
@@ -381,6 +668,9 @@ pub fn run(args: &[String]) -> i32 {
     let mut use_legacy = false;
     let mut sarif_file: Option<PathBuf> = None;
     let mut strict = false;
+    let mut no_cache = false;
+    let mut shard_cert_file: Option<PathBuf> = None;
+    let mut compare_shard_cert: Option<PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -390,6 +680,15 @@ pub fn run(args: &[String]) -> i32 {
             "--self" => self_lint = true,
             "--legacy" => use_legacy = true,
             "--strict" => strict = true,
+            "--no-cache" => no_cache = true,
+            "--shard-cert" => {
+                i += 1;
+                shard_cert_file = args.get(i).map(PathBuf::from);
+            }
+            "--compare-shard-cert" => {
+                i += 1;
+                compare_shard_cert = args.get(i).map(PathBuf::from);
+            }
             "--sarif" => {
                 i += 1;
                 sarif_file = args.get(i).map(PathBuf::from);
@@ -480,13 +779,22 @@ pub fn run(args: &[String]) -> i32 {
         return i32::from(!findings.is_empty());
     }
 
-    let mut report = match lint_workspace(&root) {
-        Ok(r) => r,
+    let opts = LintOptions {
+        cache_path: (!no_cache).then(|| root.join("target/simlint-cache.json")),
+    };
+    let outcome = match lint_workspace_opts(&root, &opts) {
+        Ok(o) => o,
         Err(e) => {
             eprintln!("simlint: {e}");
             return 2;
         }
     };
+    let LintOutcome {
+        mut report,
+        cert,
+        cache_hits,
+        cache_misses,
+    } = outcome;
 
     if self_lint {
         report
@@ -572,9 +880,42 @@ pub fn run(args: &[String]) -> i32 {
             }
         }
     }
+    if let Some(path) = shard_cert_file {
+        if let Err(e) = fs::write(&path, cert.to_json()) {
+            eprintln!("simlint: cannot write {}: {e}", path.display());
+            return 2;
+        }
+        println!("wrote shard certificate {}", path.display());
+    }
+    if let Some(path) = compare_shard_cert {
+        match fs::read_to_string(&path) {
+            Ok(text) => match shard::compare(&cert, &text, strict) {
+                Ok(notes) => {
+                    for n in notes {
+                        println!("note: {n}");
+                    }
+                    println!("shard-safety gate: OK ({})", path.display());
+                }
+                Err(errors) => {
+                    for e in errors {
+                        eprintln!("shard-safety gate: {e}");
+                    }
+                    failed = true;
+                }
+            },
+            Err(e) => {
+                eprintln!(
+                    "simlint: cannot read shard certificate {}: {e}",
+                    path.display()
+                );
+                return 2;
+            }
+        }
+    }
     if !json {
         println!(
-            "simlint: scanned {} files, {} finding(s), {} waiver(s)",
+            "simlint: scanned {} files ({cache_hits} cached, {cache_misses} cold), \
+             {} finding(s), {} waiver(s)",
             report.files_scanned,
             report.findings.len(),
             report.waivers.len()

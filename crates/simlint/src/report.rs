@@ -92,11 +92,11 @@ impl Report {
 
     /// The baseline document (`--write-baseline`): standing findings
     /// without messages (lines drift; messages churn) plus the waiver
-    /// ledger. `schema: 3` marks the v3 finding vocabulary (semantic
-    /// rules, boundary exemption); `compare` ignores the key, so v2
-    /// baselines still parse.
+    /// ledger. `schema: 4` marks the v4 finding vocabulary
+    /// (workspace-interprocedural taint, shard-cert); `compare` ignores
+    /// the key, so v2/v3 baselines still parse.
     pub fn to_baseline_json(&self) -> String {
-        let mut out = String::from("{\n  \"schema\": 3,\n  \"findings\": [\n");
+        let mut out = String::from("{\n  \"schema\": 4,\n  \"findings\": [\n");
         for (i, f) in self.findings.iter().enumerate() {
             out.push_str(&format!(
                 "    {{\"file\": {}, \"line\": {}, \"rule\": {}}}{}\n",
@@ -261,7 +261,7 @@ pub fn compare(report: &Report, baseline_text: &str) -> Result<Vec<String>, Vec<
     }
 }
 
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -322,6 +322,12 @@ impl Value {
     pub fn as_usize(&self) -> Option<usize> {
         match self {
             Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as usize),
+            _ => None,
+        }
+    }
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
             _ => None,
         }
     }
@@ -620,10 +626,10 @@ mod tests {
     }
 
     #[test]
-    fn baseline_declares_schema_3() {
+    fn baseline_declares_schema_4() {
         let report = report_with(vec![], vec![]);
         let value = parse_json(&report.to_baseline_json()).unwrap();
-        assert_eq!(value.get("schema").and_then(Value::as_usize), Some(3));
+        assert_eq!(value.get("schema").and_then(Value::as_usize), Some(4));
     }
 
     #[test]

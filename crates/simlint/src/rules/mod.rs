@@ -157,17 +157,24 @@ pub const TABLE: &[RuleSpec] = &[
         scope: "core + model crates, non-test code",
         fires_on: "a nondeterministic value flowing into an \
                    ordering-sensitive sink",
-        detail: "The v3 dataflow pass tracks values from nondeterminism \
+        detail: "The dataflow pass tracks values from nondeterminism \
                  sources — iteration over unordered containers, \
                  pointer/address casts (ASLR), float-keyed comparisons, \
                  unseeded RNG — through let bindings, assignments, for/if-let \
-                 patterns, and same-file helper returns, into sinks where \
-                 ordering escapes into simulation state or output: comparator \
-                 sorts, event-queue schedule calls, inserts into ordered or \
-                 queue-shaped receivers, and probe/CSV emission. Unlike the \
-                 token rules this flags *flows*, not mentions: a HashMap used \
-                 only for membership tests is fine; its keys() feeding a sort \
-                 key is not.",
+                 patterns, and function returns, into sinks where ordering \
+                 escapes into simulation state or output: comparator sorts, \
+                 event-queue schedule calls, inserts into ordered or \
+                 queue-shaped receivers, and probe/CSV emission. Since v4 the \
+                 pass is interprocedural across the whole workspace: a \
+                 cross-file, cross-crate call graph with SCC condensation and \
+                 bottom-up summaries resolves taint through any call chain \
+                 (`use`-aliased paths and impl methods included), and a \
+                 cross-file finding names its source site and is waivable at \
+                 the *sink* line only — the source-side waiver is credited so \
+                 it does not rot into stale-waiver. Unlike the token rules \
+                 this flags *flows*, not mentions: a HashMap used only for \
+                 membership tests is fine; its keys() feeding a sort key is \
+                 not.",
         waivable: true,
     },
     RuleSpec {
@@ -217,6 +224,25 @@ pub const TABLE: &[RuleSpec] = &[
                  at a source site.",
         waivable: false,
     },
+    RuleSpec {
+        name: "shard-cert",
+        scope: "crates declaring `shard_roots = [\"Type::method\", …]` metadata",
+        fires_on: "a declared shard entry point that resolves to no \
+                   function in the crate",
+        detail: "The shard-safety certification pass proves everything \
+                 reachable from a crate's declared entry points \
+                 (`[package.metadata.simlint] shard_roots`) touches only \
+                 shard-local state — no `static mut`, `thread_local!`, or \
+                 interior-mutable static writes, no ambient RNG — walking \
+                 the workspace call graph and recording per-crate verdicts \
+                 with witness paths in `SHARD_SAFETY.json`, the build-time \
+                 gate the future partitioned engine consumes (ROADMAP open \
+                 item 2). A root that resolves to nothing certifies \
+                 nothing, so it is a finding on the declaring manifest; \
+                 like every manifest-declared obligation it cannot be \
+                 waived at a source site.",
+        waivable: false,
+    },
 ];
 
 /// Every rule name, in listing order (derived from [`TABLE`]).
@@ -236,6 +262,7 @@ pub const RULES: &[&str] = &[
     "hook-conformance",
     "shard-isolation",
     "ledger-pairing",
+    "shard-cert",
 ];
 
 /// Look up one rule's spec by name.

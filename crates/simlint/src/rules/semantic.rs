@@ -28,7 +28,7 @@ const INVARIANT_WIRING: &[&str] = &["checker_for", "close_invariants"];
 const DETECTION_WIRING: &[&str] = &["check_health", "on_heartbeat", "heartbeat"];
 
 /// Type identifiers that make a `static` interior-mutable.
-const INTERIOR_MUTABLE: &[&str] = &[
+pub(crate) const INTERIOR_MUTABLE: &[&str] = &[
     "Mutex",
     "RwLock",
     "RefCell",

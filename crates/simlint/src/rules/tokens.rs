@@ -410,8 +410,10 @@ fn collect_chains(toks: &[Token]) -> Vec<Chain> {
     chains
 }
 
-/// Parse every `use` declaration into name → full-path bindings.
-fn collect_bindings(toks: &[Token]) -> BTreeMap<String, Vec<String>> {
+/// Parse every `use` declaration into name → full-path bindings. Shared
+/// with the interprocedural call-graph builder, which resolves a plain
+/// call through the same alias table the token rules use.
+pub(crate) fn collect_bindings(toks: &[Token]) -> BTreeMap<String, Vec<String>> {
     let mut bindings = BTreeMap::new();
     let mut k = 0;
     while k < toks.len() {

@@ -53,6 +53,13 @@ pub struct WaiverSet {
 }
 
 impl WaiverSet {
+    /// Rebuild a set from previously parsed parts (the incremental-cache
+    /// path, where waivers were parsed in an earlier run and serialized).
+    pub fn from_parts(waivers: Vec<Waiver>, bad: Vec<(usize, String)>) -> WaiverSet {
+        let used = vec![BTreeSet::new(); waivers.len()];
+        WaiverSet { waivers, bad, used }
+    }
+
     /// Parse waivers from per-line plain-comment text (0-based index =
     /// line - 1), as produced by [`crate::lexer::lex`].
     pub fn parse(comments: &[String]) -> WaiverSet {
@@ -201,6 +208,25 @@ impl WaiverSet {
             }
         }
         covered
+    }
+
+    /// Mark the earliest unused waiver covering `line` for `rule` as
+    /// used *without* suppressing anything. This is how an
+    /// interprocedural finding whose sink lives in another file keeps
+    /// its source-side waiver alive: the finding is only waivable at the
+    /// sink line, but the source file's waiver still documents the
+    /// hazard it excuses and must not rot into `stale-waiver`.
+    pub fn credit(&mut self, line: usize, rule: &str) {
+        for (i, w) in self.waivers.iter().enumerate() {
+            if w.first <= line
+                && line <= w.last
+                && w.rules.iter().any(|r| r == rule)
+                && !self.used[i].contains(rule)
+            {
+                self.used[i].insert(rule.to_string());
+                return;
+            }
+        }
     }
 
     /// After rule evaluation: one `stale-waiver` finding per waiver that

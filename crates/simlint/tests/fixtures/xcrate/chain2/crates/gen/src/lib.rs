@@ -1,0 +1,6 @@
+#![forbid(unsafe_code)]
+use std::collections::HashMap;
+pub fn pick(m: &HashMap<u64, u64>) -> Vec<u64> {
+    let order: Vec<u64> = m.keys().copied().collect();
+    order
+}

@@ -1,0 +1,6 @@
+#![forbid(unsafe_code)]
+use mid::relay;
+pub fn drive(m: &std::collections::HashMap<u64, u64>, q: &mut Queue) {
+    let order = relay(m);
+    q.schedule_at(order);
+}

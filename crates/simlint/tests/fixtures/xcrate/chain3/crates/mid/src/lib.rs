@@ -1,0 +1,6 @@
+#![forbid(unsafe_code)]
+use gen::pick;
+use std::collections::HashMap;
+pub fn relay(m: &HashMap<u64, u64>) -> Vec<u64> {
+    pick(m)
+}

@@ -1,0 +1,6 @@
+#![forbid(unsafe_code)]
+use sampler::Sampler;
+pub fn drive(s: &Sampler, q: &mut Queue) {
+    let order = s.order();
+    q.schedule(order);
+}

@@ -1,0 +1,11 @@
+#![forbid(unsafe_code)]
+use std::collections::HashMap;
+pub struct Sampler {
+    map: HashMap<u64, u64>,
+}
+impl Sampler {
+    pub fn order(&self) -> Vec<u64> {
+        let v: Vec<u64> = self.map.keys().copied().collect();
+        v
+    }
+}

@@ -1,0 +1,6 @@
+#![forbid(unsafe_code)]
+use gen::ping;
+pub fn drive(m: &std::collections::HashMap<u64, u64>, q: &mut Queue) {
+    let order = ping(3, m);
+    q.schedule(order);
+}

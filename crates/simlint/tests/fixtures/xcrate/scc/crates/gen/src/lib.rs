@@ -1,0 +1,12 @@
+#![forbid(unsafe_code)]
+use std::collections::HashMap;
+pub fn ping(n: u64, m: &HashMap<u64, u64>) -> Vec<u64> {
+    if n == 0 {
+        let base: Vec<u64> = m.keys().copied().collect();
+        return base;
+    }
+    pong(n - 1, m)
+}
+pub fn pong(n: u64, m: &HashMap<u64, u64>) -> Vec<u64> {
+    ping(n, m)
+}

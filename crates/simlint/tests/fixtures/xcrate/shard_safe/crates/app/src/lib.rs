@@ -1,0 +1,13 @@
+#![forbid(unsafe_code)]
+pub struct Engine {
+    clock: u64,
+}
+impl Engine {
+    pub fn run(&mut self) {
+        self.clock += 1;
+        self.tick();
+    }
+    fn tick(&mut self) {
+        self.clock += 1;
+    }
+}

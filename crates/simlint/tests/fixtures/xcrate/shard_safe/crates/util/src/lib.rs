@@ -1,0 +1,6 @@
+#![forbid(unsafe_code)]
+use std::sync::atomic::{AtomicU64, Ordering};
+static UNREACHED: AtomicU64 = AtomicU64::new(0);
+pub fn never_called_from_root() {
+    UNREACHED.fetch_add(1, Ordering::Relaxed);
+}

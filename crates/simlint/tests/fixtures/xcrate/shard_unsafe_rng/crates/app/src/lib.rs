@@ -1,0 +1,13 @@
+#![forbid(unsafe_code)]
+pub struct Engine {
+    clock: u64,
+}
+impl Engine {
+    pub fn run(&mut self) {
+        self.clock = jitter();
+    }
+}
+fn jitter() -> u64 {
+    let mut rng = thread_rng();
+    rng.gen()
+}

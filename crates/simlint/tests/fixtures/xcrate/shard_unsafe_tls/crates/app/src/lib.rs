@@ -1,0 +1,13 @@
+#![forbid(unsafe_code)]
+use std::cell::Cell;
+thread_local! {
+    static SCRATCH: Cell<u64> = Cell::new(0);
+}
+pub struct Engine {
+    clock: u64,
+}
+impl Engine {
+    pub fn run(&mut self) {
+        SCRATCH.with(|s| s.set(self.clock));
+    }
+}

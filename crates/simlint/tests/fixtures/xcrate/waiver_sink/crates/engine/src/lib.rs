@@ -1,0 +1,7 @@
+#![forbid(unsafe_code)]
+use gen::pick;
+pub fn drive(m: &std::collections::HashMap<u64, u64>, q: &mut Queue) {
+    let order = pick(m);
+    // simlint: allow(determinism-taint, reason=order is re-sorted by the queue)
+    q.schedule(order);
+}

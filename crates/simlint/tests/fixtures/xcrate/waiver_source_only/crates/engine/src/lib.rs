@@ -1,0 +1,6 @@
+#![forbid(unsafe_code)]
+use gen::pick;
+pub fn drive(m: &std::collections::HashMap<u64, u64>, q: &mut Queue) {
+    let order = pick(m);
+    q.schedule(order);
+}
